@@ -1,0 +1,41 @@
+#ifndef MLCASK_BENCH_BENCH_UTIL_H_
+#define MLCASK_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/status.h"
+
+namespace mlcask::bench {
+
+/// Prints a figure/table banner.
+inline void Banner(const char* id, const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("==============================================================\n");
+}
+
+inline void Section(const std::string& name) {
+  std::printf("\n--- %s ---\n", name.c_str());
+}
+
+/// Aborts the bench with a readable message when a Status fails (benches are
+/// top-level binaries; failing loudly is the right behaviour).
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "[bench] %s failed: %s\n", what,
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T CheckedValue(StatusOr<T> value, const char* what) {
+  CheckOk(value.status(), what);
+  return *std::move(value);
+}
+
+}  // namespace mlcask::bench
+
+#endif  // MLCASK_BENCH_BENCH_UTIL_H_

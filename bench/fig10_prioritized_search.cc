@@ -1,0 +1,72 @@
+// Reproduces Fig. 10: prioritized vs random pipeline search. For every
+// candidate position we report the average end time and average score (with
+// score variance) over repeated trials. Expected shape (paper Sec. VII-E):
+// prioritized search runs high-score candidates early (scores spread wide,
+// high scores at small end times); random search's per-position scores are
+// roughly flat.
+
+#include <cstdio>
+
+#include <vector>
+
+#include "bench_util.h"
+#include "merge/prioritized.h"
+#include "sim/scenario.h"
+
+namespace mlcask {
+namespace {
+
+constexpr double kScale = 0.15;
+constexpr int kTrials = 100;
+
+void RunWorkload(const std::string& name) {
+  auto d = bench::CheckedValue(sim::MakeDeployment(name, kScale),
+                               "MakeDeployment");
+  bench::CheckOk(sim::BuildTwoBranchScenario(d.get()).status(),
+                 "BuildTwoBranchScenario");
+  merge::PrioritizedSearch search(d->repo.get(), d->libraries.get(),
+                                  d->registry.get(), d->engine.get());
+  bench::CheckOk(search.Prepare("master", "dev"), "Prepare");
+
+  bench::Section(name + " (" + std::to_string(search.num_candidates()) +
+                 " candidates, " + std::to_string(kTrials) + " trials)");
+  std::printf("%-12s%-12s%14s%12s%12s\n", "method", "position",
+              "avg end(s)", "avg score", "score var");
+
+  for (merge::SearchMode mode :
+       {merge::SearchMode::kPrioritized, merge::SearchMode::kRandom}) {
+    const char* label =
+        mode == merge::SearchMode::kPrioritized ? "prioritized" : "random";
+    size_t n = search.num_candidates();
+    std::vector<double> time_sum(n, 0), score_sum(n, 0), score_sq(n, 0);
+    for (int t = 0; t < kTrials; ++t) {
+      auto trial = bench::CheckedValue(
+          search.RunTrial(mode, static_cast<uint64_t>(t) + 1), "RunTrial");
+      for (size_t pos = 0; pos < trial.steps.size(); ++pos) {
+        time_sum[pos] += trial.steps[pos].end_time_s;
+        score_sum[pos] += trial.steps[pos].score;
+        score_sq[pos] += trial.steps[pos].score * trial.steps[pos].score;
+      }
+    }
+    for (size_t pos = 0; pos < n; ++pos) {
+      double mean_t = time_sum[pos] / kTrials;
+      double mean_s = score_sum[pos] / kTrials;
+      double var_s = score_sq[pos] / kTrials - mean_s * mean_s;
+      std::printf("%-12s%-12zu%14.1f%12.3f%12.4f\n", label, pos + 1, mean_t,
+                  mean_s, var_s < 0 ? 0.0 : var_s);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mlcask
+
+int main() {
+  using namespace mlcask;
+  bench::Banner("Fig. 10", "prioritized pipeline search vs random search");
+  std::printf("scale=%.2f\n", kScale);
+  for (const std::string& name : sim::WorkloadNames()) {
+    RunWorkload(name);
+  }
+  return 0;
+}

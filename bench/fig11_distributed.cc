@@ -1,0 +1,90 @@
+// Reproduces Fig. 11: (a) training loss vs simulated wall-clock time for
+// synchronous data-parallel training on 1/2/4/8 GPUs — a real MLP stands in
+// for ResNet18; (b) the pipeline-time speedup law 1/((1-p)+p/k). Expected
+// shape: more GPUs drive the loss down faster; both larger k and larger p
+// increase pipeline speedup, crossing 4x when p > 0.9 and k = 8.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "sim/distributed.h"
+
+namespace mlcask {
+namespace {
+
+void LossVsTime() {
+  bench::Section("Fig. 11a — training loss vs time (simulated s)");
+  // A real training job: 2-D blobs, 800 examples, 24 epochs.
+  Pcg32 rng(11);
+  ml::Matrix x(800, 4);
+  std::vector<double> y(800);
+  for (size_t i = 0; i < 800; ++i) {
+    bool pos = rng.Bernoulli(0.5);
+    for (size_t j = 0; j < 4; ++j) {
+      x.At(i, j) = (pos ? 0.8 : -0.8) + rng.NextGaussian();
+    }
+    y[i] = pos ? 1.0 : 0.0;
+  }
+  ml::MlpConfig cfg;
+  cfg.hidden_units = 16;
+  cfg.sgd.epochs = 24;
+
+  std::printf("%-8s", "time(s)");
+  const size_t gpu_counts[] = {1, 2, 4, 8};
+  std::vector<std::vector<sim::LossCurvePoint>> curves;
+  for (size_t gpus : gpu_counts) {
+    sim::DistributedConfig dc;
+    dc.gpus = gpus;
+    dc.base_epoch_seconds = 30.0;
+    curves.push_back(bench::CheckedValue(
+        sim::SimulateDistributedTraining(x, y, cfg, dc),
+        "SimulateDistributedTraining"));
+    std::printf("%12s", ("loss@" + std::to_string(gpus) + "gpu").c_str());
+  }
+  std::printf("\n");
+  // Sample the curves on a common time grid.
+  for (double t = 60.0; t <= 720.0; t += 60.0) {
+    std::printf("%-8.0f", t);
+    for (const auto& curve : curves) {
+      double loss = curve.front().loss;
+      for (const auto& p : curve) {
+        if (p.time_s <= t) loss = p.loss;
+      }
+      std::printf("%12.4f", loss);
+    }
+    std::printf("\n");
+  }
+  for (size_t i = 0; i < std::size(gpu_counts); ++i) {
+    std::printf("throughput speedup @%zu GPUs: %.2fx\n", gpu_counts[i],
+                sim::DistributedSpeedup(gpu_counts[i], 0.06));
+  }
+}
+
+void SpeedupSurface() {
+  bench::Section("Fig. 11b — pipeline time speedup 1/((1-p)+p/k)");
+  std::printf("%-8s", "p \\ k");
+  const double ks[] = {1, 2, 3, 4, 5, 6, 7, 8};
+  for (double k : ks) std::printf("%8.0f", k);
+  std::printf("\n");
+  for (double p = 0.1; p <= 0.95; p += 0.1) {
+    double pp = p > 0.9 ? 0.95 : p;  // include the paper's p>0.9 regime
+    std::printf("%-8.2f", pp);
+    for (double k : ks) {
+      std::printf("%8.2f", sim::PipelineTimeSpeedup(pp, k));
+    }
+    std::printf("\n");
+    if (pp >= 0.95) break;
+  }
+}
+
+}  // namespace
+}  // namespace mlcask
+
+int main() {
+  using namespace mlcask;
+  bench::Banner("Fig. 11", "distributed training");
+  LossVsTime();
+  SpeedupSurface();
+  return 0;
+}

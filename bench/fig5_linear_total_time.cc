@@ -1,0 +1,72 @@
+// Reproduces Fig. 5: total (cumulative) time for linear versioning over 10
+// iterations, for each of the four pipelines under ModelDB, MLflow, and
+// MLCask. Expected shape (paper Sec. VII-C): ModelDB grows linearly and
+// fastest; MLflow and MLCask track lower by skipping unchanged components;
+// MLCask is flat on the final (incompatible) iteration because the pre-check
+// skips the run entirely.
+
+#include <cstdio>
+
+#include "baselines/system_under_test.h"
+#include "bench_util.h"
+#include "sim/libraries.h"
+#include "sim/linear_driver.h"
+#include "sim/workloads.h"
+
+namespace mlcask {
+namespace {
+
+constexpr double kScale = 0.25;
+
+void RunWorkload(const std::string& name,
+                 const pipeline::LibraryRegistry& registry) {
+  sim::Workload workload = bench::CheckedValue(
+      sim::MakeWorkload(name, kScale), "MakeWorkload");
+  auto schedule = bench::CheckedValue(
+      sim::BuildLinearSchedule(workload, {}), "BuildLinearSchedule");
+
+  const baselines::SystemConfig configs[] = {baselines::ModelDbConfig(),
+                                             baselines::MlflowConfig(),
+                                             baselines::MlcaskConfig()};
+  bench::Section(name);
+  std::printf("%-10s", "iteration");
+  for (const auto& c : configs) std::printf("%14s", c.name.c_str());
+  std::printf("\n");
+
+  std::vector<std::vector<baselines::IterationStats>> all;
+  for (const auto& config : configs) {
+    baselines::SystemUnderTest system(config, &registry);
+    all.push_back(bench::CheckedValue(sim::ReplaySchedule(schedule, &system),
+                                      "ReplaySchedule"));
+  }
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    std::printf("%-10zu", i + 1);
+    for (const auto& run : all) {
+      std::printf("%13.1fs", run[i].total_time_s);
+    }
+    std::printf("\n");
+  }
+  std::printf("final-iteration handling: modeldb=%s mlflow=%s mlcask=%s\n",
+              all[0].back().failed_at_runtime ? "failed-at-runtime" : "ok",
+              all[1].back().failed_at_runtime ? "failed-at-runtime" : "ok",
+              all[2].back().skipped_incompatible ? "skipped-by-precheck"
+                                                 : "ok");
+}
+
+}  // namespace
+}  // namespace mlcask
+
+int main() {
+  using namespace mlcask;
+  bench::Banner("Fig. 5", "total time for linear versioning (simulated s)");
+  std::printf("scale=%.2f, 10 iterations, updates: preprocessor p=0.4 / "
+              "model p=0.6, final iteration incompatible\n",
+              kScale);
+  pipeline::LibraryRegistry registry;
+  bench::CheckOk(sim::RegisterWorkloadLibraries(&registry),
+                 "RegisterWorkloadLibraries");
+  for (const std::string& name : sim::WorkloadNames()) {
+    RunWorkload(name, registry);
+  }
+  return 0;
+}

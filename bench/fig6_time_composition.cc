@@ -1,0 +1,60 @@
+// Reproduces Fig. 6: pipeline-time composition (storage / pre-processing /
+// model-training) accumulated over the 10 linear-versioning iterations, per
+// system and workload. Expected shape (paper Sec. VII-C): model-training
+// time is comparable across systems; the main difference is pre-processing
+// (ModelDB redoes it every iteration); baselines' storage time is near zero
+// while MLCask pays a few seconds per materialization.
+
+#include <cstdio>
+
+#include "baselines/system_under_test.h"
+#include "bench_util.h"
+#include "sim/libraries.h"
+#include "sim/linear_driver.h"
+#include "sim/workloads.h"
+
+namespace mlcask {
+namespace {
+
+constexpr double kScale = 0.25;
+
+void RunWorkload(const std::string& name,
+                 const pipeline::LibraryRegistry& registry) {
+  sim::Workload workload =
+      bench::CheckedValue(sim::MakeWorkload(name, kScale), "MakeWorkload");
+  auto schedule = bench::CheckedValue(sim::BuildLinearSchedule(workload, {}),
+                                      "BuildLinearSchedule");
+
+  bench::Section(name);
+  std::printf("%-10s%16s%16s%16s%14s\n", "system", "storage(s)",
+              "preprocess(s)", "training(s)", "total(s)");
+  for (const auto& config :
+       {baselines::ModelDbConfig(), baselines::MlflowConfig(),
+        baselines::MlcaskConfig()}) {
+    baselines::SystemUnderTest system(config, &registry);
+    auto stats = bench::CheckedValue(sim::ReplaySchedule(schedule, &system),
+                                     "ReplaySchedule");
+    TimeBreakdown total;
+    for (const auto& s : stats) total += s.time;
+    std::printf("%-10s%16.1f%16.1f%16.1f%14.1f\n", config.name.c_str(),
+                total.storage_s, total.preprocess_s, total.train_s,
+                total.Total());
+  }
+}
+
+}  // namespace
+}  // namespace mlcask
+
+int main() {
+  using namespace mlcask;
+  bench::Banner("Fig. 6",
+                "pipeline time composition for linear versioning (simulated s)");
+  std::printf("scale=%.2f, cumulative over 10 iterations\n", kScale);
+  pipeline::LibraryRegistry registry;
+  bench::CheckOk(sim::RegisterWorkloadLibraries(&registry),
+                 "RegisterWorkloadLibraries");
+  for (const std::string& name : sim::WorkloadNames()) {
+    RunWorkload(name, registry);
+  }
+  return 0;
+}

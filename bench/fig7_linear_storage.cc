@@ -1,0 +1,67 @@
+// Reproduces Fig. 7: cumulative storage size (CSS) for linear versioning.
+// Expected shape (paper Sec. VII-C): ModelDB grows linearly (every iteration
+// re-archives everything); MLflow is much flatter (outputs of repeated
+// components stored once); MLCask is flattest thanks to chunk-level
+// de-duplication across library versions and reusable outputs.
+
+#include <cstdio>
+
+#include "baselines/system_under_test.h"
+#include "bench_util.h"
+#include "sim/libraries.h"
+#include "sim/linear_driver.h"
+#include "sim/workloads.h"
+
+namespace mlcask {
+namespace {
+
+constexpr double kScale = 0.25;
+
+void RunWorkload(const std::string& name,
+                 const pipeline::LibraryRegistry& registry) {
+  sim::Workload workload =
+      bench::CheckedValue(sim::MakeWorkload(name, kScale), "MakeWorkload");
+  auto schedule = bench::CheckedValue(sim::BuildLinearSchedule(workload, {}),
+                                      "BuildLinearSchedule");
+
+  const baselines::SystemConfig configs[] = {baselines::ModelDbConfig(),
+                                             baselines::MlflowConfig(),
+                                             baselines::MlcaskConfig()};
+  bench::Section(name);
+  std::printf("%-10s", "iteration");
+  for (const auto& c : configs) std::printf("%14s", c.name.c_str());
+  std::printf("   (CSS, MB)\n");
+
+  std::vector<std::vector<baselines::IterationStats>> all;
+  for (const auto& config : configs) {
+    baselines::SystemUnderTest system(config, &registry);
+    all.push_back(bench::CheckedValue(sim::ReplaySchedule(schedule, &system),
+                                      "ReplaySchedule"));
+  }
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    std::printf("%-10zu", i + 1);
+    for (const auto& run : all) {
+      std::printf("%14.2f", static_cast<double>(run[i].css_bytes) / 1e6);
+    }
+    std::printf("\n");
+  }
+  double modeldb = static_cast<double>(all[0].back().css_bytes);
+  double mlcask = static_cast<double>(all[2].back().css_bytes);
+  std::printf("storage saving, ModelDB vs MLCask: %.1fx\n", modeldb / mlcask);
+}
+
+}  // namespace
+}  // namespace mlcask
+
+int main() {
+  using namespace mlcask;
+  bench::Banner("Fig. 7", "cumulative storage size for linear versioning");
+  std::printf("scale=%.2f, 10 iterations\n", kScale);
+  pipeline::LibraryRegistry registry;
+  bench::CheckOk(sim::RegisterWorkloadLibraries(&registry),
+                 "RegisterWorkloadLibraries");
+  for (const std::string& name : sim::WorkloadNames()) {
+    RunWorkload(name, registry);
+  }
+  return 0;
+}

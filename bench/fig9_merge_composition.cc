@@ -1,0 +1,58 @@
+// Reproduces Fig. 9: pipeline-time composition during the merge operation.
+// Expected shape (paper Sec. VII-D): the arms differ mainly in
+// pre-processing time (both prunings act on pre-processing components);
+// model-training time is nearly the same across arms; storage time is a
+// small fraction.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "merge/merge_op.h"
+#include "sim/scenario.h"
+
+namespace mlcask {
+namespace {
+
+constexpr double kScale = 0.15;
+
+void RunWorkload(const std::string& name) {
+  bench::Section(name);
+  std::printf("%-10s%16s%16s%16s%14s\n", "system", "storage(s)",
+              "preprocess(s)", "training(s)", "total(s)");
+  struct Arm {
+    const char* label;
+    bool pc;
+    bool pr;
+  };
+  for (const Arm& arm : {Arm{"mlcask", true, true}, Arm{"w/o PR", true, false},
+                         Arm{"w/o PCPR", false, false}}) {
+    auto d = bench::CheckedValue(sim::MakeDeployment(name, kScale),
+                                 "MakeDeployment");
+    bench::CheckOk(sim::BuildTwoBranchScenario(d.get()).status(),
+                   "BuildTwoBranchScenario");
+    merge::MergeOperation op(d->repo.get(), d->libraries.get(),
+                             d->registry.get(), d->engine.get(),
+                             d->clock.get());
+    merge::MergeOptions opts;
+    opts.prune_compatibility = arm.pc;
+    opts.reuse_outputs = arm.pr;
+    opts.store_trial_outputs = !arm.pr;
+    auto report = bench::CheckedValue(op.Merge("master", "dev", opts), "Merge");
+    std::printf("%-10s%16.1f%16.1f%16.1f%14.1f\n", arm.label,
+                report.total_time.storage_s, report.total_time.preprocess_s,
+                report.total_time.train_s, report.total_time.Total());
+  }
+}
+
+}  // namespace
+}  // namespace mlcask
+
+int main() {
+  using namespace mlcask;
+  bench::Banner("Fig. 9", "pipeline time composition during merge");
+  std::printf("scale=%.2f, two-branch scenario per Fig. 3\n", kScale);
+  for (const std::string& name : sim::WorkloadNames()) {
+    RunWorkload(name);
+  }
+  return 0;
+}

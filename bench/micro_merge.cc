@@ -1,0 +1,93 @@
+// Micro benchmarks for the merge machinery: search-tree construction
+// (Algorithm 1) and compatibility pruning scaling with versions per
+// component, plus the candidate-enumeration walk of Algorithm 2.
+
+#include <benchmark/benchmark.h>
+
+#include "merge/compat_lut.h"
+#include "merge/search_space.h"
+#include "merge/search_tree.h"
+
+namespace mlcask::merge {
+namespace {
+
+/// Builds a synthetic search space: `levels` components, `versions` versions
+/// each; every second version of each component bumps the schema so half the
+/// edges are incompatible (mimicking Fig. 4's split).
+SearchSpace MakeSpace(size_t levels, size_t versions) {
+  SearchSpace space;
+  for (size_t l = 0; l < levels; ++l) {
+    ComponentSearchSpace c;
+    c.component = "comp" + std::to_string(l);
+    for (size_t v = 0; v < versions; ++v) {
+      pipeline::ComponentVersionSpec s;
+      s.name = c.component;
+      s.version.increment = static_cast<uint32_t>(v);
+      s.kind = l == 0 ? pipeline::ComponentKind::kDataset
+                      : pipeline::ComponentKind::kPreprocessor;
+      s.impl = "impl";
+      // Half the versions speak schema A, half schema B.
+      uint64_t in_schema = l == 0 ? 0 : 100 * l + (v % 2);
+      uint64_t out_schema = 100 * (l + 1) + (v % 2);
+      s.input_schema = in_schema;
+      s.output_schema = out_schema;
+      c.versions.push_back(std::move(s));
+    }
+    space.components.push_back(std::move(c));
+  }
+  return space;
+}
+
+void BM_TreeBuild(benchmark::State& state) {
+  SearchSpace space = MakeSpace(static_cast<size_t>(state.range(0)),
+                                static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    PipelineSearchTree tree = PipelineSearchTree::Build(space);
+    benchmark::DoNotOptimize(tree.NumNodes());
+  }
+  state.counters["candidates"] =
+      static_cast<double>(space.NumCandidates());
+}
+BENCHMARK(BM_TreeBuild)->Args({4, 3})->Args({4, 5})->Args({5, 5})->Args({6, 4});
+
+void BM_TreePrune(benchmark::State& state) {
+  SearchSpace space = MakeSpace(static_cast<size_t>(state.range(0)),
+                                static_cast<size_t>(state.range(1)));
+  CompatLut lut = CompatLut::Build(space);
+  size_t leaves_after = 0;
+  for (auto _ : state) {
+    PipelineSearchTree tree = PipelineSearchTree::Build(space);
+    benchmark::DoNotOptimize(tree.PruneIncompatible(lut));
+    leaves_after = tree.NumLeaves();
+  }
+  state.counters["leaves_before"] =
+      static_cast<double>(space.NumCandidates());
+  state.counters["leaves_after"] = static_cast<double>(leaves_after);
+}
+BENCHMARK(BM_TreePrune)->Args({4, 3})->Args({4, 5})->Args({5, 5})->Args({6, 4});
+
+void BM_CandidateEnumeration(benchmark::State& state) {
+  SearchSpace space = MakeSpace(static_cast<size_t>(state.range(0)),
+                                static_cast<size_t>(state.range(1)));
+  CompatLut lut = CompatLut::Build(space);
+  PipelineSearchTree tree = PipelineSearchTree::Build(space);
+  tree.PruneIncompatible(lut);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Candidates());
+  }
+}
+BENCHMARK(BM_CandidateEnumeration)->Args({5, 5})->Args({6, 4});
+
+void BM_CompatLutBuild(benchmark::State& state) {
+  SearchSpace space = MakeSpace(static_cast<size_t>(state.range(0)),
+                                static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompatLut::Build(space));
+  }
+}
+BENCHMARK(BM_CompatLutBuild)->Args({4, 5})->Args({6, 8});
+
+}  // namespace
+}  // namespace mlcask::merge
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Micro benchmarks for the pipeline executor: chain-key hashing, cache-hit
+// vs cache-miss runs, and table serialization (the artifact materialization
+// format).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "pipeline/executor.h"
+#include "sim/libraries.h"
+#include "sim/workloads.h"
+#include "storage/forkbase_engine.h"
+
+namespace mlcask::pipeline {
+namespace {
+
+void BM_ChainKey(benchmark::State& state) {
+  auto w = sim::MakeWorkload("readmission", 0.05);
+  std::vector<const ComponentVersionSpec*> chain;
+  for (const auto& c : w->initial.components()) chain.push_back(&c);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Executor::ChainKey(chain));
+  }
+}
+BENCHMARK(BM_ChainKey);
+
+void BM_ExecutorCacheHit(benchmark::State& state) {
+  LibraryRegistry registry;
+  if (!sim::RegisterWorkloadLibraries(&registry).ok()) {
+    state.SkipWithError("registry");
+    return;
+  }
+  storage::ForkBaseEngine engine;
+  SimClock clock;
+  Executor executor(&registry, &engine, &clock);
+  auto w = sim::MakeWorkload("readmission", 0.05);
+  ExecutorOptions opts;
+  opts.store_outputs = false;
+  if (!executor.Run(w->initial, opts).ok()) {
+    state.SkipWithError("warm-up run");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.Run(w->initial, opts));
+  }
+}
+BENCHMARK(BM_ExecutorCacheHit);
+
+void BM_ExecutorCacheMiss(benchmark::State& state) {
+  LibraryRegistry registry;
+  if (!sim::RegisterWorkloadLibraries(&registry).ok()) {
+    state.SkipWithError("registry");
+    return;
+  }
+  storage::ForkBaseEngine engine;
+  SimClock clock;
+  auto w = sim::MakeWorkload("readmission", 0.05);
+  ExecutorOptions opts;
+  opts.store_outputs = false;
+  opts.reuse_cached_outputs = false;
+  Executor executor(&registry, &engine, &clock);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.Run(w->initial, opts));
+  }
+}
+BENCHMARK(BM_ExecutorCacheMiss);
+
+void BM_TableSerializeRoundTrip(benchmark::State& state) {
+  auto t = data::GenerateReadmissionData(
+      static_cast<size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    std::string bytes = t->Serialize();
+    auto back = data::Table::Deserialize(bytes);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_TableSerializeRoundTrip)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace mlcask::pipeline
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Time-budgeted merging with prioritized pipeline search (paper Sec. VII-E):
+// when the search space is too large to evaluate exhaustively, MLCask visits
+// the most promising candidates first, so an interrupted search still
+// returns a near-optimal pipeline.
+//
+// Run: ./build/examples/prioritized_budget
+
+#include <cstdio>
+
+#include "merge/prioritized.h"
+#include "sim/scenario.h"
+
+using namespace mlcask;
+
+namespace {
+
+void Check(const Status& s, const char* what) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Prioritized pipeline search under a time budget\n");
+  std::printf("===============================================\n\n");
+
+  auto deployment = sim::MakeDeployment("dpm", /*scale=*/0.1);
+  Check(deployment.status(), "MakeDeployment");
+  sim::Deployment& d = **deployment;
+  Check(sim::BuildTwoBranchScenario(&d).status(), "scenario");
+
+  merge::PrioritizedSearch search(d.repo.get(), d.libraries.get(),
+                                  d.registry.get(), d.engine.get());
+  Check(search.Prepare("master", "dev"), "Prepare");
+  std::printf("%zu candidates after compatibility pruning; %zu have scores "
+              "from history\n\n",
+              search.num_candidates(), search.initial_scores().size());
+
+  const double kBudgetSeconds = 120.0;  // simulated
+  for (merge::SearchMode mode :
+       {merge::SearchMode::kPrioritized, merge::SearchMode::kRandom}) {
+    const char* label =
+        mode == merge::SearchMode::kPrioritized ? "prioritized" : "random";
+    auto trial = search.RunTrial(mode, /*seed=*/7);
+    Check(trial.status(), "RunTrial");
+
+    double best_within_budget = 0;
+    size_t runs_within_budget = 0;
+    for (const auto& step : trial->steps) {
+      if (step.end_time_s <= kBudgetSeconds) {
+        ++runs_within_budget;
+        if (step.score > best_within_budget) best_within_budget = step.score;
+      }
+    }
+    std::printf("%-12s: %zu/%zu candidates inside %.0f simulated s, best "
+                "score %.3f (full-search best %.3f)\n",
+                label, runs_within_budget, trial->steps.size(),
+                kBudgetSeconds, best_within_budget, trial->best_score);
+    std::printf("              optimal found at step %zu of %zu\n",
+                trial->steps_to_optimal, trial->steps.size());
+  }
+
+  std::printf("\nwith an unlimited budget both orders find the same optimum; "
+              "under a tight budget\nthe prioritized order retains most of "
+              "the achievable quality (paper Sec. VII-E).\n");
+  return 0;
+}

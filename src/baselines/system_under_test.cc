@@ -1,0 +1,126 @@
+#include "baselines/system_under_test.h"
+
+#include "common/rng.h"
+#include "common/sha256.h"
+#include "storage/forkbase_engine.h"
+#include "storage/local_dir_engine.h"
+
+namespace mlcask::baselines {
+
+namespace {
+
+std::unique_ptr<storage::StorageEngine> MakeEngine(bool chunk_dedup) {
+  if (chunk_dedup) {
+    return std::make_unique<storage::ForkBaseEngine>();
+  }
+  return std::make_unique<storage::LocalDirEngine>();
+}
+
+}  // namespace
+
+SystemConfig ModelDbConfig() {
+  SystemConfig c;
+  c.name = "modeldb";
+  c.reuse_intermediates = false;  // "has to start all over in every iteration"
+  c.precheck_compatibility = false;
+  c.chunk_dedup_storage = false;  // folder archival
+  return c;
+}
+
+SystemConfig MlflowConfig() {
+  SystemConfig c;
+  c.name = "mlflow";
+  c.reuse_intermediates = true;  // "MLflow is able to reuse intermediate results"
+  c.precheck_compatibility = false;
+  c.chunk_dedup_storage = false;  // folder archival
+  return c;
+}
+
+SystemConfig MlcaskConfig() {
+  SystemConfig c;
+  c.name = "mlcask";
+  c.reuse_intermediates = true;
+  c.precheck_compatibility = true;  // skips doomed runs upfront
+  c.chunk_dedup_storage = true;     // ForkBase
+  return c;
+}
+
+std::string SyntheticExecutable(const pipeline::ComponentVersionSpec& spec,
+                                size_t size) {
+  // Stable base payload per component name.
+  Hash256 name_hash = Sha256::Digest(spec.name);
+  uint64_t base_seed = 0;
+  for (int i = 0; i < 8; ++i) base_seed = (base_seed << 8) | name_hash.bytes[i];
+  Pcg32 base_rng(base_seed);
+  std::string bytes(size, '\0');
+  for (char& c : bytes) c = static_cast<char>(base_rng.NextU32() & 0xff);
+
+  // Version-dependent edits: each (schema, increment) step rewrites a few
+  // scattered 1-KiB regions, mimicking a code change + rebuild.
+  Hash256 version_hash =
+      Sha256::Digest(spec.name + "@" + spec.version.ToString(false));
+  uint64_t edit_seed = 0;
+  for (int i = 0; i < 8; ++i) edit_seed = (edit_seed << 8) | version_hash.bytes[i];
+  Pcg32 edit_rng(edit_seed);
+  size_t num_edits = 2 + spec.version.schema * 2 + spec.version.increment;
+  for (size_t e = 0; e < num_edits && size > 1024; ++e) {
+    size_t offset = edit_rng.Below(static_cast<uint32_t>(size - 1024));
+    for (size_t i = 0; i < 1024; ++i) {
+      bytes[offset + i] = static_cast<char>(edit_rng.NextU32() & 0xff);
+    }
+  }
+  return bytes;
+}
+
+SystemUnderTest::SystemUnderTest(SystemConfig config,
+                                 const pipeline::LibraryRegistry* registry)
+    : config_(std::move(config)),
+      engine_(MakeEngine(config_.chunk_dedup_storage)),
+      executor_(registry, engine_.get(), &clock_) {}
+
+StatusOr<IterationStats> SystemUnderTest::RunIteration(
+    const pipeline::Pipeline& p,
+    const std::vector<pipeline::ComponentVersionSpec>& updated_components) {
+  IterationStats stats;
+  stats.iteration = iteration_++;
+
+  // Archive the updated libraries (metafile + executable). On folder
+  // storage each version is a full copy; on ForkBase the unchanged chunks
+  // de-duplicate ("version control semantics on the libraries", Fig. 7).
+  for (const pipeline::ComponentVersionSpec& spec : updated_components) {
+    std::string payload = spec.ToJson().Dump() +
+                          SyntheticExecutable(spec, config_.executable_bytes);
+    MLCASK_ASSIGN_OR_RETURN(storage::PutResult put,
+                            engine_->Put("library/" + spec.name, payload));
+    stats.time.storage_s += put.storage_time_s;
+    clock_.Advance(put.storage_time_s);
+  }
+
+  pipeline::ExecutorOptions opts;
+  opts.reuse_cached_outputs = config_.reuse_intermediates;
+  opts.precheck_compatibility = config_.precheck_compatibility;
+  opts.store_outputs = true;
+  MLCASK_ASSIGN_OR_RETURN(pipeline::PipelineRunResult run,
+                          executor_.Run(p, opts));
+  stats.time += run.time;
+  if (run.compatibility_failure) {
+    if (config_.precheck_compatibility) {
+      // MLCask detects the conflict before running anything (Fig. 5: "it
+      // does not run the pipeline, which leads to no increase in total
+      // time").
+      stats.skipped_incompatible = true;
+    } else {
+      stats.failed_at_runtime = true;
+    }
+  } else {
+    stats.score = run.score;
+  }
+
+  total_time_s_ += stats.time.Total();
+  stats.total_time_s = total_time_s_;
+  stats.css_bytes = engine_->stats().physical_bytes;
+  stats.cst_s = engine_->stats().storage_time_s;
+  return stats;
+}
+
+}  // namespace mlcask::baselines

@@ -1,0 +1,87 @@
+#ifndef MLCASK_BASELINES_SYSTEM_UNDER_TEST_H_
+#define MLCASK_BASELINES_SYSTEM_UNDER_TEST_H_
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "pipeline/executor.h"
+#include "pipeline/library_registry.h"
+#include "pipeline/pipeline.h"
+#include "storage/storage_engine.h"
+
+namespace mlcask::baselines {
+
+/// The two axes on which the paper distinguishes the evaluated systems
+/// (Sec. VII-B): whether intermediate results are automatically reused, and
+/// whether storage archives folder copies or de-duplicates chunks. MLCask
+/// additionally pre-checks compatibility from version metadata.
+struct SystemConfig {
+  std::string name;
+  bool reuse_intermediates = false;
+  bool precheck_compatibility = false;
+  bool chunk_dedup_storage = false;  ///< true = ForkBase, false = folders.
+  /// Synthetic size of each library executable (the paper's libraries are
+  /// real code + binaries; versions differ by small edits).
+  size_t executable_bytes = 512 * 1024;
+};
+
+/// Accounting for one iteration of the linear-versioning protocol.
+struct IterationStats {
+  int iteration = 0;
+  TimeBreakdown time;           ///< This iteration's time.
+  double total_time_s = 0;      ///< Cumulative total time so far.
+  uint64_t css_bytes = 0;       ///< Cumulative storage size after iteration.
+  double cst_s = 0;             ///< Cumulative storage time so far.
+  bool skipped_incompatible = false;  ///< MLCask pre-check fired.
+  bool failed_at_runtime = false;     ///< Baseline hit the error mid-run.
+  double score = std::nan("");
+};
+
+/// A versioning system under test: a storage engine + executor configured to
+/// behave like ModelDB, MLflow, or MLCask for the linear-versioning
+/// experiments (Figs. 5-7).
+class SystemUnderTest {
+ public:
+  SystemUnderTest(SystemConfig config,
+                  const pipeline::LibraryRegistry* registry);
+
+  /// Runs one iteration: archives updated libraries, then runs the pipeline
+  /// under this system's reuse/precheck semantics.
+  /// `updated_components` lists the components whose version changed since
+  /// the previous iteration (all of them on the first call).
+  StatusOr<IterationStats> RunIteration(
+      const pipeline::Pipeline& p,
+      const std::vector<pipeline::ComponentVersionSpec>& updated_components);
+
+  const std::string& name() const { return config_.name; }
+  const storage::StorageEngine& engine() const { return *engine_; }
+  const SimClock& clock() const { return clock_; }
+
+ private:
+  SystemConfig config_;
+  std::unique_ptr<storage::StorageEngine> engine_;
+  SimClock clock_;
+  pipeline::Executor executor_;
+  int iteration_ = 0;
+  double total_time_s_ = 0;
+};
+
+/// Factory helpers matching the paper's three systems.
+SystemConfig ModelDbConfig();
+SystemConfig MlflowConfig();
+SystemConfig MlcaskConfig();
+
+/// Deterministic synthetic executable bytes for a library version: a stable
+/// per-component base payload with small version-dependent edits, so
+/// consecutive versions are ~99% identical (chunk-level de-duplication can
+/// exploit this; folder archival cannot).
+std::string SyntheticExecutable(const pipeline::ComponentVersionSpec& spec,
+                                size_t size);
+
+}  // namespace mlcask::baselines
+
+#endif  // MLCASK_BASELINES_SYSTEM_UNDER_TEST_H_

@@ -1,0 +1,498 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace mlcask {
+
+Json Json::Bool(bool b) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::Number(double d) {
+  Json j;
+  j.type_ = Type::kNumber;
+  j.num_ = d;
+  return j;
+}
+
+Json Json::Str(std::string s) {
+  Json j;
+  j.type_ = Type::kString;
+  j.str_ = std::move(s);
+  return j;
+}
+
+Json Json::Array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::Object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+bool Json::AsBool() const {
+  MLCASK_CHECK(type_ == Type::kBool);
+  return bool_;
+}
+
+double Json::AsDouble() const {
+  MLCASK_CHECK(type_ == Type::kNumber);
+  return num_;
+}
+
+int64_t Json::AsInt() const {
+  MLCASK_CHECK(type_ == Type::kNumber);
+  return static_cast<int64_t>(std::llround(num_));
+}
+
+const std::string& Json::AsString() const {
+  MLCASK_CHECK(type_ == Type::kString);
+  return str_;
+}
+
+size_t Json::size() const {
+  if (type_ == Type::kArray) return arr_.size();
+  if (type_ == Type::kObject) return obj_.size();
+  return 0;
+}
+
+const Json& Json::at(size_t i) const {
+  MLCASK_CHECK(type_ == Type::kArray && i < arr_.size());
+  return arr_[i];
+}
+
+void Json::Append(Json v) {
+  MLCASK_CHECK(type_ == Type::kArray);
+  arr_.push_back(std::move(v));
+}
+
+const Json* Json::Get(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  auto it = obj_.find(std::string(key));
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+Json& Json::Set(std::string key, Json v) {
+  MLCASK_CHECK(type_ == Type::kObject);
+  obj_[std::move(key)] = std::move(v);
+  return *this;
+}
+
+const std::map<std::string, Json>& Json::items() const {
+  MLCASK_CHECK(type_ == Type::kObject);
+  return obj_;
+}
+
+std::string Json::GetString(std::string_view key, std::string def) const {
+  const Json* v = Get(key);
+  return (v != nullptr && v->is_string()) ? v->str_ : def;
+}
+
+double Json::GetDouble(std::string_view key, double def) const {
+  const Json* v = Get(key);
+  return (v != nullptr && v->is_number()) ? v->num_ : def;
+}
+
+int64_t Json::GetInt(std::string_view key, int64_t def) const {
+  const Json* v = Get(key);
+  return (v != nullptr && v->is_number()) ? v->AsInt() : def;
+}
+
+bool Json::GetBool(std::string_view key, bool def) const {
+  const Json* v = Get(key);
+  return (v != nullptr && v->is_bool()) ? v->bool_ : def;
+}
+
+namespace {
+
+void EscapeInto(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void NumberInto(double d, std::string* out) {
+  // Integers (the common case in metafiles) print without a decimal point.
+  if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    *out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    *out += buf;
+  }
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  const bool pretty = indent > 0;
+  std::string pad(pretty ? static_cast<size_t>(indent * (depth + 1)) : 0, ' ');
+  std::string pad_close(pretty ? static_cast<size_t>(indent * depth) : 0, ' ');
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      NumberInto(num_, out);
+      break;
+    case Type::kString:
+      EscapeInto(str_, out);
+      break;
+    case Type::kArray: {
+      if (arr_.empty()) {
+        *out += "[]";
+        break;
+      }
+      out->push_back('[');
+      bool first = true;
+      for (const Json& v : arr_) {
+        if (!first) out->push_back(',');
+        first = false;
+        if (pretty) {
+          out->push_back('\n');
+          *out += pad;
+        }
+        v.DumpTo(out, indent, depth + 1);
+      }
+      if (pretty) {
+        out->push_back('\n');
+        *out += pad_close;
+      }
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      if (obj_.empty()) {
+        *out += "{}";
+        break;
+      }
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out->push_back(',');
+        first = false;
+        if (pretty) {
+          out->push_back('\n');
+          *out += pad;
+        }
+        EscapeInto(k, out);
+        out->push_back(':');
+        if (pretty) out->push_back(' ');
+        v.DumpTo(out, indent, depth + 1);
+      }
+      if (pretty) {
+        out->push_back('\n');
+        *out += pad_close;
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(&out, /*indent=*/0, /*depth=*/0);
+  return out;
+}
+
+std::string Json::Pretty() const {
+  std::string out;
+  DumpTo(&out, /*indent=*/2, /*depth=*/0);
+  return out;
+}
+
+bool Json::operator==(const Json& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return bool_ == other.bool_;
+    case Type::kNumber:
+      return num_ == other.num_;
+    case Type::kString:
+      return str_ == other.str_;
+    case Type::kArray:
+      return arr_ == other.arr_;
+    case Type::kObject:
+      return obj_ == other.obj_;
+  }
+  return false;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a string_view.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<Json> ParseDocument() {
+    SkipWs();
+    MLCASK_ASSIGN_OR_RETURN(Json v, ParseValue());
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument("json parse error at offset " +
+                                   std::to_string(pos_) + ": " + msg);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<Json> ParseValue() {
+    if (depth_ > kMaxDepth) return Error("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        MLCASK_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return Json::Str(std::move(s));
+      }
+      case 't':
+        if (ConsumeLiteral("true")) return Json::Bool(true);
+        return Error("invalid literal");
+      case 'f':
+        if (ConsumeLiteral("false")) return Json::Bool(false);
+        return Error("invalid literal");
+      case 'n':
+        if (ConsumeLiteral("null")) return Json::Null();
+        return Error("invalid literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  StatusOr<Json> ParseObject() {
+    ++depth_;
+    Consume('{');
+    Json obj = Json::Object();
+    SkipWs();
+    if (Consume('}')) {
+      --depth_;
+      return obj;
+    }
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      MLCASK_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      if (!Consume(':')) return Error("expected ':' after key");
+      MLCASK_ASSIGN_OR_RETURN(Json v, ParseValue());
+      obj.Set(std::move(key), std::move(v));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Error("expected ',' or '}' in object");
+    }
+    --depth_;
+    return obj;
+  }
+
+  StatusOr<Json> ParseArray() {
+    ++depth_;
+    Consume('[');
+    Json arr = Json::Array();
+    SkipWs();
+    if (Consume(']')) {
+      --depth_;
+      return arr;
+    }
+    while (true) {
+      MLCASK_ASSIGN_OR_RETURN(Json v, ParseValue());
+      arr.Append(std::move(v));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) break;
+      return Error("expected ',' or ']' in array");
+    }
+    --depth_;
+    return arr;
+  }
+
+  StatusOr<std::string> ParseString() {
+    Consume('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Error("unterminated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Error("bad hex digit in \\u escape");
+              }
+            }
+            // UTF-8 encode (BMP only; surrogate pairs are not needed for
+            // metafiles but are passed through as replacement bytes).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            } else {
+              out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            }
+            break;
+          }
+          default:
+            return Error("unknown escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  StatusOr<Json> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("invalid number");
+    std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double d = std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size()) return Error("invalid number");
+    return Json::Number(d);
+  }
+
+  static constexpr int kMaxDepth = 200;
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Json> Json::Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace mlcask

@@ -1,0 +1,92 @@
+#ifndef MLCASK_COMMON_JSON_H_
+#define MLCASK_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mlcask {
+
+/// A small self-contained JSON document model, parser, and writer.
+///
+/// Metafiles in MLCask (library metafiles, dataset metafiles, pipeline
+/// metafiles — Sec. III of the paper) are stored as JSON blobs in the storage
+/// engine, so the library needs round-trippable JSON without an external
+/// dependency. Object keys keep deterministic (sorted) order so serialized
+/// metafiles are byte-stable and hash-stable.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+
+  static Json Null() { return Json(); }
+  static Json Bool(bool b);
+  static Json Number(double d);
+  static Json Int(int64_t i) { return Number(static_cast<double>(i)); }
+  static Json Str(std::string s);
+  static Json Array();
+  static Json Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Accessors; preconditions checked with MLCASK_CHECK in the .cc file.
+  bool AsBool() const;
+  double AsDouble() const;
+  int64_t AsInt() const;
+  const std::string& AsString() const;
+
+  /// Array access.
+  size_t size() const;
+  const Json& at(size_t i) const;
+  void Append(Json v);
+
+  /// Object access. `Get` returns nullptr when the key is absent.
+  const Json* Get(std::string_view key) const;
+  Json& Set(std::string key, Json v);
+  bool Has(std::string_view key) const { return Get(key) != nullptr; }
+  const std::map<std::string, Json>& items() const;
+
+  /// Typed object getters with defaults, for concise metafile reading.
+  std::string GetString(std::string_view key, std::string def = "") const;
+  double GetDouble(std::string_view key, double def = 0) const;
+  int64_t GetInt(std::string_view key, int64_t def = 0) const;
+  bool GetBool(std::string_view key, bool def = false) const;
+
+  /// Compact serialization (no whitespace). Deterministic: object keys are
+  /// emitted in sorted order.
+  std::string Dump() const;
+  /// Pretty serialization with 2-space indent.
+  std::string Pretty() const;
+
+  /// Parses a JSON document. Numbers are stored as double (adequate for
+  /// metafiles, which carry small integers and hyperparameters).
+  static StatusOr<Json> Parse(std::string_view text);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::map<std::string, Json> obj_;
+};
+
+}  // namespace mlcask
+
+#endif  // MLCASK_COMMON_JSON_H_

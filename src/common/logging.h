@@ -1,0 +1,53 @@
+#ifndef MLCASK_COMMON_LOGGING_H_
+#define MLCASK_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace mlcask {
+namespace internal_logging {
+
+/// Aborts the process after printing `msg`. Used by the CHECK macros for
+/// invariant violations that indicate programmer error (never data error —
+/// those go through Status).
+[[noreturn]] inline void FatalError(const char* file, int line,
+                                    const std::string& msg) {
+  std::fprintf(stderr, "[mlcask fatal] %s:%d: %s\n", file, line, msg.c_str());
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace mlcask
+
+/// Aborts with a message if `cond` is false. For invariants, not user errors.
+#define MLCASK_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::mlcask::internal_logging::FatalError(__FILE__, __LINE__,        \
+                                             "check failed: " #cond);   \
+    }                                                                   \
+  } while (0)
+
+#define MLCASK_CHECK_MSG(cond, msg)                                     \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream _oss;                                          \
+      _oss << "check failed: " #cond << " — " << msg;                   \
+      ::mlcask::internal_logging::FatalError(__FILE__, __LINE__,        \
+                                             _oss.str());               \
+    }                                                                   \
+  } while (0)
+
+/// Checks that a Status-returning expression is OK; aborts otherwise.
+#define MLCASK_CHECK_OK(expr)                                           \
+  do {                                                                  \
+    ::mlcask::Status _st = (expr);                                      \
+    if (!_st.ok()) {                                                    \
+      ::mlcask::internal_logging::FatalError(                           \
+          __FILE__, __LINE__, "status not ok: " + _st.ToString());      \
+    }                                                                   \
+  } while (0)
+
+#endif  // MLCASK_COMMON_LOGGING_H_

@@ -1,0 +1,15 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace mlcask {
+
+double Pcg32::NextGaussian() {
+  // Box-Muller; rejects u1 == 0 to keep log() finite.
+  double u1 = NextDouble();
+  while (u1 <= 1e-12) u1 = NextDouble();
+  double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace mlcask

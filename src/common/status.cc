@@ -1,0 +1,41 @@
+#include "common/status.h"
+
+namespace mlcask {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kIncompatible:
+      return "incompatible";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace mlcask

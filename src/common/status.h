@@ -1,0 +1,159 @@
+#ifndef MLCASK_COMMON_STATUS_H_
+#define MLCASK_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace mlcask {
+
+/// Error categories used across the library. Mirrors the RocksDB/Arrow
+/// convention of a small closed set of codes plus a human-readable message.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kCorruption,
+  kIncompatible,  ///< Pipeline component compatibility violation (Def. 4).
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns the canonical lower-case name of a status code ("ok", "not_found"...).
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap value type carrying success or an error (code + message).
+///
+/// The library never throws on hot paths; fallible functions return `Status`
+/// or `StatusOr<T>`. Statuses are cheap to copy (small string optimization
+/// covers almost all messages).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Incompatible(std::string msg) {
+    return Status(StatusCode::kIncompatible, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsIncompatible() const { return code_ == StatusCode::kIncompatible; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+
+  /// "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Result type: either a value of T or an error Status. Modeled after
+/// absl::StatusOr / arrow::Result.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value and from error status, so call sites read naturally:
+  ///   return value;            // success
+  ///   return Status::NotFound("...");  // failure
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Checked in debug builds by the standard library.
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  T&& operator*() && { return *std::move(value_); }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// Returns the value or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ has a value.
+  std::optional<T> value_;
+};
+
+/// Propagates errors to the caller: `MLCASK_RETURN_IF_ERROR(DoThing());`
+#define MLCASK_RETURN_IF_ERROR(expr)                 \
+  do {                                               \
+    ::mlcask::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+/// Unwraps a StatusOr into `lhs`, propagating errors:
+/// `MLCASK_ASSIGN_OR_RETURN(auto x, ComputeX());`
+#define MLCASK_ASSIGN_OR_RETURN(lhs, expr)           \
+  MLCASK_ASSIGN_OR_RETURN_IMPL(                      \
+      MLCASK_STATUS_CONCAT(_status_or, __LINE__), lhs, expr)
+
+#define MLCASK_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+#define MLCASK_STATUS_CONCAT(a, b) MLCASK_STATUS_CONCAT_IMPL(a, b)
+#define MLCASK_STATUS_CONCAT_IMPL(a, b) a##b
+
+}  // namespace mlcask
+
+#endif  // MLCASK_COMMON_STATUS_H_

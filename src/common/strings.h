@@ -1,0 +1,36 @@
+#ifndef MLCASK_COMMON_STRINGS_H_
+#define MLCASK_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mlcask {
+
+/// Splits `s` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StrTrim(std::string_view s);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Lower-cases ASCII.
+std::string ToLower(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Parses a non-negative integer; returns false on malformed input.
+bool ParseUint(std::string_view s, uint64_t* out);
+
+}  // namespace mlcask
+
+#endif  // MLCASK_COMMON_STRINGS_H_

@@ -1,0 +1,277 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace mlcask::data {
+
+StatusOr<Table> GenerateReadmissionData(size_t rows, uint64_t seed,
+                                        int schema_version,
+                                        double missing_rate) {
+  if (rows == 0) return Status::InvalidArgument("rows must be positive");
+  Pcg32 rng(seed);
+  const size_t num_labs = schema_version >= 1 ? 10 : 8;
+
+  std::vector<double> age(rows);
+  std::vector<int64_t> num_diag(rows);
+  std::vector<std::vector<double>> labs(num_labs, std::vector<double>(rows));
+  std::vector<std::string> diag_code(rows);
+  std::vector<int64_t> label(rows);
+
+  // Ground-truth logistic weights over the latent (noise-free) lab values.
+  std::vector<double> w(num_labs);
+  Pcg32 wrng(seed ^ 0x9e3779b97f4a7c15ULL);
+  for (double& wi : w) wi = wrng.NextGaussian() * 0.8;
+
+  for (size_t i = 0; i < rows; ++i) {
+    age[i] = std::clamp(55.0 + 18.0 * rng.NextGaussian(), 18.0, 100.0);
+    num_diag[i] = static_cast<int64_t>(rng.Below(12)) + 1;
+    double logit = 0.015 * (age[i] - 55.0) +
+                   0.08 * (static_cast<double>(num_diag[i]) - 6.0) - 0.4;
+    for (size_t j = 0; j < num_labs; ++j) {
+      double latent = rng.NextGaussian();
+      logit += w[j] * latent;
+      double observed = latent + 0.35 * rng.NextGaussian();
+      labs[j][i] = rng.Bernoulli(missing_rate)
+                       ? std::nan("")  // missing lab measurement
+                       : observed;
+    }
+    label[i] = rng.Bernoulli(1.0 / (1.0 + std::exp(-logit))) ? 1 : 0;
+    diag_code[i] = rng.Bernoulli(missing_rate)
+                       ? ""  // missing diagnosis code (cleansing fills these)
+                       : StrFormat("D%03u", rng.Below(40));
+  }
+
+  Table t;
+  MLCASK_RETURN_IF_ERROR(t.AddDoubleColumn("age", std::move(age)));
+  MLCASK_RETURN_IF_ERROR(t.AddIntColumn("num_diagnoses", std::move(num_diag)));
+  for (size_t j = 0; j < num_labs; ++j) {
+    MLCASK_RETURN_IF_ERROR(
+        t.AddDoubleColumn(StrFormat("lab_%zu", j), std::move(labs[j])));
+  }
+  MLCASK_RETURN_IF_ERROR(t.AddStringColumn("diag_code", std::move(diag_code)));
+  MLCASK_RETURN_IF_ERROR(t.AddIntColumn("readmit_30d", std::move(label)));
+  t.SetMeta("domain", "ehr");
+  return t;
+}
+
+StatusOr<Table> GenerateDpmData(size_t patients, size_t visits_per_patient,
+                                uint64_t seed) {
+  if (patients == 0 || visits_per_patient < 2) {
+    return Status::InvalidArgument(
+        "need at least one patient and two visits per patient");
+  }
+  Pcg32 rng(seed);
+  const size_t num_labs = 6;
+  const size_t rows = patients * visits_per_patient;
+
+  std::vector<int64_t> patient_id(rows), visit(rows), label(rows);
+  std::vector<std::vector<double>> labs(num_labs, std::vector<double>(rows));
+
+  for (size_t p = 0; p < patients; ++p) {
+    // Latent disease stage performs a slow random walk over [0, 2]; labs are
+    // noisy directional views of the stage and the progression label's
+    // probability is a logistic function of the current stage (early-stage
+    // patients progress, late-stage ones have plateaued).
+    double stage = rng.Uniform(0.0, 2.0);
+    std::vector<double> lab_offset(num_labs);
+    for (double& o : lab_offset) o = rng.NextGaussian() * 0.25;
+    for (size_t v = 0; v < visits_per_patient; ++v) {
+      size_t i = p * visits_per_patient + v;
+      patient_id[i] = static_cast<int64_t>(p);
+      visit[i] = static_cast<int64_t>(v);
+      for (size_t j = 0; j < num_labs; ++j) {
+        double direction = (j % 2 == 0) ? 1.0 : -1.0;
+        labs[j][i] = direction * stage + lab_offset[j] +
+                     0.4 * rng.NextGaussian();
+      }
+      double p_progress = 1.0 / (1.0 + std::exp(-(2.0 - 3.0 * stage)));
+      label[i] = rng.Bernoulli(p_progress) ? 1 : 0;
+      stage = std::clamp(stage + 0.1 * rng.NextGaussian(), 0.0, 2.0);
+    }
+  }
+
+  Table t;
+  MLCASK_RETURN_IF_ERROR(t.AddIntColumn("patient_id", std::move(patient_id)));
+  MLCASK_RETURN_IF_ERROR(t.AddIntColumn("visit", std::move(visit)));
+  for (size_t j = 0; j < num_labs; ++j) {
+    MLCASK_RETURN_IF_ERROR(
+        t.AddDoubleColumn(StrFormat("lab_%zu", j), std::move(labs[j])));
+  }
+  MLCASK_RETURN_IF_ERROR(t.AddIntColumn("progression", std::move(label)));
+  t.SetMeta("domain", "ehr-longitudinal");
+  return t;
+}
+
+namespace {
+
+const char* kPositiveWords[] = {
+    "wonderful", "superb",  "moving",   "brilliant", "delightful",
+    "masterful", "gripping", "charming", "excellent", "stunning",
+    "joyful",    "powerful", "elegant",  "refreshing", "uplifting"};
+const char* kNegativeWords[] = {
+    "dreadful", "boring",  "clumsy",   "terrible", "bland",
+    "tedious",  "awkward", "shallow",  "painful",  "forgettable",
+    "dull",     "messy",   "lifeless", "grating",  "disappointing"};
+const char* kFillerWords[] = {
+    "the",    "movie",  "film",    "plot",   "actor", "scene",  "story",
+    "camera", "score",  "pacing",  "script", "cast",  "studio", "sequel",
+    "drama",  "comedy", "moment",  "ending", "opening", "character",
+    "director", "visuals", "dialogue", "performance", "soundtrack"};
+
+}  // namespace
+
+StatusOr<Table> GenerateReviews(size_t rows, uint64_t seed, size_t min_tokens,
+                                size_t max_tokens) {
+  if (rows == 0) return Status::InvalidArgument("rows must be positive");
+  if (min_tokens == 0 || max_tokens < min_tokens) {
+    return Status::InvalidArgument("bad token length range");
+  }
+  Pcg32 rng(seed);
+  std::vector<std::string> reviews(rows);
+  std::vector<int64_t> label(rows);
+
+  const size_t n_pos = std::size(kPositiveWords);
+  const size_t n_neg = std::size(kNegativeWords);
+  const size_t n_fill = std::size(kFillerWords);
+
+  for (size_t i = 0; i < rows; ++i) {
+    bool positive = rng.Bernoulli(0.5);
+    label[i] = positive ? 1 : 0;
+    size_t len = min_tokens + rng.Below(static_cast<uint32_t>(
+                                   max_tokens - min_tokens + 1));
+    std::vector<std::string> tokens;
+    tokens.reserve(len);
+    for (size_t k = 0; k < len; ++k) {
+      double r = rng.NextDouble();
+      if (r < 0.22) {
+        // Sentiment-bearing token; 15% chance of the opposite lexicon (noise).
+        bool use_pos = rng.Bernoulli(positive ? 0.85 : 0.15);
+        tokens.push_back(use_pos ? kPositiveWords[rng.Below(n_pos)]
+                                 : kNegativeWords[rng.Below(n_neg)]);
+      } else {
+        tokens.push_back(kFillerWords[rng.Below(n_fill)]);
+      }
+    }
+    reviews[i] = StrJoin(tokens, " ");
+  }
+
+  Table t;
+  MLCASK_RETURN_IF_ERROR(t.AddStringColumn("review", std::move(reviews)));
+  MLCASK_RETURN_IF_ERROR(t.AddIntColumn("sentiment", std::move(label)));
+  t.SetMeta("domain", "text");
+  return t;
+}
+
+namespace {
+
+/// Seven-segment encodings: segments are (a, b, c, d, e, f, g):
+///    aaa
+///   f   b
+///    ggg
+///   e   c
+///    ddd
+constexpr uint8_t kSegments[10] = {
+    0b1111110,  // 0: abcdef
+    0b0110000,  // 1: bc
+    0b1101101,  // 2: abdeg
+    0b1111001,  // 3: abcdg
+    0b0110011,  // 4: bcfg
+    0b1011011,  // 5: acdfg
+    0b1011111,  // 6: acdefg
+    0b1110000,  // 7: abc
+    0b1111111,  // 8: all
+    0b1111011,  // 9: abcdfg
+};
+
+void DrawLine(std::vector<double>* img, size_t side, int x0, int y0, int x1,
+              int y1) {
+  // Thick Bresenham-ish rasterization (2px brush).
+  int dx = std::abs(x1 - x0), dy = std::abs(y1 - y0);
+  int sx = x0 < x1 ? 1 : -1, sy = y0 < y1 ? 1 : -1;
+  int err = dx - dy;
+  int x = x0, y = y0;
+  while (true) {
+    for (int oy = 0; oy <= 1; ++oy) {
+      for (int ox = 0; ox <= 1; ++ox) {
+        int px = x + ox, py = y + oy;
+        if (px >= 0 && py >= 0 && px < static_cast<int>(side) &&
+            py < static_cast<int>(side)) {
+          (*img)[static_cast<size_t>(py) * side + static_cast<size_t>(px)] = 1.0;
+        }
+      }
+    }
+    if (x == x1 && y == y1) break;
+    int e2 = 2 * err;
+    if (e2 > -dy) {
+      err -= dy;
+      x += sx;
+    }
+    if (e2 < dx) {
+      err += dx;
+      y += sy;
+    }
+  }
+}
+
+void DrawDigit(std::vector<double>* img, size_t side, int digit, int jx,
+               int jy) {
+  // Digit occupies roughly a (w x h) box with jitter offset (jx, jy).
+  int w = static_cast<int>(side) / 2;
+  int h = static_cast<int>(side) - 4;
+  int x0 = static_cast<int>(side) / 4 + jx;
+  int y0 = 2 + jy;
+  int xm = x0 + w;
+  int ym0 = y0, ym1 = y0 + h / 2, ym2 = y0 + h;
+  uint8_t seg = kSegments[digit];
+  if (seg & 0b1000000) DrawLine(img, side, x0, ym0, xm, ym0);  // a
+  if (seg & 0b0100000) DrawLine(img, side, xm, ym0, xm, ym1);  // b
+  if (seg & 0b0010000) DrawLine(img, side, xm, ym1, xm, ym2);  // c
+  if (seg & 0b0001000) DrawLine(img, side, x0, ym2, xm, ym2);  // d
+  if (seg & 0b0000100) DrawLine(img, side, x0, ym1, x0, ym2);  // e
+  if (seg & 0b0000010) DrawLine(img, side, x0, ym0, x0, ym1);  // f
+  if (seg & 0b0000001) DrawLine(img, side, x0, ym1, xm, ym1);  // g
+}
+
+}  // namespace
+
+StatusOr<Table> GenerateDigits(size_t rows, size_t side, uint64_t seed) {
+  if (rows == 0) return Status::InvalidArgument("rows must be positive");
+  if (side < 8) return Status::InvalidArgument("side must be >= 8");
+  Pcg32 rng(seed);
+
+  std::vector<std::vector<double>> pixels(side * side,
+                                          std::vector<double>(rows));
+  std::vector<int64_t> digit_col(rows), binary_col(rows);
+  std::vector<double> img(side * side);
+
+  for (size_t i = 0; i < rows; ++i) {
+    int digit = static_cast<int>(rng.Below(10));
+    digit_col[i] = digit;
+    binary_col[i] = digit >= 5 ? 1 : 0;
+    std::fill(img.begin(), img.end(), 0.0);
+    int jx = static_cast<int>(rng.Below(3)) - 1;
+    int jy = static_cast<int>(rng.Below(3)) - 1;
+    DrawDigit(&img, side, digit, jx, jy);
+    for (double& p : img) {
+      p = std::clamp(p + 0.08 * rng.NextGaussian(), 0.0, 1.0);
+    }
+    for (size_t k = 0; k < side * side; ++k) pixels[k][i] = img[k];
+  }
+
+  Table t;
+  for (size_t k = 0; k < side * side; ++k) {
+    MLCASK_RETURN_IF_ERROR(
+        t.AddDoubleColumn(StrFormat("px%zu", k), std::move(pixels[k])));
+  }
+  MLCASK_RETURN_IF_ERROR(t.AddIntColumn("digit", std::move(digit_col)));
+  MLCASK_RETURN_IF_ERROR(t.AddIntColumn("is_ge5", std::move(binary_col)));
+  t.SetMeta("domain", "image");
+  t.SetMeta("shape", StrFormat("%zux%zu", side, side));
+  return t;
+}
+
+}  // namespace mlcask::data

@@ -1,0 +1,47 @@
+#ifndef MLCASK_DATA_GENERATORS_H_
+#define MLCASK_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace mlcask::data {
+
+/// Synthetic stand-ins for the paper's datasets (NUHS EHR extracts, movie
+/// reviews, digit images). All generators are deterministic in `seed` and
+/// expose the schema-evolution hooks the experiments need (extra columns in
+/// later dataset versions).
+
+/// EHR-style readmission table: demographics, lab values with missingness,
+/// a string diagnosis code with some entries blank (the paper's "missing
+/// diagnosis codes"), and a 0/1 readmission label driven by a logistic
+/// ground truth.
+///
+/// `schema_version` 0 is the base schema; 1 adds two extra lab columns
+/// (a dataset schema evolution event).
+StatusOr<Table> GenerateReadmissionData(size_t rows, uint64_t seed,
+                                        int schema_version = 0,
+                                        double missing_rate = 0.08);
+
+/// Longitudinal chronic-kidney-disease table for the DPM pipeline: patients
+/// x visits, lab values following a latent AR(1) disease-stage process with
+/// heavy observation noise, and a per-row label "progresses by next visit".
+StatusOr<Table> GenerateDpmData(size_t patients, size_t visits_per_patient,
+                                uint64_t seed);
+
+/// Movie-review sentiment corpus: a "review" string column and a 0/1
+/// sentiment label; token distributions differ by label through positive /
+/// negative lexicons mixed with shared filler vocabulary.
+StatusOr<Table> GenerateReviews(size_t rows, uint64_t seed,
+                                size_t min_tokens = 20, size_t max_tokens = 60);
+
+/// Seven-segment style digit raster images (side x side, pixel columns
+/// "px0".."pxN"), digit label 0-9 and binary label "is_ge5". Digits are
+/// jittered by translation and pixel noise.
+StatusOr<Table> GenerateDigits(size_t rows, size_t side, uint64_t seed);
+
+}  // namespace mlcask::data
+
+#endif  // MLCASK_DATA_GENERATORS_H_

@@ -1,0 +1,58 @@
+#include "data/schema.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace mlcask::data {
+
+const char* ColumnTypeName(ColumnType t) {
+  switch (t) {
+    case ColumnType::kDouble:
+      return "double";
+    case ColumnType::kInt:
+      return "int";
+    case ColumnType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+int DataSchema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string DataSchema::Canonicalize() const {
+  std::vector<std::string> headers;
+  headers.reserve(fields_.size() + meta_.size());
+  for (const FieldSpec& f : fields_) {
+    headers.push_back(ToLower(std::string(StrTrim(f.name))) + ":" +
+                      ColumnTypeName(f.type));
+  }
+  std::sort(headers.begin(), headers.end());
+  // Meta entries are already key-sorted (std::map) and kept after columns so
+  // relational and non-relational determinants never collide.
+  for (const auto& [k, v] : meta_) {
+    headers.push_back("#" + ToLower(std::string(StrTrim(k))) + "=" + v);
+  }
+  return StrJoin(headers, "|");
+}
+
+Hash256 DataSchema::SchemaHash() const {
+  return Sha256::Digest(Canonicalize());
+}
+
+uint64_t DataSchema::ShortId() const {
+  Hash256 h = SchemaHash();
+  uint64_t id = 0;
+  for (int i = 0; i < 8; ++i) {
+    id = (id << 8) | h.bytes[static_cast<size_t>(i)];
+  }
+  // Reserve 0 as "no schema / source component".
+  return id == 0 ? 1 : id;
+}
+
+}  // namespace mlcask::data

@@ -1,0 +1,85 @@
+#ifndef MLCASK_DATA_TABLE_H_
+#define MLCASK_DATA_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "data/schema.h"
+
+namespace mlcask::data {
+
+/// A typed column: exactly one of the value vectors is populated, chosen by
+/// `type`. Kept as a plain struct — Table enforces the invariants.
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kDouble;
+  std::vector<double> doubles;
+  std::vector<int64_t> ints;
+  std::vector<std::string> strings;
+
+  size_t size() const;
+};
+
+/// A small columnar table — the payload that flows between pipeline
+/// components. Tabular EHR data, bag-of-words text, and flattened images all
+/// travel as tables so the paper's relational schema-hash applies uniformly.
+class Table {
+ public:
+  Table() = default;
+
+  /// Appends a column; all columns must keep equal lengths (checked when
+  /// rows exist).
+  Status AddDoubleColumn(std::string name, std::vector<double> values);
+  Status AddIntColumn(std::string name, std::vector<int64_t> values);
+  Status AddStringColumn(std::string name, std::vector<std::string> values);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+  bool empty() const { return num_rows_ == 0; }
+
+  const std::vector<Column>& columns() const { return columns_; }
+  StatusOr<const Column*> GetColumn(const std::string& name) const;
+  bool HasColumn(const std::string& name) const;
+
+  /// Drops the named column; NotFound if absent.
+  Status DropColumn(const std::string& name);
+
+  /// The table's schema (column names/types plus any meta).
+  DataSchema schema() const;
+
+  /// Attaches non-relational meta (image shape, vocab size, ...) that
+  /// participates in the schema hash.
+  void SetMeta(std::string key, std::string value);
+  const std::map<std::string, std::string>& meta() const { return meta_; }
+
+  /// Extracts the named double columns as a row-major matrix buffer.
+  StatusOr<std::vector<double>> ToRowMajor(
+      const std::vector<std::string>& column_names) const;
+
+  /// All double-typed columns, in declaration order.
+  std::vector<std::string> DoubleColumnNames() const;
+
+  /// Deterministic binary serialization (artifact materialization format).
+  std::string Serialize() const;
+  static StatusOr<Table> Deserialize(std::string_view bytes);
+
+  /// Total payload bytes (used by the storage-time model before
+  /// serialization is needed).
+  uint64_t ByteSize() const;
+
+  bool operator==(const Table& other) const;
+
+ private:
+  Status CheckLength(size_t len) const;
+
+  std::vector<Column> columns_;
+  std::map<std::string, std::string> meta_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace mlcask::data
+
+#endif  // MLCASK_DATA_TABLE_H_

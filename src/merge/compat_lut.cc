@@ -1,0 +1,26 @@
+#include "merge/compat_lut.h"
+
+namespace mlcask::merge {
+
+CompatLut CompatLut::Build(const SearchSpace& space) {
+  CompatLut lut;
+  for (size_t level = 0; level + 1 < space.components.size(); ++level) {
+    const ComponentSearchSpace& parents = space.components[level];
+    const ComponentSearchSpace& children = space.components[level + 1];
+    for (const pipeline::ComponentVersionSpec& p : parents.versions) {
+      for (const pipeline::ComponentVersionSpec& c : children.versions) {
+        if (p.CompatibleWith(c)) {
+          lut.pairs_.emplace(p.Key(), c.Key());
+        }
+      }
+    }
+  }
+  return lut;
+}
+
+bool CompatLut::Compatible(const pipeline::ComponentVersionSpec& parent,
+                           const pipeline::ComponentVersionSpec& child) const {
+  return pairs_.count({parent.Key(), child.Key()}) != 0;
+}
+
+}  // namespace mlcask::merge

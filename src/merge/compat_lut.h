@@ -1,0 +1,38 @@
+#ifndef MLCASK_MERGE_COMPAT_LUT_H_
+#define MLCASK_MERGE_COMPAT_LUT_H_
+
+#include <set>
+#include <string>
+#include <utility>
+
+#include "merge/search_space.h"
+#include "pipeline/component.h"
+
+namespace mlcask::merge {
+
+/// The compatibility look-up table of Sec. VI-A: 2-tuples of (component
+/// version, compatible succeeding component version), evaluated from the
+/// version history. Pruning the search tree against this table removes every
+/// pipeline that is "destined to fail in execution".
+class CompatLut {
+ public:
+  /// Builds the LUT from a search space: for every consecutive component
+  /// pair (f_i, f_{i+1}) and every version pair, record the pair iff the
+  /// semantic-version rule holds (the successor consumes exactly the schema
+  /// the predecessor produces).
+  static CompatLut Build(const SearchSpace& space);
+
+  /// True iff (parent, child) is a recorded compatible pair.
+  bool Compatible(const pipeline::ComponentVersionSpec& parent,
+                  const pipeline::ComponentVersionSpec& child) const;
+
+  /// Number of compatible pairs recorded.
+  size_t size() const { return pairs_.size(); }
+
+ private:
+  std::set<std::pair<std::string, std::string>> pairs_;  // (parent, child) keys
+};
+
+}  // namespace mlcask::merge
+
+#endif  // MLCASK_MERGE_COMPAT_LUT_H_

@@ -1,0 +1,190 @@
+#include "merge/merge_op.h"
+
+#include <set>
+
+#include "merge/compat_lut.h"
+#include "pipeline/checkout.h"
+
+namespace mlcask::merge {
+
+Status MergeOperation::SeedCheckpoints(pipeline::Executor* executor,
+                                       const SearchSpace& space,
+                                       const std::string& head_branch,
+                                       const std::string& merge_branch,
+                                       std::set<Hash256>* checkpoint_keys) {
+  // Checkpoints come from every pipeline trained in the history relevant to
+  // the merge: the common ancestor plus the commits on both branches.
+  std::vector<const version::Commit*> commits;
+  MLCASK_ASSIGN_OR_RETURN(const version::Commit* ancestor,
+                          repo_->Get(space.common_ancestor));
+  commits.push_back(ancestor);
+  for (const std::string& branch : {head_branch, merge_branch}) {
+    MLCASK_ASSIGN_OR_RETURN(const version::Commit* head, repo_->Head(branch));
+    for (const version::Commit* c :
+         repo_->graph().CommitsSince(head->id, space.common_ancestor)) {
+      commits.push_back(c);
+    }
+  }
+  for (const version::Commit* commit : commits) {
+    MLCASK_RETURN_IF_ERROR(pipeline::SeedExecutorFromCommit(
+        *commit, *libraries_, engine_, executor, checkpoint_keys));
+  }
+  return Status::Ok();
+}
+
+StatusOr<MergeReport> MergeOperation::Merge(const std::string& head_branch,
+                                            const std::string& merge_branch,
+                                            const MergeOptions& options) {
+  MergeReport report;
+
+  MLCASK_ASSIGN_OR_RETURN(bool ff,
+                          repo_->CanFastForward(head_branch, merge_branch));
+  MLCASK_ASSIGN_OR_RETURN(const version::Commit* merge_head,
+                          repo_->Head(merge_branch));
+  if (ff) {
+    // Fast-forward (Fig. 2): duplicate MERGE_HEAD's latest version onto the
+    // base branch with both parents; no search needed.
+    report.fast_forward = true;
+    report.best_score = merge_head->snapshot.score;
+    report.metric = merge_head->snapshot.metric;
+    MLCASK_ASSIGN_OR_RETURN(
+        report.merge_commit,
+        repo_->CommitMerge(head_branch, merge_head->id, merge_head->snapshot,
+                           options.author,
+                           "fast-forward merge of " + merge_branch));
+    return report;
+  }
+
+  MLCASK_ASSIGN_OR_RETURN(
+      SearchSpace space,
+      BuildSearchSpace(*repo_, *libraries_, head_branch, merge_branch));
+  report.common_ancestor = space.common_ancestor;
+  report.candidates_total = space.NumCandidates();
+
+  PipelineSearchTree tree = PipelineSearchTree::Build(space);
+  report.tree_nodes_before_pruning = tree.NumNodes();
+
+  if (options.prune_compatibility) {
+    CompatLut lut = CompatLut::Build(space);
+    report.pruned_by_compatibility = tree.PruneIncompatible(lut);
+  }
+
+  pipeline::Executor executor(registry_, engine_, clock_);
+  std::set<Hash256> checkpoint_keys;
+  if (options.reuse_outputs) {
+    MLCASK_RETURN_IF_ERROR(SeedCheckpoints(&executor, space, head_branch,
+                                           merge_branch, &checkpoint_keys));
+    report.checkpoints_marked =
+        tree.MarkCheckpoints([&](const CandidateChain& chain) {
+          return checkpoint_keys.count(pipeline::Executor::ChainKey(chain)) !=
+                 0;
+        });
+  }
+
+  MLCASK_ASSIGN_OR_RETURN(const version::Commit* head_commit,
+                          repo_->Head(head_branch));
+  const std::string pipeline_name = repo_->name();
+  (void)head_commit;
+
+  std::vector<CandidateChain> candidates = tree.Candidates();
+  report.candidates_considered = candidates.size();
+
+  const uint64_t bytes_before = engine_->stats().physical_bytes;
+  const double clock_start = clock_ != nullptr ? clock_->Now() : 0;
+
+  pipeline::ExecutorOptions eo;
+  eo.reuse_cached_outputs = options.reuse_outputs;
+  // Runtime discovery of incompatibility: when PC pruning is on the
+  // remaining candidates are all compatible anyway; when it is off the
+  // incompatible ones must burn upstream compute before failing, exactly as
+  // "MLCask w/o PCPR" does in Sec. VII-D.
+  eo.precheck_compatibility = false;
+  eo.store_outputs = options.store_trial_outputs;
+  eo.seed = options.seed;
+
+  version::PipelineSnapshot best_snapshot;
+  for (const CandidateChain& chain : candidates) {
+    std::vector<pipeline::ComponentVersionSpec> specs;
+    specs.reserve(chain.size());
+    for (const pipeline::ComponentVersionSpec* s : chain) specs.push_back(*s);
+    MLCASK_ASSIGN_OR_RETURN(pipeline::Pipeline p,
+                            pipeline::Pipeline::Chain(pipeline_name, specs));
+
+    MLCASK_ASSIGN_OR_RETURN(pipeline::PipelineRunResult run,
+                            executor.Run(p, eo));
+    CandidateOutcome outcome;
+    outcome.chain = chain;
+    outcome.incompatible = run.compatibility_failure;
+    outcome.metrics = run.metrics;
+    outcome.time = run.time;
+    outcome.end_time_s = (clock_ != nullptr ? clock_->Now() : 0) - clock_start;
+    report.total_time += run.time;
+
+    // The objective: the primary score, or the named metric when the user
+    // asked to optimize a specific one.
+    double objective = run.score;
+    std::string objective_name = run.metric;
+    if (!options.optimize_metric.empty()) {
+      auto it = run.metrics.find(options.optimize_metric);
+      if (it == run.metrics.end() && !run.compatibility_failure) {
+        return Status::InvalidArgument(
+            "candidate does not report metric '" + options.optimize_metric +
+            "'");
+      }
+      objective = it != run.metrics.end() ? it->second : std::nan("");
+      objective_name = options.optimize_metric;
+    }
+    outcome.score = objective;
+
+    if (!run.compatibility_failure && !std::isnan(objective) &&
+        (std::isnan(report.best_score) || objective > report.best_score)) {
+      report.best_score = objective;
+      report.metric = objective_name;
+      report.best_index = static_cast<int>(report.outcomes.size());
+      best_snapshot = run.snapshot;
+    }
+    report.outcomes.push_back(std::move(outcome));
+  }
+  report.component_executions = executor.executions();
+
+  if (report.best_index < 0) {
+    return Status::FailedPrecondition(
+        "merge found no feasible pipeline candidate");
+  }
+
+  // MLCask keeps trial outputs local; only the merge result is persisted
+  // ("saves the final optimal pipeline only once", Sec. VII-D).
+  if (!options.store_trial_outputs) {
+    const CandidateChain& winner = report.outcomes[static_cast<size_t>(
+                                                       report.best_index)]
+                                       .chain;
+    CandidateChain prefix;
+    for (size_t i = 0; i < winner.size(); ++i) {
+      prefix.push_back(winner[i]);
+      const data::Table* table = executor.FindCached(prefix);
+      if (table == nullptr) continue;
+      MLCASK_ASSIGN_OR_RETURN(
+          storage::PutResult put,
+          engine_->Put("artifact/" + pipeline_name + "/" + winner[i]->Key(),
+                       table->Serialize()));
+      report.total_time.storage_s += put.storage_time_s;
+      if (clock_ != nullptr) clock_->Advance(put.storage_time_s);
+      if (i < best_snapshot.components.size()) {
+        best_snapshot.components[i].output_id = put.id;
+      }
+    }
+  }
+  report.storage_bytes = engine_->stats().physical_bytes - bytes_before;
+
+  MLCASK_ASSIGN_OR_RETURN(
+      report.merge_commit,
+      repo_->CommitMerge(head_branch, merge_head->id, best_snapshot,
+                         options.author,
+                         "metric-driven merge of " + merge_branch));
+  // Transfer ownership of the specs the candidate chains point into; moving
+  // the vectors preserves their heap buffers, so the pointers stay valid.
+  report.search_space = std::move(space);
+  return report;
+}
+
+}  // namespace mlcask::merge

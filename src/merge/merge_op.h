@@ -1,0 +1,111 @@
+#ifndef MLCASK_MERGE_MERGE_OP_H_
+#define MLCASK_MERGE_MERGE_OP_H_
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "merge/search_space.h"
+#include "merge/search_tree.h"
+#include "pipeline/executor.h"
+#include "pipeline/library_repo.h"
+#include "storage/storage_engine.h"
+#include "version/pipeline_repo.h"
+
+namespace mlcask::merge {
+
+/// Ablation knobs matching the paper's evaluation arms (Sec. VII-B):
+///  - MLCask:            prune_compatibility=true,  reuse_outputs=true
+///  - MLCask w/o PR:     prune_compatibility=true,  reuse_outputs=false
+///  - MLCask w/o PCPR:   prune_compatibility=false, reuse_outputs=false
+struct MergeOptions {
+  bool prune_compatibility = true;  ///< PC: prune via the compatibility LUT.
+  bool reuse_outputs = true;        ///< PR: reuse checkpoints + tree outputs.
+  /// Whether trial runs archive every component output to storage. MLCask
+  /// keeps trial outputs local and materializes only the winner; the
+  /// ablation arms archive like the folder-based baselines do.
+  bool store_trial_outputs = false;
+  /// Which metric to maximize. Empty selects each pipeline's primary score;
+  /// otherwise the named entry of the model's metric set is used (Sec. V:
+  /// different metrics can yield different optimal merge results).
+  std::string optimize_metric;
+  uint64_t seed = 1;
+  std::string author = "mlcask";
+};
+
+/// One executed (or skipped) pre-merge pipeline candidate.
+struct CandidateOutcome {
+  CandidateChain chain;
+  double score = std::nan("");
+  std::map<std::string, double> metrics;  ///< Full metric set, if evaluated.
+  TimeBreakdown time;
+  bool incompatible = false;  ///< Failed (or would fail) at runtime.
+  double end_time_s = 0;      ///< Sim-clock offset when this candidate finished.
+};
+
+/// Full accounting of a metric-driven merge.
+struct MergeReport {
+  bool fast_forward = false;
+  Hash256 common_ancestor;
+  size_t tree_nodes_before_pruning = 0;
+  size_t pruned_by_compatibility = 0;
+  size_t checkpoints_marked = 0;
+  size_t candidates_total = 0;      ///< Upper bound before PC pruning.
+  size_t candidates_considered = 0; ///< Actually walked by Algorithm 2.
+  uint64_t component_executions = 0;
+  std::vector<CandidateOutcome> outcomes;
+  int best_index = -1;
+  double best_score = std::nan("");
+  std::string metric;
+  TimeBreakdown total_time;  ///< CET/CST components; CPT = Total().
+  uint64_t storage_bytes = 0;  ///< Bytes written during merge (CSS delta).
+  Hash256 merge_commit;
+  /// Owns the component specs that every CandidateChain in `outcomes` points
+  /// into — keeps those pointers valid for the lifetime of the report.
+  SearchSpace search_space;
+};
+
+/// The metric-driven merge operation (Sec. V-VI): builds the component
+/// search space from both branches' history since the common ancestor,
+/// constructs the pipeline search tree (Algorithm 1), prunes it (PC),
+/// seeds checkpoints (PR), executes the candidates depth-first
+/// (Algorithm 2), and commits the argmax-score pipeline as a two-parent
+/// merge commit.
+class MergeOperation {
+ public:
+  MergeOperation(version::PipelineRepo* repo, pipeline::LibraryRepo* libraries,
+                 const pipeline::LibraryRegistry* registry,
+                 storage::StorageEngine* engine, SimClock* clock)
+      : repo_(repo),
+        libraries_(libraries),
+        registry_(registry),
+        engine_(engine),
+        clock_(clock) {}
+
+  /// Merges `merge_branch` into `head_branch`. Handles fast-forward when
+  /// possible; otherwise performs the metric-driven search.
+  StatusOr<MergeReport> Merge(const std::string& head_branch,
+                              const std::string& merge_branch,
+                              const MergeOptions& options);
+
+ private:
+  /// Seeds the executor cache with checkpoints recorded in the history of
+  /// both branches (the green nodes of Fig. 4).
+  Status SeedCheckpoints(pipeline::Executor* executor,
+                         const SearchSpace& space,
+                         const std::string& head_branch,
+                         const std::string& merge_branch,
+                         std::set<Hash256>* checkpoint_keys);
+
+  version::PipelineRepo* repo_;
+  pipeline::LibraryRepo* libraries_;
+  const pipeline::LibraryRegistry* registry_;
+  storage::StorageEngine* engine_;
+  SimClock* clock_;
+};
+
+}  // namespace mlcask::merge
+
+#endif  // MLCASK_MERGE_MERGE_OP_H_

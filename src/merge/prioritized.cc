@@ -1,0 +1,262 @@
+#include "merge/prioritized.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "merge/compat_lut.h"
+#include "pipeline/checkout.h"
+
+namespace mlcask::merge {
+
+Status PrioritizedSearch::Prepare(const std::string& head_branch,
+                                  const std::string& merge_branch) {
+  head_branch_ = head_branch;
+  merge_branch_ = merge_branch;
+
+  MLCASK_ASSIGN_OR_RETURN(
+      SearchSpace space,
+      BuildSearchSpace(*repo_, *libraries_, head_branch, merge_branch));
+  space_ = std::make_unique<SearchSpace>(std::move(space));
+
+  tree_ = std::make_unique<PipelineSearchTree>(
+      PipelineSearchTree::Build(*space_));
+  CompatLut lut = CompatLut::Build(*space_);
+  tree_->PruneIncompatible(lut);
+
+  // Index leaves by candidate order (the DFS enumeration order).
+  candidates_ = tree_->Candidates();
+  leaf_index_.clear();
+  {
+    size_t next = 0;
+    // Walk the tree in the same DFS order Candidates() uses.
+    std::function<void(const TreeNode*)> walk = [&](const TreeNode* node) {
+      if (node->is_leaf() && node->spec != nullptr) {
+        leaf_index_[node] = next++;
+        return;
+      }
+      for (const auto& child : node->children) walk(child.get());
+    };
+    walk(tree_->root());
+  }
+
+  // Initial scores from pipelines trained in history on either branch.
+  initial_scores_.clear();
+  auto chain_key = [](const CandidateChain& chain) {
+    return pipeline::Executor::ChainKey(chain);
+  };
+  std::unordered_map<Hash256, size_t, Hash256Hasher> key_to_index;
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    key_to_index[chain_key(candidates_[i])] = i;
+  }
+  MLCASK_ASSIGN_OR_RETURN(const version::Commit* ancestor,
+                          repo_->Get(space_->common_ancestor));
+  std::vector<const version::Commit*> commits{ancestor};
+  for (const std::string& branch : {head_branch, merge_branch}) {
+    MLCASK_ASSIGN_OR_RETURN(const version::Commit* head, repo_->Head(branch));
+    for (const version::Commit* c :
+         repo_->graph().CommitsSince(head->id, space_->common_ancestor)) {
+      commits.push_back(c);
+    }
+  }
+  for (const version::Commit* commit : commits) {
+    if (!commit->snapshot.has_score()) continue;
+    std::vector<const pipeline::ComponentVersionSpec*> chain;
+    bool resolved = true;
+    std::vector<const pipeline::ComponentVersionSpec*> ptrs;
+    for (const version::ComponentRecord& rec : commit->snapshot.components) {
+      auto spec = libraries_->Get(rec.name, rec.version);
+      if (!spec.ok()) {
+        resolved = false;
+        break;
+      }
+      ptrs.push_back(*spec);
+    }
+    (void)chain;
+    if (!resolved) continue;
+    auto it = key_to_index.find(pipeline::Executor::ChainKey(ptrs));
+    if (it != key_to_index.end()) {
+      initial_scores_[it->second] = commit->snapshot.score;
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<SearchStep> PrioritizedSearch::RunCandidate(
+    pipeline::Executor* executor, SimClock* clock, size_t index,
+    uint64_t seed) {
+  const CandidateChain& chain = candidates_[index];
+  std::vector<pipeline::ComponentVersionSpec> specs;
+  specs.reserve(chain.size());
+  for (const pipeline::ComponentVersionSpec* s : chain) specs.push_back(*s);
+  MLCASK_ASSIGN_OR_RETURN(pipeline::Pipeline p,
+                          pipeline::Pipeline::Chain(repo_->name(), specs));
+  pipeline::ExecutorOptions eo;
+  eo.reuse_cached_outputs = true;
+  eo.precheck_compatibility = false;  // tree is already PC-pruned
+  eo.store_outputs = false;           // trials stay local
+  eo.seed = seed;
+  MLCASK_ASSIGN_OR_RETURN(pipeline::PipelineRunResult run,
+                          executor->Run(p, eo));
+  SearchStep step;
+  step.candidate_index = index;
+  step.end_time_s = clock->Now();
+  step.score = run.has_score() ? run.score : 0.0;
+  return step;
+}
+
+StatusOr<TrialResult> PrioritizedSearch::RunTrial(SearchMode mode,
+                                                  uint64_t seed) {
+  if (tree_ == nullptr) {
+    return Status::FailedPrecondition("Prepare() must be called first");
+  }
+  SimClock clock;
+  pipeline::Executor executor(registry_, engine_, &clock);
+
+  // PR: seed the executor with checkpoints from history so shared prefixes
+  // are free, exactly as the real merge does.
+  {
+    MLCASK_ASSIGN_OR_RETURN(const version::Commit* ancestor,
+                            repo_->Get(space_->common_ancestor));
+    std::vector<const version::Commit*> commits{ancestor};
+    for (const std::string& branch : {head_branch_, merge_branch_}) {
+      MLCASK_ASSIGN_OR_RETURN(const version::Commit* head,
+                              repo_->Head(branch));
+      for (const version::Commit* c :
+           repo_->graph().CommitsSince(head->id, space_->common_ancestor)) {
+        commits.push_back(c);
+      }
+    }
+    for (const version::Commit* commit : commits) {
+      MLCASK_RETURN_IF_ERROR(pipeline::SeedExecutorFromCommit(
+          *commit, *libraries_, engine_, &executor));
+    }
+  }
+
+  TrialResult trial;
+  Pcg32 rng(seed);
+
+  if (mode == SearchMode::kRandom) {
+    std::vector<size_t> order(candidates_.size());
+    std::iota(order.begin(), order.end(), 0);
+    rng.Shuffle(&order);
+    for (size_t index : order) {
+      MLCASK_ASSIGN_OR_RETURN(SearchStep step,
+                              RunCandidate(&executor, &clock, index, seed));
+      trial.steps.push_back(step);
+    }
+  } else {
+    // Per-trial mutable node state.
+    std::unordered_map<const TreeNode*, double> score;
+    std::unordered_map<const TreeNode*, size_t> unrun;
+    std::unordered_map<const TreeNode*, const TreeNode*> parent;
+
+    std::function<size_t(const TreeNode*)> init = [&](const TreeNode* node) {
+      if (node->is_leaf() && node->spec != nullptr) {
+        unrun[node] = 1;
+        auto it = leaf_index_.find(node);
+        if (it != leaf_index_.end()) {
+          auto is = initial_scores_.find(it->second);
+          if (is != initial_scores_.end()) score[node] = is->second;
+        }
+        return size_t{1};
+      }
+      size_t total = 0;
+      for (const auto& child : node->children) {
+        parent[child.get()] = node;
+        total += init(child.get());
+      }
+      unrun[node] = total;
+      return total;
+    };
+    init(tree_->root());
+
+    // Propagate initial scores: parent = mean of scored children.
+    std::function<void(const TreeNode*)> propagate = [&](const TreeNode* node) {
+      if (node->is_leaf()) return;
+      double sum = 0;
+      size_t n = 0;
+      for (const auto& child : node->children) {
+        propagate(child.get());
+        auto it = score.find(child.get());
+        if (it != score.end()) {
+          sum += it->second;
+          ++n;
+        }
+      }
+      if (n > 0) score[node] = sum / static_cast<double>(n);
+    };
+    propagate(tree_->root());
+
+    while (unrun[tree_->root()] > 0) {
+      // Greedy descent to the best-scoring unrun leaf.
+      const TreeNode* node = tree_->root();
+      while (!node->is_leaf()) {
+        const TreeNode* best = nullptr;
+        double best_score = -1;
+        size_t ties = 0;
+        double inherit = 0.5;
+        auto self = score.find(node);
+        if (self != score.end()) inherit = self->second;
+        for (const auto& child : node->children) {
+          if (unrun[child.get()] == 0) continue;
+          auto it = score.find(child.get());
+          double s = it != score.end() ? it->second : inherit;
+          if (best == nullptr || s > best_score) {
+            best = child.get();
+            best_score = s;
+            ties = 1;
+          } else if (s == best_score) {
+            // Reservoir-style random tie-break keeps trials diverse.
+            ++ties;
+            if (rng.Below(static_cast<uint32_t>(ties)) == 0) {
+              best = child.get();
+            }
+          }
+        }
+        node = best;
+      }
+
+      size_t index = leaf_index_.at(node);
+      MLCASK_ASSIGN_OR_RETURN(SearchStep step,
+                              RunCandidate(&executor, &clock, index, seed));
+      trial.steps.push_back(step);
+      score[node] = step.score;
+
+      // Decrement unrun along the path and refresh ancestor scores.
+      const TreeNode* cur = node;
+      while (cur != nullptr) {
+        unrun[cur] -= 1;
+        auto pit = parent.find(cur);
+        cur = pit == parent.end() ? nullptr : pit->second;
+        if (cur != nullptr) {
+          double sum = 0;
+          size_t n = 0;
+          for (const auto& child : cur->children) {
+            auto it = score.find(child.get());
+            if (it != score.end()) {
+              sum += it->second;
+              ++n;
+            }
+          }
+          if (n > 0) score[cur] = sum / static_cast<double>(n);
+        }
+      }
+    }
+  }
+
+  trial.best_score = 0;
+  for (const SearchStep& s : trial.steps) {
+    trial.best_score = std::max(trial.best_score, s.score);
+  }
+  for (size_t i = 0; i < trial.steps.size(); ++i) {
+    if (trial.steps[i].score == trial.best_score) {
+      trial.steps_to_optimal = i + 1;
+      break;
+    }
+  }
+  return trial;
+}
+
+}  // namespace mlcask::merge

@@ -1,0 +1,106 @@
+#include "ml/adaboost.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mlcask::ml {
+
+Status AdaBoost::Fit(const Matrix& x, const std::vector<double>& y,
+                     const AdaBoostConfig& config) {
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("rows/labels mismatch in AdaBoost::Fit");
+  }
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  if (config.rounds <= 0) {
+    return Status::InvalidArgument("rounds must be positive");
+  }
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+
+  // Labels to {-1, +1}.
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) labels[i] = y[i] > 0.5 ? 1 : -1;
+
+  // Candidate thresholds: per-feature quantiles.
+  std::vector<std::vector<double>> candidates(d);
+  {
+    std::vector<double> col(n);
+    for (size_t j = 0; j < d; ++j) {
+      for (size_t i = 0; i < n; ++i) col[i] = x.At(i, j);
+      std::sort(col.begin(), col.end());
+      size_t steps = std::min(config.thresholds_per_feature, n);
+      for (size_t q = 0; q < steps; ++q) {
+        candidates[j].push_back(col[(n - 1) * (q + 1) / (steps + 1)]);
+      }
+      candidates[j].erase(
+          std::unique(candidates[j].begin(), candidates[j].end()),
+          candidates[j].end());
+    }
+  }
+
+  std::vector<double> w(n, 1.0 / static_cast<double>(n));
+  stumps_.clear();
+
+  for (int round = 0; round < config.rounds; ++round) {
+    DecisionStump best;
+    double best_err = 1.0;
+    for (size_t j = 0; j < d; ++j) {
+      for (double thr : candidates[j]) {
+        double err_pos = 0;  // error of polarity=+1 stump
+        for (size_t i = 0; i < n; ++i) {
+          int pred = x.At(i, j) >= thr ? 1 : -1;
+          if (pred != labels[i]) err_pos += w[i];
+        }
+        // polarity=-1 stump has complementary error.
+        if (err_pos < best_err) {
+          best_err = err_pos;
+          best = {j, thr, 1, 0};
+        }
+        if (1.0 - err_pos < best_err) {
+          best_err = 1.0 - err_pos;
+          best = {j, thr, -1, 0};
+        }
+      }
+    }
+    final_round_error_ = best_err;
+    double eps = std::clamp(best_err, 1e-10, 1.0 - 1e-10);
+    best.weight = 0.5 * std::log((1.0 - eps) / eps);
+    stumps_.push_back(best);
+    if (best_err >= 0.5) break;  // no weak learner better than chance
+
+    // Re-weight.
+    double norm = 0;
+    for (size_t i = 0; i < n; ++i) {
+      int pred = best.Predict(x.Row(i));
+      w[i] *= std::exp(-best.weight * pred * labels[i]);
+      norm += w[i];
+    }
+    if (norm <= 0) break;
+    for (double& wi : w) wi /= norm;
+    if (best_err < 1e-9) break;  // perfect separation
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<double>> AdaBoost::PredictProba(const Matrix& x) const {
+  if (!fitted()) {
+    return Status::FailedPrecondition("AdaBoost not fitted");
+  }
+  std::vector<double> out;
+  out.reserve(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    double margin = 0;
+    for (const DecisionStump& s : stumps_) {
+      if (s.feature >= x.cols()) {
+        return Status::InvalidArgument("feature width mismatch in AdaBoost");
+      }
+      margin += s.weight * s.Predict(x.Row(i));
+    }
+    out.push_back(1.0 / (1.0 + std::exp(-2.0 * margin)));
+  }
+  return out;
+}
+
+}  // namespace mlcask::ml

@@ -1,0 +1,55 @@
+#ifndef MLCASK_ML_ADABOOST_H_
+#define MLCASK_ML_ADABOOST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/matrix.h"
+
+namespace mlcask::ml {
+
+/// A single-feature threshold classifier: predicts `polarity` when
+/// x[feature] >= threshold, else -polarity (labels in {-1, +1}).
+struct DecisionStump {
+  size_t feature = 0;
+  double threshold = 0;
+  int polarity = 1;
+  double weight = 0;  ///< Alpha in the boosted ensemble.
+
+  int Predict(const double* row) const {
+    return (row[feature] >= threshold) ? polarity : -polarity;
+  }
+};
+
+/// Configuration for AdaBoost training.
+struct AdaBoostConfig {
+  int rounds = 30;
+  /// Candidate thresholds sampled per feature (quantiles of the feature).
+  size_t thresholds_per_feature = 16;
+};
+
+/// Discrete AdaBoost over decision stumps — the classifier of the paper's
+/// Autolearn pipeline ("an AdaBoost classifier is built for the image
+/// classification task"). Binary labels are given as 0/1.
+class AdaBoost {
+ public:
+  Status Fit(const Matrix& x, const std::vector<double>& y,
+             const AdaBoostConfig& config);
+
+  /// Ensemble margin mapped through a logistic to [0,1] (acts like a score).
+  StatusOr<std::vector<double>> PredictProba(const Matrix& x) const;
+
+  bool fitted() const { return !stumps_.empty(); }
+  const std::vector<DecisionStump>& stumps() const { return stumps_; }
+  /// Weighted training error of the final round's stump.
+  double final_round_error() const { return final_round_error_; }
+
+ private:
+  std::vector<DecisionStump> stumps_;
+  double final_round_error_ = 0.5;
+};
+
+}  // namespace mlcask::ml
+
+#endif  // MLCASK_ML_ADABOOST_H_

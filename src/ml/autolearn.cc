@@ -1,0 +1,130 @@
+#include "ml/autolearn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mlcask::ml {
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  const double n = static_cast<double>(a.size());
+  double ma = 0, mb = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0, va = 0, vb = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double da = a[i] - ma;
+    double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va < 1e-12 || vb < 1e-12) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+namespace {
+
+struct Candidate {
+  std::vector<double> values;
+  std::string name;
+  double score = 0;
+};
+
+std::vector<double> ColumnOf(const Matrix& x, size_t j) {
+  std::vector<double> col(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) col[i] = x.At(i, j);
+  return col;
+}
+
+}  // namespace
+
+StatusOr<AutolearnResult> GenerateAndSelectFeatures(
+    const Matrix& x, const std::vector<double>& y,
+    const AutolearnConfig& config) {
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("rows/labels mismatch in Autolearn");
+  }
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("empty feature matrix");
+  }
+  const size_t d = x.cols();
+
+  // Rank base features by |corr| to bound pair expansion.
+  std::vector<std::pair<double, size_t>> base_rank;
+  std::vector<std::vector<double>> base_cols(d);
+  for (size_t j = 0; j < d; ++j) {
+    base_cols[j] = ColumnOf(x, j);
+    base_rank.emplace_back(std::fabs(PearsonCorrelation(base_cols[j], y)), j);
+  }
+  std::sort(base_rank.begin(), base_rank.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  size_t pool = std::min(config.base_pool, d);
+
+  std::vector<Candidate> candidates;
+  // Base features always compete for selection.
+  for (size_t j = 0; j < d; ++j) {
+    Candidate c;
+    c.values = base_cols[j];
+    c.name = "f" + std::to_string(j);
+    c.score = std::fabs(PearsonCorrelation(c.values, y));
+    candidates.push_back(std::move(c));
+  }
+  for (size_t a = 0; a < pool; ++a) {
+    for (size_t b = a + 1; b < pool; ++b) {
+      size_t ja = base_rank[a].second;
+      size_t jb = base_rank[b].second;
+      if (config.generate_products) {
+        Candidate c;
+        c.values.resize(x.rows());
+        for (size_t i = 0; i < x.rows(); ++i) {
+          c.values[i] = base_cols[ja][i] * base_cols[jb][i];
+        }
+        c.name = "f" + std::to_string(ja) + "*f" + std::to_string(jb);
+        c.score = std::fabs(PearsonCorrelation(c.values, y));
+        candidates.push_back(std::move(c));
+      }
+      if (config.generate_ratios) {
+        Candidate c;
+        c.values.resize(x.rows());
+        for (size_t i = 0; i < x.rows(); ++i) {
+          double denom = base_cols[jb][i];
+          c.values[i] = base_cols[ja][i] /
+                        (std::fabs(denom) < 1e-9
+                             ? (denom < 0 ? -1e-9 : 1e-9)
+                             : denom);
+        }
+        c.name = "f" + std::to_string(ja) + "/f" + std::to_string(jb);
+        c.score = std::fabs(PearsonCorrelation(c.values, y));
+        candidates.push_back(std::move(c));
+      }
+    }
+  }
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.name < b.name;
+            });
+  size_t keep = std::min(config.keep_top_k, candidates.size());
+
+  AutolearnResult result;
+  result.features = Matrix(x.rows(), keep);
+  result.names.reserve(keep);
+  for (size_t k = 0; k < keep; ++k) {
+    result.names.push_back(candidates[k].name);
+    for (size_t i = 0; i < x.rows(); ++i) {
+      result.features.At(i, k) = candidates[k].values[i];
+    }
+  }
+  return result;
+}
+
+}  // namespace mlcask::ml

@@ -1,0 +1,45 @@
+#ifndef MLCASK_ML_AUTOLEARN_H_
+#define MLCASK_ML_AUTOLEARN_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/matrix.h"
+
+namespace mlcask::ml {
+
+/// Configuration for Autolearn-style feature construction.
+struct AutolearnConfig {
+  bool generate_ratios = true;
+  bool generate_products = true;
+  /// Keep this many constructed features (ranked by |corr with label|).
+  size_t keep_top_k = 32;
+  /// Pairs are only expanded for the top `base_pool` original features
+  /// (ranked by |corr|), bounding the O(d²) blow-up.
+  size_t base_pool = 12;
+};
+
+/// Result of feature generation/selection.
+struct AutolearnResult {
+  Matrix features;                  ///< n x keep (selected generated + base).
+  std::vector<std::string> names;   ///< Feature names ("f3/f7", "f1*f2", ...).
+};
+
+/// Automated feature generation and selection in the spirit of AutoLearn
+/// (Kaul et al., ICDM 2017), which the paper's Autolearn pipeline uses for
+/// its costly pre-processing: pairwise ratio/product features are generated
+/// from the base features and filtered by absolute Pearson correlation with
+/// the label.
+StatusOr<AutolearnResult> GenerateAndSelectFeatures(
+    const Matrix& x, const std::vector<double>& y,
+    const AutolearnConfig& config);
+
+/// Pearson correlation between two equal-length vectors (0 if degenerate).
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+}  // namespace mlcask::ml
+
+#endif  // MLCASK_ML_AUTOLEARN_H_

@@ -1,0 +1,173 @@
+#include "ml/embedding.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/rng.h"
+
+namespace mlcask::ml {
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char c : text) {
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc)) {
+      cur.push_back(static_cast<char>(std::tolower(uc)));
+    } else if (!cur.empty()) {
+      tokens.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) tokens.push_back(std::move(cur));
+  return tokens;
+}
+
+Status WordEmbedding::Fit(const std::vector<std::string>& documents,
+                          const EmbeddingConfig& config) {
+  if (documents.empty()) {
+    return Status::InvalidArgument("no documents to fit embedding");
+  }
+  if (config.dims == 0) {
+    return Status::InvalidArgument("dims must be positive");
+  }
+
+  // Count words and keep the top max_vocab.
+  std::unordered_map<std::string, uint64_t> counts;
+  std::vector<std::vector<std::string>> tokenized;
+  tokenized.reserve(documents.size());
+  for (const std::string& doc : documents) {
+    tokenized.push_back(Tokenize(doc));
+    for (const std::string& t : tokenized.back()) counts[t] += 1;
+  }
+  std::vector<std::pair<uint64_t, std::string>> ranked;
+  ranked.reserve(counts.size());
+  for (auto& [w, c] : counts) ranked.emplace_back(c, w);
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  if (ranked.size() > config.max_vocab) ranked.resize(config.max_vocab);
+  vocab_.clear();
+  for (size_t i = 0; i < ranked.size(); ++i) vocab_[ranked[i].second] = i;
+  const size_t v = vocab_.size();
+  if (v < 2) {
+    return Status::InvalidArgument("vocabulary too small for embedding");
+  }
+  const size_t dims = std::min(config.dims, v);
+
+  // Co-occurrence within the window.
+  std::vector<double> cooc(v * v, 0.0);
+  double total = 0;
+  for (const auto& tokens : tokenized) {
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      auto it = vocab_.find(tokens[i]);
+      if (it == vocab_.end()) continue;
+      size_t wi = it->second;
+      size_t lo = i >= config.window ? i - config.window : 0;
+      size_t hi = std::min(tokens.size(), i + config.window + 1);
+      for (size_t j = lo; j < hi; ++j) {
+        if (j == i) continue;
+        auto jt = vocab_.find(tokens[j]);
+        if (jt == vocab_.end()) continue;
+        cooc[wi * v + jt->second] += 1.0;
+        total += 1.0;
+      }
+    }
+  }
+  if (total == 0) {
+    return Status::InvalidArgument("no co-occurrences found");
+  }
+
+  // PPMI transform.
+  std::vector<double> row_sum(v, 0.0), col_sum(v, 0.0);
+  for (size_t i = 0; i < v; ++i) {
+    for (size_t j = 0; j < v; ++j) {
+      row_sum[i] += cooc[i * v + j];
+      col_sum[j] += cooc[i * v + j];
+    }
+  }
+  for (size_t i = 0; i < v; ++i) {
+    for (size_t j = 0; j < v; ++j) {
+      double c = cooc[i * v + j];
+      if (c <= 0) continue;
+      double pmi = std::log(c * total / (row_sum[i] * col_sum[j] + 1e-12));
+      cooc[i * v + j] = pmi > 0 ? pmi : 0.0;
+    }
+  }
+
+  // Orthogonal power iteration on the symmetric PPMI matrix to get the top
+  // `dims` eigenvectors — a truncated spectral embedding.
+  Pcg32 rng(config.seed);
+  std::vector<double> q(v * dims);
+  for (double& x : q) x = rng.NextGaussian();
+
+  std::vector<double> z(v * dims);
+  for (int iter = 0; iter < config.power_iterations; ++iter) {
+    // z = M q (M symmetric v x v, q is v x dims).
+    std::fill(z.begin(), z.end(), 0.0);
+    for (size_t i = 0; i < v; ++i) {
+      for (size_t j = 0; j < v; ++j) {
+        double m = cooc[i * v + j];
+        if (m == 0.0) continue;
+        const double* qrow = q.data() + j * dims;
+        double* zrow = z.data() + i * dims;
+        for (size_t k = 0; k < dims; ++k) zrow[k] += m * qrow[k];
+      }
+    }
+    // Gram-Schmidt columns of z -> q.
+    for (size_t k = 0; k < dims; ++k) {
+      for (size_t prev = 0; prev < k; ++prev) {
+        double dot = 0;
+        for (size_t i = 0; i < v; ++i) {
+          dot += z[i * dims + k] * z[i * dims + prev];
+        }
+        for (size_t i = 0; i < v; ++i) {
+          z[i * dims + k] -= dot * z[i * dims + prev];
+        }
+      }
+      double norm = 0;
+      for (size_t i = 0; i < v; ++i) {
+        norm += z[i * dims + k] * z[i * dims + k];
+      }
+      norm = std::sqrt(norm);
+      if (norm < 1e-12) norm = 1.0;
+      for (size_t i = 0; i < v; ++i) z[i * dims + k] /= norm;
+    }
+    q = z;
+  }
+
+  vectors_ = std::move(q);
+  dims_ = dims;
+  return Status::Ok();
+}
+
+std::vector<double> WordEmbedding::Lookup(const std::string& word) const {
+  std::vector<double> out(dims_, 0.0);
+  auto it = vocab_.find(word);
+  if (it == vocab_.end()) return out;
+  const double* row = vectors_.data() + it->second * dims_;
+  out.assign(row, row + dims_);
+  return out;
+}
+
+std::vector<double> WordEmbedding::Embed(std::string_view document) const {
+  std::vector<double> out(dims_, 0.0);
+  if (!fitted()) return out;
+  size_t hits = 0;
+  for (const std::string& t : Tokenize(document)) {
+    auto it = vocab_.find(t);
+    if (it == vocab_.end()) continue;
+    const double* row = vectors_.data() + it->second * dims_;
+    for (size_t k = 0; k < dims_; ++k) out[k] += row[k];
+    ++hits;
+  }
+  if (hits > 0) {
+    for (double& x : out) x /= static_cast<double>(hits);
+  }
+  return out;
+}
+
+}  // namespace mlcask::ml

@@ -1,0 +1,55 @@
+#ifndef MLCASK_ML_EMBEDDING_H_
+#define MLCASK_ML_EMBEDDING_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mlcask::ml {
+
+/// Tokenizes on whitespace after lower-casing and stripping punctuation.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Configuration for the co-occurrence embedding trainer.
+struct EmbeddingConfig {
+  size_t dims = 16;
+  size_t window = 2;
+  size_t max_vocab = 2000;
+  int power_iterations = 12;
+  uint64_t seed = 1;
+};
+
+/// Word embeddings from a PPMI-weighted co-occurrence matrix factorized by
+/// orthogonal power iteration — the costly corpus pre-processing step of the
+/// paper's SA pipeline ("process the external corpora and pre-trained word
+/// embeddings"). Training cost scales with vocab² per iteration, which gives
+/// the SA pipeline its expensive pre-processing profile (Fig. 6c).
+class WordEmbedding {
+ public:
+  /// Builds vocab + co-occurrence from documents and factorizes.
+  Status Fit(const std::vector<std::string>& documents,
+             const EmbeddingConfig& config);
+
+  /// The embedding of a word; zero vector for out-of-vocabulary words.
+  std::vector<double> Lookup(const std::string& word) const;
+
+  /// Mean of the word vectors of a document's tokens (zero if none hit).
+  std::vector<double> Embed(std::string_view document) const;
+
+  bool fitted() const { return dims_ > 0; }
+  size_t vocab_size() const { return vocab_.size(); }
+  size_t dims() const { return dims_; }
+
+ private:
+  size_t dims_ = 0;
+  std::map<std::string, size_t> vocab_;
+  std::vector<double> vectors_;  // vocab x dims row-major
+};
+
+}  // namespace mlcask::ml
+
+#endif  // MLCASK_ML_EMBEDDING_H_

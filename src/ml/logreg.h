@@ -1,0 +1,45 @@
+#ifndef MLCASK_ML_LOGREG_H_
+#define MLCASK_ML_LOGREG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/matrix.h"
+
+namespace mlcask::ml {
+
+/// Training configuration shared by the gradient-based models.
+struct SgdConfig {
+  double learning_rate = 0.1;
+  int epochs = 20;
+  double l2 = 1e-4;
+  uint64_t seed = 1;
+  size_t batch_size = 32;
+};
+
+/// Binary logistic regression trained with mini-batch SGD.
+class LogisticRegression {
+ public:
+  /// Fits on features X (rows = examples) and 0/1 labels y.
+  Status Fit(const Matrix& x, const std::vector<double>& y,
+             const SgdConfig& config);
+
+  /// P(y=1 | x) per row. Fails if the model is unfit or width mismatches.
+  StatusOr<std::vector<double>> PredictProba(const Matrix& x) const;
+
+  bool fitted() const { return !weights_.empty(); }
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+  /// Mean training log-loss of the final epoch.
+  double final_loss() const { return final_loss_; }
+
+ private:
+  std::vector<double> weights_;
+  double bias_ = 0;
+  double final_loss_ = 0;
+};
+
+}  // namespace mlcask::ml
+
+#endif  // MLCASK_ML_LOGREG_H_

@@ -1,0 +1,71 @@
+#include "ml/matrix.h"
+
+#include <cmath>
+
+namespace mlcask::ml {
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  MLCASK_CHECK_MSG(cols_ == other.rows_, "matmul dimension mismatch");
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = At(i, k);
+      if (a == 0.0) continue;
+      const double* brow = other.Row(k);
+      double* orow = out.Row(i);
+      for (size_t j = 0; j < other.cols_; ++j) {
+        orow[j] += a * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) {
+      out.At(j, i) = At(i, j);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::ColumnMeans() const {
+  std::vector<double> means(cols_, 0.0);
+  if (rows_ == 0) return means;
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = Row(i);
+    for (size_t j = 0; j < cols_; ++j) means[j] += row[j];
+  }
+  for (double& m : means) m /= static_cast<double>(rows_);
+  return means;
+}
+
+std::vector<double> Matrix::ColumnStds(const std::vector<double>& means) const {
+  std::vector<double> stds(cols_, 0.0);
+  if (rows_ == 0) return stds;
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = Row(i);
+    for (size_t j = 0; j < cols_; ++j) {
+      double d = row[j] - means[j];
+      stds[j] += d * d;
+    }
+  }
+  for (double& s : stds) s = std::sqrt(s / static_cast<double>(rows_));
+  return stds;
+}
+
+void Matrix::StandardizeColumns() {
+  std::vector<double> means = ColumnMeans();
+  std::vector<double> stds = ColumnStds(means);
+  for (size_t i = 0; i < rows_; ++i) {
+    double* row = Row(i);
+    for (size_t j = 0; j < cols_; ++j) {
+      row[j] -= means[j];
+      if (stds[j] > 1e-12) row[j] /= stds[j];
+    }
+  }
+}
+
+}  // namespace mlcask::ml

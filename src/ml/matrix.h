@@ -1,0 +1,70 @@
+#ifndef MLCASK_ML_MATRIX_H_
+#define MLCASK_ML_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace mlcask::ml {
+
+/// A dense row-major matrix of doubles. Small and dependency-free — just
+/// enough linear algebra for the library's models (logistic regression, MLP,
+/// HMM, SVD-style embeddings).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix FromRowMajor(size_t rows, size_t cols,
+                             std::vector<double> data) {
+    MLCASK_CHECK_MSG(data.size() == rows * cols, "row-major size mismatch");
+    Matrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.data_ = std::move(data);
+    return m;
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  const double* Row(size_t r) const { return data_.data() + r * cols_; }
+  double* Row(size_t r) { return data_.data() + r * cols_; }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// this * other; dimensions must agree.
+  Matrix Multiply(const Matrix& other) const;
+
+  Matrix Transposed() const;
+
+  /// Column-wise mean and standard deviation (population).
+  std::vector<double> ColumnMeans() const;
+  std::vector<double> ColumnStds(const std::vector<double>& means) const;
+
+  /// Standardizes columns in place to zero mean / unit variance; columns
+  /// with ~zero variance are left centered only.
+  void StandardizeColumns();
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace mlcask::ml
+
+#endif  // MLCASK_ML_MATRIX_H_

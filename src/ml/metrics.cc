@@ -1,0 +1,91 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mlcask::ml {
+
+namespace {
+
+Status CheckSizes(size_t a, size_t b) {
+  if (a != b) {
+    return Status::InvalidArgument("metric input sizes differ: " +
+                                   std::to_string(a) + " vs " +
+                                   std::to_string(b));
+  }
+  if (a == 0) {
+    return Status::InvalidArgument("metric inputs are empty");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<double> Accuracy(const std::vector<double>& scores,
+                          const std::vector<double>& labels,
+                          double threshold) {
+  MLCASK_RETURN_IF_ERROR(CheckSizes(scores.size(), labels.size()));
+  size_t correct = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    double pred = scores[i] >= threshold ? 1.0 : 0.0;
+    if (pred == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(scores.size());
+}
+
+StatusOr<double> MeanSquaredError(const std::vector<double>& predictions,
+                                  const std::vector<double>& targets) {
+  MLCASK_RETURN_IF_ERROR(CheckSizes(predictions.size(), targets.size()));
+  double sum = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    double d = predictions[i] - targets[i];
+    sum += d * d;
+  }
+  return sum / static_cast<double>(predictions.size());
+}
+
+StatusOr<double> LogLoss(const std::vector<double>& probabilities,
+                         const std::vector<double>& labels) {
+  MLCASK_RETURN_IF_ERROR(CheckSizes(probabilities.size(), labels.size()));
+  double sum = 0;
+  for (size_t i = 0; i < probabilities.size(); ++i) {
+    double p = std::clamp(probabilities[i], 1e-12, 1.0 - 1e-12);
+    sum += labels[i] > 0.5 ? -std::log(p) : -std::log(1.0 - p);
+  }
+  return sum / static_cast<double>(probabilities.size());
+}
+
+StatusOr<double> AreaUnderRoc(const std::vector<double>& scores,
+                              const std::vector<double>& labels) {
+  MLCASK_RETURN_IF_ERROR(CheckSizes(scores.size(), labels.size()));
+  const size_t n = scores.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  // Midranks for ties.
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    double midrank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = midrank;
+    i = j + 1;
+  }
+
+  double pos = 0, rank_sum = 0;
+  for (size_t k = 0; k < n; ++k) {
+    if (labels[k] > 0.5) {
+      pos += 1;
+      rank_sum += ranks[k];
+    }
+  }
+  double neg = static_cast<double>(n) - pos;
+  if (pos == 0 || neg == 0) return 0.5;
+  return (rank_sum - pos * (pos + 1) / 2.0) / (pos * neg);
+}
+
+}  // namespace mlcask::ml

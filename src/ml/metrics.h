@@ -1,0 +1,30 @@
+#ifndef MLCASK_ML_METRICS_H_
+#define MLCASK_ML_METRICS_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace mlcask::ml {
+
+/// Fraction of predictions whose thresholded class matches the 0/1 label.
+StatusOr<double> Accuracy(const std::vector<double>& scores,
+                          const std::vector<double>& labels,
+                          double threshold = 0.5);
+
+/// Mean squared error.
+StatusOr<double> MeanSquaredError(const std::vector<double>& predictions,
+                                  const std::vector<double>& targets);
+
+/// Binary cross-entropy with clipped probabilities.
+StatusOr<double> LogLoss(const std::vector<double>& probabilities,
+                         const std::vector<double>& labels);
+
+/// Area under the ROC curve via the rank statistic (ties get midranks).
+/// Returns 0.5 when one class is absent.
+StatusOr<double> AreaUnderRoc(const std::vector<double>& scores,
+                              const std::vector<double>& labels);
+
+}  // namespace mlcask::ml
+
+#endif  // MLCASK_ML_METRICS_H_

@@ -1,0 +1,136 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace mlcask::ml {
+
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0) {
+    double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+Status Mlp::Fit(const Matrix& x, const std::vector<double>& y,
+                const MlpConfig& config) {
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("rows/labels mismatch in Mlp::Fit");
+  }
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  if (config.hidden_units == 0) {
+    return Status::InvalidArgument("hidden_units must be positive");
+  }
+  const size_t n = x.rows();
+  input_dim_ = x.cols();
+  hidden_ = config.hidden_units;
+
+  Pcg32 rng(config.sgd.seed);
+  auto init = [&](size_t count, double scale) {
+    std::vector<double> v(count);
+    for (double& w : v) w = rng.NextGaussian() * scale;
+    return v;
+  };
+  double scale1 = 1.0 / std::sqrt(static_cast<double>(input_dim_));
+  double scale2 = 1.0 / std::sqrt(static_cast<double>(hidden_));
+  w1_ = init(hidden_ * input_dim_, scale1);
+  b1_.assign(hidden_, 0.0);
+  w2_ = init(hidden_, scale2);
+  b2_ = 0.0;
+  loss_history_.clear();
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> h(hidden_), grad_w2(hidden_), grad_b1(hidden_);
+  std::vector<double> grad_w1(hidden_ * input_dim_);
+
+  const double lr = config.sgd.learning_rate;
+  const double l2 = config.sgd.l2;
+  for (int epoch = 0; epoch < config.sgd.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double loss_sum = 0;
+    for (size_t start = 0; start < n; start += config.sgd.batch_size) {
+      size_t end = std::min(n, start + config.sgd.batch_size);
+      std::fill(grad_w1.begin(), grad_w1.end(), 0.0);
+      std::fill(grad_w2.begin(), grad_w2.end(), 0.0);
+      std::fill(grad_b1.begin(), grad_b1.end(), 0.0);
+      double grad_b2 = 0;
+      for (size_t bi = start; bi < end; ++bi) {
+        size_t i = order[bi];
+        const double* row = x.Row(i);
+        // Forward.
+        for (size_t u = 0; u < hidden_; ++u) {
+          double z = b1_[u];
+          const double* wrow = w1_.data() + u * input_dim_;
+          for (size_t j = 0; j < input_dim_; ++j) z += wrow[j] * row[j];
+          h[u] = std::tanh(z);
+        }
+        double z2 = b2_;
+        for (size_t u = 0; u < hidden_; ++u) z2 += w2_[u] * h[u];
+        double p = Sigmoid(z2);
+        double pc = std::clamp(p, 1e-12, 1.0 - 1e-12);
+        loss_sum += y[i] > 0.5 ? -std::log(pc) : -std::log(1.0 - pc);
+        // Backward.
+        double delta2 = p - y[i];
+        grad_b2 += delta2;
+        for (size_t u = 0; u < hidden_; ++u) {
+          grad_w2[u] += delta2 * h[u];
+          double delta1 = delta2 * w2_[u] * (1.0 - h[u] * h[u]);
+          grad_b1[u] += delta1;
+          double* grow = grad_w1.data() + u * input_dim_;
+          for (size_t j = 0; j < input_dim_; ++j) grow[j] += delta1 * row[j];
+        }
+      }
+      double scale = lr / static_cast<double>(end - start);
+      for (size_t k = 0; k < w1_.size(); ++k) {
+        w1_[k] -= scale * grad_w1[k] + lr * l2 * w1_[k];
+      }
+      for (size_t u = 0; u < hidden_; ++u) {
+        b1_[u] -= scale * grad_b1[u];
+        w2_[u] -= scale * grad_w2[u] + lr * l2 * w2_[u];
+      }
+      b2_ -= scale * grad_b2;
+    }
+    final_loss_ = loss_sum / static_cast<double>(n);
+    loss_history_.push_back(final_loss_);
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<double>> Mlp::PredictProba(const Matrix& x) const {
+  if (!fitted()) {
+    return Status::FailedPrecondition("Mlp not fitted");
+  }
+  if (x.cols() != input_dim_) {
+    return Status::InvalidArgument("feature width mismatch in Mlp");
+  }
+  std::vector<double> out;
+  out.reserve(x.rows());
+  std::vector<double> h(hidden_);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const double* row = x.Row(i);
+    for (size_t u = 0; u < hidden_; ++u) {
+      double z = b1_[u];
+      const double* wrow = w1_.data() + u * input_dim_;
+      for (size_t j = 0; j < input_dim_; ++j) z += wrow[j] * row[j];
+      h[u] = std::tanh(z);
+    }
+    double z2 = b2_;
+    for (size_t u = 0; u < hidden_; ++u) z2 += w2_[u] * h[u];
+    out.push_back(Sigmoid(z2));
+  }
+  return out;
+}
+
+}  // namespace mlcask::ml

@@ -1,0 +1,50 @@
+#ifndef MLCASK_ML_MLP_H_
+#define MLCASK_ML_MLP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/logreg.h"
+#include "ml/matrix.h"
+
+namespace mlcask::ml {
+
+/// Configuration of the small feed-forward network.
+struct MlpConfig {
+  size_t hidden_units = 16;
+  SgdConfig sgd;
+};
+
+/// A one-hidden-layer perceptron (tanh hidden, sigmoid output) trained with
+/// mini-batch SGD. Stands in for the paper's CNN / "DL model" components:
+/// the experiments need a genuinely trained model whose quality responds to
+/// upstream feature changes and hyperparameters, not a specific architecture.
+class Mlp {
+ public:
+  Status Fit(const Matrix& x, const std::vector<double>& y,
+             const MlpConfig& config);
+
+  StatusOr<std::vector<double>> PredictProba(const Matrix& x) const;
+
+  bool fitted() const { return !w1_.empty(); }
+  double final_loss() const { return final_loss_; }
+
+  /// Mean training log-loss recorded at the end of each epoch — consumed by
+  /// the distributed-training simulation (Fig. 11a's loss-vs-time curves).
+  const std::vector<double>& loss_history() const { return loss_history_; }
+
+ private:
+  size_t input_dim_ = 0;
+  size_t hidden_ = 0;
+  std::vector<double> w1_;  // hidden x input
+  std::vector<double> b1_;  // hidden
+  std::vector<double> w2_;  // hidden
+  double b2_ = 0;
+  double final_loss_ = 0;
+  std::vector<double> loss_history_;
+};
+
+}  // namespace mlcask::ml
+
+#endif  // MLCASK_ML_MLP_H_

@@ -1,0 +1,55 @@
+#include "ml/train_eval.h"
+
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace mlcask::ml {
+
+StatusOr<TrainTestSplit> SplitData(const Matrix& x,
+                                   const std::vector<double>& y,
+                                   double test_fraction, uint64_t seed) {
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("rows/labels mismatch in SplitData");
+  }
+  if (x.rows() < 2) {
+    return Status::InvalidArgument("need at least two rows to split");
+  }
+  if (test_fraction <= 0.0 || test_fraction >= 1.0) {
+    return Status::InvalidArgument("test_fraction must be in (0, 1)");
+  }
+  const size_t n = x.rows();
+  size_t n_test = static_cast<size_t>(static_cast<double>(n) * test_fraction);
+  if (n_test == 0) n_test = 1;
+  if (n_test >= n) n_test = n - 1;
+  const size_t n_train = n - n_test;
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Pcg32 rng(seed);
+  rng.Shuffle(&order);
+
+  TrainTestSplit out;
+  out.x_train = Matrix(n_train, x.cols());
+  out.x_test = Matrix(n_test, x.cols());
+  out.y_train.reserve(n_train);
+  out.y_test.reserve(n_test);
+  for (size_t i = 0; i < n; ++i) {
+    size_t src = order[i];
+    if (i < n_train) {
+      for (size_t j = 0; j < x.cols(); ++j) {
+        out.x_train.At(i, j) = x.At(src, j);
+      }
+      out.y_train.push_back(y[src]);
+    } else {
+      size_t r = i - n_train;
+      for (size_t j = 0; j < x.cols(); ++j) {
+        out.x_test.At(r, j) = x.At(src, j);
+      }
+      out.y_test.push_back(y[src]);
+    }
+  }
+  return out;
+}
+
+}  // namespace mlcask::ml

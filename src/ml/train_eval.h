@@ -1,0 +1,27 @@
+#ifndef MLCASK_ML_TRAIN_EVAL_H_
+#define MLCASK_ML_TRAIN_EVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/matrix.h"
+
+namespace mlcask::ml {
+
+/// A deterministic train/test partition.
+struct TrainTestSplit {
+  Matrix x_train;
+  Matrix x_test;
+  std::vector<double> y_train;
+  std::vector<double> y_test;
+};
+
+/// Shuffles rows with `seed` and holds out `test_fraction` for testing.
+StatusOr<TrainTestSplit> SplitData(const Matrix& x,
+                                   const std::vector<double>& y,
+                                   double test_fraction, uint64_t seed);
+
+}  // namespace mlcask::ml
+
+#endif  // MLCASK_ML_TRAIN_EVAL_H_

@@ -1,0 +1,72 @@
+#include "ml/zernike.h"
+
+#include <cmath>
+
+namespace mlcask::ml {
+
+namespace {
+
+double Factorial(int n) {
+  double f = 1;
+  for (int i = 2; i <= n; ++i) f *= i;
+  return f;
+}
+
+}  // namespace
+
+ZernikeExtractor::ZernikeExtractor(int max_order) : max_order_(max_order) {
+  for (int n = 0; n <= max_order_; ++n) {
+    for (int m = 0; m <= n; ++m) {
+      if ((n - m) % 2 == 0) {
+        moments_.emplace_back(n, m);
+      }
+    }
+  }
+}
+
+double ZernikeExtractor::Radial(int n, int m, double rho) {
+  double sum = 0;
+  for (int s = 0; s <= (n - m) / 2; ++s) {
+    double num = (s % 2 == 0 ? 1.0 : -1.0) * Factorial(n - s);
+    double den = Factorial(s) * Factorial((n + m) / 2 - s) *
+                 Factorial((n - m) / 2 - s);
+    sum += num / den * std::pow(rho, n - 2 * s);
+  }
+  return sum;
+}
+
+StatusOr<std::vector<double>> ZernikeExtractor::Extract(
+    const std::vector<double>& pixels, size_t side) const {
+  if (side == 0 || pixels.size() != side * side) {
+    return Status::InvalidArgument("pixel buffer is not side*side");
+  }
+  const double center = (static_cast<double>(side) - 1.0) / 2.0;
+  const double radius = static_cast<double>(side) / 2.0;
+
+  std::vector<double> out;
+  out.reserve(moments_.size());
+  for (const auto& [n, m] : moments_) {
+    double re = 0, im = 0;
+    for (size_t yy = 0; yy < side; ++yy) {
+      for (size_t xx = 0; xx < side; ++xx) {
+        double px = pixels[yy * side + xx];
+        if (px == 0.0) continue;
+        double dx = (static_cast<double>(xx) - center) / radius;
+        double dy = (static_cast<double>(yy) - center) / radius;
+        double rho = std::sqrt(dx * dx + dy * dy);
+        if (rho > 1.0) continue;  // unit disk support
+        double theta = std::atan2(dy, dx);
+        double r = Radial(n, m, rho);
+        re += px * r * std::cos(m * theta);
+        im -= px * r * std::sin(m * theta);
+      }
+    }
+    double norm = (n + 1.0) / M_PI;
+    re *= norm;
+    im *= norm;
+    out.push_back(std::sqrt(re * re + im * im));
+  }
+  return out;
+}
+
+}  // namespace mlcask::ml

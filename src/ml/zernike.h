@@ -1,0 +1,44 @@
+#ifndef MLCASK_ML_ZERNIKE_H_
+#define MLCASK_ML_ZERNIKE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mlcask::ml {
+
+/// Zernike moment magnitudes |Z_nm| for a square grayscale image — the
+/// rotation-invariant shape features the paper's Autolearn pipeline extracts
+/// from digit images ("image classification of digits using Zernike moments
+/// as features").
+class ZernikeExtractor {
+ public:
+  /// `max_order`: highest radial order n; features are all (n, m) with
+  /// n <= max_order, |m| <= n, n - |m| even (m >= 0 suffices for magnitudes).
+  explicit ZernikeExtractor(int max_order = 8);
+
+  /// Number of features produced per image.
+  size_t NumFeatures() const { return moments_.size(); }
+
+  /// The (n, m) index of each feature.
+  const std::vector<std::pair<int, int>>& moment_indices() const {
+    return moments_;
+  }
+
+  /// Computes features for a `side` x `side` image given in row-major order
+  /// with values in [0, 1].
+  StatusOr<std::vector<double>> Extract(const std::vector<double>& pixels,
+                                        size_t side) const;
+
+  /// Radial polynomial R_nm(rho) — exposed for testing.
+  static double Radial(int n, int m, double rho);
+
+ private:
+  int max_order_;
+  std::vector<std::pair<int, int>> moments_;
+};
+
+}  // namespace mlcask::ml
+
+#endif  // MLCASK_ML_ZERNIKE_H_

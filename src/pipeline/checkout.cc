@@ -1,0 +1,54 @@
+#include "pipeline/checkout.h"
+
+#include <cmath>
+
+namespace mlcask::pipeline {
+
+StatusOr<Pipeline> MaterializePipeline(const version::Commit& commit,
+                                       const LibraryRepo& libraries,
+                                       const std::string& pipeline_name) {
+  std::vector<ComponentVersionSpec> specs;
+  specs.reserve(commit.snapshot.components.size());
+  for (const version::ComponentRecord& rec : commit.snapshot.components) {
+    MLCASK_ASSIGN_OR_RETURN(const ComponentVersionSpec* spec,
+                            libraries.Get(rec.name, rec.version));
+    specs.push_back(*spec);
+  }
+  return Pipeline::Chain(pipeline_name, std::move(specs));
+}
+
+Status SeedExecutorFromCommit(const version::Commit& commit,
+                              const LibraryRepo& libraries,
+                              storage::StorageEngine* engine,
+                              Executor* executor,
+                              std::set<Hash256>* seeded_keys) {
+  std::vector<ComponentVersionSpec> chain;
+  const auto& records = commit.snapshot.components;
+  for (size_t i = 0; i < records.size(); ++i) {
+    MLCASK_ASSIGN_OR_RETURN(const ComponentVersionSpec* spec,
+                            libraries.Get(records[i].name, records[i].version));
+    chain.push_back(*spec);
+    if (!records[i].has_output() || !engine->HasVersion(records[i].output_id)) {
+      continue;
+    }
+    MLCASK_ASSIGN_OR_RETURN(std::string bytes,
+                            engine->GetVersion(records[i].output_id));
+    MLCASK_ASSIGN_OR_RETURN(data::Table table, data::Table::Deserialize(bytes));
+    // Only the full pipeline carries the committed score/metrics.
+    bool is_full = i + 1 == records.size();
+    MLCASK_RETURN_IF_ERROR(executor->SeedCache(
+        chain, std::move(table),
+        is_full ? commit.snapshot.score : std::nan(""),
+        is_full ? commit.snapshot.metric : "", records[i].output_id,
+        is_full ? commit.snapshot.metrics : std::map<std::string, double>{}));
+    if (seeded_keys != nullptr) {
+      std::vector<const ComponentVersionSpec*> ptrs;
+      ptrs.reserve(chain.size());
+      for (const auto& s : chain) ptrs.push_back(&s);
+      seeded_keys->insert(Executor::ChainKey(ptrs));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace mlcask::pipeline

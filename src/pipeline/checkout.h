@@ -1,0 +1,37 @@
+#ifndef MLCASK_PIPELINE_CHECKOUT_H_
+#define MLCASK_PIPELINE_CHECKOUT_H_
+
+#include <set>
+#include <string>
+
+#include "common/status.h"
+#include "pipeline/executor.h"
+#include "pipeline/library_repo.h"
+#include "pipeline/pipeline.h"
+#include "storage/storage_engine.h"
+#include "version/commit.h"
+
+namespace mlcask::pipeline {
+
+/// Rebuilds a runnable chain pipeline from a commit snapshot by resolving
+/// every component record through the library repository — the "checkout"
+/// half of retrospective research: any historical pipeline version can be
+/// re-instantiated and re-run.
+StatusOr<Pipeline> MaterializePipeline(const version::Commit& commit,
+                                       const LibraryRepo& libraries,
+                                       const std::string& pipeline_name);
+
+/// Seeds `executor`'s artifact cache with every materialized output the
+/// commit references (reading the artifacts back from `engine`). Prefixes
+/// without outputs are skipped. When `seeded_keys` is non-null, the chain
+/// key of each seeded prefix is recorded — the merge operation uses this to
+/// mark the green (checkpointed) nodes of the search tree.
+Status SeedExecutorFromCommit(const version::Commit& commit,
+                              const LibraryRepo& libraries,
+                              storage::StorageEngine* engine,
+                              Executor* executor,
+                              std::set<Hash256>* seeded_keys = nullptr);
+
+}  // namespace mlcask::pipeline
+
+#endif  // MLCASK_PIPELINE_CHECKOUT_H_

@@ -1,0 +1,75 @@
+#include "pipeline/component.h"
+
+namespace mlcask::pipeline {
+
+const char* ComponentKindName(ComponentKind k) {
+  switch (k) {
+    case ComponentKind::kDataset:
+      return "dataset";
+    case ComponentKind::kPreprocessor:
+      return "preprocessor";
+    case ComponentKind::kModel:
+      return "model";
+  }
+  return "unknown";
+}
+
+StatusOr<ComponentKind> ParseComponentKind(std::string_view name) {
+  if (name == "dataset") return ComponentKind::kDataset;
+  if (name == "preprocessor") return ComponentKind::kPreprocessor;
+  if (name == "model") return ComponentKind::kModel;
+  return Status::InvalidArgument("unknown component kind '" +
+                                 std::string(name) + "'");
+}
+
+version::ComponentRecord ComponentVersionSpec::ToRecord() const {
+  version::ComponentRecord r;
+  r.name = name;
+  r.version = version;
+  r.input_schema = input_schema;
+  r.output_schema = output_schema;
+  return r;
+}
+
+Json ComponentVersionSpec::ToJson() const {
+  Json j = Json::Object();
+  j.Set("name", Json::Str(name));
+  j.Set("version", Json::Str(version.ToString(/*simplify_master=*/false)));
+  j.Set("kind", Json::Str(ComponentKindName(kind)));
+  j.Set("input_schema", Json::Int(static_cast<int64_t>(input_schema)));
+  j.Set("output_schema", Json::Int(static_cast<int64_t>(output_schema)));
+  j.Set("impl", Json::Str(impl));
+  j.Set("params", params);
+  j.Set("cost_per_krow_s", Json::Number(cost_per_krow_s));
+  return j;
+}
+
+StatusOr<ComponentVersionSpec> ComponentVersionSpec::FromJson(const Json& j) {
+  ComponentVersionSpec s;
+  s.name = j.GetString("name");
+  if (s.name.empty()) {
+    return Status::InvalidArgument("component metafile missing name");
+  }
+  MLCASK_ASSIGN_OR_RETURN(s.version,
+                          version::SemanticVersion::Parse(j.GetString("version")));
+  MLCASK_ASSIGN_OR_RETURN(s.kind, ParseComponentKind(j.GetString("kind")));
+  s.input_schema = static_cast<uint64_t>(j.GetInt("input_schema"));
+  s.output_schema = static_cast<uint64_t>(j.GetInt("output_schema"));
+  s.impl = j.GetString("impl");
+  if (s.impl.empty()) {
+    return Status::InvalidArgument("component metafile missing impl");
+  }
+  const Json* params = j.Get("params");
+  if (params != nullptr) s.params = *params;
+  s.cost_per_krow_s = j.GetDouble("cost_per_krow_s", 1.0);
+  return s;
+}
+
+bool ComponentVersionSpec::operator==(const ComponentVersionSpec& other) const {
+  return name == other.name && version == other.version && kind == other.kind &&
+         input_schema == other.input_schema &&
+         output_schema == other.output_schema && impl == other.impl &&
+         params == other.params && cost_per_krow_s == other.cost_per_krow_s;
+}
+
+}  // namespace mlcask::pipeline

@@ -1,0 +1,69 @@
+#ifndef MLCASK_PIPELINE_COMPONENT_H_
+#define MLCASK_PIPELINE_COMPONENT_H_
+
+#include <string>
+
+#include "common/json.h"
+#include "common/sha256.h"
+#include "common/status.h"
+#include "version/commit.h"
+#include "version/semver.h"
+
+namespace mlcask::pipeline {
+
+/// What a component is (paper Sec. III: datasets, pre-processing methods,
+/// and ML models; the latter two are "libraries").
+enum class ComponentKind : uint8_t {
+  kDataset = 0,
+  kPreprocessor = 1,
+  kModel = 2,
+};
+
+const char* ComponentKindName(ComponentKind k);
+StatusOr<ComponentKind> ParseComponentKind(std::string_view name);
+
+/// The full definition of one version of a pipeline component — the library
+/// metafile of the paper ("describes the entry point, inputs and outputs, as
+/// well as all the essential hyperparameters").
+struct ComponentVersionSpec {
+  std::string name;                  ///< Component identity, e.g. "cnn".
+  version::SemanticVersion version;  ///< Semantic version, e.g. master@0.3.
+  ComponentKind kind = ComponentKind::kPreprocessor;
+  /// Schema id this version consumes (0 = source component, no input).
+  uint64_t input_schema = 0;
+  /// Schema id this version produces. Changing it is exactly what a
+  /// `schema` bump in the semantic version means.
+  uint64_t output_schema = 0;
+  /// Entry point: name of the registered library function.
+  std::string impl;
+  /// Hyperparameters passed to the entry point.
+  Json params = Json::Object();
+  /// Simulated execution cost in seconds per 1000 input rows; calibrated by
+  /// the workload builders to match the paper's pipeline time profiles.
+  double cost_per_krow_s = 1.0;
+
+  /// Unique key "name@branch@schema.increment" for maps and logs.
+  std::string Key() const {
+    return name + "@" + version.ToString(/*simplify_master=*/false);
+  }
+
+  /// Projection into the commit-snapshot record (without output id).
+  version::ComponentRecord ToRecord() const;
+
+  /// Library-metafile round trip.
+  Json ToJson() const;
+  static StatusOr<ComponentVersionSpec> FromJson(const Json& j);
+
+  /// True if `next` can consume this component's output (Def. 4, with the
+  /// paper's assumption that the output data schema is the only
+  /// compatibility factor).
+  bool CompatibleWith(const ComponentVersionSpec& next) const {
+    return output_schema == next.input_schema;
+  }
+
+  bool operator==(const ComponentVersionSpec& other) const;
+};
+
+}  // namespace mlcask::pipeline
+
+#endif  // MLCASK_PIPELINE_COMPONENT_H_

@@ -1,0 +1,358 @@
+#include "pipeline/executor.h"
+
+#include <algorithm>
+
+#include "common/sha256.h"
+
+namespace mlcask::pipeline {
+
+Hash256 Executor::ChainKey(
+    const std::vector<const ComponentVersionSpec*>& chain) {
+  Sha256 h;
+  for (const ComponentVersionSpec* spec : chain) {
+    h.Update(spec->name);
+    h.Update("\x1f");
+    h.Update(spec->version.ToString(/*simplify_master=*/false));
+    h.Update("\x1f");
+    h.Update(spec->impl);
+    h.Update("\x1f");
+    h.Update(spec->params.Dump());
+    h.Update("\x1e");
+  }
+  return h.Finish();
+}
+
+Status Executor::SeedCache(const std::vector<ComponentVersionSpec>& chain,
+                           data::Table output, double score,
+                           const std::string& metric, const Hash256& output_id,
+                           std::map<std::string, double> metrics) {
+  if (chain.empty()) {
+    return Status::InvalidArgument("cannot seed cache for empty chain");
+  }
+  std::vector<const ComponentVersionSpec*> ptrs;
+  ptrs.reserve(chain.size());
+  for (const ComponentVersionSpec& s : chain) ptrs.push_back(&s);
+  CacheEntry entry;
+  entry.table = std::move(output);
+  entry.score = score;
+  entry.metric = metric;
+  entry.metrics = std::move(metrics);
+  entry.output_id = output_id;
+  cache_[ChainKey(ptrs)] = std::move(entry);
+  return Status::Ok();
+}
+
+const data::Table* Executor::FindCached(
+    const std::vector<const ComponentVersionSpec*>& chain) const {
+  auto it = cache_.find(ChainKey(chain));
+  return it == cache_.end() ? nullptr : &it->second.table;
+}
+
+StatusOr<PipelineRunResult> Executor::Run(const Pipeline& pipeline,
+                                          const ExecutorOptions& options) {
+  MLCASK_RETURN_IF_ERROR(pipeline.Validate());
+  MLCASK_ASSIGN_OR_RETURN(std::vector<const ComponentVersionSpec*> order,
+                          pipeline.TopologicalOrder());
+  if (!pipeline.IsChain()) {
+    return Status::Unimplemented(
+        "executor currently runs chain pipelines (the paper's evaluated "
+        "pipelines and search-tree formulation are chains)");
+  }
+
+  PipelineRunResult result;
+
+  // MLCask checks declared compatibility before spending any compute
+  // (Fig. 5's final iteration: "it does not run the pipeline").
+  if (options.precheck_compatibility) {
+    Status compat = pipeline.CheckCompatibility();
+    if (compat.IsIncompatible()) {
+      result.compatibility_failure = true;
+      result.failed_component = compat.message();
+      return result;
+    }
+    MLCASK_RETURN_IF_ERROR(compat);
+  }
+
+  // Pre-compute every prefix key, then locate the LONGEST cached prefix.
+  // This mirrors Algorithm 2: a checkpointed tree node covers its entire
+  // path to the root, so components before it never run even if their own
+  // intermediate outputs were not individually materialized.
+  std::vector<Hash256> prefix_keys(order.size());
+  {
+    std::vector<const ComponentVersionSpec*> prefix;
+    prefix.reserve(order.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      prefix.push_back(order[i]);
+      prefix_keys[i] = ChainKey(prefix);
+    }
+  }
+  size_t resume_from = 0;  // first component index that must execute
+  if (options.reuse_cached_outputs) {
+    for (size_t i = order.size(); i-- > 0;) {
+      if (cache_.find(prefix_keys[i]) != cache_.end()) {
+        resume_from = i + 1;
+        break;
+      }
+    }
+  }
+
+  const data::Table* current = nullptr;
+
+  for (size_t i = 0; i < order.size(); ++i) {
+    const ComponentVersionSpec* spec = order[i];
+
+    ComponentRunInfo info;
+    info.name = spec->name;
+    info.version = spec->version;
+    info.kind = spec->kind;
+
+    Hash256 key = prefix_keys[i];
+    if (i < resume_from) {
+      info.reused = true;
+      auto cached = cache_.find(key);
+      if (cached != cache_.end()) {
+        info.output_id = cached->second.output_id;
+        current = &cached->second.table;
+        if (!std::isnan(cached->second.score)) {
+          result.score = cached->second.score;
+          result.metric = cached->second.metric;
+          result.metrics = cached->second.metrics;
+        }
+      }
+      result.components.push_back(std::move(info));
+      continue;
+    }
+
+    // Runtime incompatibility: without the precheck, upstream components
+    // have already burned their time before this one fails (the baselines'
+    // behaviour in Fig. 5).
+    if (i > 0 && !order[i - 1]->CompatibleWith(*spec)) {
+      result.compatibility_failure = true;
+      result.failed_component = spec->name;
+      result.components.push_back(std::move(info));
+      return result;
+    }
+
+    MLCASK_ASSIGN_OR_RETURN(const LibraryFn* fn, registry_->Get(spec->impl));
+
+    ExecInput in;
+    in.input = current;
+    in.params = &spec->params;
+    // Seed varies by run seed and position so dataset components and model
+    // inits are deterministic per pipeline but distinct across components.
+    uint64_t seed = options.seed;
+    for (uint8_t b : key.bytes) seed = seed * 131 + b;
+    in.seed = seed;
+
+    MLCASK_ASSIGN_OR_RETURN(ExecOutput out, (*fn)(in));
+    executions_ += 1;
+    info.executed = true;
+
+    size_t rows = current != nullptr ? current->num_rows() : out.table.num_rows();
+    info.exec_s =
+        spec->cost_per_krow_s * static_cast<double>(rows) / 1000.0;
+    if (spec->kind == ComponentKind::kModel) {
+      result.time.train_s += info.exec_s;
+    } else {
+      result.time.preprocess_s += info.exec_s;
+    }
+    if (clock_ != nullptr) clock_->Advance(info.exec_s);
+
+    if (out.has_score()) {
+      result.score = out.score;
+      result.metric = out.metric;
+      result.metrics = out.metrics;
+    }
+
+    if (options.store_outputs) {
+      std::string bytes = out.table.Serialize();
+      MLCASK_ASSIGN_OR_RETURN(
+          storage::PutResult put,
+          engine_->Put("artifact/" + pipeline.name() + "/" + spec->Key(),
+                       bytes));
+      info.storage_s = put.storage_time_s;
+      info.bytes_written = put.logical_bytes;
+      info.output_id = put.id;
+      result.time.storage_s += put.storage_time_s;
+      if (clock_ != nullptr) clock_->Advance(put.storage_time_s);
+    }
+
+    CacheEntry entry;
+    entry.table = std::move(out.table);
+    entry.score = out.score;
+    entry.metric = out.metric;
+    entry.metrics = std::move(out.metrics);
+    entry.output_id = info.output_id;
+    auto [it, inserted] = cache_.insert_or_assign(key, std::move(entry));
+    (void)inserted;
+    current = &it->second.table;
+
+    result.components.push_back(std::move(info));
+  }
+
+  // Assemble the commit-ready snapshot.
+  for (size_t i = 0; i < order.size(); ++i) {
+    version::ComponentRecord rec = order[i]->ToRecord();
+    rec.output_id = result.components[i].output_id;
+    result.snapshot.components.push_back(std::move(rec));
+  }
+  result.snapshot.score = result.score;
+  result.snapshot.metric = result.metric;
+  result.snapshot.metrics = result.metrics;
+  return result;
+}
+
+StatusOr<PipelineRunResult> Executor::RunDag(const Pipeline& pipeline,
+                                             const ExecutorOptions& options) {
+  MLCASK_RETURN_IF_ERROR(pipeline.Validate());
+  MLCASK_ASSIGN_OR_RETURN(std::vector<const ComponentVersionSpec*> order,
+                          pipeline.TopologicalOrder());
+
+  PipelineRunResult result;
+
+  if (options.precheck_compatibility) {
+    Status compat = pipeline.CheckCompatibility();
+    if (compat.IsIncompatible()) {
+      result.compatibility_failure = true;
+      result.failed_component = compat.message();
+      return result;
+    }
+    MLCASK_RETURN_IF_ERROR(compat);
+  }
+
+  // Recursive node keys: H("dag", spec identity, sorted parent keys). Kept
+  // distinct from chain keys so a chain pipeline run through RunDag never
+  // aliases Run()'s cache entries (their reuse guarantees differ).
+  std::unordered_map<std::string, Hash256> node_keys;
+  std::unordered_map<std::string, const ComponentVersionSpec*> spec_by_name;
+  for (const ComponentVersionSpec* spec : order) {
+    spec_by_name[spec->name] = spec;
+  }
+  auto parents_of = [&](const ComponentVersionSpec* spec) {
+    std::vector<std::string> preds = pipeline.Predecessors(spec->name);
+    std::sort(preds.begin(), preds.end());
+    return preds;
+  };
+  for (const ComponentVersionSpec* spec : order) {
+    Sha256 h;
+    h.Update("dag\x1e");
+    h.Update(spec->name);
+    h.Update("\x1f");
+    h.Update(spec->version.ToString(false));
+    h.Update("\x1f");
+    h.Update(spec->impl);
+    h.Update("\x1f");
+    h.Update(spec->params.Dump());
+    h.Update("\x1e");
+    for (const std::string& pred : parents_of(spec)) {
+      const Hash256& pk = node_keys.at(pred);
+      h.Update(pk.bytes.data(), pk.bytes.size());
+    }
+    node_keys[spec->name] = h.Finish();
+  }
+
+  for (const ComponentVersionSpec* spec : order) {
+    ComponentRunInfo info;
+    info.name = spec->name;
+    info.version = spec->version;
+    info.kind = spec->kind;
+
+    Hash256 key = node_keys.at(spec->name);
+    auto cached = cache_.find(key);
+    if (options.reuse_cached_outputs && cached != cache_.end()) {
+      info.reused = true;
+      info.output_id = cached->second.output_id;
+      if (!std::isnan(cached->second.score)) {
+        result.score = cached->second.score;
+        result.metric = cached->second.metric;
+        result.metrics = cached->second.metrics;
+      }
+      result.components.push_back(std::move(info));
+      continue;
+    }
+
+    // Gather predecessor outputs; every predecessor must be in the cache
+    // (it was either just executed or reused above).
+    std::vector<const data::Table*> inputs;
+    size_t input_rows = 0;
+    for (const std::string& pred : parents_of(spec)) {
+      const ComponentVersionSpec* pred_spec = spec_by_name.at(pred);
+      if (!options.precheck_compatibility &&
+          !pred_spec->CompatibleWith(*spec)) {
+        result.compatibility_failure = true;
+        result.failed_component = spec->name;
+        result.components.push_back(std::move(info));
+        return result;
+      }
+      auto it = cache_.find(node_keys.at(pred));
+      if (it == cache_.end()) {
+        return Status::Internal("predecessor '" + pred +
+                                "' missing from cache during DAG run");
+      }
+      inputs.push_back(&it->second.table);
+      input_rows = std::max(input_rows, it->second.table.num_rows());
+    }
+
+    MLCASK_ASSIGN_OR_RETURN(const LibraryFn* fn, registry_->Get(spec->impl));
+    ExecInput in;
+    in.inputs = inputs;
+    in.input = inputs.empty() ? nullptr : inputs.front();
+    in.params = &spec->params;
+    uint64_t seed = options.seed;
+    for (uint8_t b : key.bytes) seed = seed * 131 + b;
+    in.seed = seed;
+
+    MLCASK_ASSIGN_OR_RETURN(ExecOutput out, (*fn)(in));
+    executions_ += 1;
+    info.executed = true;
+
+    size_t rows = inputs.empty() ? out.table.num_rows() : input_rows;
+    info.exec_s = spec->cost_per_krow_s * static_cast<double>(rows) / 1000.0;
+    if (spec->kind == ComponentKind::kModel) {
+      result.time.train_s += info.exec_s;
+    } else {
+      result.time.preprocess_s += info.exec_s;
+    }
+    if (clock_ != nullptr) clock_->Advance(info.exec_s);
+
+    if (out.has_score()) {
+      result.score = out.score;
+      result.metric = out.metric;
+      result.metrics = out.metrics;
+    }
+
+    if (options.store_outputs) {
+      std::string bytes = out.table.Serialize();
+      MLCASK_ASSIGN_OR_RETURN(
+          storage::PutResult put,
+          engine_->Put("artifact/" + pipeline.name() + "/" + spec->Key(),
+                       bytes));
+      info.storage_s = put.storage_time_s;
+      info.bytes_written = put.logical_bytes;
+      info.output_id = put.id;
+      result.time.storage_s += put.storage_time_s;
+      if (clock_ != nullptr) clock_->Advance(put.storage_time_s);
+    }
+
+    CacheEntry entry;
+    entry.table = std::move(out.table);
+    entry.score = out.score;
+    entry.metric = out.metric;
+    entry.metrics = std::move(out.metrics);
+    entry.output_id = info.output_id;
+    cache_.insert_or_assign(key, std::move(entry));
+    result.components.push_back(std::move(info));
+  }
+
+  for (size_t i = 0; i < order.size(); ++i) {
+    version::ComponentRecord rec = order[i]->ToRecord();
+    rec.output_id = result.components[i].output_id;
+    result.snapshot.components.push_back(std::move(rec));
+  }
+  result.snapshot.score = result.score;
+  result.snapshot.metric = result.metric;
+  result.snapshot.metrics = result.metrics;
+  return result;
+}
+
+}  // namespace mlcask::pipeline

@@ -1,0 +1,137 @@
+#ifndef MLCASK_PIPELINE_EXECUTOR_H_
+#define MLCASK_PIPELINE_EXECUTOR_H_
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "data/table.h"
+#include "pipeline/library_registry.h"
+#include "pipeline/pipeline.h"
+#include "storage/storage_engine.h"
+#include "version/commit.h"
+
+namespace mlcask::pipeline {
+
+/// Knobs that distinguish the systems under evaluation:
+///  - ModelDB-style: reuse=false, precheck=false  (rerun everything, discover
+///    incompatibility only when the failing component runs)
+///  - MLflow-style:  reuse=true,  precheck=false
+///  - MLCask:        reuse=true,  precheck=true   (skips doomed runs upfront)
+struct ExecutorOptions {
+  bool reuse_cached_outputs = true;
+  bool precheck_compatibility = true;
+  /// Materialize component outputs into the storage engine.
+  bool store_outputs = true;
+  uint64_t seed = 1;
+};
+
+/// Per-component accounting of one pipeline run.
+struct ComponentRunInfo {
+  std::string name;
+  version::SemanticVersion version;
+  ComponentKind kind = ComponentKind::kPreprocessor;
+  bool reused = false;    ///< Served from the artifact cache.
+  bool executed = false;  ///< Actually ran its library function.
+  double exec_s = 0;      ///< Simulated execution seconds charged.
+  double storage_s = 0;   ///< Simulated storage seconds charged.
+  uint64_t bytes_written = 0;
+  Hash256 output_id;      ///< Materialized artifact version (zero if none).
+};
+
+/// Result of running one pipeline end to end.
+struct PipelineRunResult {
+  std::vector<ComponentRunInfo> components;
+  TimeBreakdown time;
+  double score = std::nan("");
+  std::string metric;
+  /// All score-oriented metrics reported by the pipeline's model component.
+  std::map<std::string, double> metrics;
+  /// Set when the run was aborted by a schema incompatibility: either
+  /// detected upfront (precheck) or mid-run at the failing component.
+  bool compatibility_failure = false;
+  std::string failed_component;
+  /// Snapshot with output ids and score, ready to commit.
+  version::PipelineSnapshot snapshot;
+
+  bool has_score() const { return !std::isnan(score); }
+};
+
+/// Runs pipelines against a library registry, charging simulated execution
+/// and storage time, and maintaining the artifact cache keyed by the prefix
+/// chain of component versions. Prefix keying is what lets sibling pipelines
+/// in a merge search tree share everything up to their divergence point
+/// (paper Sec. VI-B: "nodes sharing the same parent node also share the same
+/// path to the tree root").
+class Executor {
+ public:
+  /// All pointers must outlive the executor; `clock` may be nullptr.
+  Executor(const LibraryRegistry* registry, storage::StorageEngine* engine,
+           SimClock* clock)
+      : registry_(registry), engine_(engine), clock_(clock) {}
+
+  /// Runs `pipeline` (a chain) with the given options. Compatibility
+  /// failures are reported in the result, not as an error status; hard
+  /// errors (unknown impl, malformed pipeline) are error statuses.
+  StatusOr<PipelineRunResult> Run(const Pipeline& pipeline,
+                                  const ExecutorOptions& options);
+
+  /// Runs a general DAG pipeline (Definition 1). Components with several
+  /// predecessors receive all their inputs (name-sorted) through
+  /// ExecInput::inputs. Caching uses recursive node keys
+  /// H(spec, parent keys), which coincide in role — though not in value —
+  /// with the chain keys Run() uses, so DAG runs keep a separate cache
+  /// namespace. Compatibility requires every predecessor's output schema to
+  /// match the consumer's declared input schema.
+  StatusOr<PipelineRunResult> RunDag(const Pipeline& pipeline,
+                                     const ExecutorOptions& options);
+
+  /// Pre-seeds the artifact cache for the chain `specs[0..specs.size())` —
+  /// used to install checkpoints from commit history (the green nodes of the
+  /// paper's Fig. 4) before a merge search.
+  Status SeedCache(const std::vector<ComponentVersionSpec>& chain,
+                   data::Table output, double score, const std::string& metric,
+                   const Hash256& output_id,
+                   std::map<std::string, double> metrics = {});
+
+  /// Cache key for a chain prefix: order-sensitive hash over the component
+  /// identity, version, impl, and hyperparameters of each element.
+  static Hash256 ChainKey(const std::vector<const ComponentVersionSpec*>& chain);
+
+  /// Returns the cached output table for an exact chain, or nullptr. Used by
+  /// the merge operation to materialize the winning pipeline's outputs after
+  /// the search (MLCask stores trial outputs locally and persists only the
+  /// merge result).
+  const data::Table* FindCached(
+      const std::vector<const ComponentVersionSpec*>& chain) const;
+
+  size_t cache_size() const { return cache_.size(); }
+  void ClearCache() { cache_.clear(); }
+
+  /// Cumulative number of component executions this executor performed
+  /// (cache hits excluded) — the quantity PR pruning minimizes.
+  uint64_t executions() const { return executions_; }
+
+ private:
+  struct CacheEntry {
+    data::Table table;
+    double score = std::nan("");
+    std::string metric;
+    std::map<std::string, double> metrics;
+    Hash256 output_id;
+  };
+
+  const LibraryRegistry* registry_;
+  storage::StorageEngine* engine_;
+  SimClock* clock_;
+  std::unordered_map<Hash256, CacheEntry, Hash256Hasher> cache_;
+  uint64_t executions_ = 0;
+};
+
+}  // namespace mlcask::pipeline
+
+#endif  // MLCASK_PIPELINE_EXECUTOR_H_

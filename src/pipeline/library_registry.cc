@@ -1,0 +1,42 @@
+#include "pipeline/library_registry.h"
+
+namespace mlcask::pipeline {
+
+Status LibraryRegistry::Register(const std::string& name, LibraryFn fn) {
+  if (name.empty()) {
+    return Status::InvalidArgument("library name must be non-empty");
+  }
+  if (fn == nullptr) {
+    return Status::InvalidArgument("library function must be callable");
+  }
+  auto [it, inserted] = fns_.emplace(name, std::move(fn));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("library '" + name + "' already registered");
+  }
+  return Status::Ok();
+}
+
+StatusOr<const LibraryFn*> LibraryRegistry::Get(const std::string& name) const {
+  auto it = fns_.find(name);
+  if (it == fns_.end()) {
+    return Status::NotFound("library '" + name + "' not registered");
+  }
+  return &it->second;
+}
+
+bool LibraryRegistry::Has(const std::string& name) const {
+  return fns_.find(name) != fns_.end();
+}
+
+std::vector<std::string> LibraryRegistry::List() const {
+  std::vector<std::string> out;
+  out.reserve(fns_.size());
+  for (const auto& [name, fn] : fns_) {
+    (void)fn;
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace mlcask::pipeline

@@ -1,0 +1,68 @@
+#ifndef MLCASK_PIPELINE_LIBRARY_REGISTRY_H_
+#define MLCASK_PIPELINE_LIBRARY_REGISTRY_H_
+
+#include <cmath>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "data/table.h"
+
+namespace mlcask::pipeline {
+
+/// Input to a library entry point.
+struct ExecInput {
+  /// Upstream output; nullptr for dataset (source) components. For
+  /// multi-input components (DAG joins) this is the first predecessor.
+  const data::Table* input = nullptr;
+  /// All predecessor outputs in a deterministic order (name-sorted); size 1
+  /// for chain components, larger for DAG join nodes.
+  std::vector<const data::Table*> inputs;
+  /// Hyperparameters from the component metafile.
+  const Json* params = nullptr;
+  /// Deterministic seed derived from the run.
+  uint64_t seed = 1;
+};
+
+/// Output of a library entry point.
+struct ExecOutput {
+  data::Table table;
+  /// Model components report their primary evaluation score here (NaN
+  /// otherwise); `metric` names it.
+  double score = std::nan("");
+  std::string metric;
+  /// Additional score-oriented metrics (higher is better), e.g. "auc",
+  /// "inv_logloss". Sec. V: "If there are different metrics for evaluation,
+  /// MLCask generates different optimal pipeline solutions for different
+  /// metrics" — the merge can optimize any entry recorded here.
+  std::map<std::string, double> metrics;
+
+  bool has_score() const { return !std::isnan(score); }
+};
+
+/// A library executable: the actual computation behind a component.
+using LibraryFn = std::function<StatusOr<ExecOutput>(const ExecInput&)>;
+
+/// Maps entry-point names (the `impl` field of component metafiles) to
+/// executables. The paper's library repository stores executables; here the
+/// registry is the lookup half, while the storage engine holds the metafiles.
+class LibraryRegistry {
+ public:
+  Status Register(const std::string& name, LibraryFn fn);
+
+  StatusOr<const LibraryFn*> Get(const std::string& name) const;
+  bool Has(const std::string& name) const;
+
+  std::vector<std::string> List() const;
+  size_t size() const { return fns_.size(); }
+
+ private:
+  std::map<std::string, LibraryFn> fns_;
+};
+
+}  // namespace mlcask::pipeline
+
+#endif  // MLCASK_PIPELINE_LIBRARY_REGISTRY_H_

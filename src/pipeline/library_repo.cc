@@ -1,0 +1,61 @@
+#include "pipeline/library_repo.h"
+
+namespace mlcask::pipeline {
+
+Status LibraryRepo::Put(const ComponentVersionSpec& spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("component spec missing name");
+  }
+  std::vector<ComponentVersionSpec>& versions = specs_[spec.name];
+  for (const ComponentVersionSpec& existing : versions) {
+    if (existing.version == spec.version) {
+      if (existing == spec) return Status::Ok();  // idempotent re-put
+      return Status::AlreadyExists(
+          "library '" + spec.name + "' version " + spec.version.ToString() +
+          " already registered with different contents");
+    }
+  }
+  // Persist the metafile; similar versions share chunks on ForkBase.
+  MLCASK_ASSIGN_OR_RETURN(
+      storage::PutResult put,
+      engine_->Put("library/" + spec.name, spec.ToJson().Dump()));
+  if (clock_ != nullptr) clock_->Advance(put.storage_time_s);
+  versions.push_back(spec);
+  return Status::Ok();
+}
+
+StatusOr<const ComponentVersionSpec*> LibraryRepo::Get(
+    const std::string& name, const version::SemanticVersion& version) const {
+  auto it = specs_.find(name);
+  if (it == specs_.end()) {
+    return Status::NotFound("no library named '" + name + "'");
+  }
+  for (const ComponentVersionSpec& spec : it->second) {
+    if (spec.version == version) return &spec;
+  }
+  return Status::NotFound("library '" + name + "' has no version " +
+                          version.ToString());
+}
+
+std::vector<version::SemanticVersion> LibraryRepo::Versions(
+    const std::string& name) const {
+  std::vector<version::SemanticVersion> out;
+  auto it = specs_.find(name);
+  if (it == specs_.end()) return out;
+  out.reserve(it->second.size());
+  for (const ComponentVersionSpec& spec : it->second) {
+    out.push_back(spec.version);
+  }
+  return out;
+}
+
+size_t LibraryRepo::size() const {
+  size_t n = 0;
+  for (const auto& [name, versions] : specs_) {
+    (void)name;
+    n += versions.size();
+  }
+  return n;
+}
+
+}  // namespace mlcask::pipeline

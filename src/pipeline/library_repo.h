@@ -1,0 +1,50 @@
+#ifndef MLCASK_PIPELINE_LIBRARY_REPO_H_
+#define MLCASK_PIPELINE_LIBRARY_REPO_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "pipeline/component.h"
+#include "storage/storage_engine.h"
+#include "version/semver.h"
+
+namespace mlcask::pipeline {
+
+/// The library/dataset repository of Fig. 1: stores every version of every
+/// component's metafile (and, conceptually, its executables), shared by all
+/// pipelines "in order to reduce storage costs". Metafiles are persisted
+/// through the storage engine — on the ForkBase engine, near-identical
+/// versions de-duplicate at chunk level, which is one of the two storage
+/// effects Fig. 7 measures.
+class LibraryRepo {
+ public:
+  /// `engine` must outlive the repo; `clock` may be nullptr.
+  LibraryRepo(storage::StorageEngine* engine, SimClock* clock)
+      : engine_(engine), clock_(clock) {}
+
+  /// Registers a component version. Re-putting an identical spec is a no-op;
+  /// a different spec under an existing (name, version) is rejected.
+  Status Put(const ComponentVersionSpec& spec);
+
+  /// Resolves a (component, version) to its full spec.
+  StatusOr<const ComponentVersionSpec*> Get(
+      const std::string& name, const version::SemanticVersion& version) const;
+
+  /// All stored versions of a component, in insertion order.
+  std::vector<version::SemanticVersion> Versions(const std::string& name) const;
+
+  size_t size() const;
+
+ private:
+  storage::StorageEngine* engine_;
+  SimClock* clock_;
+  // name -> version string -> spec (insertion-ordered via vector).
+  std::map<std::string, std::vector<ComponentVersionSpec>> specs_;
+};
+
+}  // namespace mlcask::pipeline
+
+#endif  // MLCASK_PIPELINE_LIBRARY_REPO_H_

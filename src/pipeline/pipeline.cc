@@ -1,0 +1,215 @@
+#include "pipeline/pipeline.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace mlcask::pipeline {
+
+int Pipeline::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Pipeline::AddComponent(ComponentVersionSpec spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("component name must be non-empty");
+  }
+  if (IndexOf(spec.name) >= 0) {
+    return Status::AlreadyExists("component '" + spec.name +
+                                 "' already in pipeline");
+  }
+  components_.push_back(std::move(spec));
+  return Status::Ok();
+}
+
+Status Pipeline::Connect(const std::string& from, const std::string& to) {
+  int fi = IndexOf(from);
+  int ti = IndexOf(to);
+  if (fi < 0 || ti < 0) {
+    return Status::NotFound("edge endpoint not in pipeline: " + from + "->" +
+                            to);
+  }
+  if (fi == ti) {
+    return Status::InvalidArgument("self edge on '" + from + "'");
+  }
+  auto edge = std::make_pair(static_cast<size_t>(fi), static_cast<size_t>(ti));
+  if (std::find(edges_.begin(), edges_.end(), edge) != edges_.end()) {
+    return Status::AlreadyExists("edge already exists: " + from + "->" + to);
+  }
+  edges_.push_back(edge);
+  return Status::Ok();
+}
+
+StatusOr<const ComponentVersionSpec*> Pipeline::Find(
+    const std::string& name) const {
+  int i = IndexOf(name);
+  if (i < 0) {
+    return Status::NotFound("component '" + name + "' not in pipeline");
+  }
+  return &components_[static_cast<size_t>(i)];
+}
+
+std::vector<std::string> Pipeline::Predecessors(const std::string& name) const {
+  std::vector<std::string> out;
+  int i = IndexOf(name);
+  if (i < 0) return out;
+  for (const auto& [from, to] : edges_) {
+    if (to == static_cast<size_t>(i)) out.push_back(components_[from].name);
+  }
+  return out;
+}
+
+std::vector<std::string> Pipeline::Successors(const std::string& name) const {
+  std::vector<std::string> out;
+  int i = IndexOf(name);
+  if (i < 0) return out;
+  for (const auto& [from, to] : edges_) {
+    if (from == static_cast<size_t>(i)) out.push_back(components_[to].name);
+  }
+  return out;
+}
+
+StatusOr<std::vector<const ComponentVersionSpec*>> Pipeline::TopologicalOrder()
+    const {
+  std::vector<size_t> indegree(components_.size(), 0);
+  for (const auto& [from, to] : edges_) {
+    (void)from;
+    indegree[to] += 1;
+  }
+  std::deque<size_t> ready;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (indegree[i] == 0) ready.push_back(i);
+  }
+  std::vector<const ComponentVersionSpec*> order;
+  while (!ready.empty()) {
+    size_t cur = ready.front();
+    ready.pop_front();
+    order.push_back(&components_[cur]);
+    for (const auto& [from, to] : edges_) {
+      if (from == cur && --indegree[to] == 0) ready.push_back(to);
+    }
+  }
+  if (order.size() != components_.size()) {
+    return Status::Corruption("pipeline DAG contains a cycle");
+  }
+  return order;
+}
+
+Status Pipeline::Validate() const {
+  if (components_.empty()) {
+    return Status::InvalidArgument("pipeline has no components");
+  }
+  MLCASK_RETURN_IF_ERROR(TopologicalOrder().status());
+  for (const ComponentVersionSpec& c : components_) {
+    std::vector<std::string> preds = Predecessors(c.name);
+    if (preds.empty()) {
+      if (c.kind != ComponentKind::kDataset) {
+        return Status::InvalidArgument("source component '" + c.name +
+                                       "' is not a dataset");
+      }
+    } else if (c.kind == ComponentKind::kDataset) {
+      return Status::InvalidArgument("dataset component '" + c.name +
+                                     "' has a predecessor");
+    }
+  }
+  return Status::Ok();
+}
+
+bool Pipeline::IsChain() const {
+  if (components_.empty()) return false;
+  if (edges_.size() + 1 != components_.size()) return false;
+  std::vector<size_t> in(components_.size(), 0), out(components_.size(), 0);
+  for (const auto& [from, to] : edges_) {
+    in[to] += 1;
+    out[from] += 1;
+  }
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (in[i] > 1 || out[i] > 1) return false;
+  }
+  return TopologicalOrder().ok();
+}
+
+Status Pipeline::CheckCompatibility() const {
+  for (const auto& [from, to] : edges_) {
+    const ComponentVersionSpec& a = components_[from];
+    const ComponentVersionSpec& b = components_[to];
+    if (!a.CompatibleWith(b)) {
+      return Status::Incompatible(
+          "component <" + b.name + ", " + b.version.ToString() +
+          "> cannot consume output schema of <" + a.name + ", " +
+          a.version.ToString() + ">");
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<Pipeline> Pipeline::Chain(std::string name,
+                                   std::vector<ComponentVersionSpec> specs) {
+  Pipeline p(std::move(name));
+  for (ComponentVersionSpec& s : specs) {
+    MLCASK_RETURN_IF_ERROR(p.AddComponent(std::move(s)));
+  }
+  for (size_t i = 0; i + 1 < p.components_.size(); ++i) {
+    MLCASK_RETURN_IF_ERROR(
+        p.Connect(p.components_[i].name, p.components_[i + 1].name));
+  }
+  MLCASK_RETURN_IF_ERROR(p.Validate());
+  return p;
+}
+
+Json Pipeline::ToJson() const {
+  Json j = Json::Object();
+  j.Set("name", Json::Str(name_));
+  Json comps = Json::Array();
+  for (const ComponentVersionSpec& c : components_) comps.Append(c.ToJson());
+  j.Set("components", std::move(comps));
+  Json edges = Json::Array();
+  for (const auto& [from, to] : edges_) {
+    Json e = Json::Array();
+    e.Append(Json::Str(components_[from].name));
+    e.Append(Json::Str(components_[to].name));
+    edges.Append(std::move(e));
+  }
+  j.Set("edges", std::move(edges));
+  return j;
+}
+
+StatusOr<Pipeline> Pipeline::FromJson(const Json& j) {
+  Pipeline p(j.GetString("name"));
+  const Json* comps = j.Get("components");
+  if (comps == nullptr || !comps->is_array()) {
+    return Status::InvalidArgument("pipeline metafile missing components");
+  }
+  for (size_t i = 0; i < comps->size(); ++i) {
+    MLCASK_ASSIGN_OR_RETURN(ComponentVersionSpec s,
+                            ComponentVersionSpec::FromJson(comps->at(i)));
+    MLCASK_RETURN_IF_ERROR(p.AddComponent(std::move(s)));
+  }
+  const Json* edges = j.Get("edges");
+  if (edges != nullptr && edges->is_array()) {
+    for (size_t i = 0; i < edges->size(); ++i) {
+      const Json& e = edges->at(i);
+      if (!e.is_array() || e.size() != 2) {
+        return Status::InvalidArgument("bad edge in pipeline metafile");
+      }
+      MLCASK_RETURN_IF_ERROR(
+          p.Connect(e.at(0).AsString(), e.at(1).AsString()));
+    }
+  }
+  return p;
+}
+
+version::PipelineSnapshot Pipeline::ToSnapshot() const {
+  version::PipelineSnapshot snap;
+  auto order = TopologicalOrder();
+  if (order.ok()) {
+    for (const ComponentVersionSpec* c : *order) {
+      snap.components.push_back(c->ToRecord());
+    }
+  }
+  return snap;
+}
+
+}  // namespace mlcask::pipeline

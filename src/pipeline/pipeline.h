@@ -1,0 +1,79 @@
+#ifndef MLCASK_PIPELINE_PIPELINE_H_
+#define MLCASK_PIPELINE_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "pipeline/component.h"
+#include "version/commit.h"
+
+namespace mlcask::pipeline {
+
+/// An ML pipeline per Definition 1: a DAG whose vertices are components and
+/// whose edges depict data flow. The evaluated pipelines (and the paper's
+/// search-tree formulation, which treats components as levels f_0..f_Nf) are
+/// chains, so a chain constructor is provided; the DAG form validates
+/// arbitrary topologies.
+class Pipeline {
+ public:
+  Pipeline() = default;
+  explicit Pipeline(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds a component vertex. Duplicate names are rejected.
+  Status AddComponent(ComponentVersionSpec spec);
+
+  /// Adds a data-flow edge between existing components.
+  Status Connect(const std::string& from, const std::string& to);
+
+  size_t size() const { return components_.size(); }
+  const std::vector<ComponentVersionSpec>& components() const {
+    return components_;
+  }
+  StatusOr<const ComponentVersionSpec*> Find(const std::string& name) const;
+
+  /// Predecessors / successors by component name (paper's pre(f), suc(f)).
+  std::vector<std::string> Predecessors(const std::string& name) const;
+  std::vector<std::string> Successors(const std::string& name) const;
+
+  /// Kahn topological order; Corruption if a cycle exists.
+  StatusOr<std::vector<const ComponentVersionSpec*>> TopologicalOrder() const;
+
+  /// Validates: non-empty, acyclic, exactly the source components have no
+  /// predecessor and they are datasets, every edge endpoint exists.
+  Status Validate() const;
+
+  /// True iff the DAG is a single chain (each vertex has <= 1 in and <= 1
+  /// out edge and the graph is connected).
+  bool IsChain() const;
+
+  /// Declared-schema compatibility along every edge (Def. 4); returns the
+  /// first violating edge as an Incompatible status.
+  Status CheckCompatibility() const;
+
+  /// Builds a linear pipeline from an ordered component list.
+  static StatusOr<Pipeline> Chain(std::string name,
+                                  std::vector<ComponentVersionSpec> specs);
+
+  /// The pipeline metafile: entry point plus component order and references.
+  Json ToJson() const;
+  static StatusOr<Pipeline> FromJson(const Json& j);
+
+  /// Snapshot of all components (records without outputs) for committing.
+  version::PipelineSnapshot ToSnapshot() const;
+
+ private:
+  int IndexOf(const std::string& name) const;
+
+  std::string name_;
+  std::vector<ComponentVersionSpec> components_;
+  // Edges as index pairs (from, to).
+  std::vector<std::pair<size_t, size_t>> edges_;
+};
+
+}  // namespace mlcask::pipeline
+
+#endif  // MLCASK_PIPELINE_PIPELINE_H_

@@ -1,0 +1,43 @@
+#include "sim/distributed.h"
+
+namespace mlcask::sim {
+
+double DistributedSpeedup(size_t gpus, double comm_overhead) {
+  if (gpus <= 1) return 1.0;
+  double k = static_cast<double>(gpus);
+  return k / (1.0 + comm_overhead * (k - 1.0));
+}
+
+double PipelineTimeSpeedup(double train_fraction, double train_speedup) {
+  if (train_speedup <= 0) return 0;
+  return 1.0 / ((1.0 - train_fraction) + train_fraction / train_speedup);
+}
+
+StatusOr<std::vector<LossCurvePoint>> SimulateDistributedTraining(
+    const ml::Matrix& x, const std::vector<double>& y,
+    const ml::MlpConfig& model_config, const DistributedConfig& dist_config) {
+  if (dist_config.gpus == 0) {
+    return Status::InvalidArgument("need at least one GPU");
+  }
+  if (dist_config.base_epoch_seconds <= 0) {
+    return Status::InvalidArgument("base_epoch_seconds must be positive");
+  }
+  ml::Mlp model;
+  MLCASK_RETURN_IF_ERROR(model.Fit(x, y, model_config));
+
+  double speedup =
+      DistributedSpeedup(dist_config.gpus, dist_config.comm_overhead);
+  double epoch_seconds = dist_config.base_epoch_seconds / speedup;
+
+  std::vector<LossCurvePoint> curve;
+  curve.reserve(model.loss_history().size());
+  for (size_t epoch = 0; epoch < model.loss_history().size(); ++epoch) {
+    LossCurvePoint p;
+    p.time_s = epoch_seconds * static_cast<double>(epoch + 1);
+    p.loss = model.loss_history()[epoch];
+    curve.push_back(p);
+  }
+  return curve;
+}
+
+}  // namespace mlcask::sim

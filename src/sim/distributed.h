@@ -1,0 +1,49 @@
+#ifndef MLCASK_SIM_DISTRIBUTED_H_
+#define MLCASK_SIM_DISTRIBUTED_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/matrix.h"
+#include "ml/mlp.h"
+
+namespace mlcask::sim {
+
+/// Configuration of the synchronous data-parallel training simulation
+/// (paper Sec. VII-F, Fig. 11a: ResNet18 on up to 8 GPUs in one node).
+struct DistributedConfig {
+  size_t gpus = 1;
+  /// Simulated single-GPU epoch time in seconds.
+  double base_epoch_seconds = 30.0;
+  /// Per-extra-GPU synchronization overhead fraction: throughput scales as
+  /// k / (1 + comm_overhead * (k - 1)), the classic all-reduce model.
+  double comm_overhead = 0.06;
+};
+
+/// One point of a loss-vs-wall-clock curve.
+struct LossCurvePoint {
+  double time_s = 0;
+  double loss = 0;
+};
+
+/// Effective throughput speedup of k-GPU synchronous training relative to
+/// one GPU (k=1 -> 1.0).
+double DistributedSpeedup(size_t gpus, double comm_overhead);
+
+/// The paper's pipeline-time speedup law (Sec. VII-F):
+///   Speedup = 1 / ((1 - p) + p / k)
+/// where `train_fraction` p is the share of pipeline time spent in model
+/// training and `train_speedup` k the speedup of training itself.
+double PipelineTimeSpeedup(double train_fraction, double train_speedup);
+
+/// Trains a real MLP on (x, y) and maps its per-epoch training-loss history
+/// onto simulated wall-clock time for the given GPU count: more GPUs raise
+/// sample throughput, so the same loss level is reached earlier.
+StatusOr<std::vector<LossCurvePoint>> SimulateDistributedTraining(
+    const ml::Matrix& x, const std::vector<double>& y,
+    const ml::MlpConfig& model_config, const DistributedConfig& dist_config);
+
+}  // namespace mlcask::sim
+
+#endif  // MLCASK_SIM_DISTRIBUTED_H_

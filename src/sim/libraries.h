@@ -1,0 +1,46 @@
+#ifndef MLCASK_SIM_LIBRARIES_H_
+#define MLCASK_SIM_LIBRARIES_H_
+
+#include "common/status.h"
+#include "pipeline/library_registry.h"
+
+namespace mlcask::sim {
+
+/// Registers the library executables used by the four evaluated pipelines
+/// (paper Sec. VII-A):
+///
+/// Datasets (sources):
+///   gen_readmission  — EHR readmission table (params: rows, seed,
+///                      schema_version, missing_rate)
+///   gen_dpm          — longitudinal CKD table (params: patients, visits)
+///   gen_reviews      — sentiment corpus (params: rows)
+///   gen_digits       — digit images (params: rows, side)
+///
+/// Pre-processing:
+///   cleanse_impute        — fills missing labs (mean/zero) and blank
+///                           diagnosis codes (params: strategy, variant)
+///   extract_ehr_features  — standardized numeric features + diag-code
+///                           frequency encoding (params: use_code_freq)
+///   hmm_smooth            — per-patient HMM smoothing of lab columns
+///                           (params: num_states, em_iterations)
+///   corpus_process        — text normalization / token count features
+///   train_embedding       — co-occurrence embedding, embeds each review
+///                           (params: dims, window)
+///   zernike_features      — Zernike moments of each image (params: max_order)
+///   autolearn_features    — ratio/product generation + selection
+///                           (params: keep_top_k, base_pool)
+///
+/// Models (sinks; emit the pipeline score):
+///   train_mlp      — MLP on double features vs "label" (params: hidden,
+///                    epochs, lr; metric: accuracy)
+///   train_logreg   — logistic regression  (metric: accuracy)
+///   train_adaboost — AdaBoost stumps      (params: rounds; metric: accuracy)
+///
+/// All impls read an integer `variant` param (default 0): the knob the
+/// version-evolution scripts turn so that successive increments genuinely
+/// change behaviour and scores.
+Status RegisterWorkloadLibraries(pipeline::LibraryRegistry* registry);
+
+}  // namespace mlcask::sim
+
+#endif  // MLCASK_SIM_LIBRARIES_H_

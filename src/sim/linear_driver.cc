@@ -1,0 +1,74 @@
+#include "sim/linear_driver.h"
+
+#include "common/rng.h"
+
+namespace mlcask::sim {
+
+StatusOr<std::vector<ScheduledIteration>> BuildLinearSchedule(
+    const Workload& workload, const LinearProtocolOptions& options) {
+  if (options.iterations < 2) {
+    return Status::InvalidArgument("need at least two iterations");
+  }
+  Pcg32 rng(options.seed);
+  std::vector<ScheduledIteration> schedule;
+  schedule.reserve(static_cast<size_t>(options.iterations));
+
+  // Iteration 0: the initial pipeline; every component is "updated" (first
+  // archive of all libraries).
+  ScheduledIteration first;
+  first.pipeline = workload.initial;
+  for (const auto& spec : workload.initial.components()) {
+    first.updated_components.push_back(spec);
+  }
+  schedule.push_back(std::move(first));
+
+  pipeline::Pipeline current = workload.initial;
+  for (int iter = 1; iter < options.iterations; ++iter) {
+    bool is_last = iter == options.iterations - 1;
+    ScheduledIteration step;
+    if (is_last && options.final_incompatibility) {
+      // Schema-bump the second-to-last component (the last pre-processor)
+      // without adapting the model: the classic asynchronous-update break.
+      MLCASK_ASSIGN_OR_RETURN(const pipeline::ComponentVersionSpec* pre,
+                              current.Find(workload.preprocessors.back()));
+      pipeline::ComponentVersionSpec bumped = BumpSchema(*pre);
+      MLCASK_ASSIGN_OR_RETURN(current, WithComponent(current, bumped));
+      step.updated_components.push_back(bumped);
+    } else if (rng.NextDouble() < options.p_update_preprocessor) {
+      // Update one pre-processing component (uniformly chosen).
+      const std::string& name = workload.preprocessors[rng.Below(
+          static_cast<uint32_t>(workload.preprocessors.size()))];
+      MLCASK_ASSIGN_OR_RETURN(const pipeline::ComponentVersionSpec* pre,
+                              current.Find(name));
+      pipeline::ComponentVersionSpec bumped = BumpIncrement(*pre);
+      MLCASK_ASSIGN_OR_RETURN(current, WithComponent(current, bumped));
+      step.updated_components.push_back(bumped);
+    } else {
+      // Update the model component.
+      MLCASK_ASSIGN_OR_RETURN(const pipeline::ComponentVersionSpec* model,
+                              current.Find(workload.model));
+      pipeline::ComponentVersionSpec bumped = BumpIncrement(*model);
+      MLCASK_ASSIGN_OR_RETURN(current, WithComponent(current, bumped));
+      step.updated_components.push_back(bumped);
+    }
+    step.pipeline = current;
+    schedule.push_back(std::move(step));
+  }
+  return schedule;
+}
+
+StatusOr<std::vector<baselines::IterationStats>> ReplaySchedule(
+    const std::vector<ScheduledIteration>& schedule,
+    baselines::SystemUnderTest* system) {
+  std::vector<baselines::IterationStats> out;
+  out.reserve(schedule.size());
+  for (const ScheduledIteration& step : schedule) {
+    MLCASK_ASSIGN_OR_RETURN(
+        baselines::IterationStats stats,
+        system->RunIteration(step.pipeline, step.updated_components));
+    out.push_back(stats);
+  }
+  return out;
+}
+
+}  // namespace mlcask::sim

@@ -1,0 +1,45 @@
+#ifndef MLCASK_SIM_LINEAR_DRIVER_H_
+#define MLCASK_SIM_LINEAR_DRIVER_H_
+
+#include <vector>
+
+#include "baselines/system_under_test.h"
+#include "common/status.h"
+#include "sim/workloads.h"
+
+namespace mlcask::sim {
+
+/// The linear-versioning protocol of Sec. VII-B: a fixed number of
+/// iterations, each updating the pre-processing component with probability
+/// 0.4 and the model component with probability 0.6; the last iteration is
+/// "designed to have an incompatibility problem between the last two
+/// components".
+struct LinearProtocolOptions {
+  int iterations = 10;
+  double p_update_preprocessor = 0.4;
+  uint64_t seed = 42;
+  bool final_incompatibility = true;
+};
+
+/// One iteration of the schedule: the pipeline to run plus which components
+/// changed relative to the previous iteration.
+struct ScheduledIteration {
+  pipeline::Pipeline pipeline;
+  std::vector<pipeline::ComponentVersionSpec> updated_components;
+};
+
+/// Builds the deterministic update schedule for a workload. The SAME
+/// schedule is replayed against every system under test so the comparison
+/// isolates the systems' reuse/storage behaviour.
+StatusOr<std::vector<ScheduledIteration>> BuildLinearSchedule(
+    const Workload& workload, const LinearProtocolOptions& options);
+
+/// Replays a schedule on one system, returning per-iteration statistics
+/// (total time for Fig. 5, time composition for Fig. 6, CSS for Fig. 7).
+StatusOr<std::vector<baselines::IterationStats>> ReplaySchedule(
+    const std::vector<ScheduledIteration>& schedule,
+    baselines::SystemUnderTest* system);
+
+}  // namespace mlcask::sim
+
+#endif  // MLCASK_SIM_LINEAR_DRIVER_H_

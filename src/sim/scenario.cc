@@ -1,0 +1,117 @@
+#include "sim/scenario.h"
+
+#include "sim/libraries.h"
+#include "storage/forkbase_engine.h"
+#include "storage/local_dir_engine.h"
+
+namespace mlcask::sim {
+
+StatusOr<Hash256> Deployment::RunAndCommit(
+    const pipeline::Pipeline& p, const std::string& branch,
+    const std::string& author, const std::string& message,
+    const pipeline::ExecutorOptions& opts) {
+  for (const pipeline::ComponentVersionSpec& spec : p.components()) {
+    MLCASK_RETURN_IF_ERROR(libraries->Put(spec));
+  }
+  MLCASK_ASSIGN_OR_RETURN(pipeline::PipelineRunResult run,
+                          executor->Run(p, opts));
+  if (run.compatibility_failure) {
+    return Status::Incompatible("pipeline failed compatibility at " +
+                                run.failed_component);
+  }
+  if (!repo->branches().Exists("master")) {
+    return repo->Init(run.snapshot, author, message);
+  }
+  if (!repo->branches().Exists(branch)) {
+    MLCASK_RETURN_IF_ERROR(repo->Branch(branch, "master"));
+  }
+  return repo->CommitOn(branch, run.snapshot, author, message);
+}
+
+StatusOr<std::unique_ptr<Deployment>> MakeDeployment(
+    const std::string& workload_name, double scale, bool folder_storage) {
+  auto d = std::make_unique<Deployment>();
+  if (folder_storage) {
+    d->engine = std::make_unique<storage::LocalDirEngine>();
+  } else {
+    d->engine = std::make_unique<storage::ForkBaseEngine>();
+  }
+  d->clock = std::make_unique<SimClock>();
+  d->registry = std::make_unique<pipeline::LibraryRegistry>();
+  MLCASK_RETURN_IF_ERROR(RegisterWorkloadLibraries(d->registry.get()));
+  d->libraries = std::make_unique<pipeline::LibraryRepo>(d->engine.get(),
+                                                         d->clock.get());
+  MLCASK_ASSIGN_OR_RETURN(d->workload, MakeWorkload(workload_name, scale));
+  d->repo = std::make_unique<version::PipelineRepo>(
+      workload_name, d->engine.get(), d->clock.get());
+  d->executor = std::make_unique<pipeline::Executor>(
+      d->registry.get(), d->engine.get(), d->clock.get());
+  return d;
+}
+
+StatusOr<ScenarioInfo> BuildTwoBranchScenario(Deployment* d) {
+  const Workload& w = d->workload;
+  ScenarioInfo info;
+  if (w.preprocessors.empty()) {
+    return Status::FailedPrecondition("workload has no preprocessors");
+  }
+  const std::string first_pre = w.preprocessors.front();
+  const std::string last_pre = w.preprocessors.back();
+  info.schema_bumped_component = last_pre;
+
+  // Common ancestor: master.0.0, everything at 0.0, fully materialized.
+  MLCASK_RETURN_IF_ERROR(
+      d->RunAndCommit(w.initial, "master", "alice", "initial pipeline")
+          .status());
+
+  // --- MERGE_HEAD side (dev, "Frank") ----------------------------------
+  // dev.0.0: model 0.1.
+  MLCASK_ASSIGN_OR_RETURN(const pipeline::ComponentVersionSpec* model0,
+                          w.initial.Find(w.model));
+  pipeline::ComponentVersionSpec model_0_1 = BumpIncrement(*model0);
+  MLCASK_ASSIGN_OR_RETURN(pipeline::Pipeline dev0,
+                          WithComponent(w.initial, model_0_1));
+  MLCASK_RETURN_IF_ERROR(
+      d->RunAndCommit(dev0, "dev", "frank", "model 0.1").status());
+
+  // dev.0.1: last preprocessor 1.0 (schema bump) + model 0.2 adapted.
+  MLCASK_ASSIGN_OR_RETURN(const pipeline::ComponentVersionSpec* pre0,
+                          w.initial.Find(last_pre));
+  pipeline::ComponentVersionSpec pre_1_0 = BumpSchema(*pre0);
+  pipeline::ComponentVersionSpec model_0_2 =
+      AdaptInputSchema(model_0_1, pre_1_0.output_schema);
+  MLCASK_ASSIGN_OR_RETURN(pipeline::Pipeline dev1,
+                          WithComponent(dev0, pre_1_0));
+  MLCASK_ASSIGN_OR_RETURN(dev1, WithComponent(dev1, model_0_2));
+  MLCASK_RETURN_IF_ERROR(
+      d->RunAndCommit(dev1, "dev", "frank",
+                      last_pre + " 1.0 + adapted model 0.2")
+          .status());
+
+  // dev.0.2: model 0.3.
+  pipeline::ComponentVersionSpec model_0_3 = BumpIncrement(model_0_2);
+  MLCASK_ASSIGN_OR_RETURN(pipeline::Pipeline dev2,
+                          WithComponent(dev1, model_0_3));
+  MLCASK_RETURN_IF_ERROR(
+      d->RunAndCommit(dev2, "dev", "frank", "model 0.3").status());
+
+  // --- HEAD side (master, "Jane") ---------------------------------------
+  // master.0.1: first preprocessor 0.1 and model 0.4 (compatible with the
+  // OLD schema of the last preprocessor — Jane never saw Frank's bump).
+  MLCASK_ASSIGN_OR_RETURN(const pipeline::ComponentVersionSpec* first0,
+                          w.initial.Find(first_pre));
+  pipeline::ComponentVersionSpec first_0_1 = BumpIncrement(*first0);
+  pipeline::ComponentVersionSpec model_0_4 = *model0;
+  for (int i = 0; i < 4; ++i) model_0_4 = BumpIncrement(model_0_4);
+  MLCASK_ASSIGN_OR_RETURN(pipeline::Pipeline master1,
+                          WithComponent(w.initial, first_0_1));
+  MLCASK_ASSIGN_OR_RETURN(master1, WithComponent(master1, model_0_4));
+  MLCASK_RETURN_IF_ERROR(
+      d->RunAndCommit(master1, "master", "jane",
+                      first_pre + " 0.1 + model 0.4")
+          .status());
+
+  return info;
+}
+
+}  // namespace mlcask::sim

@@ -1,0 +1,67 @@
+#ifndef MLCASK_SIM_SCENARIO_H_
+#define MLCASK_SIM_SCENARIO_H_
+
+#include <memory>
+#include <string>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "pipeline/executor.h"
+#include "pipeline/library_registry.h"
+#include "pipeline/library_repo.h"
+#include "sim/workloads.h"
+#include "storage/storage_engine.h"
+#include "version/pipeline_repo.h"
+
+namespace mlcask::sim {
+
+/// A fully provisioned MLCask deployment around one workload: storage
+/// engine, library registry/repository, pipeline repository, executor, and
+/// simulated clock. Everything the drivers, benches, and examples need.
+struct Deployment {
+  std::unique_ptr<storage::StorageEngine> engine;
+  std::unique_ptr<SimClock> clock;
+  std::unique_ptr<pipeline::LibraryRegistry> registry;
+  std::unique_ptr<pipeline::LibraryRepo> libraries;
+  std::unique_ptr<version::PipelineRepo> repo;
+  std::unique_ptr<pipeline::Executor> executor;
+  Workload workload;
+
+  /// Runs `p`, commits the result snapshot on `branch`, and registers every
+  /// component version in the library repository. Returns the commit id.
+  StatusOr<Hash256> RunAndCommit(const pipeline::Pipeline& p,
+                                 const std::string& branch,
+                                 const std::string& author,
+                                 const std::string& message,
+                                 const pipeline::ExecutorOptions& opts = {});
+};
+
+/// Creates a deployment with a ForkBase engine (pass `folder_storage` for
+/// the baselines' local-dir archival engine instead).
+StatusOr<std::unique_ptr<Deployment>> MakeDeployment(
+    const std::string& workload_name, double scale,
+    bool folder_storage = false);
+
+/// Reproduces the paper's Fig. 3 two-branch history on a deployment:
+///
+///   master.0.0 (common ancestor, all components 0.0)
+///   ├─ master.0.1      : first preprocessor 0.1, model 0.4   (HEAD side)
+///   └─ dev.0.0..dev.0.2: model 0.1; last preprocessor 1.0 (schema bump) +
+///                        model 0.2 (adapted); model 0.3     (MERGE_HEAD)
+///
+/// This yields the paper's search space: 5 model versions, 2 versions of the
+/// schema-bumped preprocessor (0.0/1.0), 2 of the first preprocessor, and a
+/// compatibility split exactly like Fig. 4's (3 models follow the old
+/// schema, 2 the new).
+struct ScenarioInfo {
+  std::string head_branch = "master";
+  std::string merge_branch = "dev";
+  /// Name of the preprocessor whose schema was bumped on the dev branch.
+  std::string schema_bumped_component;
+};
+
+StatusOr<ScenarioInfo> BuildTwoBranchScenario(Deployment* deployment);
+
+}  // namespace mlcask::sim
+
+#endif  // MLCASK_SIM_SCENARIO_H_

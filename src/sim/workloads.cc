@@ -1,0 +1,246 @@
+#include "sim/workloads.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mlcask::sim {
+
+namespace {
+
+using pipeline::ComponentKind;
+using pipeline::ComponentVersionSpec;
+using pipeline::Pipeline;
+
+/// Logical schema ids per workload stage. Ids only need to be distinct and
+/// stable; datasets derive theirs from real schema hashes in examples, while
+/// the workload scripts use these compact ids for readability.
+constexpr uint64_t kSchemaBase = 100;
+
+ComponentVersionSpec MakeSpec(const std::string& name, ComponentKind kind,
+                              uint64_t input_schema, uint64_t output_schema,
+                              const std::string& impl, Json params,
+                              double cost_per_krow_s) {
+  ComponentVersionSpec s;
+  s.name = name;
+  s.version = version::SemanticVersion::Initial();
+  s.kind = kind;
+  s.input_schema = input_schema;
+  s.output_schema = output_schema;
+  s.impl = impl;
+  s.params = std::move(params);
+  s.cost_per_krow_s = cost_per_krow_s;
+  return s;
+}
+
+Json P() { return Json::Object(); }
+
+StatusOr<Workload> MakeReadmission(double scale) {
+  // Model-training-heavy profile (Fig. 6a): ~130 simulated seconds per full
+  // run at scale 1 with ~2000 rows, over half of it in the DL model.
+  int64_t rows = std::max<int64_t>(60, static_cast<int64_t>(2000 * scale));
+  Workload w;
+  w.name = "readmission";
+  std::vector<ComponentVersionSpec> chain;
+  Json ds = P();
+  ds.Set("rows", Json::Int(rows));
+  ds.Set("seed", Json::Int(7));
+  chain.push_back(MakeSpec("dataset", ComponentKind::kDataset, 0,
+                           kSchemaBase + 1, "gen_readmission", std::move(ds),
+                           1.0));
+  chain.push_back(MakeSpec("data_cleansing", ComponentKind::kPreprocessor,
+                           kSchemaBase + 1, kSchemaBase + 2, "cleanse_impute",
+                           P(), 4.0));
+  chain.push_back(MakeSpec("feature_extract", ComponentKind::kPreprocessor,
+                           kSchemaBase + 2, kSchemaBase + 3,
+                           "extract_ehr_features", P(), 7.5));
+  Json mp = P();
+  mp.Set("hidden", Json::Int(16));
+  mp.Set("epochs", Json::Int(12));
+  chain.push_back(MakeSpec("cnn", ComponentKind::kModel, kSchemaBase + 3,
+                           kSchemaBase + 4, "train_mlp", std::move(mp), 52.0));
+  MLCASK_ASSIGN_OR_RETURN(w.initial, Pipeline::Chain(w.name, std::move(chain)));
+  w.preprocessors = {"data_cleansing", "feature_extract"};
+  w.model = "cnn";
+  return w;
+}
+
+StatusOr<Workload> MakeDpm(double scale) {
+  // Pre-processing-heavy profile (Fig. 6b): HMM smoothing dominates; ~650
+  // simulated seconds per full run at scale 1 with 250 x 12 rows.
+  int64_t patients = std::max<int64_t>(10, static_cast<int64_t>(250 * scale));
+  Workload w;
+  w.name = "dpm";
+  std::vector<ComponentVersionSpec> chain;
+  Json ds = P();
+  ds.Set("patients", Json::Int(patients));
+  ds.Set("visits", Json::Int(12));
+  ds.Set("seed", Json::Int(11));
+  chain.push_back(MakeSpec("dataset", ComponentKind::kDataset, 0,
+                           kSchemaBase + 11, "gen_dpm", std::move(ds), 1.0));
+  chain.push_back(MakeSpec("data_cleansing", ComponentKind::kPreprocessor,
+                           kSchemaBase + 11, kSchemaBase + 12, "cleanse_impute",
+                           P(), 3.0));
+  chain.push_back(MakeSpec("feature_extract", ComponentKind::kPreprocessor,
+                           kSchemaBase + 12, kSchemaBase + 13,
+                           "extract_ehr_features", P(), 8.0));
+  Json hp = P();
+  hp.Set("num_states", Json::Int(3));
+  hp.Set("em_iterations", Json::Int(8));
+  chain.push_back(MakeSpec("hmm_processing", ComponentKind::kPreprocessor,
+                           kSchemaBase + 13, kSchemaBase + 14, "hmm_smooth",
+                           std::move(hp), 150.0));
+  Json mp = P();
+  mp.Set("hidden", Json::Int(12));
+  mp.Set("epochs", Json::Int(10));
+  chain.push_back(MakeSpec("dl_model", ComponentKind::kModel, kSchemaBase + 14,
+                           kSchemaBase + 15, "train_mlp", std::move(mp), 55.0));
+  MLCASK_ASSIGN_OR_RETURN(w.initial, Pipeline::Chain(w.name, std::move(chain)));
+  w.preprocessors = {"data_cleansing", "feature_extract", "hmm_processing"};
+  w.model = "dl_model";
+  return w;
+}
+
+StatusOr<Workload> MakeSa(double scale) {
+  // Pre-processing-heavy profile (Fig. 6c): embedding training dominates;
+  // ~500 simulated seconds per full run at scale 1 with 1500 reviews.
+  int64_t rows = std::max<int64_t>(80, static_cast<int64_t>(1500 * scale));
+  Workload w;
+  w.name = "sa";
+  std::vector<ComponentVersionSpec> chain;
+  Json ds = P();
+  ds.Set("rows", Json::Int(rows));
+  ds.Set("seed", Json::Int(13));
+  chain.push_back(MakeSpec("dataset", ComponentKind::kDataset, 0,
+                           kSchemaBase + 21, "gen_reviews", std::move(ds),
+                           1.3));
+  chain.push_back(MakeSpec("corpus_process", ComponentKind::kPreprocessor,
+                           kSchemaBase + 21, kSchemaBase + 22, "corpus_process",
+                           P(), 20.0));
+  Json ep = P();
+  ep.Set("dims", Json::Int(12));
+  ep.Set("window", Json::Int(2));
+  chain.push_back(MakeSpec("word_embedding", ComponentKind::kPreprocessor,
+                           kSchemaBase + 22, kSchemaBase + 23,
+                           "train_embedding", std::move(ep), 240.0));
+  chain.push_back(MakeSpec("feature_pooling", ComponentKind::kPreprocessor,
+                           kSchemaBase + 23, kSchemaBase + 24, "pool_features",
+                           P(), 6.0));
+  Json mp = P();
+  mp.Set("hidden", Json::Int(12));
+  mp.Set("epochs", Json::Int(12));
+  chain.push_back(MakeSpec("dl_model", ComponentKind::kModel, kSchemaBase + 24,
+                           kSchemaBase + 25, "train_mlp", std::move(mp), 66.0));
+  MLCASK_ASSIGN_OR_RETURN(w.initial, Pipeline::Chain(w.name, std::move(chain)));
+  w.preprocessors = {"corpus_process", "word_embedding", "feature_pooling"};
+  w.model = "dl_model";
+  return w;
+}
+
+StatusOr<Workload> MakeAutolearn(double scale) {
+  // The costliest pipeline (Fig. 5d): feature generation + selection
+  // dominate; ~1300 simulated seconds per full run at scale 1, 1200 images.
+  int64_t rows = std::max<int64_t>(60, static_cast<int64_t>(1200 * scale));
+  Workload w;
+  w.name = "autolearn";
+  std::vector<ComponentVersionSpec> chain;
+  Json ds = P();
+  ds.Set("rows", Json::Int(rows));
+  ds.Set("side", Json::Int(16));
+  ds.Set("seed", Json::Int(17));
+  chain.push_back(MakeSpec("dataset", ComponentKind::kDataset, 0,
+                           kSchemaBase + 31, "gen_digits", std::move(ds), 2.0));
+  Json zp = P();
+  zp.Set("max_order", Json::Int(6));
+  chain.push_back(MakeSpec("zernike_moments", ComponentKind::kPreprocessor,
+                           kSchemaBase + 31, kSchemaBase + 32,
+                           "zernike_features", std::move(zp), 380.0));
+  Json gp = P();
+  gp.Set("keep_top_k", Json::Int(60));
+  gp.Set("base_pool", Json::Int(12));
+  chain.push_back(MakeSpec("feature_generation", ComponentKind::kPreprocessor,
+                           kSchemaBase + 32, kSchemaBase + 33,
+                           "autolearn_features", std::move(gp), 420.0));
+  Json sp = P();
+  sp.Set("keep_top_k", Json::Int(24));
+  chain.push_back(MakeSpec("feature_selection", ComponentKind::kPreprocessor,
+                           kSchemaBase + 33, kSchemaBase + 34,
+                           "autolearn_select", std::move(sp), 90.0));
+  Json mp = P();
+  mp.Set("rounds", Json::Int(30));
+  chain.push_back(MakeSpec("adaboost", ComponentKind::kModel, kSchemaBase + 34,
+                           kSchemaBase + 35, "train_adaboost", std::move(mp),
+                           200.0));
+  MLCASK_ASSIGN_OR_RETURN(w.initial, Pipeline::Chain(w.name, std::move(chain)));
+  w.preprocessors = {"zernike_moments", "feature_generation",
+                     "feature_selection"};
+  w.model = "adaboost";
+  return w;
+}
+
+}  // namespace
+
+std::vector<std::string> WorkloadNames() {
+  return {"readmission", "dpm", "sa", "autolearn"};
+}
+
+StatusOr<Workload> MakeWorkload(const std::string& name, double scale) {
+  if (scale <= 0) {
+    return Status::InvalidArgument("scale must be positive");
+  }
+  if (name == "readmission") return MakeReadmission(scale);
+  if (name == "dpm") return MakeDpm(scale);
+  if (name == "sa") return MakeSa(scale);
+  if (name == "autolearn") return MakeAutolearn(scale);
+  return Status::NotFound("unknown workload '" + name + "'");
+}
+
+pipeline::ComponentVersionSpec BumpIncrement(
+    const pipeline::ComponentVersionSpec& spec) {
+  pipeline::ComponentVersionSpec next = spec;
+  next.version = spec.version.BumpIncrement();
+  next.params.Set("variant",
+                  Json::Int(spec.params.GetInt("variant", 0) + 1));
+  return next;
+}
+
+pipeline::ComponentVersionSpec BumpSchema(
+    const pipeline::ComponentVersionSpec& spec) {
+  pipeline::ComponentVersionSpec next = spec;
+  next.version = spec.version.BumpSchema();
+  next.params.Set("variant",
+                  Json::Int(spec.params.GetInt("variant", 0) + 1));
+  // Fresh output schema id: offset by the schema digit so each major line
+  // has a stable, distinct id.
+  next.output_schema = spec.output_schema + 1000 * next.version.schema;
+  return next;
+}
+
+pipeline::ComponentVersionSpec AdaptInputSchema(
+    const pipeline::ComponentVersionSpec& spec, uint64_t new_input_schema) {
+  pipeline::ComponentVersionSpec next = BumpIncrement(spec);
+  next.input_schema = new_input_schema;
+  return next;
+}
+
+StatusOr<pipeline::Pipeline> WithComponent(
+    const pipeline::Pipeline& chain,
+    const pipeline::ComponentVersionSpec& spec) {
+  MLCASK_ASSIGN_OR_RETURN(auto order, chain.TopologicalOrder());
+  std::vector<pipeline::ComponentVersionSpec> specs;
+  bool replaced = false;
+  for (const pipeline::ComponentVersionSpec* c : order) {
+    if (c->name == spec.name) {
+      specs.push_back(spec);
+      replaced = true;
+    } else {
+      specs.push_back(*c);
+    }
+  }
+  if (!replaced) {
+    return Status::NotFound("component '" + spec.name + "' not in pipeline");
+  }
+  return pipeline::Pipeline::Chain(chain.name(), std::move(specs));
+}
+
+}  // namespace mlcask::sim

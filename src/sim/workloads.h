@@ -1,0 +1,56 @@
+#ifndef MLCASK_SIM_WORKLOADS_H_
+#define MLCASK_SIM_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "pipeline/pipeline.h"
+
+namespace mlcask::sim {
+
+/// One of the paper's four evaluated pipelines, ready to run and evolve.
+struct Workload {
+  std::string name;            ///< "readmission", "dpm", "sa", "autolearn"
+  pipeline::Pipeline initial;  ///< Chain with all components at version 0.0.
+  /// Names of the updatable pre-processing components (dataset excluded),
+  /// in chain order.
+  std::vector<std::string> preprocessors;
+  /// Name of the model component (chain sink).
+  std::string model;
+};
+
+/// The four workload names in the paper's order.
+std::vector<std::string> WorkloadNames();
+
+/// Builds a workload. `scale` multiplies dataset sizes (1 = the calibrated
+/// default whose simulated per-iteration times match the magnitudes of the
+/// paper's Fig. 5; smaller fractions keep unit tests fast — real compute
+/// shrinks while simulated seconds per row stay calibrated).
+StatusOr<Workload> MakeWorkload(const std::string& name, double scale = 1.0);
+
+/// A compatible component update (paper Sec. IV-B): bumps the increment and
+/// turns the `variant` hyperparameter knob so the new version genuinely
+/// behaves differently.
+pipeline::ComponentVersionSpec BumpIncrement(
+    const pipeline::ComponentVersionSpec& spec);
+
+/// An output-schema update: bumps the schema digit and assigns a fresh
+/// output schema id. Downstream components are now incompatible until they
+/// are updated via `AdaptInputSchema`.
+pipeline::ComponentVersionSpec BumpSchema(
+    const pipeline::ComponentVersionSpec& spec);
+
+/// Updates a downstream component to consume a new upstream schema ("if the
+/// output data schema of pre(fi) changes, fi should perform at least one
+/// increment update to ensure its compatibility").
+pipeline::ComponentVersionSpec AdaptInputSchema(
+    const pipeline::ComponentVersionSpec& spec, uint64_t new_input_schema);
+
+/// Replaces the named component in a chain pipeline, returning the new chain.
+StatusOr<pipeline::Pipeline> WithComponent(
+    const pipeline::Pipeline& chain, const pipeline::ComponentVersionSpec& spec);
+
+}  // namespace mlcask::sim
+
+#endif  // MLCASK_SIM_WORKLOADS_H_

@@ -1,0 +1,128 @@
+#include "storage/blob.h"
+
+#include <cstring>
+
+namespace mlcask::storage {
+
+namespace {
+
+constexpr size_t kIndexEntrySize = 32 + 8;  // child hash + payload length
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>(v >> (8 * i)));
+  }
+}
+
+uint64_t ReadU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(p[i]);
+  }
+  return v;
+}
+
+}  // namespace
+
+BlobWriteInfo WriteBlob(ChunkStore* store, const Chunker& chunker,
+                        std::string_view data) {
+  BlobWriteInfo info;
+  std::string index;
+  auto pieces = chunker.Split(data);
+  index.reserve(pieces.size() * kIndexEntrySize);
+  for (const auto& [off, len] : pieces) {
+    std::string_view piece = data.substr(off, len);
+    bool existed = store->Contains(Chunk::ComputeHash(ChunkType::kData, piece));
+    Hash256 h = store->Put(ChunkType::kData, piece);
+    if (existed) {
+      info.dedup_bytes += len;
+    } else {
+      info.new_physical_bytes += len;
+    }
+    index.append(reinterpret_cast<const char*>(h.bytes.data()), 32);
+    AppendU64(&index, len);
+  }
+  bool index_existed =
+      store->Contains(Chunk::ComputeHash(ChunkType::kIndex, index));
+  info.ref.root = store->Put(ChunkType::kIndex, index);
+  if (index_existed) {
+    info.dedup_bytes += index.size();
+  } else {
+    info.new_physical_bytes += index.size();
+  }
+  info.ref.size = data.size();
+  info.ref.num_chunks = static_cast<uint32_t>(pieces.size());
+  return info;
+}
+
+namespace {
+
+Status ParseIndex(const Chunk& index_chunk,
+                  std::vector<std::pair<Hash256, uint64_t>>* entries) {
+  const std::string& index = index_chunk.data();
+  if (index_chunk.type() != ChunkType::kIndex) {
+    return Status::Corruption("blob root is not an index chunk");
+  }
+  if (index.size() % kIndexEntrySize != 0) {
+    return Status::Corruption("blob index has truncated entry");
+  }
+  size_t n = index.size() / kIndexEntrySize;
+  entries->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const char* p = index.data() + i * kIndexEntrySize;
+    Hash256 h;
+    std::memcpy(h.bytes.data(), p, 32);
+    uint64_t len = ReadU64(p + 32);
+    entries->emplace_back(h, len);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<std::string> ReadBlob(const ChunkStore& store, const BlobRef& ref) {
+  MLCASK_ASSIGN_OR_RETURN(const Chunk* index_chunk, store.Get(ref.root));
+  std::vector<std::pair<Hash256, uint64_t>> entries;
+  MLCASK_RETURN_IF_ERROR(ParseIndex(*index_chunk, &entries));
+  std::string out;
+  out.reserve(ref.size);
+  for (const auto& [hash, len] : entries) {
+    MLCASK_ASSIGN_OR_RETURN(const Chunk* c, store.Get(hash));
+    if (c->size() != len) {
+      return Status::Corruption("blob chunk length mismatch for " +
+                                hash.ShortHex());
+    }
+    out += c->data();
+  }
+  if (out.size() != ref.size) {
+    return Status::Corruption("blob size mismatch: expected " +
+                              std::to_string(ref.size) + " got " +
+                              std::to_string(out.size()));
+  }
+  return out;
+}
+
+StatusOr<std::vector<Hash256>> ListBlobChunks(const ChunkStore& store,
+                                              const BlobRef& ref) {
+  MLCASK_ASSIGN_OR_RETURN(const Chunk* index_chunk, store.Get(ref.root));
+  std::vector<std::pair<Hash256, uint64_t>> entries;
+  MLCASK_RETURN_IF_ERROR(ParseIndex(*index_chunk, &entries));
+  std::vector<Hash256> out;
+  out.reserve(entries.size());
+  for (const auto& [hash, len] : entries) {
+    (void)len;
+    out.push_back(hash);
+  }
+  return out;
+}
+
+Status ReleaseBlob(ChunkStore* store, const BlobRef& ref) {
+  MLCASK_ASSIGN_OR_RETURN(std::vector<Hash256> chunks,
+                          ListBlobChunks(*store, ref));
+  for (const Hash256& h : chunks) {
+    MLCASK_RETURN_IF_ERROR(store->Release(h));
+  }
+  return store->Release(ref.root);
+}
+
+}  // namespace mlcask::storage

@@ -1,0 +1,59 @@
+#include "storage/branch_table.h"
+
+namespace mlcask::storage {
+
+Status BranchTable::Create(const std::string& name, const Hash256& head) {
+  if (name.empty()) {
+    return Status::InvalidArgument("branch name must be non-empty");
+  }
+  auto [it, inserted] = heads_.emplace(name, head);
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("branch '" + name + "' already exists");
+  }
+  return Status::Ok();
+}
+
+Status BranchTable::Move(const std::string& name, const Hash256& head) {
+  auto it = heads_.find(name);
+  if (it == heads_.end()) {
+    return Status::NotFound("branch '" + name + "' does not exist");
+  }
+  it->second = head;
+  return Status::Ok();
+}
+
+void BranchTable::Upsert(const std::string& name, const Hash256& head) {
+  heads_[name] = head;
+}
+
+StatusOr<Hash256> BranchTable::Head(const std::string& name) const {
+  auto it = heads_.find(name);
+  if (it == heads_.end()) {
+    return Status::NotFound("branch '" + name + "' does not exist");
+  }
+  return it->second;
+}
+
+bool BranchTable::Exists(const std::string& name) const {
+  return heads_.find(name) != heads_.end();
+}
+
+Status BranchTable::Delete(const std::string& name) {
+  if (heads_.erase(name) == 0) {
+    return Status::NotFound("branch '" + name + "' does not exist");
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> BranchTable::List() const {
+  std::vector<std::string> out;
+  out.reserve(heads_.size());
+  for (const auto& [name, head] : heads_) {
+    (void)head;
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace mlcask::storage

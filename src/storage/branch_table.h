@@ -1,0 +1,43 @@
+#ifndef MLCASK_STORAGE_BRANCH_TABLE_H_
+#define MLCASK_STORAGE_BRANCH_TABLE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/sha256.h"
+#include "common/status.h"
+
+namespace mlcask::storage {
+
+/// Maps branch names to head commit ids (the Git refs equivalent; ForkBase
+/// exposes the same named-branch abstraction). Kept ordered so listings are
+/// deterministic.
+class BranchTable {
+ public:
+  /// Creates a branch pointing at `head`. Fails if the name exists.
+  Status Create(const std::string& name, const Hash256& head);
+
+  /// Moves an existing branch to a new head.
+  Status Move(const std::string& name, const Hash256& head);
+
+  /// Creates the branch if needed, otherwise moves it.
+  void Upsert(const std::string& name, const Hash256& head);
+
+  StatusOr<Hash256> Head(const std::string& name) const;
+  bool Exists(const std::string& name) const;
+
+  Status Delete(const std::string& name);
+
+  /// Branch names in lexicographic order.
+  std::vector<std::string> List() const;
+
+  size_t size() const { return heads_.size(); }
+
+ private:
+  std::map<std::string, Hash256> heads_;
+};
+
+}  // namespace mlcask::storage
+
+#endif  // MLCASK_STORAGE_BRANCH_TABLE_H_

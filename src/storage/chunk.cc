@@ -1,0 +1,25 @@
+#include "storage/chunk.h"
+
+namespace mlcask::storage {
+
+const char* ChunkTypeName(ChunkType t) {
+  switch (t) {
+    case ChunkType::kData:
+      return "data";
+    case ChunkType::kIndex:
+      return "index";
+    case ChunkType::kMeta:
+      return "meta";
+  }
+  return "unknown";
+}
+
+Hash256 Chunk::ComputeHash(ChunkType type, std::string_view data) {
+  Sha256 h;
+  uint8_t tag = static_cast<uint8_t>(type);
+  h.Update(&tag, 1);
+  h.Update(data);
+  return h.Finish();
+}
+
+}  // namespace mlcask::storage

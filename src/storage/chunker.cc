@@ -1,0 +1,80 @@
+#include "storage/chunker.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace mlcask::storage {
+
+FixedChunker::FixedChunker(size_t chunk_size) : chunk_size_(chunk_size) {
+  MLCASK_CHECK_MSG(chunk_size_ > 0, "chunk size must be positive");
+}
+
+std::vector<std::pair<size_t, size_t>> FixedChunker::Split(
+    std::string_view data) const {
+  std::vector<std::pair<size_t, size_t>> out;
+  for (size_t off = 0; off < data.size(); off += chunk_size_) {
+    out.emplace_back(off, std::min(chunk_size_, data.size() - off));
+  }
+  return out;
+}
+
+namespace {
+
+bool IsPowerOfTwo(size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+std::vector<uint64_t> MakeGearTable() {
+  // Deterministic gear table so chunk boundaries (and therefore every content
+  // address in the system) are stable across runs and platforms.
+  std::vector<uint64_t> table(256);
+  Pcg32 rng(/*seed=*/0x6765617274616231ULL);  // "geartab1"
+  for (auto& v : table) v = rng.NextU64();
+  return table;
+}
+
+}  // namespace
+
+GearChunker::GearChunker(size_t min_size, size_t avg_size, size_t max_size)
+    : min_size_(min_size),
+      avg_size_(avg_size),
+      max_size_(max_size),
+      gear_table_(MakeGearTable()) {
+  MLCASK_CHECK_MSG(IsPowerOfTwo(avg_size_), "avg_size must be a power of two");
+  MLCASK_CHECK_MSG(min_size_ >= 1 && min_size_ <= avg_size_,
+                   "need 1 <= min_size <= avg_size");
+  MLCASK_CHECK_MSG(max_size_ >= avg_size_, "need max_size >= avg_size");
+  // A boundary fires when the top log2(avg_size) bits of the rolling hash are
+  // zero, giving an expected chunk length of avg_size.
+  uint64_t bits = 0;
+  for (size_t v = avg_size_; v > 1; v >>= 1) ++bits;
+  mask_ = ~((~uint64_t{0}) >> bits);
+}
+
+std::vector<std::pair<size_t, size_t>> GearChunker::Split(
+    std::string_view data) const {
+  std::vector<std::pair<size_t, size_t>> out;
+  size_t start = 0;
+  uint64_t hash = 0;
+  size_t i = 0;
+  while (i < data.size()) {
+    hash = (hash << 1) + gear_table_[static_cast<uint8_t>(data[i])];
+    ++i;
+    size_t len = i - start;
+    bool boundary = false;
+    if (len >= max_size_) {
+      boundary = true;
+    } else if (len >= min_size_ && (hash & mask_) == 0) {
+      boundary = true;
+    }
+    if (boundary) {
+      out.emplace_back(start, len);
+      start = i;
+      hash = 0;
+    }
+  }
+  if (start < data.size()) {
+    out.emplace_back(start, data.size() - start);
+  }
+  return out;
+}
+
+}  // namespace mlcask::storage

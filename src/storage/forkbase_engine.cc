@@ -1,0 +1,114 @@
+#include "storage/forkbase_engine.h"
+
+#include <algorithm>
+
+namespace mlcask::storage {
+
+ForkBaseEngine::ForkBaseEngine(StorageTimeModel time_model,
+                               std::unique_ptr<Chunker> chunker)
+    : time_model_(time_model), chunker_(std::move(chunker)) {
+  if (chunker_ == nullptr) {
+    chunker_ = std::make_unique<GearChunker>();
+  }
+}
+
+StatusOr<PutResult> ForkBaseEngine::Put(const std::string& key,
+                                        std::string_view data) {
+  BlobWriteInfo info = WriteBlob(&chunks_, *chunker_, data);
+
+  // The version id is derived from the blob root plus the key so two keys
+  // holding identical bytes still have distinct version ids (their chunks
+  // are shared regardless).
+  Sha256 h;
+  h.Update(key);
+  h.Update(info.ref.root.bytes.data(), info.ref.root.bytes.size());
+  // Distinguish repeated identical writes to the same key.
+  uint64_t ordinal = keys_[key].size();
+  h.Update(&ordinal, sizeof(ordinal));
+  Hash256 version_id = h.Finish();
+
+  blobs_[version_id] = info.ref;
+  keys_[key].push_back(version_id);
+
+  PutResult result;
+  result.id = version_id;
+  result.logical_bytes = data.size();
+  result.new_physical_bytes = info.new_physical_bytes;
+  result.deduplicated = info.new_physical_bytes == 0 && !data.empty();
+  result.storage_time_s =
+      time_model_.WriteSeconds(info.new_physical_bytes, data.size());
+
+  stats_.puts += 1;
+  stats_.logical_bytes += result.logical_bytes;
+  stats_.physical_bytes += result.new_physical_bytes;
+  stats_.storage_time_s += result.storage_time_s;
+  return result;
+}
+
+StatusOr<std::string> ForkBaseEngine::Get(const std::string& key) {
+  auto it = keys_.find(key);
+  if (it == keys_.end() || it->second.empty()) {
+    return Status::NotFound("no object under key '" + key + "'");
+  }
+  return GetVersion(it->second.back());
+}
+
+StatusOr<std::string> ForkBaseEngine::GetVersion(const Hash256& id) {
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) {
+    return Status::NotFound("no object version " + id.ShortHex());
+  }
+  MLCASK_ASSIGN_OR_RETURN(std::string data, ReadBlob(chunks_, it->second));
+  stats_.gets += 1;
+  stats_.storage_time_s += time_model_.ReadSeconds(data.size());
+  return data;
+}
+
+bool ForkBaseEngine::HasVersion(const Hash256& id) const {
+  return blobs_.find(id) != blobs_.end();
+}
+
+std::vector<Hash256> ForkBaseEngine::Versions(const std::string& key) const {
+  auto it = keys_.find(key);
+  return it == keys_.end() ? std::vector<Hash256>{} : it->second;
+}
+
+std::vector<std::pair<std::string, Hash256>> ForkBaseEngine::ListAllVersions()
+    const {
+  std::vector<std::pair<std::string, Hash256>> out;
+  for (const auto& [key, versions] : keys_) {
+    for (const Hash256& id : versions) out.emplace_back(key, id);
+  }
+  return out;
+}
+
+Status ForkBaseEngine::RestoreVersion(const std::string& key, const Hash256& id,
+                                      const BlobRef& ref) {
+  if (blobs_.count(id) != 0) {
+    return Status::AlreadyExists("version " + id.ShortHex() +
+                                 " already present");
+  }
+  blobs_[id] = ref;
+  keys_[key].push_back(id);
+  return Status::Ok();
+}
+
+StatusOr<uint64_t> ForkBaseEngine::DeleteVersion(const Hash256& id) {
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) {
+    return Status::NotFound("no object version " + id.ShortHex());
+  }
+  uint64_t physical_before = chunks_.stats().physical_bytes;
+  MLCASK_RETURN_IF_ERROR(ReleaseBlob(&chunks_, it->second));
+  uint64_t freed = physical_before - chunks_.stats().physical_bytes;
+  blobs_.erase(it);
+  for (auto& [key, versions] : keys_) {
+    (void)key;
+    versions.erase(std::remove(versions.begin(), versions.end(), id),
+                   versions.end());
+  }
+  stats_.physical_bytes -= freed;
+  return freed;
+}
+
+}  // namespace mlcask::storage

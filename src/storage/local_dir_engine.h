@@ -1,0 +1,50 @@
+#ifndef MLCASK_STORAGE_LOCAL_DIR_ENGINE_H_
+#define MLCASK_STORAGE_LOCAL_DIR_ENGINE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/storage_engine.h"
+
+namespace mlcask::storage {
+
+/// Folder-archival storage as used by the baselines (ModelDB/MLflow in the
+/// paper "archive different versions of libraries and intermediate results
+/// into separate folders"): every version of every object is retained as a
+/// full copy, so physical bytes always equal logical bytes. Writes are
+/// near-instant (local directory), which matches Fig. 6's storage-time
+/// observation.
+class LocalDirEngine : public StorageEngine {
+ public:
+  explicit LocalDirEngine(
+      StorageTimeModel time_model = {.per_put_latency_s = 0.01,
+                                     .write_mb_per_s = 1000.0,
+                                     .read_mb_per_s = 2000.0,
+                                     .chunking_s_per_mb = 0.0});
+
+  StatusOr<PutResult> Put(const std::string& key,
+                          std::string_view data) override;
+  StatusOr<std::string> Get(const std::string& key) override;
+  StatusOr<std::string> GetVersion(const Hash256& id) override;
+  bool HasVersion(const Hash256& id) const override;
+  std::vector<Hash256> Versions(const std::string& key) const override;
+  std::vector<std::pair<std::string, Hash256>> ListAllVersions() const override;
+  StatusOr<uint64_t> DeleteVersion(const Hash256& id) override;
+
+  const EngineStats& stats() const override { return stats_; }
+  std::string Name() const override { return "local-dir"; }
+  double ReadCost(uint64_t bytes) const override {
+    return time_model_.ReadSeconds(bytes);
+  }
+
+ private:
+  StorageTimeModel time_model_;
+  std::unordered_map<Hash256, std::string, Hash256Hasher> objects_;
+  std::unordered_map<std::string, std::vector<Hash256>> keys_;
+  EngineStats stats_;
+};
+
+}  // namespace mlcask::storage
+
+#endif  // MLCASK_STORAGE_LOCAL_DIR_ENGINE_H_

@@ -1,0 +1,41 @@
+#ifndef MLCASK_STORAGE_PERSISTENCE_H_
+#define MLCASK_STORAGE_PERSISTENCE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/forkbase_engine.h"
+
+namespace mlcask::storage {
+
+/// Durable checkpoint/restore for the ForkBase engine.
+///
+/// On-disk layout under `dir`:
+///   manifest.json               — version index (key -> version ids), blob
+///                                 handles, per-chunk refcounts, engine stats
+///   chunks/<hh>/<hash>.chunk    — one file per distinct chunk; the payload
+///                                 is the raw chunk bytes prefixed with a
+///                                 one-byte type tag, fanned out by the
+///                                 first hex byte of the address
+///
+/// The manifest is written to a temporary file and atomically renamed, so a
+/// crash mid-save leaves the previous checkpoint intact. Chunk files are
+/// content-addressed and immutable, so re-saving an engine only writes
+/// chunks that are new since the last checkpoint (incremental backups for
+/// free — the same de-duplication argument as the in-memory store).
+Status SaveEngine(const ForkBaseEngine& engine, const std::string& dir);
+
+/// Loads a checkpoint into a fresh engine (with the given time model).
+/// Verifies every chunk against its content address and fails with
+/// Corruption on any mismatch or missing file.
+StatusOr<std::unique_ptr<ForkBaseEngine>> LoadEngine(
+    const std::string& dir,
+    StorageTimeModel time_model = {.per_put_latency_s = 0.1,
+                                   .write_mb_per_s = 150.0,
+                                   .read_mb_per_s = 300.0,
+                                   .chunking_s_per_mb = 0.002});
+
+}  // namespace mlcask::storage
+
+#endif  // MLCASK_STORAGE_PERSISTENCE_H_

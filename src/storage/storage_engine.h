@@ -1,0 +1,103 @@
+#ifndef MLCASK_STORAGE_STORAGE_ENGINE_H_
+#define MLCASK_STORAGE_STORAGE_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/sha256.h"
+#include "common/status.h"
+
+namespace mlcask::storage {
+
+/// Cost model for data preparation and transfer. The paper's "storage time"
+/// (Sec. VII-B) is exactly this: time to materialize outputs into the backing
+/// store. ForkBase pays chunking + immutable-commit overhead but only
+/// transfers bytes that are new; folder archival transfers everything but has
+/// negligible per-op cost.
+struct StorageTimeModel {
+  double per_put_latency_s = 0.0;
+  double write_mb_per_s = 200.0;
+  double read_mb_per_s = 400.0;
+  /// Cost per *logical* MB of hashing/chunking work (ForkBase only).
+  double chunking_s_per_mb = 0.0;
+
+  double WriteSeconds(uint64_t transferred_bytes,
+                      uint64_t logical_bytes) const {
+    return per_put_latency_s +
+           static_cast<double>(transferred_bytes) / (write_mb_per_s * 1e6) +
+           chunking_s_per_mb * static_cast<double>(logical_bytes) / 1e6;
+  }
+  double ReadSeconds(uint64_t bytes) const {
+    return static_cast<double>(bytes) / (read_mb_per_s * 1e6);
+  }
+};
+
+/// Result of storing one object version.
+struct PutResult {
+  Hash256 id;                      ///< Content id of this object version.
+  uint64_t logical_bytes = 0;      ///< Bytes the client wrote.
+  uint64_t new_physical_bytes = 0; ///< Bytes the store actually added.
+  double storage_time_s = 0;       ///< Modeled data-prep/transfer time.
+  bool deduplicated = false;       ///< True if fully dedup'd (no new bytes).
+};
+
+/// Cumulative accounting across an engine's lifetime. `physical_bytes` is the
+/// paper's cumulative storage size (CSS); `storage_time_s` accumulates into
+/// cumulative storage time (CST).
+struct EngineStats {
+  uint64_t logical_bytes = 0;
+  uint64_t physical_bytes = 0;
+  double storage_time_s = 0;
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+};
+
+/// A versioned named-object store. Each Put on a key appends a new immutable
+/// version; versions are addressable by content id. This is the interface the
+/// dataset/library/pipeline repositories ride on, and the axis along which
+/// MLCask (ForkBase engine) differs from ModelDB/MLflow (folder archival).
+class StorageEngine {
+ public:
+  virtual ~StorageEngine() = default;
+
+  /// Stores a new version of `key`.
+  virtual StatusOr<PutResult> Put(const std::string& key,
+                                  std::string_view data) = 0;
+
+  /// Reads the latest version of `key`.
+  virtual StatusOr<std::string> Get(const std::string& key) = 0;
+
+  /// Reads a specific version by content id.
+  virtual StatusOr<std::string> GetVersion(const Hash256& id) = 0;
+
+  /// True if a version with this content id exists.
+  virtual bool HasVersion(const Hash256& id) const = 0;
+
+  /// All version ids of `key`, oldest first.
+  virtual std::vector<Hash256> Versions(const std::string& key) const = 0;
+
+  /// Every stored (key, version id) pair, in unspecified order. Used by
+  /// retention/garbage collection to find unreferenced artifacts.
+  virtual std::vector<std::pair<std::string, Hash256>> ListAllVersions()
+      const = 0;
+
+  /// Deletes one object version, returning the physical bytes actually
+  /// freed (on a de-duplicating engine, bytes still referenced by other
+  /// versions are not freed). NotFound if the id is unknown.
+  virtual StatusOr<uint64_t> DeleteVersion(const Hash256& id) = 0;
+
+  virtual const EngineStats& stats() const = 0;
+  virtual std::string Name() const = 0;
+
+  /// Modeled seconds spent reading `bytes` back (charged by callers that
+  /// account read traffic; Get itself also accumulates it into stats()).
+  virtual double ReadCost(uint64_t bytes) const = 0;
+};
+
+}  // namespace mlcask::storage
+
+#endif  // MLCASK_STORAGE_STORAGE_ENGINE_H_

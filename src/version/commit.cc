@@ -1,0 +1,139 @@
+#include "version/commit.h"
+
+namespace mlcask::version {
+
+Json ComponentRecord::ToJson() const {
+  Json j = Json::Object();
+  j.Set("name", Json::Str(name));
+  j.Set("version", Json::Str(version.ToString(/*simplify_master=*/false)));
+  j.Set("input_schema", Json::Int(static_cast<int64_t>(input_schema)));
+  j.Set("output_schema", Json::Int(static_cast<int64_t>(output_schema)));
+  j.Set("output_id", Json::Str(output_id.IsZero() ? "" : output_id.ToHex()));
+  return j;
+}
+
+StatusOr<ComponentRecord> ComponentRecord::FromJson(const Json& j) {
+  ComponentRecord r;
+  r.name = j.GetString("name");
+  if (r.name.empty()) {
+    return Status::InvalidArgument("component record missing name");
+  }
+  MLCASK_ASSIGN_OR_RETURN(r.version,
+                          SemanticVersion::Parse(j.GetString("version")));
+  r.input_schema = static_cast<uint64_t>(j.GetInt("input_schema"));
+  r.output_schema = static_cast<uint64_t>(j.GetInt("output_schema"));
+  std::string hex = j.GetString("output_id");
+  if (!hex.empty() && !Hash256::FromHex(hex, &r.output_id)) {
+    return Status::InvalidArgument("bad output_id in component record");
+  }
+  return r;
+}
+
+bool ComponentRecord::operator==(const ComponentRecord& other) const {
+  return name == other.name && version == other.version &&
+         input_schema == other.input_schema &&
+         output_schema == other.output_schema && output_id == other.output_id;
+}
+
+const ComponentRecord* PipelineSnapshot::Find(const std::string& name) const {
+  for (const auto& c : components) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+ComponentRecord* PipelineSnapshot::Find(const std::string& name) {
+  for (auto& c : components) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+Json PipelineSnapshot::ToJson() const {
+  Json j = Json::Object();
+  Json arr = Json::Array();
+  for (const auto& c : components) arr.Append(c.ToJson());
+  j.Set("components", std::move(arr));
+  if (has_score()) {
+    j.Set("score", Json::Number(score));
+    j.Set("metric", Json::Str(metric));
+  }
+  if (!metrics.empty()) {
+    Json m = Json::Object();
+    for (const auto& [name, value] : metrics) {
+      m.Set(name, Json::Number(value));
+    }
+    j.Set("metrics", std::move(m));
+  }
+  return j;
+}
+
+StatusOr<PipelineSnapshot> PipelineSnapshot::FromJson(const Json& j) {
+  PipelineSnapshot s;
+  const Json* arr = j.Get("components");
+  if (arr == nullptr || !arr->is_array()) {
+    return Status::InvalidArgument("snapshot missing components array");
+  }
+  for (size_t i = 0; i < arr->size(); ++i) {
+    MLCASK_ASSIGN_OR_RETURN(ComponentRecord r,
+                            ComponentRecord::FromJson(arr->at(i)));
+    s.components.push_back(std::move(r));
+  }
+  if (j.Has("score")) {
+    s.score = j.GetDouble("score");
+    s.metric = j.GetString("metric");
+  }
+  const Json* m = j.Get("metrics");
+  if (m != nullptr && m->is_object()) {
+    for (const auto& [name, value] : m->items()) {
+      if (value.is_number()) s.metrics[name] = value.AsDouble();
+    }
+  }
+  return s;
+}
+
+Json Commit::ToJson() const {
+  Json j = Json::Object();
+  Json parents_arr = Json::Array();
+  for (const auto& p : parents) parents_arr.Append(Json::Str(p.ToHex()));
+  j.Set("parents", std::move(parents_arr));
+  j.Set("branch", Json::Str(branch));
+  j.Set("seq", Json::Int(seq));
+  j.Set("author", Json::Str(author));
+  j.Set("message", Json::Str(message));
+  j.Set("sim_time", Json::Number(sim_time));
+  j.Set("snapshot", snapshot.ToJson());
+  return j;
+}
+
+StatusOr<Commit> Commit::FromJson(const Json& j) {
+  Commit c;
+  const Json* parents_arr = j.Get("parents");
+  if (parents_arr != nullptr && parents_arr->is_array()) {
+    for (size_t i = 0; i < parents_arr->size(); ++i) {
+      Hash256 p;
+      if (!Hash256::FromHex(parents_arr->at(i).AsString(), &p)) {
+        return Status::InvalidArgument("bad parent hash in commit");
+      }
+      c.parents.push_back(p);
+    }
+  }
+  c.branch = j.GetString("branch");
+  c.seq = static_cast<uint32_t>(j.GetInt("seq"));
+  c.author = j.GetString("author");
+  c.message = j.GetString("message");
+  c.sim_time = j.GetDouble("sim_time");
+  const Json* snap = j.Get("snapshot");
+  if (snap == nullptr) {
+    return Status::InvalidArgument("commit missing snapshot");
+  }
+  MLCASK_ASSIGN_OR_RETURN(c.snapshot, PipelineSnapshot::FromJson(*snap));
+  c.id = ComputeId(c);
+  return c;
+}
+
+Hash256 Commit::ComputeId(const Commit& c) {
+  return Sha256::Digest(c.ToJson().Dump());
+}
+
+}  // namespace mlcask::version

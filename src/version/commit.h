@@ -1,0 +1,79 @@
+#ifndef MLCASK_VERSION_COMMIT_H_
+#define MLCASK_VERSION_COMMIT_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/sha256.h"
+#include "common/status.h"
+#include "version/semver.h"
+
+namespace mlcask::version {
+
+/// One component's entry in a pipeline snapshot: which version of the
+/// component the pipeline uses, which schema it consumes/produces, and the
+/// materialized output (checkpoint) if this component has been executed.
+struct ComponentRecord {
+  std::string name;                 ///< e.g. "feature_extract"
+  SemanticVersion version;          ///< e.g. master@1.0
+  uint64_t input_schema = 0;        ///< Schema id consumed (0 = source).
+  uint64_t output_schema = 0;       ///< Schema id produced.
+  Hash256 output_id;                ///< Artifact version id; zero if none.
+  bool has_output() const { return !output_id.IsZero(); }
+
+  Json ToJson() const;
+  static StatusOr<ComponentRecord> FromJson(const Json& j);
+
+  bool operator==(const ComponentRecord& other) const;
+};
+
+/// The state of a pipeline at one commit: its components in data-flow order
+/// plus the evaluated metric score (NaN when the pipeline has not been run).
+struct PipelineSnapshot {
+  std::vector<ComponentRecord> components;
+  double score = std::nan("");
+  std::string metric;  ///< e.g. "accuracy", "1/mse"
+  /// All evaluated metrics (score-oriented, higher better), keyed by name.
+  std::map<std::string, double> metrics;
+
+  bool has_score() const { return !std::isnan(score); }
+
+  const ComponentRecord* Find(const std::string& name) const;
+  ComponentRecord* Find(const std::string& name);
+
+  Json ToJson() const;
+  static StatusOr<PipelineSnapshot> FromJson(const Json& j);
+};
+
+/// An immutable commit in the pipeline version DAG. Merge commits have two
+/// parents (HEAD first, MERGE_HEAD second), matching the paper's merge
+/// semantics ("sets its parents to both MERGE_HEAD and HEAD").
+struct Commit {
+  Hash256 id;
+  std::vector<Hash256> parents;
+  std::string branch;
+  uint32_t seq = 0;  ///< Per-branch sequence; renders as branch.0.seq.
+  std::string author;
+  std::string message;
+  double sim_time = 0;  ///< Simulated commit time.
+  PipelineSnapshot snapshot;
+
+  /// The pipeline-version label used throughout the paper's figures,
+  /// e.g. "master.0.2" or "Frank-dev.0.1".
+  std::string Label() const {
+    return branch + ".0." + std::to_string(seq);
+  }
+
+  /// Serializes the commit (excluding `id`) and hashes it to produce the
+  /// commit id; deterministic given identical content.
+  Json ToJson() const;
+  static StatusOr<Commit> FromJson(const Json& j);
+  static Hash256 ComputeId(const Commit& c);
+};
+
+}  // namespace mlcask::version
+
+#endif  // MLCASK_VERSION_COMMIT_H_

@@ -1,0 +1,38 @@
+#include "version/gc.h"
+
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace mlcask::version {
+
+StatusOr<GcStats> CollectArtifactGarbage(const PipelineRepo& repo,
+                                         storage::StorageEngine* engine) {
+  GcStats stats;
+
+  // Mark: every output referenced by a commit reachable from a branch head.
+  std::vector<Hash256> heads;
+  for (const std::string& branch : repo.branches().List()) {
+    auto head = repo.branches().Head(branch);
+    if (head.ok()) heads.push_back(*head);
+  }
+  std::unordered_set<Hash256, Hash256Hasher> referenced;
+  for (const Commit* commit : repo.graph().ReachableFrom(heads)) {
+    for (const ComponentRecord& rec : commit->snapshot.components) {
+      if (rec.has_output()) referenced.insert(rec.output_id);
+    }
+  }
+
+  // Sweep: artifact versions not in the referenced set.
+  for (const auto& [key, id] : engine->ListAllVersions()) {
+    if (!StartsWith(key, "artifact/")) continue;
+    stats.artifacts_examined += 1;
+    if (referenced.count(id) != 0) continue;
+    MLCASK_ASSIGN_OR_RETURN(uint64_t freed, engine->DeleteVersion(id));
+    stats.artifacts_deleted += 1;
+    stats.bytes_freed += freed;
+  }
+  return stats;
+}
+
+}  // namespace mlcask::version

@@ -1,0 +1,33 @@
+#ifndef MLCASK_VERSION_GC_H_
+#define MLCASK_VERSION_GC_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/storage_engine.h"
+#include "version/pipeline_repo.h"
+
+namespace mlcask::version {
+
+/// Result of a retention pass.
+struct GcStats {
+  uint64_t artifacts_examined = 0;
+  uint64_t artifacts_deleted = 0;
+  uint64_t bytes_freed = 0;  ///< Physical bytes actually reclaimed.
+};
+
+/// Deletes materialized component outputs ("artifact/..." objects) that are
+/// not referenced by any commit reachable from a branch head of `repo`.
+///
+/// Merge searches and abandoned trial runs can leave behind outputs that no
+/// surviving pipeline version points to; on the ForkBase engine only chunks
+/// exclusively owned by garbage artifacts are physically reclaimed (shared
+/// chunks stay, which is exactly the safe behaviour for de-duplicated
+/// storage). Library metafiles and commit objects are never collected —
+/// full historical traceability is an MLCask design goal.
+StatusOr<GcStats> CollectArtifactGarbage(const PipelineRepo& repo,
+                                         storage::StorageEngine* engine);
+
+}  // namespace mlcask::version
+
+#endif  // MLCASK_VERSION_GC_H_

@@ -1,0 +1,123 @@
+#include "version/history_query.h"
+
+#include <cmath>
+
+namespace mlcask::version {
+
+const char* ComponentDiffKindName(ComponentDiff::Kind kind) {
+  switch (kind) {
+    case ComponentDiff::Kind::kUnchanged:
+      return "unchanged";
+    case ComponentDiff::Kind::kIncrement:
+      return "increment";
+    case ComponentDiff::Kind::kSchemaChange:
+      return "schema-change";
+    case ComponentDiff::Kind::kAdded:
+      return "added";
+    case ComponentDiff::Kind::kRemoved:
+      return "removed";
+  }
+  return "unknown";
+}
+
+std::vector<const Commit*> HistoryQuery::AllCommits() const {
+  std::vector<Hash256> heads;
+  for (const std::string& branch : repo_->branches().List()) {
+    auto head = repo_->branches().Head(branch);
+    if (head.ok()) heads.push_back(*head);
+  }
+  return repo_->graph().ReachableFrom(heads);
+}
+
+std::vector<const Commit*> HistoryQuery::CommitsUsing(
+    const std::string& component, const SemanticVersion& version) const {
+  std::vector<const Commit*> out;
+  for (const Commit* c : AllCommits()) {
+    const ComponentRecord* rec = c->snapshot.Find(component);
+    if (rec != nullptr && rec->version == version) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<const Commit*> HistoryQuery::CommitsWithScoreAtLeast(
+    double min_score) const {
+  std::vector<const Commit*> out;
+  for (const Commit* c : AllCommits()) {
+    if (c->snapshot.has_score() && c->snapshot.score >= min_score) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::vector<const Commit*> HistoryQuery::CommitsInTimeRange(double from_s,
+                                                            double to_s) const {
+  std::vector<const Commit*> out;
+  for (const Commit* c : AllCommits()) {
+    if (c->sim_time >= from_s && c->sim_time <= to_s) out.push_back(c);
+  }
+  return out;
+}
+
+const Commit* HistoryQuery::BestByScore() const {
+  const Commit* best = nullptr;
+  for (const Commit* c : AllCommits()) {
+    if (!c->snapshot.has_score()) continue;
+    if (best == nullptr || c->snapshot.score > best->snapshot.score) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::vector<std::pair<const Commit*, SemanticVersion>>
+HistoryQuery::ComponentTimeline(const std::string& component) const {
+  std::vector<std::pair<const Commit*, SemanticVersion>> out;
+  for (const Commit* c : AllCommits()) {
+    const ComponentRecord* rec = c->snapshot.Find(component);
+    if (rec == nullptr) continue;
+    if (out.empty() || !(out.back().second == rec->version)) {
+      out.emplace_back(c, rec->version);
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<ComponentDiff>> HistoryQuery::Diff(
+    const Hash256& from, const Hash256& to) const {
+  MLCASK_ASSIGN_OR_RETURN(const Commit* a, repo_->Get(from));
+  MLCASK_ASSIGN_OR_RETURN(const Commit* b, repo_->Get(to));
+  std::vector<ComponentDiff> out;
+  for (const ComponentRecord& rec_a : a->snapshot.components) {
+    ComponentDiff d;
+    d.name = rec_a.name;
+    d.from = rec_a.version;
+    const ComponentRecord* rec_b = b->snapshot.Find(rec_a.name);
+    if (rec_b == nullptr) {
+      d.kind = ComponentDiff::Kind::kRemoved;
+    } else {
+      d.to = rec_b->version;
+      if (rec_a.version == rec_b->version) {
+        d.kind = ComponentDiff::Kind::kUnchanged;
+      } else if (rec_a.version.schema != rec_b->version.schema ||
+                 rec_a.output_schema != rec_b->output_schema) {
+        d.kind = ComponentDiff::Kind::kSchemaChange;
+      } else {
+        d.kind = ComponentDiff::Kind::kIncrement;
+      }
+    }
+    out.push_back(std::move(d));
+  }
+  for (const ComponentRecord& rec_b : b->snapshot.components) {
+    if (a->snapshot.Find(rec_b.name) == nullptr) {
+      ComponentDiff d;
+      d.name = rec_b.name;
+      d.to = rec_b.version;
+      d.kind = ComponentDiff::Kind::kAdded;
+      out.push_back(std::move(d));
+    }
+  }
+  return out;
+}
+
+}  // namespace mlcask::version

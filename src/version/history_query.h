@@ -1,0 +1,70 @@
+#ifndef MLCASK_VERSION_HISTORY_QUERY_H_
+#define MLCASK_VERSION_HISTORY_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "version/pipeline_repo.h"
+
+namespace mlcask::version {
+
+/// A change to one component between two commits.
+struct ComponentDiff {
+  enum class Kind {
+    kUnchanged,
+    kIncrement,      ///< Compatible update (increment digit moved).
+    kSchemaChange,   ///< Output schema changed (schema digit moved).
+    kAdded,
+    kRemoved,
+  };
+  std::string name;
+  SemanticVersion from;  ///< Meaningless for kAdded.
+  SemanticVersion to;    ///< Meaningless for kRemoved.
+  Kind kind = Kind::kUnchanged;
+};
+
+const char* ComponentDiffKindName(ComponentDiff::Kind kind);
+
+/// Read-only retrospective queries over a pipeline repository — the paper's
+/// third challenge ("the demand for retrospective research on models and
+/// data from different time periods further complicates the management of
+/// massive pipeline versions"). All queries consider commits reachable from
+/// any branch head.
+class HistoryQuery {
+ public:
+  explicit HistoryQuery(const PipelineRepo* repo) : repo_(repo) {}
+
+  /// Every reachable commit, oldest first (by sim time, then label).
+  std::vector<const Commit*> AllCommits() const;
+
+  /// Commits whose pipeline used `component` at exactly `version`.
+  std::vector<const Commit*> CommitsUsing(const std::string& component,
+                                          const SemanticVersion& version) const;
+
+  /// Commits whose evaluated score is >= `min_score` (unscored excluded).
+  std::vector<const Commit*> CommitsWithScoreAtLeast(double min_score) const;
+
+  /// Commits whose sim_time lies in [from_s, to_s].
+  std::vector<const Commit*> CommitsInTimeRange(double from_s,
+                                                double to_s) const;
+
+  /// The reachable commit with the highest score (nullptr if none scored).
+  const Commit* BestByScore() const;
+
+  /// The version trajectory of one component over time: (commit, version)
+  /// whenever the version differs from the previous observation.
+  std::vector<std::pair<const Commit*, SemanticVersion>> ComponentTimeline(
+      const std::string& component) const;
+
+  /// Per-component differences between two commits' snapshots.
+  StatusOr<std::vector<ComponentDiff>> Diff(const Hash256& from,
+                                            const Hash256& to) const;
+
+ private:
+  const PipelineRepo* repo_;
+};
+
+}  // namespace mlcask::version
+
+#endif  // MLCASK_VERSION_HISTORY_QUERY_H_

@@ -1,0 +1,234 @@
+#include "version/pipeline_repo.h"
+
+#include <algorithm>
+
+namespace mlcask::version {
+
+PipelineRepo::PipelineRepo(std::string name, storage::StorageEngine* engine,
+                           SimClock* clock)
+    : name_(std::move(name)), engine_(engine), clock_(clock) {}
+
+StatusOr<Hash256> PipelineRepo::StoreCommit(Commit commit) {
+  commit.id = Commit::ComputeId(commit);
+  MLCASK_RETURN_IF_ERROR(graph_.Add(commit));
+  // Persist the commit metafile; charges modeled storage time to the engine.
+  MLCASK_ASSIGN_OR_RETURN(
+      storage::PutResult put,
+      engine_->Put("pipeline/" + name_ + "/commits", commit.ToJson().Dump()));
+  if (clock_ != nullptr) clock_->Advance(put.storage_time_s);
+  return commit.id;
+}
+
+StatusOr<Hash256> PipelineRepo::Init(const PipelineSnapshot& snapshot,
+                                     const std::string& author,
+                                     const std::string& message) {
+  if (branches_.Exists("master")) {
+    return Status::AlreadyExists("pipeline '" + name_ +
+                                 "' already initialized");
+  }
+  Commit c;
+  c.branch = "master";
+  c.seq = 0;
+  c.author = author;
+  c.message = message;
+  c.sim_time = clock_ != nullptr ? clock_->Now() : 0;
+  c.snapshot = snapshot;
+  MLCASK_ASSIGN_OR_RETURN(Hash256 id, StoreCommit(std::move(c)));
+  branches_.Upsert("master", id);
+  branch_seq_["master"] = 1;
+  return id;
+}
+
+StatusOr<Hash256> PipelineRepo::CommitOn(const std::string& branch,
+                                         const PipelineSnapshot& snapshot,
+                                         const std::string& author,
+                                         const std::string& message) {
+  MLCASK_ASSIGN_OR_RETURN(Hash256 head, branches_.Head(branch));
+  Commit c;
+  c.parents = {head};
+  c.branch = branch;
+  c.seq = branch_seq_[branch]++;
+  c.author = author;
+  c.message = message;
+  c.sim_time = clock_ != nullptr ? clock_->Now() : 0;
+  c.snapshot = snapshot;
+  MLCASK_ASSIGN_OR_RETURN(Hash256 id, StoreCommit(std::move(c)));
+  MLCASK_RETURN_IF_ERROR(branches_.Move(branch, id));
+  return id;
+}
+
+StatusOr<Hash256> PipelineRepo::CommitMerge(const std::string& base_branch,
+                                            const Hash256& merge_head,
+                                            const PipelineSnapshot& snapshot,
+                                            const std::string& author,
+                                            const std::string& message) {
+  MLCASK_ASSIGN_OR_RETURN(Hash256 head, branches_.Head(base_branch));
+  if (!graph_.Contains(merge_head)) {
+    return Status::NotFound("merge head not in graph");
+  }
+  Commit c;
+  c.parents = {head, merge_head};
+  c.branch = base_branch;
+  c.seq = branch_seq_[base_branch]++;
+  c.author = author;
+  c.message = message;
+  c.sim_time = clock_ != nullptr ? clock_->Now() : 0;
+  c.snapshot = snapshot;
+  MLCASK_ASSIGN_OR_RETURN(Hash256 id, StoreCommit(std::move(c)));
+  MLCASK_RETURN_IF_ERROR(branches_.Move(base_branch, id));
+  return id;
+}
+
+Status PipelineRepo::Branch(const std::string& new_branch,
+                            const std::string& from_branch) {
+  MLCASK_ASSIGN_OR_RETURN(Hash256 head, branches_.Head(from_branch));
+  MLCASK_RETURN_IF_ERROR(branches_.Create(new_branch, head));
+  // First commit on the new branch is <branch>.0.0, matching Fig. 2's dev.0.0.
+  branch_seq_[new_branch] = 0;
+  return Status::Ok();
+}
+
+Status PipelineRepo::Tag(const std::string& tag_name,
+                         const Hash256& commit_id) {
+  if (!graph_.Contains(commit_id)) {
+    return Status::NotFound("cannot tag unknown commit " +
+                            commit_id.ShortHex());
+  }
+  return tags_.Create(tag_name, commit_id);
+}
+
+StatusOr<const Commit*> PipelineRepo::GetTag(const std::string& tag_name) const {
+  MLCASK_ASSIGN_OR_RETURN(Hash256 id, tags_.Head(tag_name));
+  return graph_.Get(id);
+}
+
+StatusOr<const Commit*> PipelineRepo::Head(const std::string& branch) const {
+  MLCASK_ASSIGN_OR_RETURN(Hash256 head, branches_.Head(branch));
+  return graph_.Get(head);
+}
+
+StatusOr<const Commit*> PipelineRepo::Get(const Hash256& id) const {
+  return graph_.Get(id);
+}
+
+StatusOr<Hash256> PipelineRepo::CommonAncestor(
+    const std::string& branch_a, const std::string& branch_b) const {
+  MLCASK_ASSIGN_OR_RETURN(Hash256 a, branches_.Head(branch_a));
+  MLCASK_ASSIGN_OR_RETURN(Hash256 b, branches_.Head(branch_b));
+  return graph_.CommonAncestor(a, b);
+}
+
+StatusOr<bool> PipelineRepo::CanFastForward(
+    const std::string& base_branch, const std::string& merge_branch) const {
+  MLCASK_ASSIGN_OR_RETURN(Hash256 base, branches_.Head(base_branch));
+  MLCASK_ASSIGN_OR_RETURN(Hash256 merge, branches_.Head(merge_branch));
+  return graph_.IsAncestor(base, merge);
+}
+
+Json PipelineRepo::ExportState() const {
+  Json state = Json::Object();
+  state.Set("name", Json::Str(name_));
+
+  // Commits reachable from any branch head or tag (the live history).
+  std::vector<Hash256> roots;
+  for (const std::string& b : branches_.List()) {
+    auto head = branches_.Head(b);
+    if (head.ok()) roots.push_back(*head);
+  }
+  for (const std::string& t : tags_.List()) {
+    auto head = tags_.Head(t);
+    if (head.ok()) roots.push_back(*head);
+  }
+  Json commits = Json::Array();
+  for (const Commit* c : graph_.ReachableFrom(roots)) {
+    commits.Append(c->ToJson());
+  }
+  state.Set("commits", std::move(commits));
+
+  Json branches = Json::Object();
+  for (const std::string& b : branches_.List()) {
+    branches.Set(b, Json::Str((*branches_.Head(b)).ToHex()));
+  }
+  state.Set("branches", std::move(branches));
+
+  Json tags = Json::Object();
+  for (const std::string& t : tags_.List()) {
+    tags.Set(t, Json::Str((*tags_.Head(t)).ToHex()));
+  }
+  state.Set("tags", std::move(tags));
+
+  Json seqs = Json::Object();
+  for (const auto& [branch, seq] : branch_seq_) {
+    seqs.Set(branch, Json::Int(seq));
+  }
+  state.Set("branch_seq", std::move(seqs));
+  return state;
+}
+
+StatusOr<PipelineRepo> PipelineRepo::ImportState(
+    const Json& state, storage::StorageEngine* engine, SimClock* clock) {
+  PipelineRepo repo(state.GetString("name"), engine, clock);
+  if (repo.name_.empty()) {
+    return Status::InvalidArgument("repo state missing name");
+  }
+  const Json* commits = state.Get("commits");
+  if (commits == nullptr || !commits->is_array()) {
+    return Status::InvalidArgument("repo state missing commits");
+  }
+  // Insert commits parents-first: keep retrying the pending set; the graph
+  // is acyclic, so every pass places at least one commit.
+  std::vector<Commit> pending;
+  for (size_t i = 0; i < commits->size(); ++i) {
+    MLCASK_ASSIGN_OR_RETURN(Commit c, Commit::FromJson(commits->at(i)));
+    pending.push_back(std::move(c));
+  }
+  while (!pending.empty()) {
+    size_t placed = 0;
+    for (auto it = pending.begin(); it != pending.end();) {
+      bool parents_ready = std::all_of(
+          it->parents.begin(), it->parents.end(),
+          [&](const Hash256& p) { return repo.graph_.Contains(p); });
+      if (parents_ready) {
+        MLCASK_RETURN_IF_ERROR(repo.graph_.Add(*it));
+        it = pending.erase(it);
+        ++placed;
+      } else {
+        ++it;
+      }
+    }
+    if (placed == 0) {
+      return Status::Corruption(
+          "repo state has commits with unresolvable parents");
+    }
+  }
+
+  auto restore_table = [&](const char* key, storage::BranchTable* table)
+      -> Status {
+    const Json* entries = state.Get(key);
+    if (entries == nullptr) return Status::Ok();
+    for (const auto& [name, hex] : entries->items()) {
+      Hash256 id;
+      if (!hex.is_string() || !Hash256::FromHex(hex.AsString(), &id)) {
+        return Status::InvalidArgument(std::string("bad ref in ") + key);
+      }
+      if (!repo.graph_.Contains(id)) {
+        return Status::Corruption(std::string(key) + " entry '" + name +
+                                  "' references unknown commit");
+      }
+      table->Upsert(name, id);
+    }
+    return Status::Ok();
+  };
+  MLCASK_RETURN_IF_ERROR(restore_table("branches", &repo.branches_));
+  MLCASK_RETURN_IF_ERROR(restore_table("tags", &repo.tags_));
+
+  const Json* seqs = state.Get("branch_seq");
+  if (seqs != nullptr && seqs->is_object()) {
+    for (const auto& [branch, seq] : seqs->items()) {
+      repo.branch_seq_[branch] = static_cast<uint32_t>(seq.AsInt());
+    }
+  }
+  return repo;
+}
+
+}  // namespace mlcask::version

@@ -1,0 +1,102 @@
+#ifndef MLCASK_VERSION_PIPELINE_REPO_H_
+#define MLCASK_VERSION_PIPELINE_REPO_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "storage/branch_table.h"
+#include "storage/storage_engine.h"
+#include "version/commit.h"
+#include "version/version_graph.h"
+
+namespace mlcask::version {
+
+/// The pipeline repository (paper Fig. 1): records version updates of a
+/// pipeline with Git-like branch/commit semantics. Commit metafiles are
+/// persisted through the configured storage engine (charging storage time);
+/// the in-memory graph serves queries.
+class PipelineRepo {
+ public:
+  /// `engine` and `clock` must outlive the repo and may be shared with other
+  /// repositories and the executor.
+  PipelineRepo(std::string name, storage::StorageEngine* engine,
+               SimClock* clock);
+
+  /// Creates the root commit on master. Fails if already initialized.
+  StatusOr<Hash256> Init(const PipelineSnapshot& snapshot,
+                         const std::string& author,
+                         const std::string& message);
+
+  /// Appends a commit to `branch` (parent = current head).
+  StatusOr<Hash256> CommitOn(const std::string& branch,
+                             const PipelineSnapshot& snapshot,
+                             const std::string& author,
+                             const std::string& message);
+
+  /// Creates a merge commit on `base_branch` with parents
+  /// {head(base_branch), merge_head} and advances the branch.
+  StatusOr<Hash256> CommitMerge(const std::string& base_branch,
+                                const Hash256& merge_head,
+                                const PipelineSnapshot& snapshot,
+                                const std::string& author,
+                                const std::string& message);
+
+  /// Forks `new_branch` off the head of `from_branch` (paper Sec. V:
+  /// "MLCask is designed to support branch operations on every pipeline
+  /// version").
+  Status Branch(const std::string& new_branch, const std::string& from_branch);
+
+  StatusOr<const Commit*> Head(const std::string& branch) const;
+  StatusOr<const Commit*> Get(const Hash256& id) const;
+
+  /// Common ancestor of two branch heads.
+  StatusOr<Hash256> CommonAncestor(const std::string& branch_a,
+                                   const std::string& branch_b) const;
+
+  /// True when merging `merge_branch` into `base_branch` needs no search:
+  /// the base head is an ancestor of the merge head (paper's fast-forward
+  /// constraint).
+  StatusOr<bool> CanFastForward(const std::string& base_branch,
+                                const std::string& merge_branch) const;
+
+  const std::string& name() const { return name_; }
+  const VersionGraph& graph() const { return graph_; }
+  const storage::BranchTable& branches() const { return branches_; }
+
+  /// Tags: immutable named pointers to commits (release markers for the
+  /// production/development separation of Sec. VIII). Unlike branches they
+  /// never move; re-tagging an existing name fails.
+  Status Tag(const std::string& tag_name, const Hash256& commit_id);
+  StatusOr<const Commit*> GetTag(const std::string& tag_name) const;
+  std::vector<std::string> Tags() const { return tags_.List(); }
+
+  /// Serializes the complete repository state — commit graph, branch heads,
+  /// tags, per-branch sequence counters — for durable storage alongside an
+  /// engine checkpoint (storage::SaveEngine persists the artifacts; this
+  /// persists the version history that references them).
+  Json ExportState() const;
+
+  /// Reconstructs a repository from ExportState() output. The engine/clock
+  /// are re-bound (they are process-level resources, not state).
+  static StatusOr<PipelineRepo> ImportState(const Json& state,
+                                            storage::StorageEngine* engine,
+                                            SimClock* clock);
+
+ private:
+  StatusOr<Hash256> StoreCommit(Commit commit);
+
+  std::string name_;
+  storage::StorageEngine* engine_;
+  SimClock* clock_;
+  VersionGraph graph_;
+  storage::BranchTable branches_;
+  storage::BranchTable tags_;
+  std::map<std::string, uint32_t> branch_seq_;
+};
+
+}  // namespace mlcask::version
+
+#endif  // MLCASK_VERSION_PIPELINE_REPO_H_

@@ -1,0 +1,73 @@
+#include "version/semver.h"
+
+#include <ostream>
+
+#include "common/strings.h"
+
+namespace mlcask::version {
+
+std::string SemanticVersion::ToString(bool simplify_master) const {
+  std::string num =
+      std::to_string(schema) + "." + std::to_string(increment);
+  if (simplify_master && branch == "master") return num;
+  return branch + "@" + num;
+}
+
+StatusOr<SemanticVersion> SemanticVersion::Parse(std::string_view text) {
+  SemanticVersion v;
+  std::string_view rest = text;
+  size_t at = text.find('@');
+  if (at != std::string_view::npos) {
+    if (at == 0) {
+      return Status::InvalidArgument("semver has empty branch: '" +
+                                     std::string(text) + "'");
+    }
+    v.branch = std::string(text.substr(0, at));
+    rest = text.substr(at + 1);
+  }
+  size_t dot = rest.find('.');
+  if (dot == std::string_view::npos) {
+    return Status::InvalidArgument("semver missing '.': '" +
+                                   std::string(text) + "'");
+  }
+  uint64_t schema = 0, increment = 0;
+  if (!ParseUint(rest.substr(0, dot), &schema) ||
+      !ParseUint(rest.substr(dot + 1), &increment)) {
+    return Status::InvalidArgument("semver has non-numeric fields: '" +
+                                   std::string(text) + "'");
+  }
+  v.schema = static_cast<uint32_t>(schema);
+  v.increment = static_cast<uint32_t>(increment);
+  return v;
+}
+
+SemanticVersion SemanticVersion::BumpIncrement() const {
+  SemanticVersion v = *this;
+  v.increment += 1;
+  return v;
+}
+
+SemanticVersion SemanticVersion::BumpSchema() const {
+  SemanticVersion v = *this;
+  v.schema += 1;
+  v.increment = 0;
+  return v;
+}
+
+SemanticVersion SemanticVersion::OnBranch(std::string new_branch) const {
+  SemanticVersion v = *this;
+  v.branch = std::move(new_branch);
+  return v;
+}
+
+bool SemanticVersion::operator<(const SemanticVersion& other) const {
+  if (schema != other.schema) return schema < other.schema;
+  if (increment != other.increment) return increment < other.increment;
+  return branch < other.branch;
+}
+
+std::ostream& operator<<(std::ostream& os, const SemanticVersion& v) {
+  return os << v.ToString();
+}
+
+}  // namespace mlcask::version

@@ -1,0 +1,63 @@
+#ifndef MLCASK_VERSION_SEMVER_H_
+#define MLCASK_VERSION_SEMVER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace mlcask::version {
+
+/// MLCask's semantic component version (paper Sec. IV-B):
+/// `branch@schema.increment`, where `schema` changes only when the
+/// component's *output data schema* changes (breaking downstream
+/// compatibility) and `increment` counts compatible updates. Components on
+/// the master branch render without the branch prefix ("0.1" instead of
+/// "master@0.1").
+struct SemanticVersion {
+  std::string branch = "master";
+  uint32_t schema = 0;
+  uint32_t increment = 0;
+
+  /// Initial version of a freshly committed library is 0.0 on master.
+  static SemanticVersion Initial(std::string branch = "master") {
+    SemanticVersion v;
+    v.branch = std::move(branch);
+    return v;
+  }
+
+  /// "master@0.1" (or "0.1" when `simplify_master`). This is the identifier
+  /// shown in the paper's figures.
+  std::string ToString(bool simplify_master = true) const;
+
+  /// Parses "branch@schema.increment" or "schema.increment" (implies master).
+  static StatusOr<SemanticVersion> Parse(std::string_view text);
+
+  /// A compatible update: bumps increment only.
+  SemanticVersion BumpIncrement() const;
+
+  /// An output-schema update: bumps schema, resets increment. Downstream
+  /// components must be updated before they can consume this version.
+  SemanticVersion BumpSchema() const;
+
+  /// Re-homes the version onto another branch (used when branching a
+  /// pipeline: component identities carry their origin branch).
+  SemanticVersion OnBranch(std::string new_branch) const;
+
+  bool operator==(const SemanticVersion& other) const {
+    return branch == other.branch && schema == other.schema &&
+           increment == other.increment;
+  }
+  bool operator!=(const SemanticVersion& other) const {
+    return !(*this == other);
+  }
+  /// Orders by (schema, increment) then branch — total order for containers.
+  bool operator<(const SemanticVersion& other) const;
+};
+
+std::ostream& operator<<(std::ostream& os, const SemanticVersion& v);
+
+}  // namespace mlcask::version
+
+#endif  // MLCASK_VERSION_SEMVER_H_

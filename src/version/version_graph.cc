@@ -1,0 +1,169 @@
+#include "version/version_graph.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace mlcask::version {
+
+Status VersionGraph::Add(const Commit& commit) {
+  if (commit.id != Commit::ComputeId(commit)) {
+    return Status::InvalidArgument("commit id does not match content");
+  }
+  if (commits_.count(commit.id) != 0) {
+    return Status::AlreadyExists("commit " + commit.id.ShortHex() +
+                                 " already in graph");
+  }
+  for (const Hash256& p : commit.parents) {
+    if (commits_.count(p) == 0) {
+      return Status::FailedPrecondition("parent " + p.ShortHex() +
+                                        " not in graph");
+    }
+  }
+  commits_.emplace(commit.id, commit);
+  return Status::Ok();
+}
+
+StatusOr<const Commit*> VersionGraph::Get(const Hash256& id) const {
+  auto it = commits_.find(id);
+  if (it == commits_.end()) {
+    return Status::NotFound("commit " + id.ShortHex() + " not in graph");
+  }
+  return &it->second;
+}
+
+bool VersionGraph::Contains(const Hash256& id) const {
+  return commits_.count(id) != 0;
+}
+
+std::unordered_set<Hash256, Hash256Hasher> VersionGraph::Ancestors(
+    const Hash256& id) const {
+  std::unordered_set<Hash256, Hash256Hasher> seen;
+  std::deque<Hash256> queue;
+  if (commits_.count(id) != 0) {
+    queue.push_back(id);
+    seen.insert(id);
+  }
+  while (!queue.empty()) {
+    Hash256 cur = queue.front();
+    queue.pop_front();
+    const Commit& c = commits_.at(cur);
+    for (const Hash256& p : c.parents) {
+      if (seen.insert(p).second) queue.push_back(p);
+    }
+  }
+  return seen;
+}
+
+bool VersionGraph::IsAncestor(const Hash256& ancestor,
+                              const Hash256& descendant) const {
+  if (commits_.count(ancestor) == 0 || commits_.count(descendant) == 0) {
+    return false;
+  }
+  auto anc = Ancestors(descendant);
+  return anc.count(ancestor) != 0;
+}
+
+StatusOr<Hash256> VersionGraph::CommonAncestor(const Hash256& a,
+                                               const Hash256& b) const {
+  if (commits_.count(a) == 0 || commits_.count(b) == 0) {
+    return Status::NotFound("commit not in graph");
+  }
+  auto anc_a = Ancestors(a);
+  auto anc_b = Ancestors(b);
+  std::vector<Hash256> common;
+  for (const Hash256& h : anc_a) {
+    if (anc_b.count(h) != 0) common.push_back(h);
+  }
+  if (common.empty()) {
+    return Status::NotFound("commits share no history");
+  }
+  // Keep only candidates that are not strict ancestors of another candidate.
+  std::vector<Hash256> best;
+  for (const Hash256& cand : common) {
+    bool dominated = false;
+    for (const Hash256& other : common) {
+      if (other != cand && IsAncestor(cand, other)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) best.push_back(cand);
+  }
+  // Deterministic pick: latest sim_time, then lexicographically smallest id.
+  std::sort(best.begin(), best.end(), [this](const Hash256& x, const Hash256& y) {
+    const Commit& cx = commits_.at(x);
+    const Commit& cy = commits_.at(y);
+    if (cx.sim_time != cy.sim_time) return cx.sim_time > cy.sim_time;
+    return x < y;
+  });
+  return best.front();
+}
+
+std::vector<const Commit*> VersionGraph::CommitsSince(
+    const Hash256& from, const Hash256& stop) const {
+  std::vector<const Commit*> out;
+  if (commits_.count(from) == 0) return out;
+  auto stop_set = Ancestors(stop);
+  std::unordered_set<Hash256, Hash256Hasher> seen;
+  std::deque<Hash256> queue{from};
+  seen.insert(from);
+  while (!queue.empty()) {
+    Hash256 cur = queue.front();
+    queue.pop_front();
+    if (stop_set.count(cur) != 0) continue;
+    const Commit& c = commits_.at(cur);
+    out.push_back(&c);
+    for (const Hash256& p : c.parents) {
+      if (seen.insert(p).second) queue.push_back(p);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Commit* x, const Commit* y) {
+    if (x->sim_time != y->sim_time) return x->sim_time < y->sim_time;
+    if (x->seq != y->seq) return x->seq < y->seq;
+    return x->id < y->id;
+  });
+  return out;
+}
+
+std::vector<const Commit*> VersionGraph::ReachableFrom(
+    const std::vector<Hash256>& roots) const {
+  std::unordered_set<Hash256, Hash256Hasher> seen;
+  std::deque<Hash256> queue;
+  for (const Hash256& root : roots) {
+    if (commits_.count(root) != 0 && seen.insert(root).second) {
+      queue.push_back(root);
+    }
+  }
+  std::vector<const Commit*> out;
+  while (!queue.empty()) {
+    Hash256 cur = queue.front();
+    queue.pop_front();
+    const Commit& c = commits_.at(cur);
+    out.push_back(&c);
+    for (const Hash256& p : c.parents) {
+      if (seen.insert(p).second) queue.push_back(p);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Commit* x, const Commit* y) {
+    if (x->sim_time != y->sim_time) return x->sim_time < y->sim_time;
+    if (x->seq != y->seq) return x->seq < y->seq;
+    return x->id < y->id;
+  });
+  return out;
+}
+
+std::vector<const Commit*> VersionGraph::Log(const Hash256& from,
+                                             size_t limit) const {
+  std::vector<const Commit*> out;
+  Hash256 cur = from;
+  while (out.size() < limit) {
+    auto it = commits_.find(cur);
+    if (it == commits_.end()) break;
+    out.push_back(&it->second);
+    if (it->second.parents.empty()) break;
+    cur = it->second.parents.front();
+  }
+  return out;
+}
+
+}  // namespace mlcask::version

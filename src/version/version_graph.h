@@ -1,0 +1,64 @@
+#ifndef MLCASK_VERSION_VERSION_GRAPH_H_
+#define MLCASK_VERSION_VERSION_GRAPH_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/sha256.h"
+#include "common/status.h"
+#include "version/commit.h"
+
+namespace mlcask::version {
+
+/// The commit DAG of one pipeline. Nodes are commits; edges point from child
+/// to parent(s). Supports the queries the merge operation needs: common
+/// ancestor of HEAD and MERGE_HEAD, and the commits developed on each branch
+/// since that ancestor (which define the component search space, Sec. V).
+class VersionGraph {
+ public:
+  /// Adds a commit whose parents must already be present (roots have none).
+  /// The commit id must match Commit::ComputeId.
+  Status Add(const Commit& commit);
+
+  StatusOr<const Commit*> Get(const Hash256& id) const;
+  bool Contains(const Hash256& id) const;
+  size_t size() const { return commits_.size(); }
+
+  /// True iff `ancestor` is reachable from `descendant` via parent edges
+  /// (a commit is its own ancestor).
+  bool IsAncestor(const Hash256& ancestor, const Hash256& descendant) const;
+
+  /// Lowest common ancestor of two commits: a common ancestor that is not a
+  /// strict ancestor of any other common ancestor (Git's merge-base). When
+  /// multiple such candidates exist, the one with the greatest sim_time is
+  /// returned (deterministic tiebreak on id). NotFound when the commits share
+  /// no history.
+  StatusOr<Hash256> CommonAncestor(const Hash256& a, const Hash256& b) const;
+
+  /// All commits reachable from `from` (inclusive) that are NOT reachable
+  /// from `stop` (exclusive of stop and its ancestors) — i.e. the commits
+  /// developed on a branch since the common ancestor. Ordered oldest-first
+  /// by (sim_time, seq).
+  std::vector<const Commit*> CommitsSince(const Hash256& from,
+                                          const Hash256& stop) const;
+
+  /// First-parent history walk from `from`, newest first, up to `limit`.
+  std::vector<const Commit*> Log(const Hash256& from,
+                                 size_t limit = SIZE_MAX) const;
+
+  /// All commits reachable from any of `roots` (inclusive) via parent edges,
+  /// ordered oldest-first by (sim_time, seq, id). Unknown roots are ignored.
+  std::vector<const Commit*> ReachableFrom(
+      const std::vector<Hash256>& roots) const;
+
+ private:
+  std::unordered_set<Hash256, Hash256Hasher> Ancestors(const Hash256& id) const;
+
+  std::unordered_map<Hash256, Commit, Hash256Hasher> commits_;
+};
+
+}  // namespace mlcask::version
+
+#endif  // MLCASK_VERSION_VERSION_GRAPH_H_

@@ -1,0 +1,95 @@
+#include "pipeline/checkout.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "sim/scenario.h"
+
+namespace mlcask::pipeline {
+namespace {
+
+class CheckoutTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto d = sim::MakeDeployment("readmission", /*scale=*/0.08);
+    MLCASK_CHECK_OK(d.status());
+    deployment_ = std::move(d).value();
+    MLCASK_CHECK_OK(sim::BuildTwoBranchScenario(deployment_.get()).status());
+  }
+
+  std::unique_ptr<sim::Deployment> deployment_;
+};
+
+TEST_F(CheckoutTest, MaterializeRebuildsHistoricalPipeline) {
+  // Check out the dev head (an older, schema-evolved pipeline version).
+  auto dev_head = deployment_->repo->Head("dev");
+  ASSERT_TRUE(dev_head.ok());
+  auto p = MaterializePipeline(**dev_head, *deployment_->libraries,
+                               "readmission");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->IsChain());
+  EXPECT_TRUE(p->CheckCompatibility().ok());
+  const auto* fe = *p->Find("feature_extract");
+  EXPECT_EQ(fe->version.ToString(), "1.0");
+  const auto* cnn = *p->Find("cnn");
+  EXPECT_EQ(cnn->version.ToString(), "0.3");
+}
+
+TEST_F(CheckoutTest, MaterializedPipelineIsRunnable) {
+  auto root_commits =
+      deployment_->repo->graph().Log((*deployment_->repo->Head("dev"))->id);
+  const version::Commit* ancestor = root_commits.back();
+  auto p = MaterializePipeline(*ancestor, *deployment_->libraries,
+                               "readmission");
+  ASSERT_TRUE(p.ok());
+  // Retrospective re-run of the historical version with a fresh executor.
+  Executor executor(deployment_->registry.get(), deployment_->engine.get(),
+                    nullptr);
+  ExecutorOptions opts;
+  opts.store_outputs = false;
+  auto run = executor.Run(*p, opts);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->has_score());
+}
+
+TEST_F(CheckoutTest, MaterializeFailsForUnknownLibraryVersion) {
+  version::Commit fake;
+  version::ComponentRecord rec;
+  rec.name = "cnn";
+  rec.version = *version::SemanticVersion::Parse("9.9");
+  fake.snapshot.components.push_back(rec);
+  EXPECT_TRUE(MaterializePipeline(fake, *deployment_->libraries, "x")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(CheckoutTest, SeedExecutorFromCommitMakesRunFree) {
+  auto head = deployment_->repo->Head("master");
+  ASSERT_TRUE(head.ok());
+  Executor executor(deployment_->registry.get(), deployment_->engine.get(),
+                    nullptr);
+  std::set<Hash256> keys;
+  ASSERT_TRUE(SeedExecutorFromCommit(**head, *deployment_->libraries,
+                                     deployment_->engine.get(), &executor,
+                                     &keys)
+                  .ok());
+  // One seeded prefix per component of the commit.
+  EXPECT_EQ(keys.size(), (*head)->snapshot.components.size());
+
+  auto p = MaterializePipeline(**head, *deployment_->libraries, "readmission");
+  ASSERT_TRUE(p.ok());
+  ExecutorOptions opts;
+  opts.store_outputs = false;
+  auto run = executor.Run(*p, opts);
+  ASSERT_TRUE(run.ok());
+  for (const auto& c : run->components) {
+    EXPECT_TRUE(c.reused) << c.name;
+  }
+  EXPECT_EQ(executor.executions(), 0u);
+  // Score and metric set are recovered from the commit.
+  EXPECT_DOUBLE_EQ(run->score, (*head)->snapshot.score);
+  EXPECT_EQ(run->metrics, (*head)->snapshot.metrics);
+}
+
+}  // namespace
+}  // namespace mlcask::pipeline

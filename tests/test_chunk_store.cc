@@ -1,0 +1,206 @@
+#include "storage/chunk_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/blob.h"
+#include "storage/chunker.h"
+
+namespace mlcask::storage {
+namespace {
+
+TEST(ChunkTest, HashIncludesType) {
+  EXPECT_NE(Chunk::ComputeHash(ChunkType::kData, "payload"),
+            Chunk::ComputeHash(ChunkType::kIndex, "payload"));
+  EXPECT_NE(Chunk::ComputeHash(ChunkType::kData, "payload"),
+            Chunk::ComputeHash(ChunkType::kMeta, "payload"));
+}
+
+TEST(ChunkTest, TypeNames) {
+  EXPECT_STREQ(ChunkTypeName(ChunkType::kData), "data");
+  EXPECT_STREQ(ChunkTypeName(ChunkType::kIndex), "index");
+  EXPECT_STREQ(ChunkTypeName(ChunkType::kMeta), "meta");
+}
+
+TEST(ChunkStoreTest, PutGetRoundTrip) {
+  ChunkStore store;
+  Hash256 h = store.Put(ChunkType::kData, "hello");
+  auto got = store.Get(h);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)->data(), "hello");
+  EXPECT_EQ((*got)->type(), ChunkType::kData);
+  EXPECT_EQ((*got)->hash(), h);
+}
+
+TEST(ChunkStoreTest, GetMissingIsNotFound) {
+  ChunkStore store;
+  Hash256 h = Chunk::ComputeHash(ChunkType::kData, "never stored");
+  EXPECT_TRUE(store.Get(h).status().IsNotFound());
+}
+
+TEST(ChunkStoreTest, DeduplicatesIdenticalContent) {
+  ChunkStore store;
+  Hash256 a = store.Put(ChunkType::kData, "same bytes");
+  Hash256 b = store.Put(ChunkType::kData, "same bytes");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.stats().puts, 2u);
+  EXPECT_EQ(store.stats().dedup_hits, 1u);
+  EXPECT_EQ(store.stats().logical_bytes, 20u);
+  EXPECT_EQ(store.stats().physical_bytes, 10u);
+  EXPECT_DOUBLE_EQ(store.stats().DedupRatio(), 2.0);
+  EXPECT_EQ(store.RefCount(a), 2u);
+}
+
+TEST(ChunkStoreTest, DistinctTypesStoredSeparately) {
+  ChunkStore store;
+  Hash256 a = store.Put(ChunkType::kData, "x");
+  Hash256 b = store.Put(ChunkType::kMeta, "x");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(ChunkStoreTest, ReleaseDropsAtZeroRefs) {
+  ChunkStore store;
+  Hash256 h = store.Put(ChunkType::kData, "refcounted");
+  store.Put(ChunkType::kData, "refcounted");
+  ASSERT_TRUE(store.Release(h).ok());
+  EXPECT_TRUE(store.Contains(h));
+  ASSERT_TRUE(store.Release(h).ok());
+  EXPECT_FALSE(store.Contains(h));
+  EXPECT_EQ(store.stats().physical_bytes, 0u);
+  EXPECT_TRUE(store.Release(h).IsNotFound());
+}
+
+TEST(BlobTest, WriteReadRoundTripSmall) {
+  ChunkStore store;
+  GearChunker chunker(16, 64, 256);
+  std::string data = "a small blob that fits in very few chunks";
+  BlobWriteInfo info = WriteBlob(&store, chunker, data);
+  EXPECT_EQ(info.ref.size, data.size());
+  auto back = ReadBlob(store, info.ref);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(BlobTest, WriteReadRoundTripLarge) {
+  ChunkStore store;
+  GearChunker chunker(256, 1024, 4096);
+  Pcg32 rng(99);
+  std::string data(300000, '\0');
+  for (char& c : data) c = static_cast<char>(rng.NextU32() & 0xff);
+  BlobWriteInfo info = WriteBlob(&store, chunker, data);
+  EXPECT_GT(info.ref.num_chunks, 10u);
+  auto back = ReadBlob(store, info.ref);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(BlobTest, EmptyBlob) {
+  ChunkStore store;
+  FixedChunker chunker(64);
+  BlobWriteInfo info = WriteBlob(&store, chunker, "");
+  EXPECT_EQ(info.ref.size, 0u);
+  EXPECT_EQ(info.ref.num_chunks, 0u);
+  auto back = ReadBlob(store, info.ref);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, "");
+}
+
+TEST(BlobTest, IdenticalBlobsFullyDeduplicated) {
+  ChunkStore store;
+  GearChunker chunker(64, 256, 1024);
+  Pcg32 rng(5);
+  std::string data(50000, '\0');
+  for (char& c : data) c = static_cast<char>(rng.NextU32() & 0xff);
+
+  BlobWriteInfo first = WriteBlob(&store, chunker, data);
+  EXPECT_EQ(first.dedup_bytes, 0u);
+  BlobWriteInfo second = WriteBlob(&store, chunker, data);
+  EXPECT_EQ(second.new_physical_bytes, 0u);
+  EXPECT_GT(second.dedup_bytes, data.size());  // data chunks + index
+  EXPECT_EQ(first.ref, second.ref);
+}
+
+TEST(BlobTest, SimilarBlobsMostlyDeduplicated) {
+  ChunkStore store;
+  GearChunker chunker(64, 512, 4096);
+  Pcg32 rng(6);
+  std::string data(200000, '\0');
+  for (char& c : data) c = static_cast<char>(rng.NextU32() & 0xff);
+
+  WriteBlob(&store, chunker, data);
+  std::string edited = data;
+  edited.insert(50000, "an insertion in the middle");
+  BlobWriteInfo second = WriteBlob(&store, chunker, edited);
+  // The bulk of the edited blob re-uses existing chunks.
+  EXPECT_GT(second.dedup_bytes, second.new_physical_bytes * 4);
+  auto back = ReadBlob(store, second.ref);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, edited);
+}
+
+TEST(BlobTest, ListChunksMatchesCount) {
+  ChunkStore store;
+  FixedChunker chunker(100);
+  std::string data(950, 'q');
+  BlobWriteInfo info = WriteBlob(&store, chunker, data);
+  auto chunks = ListBlobChunks(store, info.ref);
+  ASSERT_TRUE(chunks.ok());
+  EXPECT_EQ(chunks->size(), info.ref.num_chunks);
+  EXPECT_EQ(chunks->size(), 10u);
+}
+
+TEST(BlobTest, ReadMissingRootIsNotFound) {
+  ChunkStore store;
+  BlobRef ref;
+  ref.root = Chunk::ComputeHash(ChunkType::kIndex, "nope");
+  ref.size = 4;
+  EXPECT_TRUE(ReadBlob(store, ref).status().IsNotFound());
+}
+
+TEST(BlobTest, CorruptIndexDetected) {
+  ChunkStore store;
+  // A kIndex chunk whose payload is not a multiple of the entry size.
+  Hash256 root = store.Put(ChunkType::kIndex, "short");
+  BlobRef ref;
+  ref.root = root;
+  ref.size = 5;
+  EXPECT_EQ(ReadBlob(store, ref).status().code(), StatusCode::kCorruption);
+}
+
+TEST(BlobTest, RootMustBeIndexChunk) {
+  ChunkStore store;
+  Hash256 root = store.Put(ChunkType::kData, "not an index");
+  BlobRef ref;
+  ref.root = root;
+  ref.size = 12;
+  EXPECT_EQ(ReadBlob(store, ref).status().code(), StatusCode::kCorruption);
+}
+
+TEST(BlobTest, ReleaseBlobFreesChunks) {
+  ChunkStore store;
+  FixedChunker chunker(64);
+  std::string data(1000, 'z');
+  BlobWriteInfo info = WriteBlob(&store, chunker, data);
+  EXPECT_GT(store.size(), 0u);
+  ASSERT_TRUE(ReleaseBlob(&store, info.ref).ok());
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.stats().physical_bytes, 0u);
+}
+
+TEST(BlobTest, ReleaseSharedBlobKeepsSharedChunks) {
+  ChunkStore store;
+  FixedChunker chunker(64);
+  std::string data(1000, 'z');
+  BlobWriteInfo a = WriteBlob(&store, chunker, data);
+  WriteBlob(&store, chunker, data);  // second reference to all chunks
+  ASSERT_TRUE(ReleaseBlob(&store, a.ref).ok());
+  // Chunks survive because the second blob still references them.
+  auto back = ReadBlob(store, a.ref);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+}  // namespace
+}  // namespace mlcask::storage

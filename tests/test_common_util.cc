@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "common/strings.h"
+
+namespace mlcask {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Pcg32 a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU32(), b.NextU32());
+  }
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Pcg32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU32() == b.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BelowRespectsBound) {
+  Pcg32 rng(7);
+  for (uint32_t bound : {1u, 2u, 3u, 10u, 1000u}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Below(bound), bound);
+    }
+  }
+  EXPECT_EQ(rng.Below(0), 0u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Pcg32 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Pcg32 rng(42);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Pcg32 rng(5);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.4)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.4, 0.03);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Pcg32 rng(9);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(SimClockTest, AdvanceAccumulates) {
+  SimClock clk;
+  EXPECT_DOUBLE_EQ(clk.Now(), 0.0);
+  clk.Advance(1.5);
+  clk.Advance(2.0);
+  EXPECT_DOUBLE_EQ(clk.Now(), 3.5);
+  clk.Advance(-10.0);  // negative ignored
+  EXPECT_DOUBLE_EQ(clk.Now(), 3.5);
+  clk.Reset();
+  EXPECT_DOUBLE_EQ(clk.Now(), 0.0);
+}
+
+TEST(TimeBreakdownTest, SumsBuckets) {
+  TimeBreakdown a{1, 2, 3};
+  TimeBreakdown b{0.5, 0.5, 0.5};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.preprocess_s, 1.5);
+  EXPECT_DOUBLE_EQ(a.train_s, 2.5);
+  EXPECT_DOUBLE_EQ(a.storage_s, 3.5);
+  EXPECT_DOUBLE_EQ(a.Total(), 7.5);
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(StrSplit("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringsTest, JoinInvertsSplit) {
+  std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(StrJoin(parts, "."), "x.y.z");
+  EXPECT_EQ(StrSplit(StrJoin(parts, "."), '.'), parts);
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(StrTrim("  abc \t\n"), "abc");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrTrim("   "), "");
+  EXPECT_EQ(StrTrim("a b"), "a b");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("master@0.1", "master"));
+  EXPECT_FALSE(StartsWith("dev", "master"));
+  EXPECT_TRUE(EndsWith("file.json", ".json"));
+  EXPECT_FALSE(EndsWith("file.json", ".yaml"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+TEST(StringsTest, ToLowerAscii) {
+  EXPECT_EQ(ToLower("MixedCASE123"), "mixedcase123");
+}
+
+TEST(StringsTest, Format) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StringsTest, ParseUint) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseUint("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(ParseUint("18446744073709551615", &v));
+  EXPECT_EQ(v, UINT64_MAX);
+  EXPECT_FALSE(ParseUint("", &v));
+  EXPECT_FALSE(ParseUint("12a", &v));
+  EXPECT_FALSE(ParseUint("-3", &v));
+  EXPECT_FALSE(ParseUint("18446744073709551616", &v));  // overflow
+}
+
+}  // namespace
+}  // namespace mlcask

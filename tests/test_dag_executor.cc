@@ -1,0 +1,207 @@
+// Tests for general DAG execution (Definition 1 beyond chains): a diamond
+// pipeline where two feature branches are joined before the model.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "pipeline/executor.h"
+#include "sim/libraries.h"
+#include "sim/workloads.h"
+#include "storage/forkbase_engine.h"
+
+namespace mlcask::pipeline {
+namespace {
+
+ComponentVersionSpec Spec(const std::string& name, ComponentKind kind,
+                          uint64_t in_schema, uint64_t out_schema,
+                          const std::string& impl, double cost = 1.0) {
+  ComponentVersionSpec s;
+  s.name = name;
+  s.kind = kind;
+  s.input_schema = in_schema;
+  s.output_schema = out_schema;
+  s.impl = impl;
+  s.cost_per_krow_s = cost;
+  return s;
+}
+
+class DagExecutorTest : public ::testing::Test {
+ protected:
+  DagExecutorTest() : executor_(&registry_, &engine_, &clock_) {
+    MLCASK_CHECK_OK(sim::RegisterWorkloadLibraries(&registry_));
+  }
+
+  /// Diamond: readmission data fans out to path_a (feature extraction) and
+  /// path_b (zero-impute cleansing), whose outputs a join concatenates
+  /// before the model.
+  Pipeline MakeDiamond() {
+    Pipeline p("diamond");
+    auto ds = Spec("dataset", ComponentKind::kDataset, 0, 1,
+                   "gen_readmission", 1.0);
+    ds.params.Set("rows", Json::Int(300));
+    MLCASK_CHECK_OK(p.AddComponent(ds));
+    auto a = Spec("path_a", ComponentKind::kPreprocessor, 1, 2,
+                  "extract_ehr_features", 5.0);
+    MLCASK_CHECK_OK(p.AddComponent(a));
+    auto b = Spec("path_b", ComponentKind::kPreprocessor, 1, 2,
+                  "cleanse_impute", 3.0);
+    b.params.Set("strategy", Json::Str("zero"));
+    MLCASK_CHECK_OK(p.AddComponent(b));
+    auto join =
+        Spec("join", ComponentKind::kPreprocessor, 2, 3, "concat_features", 1.0);
+    MLCASK_CHECK_OK(p.AddComponent(join));
+    auto model = Spec("model", ComponentKind::kModel, 3, 4, "train_logreg", 10.0);
+    MLCASK_CHECK_OK(p.AddComponent(model));
+    MLCASK_CHECK_OK(p.Connect("dataset", "path_a"));
+    MLCASK_CHECK_OK(p.Connect("dataset", "path_b"));
+    MLCASK_CHECK_OK(p.Connect("path_a", "join"));
+    MLCASK_CHECK_OK(p.Connect("path_b", "join"));
+    MLCASK_CHECK_OK(p.Connect("join", "model"));
+    return p;
+  }
+
+  LibraryRegistry registry_;
+  storage::ForkBaseEngine engine_;
+  SimClock clock_;
+  Executor executor_;
+};
+
+TEST_F(DagExecutorTest, DiamondValidatesButIsNotChain) {
+  Pipeline p = MakeDiamond();
+  EXPECT_TRUE(p.Validate().ok());
+  EXPECT_FALSE(p.IsChain());
+  EXPECT_EQ(p.Predecessors("join").size(), 2u);
+}
+
+TEST_F(DagExecutorTest, ChainRunRejectsDag) {
+  EXPECT_EQ(executor_.Run(MakeDiamond(), {}).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST_F(DagExecutorTest, RunDagExecutesDiamondAndScores) {
+  auto result = executor_.RunDag(MakeDiamond(), {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->compatibility_failure);
+  ASSERT_EQ(result->components.size(), 5u);
+  ASSERT_TRUE(result->has_score());
+  EXPECT_GT(result->score, 0.5);
+  EXPECT_EQ(executor_.executions(), 5u);
+}
+
+TEST_F(DagExecutorTest, RunDagAlsoHandlesChains) {
+  auto w = sim::MakeWorkload("readmission", 0.05);
+  ASSERT_TRUE(w.ok());
+  auto chain_result = executor_.RunDag(w->initial, {});
+  ASSERT_TRUE(chain_result.ok());
+  EXPECT_TRUE(chain_result->has_score());
+}
+
+TEST_F(DagExecutorTest, DagCacheReusesWholePipeline) {
+  ASSERT_TRUE(executor_.RunDag(MakeDiamond(), {}).ok());
+  auto second = executor_.RunDag(MakeDiamond(), {});
+  ASSERT_TRUE(second.ok());
+  for (const auto& c : second->components) {
+    EXPECT_TRUE(c.reused) << c.name;
+  }
+  EXPECT_EQ(executor_.executions(), 5u);
+  EXPECT_DOUBLE_EQ(second->time.Total(), 0.0);
+}
+
+TEST_F(DagExecutorTest, BranchChangeOnlyRerunsAffectedSubgraph) {
+  ASSERT_TRUE(executor_.RunDag(MakeDiamond(), {}).ok());
+  // Update only path_b; path_a and the dataset must stay cached, while the
+  // join and model (downstream of the change) re-run.
+  Pipeline p = MakeDiamond();
+  auto specs = p.components();
+  Pipeline updated("diamond");
+  for (auto spec : specs) {
+    if (spec.name == "path_b") {
+      spec.version = spec.version.BumpIncrement();
+      spec.params.Set("variant", Json::Int(1));
+    }
+    MLCASK_CHECK_OK(updated.AddComponent(spec));
+  }
+  MLCASK_CHECK_OK(updated.Connect("dataset", "path_a"));
+  MLCASK_CHECK_OK(updated.Connect("dataset", "path_b"));
+  MLCASK_CHECK_OK(updated.Connect("path_a", "join"));
+  MLCASK_CHECK_OK(updated.Connect("path_b", "join"));
+  MLCASK_CHECK_OK(updated.Connect("join", "model"));
+
+  auto result = executor_.RunDag(updated, {});
+  ASSERT_TRUE(result.ok());
+  for (const auto& c : result->components) {
+    if (c.name == "dataset" || c.name == "path_a") {
+      EXPECT_TRUE(c.reused) << c.name;
+    } else {
+      EXPECT_TRUE(c.executed) << c.name;
+    }
+  }
+  EXPECT_EQ(executor_.executions(), 5u + 3u);
+}
+
+TEST_F(DagExecutorTest, JoinConcatenatesFeatureColumns) {
+  Pipeline p = MakeDiamond();
+  ExecutorOptions opts;
+  opts.store_outputs = true;
+  auto result = executor_.RunDag(p, opts);
+  ASSERT_TRUE(result.ok());
+  // Fetch the join output and verify it has columns from both branches.
+  const version::ComponentRecord* join_rec = result->snapshot.Find("join");
+  ASSERT_NE(join_rec, nullptr);
+  ASSERT_TRUE(join_rec->has_output());
+  auto bytes = engine_.GetVersion(join_rec->output_id);
+  ASSERT_TRUE(bytes.ok());
+  auto table = data::Table::Deserialize(*bytes);
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(table->HasColumn("f0"));    // from extract (path_a)
+  EXPECT_TRUE(table->HasColumn("age"));   // from cleanse (path_b)
+  EXPECT_TRUE(table->HasColumn("label"));
+}
+
+TEST_F(DagExecutorTest, RuntimeIncompatibilityDetectedAtJoin) {
+  Pipeline p("broken");
+  auto ds = Spec("dataset", ComponentKind::kDataset, 0, 1, "gen_readmission");
+  ds.params.Set("rows", Json::Int(100));
+  MLCASK_CHECK_OK(p.AddComponent(ds));
+  auto a = Spec("path_a", ComponentKind::kPreprocessor, 1, 2,
+                "cleanse_impute");
+  MLCASK_CHECK_OK(p.AddComponent(a));
+  // join declares input schema 9, matching neither branch.
+  auto join = Spec("join", ComponentKind::kPreprocessor, 9, 3,
+                   "concat_features");
+  MLCASK_CHECK_OK(p.AddComponent(join));
+  MLCASK_CHECK_OK(p.Connect("dataset", "path_a"));
+  MLCASK_CHECK_OK(p.Connect("path_a", "join"));
+
+  ExecutorOptions opts;
+  opts.precheck_compatibility = false;
+  auto result = executor_.RunDag(p, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->compatibility_failure);
+  EXPECT_EQ(result->failed_component, "join");
+
+  // With the precheck the run is refused before any execution.
+  executor_.ClearCache();
+  uint64_t execs_before = executor_.executions();
+  auto prechecked = executor_.RunDag(p, {});
+  ASSERT_TRUE(prechecked.ok());
+  EXPECT_TRUE(prechecked->compatibility_failure);
+  EXPECT_EQ(executor_.executions(), execs_before);
+}
+
+TEST_F(DagExecutorTest, ConcatRequiresLabel) {
+  // A join whose inputs carry no label is a hard library error.
+  data::Table no_label;
+  MLCASK_CHECK_OK(no_label.AddDoubleColumn("x", {1.0, 2.0}));
+  ExecInput in;
+  in.inputs = {&no_label};
+  in.input = &no_label;
+  Json params = Json::Object();
+  in.params = &params;
+  auto fn = registry_.Get("concat_features");
+  ASSERT_TRUE(fn.ok());
+  EXPECT_TRUE((**fn)(in).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace mlcask::pipeline

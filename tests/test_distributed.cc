@@ -1,0 +1,100 @@
+#include "sim/distributed.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mlcask::sim {
+namespace {
+
+void MakeBlobs(size_t n, uint64_t seed, ml::Matrix* x, std::vector<double>* y) {
+  Pcg32 rng(seed);
+  *x = ml::Matrix(n, 2);
+  y->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    bool pos = rng.Bernoulli(0.5);
+    x->At(i, 0) = (pos ? 1.0 : -1.0) + rng.NextGaussian() * 0.6;
+    x->At(i, 1) = (pos ? 0.7 : -0.7) + rng.NextGaussian() * 0.6;
+    (*y)[i] = pos ? 1.0 : 0.0;
+  }
+}
+
+TEST(DistributedSpeedupTest, OneGpuIsUnity) {
+  EXPECT_DOUBLE_EQ(DistributedSpeedup(1, 0.06), 1.0);
+  EXPECT_DOUBLE_EQ(DistributedSpeedup(0, 0.06), 1.0);
+}
+
+TEST(DistributedSpeedupTest, MonotoneButSubLinear) {
+  double prev = 1.0;
+  for (size_t k : {2u, 4u, 8u}) {
+    double s = DistributedSpeedup(k, 0.06);
+    EXPECT_GT(s, prev);
+    EXPECT_LT(s, static_cast<double>(k));  // communication overhead
+    prev = s;
+  }
+}
+
+TEST(DistributedSpeedupTest, ZeroOverheadIsLinear) {
+  EXPECT_DOUBLE_EQ(DistributedSpeedup(8, 0.0), 8.0);
+}
+
+TEST(PipelineSpeedupTest, MatchesPaperFormula) {
+  // Speedup = 1/((1-p) + p/k).
+  EXPECT_DOUBLE_EQ(PipelineTimeSpeedup(0.0, 8.0), 1.0);   // no training share
+  EXPECT_DOUBLE_EQ(PipelineTimeSpeedup(1.0, 8.0), 8.0);   // pure training
+  EXPECT_NEAR(PipelineTimeSpeedup(0.5, 2.0), 1.0 / 0.75, 1e-12);
+  // The paper's highlighted point: p > 0.9, k = 8 -> pipeline time under a
+  // quarter of the original.
+  EXPECT_GT(PipelineTimeSpeedup(0.92, 8.0), 4.0);
+}
+
+TEST(PipelineSpeedupTest, AnySpeedupAboveOneHelps) {
+  for (double p : {0.1, 0.5, 0.9}) {
+    for (double k : {1.5, 2.0, 8.0}) {
+      EXPECT_GT(PipelineTimeSpeedup(p, k), 1.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(PipelineTimeSpeedup(0.5, 1.0), 1.0);
+}
+
+TEST(DistributedTrainingTest, MoreGpusReachLossFaster) {
+  ml::Matrix x;
+  std::vector<double> y;
+  MakeBlobs(400, 3, &x, &y);
+  ml::MlpConfig cfg;
+  cfg.sgd.epochs = 20;
+
+  std::vector<std::vector<LossCurvePoint>> curves;
+  for (size_t gpus : {1u, 2u, 4u, 8u}) {
+    DistributedConfig dc;
+    dc.gpus = gpus;
+    auto curve = SimulateDistributedTraining(x, y, cfg, dc);
+    ASSERT_TRUE(curve.ok());
+    ASSERT_EQ(curve->size(), 20u);
+    curves.push_back(*std::move(curve));
+  }
+  // Identical loss trajectories (same seed), but compressed in time.
+  for (size_t e = 0; e < 20; ++e) {
+    EXPECT_DOUBLE_EQ(curves[0][e].loss, curves[3][e].loss);
+    EXPECT_GT(curves[0][e].time_s, curves[1][e].time_s);
+    EXPECT_GT(curves[1][e].time_s, curves[2][e].time_s);
+    EXPECT_GT(curves[2][e].time_s, curves[3][e].time_s);
+  }
+  // Loss actually decreases over training (real learning).
+  EXPECT_LT(curves[0].back().loss, curves[0].front().loss);
+}
+
+TEST(DistributedTrainingTest, RejectsBadConfig) {
+  ml::Matrix x(4, 1);
+  std::vector<double> y{0, 1, 0, 1};
+  ml::MlpConfig cfg;
+  DistributedConfig dc;
+  dc.gpus = 0;
+  EXPECT_FALSE(SimulateDistributedTraining(x, y, cfg, dc).ok());
+  dc.gpus = 2;
+  dc.base_epoch_seconds = 0;
+  EXPECT_FALSE(SimulateDistributedTraining(x, y, cfg, dc).ok());
+}
+
+}  // namespace
+}  // namespace mlcask::sim

@@ -1,0 +1,168 @@
+#include "data/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mlcask::data {
+namespace {
+
+TEST(ReadmissionGenTest, ShapeAndSchema) {
+  auto t = GenerateReadmissionData(500, 7);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 500u);
+  EXPECT_TRUE(t->HasColumn("age"));
+  EXPECT_TRUE(t->HasColumn("lab_7"));
+  EXPECT_FALSE(t->HasColumn("lab_8"));
+  EXPECT_TRUE(t->HasColumn("diag_code"));
+  EXPECT_TRUE(t->HasColumn("readmit_30d"));
+}
+
+TEST(ReadmissionGenTest, SchemaVersionAddsColumns) {
+  auto v0 = GenerateReadmissionData(100, 7, /*schema_version=*/0);
+  auto v1 = GenerateReadmissionData(100, 7, /*schema_version=*/1);
+  ASSERT_TRUE(v0.ok() && v1.ok());
+  EXPECT_FALSE(v0->HasColumn("lab_9"));
+  EXPECT_TRUE(v1->HasColumn("lab_9"));
+  EXPECT_NE(v0->schema().ShortId(), v1->schema().ShortId());
+}
+
+TEST(ReadmissionGenTest, Deterministic) {
+  auto a = GenerateReadmissionData(200, 11);
+  auto b = GenerateReadmissionData(200, 11);
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Compare serialized bytes: the tables contain NaN (missing labs), and
+  // NaN != NaN would defeat a value comparison, but the bit patterns are
+  // deterministic.
+  EXPECT_EQ(a->Serialize(), b->Serialize());
+  auto c = GenerateReadmissionData(200, 12);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->Serialize(), c->Serialize());
+}
+
+TEST(ReadmissionGenTest, HasMissingValues) {
+  auto t = GenerateReadmissionData(1000, 3, 0, /*missing_rate=*/0.1);
+  ASSERT_TRUE(t.ok());
+  const Column* lab = *t->GetColumn("lab_0");
+  size_t nan_count = 0;
+  for (double v : lab->doubles) {
+    if (std::isnan(v)) ++nan_count;
+  }
+  EXPECT_GT(nan_count, 50u);
+  EXPECT_LT(nan_count, 200u);
+  const Column* diag = *t->GetColumn("diag_code");
+  size_t blank = 0;
+  for (const auto& s : diag->strings) {
+    if (s.empty()) ++blank;
+  }
+  EXPECT_GT(blank, 50u);
+}
+
+TEST(ReadmissionGenTest, BothLabelsPresent) {
+  auto t = GenerateReadmissionData(500, 5);
+  ASSERT_TRUE(t.ok());
+  const Column* y = *t->GetColumn("readmit_30d");
+  int64_t pos = 0;
+  for (int64_t v : y->ints) pos += v;
+  EXPECT_GT(pos, 50);
+  EXPECT_LT(pos, 450);
+}
+
+TEST(ReadmissionGenTest, RejectsZeroRows) {
+  EXPECT_FALSE(GenerateReadmissionData(0, 1).ok());
+}
+
+TEST(DpmGenTest, LongitudinalStructure) {
+  auto t = GenerateDpmData(20, 12, 9);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 240u);
+  const Column* pid = *t->GetColumn("patient_id");
+  const Column* visit = *t->GetColumn("visit");
+  // Rows are grouped per patient with visit counters resetting.
+  EXPECT_EQ(pid->ints[0], 0);
+  EXPECT_EQ(visit->ints[0], 0);
+  EXPECT_EQ(visit->ints[11], 11);
+  EXPECT_EQ(pid->ints[12], 1);
+  EXPECT_EQ(visit->ints[12], 0);
+}
+
+TEST(DpmGenTest, RejectsDegenerate) {
+  EXPECT_FALSE(GenerateDpmData(0, 5, 1).ok());
+  EXPECT_FALSE(GenerateDpmData(5, 1, 1).ok());
+}
+
+TEST(ReviewGenTest, TokensWithinBounds) {
+  auto t = GenerateReviews(100, 13, 10, 20);
+  ASSERT_TRUE(t.ok());
+  const Column* reviews = *t->GetColumn("review");
+  for (const std::string& r : reviews->strings) {
+    size_t tokens = 1;
+    for (char c : r) {
+      if (c == ' ') ++tokens;
+    }
+    EXPECT_GE(tokens, 10u);
+    EXPECT_LE(tokens, 20u);
+  }
+}
+
+TEST(ReviewGenTest, SentimentWordsCorrelateWithLabel) {
+  auto t = GenerateReviews(400, 17);
+  ASSERT_TRUE(t.ok());
+  const Column* reviews = *t->GetColumn("review");
+  const Column* labels = *t->GetColumn("sentiment");
+  int pos_has_wonderful = 0, neg_has_wonderful = 0;
+  int pos_count = 0, neg_count = 0;
+  for (size_t i = 0; i < reviews->strings.size(); ++i) {
+    bool has = reviews->strings[i].find("wonderful") != std::string::npos ||
+               reviews->strings[i].find("excellent") != std::string::npos;
+    if (labels->ints[i] == 1) {
+      ++pos_count;
+      if (has) ++pos_has_wonderful;
+    } else {
+      ++neg_count;
+      if (has) ++neg_has_wonderful;
+    }
+  }
+  ASSERT_GT(pos_count, 0);
+  ASSERT_GT(neg_count, 0);
+  double p_rate = static_cast<double>(pos_has_wonderful) / pos_count;
+  double n_rate = static_cast<double>(neg_has_wonderful) / neg_count;
+  EXPECT_GT(p_rate, n_rate + 0.1);
+}
+
+TEST(DigitGenTest, PixelColumnsAndLabels) {
+  auto t = GenerateDigits(50, 16, 19);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_columns(), 16u * 16u + 2u);
+  EXPECT_EQ(t->meta().at("shape"), "16x16");
+  const Column* digit = *t->GetColumn("digit");
+  const Column* bin = *t->GetColumn("is_ge5");
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_GE(digit->ints[i], 0);
+    EXPECT_LE(digit->ints[i], 9);
+    EXPECT_EQ(bin->ints[i], digit->ints[i] >= 5 ? 1 : 0);
+  }
+}
+
+TEST(DigitGenTest, PixelsInUnitRangeAndInked) {
+  auto t = GenerateDigits(20, 16, 21);
+  ASSERT_TRUE(t.ok());
+  double total_ink = 0;
+  for (size_t k = 0; k < 256; ++k) {
+    const Column* px = *t->GetColumn("px" + std::to_string(k));
+    for (double v : px->doubles) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+      total_ink += v;
+    }
+  }
+  // Strokes must actually be drawn (well above pure noise).
+  EXPECT_GT(total_ink / 20.0, 20.0);
+}
+
+TEST(DigitGenTest, RejectsTinyImages) {
+  EXPECT_FALSE(GenerateDigits(10, 4, 1).ok());
+}
+
+}  // namespace
+}  // namespace mlcask::data

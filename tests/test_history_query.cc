@@ -1,0 +1,209 @@
+#include "version/history_query.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "sim/scenario.h"
+#include "version/gc.h"
+
+namespace mlcask::version {
+namespace {
+
+class HistoryQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto d = sim::MakeDeployment("readmission", /*scale=*/0.08);
+    MLCASK_CHECK_OK(d.status());
+    deployment_ = std::move(d).value();
+    MLCASK_CHECK_OK(sim::BuildTwoBranchScenario(deployment_.get()).status());
+    query_ = std::make_unique<HistoryQuery>(deployment_->repo.get());
+  }
+
+  std::unique_ptr<sim::Deployment> deployment_;
+  std::unique_ptr<HistoryQuery> query_;
+};
+
+TEST_F(HistoryQueryTest, AllCommitsCoversBothBranches) {
+  auto commits = query_->AllCommits();
+  // Scenario: master.0.0, dev.0.0..0.2, master.0.1 = 5 commits.
+  ASSERT_EQ(commits.size(), 5u);
+  // Oldest first.
+  EXPECT_EQ(commits.front()->Label(), "master.0.0");
+  for (size_t i = 1; i < commits.size(); ++i) {
+    EXPECT_LE(commits[i - 1]->sim_time, commits[i]->sim_time);
+  }
+}
+
+TEST_F(HistoryQueryTest, CommitsUsingSpecificVersion) {
+  auto v00 = *SemanticVersion::Parse("0.0");
+  auto using_cnn0 = query_->CommitsUsing("cnn", v00);
+  ASSERT_EQ(using_cnn0.size(), 1u);  // only the ancestor
+  EXPECT_EQ(using_cnn0[0]->Label(), "master.0.0");
+
+  auto v10 = *SemanticVersion::Parse("1.0");
+  auto using_fe1 = query_->CommitsUsing("feature_extract", v10);
+  EXPECT_EQ(using_fe1.size(), 2u);  // dev.0.1 and dev.0.2
+
+  EXPECT_TRUE(query_->CommitsUsing("ghost", v00).empty());
+}
+
+TEST_F(HistoryQueryTest, ScoreAndTimeFilters) {
+  auto all = query_->AllCommits();
+  auto scored = query_->CommitsWithScoreAtLeast(0.0);
+  EXPECT_EQ(scored.size(), all.size());  // every commit in the scenario ran
+  auto none = query_->CommitsWithScoreAtLeast(1.1);
+  EXPECT_TRUE(none.empty());
+
+  double t_mid = all[2]->sim_time;
+  auto early = query_->CommitsInTimeRange(0.0, t_mid);
+  EXPECT_EQ(early.size(), 3u);
+  EXPECT_TRUE(query_->CommitsInTimeRange(1e12, 2e12).empty());
+}
+
+TEST_F(HistoryQueryTest, BestByScoreIsArgmax) {
+  const Commit* best = query_->BestByScore();
+  ASSERT_NE(best, nullptr);
+  for (const Commit* c : query_->AllCommits()) {
+    if (c->snapshot.has_score()) {
+      EXPECT_LE(c->snapshot.score, best->snapshot.score);
+    }
+  }
+}
+
+TEST_F(HistoryQueryTest, ComponentTimelineTracksChanges) {
+  auto timeline = query_->ComponentTimeline("cnn");
+  // cnn: 0.0 (ancestor) -> 0.1 -> 0.2 -> 0.3 (dev) -> 0.4 (master.0.1);
+  // ordering is by time, and consecutive duplicates collapse.
+  ASSERT_GE(timeline.size(), 4u);
+  EXPECT_EQ(timeline.front().second.ToString(), "0.0");
+  for (size_t i = 1; i < timeline.size(); ++i) {
+    EXPECT_FALSE(timeline[i].second == timeline[i - 1].second);
+  }
+  EXPECT_TRUE(query_->ComponentTimeline("ghost").empty());
+}
+
+TEST_F(HistoryQueryTest, DiffClassifiesChanges) {
+  auto commits = query_->AllCommits();
+  const Commit* ancestor = commits.front();
+  // dev head: feature_extract schema-changed, cnn incremented (x3),
+  // data_cleansing unchanged.
+  auto dev_head = deployment_->repo->Head("dev");
+  ASSERT_TRUE(dev_head.ok());
+  auto diff = query_->Diff(ancestor->id, (*dev_head)->id);
+  ASSERT_TRUE(diff.ok());
+  ASSERT_EQ(diff->size(), 4u);
+  for (const ComponentDiff& d : *diff) {
+    if (d.name == "dataset" || d.name == "data_cleansing") {
+      EXPECT_EQ(d.kind, ComponentDiff::Kind::kUnchanged) << d.name;
+    } else if (d.name == "feature_extract") {
+      EXPECT_EQ(d.kind, ComponentDiff::Kind::kSchemaChange);
+      EXPECT_EQ(d.to.ToString(), "1.0");
+    } else if (d.name == "cnn") {
+      EXPECT_EQ(d.kind, ComponentDiff::Kind::kIncrement);
+      EXPECT_EQ(d.to.ToString(), "0.3");
+    }
+  }
+}
+
+TEST_F(HistoryQueryTest, DiffRejectsUnknownCommit) {
+  Hash256 bogus = Sha256::Digest("nope");
+  auto head = deployment_->repo->Head("master");
+  ASSERT_TRUE(head.ok());
+  EXPECT_TRUE(query_->Diff(bogus, (*head)->id).status().IsNotFound());
+}
+
+TEST(ComponentDiffTest, KindNames) {
+  EXPECT_STREQ(ComponentDiffKindName(ComponentDiff::Kind::kUnchanged),
+               "unchanged");
+  EXPECT_STREQ(ComponentDiffKindName(ComponentDiff::Kind::kSchemaChange),
+               "schema-change");
+  EXPECT_STREQ(ComponentDiffKindName(ComponentDiff::Kind::kAdded), "added");
+}
+
+class GcTest : public HistoryQueryTest {};
+
+TEST_F(GcTest, NothingCollectedWhenAllReferenced) {
+  auto stats =
+      CollectArtifactGarbage(*deployment_->repo, deployment_->engine.get());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->artifacts_examined, 0u);
+  EXPECT_EQ(stats->artifacts_deleted, 0u);
+  EXPECT_EQ(stats->bytes_freed, 0u);
+}
+
+TEST_F(GcTest, UnreferencedArtifactsCollected) {
+  // Write artifacts no commit references (an abandoned trial).
+  auto put1 = deployment_->engine->Put("artifact/readmission/abandoned-1",
+                                       std::string(50000, 'x'));
+  auto put2 = deployment_->engine->Put("artifact/readmission/abandoned-2",
+                                       std::string(50000, 'y'));
+  ASSERT_TRUE(put1.ok() && put2.ok());
+  uint64_t before = deployment_->engine->stats().physical_bytes;
+
+  auto stats =
+      CollectArtifactGarbage(*deployment_->repo, deployment_->engine.get());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->artifacts_deleted, 2u);
+  EXPECT_GT(stats->bytes_freed, 0u);
+  EXPECT_LT(deployment_->engine->stats().physical_bytes, before);
+  EXPECT_FALSE(deployment_->engine->HasVersion(put1->id));
+
+  // Referenced artifacts are still readable.
+  auto head = deployment_->repo->Head("master");
+  ASSERT_TRUE(head.ok());
+  for (const auto& rec : (*head)->snapshot.components) {
+    ASSERT_TRUE(rec.has_output());
+    EXPECT_TRUE(deployment_->engine->GetVersion(rec.output_id).ok());
+  }
+}
+
+TEST_F(GcTest, NonArtifactObjectsNeverCollected) {
+  // Library metafiles and commits survive GC even if hypothetically
+  // unreferenced — traceability is a design goal.
+  size_t libraries_before = 0;
+  for (const auto& [key, id] : deployment_->engine->ListAllVersions()) {
+    (void)id;
+    if (key.rfind("library/", 0) == 0 || key.rfind("pipeline/", 0) == 0) {
+      ++libraries_before;
+    }
+  }
+  ASSERT_GT(libraries_before, 0u);
+  ASSERT_TRUE(
+      CollectArtifactGarbage(*deployment_->repo, deployment_->engine.get())
+          .ok());
+  size_t libraries_after = 0;
+  for (const auto& [key, id] : deployment_->engine->ListAllVersions()) {
+    (void)id;
+    if (key.rfind("library/", 0) == 0 || key.rfind("pipeline/", 0) == 0) {
+      ++libraries_after;
+    }
+  }
+  EXPECT_EQ(libraries_after, libraries_before);
+}
+
+TEST_F(GcTest, SharedChunksSurvivePartialDelete) {
+  // Two similar artifacts share chunks on the ForkBase engine; deleting one
+  // must not corrupt the other.
+  std::string payload(80000, 'z');
+  auto keep = deployment_->engine->Put("artifact/readmission/keep", payload);
+  std::string similar = payload;
+  similar[40000] = 'q';
+  auto drop = deployment_->engine->Put("artifact/readmission/drop", similar);
+  ASSERT_TRUE(keep.ok() && drop.ok());
+  auto freed = deployment_->engine->DeleteVersion(drop->id);
+  ASSERT_TRUE(freed.ok());
+  // Only the non-shared bytes are freed.
+  EXPECT_LT(*freed, similar.size() / 2);
+  auto back = deployment_->engine->GetVersion(keep->id);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, payload);
+}
+
+TEST_F(GcTest, DeleteUnknownVersionIsNotFound) {
+  EXPECT_TRUE(deployment_->engine->DeleteVersion(Sha256::Digest("x"))
+                  .status()
+                  .IsNotFound());
+}
+
+}  // namespace
+}  // namespace mlcask::version

@@ -1,0 +1,189 @@
+// End-to-end integration: the full MLCask lifecycle on one deployment —
+// linear evolution, branching, concurrent updates, metric-driven merge,
+// retrospective queries, and garbage collection — verifying cross-module
+// consistency at every stage.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "merge/merge_op.h"
+#include "sim/scenario.h"
+#include "version/gc.h"
+#include "version/history_query.h"
+
+namespace mlcask {
+namespace {
+
+TEST(IntegrationTest, FullLifecycle) {
+  auto deployment = sim::MakeDeployment("dpm", /*scale=*/0.06);
+  ASSERT_TRUE(deployment.ok());
+  sim::Deployment& d = **deployment;
+
+  // --- Phase 1: linear evolution on master --------------------------------
+  ASSERT_TRUE(
+      d.RunAndCommit(d.workload.initial, "master", "alice", "init").ok());
+  pipeline::Pipeline current = d.workload.initial;
+  for (int i = 0; i < 3; ++i) {
+    auto model = *current.Find(d.workload.model);
+    auto updated = sim::WithComponent(current, sim::BumpIncrement(*model));
+    ASSERT_TRUE(updated.ok());
+    current = *updated;
+    ASSERT_TRUE(d.RunAndCommit(current, "master", "alice",
+                               "model update " + std::to_string(i + 1))
+                    .ok());
+  }
+  auto master_head = d.repo->Head("master");
+  ASSERT_TRUE(master_head.ok());
+  EXPECT_EQ((*master_head)->Label(), "master.0.3");
+
+  // Reuse worked: the last model-only update must not have re-run the
+  // expensive pre-processing (its commits share upstream output ids).
+  version::HistoryQuery query(d.repo.get());
+  auto commits = query.AllCommits();
+  ASSERT_EQ(commits.size(), 4u);
+  const auto& first_components = commits[0]->snapshot.components;
+  const auto& last_components = commits[3]->snapshot.components;
+  // Same artifact ids for the shared prefix (dataset + preprocessors).
+  for (size_t i = 0; i + 1 < first_components.size(); ++i) {
+    EXPECT_EQ(first_components[i].output_id, last_components[i].output_id)
+        << "prefix artifact should be shared, component " << i;
+  }
+
+  // --- Phase 2: branch + concurrent updates -------------------------------
+  ASSERT_TRUE(d.repo->Branch("experiment", "master").ok());
+  auto pre = *current.Find(d.workload.preprocessors.back());
+  auto bumped = sim::BumpSchema(*pre);
+  auto model_now = *current.Find(d.workload.model);
+  auto adapted = sim::AdaptInputSchema(*model_now, bumped.output_schema);
+  // Concurrent updates on different branches would otherwise both claim the
+  // next increment; branch-qualified semantic versions (Sec. IV-B) keep the
+  // identities distinct.
+  adapted.version = adapted.version.OnBranch("experiment");
+  bumped.version = bumped.version.OnBranch("experiment");
+  auto exp_pipeline = sim::WithComponent(current, bumped);
+  ASSERT_TRUE(exp_pipeline.ok());
+  exp_pipeline = sim::WithComponent(*exp_pipeline, adapted);
+  ASSERT_TRUE(exp_pipeline.ok());
+  ASSERT_TRUE(d.RunAndCommit(*exp_pipeline, "experiment", "bob",
+                             "schema evolution experiment")
+                  .ok());
+
+  // Master keeps moving concurrently.
+  auto model_again = sim::BumpIncrement(*model_now);
+  auto master_pipeline = sim::WithComponent(current, model_again);
+  ASSERT_TRUE(master_pipeline.ok());
+  ASSERT_TRUE(
+      d.RunAndCommit(*master_pipeline, "master", "alice", "hotfix model").ok());
+
+  // --- Phase 3: metric-driven merge ---------------------------------------
+  merge::MergeOperation op(d.repo.get(), d.libraries.get(), d.registry.get(),
+                           d.engine.get(), d.clock.get());
+  auto report = op.Merge("master", "experiment", {});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->fast_forward);
+  ASSERT_GE(report->best_index, 0);
+
+  auto merged = d.repo->Head("master");
+  ASSERT_TRUE(merged.ok());
+  ASSERT_EQ((*merged)->parents.size(), 2u);
+  // Merged pipeline is schema-consistent and scored.
+  const auto& recs = (*merged)->snapshot.components;
+  for (size_t i = 0; i + 1 < recs.size(); ++i) {
+    EXPECT_EQ(recs[i].output_schema, recs[i + 1].input_schema);
+  }
+  EXPECT_TRUE((*merged)->snapshot.has_score());
+  // Winner's artifacts are materialized and readable.
+  for (const auto& rec : recs) {
+    ASSERT_TRUE(rec.has_output());
+    auto bytes = d.engine->GetVersion(rec.output_id);
+    ASSERT_TRUE(bytes.ok());
+    EXPECT_TRUE(data::Table::Deserialize(*bytes).ok());
+  }
+
+  // --- Phase 4: retrospective queries -------------------------------------
+  const version::Commit* best = query.BestByScore();
+  ASSERT_NE(best, nullptr);
+  EXPECT_GE(best->snapshot.score, report->best_score - 1e-12);
+  auto timeline = query.ComponentTimeline(d.workload.model);
+  EXPECT_GE(timeline.size(), 4u);  // 0.0 -> 0.1 -> 0.2 -> 0.3 -> ...
+  auto diff = query.Diff(commits[0]->id, (*merged)->id);
+  ASSERT_TRUE(diff.ok());
+  bool model_changed = false;
+  for (const auto& change : *diff) {
+    if (change.name == d.workload.model &&
+        change.kind != version::ComponentDiff::Kind::kUnchanged) {
+      model_changed = true;
+    }
+  }
+  EXPECT_TRUE(model_changed);
+
+  // --- Phase 5: garbage collection ----------------------------------------
+  uint64_t css_before = d.engine->stats().physical_bytes;
+  auto gc = version::CollectArtifactGarbage(*d.repo, d.engine.get());
+  ASSERT_TRUE(gc.ok());
+  EXPECT_LE(d.engine->stats().physical_bytes, css_before);
+  // Everything referenced still resolves after GC.
+  for (const version::Commit* c : query.AllCommits()) {
+    for (const auto& rec : c->snapshot.components) {
+      if (rec.has_output()) {
+        EXPECT_TRUE(d.engine->HasVersion(rec.output_id))
+            << c->Label() << "/" << rec.name;
+      }
+    }
+  }
+}
+
+TEST(IntegrationTest, RepeatedMergesKeepHistoryConsistent) {
+  // Two merge cycles back to back: after the first merge, the dev branch
+  // continues from its own head and merges again (common ancestor moves).
+  auto deployment = sim::MakeDeployment("readmission", 0.06);
+  ASSERT_TRUE(deployment.ok());
+  sim::Deployment& d = **deployment;
+  ASSERT_TRUE(sim::BuildTwoBranchScenario(&d).ok());
+
+  merge::MergeOperation op(d.repo.get(), d.libraries.get(), d.registry.get(),
+                           d.engine.get(), d.clock.get());
+  auto first = op.Merge("master", "dev", {});
+  ASSERT_TRUE(first.ok());
+
+  // After the merge, dev's head is an ancestor of master's head, so the
+  // next common ancestor is dev's head itself.
+  auto lca = d.repo->CommonAncestor("master", "dev");
+  ASSERT_TRUE(lca.ok());
+  auto dev_head = d.repo->Head("dev");
+  ASSERT_TRUE(dev_head.ok());
+  EXPECT_EQ(*lca, (*dev_head)->id);
+
+  // More work on dev, then a second merge.
+  auto dev_commit = d.repo->Head("dev");
+  ASSERT_TRUE(dev_commit.ok());
+  // Rebuild the dev pipeline from its snapshot via the library repo.
+  std::vector<pipeline::ComponentVersionSpec> specs;
+  for (const auto& rec : (*dev_commit)->snapshot.components) {
+    auto spec = d.libraries->Get(rec.name, rec.version);
+    ASSERT_TRUE(spec.ok());
+    specs.push_back(**spec);
+  }
+  auto dev_pipeline = pipeline::Pipeline::Chain("readmission", specs);
+  ASSERT_TRUE(dev_pipeline.ok());
+  auto model = *dev_pipeline->Find(d.workload.model);
+  auto next_model = sim::BumpIncrement(*model);
+  // Master's concurrent history already claimed version 0.4 with different
+  // contents; qualify the dev line's version with its branch.
+  next_model.version = next_model.version.OnBranch("dev");
+  auto updated = sim::WithComponent(*dev_pipeline, next_model);
+  ASSERT_TRUE(updated.ok());
+  ASSERT_TRUE(d.RunAndCommit(*updated, "dev", "frank", "more work").ok());
+
+  auto second = op.Merge("master", "dev", {});
+  ASSERT_TRUE(second.ok());
+  // The second merge's search space is smaller: only versions since the new
+  // ancestor participate.
+  EXPECT_LT(second->candidates_total, first->candidates_total + 1);
+  auto head = d.repo->Head("master");
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ((*head)->parents.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mlcask

@@ -1,0 +1,128 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace mlcask {
+namespace {
+
+TEST(JsonTest, BuildAndDumpScalars) {
+  EXPECT_EQ(Json::Null().Dump(), "null");
+  EXPECT_EQ(Json::Bool(true).Dump(), "true");
+  EXPECT_EQ(Json::Bool(false).Dump(), "false");
+  EXPECT_EQ(Json::Int(42).Dump(), "42");
+  EXPECT_EQ(Json::Number(2.5).Dump(), "2.5");
+  EXPECT_EQ(Json::Str("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonTest, ObjectKeysSortedDeterministically) {
+  Json o = Json::Object();
+  o.Set("zeta", Json::Int(1));
+  o.Set("alpha", Json::Int(2));
+  o.Set("mid", Json::Int(3));
+  EXPECT_EQ(o.Dump(), "{\"alpha\":2,\"mid\":3,\"zeta\":1}");
+}
+
+TEST(JsonTest, NestedStructure) {
+  Json arr = Json::Array();
+  arr.Append(Json::Int(1));
+  arr.Append(Json::Str("two"));
+  Json o = Json::Object();
+  o.Set("list", std::move(arr));
+  o.Set("flag", Json::Bool(true));
+  EXPECT_EQ(o.Dump(), "{\"flag\":true,\"list\":[1,\"two\"]}");
+}
+
+TEST(JsonTest, StringEscaping) {
+  Json s = Json::Str("a\"b\\c\nd\te");
+  EXPECT_EQ(s.Dump(), "\"a\\\"b\\\\c\\nd\\te\"");
+}
+
+TEST(JsonTest, ParseScalars) {
+  EXPECT_TRUE(Json::Parse("null")->is_null());
+  EXPECT_EQ(Json::Parse("true")->AsBool(), true);
+  EXPECT_EQ(Json::Parse("-17")->AsInt(), -17);
+  EXPECT_DOUBLE_EQ(Json::Parse("3.25e2")->AsDouble(), 325.0);
+  EXPECT_EQ(Json::Parse("\"str\"")->AsString(), "str");
+}
+
+TEST(JsonTest, ParseObjectAndArray) {
+  auto r = Json::Parse(R"({"a": [1, 2, {"b": "c"}], "d": null})");
+  ASSERT_TRUE(r.ok());
+  const Json& j = *r;
+  ASSERT_TRUE(j.is_object());
+  const Json* a = j.Get("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->size(), 3u);
+  EXPECT_EQ(a->at(0).AsInt(), 1);
+  EXPECT_EQ(a->at(2).Get("b")->AsString(), "c");
+  EXPECT_TRUE(j.Get("d")->is_null());
+}
+
+TEST(JsonTest, RoundTripPreservesStructure) {
+  Json o = Json::Object();
+  o.Set("name", Json::Str("feature_extract"));
+  o.Set("version", Json::Str("master@1.0"));
+  Json params = Json::Object();
+  params.Set("learning_rate", Json::Number(0.01));
+  params.Set("max_iter", Json::Int(100));
+  o.Set("params", std::move(params));
+  auto parsed = Json::Parse(o.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, o);
+  // Round trip again through Pretty.
+  auto parsed2 = Json::Parse(o.Pretty());
+  ASSERT_TRUE(parsed2.ok());
+  EXPECT_EQ(*parsed2, o);
+}
+
+TEST(JsonTest, ParseErrorsAreStatuses) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Json::Parse("tru").ok());
+  EXPECT_FALSE(Json::Parse("1 2").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+}
+
+TEST(JsonTest, ParseUnicodeEscape) {
+  auto r = Json::Parse("\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AsString(), "A\xc3\xa9");
+}
+
+TEST(JsonTest, TypedGettersWithDefaults) {
+  auto r = Json::Parse(R"({"s":"v","n":7,"b":true})");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->GetString("s"), "v");
+  EXPECT_EQ(r->GetString("missing", "def"), "def");
+  EXPECT_EQ(r->GetInt("n"), 7);
+  EXPECT_EQ(r->GetInt("missing", -1), -1);
+  EXPECT_TRUE(r->GetBool("b"));
+  EXPECT_TRUE(r->GetBool("missing", true));
+  // Wrong type falls back to default.
+  EXPECT_EQ(r->GetInt("s", 5), 5);
+}
+
+TEST(JsonTest, DeepNestingGuard) {
+  std::string deep(500, '[');
+  deep += std::string(500, ']');
+  EXPECT_FALSE(Json::Parse(deep).ok());
+}
+
+TEST(JsonTest, EmptyContainers) {
+  EXPECT_EQ(Json::Array().Dump(), "[]");
+  EXPECT_EQ(Json::Object().Dump(), "{}");
+  EXPECT_EQ(Json::Parse("[]")->size(), 0u);
+  EXPECT_EQ(Json::Parse("{}")->size(), 0u);
+}
+
+TEST(JsonTest, WhitespaceTolerated) {
+  auto r = Json::Parse("  {\n\t\"a\" :  1 , \"b\": [ ] }  ");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->GetInt("a"), 1);
+}
+
+}  // namespace
+}  // namespace mlcask

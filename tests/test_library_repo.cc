@@ -1,0 +1,104 @@
+#include "pipeline/library_repo.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "storage/forkbase_engine.h"
+
+namespace mlcask::pipeline {
+namespace {
+
+ComponentVersionSpec Spec(const std::string& name, const std::string& ver,
+                          const std::string& impl = "impl_x") {
+  ComponentVersionSpec s;
+  s.name = name;
+  s.version = *version::SemanticVersion::Parse(ver);
+  s.impl = impl;
+  return s;
+}
+
+class LibraryRepoTest : public ::testing::Test {
+ protected:
+  LibraryRepoTest() : repo_(&engine_, &clock_) {}
+
+  storage::ForkBaseEngine engine_;
+  SimClock clock_;
+  LibraryRepo repo_;
+};
+
+TEST_F(LibraryRepoTest, PutGetRoundTrip) {
+  ASSERT_TRUE(repo_.Put(Spec("cnn", "0.0")).ok());
+  auto got = repo_.Get("cnn", *version::SemanticVersion::Parse("0.0"));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)->impl, "impl_x");
+  EXPECT_EQ(repo_.size(), 1u);
+}
+
+TEST_F(LibraryRepoTest, IdempotentRePut) {
+  ASSERT_TRUE(repo_.Put(Spec("cnn", "0.0")).ok());
+  ASSERT_TRUE(repo_.Put(Spec("cnn", "0.0")).ok());  // identical -> no-op
+  EXPECT_EQ(repo_.size(), 1u);
+}
+
+TEST_F(LibraryRepoTest, ConflictingContentRejected) {
+  ASSERT_TRUE(repo_.Put(Spec("cnn", "0.0", "impl_a")).ok());
+  Status conflict = repo_.Put(Spec("cnn", "0.0", "impl_b"));
+  EXPECT_EQ(conflict.code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(LibraryRepoTest, BranchQualifiedVersionsCoexist) {
+  // The same numeric version on different branches is a distinct identity
+  // (Sec. IV-B's branch domain exists exactly for concurrent updates).
+  ASSERT_TRUE(repo_.Put(Spec("cnn", "0.4", "impl_master")).ok());
+  ASSERT_TRUE(repo_.Put(Spec("cnn", "dev@0.4", "impl_dev")).ok());
+  auto master = repo_.Get("cnn", *version::SemanticVersion::Parse("0.4"));
+  auto dev = repo_.Get("cnn", *version::SemanticVersion::Parse("dev@0.4"));
+  ASSERT_TRUE(master.ok() && dev.ok());
+  EXPECT_EQ((*master)->impl, "impl_master");
+  EXPECT_EQ((*dev)->impl, "impl_dev");
+}
+
+TEST_F(LibraryRepoTest, VersionsListedInInsertionOrder) {
+  ASSERT_TRUE(repo_.Put(Spec("fe", "0.0")).ok());
+  ASSERT_TRUE(repo_.Put(Spec("fe", "0.1")).ok());
+  ASSERT_TRUE(repo_.Put(Spec("fe", "1.0")).ok());
+  auto versions = repo_.Versions("fe");
+  ASSERT_EQ(versions.size(), 3u);
+  EXPECT_EQ(versions[0].ToString(), "0.0");
+  EXPECT_EQ(versions[2].ToString(), "1.0");
+  EXPECT_TRUE(repo_.Versions("ghost").empty());
+}
+
+TEST_F(LibraryRepoTest, GetMissingIsNotFound) {
+  EXPECT_TRUE(repo_.Get("ghost", {}).status().IsNotFound());
+  ASSERT_TRUE(repo_.Put(Spec("cnn", "0.0")).ok());
+  EXPECT_TRUE(
+      repo_.Get("cnn", *version::SemanticVersion::Parse("9.9")).status()
+          .IsNotFound());
+}
+
+TEST_F(LibraryRepoTest, RejectsAnonymousSpec) {
+  ComponentVersionSpec anon;
+  anon.impl = "x";
+  EXPECT_TRUE(repo_.Put(anon).IsInvalidArgument());
+}
+
+TEST_F(LibraryRepoTest, MetafilesArePersistedAndDeduplicated) {
+  // Successive versions differ only slightly -> chunk dedup keeps physical
+  // growth well below logical growth.
+  ComponentVersionSpec spec = Spec("fe", "0.0");
+  // Pad params so the metafile spans multiple chunks.
+  spec.params.Set("notes", Json::Str(std::string(20000, 'n')));
+  ASSERT_TRUE(repo_.Put(spec).ok());
+  for (int i = 0; i < 5; ++i) {
+    spec.version = spec.version.BumpIncrement();
+    spec.params.Set("variant", Json::Int(i + 1));
+    ASSERT_TRUE(repo_.Put(spec).ok());
+  }
+  const auto& stats = engine_.stats();
+  EXPECT_GT(stats.logical_bytes, stats.physical_bytes);
+  EXPECT_GT(clock_.Now(), 0.0);  // storage time was charged
+}
+
+}  // namespace
+}  // namespace mlcask::pipeline

@@ -1,0 +1,262 @@
+#include "merge/merge_op.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "merge/compat_lut.h"
+#include "merge/search_space.h"
+#include "merge/search_tree.h"
+#include "sim/scenario.h"
+
+namespace mlcask::merge {
+namespace {
+
+using sim::BuildTwoBranchScenario;
+using sim::Deployment;
+using sim::MakeDeployment;
+using sim::ScenarioInfo;
+
+class MergeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto d = MakeDeployment("readmission", /*scale=*/0.08);
+    MLCASK_CHECK_OK(d.status());
+    deployment_ = *std::move(d);
+    auto info = BuildTwoBranchScenario(deployment_.get());
+    MLCASK_CHECK_OK(info.status());
+    info_ = *info;
+  }
+
+  MergeOperation MakeOp() {
+    return MergeOperation(deployment_->repo.get(),
+                          deployment_->libraries.get(),
+                          deployment_->registry.get(),
+                          deployment_->engine.get(), deployment_->clock.get());
+  }
+
+  std::unique_ptr<Deployment> deployment_;
+  ScenarioInfo info_;
+};
+
+TEST_F(MergeTest, SearchSpaceMatchesFig3) {
+  auto space = BuildSearchSpace(*deployment_->repo, *deployment_->libraries,
+                                "master", "dev");
+  ASSERT_TRUE(space.ok());
+  ASSERT_EQ(space->components.size(), 4u);
+  EXPECT_EQ(space->components[0].component, "dataset");
+  EXPECT_EQ(space->components[0].versions.size(), 1u);
+  EXPECT_EQ(space->components[1].component, "data_cleansing");
+  EXPECT_EQ(space->components[1].versions.size(), 2u);
+  EXPECT_EQ(space->components[2].component, "feature_extract");
+  EXPECT_EQ(space->components[2].versions.size(), 2u);
+  EXPECT_EQ(space->components[3].component, "cnn");
+  // The model experienced 5 versions since the common ancestor (Sec. V).
+  EXPECT_EQ(space->components[3].versions.size(), 5u);
+  EXPECT_EQ(space->NumCandidates(), 20u);
+}
+
+TEST_F(MergeTest, CompatLutSplitsModelVersions) {
+  auto space = BuildSearchSpace(*deployment_->repo, *deployment_->libraries,
+                                "master", "dev");
+  ASSERT_TRUE(space.ok());
+  CompatLut lut = CompatLut::Build(*space);
+  const auto& fe = space->components[2].versions;
+  const auto& cnn = space->components[3].versions;
+  ASSERT_EQ(fe.size(), 2u);
+  // Count compatible models per feature-extraction version: {3, 2} as in
+  // Fig. 4 ("CNN 0.0/0.1/0.4 follow FE 0.0; CNN 0.2/0.3 follow FE 1.0").
+  std::vector<size_t> counts;
+  for (const auto& f : fe) {
+    size_t n = 0;
+    for (const auto& m : cnn) {
+      if (lut.Compatible(f, m)) ++n;
+    }
+    counts.push_back(n);
+  }
+  std::sort(counts.begin(), counts.end());
+  EXPECT_EQ(counts, (std::vector<size_t>{2, 3}));
+}
+
+TEST_F(MergeTest, TreeBuildAndPruneMatchFig4) {
+  auto space = BuildSearchSpace(*deployment_->repo, *deployment_->libraries,
+                                "master", "dev");
+  ASSERT_TRUE(space.ok());
+  PipelineSearchTree tree = PipelineSearchTree::Build(*space);
+  // 1 dataset + 2 cleansing + 4 extraction + 20 model nodes.
+  EXPECT_EQ(tree.NumNodes(), 27u);
+  EXPECT_EQ(tree.NumLeaves(), 20u);
+
+  CompatLut lut = CompatLut::Build(*space);
+  size_t pruned = tree.PruneIncompatible(lut);
+  EXPECT_EQ(pruned, 10u);
+  // "the size of the pre-merge pipeline candidate set can be reduced to
+  // half of its original size."
+  EXPECT_EQ(tree.NumLeaves(), 10u);
+  EXPECT_EQ(tree.Candidates().size(), 10u);
+  for (const CandidateChain& c : tree.Candidates()) {
+    ASSERT_EQ(c.size(), 4u);
+    for (size_t i = 0; i + 1 < c.size(); ++i) {
+      EXPECT_TRUE(c[i]->CompatibleWith(*c[i + 1]));
+    }
+  }
+}
+
+TEST_F(MergeTest, MlcaskMergeExecutesOnlySixComponents) {
+  MergeOperation op = MakeOp();
+  MergeOptions opts;  // PC + PR on
+  auto report = op.Merge("master", "dev", opts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->fast_forward);
+  EXPECT_EQ(report->candidates_total, 20u);
+  EXPECT_EQ(report->candidates_considered, 10u);
+  EXPECT_EQ(report->pruned_by_compatibility, 10u);
+  // The paper's Fig. 4 walkthrough: "only 6 components ... corresponding to
+  // 5 pipelines, are needed to be executed."
+  EXPECT_EQ(report->component_executions, 6u);
+  EXPECT_GE(report->checkpoints_marked, 10u);
+  EXPECT_GE(report->best_index, 0);
+  EXPECT_GT(report->best_score, 0.5);
+
+  // The merge commit exists on master with two parents.
+  auto head = deployment_->repo->Head("master");
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ((*head)->id, report->merge_commit);
+  ASSERT_EQ((*head)->parents.size(), 2u);
+  EXPECT_DOUBLE_EQ((*head)->snapshot.score, report->best_score);
+}
+
+TEST_F(MergeTest, AblationOrderingMatchesFig8) {
+  // Run the three arms on identical deployments and compare work done.
+  auto run_arm = [&](bool pc, bool pr) {
+    auto d = MakeDeployment("readmission", 0.08);
+    MLCASK_CHECK_OK(d.status());
+    MLCASK_CHECK_OK(BuildTwoBranchScenario(d->get()).status());
+    MergeOperation op((*d)->repo.get(), (*d)->libraries.get(),
+                      (*d)->registry.get(), (*d)->engine.get(),
+                      (*d)->clock.get());
+    MergeOptions opts;
+    opts.prune_compatibility = pc;
+    opts.reuse_outputs = pr;
+    opts.store_trial_outputs = !pr;  // ablation arms archive trial outputs
+    auto report = op.Merge("master", "dev", opts);
+    MLCASK_CHECK_OK(report.status());
+    return *std::move(report);
+  };
+
+  MergeReport mlcask = run_arm(true, true);
+  MergeReport no_pr = run_arm(true, false);
+  MergeReport no_pcpr = run_arm(false, false);
+
+  // Candidate counts: 10, 10, 20.
+  EXPECT_EQ(mlcask.candidates_considered, 10u);
+  EXPECT_EQ(no_pr.candidates_considered, 10u);
+  EXPECT_EQ(no_pcpr.candidates_considered, 20u);
+
+  // Executions: 6 (tree-dedup), 40 (10 pipelines x 4 components from
+  // scratch), 70 (40 + 10 incompatible pipelines failing at the model).
+  EXPECT_EQ(mlcask.component_executions, 6u);
+  EXPECT_EQ(no_pr.component_executions, 40u);
+  EXPECT_EQ(no_pcpr.component_executions, 70u);
+
+  // Cumulative pipeline time (CPT) ordering of Fig. 8: MLCask wins big;
+  // w/o PR beats w/o PCPR by a smaller margin.
+  EXPECT_LT(mlcask.total_time.Total(), no_pr.total_time.Total());
+  EXPECT_LT(no_pr.total_time.Total(), no_pcpr.total_time.Total());
+
+  // Incompatible candidates appear only in the w/o PCPR arm, and they fail
+  // after burning pre-processing time.
+  size_t incompatible = 0;
+  for (const auto& o : no_pcpr.outcomes) {
+    if (o.incompatible) {
+      ++incompatible;
+      EXPECT_GT(o.time.preprocess_s, 0.0);
+    }
+  }
+  EXPECT_EQ(incompatible, 10u);
+
+  // All arms find the same winner (same search space, same scores).
+  EXPECT_DOUBLE_EQ(mlcask.best_score, no_pr.best_score);
+  EXPECT_DOUBLE_EQ(no_pr.best_score, no_pcpr.best_score);
+
+  // Storage: MLCask materializes only the winner; the ablations archive
+  // every trial (Fig. 8b's CSS gap).
+  EXPECT_LT(mlcask.storage_bytes, no_pr.storage_bytes);
+}
+
+TEST_F(MergeTest, MetricDrivenMergePicksArgmax) {
+  MergeOperation op = MakeOp();
+  auto report = op.Merge("master", "dev", {});
+  ASSERT_TRUE(report.ok());
+  for (const auto& outcome : report->outcomes) {
+    if (!outcome.incompatible) {
+      EXPECT_LE(outcome.score, report->best_score);
+    }
+  }
+  const auto& best =
+      report->outcomes[static_cast<size_t>(report->best_index)];
+  EXPECT_DOUBLE_EQ(best.score, report->best_score);
+}
+
+TEST_F(MergeTest, MergedSnapshotIsCompatibleAndPersisted) {
+  MergeOperation op = MakeOp();
+  auto report = op.Merge("master", "dev", {});
+  ASSERT_TRUE(report.ok());
+  auto head = deployment_->repo->Head("master");
+  ASSERT_TRUE(head.ok());
+  const auto& records = (*head)->snapshot.components;
+  ASSERT_EQ(records.size(), 4u);
+  for (size_t i = 0; i + 1 < records.size(); ++i) {
+    EXPECT_EQ(records[i].output_schema, records[i + 1].input_schema);
+  }
+  // Winner outputs were materialized exactly once into the engine.
+  for (const auto& rec : records) {
+    EXPECT_TRUE(rec.has_output());
+    EXPECT_TRUE(deployment_->engine->HasVersion(rec.output_id));
+  }
+}
+
+TEST(MergeFastForwardTest, NoSearchWhenHeadIsAncestor) {
+  auto d = MakeDeployment("readmission", 0.08);
+  ASSERT_TRUE(d.ok());
+  auto& dep = **d;
+  // Only dev commits after the fork -> fast-forward (Fig. 2).
+  MLCASK_CHECK_OK(
+      dep.RunAndCommit(dep.workload.initial, "master", "a", "init").status());
+  auto model = *dep.workload.initial.Find(dep.workload.model);
+  auto updated = sim::WithComponent(dep.workload.initial,
+                                    sim::BumpIncrement(*model));
+  ASSERT_TRUE(updated.ok());
+  MLCASK_CHECK_OK(dep.RunAndCommit(*updated, "dev", "b", "model 0.1").status());
+
+  MergeOperation op(dep.repo.get(), dep.libraries.get(), dep.registry.get(),
+                    dep.engine.get(), dep.clock.get());
+  auto report = op.Merge("master", "dev", {});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->fast_forward);
+  EXPECT_EQ(report->component_executions, 0u);
+  EXPECT_TRUE(report->outcomes.empty());
+  auto head = dep.repo->Head("master");
+  ASSERT_TRUE(head.ok());
+  ASSERT_EQ((*head)->parents.size(), 2u);
+  // Merge result duplicates the dev snapshot.
+  EXPECT_EQ((*head)->snapshot.components[3].version.ToString(), "0.1");
+}
+
+TEST(MergeScenarioSweep, AllWorkloadsMergeCleanly) {
+  for (const std::string& name : sim::WorkloadNames()) {
+    auto d = MakeDeployment(name, 0.04);
+    ASSERT_TRUE(d.ok()) << name;
+    ASSERT_TRUE(BuildTwoBranchScenario(d->get()).ok()) << name;
+    MergeOperation op((*d)->repo.get(), (*d)->libraries.get(),
+                      (*d)->registry.get(), (*d)->engine.get(),
+                      (*d)->clock.get());
+    auto report = op.Merge("master", "dev", {});
+    ASSERT_TRUE(report.ok()) << name;
+    EXPECT_GE(report->best_index, 0) << name;
+    EXPECT_GT(report->candidates_considered, 0u) << name;
+    EXPECT_LT(report->candidates_considered, report->candidates_total) << name;
+  }
+}
+
+}  // namespace
+}  // namespace mlcask::merge

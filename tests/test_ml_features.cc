@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "ml/autolearn.h"
+#include "ml/embedding.h"
+#include "ml/hmm.h"
+#include "ml/metrics.h"
+#include "ml/zernike.h"
+
+namespace mlcask::ml {
+namespace {
+
+TEST(HmmTest, RecoversWellSeparatedStates) {
+  // Two-state chain with means -2 and +2, sticky transitions.
+  Pcg32 rng(3);
+  std::vector<double> seq;
+  int state = 0;
+  for (int t = 0; t < 400; ++t) {
+    if (rng.Bernoulli(0.05)) state = 1 - state;
+    seq.push_back((state == 0 ? -2.0 : 2.0) + 0.4 * rng.NextGaussian());
+  }
+  GaussianHmm hmm;
+  HmmConfig cfg;
+  cfg.num_states = 2;
+  cfg.em_iterations = 15;
+  ASSERT_TRUE(hmm.Fit(seq, cfg).ok());
+  std::vector<double> means = hmm.means();
+  std::sort(means.begin(), means.end());
+  EXPECT_NEAR(means[0], -2.0, 0.4);
+  EXPECT_NEAR(means[1], 2.0, 0.4);
+}
+
+TEST(HmmTest, SmoothingReducesNoise) {
+  Pcg32 rng(5);
+  std::vector<double> clean, noisy;
+  int state = 0;
+  for (int t = 0; t < 300; ++t) {
+    if (t % 60 == 0 && t > 0) state = 1 - state;
+    double mean = state == 0 ? -1.5 : 1.5;
+    clean.push_back(mean);
+    noisy.push_back(mean + 0.8 * rng.NextGaussian());
+  }
+  GaussianHmm hmm;
+  HmmConfig cfg;
+  cfg.num_states = 2;
+  cfg.em_iterations = 12;
+  ASSERT_TRUE(hmm.Fit(noisy, cfg).ok());
+  auto smoothed = hmm.Smooth(noisy);
+  ASSERT_TRUE(smoothed.ok());
+  double mse_noisy = *MeanSquaredError(noisy, clean);
+  double mse_smoothed = *MeanSquaredError(*smoothed, clean);
+  EXPECT_LT(mse_smoothed, mse_noisy * 0.6);
+}
+
+TEST(HmmTest, PosteriorsSumToOne) {
+  Pcg32 rng(7);
+  std::vector<double> seq;
+  for (int t = 0; t < 100; ++t) seq.push_back(rng.NextGaussian());
+  GaussianHmm hmm;
+  HmmConfig cfg;
+  cfg.num_states = 3;
+  ASSERT_TRUE(hmm.Fit(seq, cfg).ok());
+  auto post = hmm.Posteriors(seq);
+  ASSERT_TRUE(post.ok());
+  for (size_t t = 0; t < seq.size(); ++t) {
+    double sum = 0;
+    for (size_t s = 0; s < 3; ++s) sum += (*post)[t * 3 + s];
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(HmmTest, LogLikelihoodHigherForInDistributionData) {
+  Pcg32 rng(9);
+  std::vector<double> seq;
+  for (int t = 0; t < 200; ++t) seq.push_back(rng.NextGaussian() * 0.5);
+  GaussianHmm hmm;
+  HmmConfig cfg;
+  cfg.num_states = 2;
+  ASSERT_TRUE(hmm.Fit(seq, cfg).ok());
+  std::vector<double> shifted = seq;
+  for (double& v : shifted) v += 25.0;
+  EXPECT_GT(*hmm.LogLikelihood(seq), *hmm.LogLikelihood(shifted));
+}
+
+TEST(HmmTest, ErrorsOnMisuse) {
+  GaussianHmm hmm;
+  EXPECT_FALSE(hmm.Smooth({1.0, 2.0}).ok());  // unfit
+  HmmConfig cfg;
+  cfg.num_states = 0;
+  EXPECT_FALSE(hmm.Fit({1, 2, 3}, cfg).ok());
+  HmmConfig cfg2;
+  cfg2.num_states = 4;
+  EXPECT_FALSE(hmm.Fit({1.0, 2.0}, cfg2).ok());  // too short
+}
+
+TEST(ZernikeTest, RadialPolynomialKnownValues) {
+  // R_00(rho) = 1; R_11(rho) = rho; R_20(rho) = 2rho^2 - 1; R_22 = rho^2.
+  EXPECT_DOUBLE_EQ(ZernikeExtractor::Radial(0, 0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(ZernikeExtractor::Radial(1, 1, 0.5), 0.5);
+  EXPECT_NEAR(ZernikeExtractor::Radial(2, 0, 0.5), 2 * 0.25 - 1, 1e-12);
+  EXPECT_NEAR(ZernikeExtractor::Radial(2, 2, 0.5), 0.25, 1e-12);
+  EXPECT_NEAR(ZernikeExtractor::Radial(4, 0, 1.0), 1.0, 1e-12);  // 6-6+1
+}
+
+TEST(ZernikeTest, FeatureCountMatchesOrder) {
+  // Order 4: (0,0),(1,1),(2,0),(2,2),(3,1),(3,3),(4,0),(4,2),(4,4) = 9.
+  ZernikeExtractor z(4);
+  EXPECT_EQ(z.NumFeatures(), 9u);
+}
+
+TEST(ZernikeTest, RotationInvarianceOfMagnitudes) {
+  // A centered disk is rotation invariant; a 90°-rotated L-shape must give
+  // (near-)identical magnitudes.
+  const size_t side = 32;
+  std::vector<double> img(side * side, 0.0), rot(side * side, 0.0);
+  for (size_t y = 8; y < 24; ++y) {
+    for (size_t x = 8; x < 12; ++x) img[y * side + x] = 1.0;  // vertical bar
+  }
+  // 90° rotation about center: (x,y) -> (y, side-1-x).
+  for (size_t y = 0; y < side; ++y) {
+    for (size_t x = 0; x < side; ++x) {
+      if (img[y * side + x] > 0) {
+        size_t nx = y;
+        size_t ny = side - 1 - x;
+        rot[ny * side + nx] = 1.0;
+      }
+    }
+  }
+  ZernikeExtractor z(6);
+  auto f1 = z.Extract(img, side);
+  auto f2 = z.Extract(rot, side);
+  ASSERT_TRUE(f1.ok() && f2.ok());
+  for (size_t i = 0; i < f1->size(); ++i) {
+    EXPECT_NEAR((*f1)[i], (*f2)[i], 0.08) << "moment " << i;
+  }
+}
+
+TEST(ZernikeTest, DistinguishesDigits) {
+  auto t = data::GenerateDigits(40, 16, 23);
+  ASSERT_TRUE(t.ok());
+  ZernikeExtractor z(6);
+  // Features of a "1" differ from features of an "8".
+  std::vector<double> f1, f8;
+  const data::Column* digit = *t->GetColumn("digit");
+  for (size_t i = 0; i < 40 && (f1.empty() || f8.empty()); ++i) {
+    std::vector<double> pixels(256);
+    for (size_t k = 0; k < 256; ++k) {
+      pixels[k] = (*t->GetColumn("px" + std::to_string(k)))->doubles[i];
+    }
+    if (digit->ints[i] == 1 && f1.empty()) f1 = *z.Extract(pixels, 16);
+    if (digit->ints[i] == 8 && f8.empty()) f8 = *z.Extract(pixels, 16);
+  }
+  ASSERT_FALSE(f1.empty());
+  ASSERT_FALSE(f8.empty());
+  double diff = 0;
+  for (size_t i = 0; i < f1.size(); ++i) diff += std::fabs(f1[i] - f8[i]);
+  EXPECT_GT(diff, 0.5);
+}
+
+TEST(ZernikeTest, ErrorsOnBadInput) {
+  ZernikeExtractor z(4);
+  EXPECT_FALSE(z.Extract({1, 2, 3}, 2).ok());
+  EXPECT_FALSE(z.Extract({}, 0).ok());
+}
+
+TEST(TokenizeTest, LowercasesAndStripsPunctuation) {
+  EXPECT_EQ(Tokenize("Hello, World! 123"),
+            (std::vector<std::string>{"hello", "world", "123"}));
+  EXPECT_TRUE(Tokenize("...").empty());
+  EXPECT_TRUE(Tokenize("").empty());
+}
+
+TEST(EmbeddingTest, SimilarContextsYieldSimilarVectors) {
+  // "good" and "great" share contexts; "terrible" appears in different ones.
+  std::vector<std::string> docs;
+  for (int i = 0; i < 60; ++i) {
+    docs.push_back("the movie was good and the cast was strong");
+    docs.push_back("the movie was great and the cast was strong");
+    docs.push_back("the plot was terrible but the visuals saved nothing");
+  }
+  WordEmbedding emb;
+  EmbeddingConfig cfg;
+  cfg.dims = 8;
+  ASSERT_TRUE(emb.Fit(docs, cfg).ok());
+  auto cos = [](const std::vector<double>& a, const std::vector<double>& b) {
+    double dot = 0, na = 0, nb = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      dot += a[i] * b[i];
+      na += a[i] * a[i];
+      nb += b[i] * b[i];
+    }
+    return dot / (std::sqrt(na * nb) + 1e-12);
+  };
+  auto good = emb.Lookup("good");
+  auto great = emb.Lookup("great");
+  auto terrible = emb.Lookup("terrible");
+  EXPECT_GT(cos(good, great), cos(good, terrible) + 0.05);
+}
+
+TEST(EmbeddingTest, EmbedAveragesTokens) {
+  std::vector<std::string> docs(30, "alpha beta gamma delta");
+  WordEmbedding emb;
+  EmbeddingConfig cfg;
+  cfg.dims = 4;
+  ASSERT_TRUE(emb.Fit(docs, cfg).ok());
+  auto doc_vec = emb.Embed("alpha beta");
+  auto a = emb.Lookup("alpha");
+  auto b = emb.Lookup("beta");
+  for (size_t k = 0; k < doc_vec.size(); ++k) {
+    EXPECT_NEAR(doc_vec[k], (a[k] + b[k]) / 2.0, 1e-9);
+  }
+  // OOV-only document embeds to zero.
+  auto zero = emb.Embed("zzz qqq");
+  for (double v : zero) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(EmbeddingTest, ErrorsOnDegenerateInput) {
+  WordEmbedding emb;
+  EXPECT_FALSE(emb.Fit({}, {}).ok());
+  EXPECT_FALSE(emb.Fit({"solo"}, {}).ok());  // vocab too small
+}
+
+TEST(PearsonTest, KnownValues) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);  // degenerate
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 2}, {1}), 0.0);           // mismatch
+}
+
+TEST(AutolearnTest, FindsPredictiveRatioFeature) {
+  // Label depends on x0/x1, which no base feature captures alone.
+  Pcg32 rng(31);
+  Matrix x(400, 4);
+  std::vector<double> y(400);
+  for (size_t i = 0; i < 400; ++i) {
+    for (size_t j = 0; j < 4; ++j) x.At(i, j) = rng.Uniform(0.5, 2.0);
+    y[i] = x.At(i, 0) / x.At(i, 1) > 1.0 ? 1.0 : 0.0;
+  }
+  AutolearnConfig cfg;
+  cfg.keep_top_k = 6;
+  auto result = GenerateAndSelectFeatures(x, y, cfg);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->features.cols(), 6u);
+  EXPECT_EQ(result->names.size(), 6u);
+  // The ratio f0/f1 (or its inverse) must rank at the very top.
+  EXPECT_TRUE(result->names[0] == "f0/f1" || result->names[0] == "f1/f0")
+      << result->names[0];
+}
+
+TEST(AutolearnTest, RespectsKeepTopK) {
+  Pcg32 rng(37);
+  Matrix x(100, 5);
+  std::vector<double> y(100);
+  for (size_t i = 0; i < 100; ++i) {
+    for (size_t j = 0; j < 5; ++j) x.At(i, j) = rng.NextGaussian();
+    y[i] = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+  }
+  AutolearnConfig cfg;
+  cfg.keep_top_k = 3;
+  auto result = GenerateAndSelectFeatures(x, y, cfg);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->features.cols(), 3u);
+}
+
+TEST(AutolearnTest, ErrorsOnMismatch) {
+  Matrix x(3, 2);
+  EXPECT_FALSE(GenerateAndSelectFeatures(x, {1.0}, {}).ok());
+  Matrix empty;
+  EXPECT_FALSE(GenerateAndSelectFeatures(empty, {}, {}).ok());
+}
+
+}  // namespace
+}  // namespace mlcask::ml

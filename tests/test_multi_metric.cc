@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "merge/merge_op.h"
+#include "sim/scenario.h"
+
+namespace mlcask::merge {
+namespace {
+
+class MultiMetricTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto d = sim::MakeDeployment("readmission", /*scale=*/0.08);
+    MLCASK_CHECK_OK(d.status());
+    deployment_ = std::move(d).value();
+    MLCASK_CHECK_OK(sim::BuildTwoBranchScenario(deployment_.get()).status());
+  }
+
+  MergeOperation MakeOp() {
+    return MergeOperation(deployment_->repo.get(),
+                          deployment_->libraries.get(),
+                          deployment_->registry.get(),
+                          deployment_->engine.get(), deployment_->clock.get());
+  }
+
+  std::unique_ptr<sim::Deployment> deployment_;
+};
+
+TEST_F(MultiMetricTest, ModelsReportFullMetricSet) {
+  auto run = deployment_->executor->Run(deployment_->workload.initial, {});
+  ASSERT_TRUE(run.ok());
+  ASSERT_TRUE(run->has_score());
+  EXPECT_EQ(run->metrics.count("accuracy"), 1u);
+  EXPECT_EQ(run->metrics.count("auc"), 1u);
+  EXPECT_EQ(run->metrics.count("inv_logloss"), 1u);
+  EXPECT_DOUBLE_EQ(run->metrics.at("accuracy"), run->score);
+  EXPECT_GE(run->metrics.at("auc"), 0.0);
+  EXPECT_LE(run->metrics.at("auc"), 1.0);
+  EXPECT_GT(run->metrics.at("inv_logloss"), 0.0);
+}
+
+TEST_F(MultiMetricTest, MetricsSurviveCommitRoundTrip) {
+  auto head = deployment_->repo->Head("master");
+  ASSERT_TRUE(head.ok());
+  EXPECT_GE((*head)->snapshot.metrics.size(), 3u);
+  // Serialize and re-parse the commit; metrics survive.
+  auto parsed = version::Commit::FromJson(*Json::Parse((*head)->ToJson().Dump()));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->snapshot.metrics, (*head)->snapshot.metrics);
+}
+
+TEST_F(MultiMetricTest, MergeOptimizesChosenMetric) {
+  MergeOperation op = MakeOp();
+  MergeOptions opts;
+  opts.optimize_metric = "auc";
+  auto report = op.Merge("master", "dev", opts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->metric, "auc");
+  // The winner maximizes AUC across feasible candidates.
+  for (const auto& o : report->outcomes) {
+    if (!o.incompatible) {
+      ASSERT_EQ(o.metrics.count("auc"), 1u);
+      EXPECT_LE(o.metrics.at("auc"), report->best_score + 1e-12);
+    }
+  }
+}
+
+TEST_F(MultiMetricTest, DifferentMetricsCanDisagreeOnWinner) {
+  // Sec. V: "MLCask generates different optimal pipeline solutions for
+  // different metrics". Run the same merge under each metric and verify
+  // each winner is the argmax of its own metric (winners may or may not
+  // coincide; each must be optimal for its objective).
+  for (const std::string metric : {"accuracy", "auc", "inv_logloss"}) {
+    auto d = sim::MakeDeployment("readmission", 0.08);
+    ASSERT_TRUE(d.ok());
+    MLCASK_CHECK_OK(sim::BuildTwoBranchScenario(d->get()).status());
+    MergeOperation op((*d)->repo.get(), (*d)->libraries.get(),
+                      (*d)->registry.get(), (*d)->engine.get(),
+                      (*d)->clock.get());
+    MergeOptions opts;
+    opts.optimize_metric = metric;
+    auto report = op.Merge("master", "dev", opts);
+    ASSERT_TRUE(report.ok()) << metric;
+    ASSERT_GE(report->best_index, 0) << metric;
+    const auto& winner =
+        report->outcomes[static_cast<size_t>(report->best_index)];
+    for (const auto& o : report->outcomes) {
+      if (!o.incompatible) {
+        EXPECT_LE(o.metrics.at(metric), winner.metrics.at(metric) + 1e-12)
+            << metric;
+      }
+    }
+  }
+}
+
+TEST_F(MultiMetricTest, UnknownMetricIsAnError) {
+  MergeOperation op = MakeOp();
+  MergeOptions opts;
+  opts.optimize_metric = "f1";  // not reported by the models
+  EXPECT_TRUE(op.Merge("master", "dev", opts).status().IsInvalidArgument());
+}
+
+TEST_F(MultiMetricTest, EmptyMetricUsesPrimaryScore) {
+  MergeOperation op = MakeOp();
+  auto report = op.Merge("master", "dev", {});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->metric, "accuracy");
+}
+
+}  // namespace
+}  // namespace mlcask::merge

@@ -1,0 +1,167 @@
+#include "pipeline/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+#include "pipeline/component.h"
+
+namespace mlcask::pipeline {
+namespace {
+
+ComponentVersionSpec Spec(const std::string& name, ComponentKind kind,
+                          uint64_t in_schema, uint64_t out_schema) {
+  ComponentVersionSpec s;
+  s.name = name;
+  s.kind = kind;
+  s.input_schema = in_schema;
+  s.output_schema = out_schema;
+  s.impl = "impl_" + name;
+  return s;
+}
+
+std::vector<ComponentVersionSpec> ReadmissionChainSpecs() {
+  return {Spec("dataset", ComponentKind::kDataset, 0, 1),
+          Spec("cleanse", ComponentKind::kPreprocessor, 1, 2),
+          Spec("extract", ComponentKind::kPreprocessor, 2, 3),
+          Spec("cnn", ComponentKind::kModel, 3, 4)};
+}
+
+TEST(ComponentSpecTest, MetafileRoundTrip) {
+  ComponentVersionSpec s = Spec("cnn", ComponentKind::kModel, 3, 4);
+  s.version = *version::SemanticVersion::Parse("dev@1.2");
+  s.params.Set("epochs", Json::Int(20));
+  s.cost_per_krow_s = 52.5;
+  auto parsed = ComponentVersionSpec::FromJson(*Json::Parse(s.ToJson().Dump()));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, s);
+}
+
+TEST(ComponentSpecTest, FromJsonRejectsMalformed) {
+  EXPECT_FALSE(ComponentVersionSpec::FromJson(*Json::Parse("{}")).ok());
+  EXPECT_FALSE(ComponentVersionSpec::FromJson(
+                   *Json::Parse(R"({"name":"x","version":"0.0"})"))
+                   .ok());  // missing impl/kind
+}
+
+TEST(ComponentSpecTest, CompatibilityIsSchemaEquality) {
+  ComponentVersionSpec a = Spec("a", ComponentKind::kPreprocessor, 1, 2);
+  ComponentVersionSpec b = Spec("b", ComponentKind::kModel, 2, 3);
+  ComponentVersionSpec c = Spec("c", ComponentKind::kModel, 9, 10);
+  EXPECT_TRUE(a.CompatibleWith(b));
+  EXPECT_FALSE(a.CompatibleWith(c));
+}
+
+TEST(ComponentSpecTest, KindNamesRoundTrip) {
+  for (ComponentKind k : {ComponentKind::kDataset, ComponentKind::kPreprocessor,
+                          ComponentKind::kModel}) {
+    auto parsed = ParseComponentKind(ComponentKindName(k));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_FALSE(ParseComponentKind("nonsense").ok());
+}
+
+TEST(PipelineTest, ChainBuildsLinearDag) {
+  auto p = Pipeline::Chain("readmission", ReadmissionChainSpecs());
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->size(), 4u);
+  EXPECT_TRUE(p->IsChain());
+  ASSERT_TRUE(p->Validate().ok());
+  EXPECT_EQ(p->Predecessors("cleanse"), (std::vector<std::string>{"dataset"}));
+  EXPECT_EQ(p->Successors("cleanse"), (std::vector<std::string>{"extract"}));
+  EXPECT_TRUE(p->Predecessors("dataset").empty());
+  EXPECT_TRUE(p->Successors("cnn").empty());
+}
+
+TEST(PipelineTest, TopologicalOrderFollowsChain) {
+  auto p = Pipeline::Chain("x", ReadmissionChainSpecs());
+  ASSERT_TRUE(p.ok());
+  auto order = p->TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  ASSERT_EQ(order->size(), 4u);
+  EXPECT_EQ((*order)[0]->name, "dataset");
+  EXPECT_EQ((*order)[3]->name, "cnn");
+}
+
+TEST(PipelineTest, DetectsCycle) {
+  Pipeline p("cyclic");
+  ASSERT_TRUE(p.AddComponent(Spec("a", ComponentKind::kDataset, 0, 1)).ok());
+  ASSERT_TRUE(p.AddComponent(Spec("b", ComponentKind::kPreprocessor, 1, 2)).ok());
+  ASSERT_TRUE(p.Connect("a", "b").ok());
+  ASSERT_TRUE(p.Connect("b", "a").ok());
+  EXPECT_FALSE(p.TopologicalOrder().ok());
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(PipelineTest, ValidateRequiresDatasetSource) {
+  Pipeline p("bad");
+  ASSERT_TRUE(
+      p.AddComponent(Spec("pre", ComponentKind::kPreprocessor, 1, 2)).ok());
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(PipelineTest, ValidateRejectsDatasetWithPredecessor) {
+  Pipeline p("bad");
+  ASSERT_TRUE(p.AddComponent(Spec("a", ComponentKind::kDataset, 0, 1)).ok());
+  ASSERT_TRUE(p.AddComponent(Spec("b", ComponentKind::kDataset, 0, 1)).ok());
+  ASSERT_TRUE(p.Connect("a", "b").ok());
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(PipelineTest, DuplicateComponentAndEdgeRejected) {
+  Pipeline p("dup");
+  ASSERT_TRUE(p.AddComponent(Spec("a", ComponentKind::kDataset, 0, 1)).ok());
+  EXPECT_EQ(p.AddComponent(Spec("a", ComponentKind::kDataset, 0, 1)).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(p.AddComponent(Spec("b", ComponentKind::kModel, 1, 2)).ok());
+  ASSERT_TRUE(p.Connect("a", "b").ok());
+  EXPECT_EQ(p.Connect("a", "b").code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(p.Connect("a", "zz").IsNotFound());
+  EXPECT_FALSE(p.Connect("a", "a").ok());
+}
+
+TEST(PipelineTest, CheckCompatibilityFindsBrokenEdge) {
+  auto specs = ReadmissionChainSpecs();
+  specs[2].output_schema = 99;  // extract now emits a schema cnn cannot read
+  auto p = Pipeline::Chain("broken", specs);
+  ASSERT_TRUE(p.ok());
+  Status s = p->CheckCompatibility();
+  EXPECT_TRUE(s.IsIncompatible());
+  EXPECT_NE(s.message().find("cnn"), std::string::npos);
+}
+
+TEST(PipelineTest, IsChainFalseForFanOut) {
+  Pipeline p("fan");
+  ASSERT_TRUE(p.AddComponent(Spec("a", ComponentKind::kDataset, 0, 1)).ok());
+  ASSERT_TRUE(p.AddComponent(Spec("b", ComponentKind::kModel, 1, 2)).ok());
+  ASSERT_TRUE(p.AddComponent(Spec("c", ComponentKind::kModel, 1, 2)).ok());
+  ASSERT_TRUE(p.Connect("a", "b").ok());
+  ASSERT_TRUE(p.Connect("a", "c").ok());
+  EXPECT_FALSE(p.IsChain());
+  EXPECT_TRUE(p.Validate().ok());  // still a valid DAG
+}
+
+TEST(PipelineTest, MetafileRoundTrip) {
+  auto p = Pipeline::Chain("readmission", ReadmissionChainSpecs());
+  ASSERT_TRUE(p.ok());
+  auto parsed = Pipeline::FromJson(*Json::Parse(p->ToJson().Dump()));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->name(), "readmission");
+  EXPECT_EQ(parsed->size(), 4u);
+  EXPECT_TRUE(parsed->IsChain());
+  EXPECT_EQ(parsed->components()[2].name, p->components()[2].name);
+}
+
+TEST(PipelineTest, ToSnapshotKeepsOrder) {
+  auto p = Pipeline::Chain("x", ReadmissionChainSpecs());
+  ASSERT_TRUE(p.ok());
+  version::PipelineSnapshot snap = p->ToSnapshot();
+  ASSERT_EQ(snap.components.size(), 4u);
+  EXPECT_EQ(snap.components[0].name, "dataset");
+  EXPECT_EQ(snap.components[3].name, "cnn");
+  EXPECT_FALSE(snap.has_score());
+}
+
+}  // namespace
+}  // namespace mlcask::pipeline

@@ -1,0 +1,222 @@
+#include "version/pipeline_repo.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/forkbase_engine.h"
+
+namespace mlcask::version {
+namespace {
+
+PipelineSnapshot Snap(const std::string& fe, const std::string& cnn) {
+  PipelineSnapshot s;
+  ComponentRecord a;
+  a.name = "feature_extract";
+  a.version = *SemanticVersion::Parse(fe);
+  ComponentRecord b;
+  b.name = "cnn";
+  b.version = *SemanticVersion::Parse(cnn);
+  s.components = {a, b};
+  return s;
+}
+
+class PipelineRepoTest : public ::testing::Test {
+ protected:
+  PipelineRepoTest() : repo_("readmission", &engine_, &clock_) {}
+
+  storage::ForkBaseEngine engine_;
+  SimClock clock_;
+  PipelineRepo repo_;
+};
+
+TEST_F(PipelineRepoTest, InitCreatesMasterRoot) {
+  auto id = repo_.Init(Snap("0.0", "0.0"), "alice", "initial pipeline");
+  ASSERT_TRUE(id.ok());
+  auto head = repo_.Head("master");
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ((*head)->Label(), "master.0.0");
+  EXPECT_TRUE((*head)->parents.empty());
+  EXPECT_TRUE(repo_.Init(Snap("0.0", "0.0"), "a", "m").status().code() ==
+              StatusCode::kAlreadyExists);
+}
+
+TEST_F(PipelineRepoTest, CommitAdvancesHeadAndSeq) {
+  ASSERT_TRUE(repo_.Init(Snap("0.0", "0.0"), "alice", "init").ok());
+  auto c1 = repo_.CommitOn("master", Snap("0.0", "0.1"), "alice", "cnn 0.1");
+  ASSERT_TRUE(c1.ok());
+  auto head = repo_.Head("master");
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ((*head)->Label(), "master.0.1");
+  ASSERT_EQ((*head)->parents.size(), 1u);
+}
+
+TEST_F(PipelineRepoTest, CommitOnMissingBranchFails) {
+  ASSERT_TRUE(repo_.Init(Snap("0.0", "0.0"), "alice", "init").ok());
+  EXPECT_TRUE(
+      repo_.CommitOn("dev", Snap("0.0", "0.1"), "a", "m").status().IsNotFound());
+}
+
+TEST_F(PipelineRepoTest, BranchForksFromHead) {
+  ASSERT_TRUE(repo_.Init(Snap("0.0", "0.0"), "alice", "init").ok());
+  ASSERT_TRUE(repo_.Branch("dev", "master").ok());
+  auto dev_head = repo_.Head("dev");
+  auto master_head = repo_.Head("master");
+  ASSERT_TRUE(dev_head.ok() && master_head.ok());
+  EXPECT_EQ((*dev_head)->id, (*master_head)->id);
+  // First commit on dev renders dev.0.0 as in the paper's Fig. 2.
+  auto c = repo_.CommitOn("dev", Snap("0.0", "0.1"), "bob", "try cnn 0.1");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ((*repo_.Head("dev"))->Label(), "dev.0.0");
+  // Master is unchanged — isolation of stable vs development pipeline.
+  EXPECT_EQ((*repo_.Head("master"))->Label(), "master.0.0");
+}
+
+TEST_F(PipelineRepoTest, BranchRequiresExistingSource) {
+  EXPECT_TRUE(repo_.Branch("dev", "master").IsNotFound());
+}
+
+TEST_F(PipelineRepoTest, DuplicateBranchRejected) {
+  ASSERT_TRUE(repo_.Init(Snap("0.0", "0.0"), "a", "m").ok());
+  ASSERT_TRUE(repo_.Branch("dev", "master").ok());
+  EXPECT_EQ(repo_.Branch("dev", "master").code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(PipelineRepoTest, CommonAncestorAfterDivergence) {
+  ASSERT_TRUE(repo_.Init(Snap("0.0", "0.0"), "a", "init").ok());
+  Hash256 fork = (*repo_.Head("master"))->id;
+  ASSERT_TRUE(repo_.Branch("dev", "master").ok());
+  ASSERT_TRUE(repo_.CommitOn("dev", Snap("1.0", "0.2"), "b", "fe 1.0").ok());
+  ASSERT_TRUE(repo_.CommitOn("master", Snap("0.0", "0.4"), "a", "cnn 0.4").ok());
+  auto lca = repo_.CommonAncestor("master", "dev");
+  ASSERT_TRUE(lca.ok());
+  EXPECT_EQ(*lca, fork);
+}
+
+TEST_F(PipelineRepoTest, FastForwardDetection) {
+  ASSERT_TRUE(repo_.Init(Snap("0.0", "0.0"), "a", "init").ok());
+  ASSERT_TRUE(repo_.Branch("dev", "master").ok());
+  ASSERT_TRUE(repo_.CommitOn("dev", Snap("0.0", "0.1"), "b", "m").ok());
+  // No commits on master since fork -> fast-forward possible (Fig. 2).
+  auto ff = repo_.CanFastForward("master", "dev");
+  ASSERT_TRUE(ff.ok());
+  EXPECT_TRUE(*ff);
+  // A commit on master kills fast-forward (Fig. 3).
+  ASSERT_TRUE(repo_.CommitOn("master", Snap("0.0", "0.4"), "a", "m").ok());
+  ff = repo_.CanFastForward("master", "dev");
+  ASSERT_TRUE(ff.ok());
+  EXPECT_FALSE(*ff);
+}
+
+TEST_F(PipelineRepoTest, MergeCommitLinksBothParents) {
+  ASSERT_TRUE(repo_.Init(Snap("0.0", "0.0"), "a", "init").ok());
+  ASSERT_TRUE(repo_.Branch("dev", "master").ok());
+  ASSERT_TRUE(repo_.CommitOn("dev", Snap("1.0", "0.3"), "b", "dev work").ok());
+  ASSERT_TRUE(repo_.CommitOn("master", Snap("0.0", "0.4"), "a", "hot fix").ok());
+  Hash256 dev_head = (*repo_.Head("dev"))->id;
+  Hash256 master_head = (*repo_.Head("master"))->id;
+
+  auto merged = repo_.CommitMerge("master", dev_head, Snap("1.0", "0.3"), "a",
+                                  "merge dev");
+  ASSERT_TRUE(merged.ok());
+  auto head = repo_.Head("master");
+  ASSERT_TRUE(head.ok());
+  ASSERT_EQ((*head)->parents.size(), 2u);
+  EXPECT_EQ((*head)->parents[0], master_head);
+  EXPECT_EQ((*head)->parents[1], dev_head);
+  EXPECT_EQ((*head)->Label(), "master.0.2");
+}
+
+TEST_F(PipelineRepoTest, CommitsChargeStorageTime) {
+  double before = clock_.Now();
+  ASSERT_TRUE(repo_.Init(Snap("0.0", "0.0"), "a", "init").ok());
+  EXPECT_GT(clock_.Now(), before);
+  EXPECT_GT(engine_.stats().puts, 0u);
+}
+
+TEST_F(PipelineRepoTest, TagsPointAtCommitsAndNeverMove) {
+  ASSERT_TRUE(repo_.Init(Snap("0.0", "0.0"), "a", "init").ok());
+  Hash256 v1 = (*repo_.Head("master"))->id;
+  ASSERT_TRUE(repo_.Tag("prod-v1", v1).ok());
+  auto tagged = repo_.GetTag("prod-v1");
+  ASSERT_TRUE(tagged.ok());
+  EXPECT_EQ((*tagged)->id, v1);
+
+  // The branch moves on; the tag stays.
+  ASSERT_TRUE(repo_.CommitOn("master", Snap("0.0", "0.1"), "a", "next").ok());
+  EXPECT_EQ((*repo_.GetTag("prod-v1"))->id, v1);
+
+  // Tags are immutable and must reference existing commits.
+  EXPECT_EQ(repo_.Tag("prod-v1", (*repo_.Head("master"))->id).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(repo_.Tag("ghost", Sha256::Digest("nope")).IsNotFound());
+  EXPECT_TRUE(repo_.GetTag("missing").status().IsNotFound());
+  EXPECT_EQ(repo_.Tags(), (std::vector<std::string>{"prod-v1"}));
+}
+
+TEST_F(PipelineRepoTest, ExportImportRoundTrip) {
+  ASSERT_TRUE(repo_.Init(Snap("0.0", "0.0"), "a", "init").ok());
+  ASSERT_TRUE(repo_.Branch("dev", "master").ok());
+  ASSERT_TRUE(repo_.CommitOn("dev", Snap("1.0", "0.1"), "b", "dev work").ok());
+  ASSERT_TRUE(repo_.CommitOn("master", Snap("0.0", "0.2"), "a", "master").ok());
+  Hash256 dev_head = (*repo_.Head("dev"))->id;
+  ASSERT_TRUE(
+      repo_.CommitMerge("master", dev_head, Snap("1.0", "0.1"), "a", "merge")
+          .ok());
+  ASSERT_TRUE(repo_.Tag("v1", (*repo_.Head("master"))->id).ok());
+
+  Json state = repo_.ExportState();
+  storage::ForkBaseEngine engine2;
+  SimClock clock2;
+  auto imported = version::PipelineRepo::ImportState(state, &engine2, &clock2);
+  ASSERT_TRUE(imported.ok());
+
+  // Structure survives: heads, labels, parents, tags, LCA queries.
+  EXPECT_EQ(imported->name(), "readmission");
+  EXPECT_EQ((*imported->Head("master"))->id, (*repo_.Head("master"))->id);
+  EXPECT_EQ((*imported->Head("dev"))->id, dev_head);
+  EXPECT_EQ((*imported->Head("master"))->parents.size(), 2u);
+  EXPECT_EQ((*imported->GetTag("v1"))->id, (*repo_.Head("master"))->id);
+  EXPECT_EQ(imported->graph().size(), repo_.graph().size());
+  auto lca = imported->CommonAncestor("master", "dev");
+  ASSERT_TRUE(lca.ok());
+  EXPECT_EQ(*lca, dev_head);
+
+  // Sequence counters survive: the next commit keeps numbering correctly.
+  auto next = imported->CommitOn("master", Snap("1.0", "0.3"), "a", "after");
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ((*imported->Head("master"))->Label(), "master.0.3");
+}
+
+TEST_F(PipelineRepoTest, ImportRejectsCorruptState) {
+  storage::ForkBaseEngine engine2;
+  SimClock clock2;
+  EXPECT_FALSE(
+      version::PipelineRepo::ImportState(*Json::Parse("{}"), &engine2, &clock2)
+          .ok());
+  // Branch pointing at an unknown commit.
+  ASSERT_TRUE(repo_.Init(Snap("0.0", "0.0"), "a", "init").ok());
+  Json state = repo_.ExportState();
+  Json bad = state;
+  Json branches = Json::Object();
+  branches.Set("master", Json::Str(Sha256::Digest("ghost").ToHex()));
+  bad.Set("branches", std::move(branches));
+  auto imported = version::PipelineRepo::ImportState(bad, &engine2, &clock2);
+  ASSERT_FALSE(imported.ok());
+  EXPECT_EQ(imported.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(PipelineRepoTest, HistoryIsReadableFromGraph) {
+  ASSERT_TRUE(repo_.Init(Snap("0.0", "0.0"), "a", "init").ok());
+  for (int i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(
+        repo_.CommitOn("master", Snap("0.0", "0." + std::to_string(i)), "a",
+                       "update " + std::to_string(i))
+            .ok());
+  }
+  auto log = repo_.graph().Log((*repo_.Head("master"))->id);
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0]->message, "update 3");
+  EXPECT_EQ(log[3]->message, "init");
+}
+
+}  // namespace
+}  // namespace mlcask::version

@@ -1,0 +1,156 @@
+#include "merge/prioritized.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "sim/scenario.h"
+
+namespace mlcask::merge {
+namespace {
+
+class PrioritizedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto d = sim::MakeDeployment("readmission", /*scale=*/0.08);
+    MLCASK_CHECK_OK(d.status());
+    deployment_ = std::move(d).value();
+    MLCASK_CHECK_OK(sim::BuildTwoBranchScenario(deployment_.get()).status());
+    search_ = std::make_unique<PrioritizedSearch>(
+        deployment_->repo.get(), deployment_->libraries.get(),
+        deployment_->registry.get(), deployment_->engine.get());
+    MLCASK_CHECK_OK(search_->Prepare("master", "dev"));
+  }
+
+  std::unique_ptr<sim::Deployment> deployment_;
+  std::unique_ptr<PrioritizedSearch> search_;
+};
+
+TEST_F(PrioritizedTest, PrepareFindsPrunedCandidates) {
+  EXPECT_EQ(search_->num_candidates(), 10u);
+}
+
+TEST_F(PrioritizedTest, TrialVisitsEveryCandidateExactlyOnce) {
+  for (SearchMode mode : {SearchMode::kPrioritized, SearchMode::kRandom}) {
+    auto trial = search_->RunTrial(mode, 1);
+    ASSERT_TRUE(trial.ok());
+    ASSERT_EQ(trial->steps.size(), 10u);
+    std::set<size_t> seen;
+    for (const SearchStep& s : trial->steps) {
+      EXPECT_TRUE(seen.insert(s.candidate_index).second)
+          << "candidate visited twice";
+    }
+    EXPECT_EQ(seen.size(), 10u);
+  }
+}
+
+TEST_F(PrioritizedTest, EndTimesAreMonotone) {
+  auto trial = search_->RunTrial(SearchMode::kPrioritized, 2);
+  ASSERT_TRUE(trial.ok());
+  double prev = -1;
+  for (const SearchStep& s : trial->steps) {
+    EXPECT_GE(s.end_time_s, prev);
+    prev = s.end_time_s;
+  }
+}
+
+TEST_F(PrioritizedTest, BestScoreAndStepsToOptimalConsistent) {
+  auto trial = search_->RunTrial(SearchMode::kPrioritized, 3);
+  ASSERT_TRUE(trial.ok());
+  double best = 0;
+  for (const SearchStep& s : trial->steps) best = std::max(best, s.score);
+  EXPECT_DOUBLE_EQ(trial->best_score, best);
+  ASSERT_GE(trial->steps_to_optimal, 1u);
+  ASSERT_LE(trial->steps_to_optimal, trial->steps.size());
+  EXPECT_DOUBLE_EQ(trial->steps[trial->steps_to_optimal - 1].score, best);
+  for (size_t i = 0; i + 1 < trial->steps_to_optimal; ++i) {
+    EXPECT_LT(trial->steps[i].score, best);
+  }
+}
+
+TEST_F(PrioritizedTest, RandomOrderVariesBySeed) {
+  auto a = search_->RunTrial(SearchMode::kRandom, 1);
+  auto b = search_->RunTrial(SearchMode::kRandom, 2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  std::vector<size_t> order_a, order_b;
+  for (const auto& s : a->steps) order_a.push_back(s.candidate_index);
+  for (const auto& s : b->steps) order_b.push_back(s.candidate_index);
+  EXPECT_NE(order_a, order_b);
+}
+
+TEST_F(PrioritizedTest, PrioritizedFindsOptimalEarlierOnAverage) {
+  // Table I's claim, in expectation over trials: prioritized search reaches
+  // the optimal pipeline in fewer steps than random search.
+  const int kTrials = 20;
+  double prioritized_sum = 0, random_sum = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    auto p = search_->RunTrial(SearchMode::kPrioritized,
+                               static_cast<uint64_t>(t) + 1);
+    auto r =
+        search_->RunTrial(SearchMode::kRandom, static_cast<uint64_t>(t) + 1);
+    ASSERT_TRUE(p.ok() && r.ok());
+    prioritized_sum += static_cast<double>(p->steps_to_optimal);
+    random_sum += static_cast<double>(r->steps_to_optimal);
+  }
+  EXPECT_LT(prioritized_sum / kTrials, random_sum / kTrials);
+}
+
+TEST_F(PrioritizedTest, HistoryScoresSeedTheSearch) {
+  // Pipelines trained on HEAD / MERGE_HEAD provide initial scores; the
+  // Fig. 3 scenario has 5 of them among the 10 candidates.
+  const auto& init = search_->initial_scores();
+  EXPECT_EQ(init.size(), 5u);
+  for (const auto& [index, score] : init) {
+    EXPECT_LT(index, search_->num_candidates());
+    EXPECT_GT(score, 0.0);
+    EXPECT_LE(score, 1.0);
+  }
+}
+
+TEST_F(PrioritizedTest, FirstVisitIsTheBestHistoricalCandidate) {
+  // Greedy descent must start at the candidate whose seeded (historical)
+  // score is maximal — that is what "higher score pipelines are searched
+  // earlier" means before any new information arrives.
+  const auto& init = search_->initial_scores();
+  ASSERT_FALSE(init.empty());
+  size_t best_index = 0;
+  double best_score = -1;
+  for (const auto& [index, score] : init) {
+    if (score > best_score) {
+      best_score = score;
+      best_index = index;
+    }
+  }
+  for (uint64_t seed : {100, 200, 300}) {
+    auto trial = search_->RunTrial(SearchMode::kPrioritized, seed);
+    ASSERT_TRUE(trial.ok());
+    EXPECT_EQ(trial->steps.front().candidate_index, best_index);
+  }
+}
+
+TEST_F(PrioritizedTest, CheckpointedCandidatesAreFree) {
+  // The 5 historical candidates reuse their checkpoints: they finish at
+  // sim-time ~0; the 5 new candidates cost real pipeline time.
+  auto trial = search_->RunTrial(SearchMode::kPrioritized, 7);
+  ASSERT_TRUE(trial.ok());
+  size_t free_runs = 0;
+  for (const SearchStep& s : trial->steps) {
+    if (s.end_time_s < 1e-9) ++free_runs;
+  }
+  EXPECT_GE(free_runs, 3u);
+  EXPECT_GT(trial->steps.back().end_time_s, 1.0);
+}
+
+TEST_F(PrioritizedTest, RunTrialBeforePrepareFails) {
+  PrioritizedSearch fresh(deployment_->repo.get(),
+                          deployment_->libraries.get(),
+                          deployment_->registry.get(),
+                          deployment_->engine.get());
+  EXPECT_EQ(fresh.RunTrial(SearchMode::kRandom, 1).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace mlcask::merge

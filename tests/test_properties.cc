@@ -1,0 +1,239 @@
+// Property-based tests: randomized inputs, invariant checks. Each property
+// is swept over several seeds via parameterized gtest.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "data/schema.h"
+#include "merge/compat_lut.h"
+#include "merge/merge_op.h"
+#include "merge/search_space.h"
+#include "merge/search_tree.h"
+#include "sim/scenario.h"
+#include "storage/blob.h"
+#include "storage/chunker.h"
+#include "version/semver.h"
+
+namespace mlcask {
+namespace {
+
+class SeedSweep : public ::testing::TestWithParam<uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Values(1, 2, 3, 7, 42));
+
+// ---------------------------------------------------------------------------
+// Semantic versions: parse(format(v)) == v for random versions.
+// ---------------------------------------------------------------------------
+TEST_P(SeedSweep, SemverRoundTripsRandomVersions) {
+  Pcg32 rng(GetParam());
+  const char* branches[] = {"master", "dev", "Jane-dev", "fix-123"};
+  for (int i = 0; i < 200; ++i) {
+    version::SemanticVersion v;
+    v.branch = branches[rng.Below(4)];
+    v.schema = rng.Below(100);
+    v.increment = rng.Below(100);
+    for (bool simplify : {true, false}) {
+      auto parsed = version::SemanticVersion::Parse(v.ToString(simplify));
+      ASSERT_TRUE(parsed.ok());
+      EXPECT_EQ(*parsed, v);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Schema hash: invariant under column permutation, sensitive to content.
+// ---------------------------------------------------------------------------
+TEST_P(SeedSweep, SchemaHashPermutationInvariant) {
+  Pcg32 rng(GetParam());
+  std::vector<data::FieldSpec> fields;
+  size_t n = 3 + rng.Below(10);
+  for (size_t i = 0; i < n; ++i) {
+    fields.push_back({"col" + std::to_string(i),
+                      static_cast<data::ColumnType>(rng.Below(3))});
+  }
+  data::DataSchema original(fields);
+  std::vector<data::FieldSpec> shuffled = fields;
+  rng.Shuffle(&shuffled);
+  data::DataSchema permuted(shuffled);
+  EXPECT_EQ(original.SchemaHash(), permuted.SchemaHash());
+  // Renaming any single column changes the hash.
+  std::vector<data::FieldSpec> renamed = fields;
+  renamed[rng.Below(static_cast<uint32_t>(n))].name = "renamed";
+  EXPECT_NE(original.SchemaHash(), data::DataSchema(renamed).SchemaHash());
+}
+
+// ---------------------------------------------------------------------------
+// Blob storage: write/read identity for random sizes and random edits; the
+// store's physical bytes return to zero after releasing everything.
+// ---------------------------------------------------------------------------
+TEST_P(SeedSweep, BlobRoundTripAndFullRelease) {
+  Pcg32 rng(GetParam());
+  storage::ChunkStore store;
+  storage::GearChunker chunker(64, 512, 4096);
+  std::vector<storage::BlobRef> refs;
+  std::vector<std::string> payloads;
+  for (int i = 0; i < 8; ++i) {
+    std::string data(rng.Below(60000) + 1, '\0');
+    for (char& c : data) c = static_cast<char>(rng.NextU32() & 0xff);
+    auto info = storage::WriteBlob(&store, chunker, data);
+    refs.push_back(info.ref);
+    payloads.push_back(std::move(data));
+  }
+  for (size_t i = 0; i < refs.size(); ++i) {
+    auto back = storage::ReadBlob(store, refs[i]);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, payloads[i]);
+  }
+  // Dedup never loses data: logical >= physical always.
+  EXPECT_GE(store.stats().logical_bytes, store.stats().physical_bytes);
+  for (const auto& ref : refs) {
+    ASSERT_TRUE(storage::ReleaseBlob(&store, ref).ok());
+  }
+  EXPECT_EQ(store.stats().physical_bytes, 0u);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// PC pruning is exact: the pruned tree's candidates equal the brute-force
+// filter of the full cartesian product by edge compatibility.
+// ---------------------------------------------------------------------------
+merge::SearchSpace RandomSpace(uint64_t seed) {
+  Pcg32 rng(seed);
+  merge::SearchSpace space;
+  size_t levels = 3 + rng.Below(3);
+  for (size_t l = 0; l < levels; ++l) {
+    merge::ComponentSearchSpace c;
+    c.component = "comp" + std::to_string(l);
+    size_t versions = 1 + rng.Below(4);
+    for (size_t v = 0; v < versions; ++v) {
+      pipeline::ComponentVersionSpec s;
+      s.name = c.component;
+      s.version.increment = static_cast<uint32_t>(v);
+      s.kind = l == 0 ? pipeline::ComponentKind::kDataset
+                      : pipeline::ComponentKind::kPreprocessor;
+      s.impl = "impl";
+      s.input_schema = l == 0 ? 0 : 10 * l + rng.Below(2);
+      s.output_schema = 10 * (l + 1) + rng.Below(2);
+      c.versions.push_back(std::move(s));
+    }
+    space.components.push_back(std::move(c));
+  }
+  return space;
+}
+
+TEST_P(SeedSweep, CompatibilityPruningIsExact) {
+  merge::SearchSpace space = RandomSpace(GetParam() * 31);
+  merge::PipelineSearchTree tree = merge::PipelineSearchTree::Build(space);
+  EXPECT_EQ(tree.NumLeaves(), space.NumCandidates());
+
+  merge::CompatLut lut = merge::CompatLut::Build(space);
+  tree.PruneIncompatible(lut);
+  auto pruned = tree.Candidates();
+
+  // Brute-force enumeration of the cartesian product.
+  std::vector<std::vector<const pipeline::ComponentVersionSpec*>> brute{{}};
+  for (const auto& comp : space.components) {
+    std::vector<std::vector<const pipeline::ComponentVersionSpec*>> next;
+    for (const auto& partial : brute) {
+      for (const auto& v : comp.versions) {
+        auto chain = partial;
+        chain.push_back(&v);
+        next.push_back(std::move(chain));
+      }
+    }
+    brute = std::move(next);
+  }
+  size_t compatible = 0;
+  std::set<std::string> brute_keys;
+  for (const auto& chain : brute) {
+    bool ok = true;
+    for (size_t i = 0; i + 1 < chain.size(); ++i) {
+      if (!chain[i]->CompatibleWith(*chain[i + 1])) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      ++compatible;
+      std::string key;
+      for (const auto* s : chain) key += s->Key() + "|";
+      brute_keys.insert(key);
+    }
+  }
+  EXPECT_EQ(pruned.size(), compatible);
+  for (const auto& chain : pruned) {
+    std::string key;
+    for (const auto* s : chain) key += s->Key() + "|";
+    EXPECT_EQ(brute_keys.count(key), 1u) << "pruned tree kept a pipeline the "
+                                            "brute-force filter rejects";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PR is transparent: the MLCask arm and the w/o-PR arm find the same winner
+// and the same best score on identical histories (reuse must never change
+// results, only cost). Randomize the workload choice per seed.
+// ---------------------------------------------------------------------------
+TEST_P(SeedSweep, ReuseNeverChangesTheMergeWinner) {
+  const auto names = sim::WorkloadNames();
+  const std::string workload = names[GetParam() % names.size()];
+  auto run_arm = [&](bool pr) {
+    auto d = sim::MakeDeployment(workload, 0.05);
+    MLCASK_CHECK_OK(d.status());
+    MLCASK_CHECK_OK(sim::BuildTwoBranchScenario(d->get()).status());
+    merge::MergeOperation op((*d)->repo.get(), (*d)->libraries.get(),
+                             (*d)->registry.get(), (*d)->engine.get(),
+                             (*d)->clock.get());
+    merge::MergeOptions opts;
+    opts.reuse_outputs = pr;
+    opts.store_trial_outputs = !pr;
+    auto report = op.Merge("master", "dev", opts);
+    MLCASK_CHECK_OK(report.status());
+    return *std::move(report);
+  };
+  merge::MergeReport with_pr = run_arm(true);
+  merge::MergeReport without_pr = run_arm(false);
+  ASSERT_GE(with_pr.best_index, 0);
+  ASSERT_GE(without_pr.best_index, 0);
+  EXPECT_DOUBLE_EQ(with_pr.best_score, without_pr.best_score);
+  // Same winning component versions.
+  const auto& a = with_pr.outcomes[static_cast<size_t>(with_pr.best_index)];
+  const auto& b =
+      without_pr.outcomes[static_cast<size_t>(without_pr.best_index)];
+  ASSERT_EQ(a.chain.size(), b.chain.size());
+  for (size_t i = 0; i < a.chain.size(); ++i) {
+    EXPECT_EQ(a.chain[i]->Key(), b.chain[i]->Key());
+  }
+  // And PR does strictly less work.
+  EXPECT_LT(with_pr.component_executions, without_pr.component_executions);
+}
+
+// ---------------------------------------------------------------------------
+// Executor determinism: two fresh executors produce identical scores for the
+// same pipeline and seed; a cached re-run reproduces the original score.
+// ---------------------------------------------------------------------------
+TEST_P(SeedSweep, ExecutorIsDeterministicAndCacheTransparent) {
+  const auto names = sim::WorkloadNames();
+  const std::string workload = names[(GetParam() + 1) % names.size()];
+  auto d1 = sim::MakeDeployment(workload, 0.05);
+  auto d2 = sim::MakeDeployment(workload, 0.05);
+  MLCASK_CHECK_OK(d1.status());
+  MLCASK_CHECK_OK(d2.status());
+  pipeline::ExecutorOptions opts;
+  opts.seed = GetParam();
+  auto r1 = (*d1)->executor->Run((*d1)->workload.initial, opts);
+  auto r2 = (*d2)->executor->Run((*d2)->workload.initial, opts);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_DOUBLE_EQ(r1->score, r2->score);
+  // Cached re-run on the first executor returns the same score for free.
+  auto r3 = (*d1)->executor->Run((*d1)->workload.initial, opts);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_DOUBLE_EQ(r3->score, r1->score);
+  EXPECT_DOUBLE_EQ(r3->time.Total(), 0.0);
+}
+
+}  // namespace
+}  // namespace mlcask

@@ -1,0 +1,109 @@
+#include "version/semver.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mlcask::version {
+namespace {
+
+TEST(SemverTest, InitialIsZeroZero) {
+  SemanticVersion v = SemanticVersion::Initial();
+  EXPECT_EQ(v.branch, "master");
+  EXPECT_EQ(v.schema, 0u);
+  EXPECT_EQ(v.increment, 0u);
+  EXPECT_EQ(v.ToString(), "0.0");
+}
+
+TEST(SemverTest, MasterSimplification) {
+  SemanticVersion v{"master", 1, 2};
+  EXPECT_EQ(v.ToString(), "1.2");
+  EXPECT_EQ(v.ToString(/*simplify_master=*/false), "master@1.2");
+  SemanticVersion dev{"dev", 0, 3};
+  EXPECT_EQ(dev.ToString(), "dev@0.3");
+}
+
+TEST(SemverTest, ParseWithBranch) {
+  auto v = SemanticVersion::Parse("Jane-dev@2.5");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->branch, "Jane-dev");
+  EXPECT_EQ(v->schema, 2u);
+  EXPECT_EQ(v->increment, 5u);
+}
+
+TEST(SemverTest, ParseBareImpliesMaster) {
+  auto v = SemanticVersion::Parse("0.1");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->branch, "master");
+  EXPECT_EQ(v->schema, 0u);
+  EXPECT_EQ(v->increment, 1u);
+}
+
+TEST(SemverTest, RoundTrip) {
+  for (const char* s : {"0.0", "3.17", "dev@1.0", "Frank-dev@0.2"}) {
+    auto v = SemanticVersion::Parse(s);
+    ASSERT_TRUE(v.ok()) << s;
+    EXPECT_EQ(v->ToString(), s);
+  }
+}
+
+TEST(SemverTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(SemanticVersion::Parse("").ok());
+  EXPECT_FALSE(SemanticVersion::Parse("1").ok());
+  EXPECT_FALSE(SemanticVersion::Parse("a.b").ok());
+  EXPECT_FALSE(SemanticVersion::Parse("@1.0").ok());
+  EXPECT_FALSE(SemanticVersion::Parse("dev@").ok());
+  EXPECT_FALSE(SemanticVersion::Parse("dev@1").ok());
+  EXPECT_FALSE(SemanticVersion::Parse("1.2.3").ok());
+  EXPECT_FALSE(SemanticVersion::Parse("-1.0").ok());
+}
+
+TEST(SemverTest, BumpIncrementKeepsSchema) {
+  SemanticVersion v{"master", 1, 4};
+  SemanticVersion b = v.BumpIncrement();
+  EXPECT_EQ(b.ToString(), "1.5");
+  EXPECT_EQ(v.ToString(), "1.4");  // original untouched
+}
+
+TEST(SemverTest, BumpSchemaResetsIncrement) {
+  // Paper Sec. IV-B: subsequent commits only affect the increment domain if
+  // schema is not changed; a schema change starts a new major line.
+  SemanticVersion v{"master", 0, 7};
+  SemanticVersion b = v.BumpSchema();
+  EXPECT_EQ(b.schema, 1u);
+  EXPECT_EQ(b.increment, 0u);
+  EXPECT_EQ(b.ToString(), "1.0");
+}
+
+TEST(SemverTest, OnBranchRehomes) {
+  SemanticVersion v{"master", 1, 1};
+  SemanticVersion d = v.OnBranch("dev");
+  EXPECT_EQ(d.ToString(), "dev@1.1");
+  EXPECT_EQ(d.schema, v.schema);
+}
+
+TEST(SemverTest, OrderingBySchemaThenIncrement) {
+  SemanticVersion a{"master", 0, 1};
+  SemanticVersion b{"master", 0, 2};
+  SemanticVersion c{"master", 1, 0};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < c);
+  EXPECT_TRUE(a < c);
+  EXPECT_FALSE(c < a);
+}
+
+TEST(SemverTest, EqualityIncludesBranch) {
+  SemanticVersion a{"master", 0, 1};
+  SemanticVersion b{"dev", 0, 1};
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, (SemanticVersion{"master", 0, 1}));
+}
+
+TEST(SemverTest, StreamOutput) {
+  std::ostringstream oss;
+  oss << SemanticVersion{"dev", 1, 0};
+  EXPECT_EQ(oss.str(), "dev@1.0");
+}
+
+}  // namespace
+}  // namespace mlcask::version

@@ -1,0 +1,113 @@
+#include "common/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mlcask {
+namespace {
+
+// NIST FIPS 180-4 test vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(Sha256::Digest("").ToHex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(Sha256::Digest("abc").ToHex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      Sha256::Digest("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+          .ToHex(),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  std::string input(1000000, 'a');
+  EXPECT_EQ(Sha256::Digest(input).ToHex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string data = "the quick brown fox jumps over the lazy dog";
+  Sha256 h;
+  // Feed in awkward pieces to cross the 64-byte block boundary.
+  h.Update(data.substr(0, 1));
+  h.Update(data.substr(1, 30));
+  h.Update(data.substr(31));
+  EXPECT_EQ(h.Finish().ToHex(), Sha256::Digest(data).ToHex());
+}
+
+TEST(Sha256Test, ResetAllowsReuse) {
+  Sha256 h;
+  h.Update("abc");
+  Hash256 first = h.Finish();
+  h.Reset();
+  h.Update("abc");
+  EXPECT_EQ(h.Finish(), first);
+}
+
+TEST(Sha256Test, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Sha256::Digest("a"), Sha256::Digest("b"));
+  EXPECT_NE(Sha256::Digest("ab"), Sha256::Digest("ba"));
+}
+
+TEST(Hash256Test, HexRoundTrip) {
+  Hash256 h = Sha256::Digest("round trip");
+  Hash256 parsed;
+  ASSERT_TRUE(Hash256::FromHex(h.ToHex(), &parsed));
+  EXPECT_EQ(parsed, h);
+}
+
+TEST(Hash256Test, FromHexRejectsMalformed) {
+  Hash256 out;
+  EXPECT_FALSE(Hash256::FromHex("zz", &out));
+  EXPECT_FALSE(Hash256::FromHex(std::string(63, 'a'), &out));
+  EXPECT_FALSE(Hash256::FromHex(std::string(64, 'g'), &out));
+  EXPECT_TRUE(Hash256::FromHex(std::string(64, 'a'), &out));
+}
+
+TEST(Hash256Test, ShortHexIsPrefix) {
+  Hash256 h = Sha256::Digest("prefix");
+  EXPECT_EQ(h.ShortHex(8), h.ToHex().substr(0, 8));
+  EXPECT_EQ(h.ShortHex(100), h.ToHex());
+}
+
+TEST(Hash256Test, ZeroDetection) {
+  Hash256 z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_FALSE(Sha256::Digest("x").IsZero());
+}
+
+TEST(Hash256Test, OrderingIsLexicographic) {
+  Hash256 a, b;
+  a.bytes[0] = 1;
+  b.bytes[0] = 2;
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+}
+
+// Property: digests over a sweep of lengths around block boundaries never
+// collide and incremental always equals one-shot.
+class Sha256BoundarySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(Sha256BoundarySweep, IncrementalEqualsOneShotAtBoundary) {
+  int len = GetParam();
+  std::string data(static_cast<size_t>(len), 'x');
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<char>(i % 251);
+  Sha256 h;
+  size_t half = data.size() / 2;
+  h.Update(data.substr(0, half));
+  h.Update(data.substr(half));
+  EXPECT_EQ(h.Finish(), Sha256::Digest(data));
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockBoundaries, Sha256BoundarySweep,
+                         ::testing::Values(0, 1, 55, 56, 57, 63, 64, 65, 119,
+                                           120, 121, 127, 128, 129, 1000));
+
+}  // namespace
+}  // namespace mlcask

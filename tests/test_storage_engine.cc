@@ -1,0 +1,180 @@
+#include "storage/storage_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/branch_table.h"
+#include "storage/forkbase_engine.h"
+#include "storage/local_dir_engine.h"
+
+namespace mlcask::storage {
+namespace {
+
+std::string RandomBytes(size_t n, uint64_t seed) {
+  Pcg32 rng(seed);
+  std::string out(n, '\0');
+  for (char& c : out) c = static_cast<char>(rng.NextU32() & 0xff);
+  return out;
+}
+
+template <typename Engine>
+class StorageEngineTest : public ::testing::Test {
+ protected:
+  Engine engine_;
+};
+
+using EngineTypes = ::testing::Types<ForkBaseEngine, LocalDirEngine>;
+TYPED_TEST_SUITE(StorageEngineTest, EngineTypes);
+
+TYPED_TEST(StorageEngineTest, PutGetRoundTrip) {
+  auto put = this->engine_.Put("model.bin", "weights-v1");
+  ASSERT_TRUE(put.ok());
+  auto got = this->engine_.Get("model.bin");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "weights-v1");
+}
+
+TYPED_TEST(StorageEngineTest, GetLatestAfterMultiplePuts) {
+  ASSERT_TRUE(this->engine_.Put("k", "v1").ok());
+  ASSERT_TRUE(this->engine_.Put("k", "v2").ok());
+  auto got = this->engine_.Get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "v2");
+}
+
+TYPED_TEST(StorageEngineTest, GetVersionByContentId) {
+  auto p1 = this->engine_.Put("k", "v1");
+  auto p2 = this->engine_.Put("k", "v2");
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_NE(p1->id, p2->id);
+  EXPECT_EQ(*this->engine_.GetVersion(p1->id), "v1");
+  EXPECT_EQ(*this->engine_.GetVersion(p2->id), "v2");
+  EXPECT_TRUE(this->engine_.HasVersion(p1->id));
+}
+
+TYPED_TEST(StorageEngineTest, VersionsListedInOrder) {
+  auto p1 = this->engine_.Put("k", "a");
+  auto p2 = this->engine_.Put("k", "b");
+  auto p3 = this->engine_.Put("k", "c");
+  ASSERT_TRUE(p1.ok() && p2.ok() && p3.ok());
+  std::vector<Hash256> versions = this->engine_.Versions("k");
+  ASSERT_EQ(versions.size(), 3u);
+  EXPECT_EQ(versions[0], p1->id);
+  EXPECT_EQ(versions[2], p3->id);
+  EXPECT_TRUE(this->engine_.Versions("unknown").empty());
+}
+
+TYPED_TEST(StorageEngineTest, MissingKeyIsNotFound) {
+  EXPECT_TRUE(this->engine_.Get("nope").status().IsNotFound());
+  Hash256 h;
+  EXPECT_TRUE(this->engine_.GetVersion(h).status().IsNotFound());
+  EXPECT_FALSE(this->engine_.HasVersion(h));
+}
+
+TYPED_TEST(StorageEngineTest, StatsAccumulate) {
+  ASSERT_TRUE(this->engine_.Put("k", "0123456789").ok());
+  const EngineStats& s = this->engine_.stats();
+  EXPECT_EQ(s.puts, 1u);
+  EXPECT_EQ(s.logical_bytes, 10u);
+  EXPECT_GT(s.storage_time_s, 0.0);
+}
+
+TEST(ForkBaseEngineTest, RepeatedContentDeduplicated) {
+  ForkBaseEngine engine;
+  std::string data = RandomBytes(100000, 1);
+  auto p1 = engine.Put("output/step1", data);
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(p1->new_physical_bytes >= data.size(), true);  // data + index
+  auto p2 = engine.Put("output/step1-copy", data);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p2->new_physical_bytes, 0u);
+  EXPECT_TRUE(p2->deduplicated);
+  // Physical grows once, logical twice.
+  EXPECT_GE(engine.stats().logical_bytes, 2 * data.size());
+  EXPECT_LT(engine.stats().physical_bytes, data.size() + data.size() / 2);
+}
+
+TEST(ForkBaseEngineTest, SimilarVersionsShareChunks) {
+  ForkBaseEngine engine;
+  std::string v1 = RandomBytes(200000, 2);
+  std::string v2 = v1;
+  v2.replace(100000, 10, "newfeature");
+  ASSERT_TRUE(engine.Put("lib/feature_extract", v1).ok());
+  auto p2 = engine.Put("lib/feature_extract", v2);
+  ASSERT_TRUE(p2.ok());
+  // The second version should add only a small fraction of its size.
+  EXPECT_LT(p2->new_physical_bytes, v2.size() / 4);
+  EXPECT_GT(engine.chunk_stats().DedupRatio(), 1.5);
+}
+
+TEST(ForkBaseEngineTest, DedupSavesStorageTime) {
+  ForkBaseEngine engine;
+  std::string data = RandomBytes(500000, 3);
+  auto p1 = engine.Put("a", data);
+  auto p2 = engine.Put("b", data);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  // Second write transfers no new bytes -> cheaper than the first
+  // (still pays latency + chunking).
+  EXPECT_LT(p2->storage_time_s, p1->storage_time_s);
+}
+
+TEST(LocalDirEngineTest, NeverDeduplicates) {
+  LocalDirEngine engine;
+  std::string data = RandomBytes(100000, 4);
+  auto p1 = engine.Put("a", data);
+  auto p2 = engine.Put("b", data);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_EQ(p2->new_physical_bytes, data.size());
+  EXPECT_EQ(engine.stats().physical_bytes, 2 * data.size());
+}
+
+TEST(LocalDirEngineTest, FasterPerPutThanForkBase) {
+  // The paper's Fig. 6: baselines materialize "almost instantaneously" while
+  // MLCask takes a few seconds per write due to the immutable storage engine.
+  LocalDirEngine local;
+  ForkBaseEngine forkbase;
+  std::string data = RandomBytes(1000000, 5);
+  auto pl = local.Put("x", data);
+  auto pf = forkbase.Put("x", data);
+  ASSERT_TRUE(pl.ok() && pf.ok());
+  EXPECT_LT(pl->storage_time_s, pf->storage_time_s);
+}
+
+TEST(StorageTimeModelTest, WriteSecondsComposition) {
+  StorageTimeModel m{.per_put_latency_s = 0.5,
+                     .write_mb_per_s = 100.0,
+                     .read_mb_per_s = 200.0,
+                     .chunking_s_per_mb = 0.01};
+  // 100 MB transferred, 200 MB logical: 0.5 + 1.0 + 2.0 = 3.5... wait:
+  // transfer = 100e6/(100*1e6) = 1.0s; chunking = 0.01 * 200 = 2.0s.
+  EXPECT_NEAR(m.WriteSeconds(100000000, 200000000), 3.5, 1e-9);
+  EXPECT_NEAR(m.ReadSeconds(100000000), 0.5, 1e-9);
+}
+
+TEST(BranchTableTest, CreateMoveDelete) {
+  BranchTable t;
+  Hash256 a, b;
+  a.bytes[0] = 1;
+  b.bytes[0] = 2;
+  ASSERT_TRUE(t.Create("master", a).ok());
+  EXPECT_TRUE(t.Create("master", b).code() == StatusCode::kAlreadyExists);
+  EXPECT_EQ(*t.Head("master"), a);
+  ASSERT_TRUE(t.Move("master", b).ok());
+  EXPECT_EQ(*t.Head("master"), b);
+  EXPECT_TRUE(t.Move("dev", a).IsNotFound());
+  t.Upsert("dev", a);
+  EXPECT_TRUE(t.Exists("dev"));
+  EXPECT_EQ(t.List(), (std::vector<std::string>{"dev", "master"}));
+  ASSERT_TRUE(t.Delete("dev").ok());
+  EXPECT_TRUE(t.Delete("dev").IsNotFound());
+  EXPECT_TRUE(t.Head("dev").status().IsNotFound());
+}
+
+TEST(BranchTableTest, RejectsEmptyName) {
+  BranchTable t;
+  Hash256 a;
+  EXPECT_TRUE(t.Create("", a).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace mlcask::storage

@@ -1,0 +1,204 @@
+#include "version/version_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "version/commit.h"
+
+namespace mlcask::version {
+namespace {
+
+PipelineSnapshot MakeSnapshot(const std::string& cnn_version) {
+  PipelineSnapshot s;
+  ComponentRecord r;
+  r.name = "cnn";
+  r.version = *SemanticVersion::Parse(cnn_version);
+  r.input_schema = 1;
+  r.output_schema = 2;
+  s.components.push_back(r);
+  return s;
+}
+
+Commit MakeCommit(const std::vector<Hash256>& parents,
+                  const std::string& branch, uint32_t seq, double t,
+                  const std::string& cnn_version = "0.0") {
+  Commit c;
+  c.parents = parents;
+  c.branch = branch;
+  c.seq = seq;
+  c.author = "tester";
+  c.message = branch + " commit " + std::to_string(seq);
+  c.sim_time = t;
+  c.snapshot = MakeSnapshot(cnn_version);
+  c.id = Commit::ComputeId(c);
+  return c;
+}
+
+TEST(CommitTest, JsonRoundTrip) {
+  Commit c = MakeCommit({}, "master", 0, 1.5, "dev@1.2");
+  auto parsed = Commit::FromJson(*Json::Parse(c.ToJson().Dump()));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->id, c.id);
+  EXPECT_EQ(parsed->branch, "master");
+  EXPECT_EQ(parsed->snapshot.components[0].version.ToString(), "dev@1.2");
+  EXPECT_FALSE(parsed->snapshot.has_score());
+}
+
+TEST(CommitTest, ScoreRoundTrip) {
+  Commit c = MakeCommit({}, "master", 0, 0);
+  c.snapshot.score = 0.87;
+  c.snapshot.metric = "accuracy";
+  c.id = Commit::ComputeId(c);
+  auto parsed = Commit::FromJson(*Json::Parse(c.ToJson().Dump()));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->snapshot.has_score());
+  EXPECT_DOUBLE_EQ(parsed->snapshot.score, 0.87);
+  EXPECT_EQ(parsed->snapshot.metric, "accuracy");
+}
+
+TEST(CommitTest, LabelMatchesPaperNotation) {
+  Commit c = MakeCommit({}, "master", 2, 0);
+  EXPECT_EQ(c.Label(), "master.0.2");
+  Commit d = MakeCommit({}, "Frank-dev", 1, 0);
+  EXPECT_EQ(d.Label(), "Frank-dev.0.1");
+}
+
+TEST(CommitTest, IdChangesWithContent) {
+  Commit a = MakeCommit({}, "master", 0, 0, "0.0");
+  Commit b = MakeCommit({}, "master", 0, 0, "0.1");
+  EXPECT_NE(a.id, b.id);
+}
+
+TEST(SnapshotTest, FindByName) {
+  PipelineSnapshot s = MakeSnapshot("0.0");
+  EXPECT_NE(s.Find("cnn"), nullptr);
+  EXPECT_EQ(s.Find("missing"), nullptr);
+}
+
+class VersionGraphTest : public ::testing::Test {
+ protected:
+  // Builds the paper's Fig. 3 topology:
+  //   master.0.0 (root)
+  //   ├── master.0.1 ── master.0.2            (HEAD side, via Jane-dev.0.0)
+  //   └── Frank-dev.0.0 ── .0.1 ── .0.2       (MERGE_HEAD side)
+  void SetUp() override {
+    root_ = MakeCommit({}, "master", 0, 0.0);
+    ASSERT_TRUE(graph_.Add(root_).ok());
+    jane0_ = MakeCommit({root_.id}, "Jane-dev", 0, 1.0, "0.4");
+    ASSERT_TRUE(graph_.Add(jane0_).ok());
+    master1_ = MakeCommit({jane0_.id}, "master", 1, 2.0, "0.4");
+    ASSERT_TRUE(graph_.Add(master1_).ok());
+    master2_ = MakeCommit({master1_.id}, "master", 2, 3.0, "0.3");
+    ASSERT_TRUE(graph_.Add(master2_).ok());
+    frank0_ = MakeCommit({root_.id}, "Frank-dev", 0, 1.1, "0.1");
+    ASSERT_TRUE(graph_.Add(frank0_).ok());
+    frank1_ = MakeCommit({frank0_.id}, "Frank-dev", 1, 2.1, "0.2");
+    ASSERT_TRUE(graph_.Add(frank1_).ok());
+    frank2_ = MakeCommit({frank1_.id}, "Frank-dev", 2, 3.1, "0.3");
+    ASSERT_TRUE(graph_.Add(frank2_).ok());
+  }
+
+  VersionGraph graph_;
+  Commit root_, jane0_, master1_, master2_, frank0_, frank1_, frank2_;
+};
+
+TEST_F(VersionGraphTest, AddRejectsMissingParent) {
+  Commit orphan = MakeCommit({Sha256::Digest("nowhere")}, "x", 0, 9.0);
+  EXPECT_EQ(graph_.Add(orphan).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(VersionGraphTest, AddRejectsDuplicate) {
+  EXPECT_EQ(graph_.Add(root_).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(VersionGraphTest, AddRejectsBadId) {
+  Commit c = MakeCommit({root_.id}, "x", 0, 9.0);
+  c.id = Sha256::Digest("tampered");
+  EXPECT_TRUE(graph_.Add(c).IsInvalidArgument());
+}
+
+TEST_F(VersionGraphTest, GetReturnsCommit) {
+  auto got = graph_.Get(master2_.id);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)->Label(), "master.0.2");
+  EXPECT_TRUE(graph_.Get(Sha256::Digest("no")).status().IsNotFound());
+}
+
+TEST_F(VersionGraphTest, IsAncestorAlongChain) {
+  EXPECT_TRUE(graph_.IsAncestor(root_.id, master2_.id));
+  EXPECT_TRUE(graph_.IsAncestor(root_.id, frank2_.id));
+  EXPECT_TRUE(graph_.IsAncestor(master1_.id, master2_.id));
+  EXPECT_TRUE(graph_.IsAncestor(master2_.id, master2_.id));  // self
+  EXPECT_FALSE(graph_.IsAncestor(master2_.id, frank2_.id));
+  EXPECT_FALSE(graph_.IsAncestor(frank1_.id, master2_.id));
+}
+
+TEST_F(VersionGraphTest, CommonAncestorOfDivergedBranches) {
+  auto lca = graph_.CommonAncestor(master2_.id, frank2_.id);
+  ASSERT_TRUE(lca.ok());
+  EXPECT_EQ(*lca, root_.id);
+}
+
+TEST_F(VersionGraphTest, CommonAncestorWhenOneSideIsAncestor) {
+  auto lca = graph_.CommonAncestor(master1_.id, master2_.id);
+  ASSERT_TRUE(lca.ok());
+  EXPECT_EQ(*lca, master1_.id);
+}
+
+TEST_F(VersionGraphTest, CommitsSinceAncestorCoversBranchOnly) {
+  // Commits on the Frank branch since the fork: exactly the three Frank
+  // commits, oldest first.
+  auto commits = graph_.CommitsSince(frank2_.id, root_.id);
+  ASSERT_EQ(commits.size(), 3u);
+  EXPECT_EQ(commits[0]->Label(), "Frank-dev.0.0");
+  EXPECT_EQ(commits[1]->Label(), "Frank-dev.0.1");
+  EXPECT_EQ(commits[2]->Label(), "Frank-dev.0.2");
+}
+
+TEST_F(VersionGraphTest, CommitsSinceStopsAtAncestorSet) {
+  auto commits = graph_.CommitsSince(master2_.id, root_.id);
+  ASSERT_EQ(commits.size(), 3u);  // Jane-dev.0.0, master.0.1, master.0.2
+  EXPECT_EQ(commits[0]->Label(), "Jane-dev.0.0");
+  EXPECT_EQ(commits[2]->Label(), "master.0.2");
+}
+
+TEST_F(VersionGraphTest, LogFollowsFirstParent) {
+  auto log = graph_.Log(master2_.id);
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0]->Label(), "master.0.2");
+  EXPECT_EQ(log[3]->Label(), "master.0.0");
+  auto limited = graph_.Log(master2_.id, 2);
+  EXPECT_EQ(limited.size(), 2u);
+}
+
+TEST_F(VersionGraphTest, MergeCommitHasTwoParentsAndLcaAdvances) {
+  Commit merge = MakeCommit({master2_.id, frank2_.id}, "master", 3, 4.0);
+  ASSERT_TRUE(graph_.Add(merge).ok());
+  EXPECT_TRUE(graph_.IsAncestor(frank2_.id, merge.id));
+  EXPECT_TRUE(graph_.IsAncestor(master2_.id, merge.id));
+  // After the merge, the common ancestor of master head and frank head is
+  // frank's head itself.
+  auto lca = graph_.CommonAncestor(merge.id, frank2_.id);
+  ASSERT_TRUE(lca.ok());
+  EXPECT_EQ(*lca, frank2_.id);
+}
+
+TEST(VersionGraphEdgeTest, CommonAncestorDisjointHistories) {
+  VersionGraph g;
+  Commit a = MakeCommit({}, "a", 0, 0);
+  Commit b = MakeCommit({}, "b", 0, 0);
+  ASSERT_TRUE(g.Add(a).ok());
+  ASSERT_TRUE(g.Add(b).ok());
+  EXPECT_TRUE(g.CommonAncestor(a.id, b.id).status().IsNotFound());
+}
+
+TEST(VersionGraphEdgeTest, EmptyGraphQueries) {
+  VersionGraph g;
+  Hash256 h = Sha256::Digest("x");
+  EXPECT_FALSE(g.IsAncestor(h, h));
+  EXPECT_TRUE(g.CommonAncestor(h, h).status().IsNotFound());
+  EXPECT_TRUE(g.Log(h).empty());
+  EXPECT_TRUE(g.CommitsSince(h, h).empty());
+}
+
+}  // namespace
+}  // namespace mlcask::version

@@ -1,0 +1,165 @@
+#include "sim/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+#include "pipeline/executor.h"
+#include "sim/libraries.h"
+#include "storage/forkbase_engine.h"
+
+namespace mlcask::sim {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() : executor_(&registry_, &engine_, &clock_) {
+    MLCASK_CHECK_OK(RegisterWorkloadLibraries(&registry_));
+  }
+
+  pipeline::LibraryRegistry registry_;
+  storage::ForkBaseEngine engine_;
+  SimClock clock_;
+  pipeline::Executor executor_;
+};
+
+TEST_F(WorkloadTest, AllLibrariesRegistered) {
+  EXPECT_GE(registry_.size(), 16u);
+  for (const char* name :
+       {"gen_readmission", "gen_dpm", "gen_reviews", "gen_digits",
+        "cleanse_impute", "extract_ehr_features", "hmm_smooth",
+        "corpus_process", "train_embedding", "pool_features",
+        "zernike_features", "autolearn_features", "autolearn_select",
+        "train_mlp", "train_logreg", "train_adaboost"}) {
+    EXPECT_TRUE(registry_.Has(name)) << name;
+  }
+}
+
+TEST_F(WorkloadTest, FourWorkloadsBuildAndValidate) {
+  ASSERT_EQ(WorkloadNames().size(), 4u);
+  for (const std::string& name : WorkloadNames()) {
+    auto w = MakeWorkload(name, 0.05);
+    ASSERT_TRUE(w.ok()) << name;
+    EXPECT_EQ(w->name, name);
+    EXPECT_TRUE(w->initial.IsChain());
+    EXPECT_TRUE(w->initial.Validate().ok());
+    EXPECT_TRUE(w->initial.CheckCompatibility().ok());
+    EXPECT_FALSE(w->preprocessors.empty());
+    EXPECT_FALSE(w->model.empty());
+    // Every impl must be registered.
+    for (const auto& c : w->initial.components()) {
+      EXPECT_TRUE(registry_.Has(c.impl)) << name << ":" << c.impl;
+    }
+  }
+  EXPECT_FALSE(MakeWorkload("nope").ok());
+  EXPECT_FALSE(MakeWorkload("dpm", 0.0).ok());
+}
+
+// Running each workload end-to-end is the pipeline-layer integration test:
+// real data generation, real pre-processing, real training, real score.
+class WorkloadRunSweep : public WorkloadTest,
+                         public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(WorkloadRunSweep, RunsEndToEndWithLearnedScore) {
+  auto w = MakeWorkload(GetParam(), 0.15);
+  ASSERT_TRUE(w.ok());
+  auto result = executor_.Run(w->initial, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->compatibility_failure);
+  ASSERT_TRUE(result->has_score());
+  EXPECT_EQ(result->metric, "accuracy");
+  // Real learning happened: clearly better than chance on all 4 tasks.
+  EXPECT_GT(result->score, 0.6) << GetParam();
+  EXPECT_LE(result->score, 1.0);
+  EXPECT_GT(result->time.preprocess_s, 0.0);
+  EXPECT_GT(result->time.train_s, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadRunSweep,
+                         ::testing::Values("readmission", "dpm", "sa",
+                                           "autolearn"));
+
+TEST_F(WorkloadTest, CostProfilesMatchPaperShapes) {
+  // Readmission is model-heavy; the other three are pre-processing-heavy
+  // (paper Sec. VII-A). Check on the simulated-time composition.
+  auto readmission = MakeWorkload("readmission", 0.05);
+  auto dpm = MakeWorkload("dpm", 0.05);
+  auto sa = MakeWorkload("sa", 0.05);
+  auto autolearn = MakeWorkload("autolearn", 0.05);
+  ASSERT_TRUE(readmission.ok() && dpm.ok() && sa.ok() && autolearn.ok());
+
+  auto run = [&](const Workload& w) {
+    auto r = executor_.Run(w.initial, {});
+    MLCASK_CHECK_OK(r.status());
+    return r->time;
+  };
+  TimeBreakdown tr = run(*readmission);
+  EXPECT_GT(tr.train_s, tr.preprocess_s);
+  for (const auto* w : {&*dpm, &*sa, &*autolearn}) {
+    TimeBreakdown t = run(**const_cast<Workload* const*>(&w));
+    EXPECT_GT(t.preprocess_s, t.train_s) << (*w).name;
+  }
+}
+
+TEST_F(WorkloadTest, BumpIncrementTurnsVariantKnob) {
+  auto w = MakeWorkload("readmission", 0.05);
+  ASSERT_TRUE(w.ok());
+  const auto* fe = *w->initial.Find("feature_extract");
+  auto bumped = BumpIncrement(*fe);
+  EXPECT_EQ(bumped.version.ToString(), "0.1");
+  EXPECT_EQ(bumped.params.GetInt("variant"), 1);
+  EXPECT_EQ(bumped.input_schema, fe->input_schema);
+  EXPECT_EQ(bumped.output_schema, fe->output_schema);
+  auto twice = BumpIncrement(bumped);
+  EXPECT_EQ(twice.version.ToString(), "0.2");
+  EXPECT_EQ(twice.params.GetInt("variant"), 2);
+}
+
+TEST_F(WorkloadTest, BumpSchemaBreaksDownstream) {
+  auto w = MakeWorkload("readmission", 0.05);
+  ASSERT_TRUE(w.ok());
+  const auto* fe = *w->initial.Find("feature_extract");
+  auto bumped = BumpSchema(*fe);
+  EXPECT_EQ(bumped.version.ToString(), "1.0");
+  EXPECT_NE(bumped.output_schema, fe->output_schema);
+
+  auto broken = WithComponent(w->initial, bumped);
+  ASSERT_TRUE(broken.ok());
+  EXPECT_TRUE(broken->CheckCompatibility().IsIncompatible());
+
+  // Adapting the model restores compatibility.
+  const auto* cnn = *w->initial.Find("cnn");
+  auto adapted = AdaptInputSchema(*cnn, bumped.output_schema);
+  EXPECT_EQ(adapted.version.ToString(), "0.1");
+  auto fixed = WithComponent(*broken, adapted);
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_TRUE(fixed->CheckCompatibility().ok());
+}
+
+TEST_F(WorkloadTest, VariantChangesScore) {
+  // An increment update must actually change behaviour (and typically the
+  // score) — otherwise the metric-driven merge would have nothing to search.
+  auto w = MakeWorkload("readmission", 0.15);
+  ASSERT_TRUE(w.ok());
+  auto base = executor_.Run(w->initial, {});
+  ASSERT_TRUE(base.ok());
+
+  const auto* cnn = *w->initial.Find("cnn");
+  auto updated = WithComponent(w->initial, BumpIncrement(*cnn));
+  ASSERT_TRUE(updated.ok());
+  auto changed = executor_.Run(*updated, {});
+  ASSERT_TRUE(changed.ok());
+  EXPECT_NE(base->score, changed->score);
+}
+
+TEST_F(WorkloadTest, WithComponentRejectsUnknownName) {
+  auto w = MakeWorkload("sa", 0.05);
+  ASSERT_TRUE(w.ok());
+  pipeline::ComponentVersionSpec ghost;
+  ghost.name = "ghost";
+  ghost.impl = "x";
+  EXPECT_TRUE(WithComponent(w->initial, ghost).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace mlcask::sim
