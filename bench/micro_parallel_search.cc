@@ -1,0 +1,121 @@
+// Parallel prioritized-search scaling on the non-linear merge workload: the
+// PC-pruned, PR-seeded candidate frontier is drained by 1/2/4/8 workers.
+// Reported per worker count:
+//  - execs:    component executions (the paper's pruned-candidate metric).
+//    Must be IDENTICAL across worker counts on a fixed seed — the artifact
+//    cache's in-flight guards dedup shared prefixes across workers.
+//  - wall(s):  virtual wall-clock of the trial (worker-makespan of the
+//    simulated schedule; the repo-wide SimClock convention).
+//  - speedup:  serial wall / parallel wall. Target: >= 2x at 4 workers.
+//  - cpu(ms):  real host time per trial, for reference (the toy library
+//    functions are too cheap for host-level scaling to be meaningful on a
+//    small container; the virtual schedule is the metric of record).
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "merge/prioritized.h"
+#include "sim/scenario.h"
+
+namespace mlcask {
+namespace {
+
+constexpr double kScale = 0.15;
+constexpr uint64_t kSeeds[] = {1, 2, 3, 4, 5};
+constexpr size_t kWorkerCounts[] = {1, 2, 4, 8};
+
+struct ScalePoint {
+  size_t workers = 0;
+  double avg_wall_s = 0;
+  double avg_cpu_ms = 0;
+  uint64_t executions = 0;  ///< From the first seed (seed-invariant check).
+  double best_score = 0;
+};
+
+bool RunWorkload(const std::string& name) {
+  bench::Section(name);
+  auto d = bench::CheckedValue(sim::MakeDeployment(name, kScale),
+                               "MakeDeployment");
+  // Widen the Fig. 3 history with extra trained model versions on dev: a
+  // heavy merge has a broad frontier, which is where worker scaling shows.
+  bench::CheckOk(
+      sim::BuildTwoBranchScenario(d.get(), /*extra_model_versions=*/4)
+          .status(),
+      "BuildTwoBranchScenario");
+  merge::PrioritizedSearch search(d->repo.get(), d->libraries.get(),
+                                  d->registry.get(), d->engine.get());
+  bench::CheckOk(search.Prepare("master", "dev"), "Prepare");
+  std::printf("candidates: %zu\n", search.num_candidates());
+
+  std::vector<ScalePoint> points;
+  for (size_t workers : kWorkerCounts) {
+    ScalePoint point;
+    point.workers = workers;
+    for (uint64_t seed : kSeeds) {
+      merge::TrialOptions options;
+      options.mode = merge::SearchMode::kPrioritized;
+      options.seed = seed;
+      options.num_workers = workers;
+      auto start = std::chrono::steady_clock::now();
+      auto trial = bench::CheckedValue(search.RunTrial(options), "RunTrial");
+      auto elapsed = std::chrono::steady_clock::now() - start;
+      point.avg_wall_s += trial.wall_clock_s;
+      point.avg_cpu_ms +=
+          std::chrono::duration<double, std::milli>(elapsed).count();
+      if (seed == kSeeds[0]) {
+        point.executions = trial.executions;
+        point.best_score = trial.best_score;
+      }
+    }
+    point.avg_wall_s /= static_cast<double>(std::size(kSeeds));
+    point.avg_cpu_ms /= static_cast<double>(std::size(kSeeds));
+    points.push_back(point);
+  }
+
+  std::printf("%8s%10s%12s%10s%10s%12s\n", "workers", "execs", "wall(s)",
+              "speedup", "cpu(ms)", "best");
+  const double serial_wall = points.front().avg_wall_s;
+  for (const ScalePoint& p : points) {
+    std::printf("%8zu%10llu%12.2f%10.2f%10.1f%12.4f\n", p.workers,
+                static_cast<unsigned long long>(p.executions), p.avg_wall_s,
+                serial_wall / p.avg_wall_s, p.avg_cpu_ms, p.best_score);
+  }
+
+  bool ok = true;
+  for (const ScalePoint& p : points) {
+    if (p.executions != points.front().executions) {
+      std::printf("FAIL: executions at %zu workers (%llu) differ from "
+                  "serial (%llu)\n",
+                  p.workers, static_cast<unsigned long long>(p.executions),
+                  static_cast<unsigned long long>(points.front().executions));
+      ok = false;
+    }
+    if (p.best_score != points.front().best_score) {
+      std::printf("FAIL: best score at %zu workers differs from serial\n",
+                  p.workers);
+      ok = false;
+    }
+  }
+  double speedup4 = 0;
+  for (const ScalePoint& p : points) {
+    if (p.workers == 4) speedup4 = serial_wall / p.avg_wall_s;
+  }
+  std::printf("wall-clock speedup at 4 workers: %.2fx (target >= 2x): %s\n",
+              speedup4, speedup4 >= 2.0 ? "PASS" : "FAIL");
+  return ok && speedup4 >= 2.0;
+}
+
+}  // namespace
+}  // namespace mlcask
+
+int main() {
+  mlcask::bench::Banner("micro_parallel_search",
+                        "prioritized merge search: worker scaling");
+  bool ok = true;
+  for (const char* workload : {"readmission", "sa"}) {
+    ok = mlcask::RunWorkload(workload) && ok;
+  }
+  return ok ? 0 : 1;
+}

@@ -26,6 +26,13 @@ class SimClock {
     if (seconds > 0) now_s_ += seconds;
   }
 
+  /// Advances the clock to `seconds` if that is in the future; never moves
+  /// backwards. Parallel runs use this to model one worker waiting for an
+  /// artifact another worker finishes at a later virtual time.
+  void AdvanceTo(double seconds) {
+    if (seconds > now_s_) now_s_ = seconds;
+  }
+
   /// Resets to t=0.
   void Reset() { now_s_ = 0; }
 

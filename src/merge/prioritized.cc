@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <mutex>
 #include <numeric>
 
 #include "common/rng.h"
 #include "merge/compat_lut.h"
 #include "pipeline/checkout.h"
+#include "pipeline/execution_core.h"
 
 namespace mlcask::merge {
 
@@ -27,28 +30,15 @@ Status PrioritizedSearch::Prepare(const std::string& head_branch,
 
   // Index leaves by candidate order (the DFS enumeration order).
   candidates_ = tree_->Candidates();
+  leaves_ = tree_->Leaves();
   leaf_index_.clear();
-  {
-    size_t next = 0;
-    // Walk the tree in the same DFS order Candidates() uses.
-    std::function<void(const TreeNode*)> walk = [&](const TreeNode* node) {
-      if (node->is_leaf() && node->spec != nullptr) {
-        leaf_index_[node] = next++;
-        return;
-      }
-      for (const auto& child : node->children) walk(child.get());
-    };
-    walk(tree_->root());
-  }
+  for (size_t i = 0; i < leaves_.size(); ++i) leaf_index_[leaves_[i]] = i;
 
   // Initial scores from pipelines trained in history on either branch.
   initial_scores_.clear();
-  auto chain_key = [](const CandidateChain& chain) {
-    return pipeline::Executor::ChainKey(chain);
-  };
   std::unordered_map<Hash256, size_t, Hash256Hasher> key_to_index;
   for (size_t i = 0; i < candidates_.size(); ++i) {
-    key_to_index[chain_key(candidates_[i])] = i;
+    key_to_index[pipeline::Executor::ChainKey(candidates_[i])] = i;
   }
   MLCASK_ASSIGN_OR_RETURN(const version::Commit* ancestor,
                           repo_->Get(space_->common_ancestor));
@@ -62,7 +52,6 @@ Status PrioritizedSearch::Prepare(const std::string& head_branch,
   }
   for (const version::Commit* commit : commits) {
     if (!commit->snapshot.has_score()) continue;
-    std::vector<const pipeline::ComponentVersionSpec*> chain;
     bool resolved = true;
     std::vector<const pipeline::ComponentVersionSpec*> ptrs;
     for (const version::ComponentRecord& rec : commit->snapshot.components) {
@@ -73,7 +62,6 @@ Status PrioritizedSearch::Prepare(const std::string& head_branch,
       }
       ptrs.push_back(*spec);
     }
-    (void)chain;
     if (!resolved) continue;
     auto it = key_to_index.find(pipeline::Executor::ChainKey(ptrs));
     if (it != key_to_index.end()) {
@@ -97,6 +85,7 @@ StatusOr<SearchStep> PrioritizedSearch::RunCandidate(
   eo.precheck_compatibility = false;  // tree is already PC-pruned
   eo.store_outputs = false;           // trials stay local
   eo.seed = seed;
+  eo.clock = clock;  // this worker's virtual timeline
   MLCASK_ASSIGN_OR_RETURN(pipeline::PipelineRunResult run,
                           executor->Run(p, eo));
   SearchStep step;
@@ -106,13 +95,15 @@ StatusOr<SearchStep> PrioritizedSearch::RunCandidate(
   return step;
 }
 
-StatusOr<TrialResult> PrioritizedSearch::RunTrial(SearchMode mode,
-                                                  uint64_t seed) {
+StatusOr<TrialResult> PrioritizedSearch::RunTrial(const TrialOptions& options) {
   if (tree_ == nullptr) {
     return Status::FailedPrecondition("Prepare() must be called first");
   }
-  SimClock clock;
-  pipeline::Executor executor(registry_, engine_, &clock);
+  // The executor is shared by all workers: one artifact cache, so sibling
+  // candidates share prefixes across workers, and the in-flight guards keep
+  // the execution count equal to the serial search's. Each worker charges
+  // time to its own clock (passed per-run through ExecutorOptions::clock).
+  pipeline::Executor executor(registry_, engine_, nullptr);
 
   // PR: seed the executor with checkpoints from history so shared prefixes
   // are free, exactly as the real merge does.
@@ -134,24 +125,40 @@ StatusOr<TrialResult> PrioritizedSearch::RunTrial(SearchMode mode,
     }
   }
 
+  const size_t num_workers = std::max<size_t>(1, options.num_workers);
   TrialResult trial;
-  Pcg32 rng(seed);
 
-  if (mode == SearchMode::kRandom) {
-    std::vector<size_t> order(candidates_.size());
-    std::iota(order.begin(), order.end(), 0);
-    rng.Shuffle(&order);
-    for (size_t index : order) {
-      MLCASK_ASSIGN_OR_RETURN(SearchStep step,
-                              RunCandidate(&executor, &clock, index, seed));
-      trial.steps.push_back(step);
-    }
+  // Frontier state, shared by the workers and guarded by `mu`:
+  //  - unclaimed: leaves below a node not yet dequeued — what the greedy
+  //    descent walks, so two workers never claim the same candidate;
+  //  - unrun: leaves below a node not yet completed;
+  //  - score: latest propagated node scores. A completed run updates them
+  //    before any later claim, so one worker's result steers candidates the
+  //    other workers have not dequeued yet (the paper's pruning semantics).
+  // With one worker claim and completion alternate, unclaimed == unrun at
+  // every decision point, and the trial reproduces the serial search
+  // exactly (same RNG consumption, same visit order, same timings).
+  std::mutex mu;
+  Pcg32 rng(options.seed);
+  std::unordered_map<const TreeNode*, double> score;
+  std::unordered_map<const TreeNode*, size_t> unrun;
+  std::unordered_map<const TreeNode*, size_t> unclaimed;
+  std::unordered_map<const TreeNode*, const TreeNode*> parent;
+  std::vector<size_t> random_order;
+  size_t random_cursor = 0;
+  bool aborted = false;
+  // Virtual worker-availability slots (list scheduling), decoupled from the
+  // real threads: each claimed candidate starts on the earliest free
+  // virtual worker (same model as ExecutionCore::RunGraph).
+  pipeline::VirtualWorkerPool worker_slots(num_workers, 0.0);
+  double makespan = 0;
+
+  if (options.mode == SearchMode::kRandom) {
+    random_order.resize(candidates_.size());
+    std::iota(random_order.begin(), random_order.end(), 0);
+    rng.Shuffle(&random_order);
   } else {
-    // Per-trial mutable node state.
-    std::unordered_map<const TreeNode*, double> score;
-    std::unordered_map<const TreeNode*, size_t> unrun;
-    std::unordered_map<const TreeNode*, const TreeNode*> parent;
-
+    parent = tree_->ParentIndex();
     std::function<size_t(const TreeNode*)> init = [&](const TreeNode* node) {
       if (node->is_leaf() && node->spec != nullptr) {
         unrun[node] = 1;
@@ -163,14 +170,12 @@ StatusOr<TrialResult> PrioritizedSearch::RunTrial(SearchMode mode,
         return size_t{1};
       }
       size_t total = 0;
-      for (const auto& child : node->children) {
-        parent[child.get()] = node;
-        total += init(child.get());
-      }
+      for (const auto& child : node->children) total += init(child.get());
       unrun[node] = total;
       return total;
     };
     init(tree_->root());
+    unclaimed = unrun;
 
     // Propagate initial scores: parent = mean of scored children.
     std::function<void(const TreeNode*)> propagate = [&](const TreeNode* node) {
@@ -188,62 +193,112 @@ StatusOr<TrialResult> PrioritizedSearch::RunTrial(SearchMode mode,
       if (n > 0) score[node] = sum / static_cast<double>(n);
     };
     propagate(tree_->root());
+  }
 
-    while (unrun[tree_->root()] > 0) {
-      // Greedy descent to the best-scoring unrun leaf.
-      const TreeNode* node = tree_->root();
-      while (!node->is_leaf()) {
-        const TreeNode* best = nullptr;
-        double best_score = -1;
-        size_t ties = 0;
-        double inherit = 0.5;
-        auto self = score.find(node);
-        if (self != score.end()) inherit = self->second;
-        for (const auto& child : node->children) {
-          if (unrun[child.get()] == 0) continue;
-          auto it = score.find(child.get());
-          double s = it != score.end() ? it->second : inherit;
-          if (best == nullptr || s > best_score) {
-            best = child.get();
-            best_score = s;
-            ties = 1;
-          } else if (s == best_score) {
-            // Reservoir-style random tie-break keeps trials diverse.
-            ++ties;
-            if (rng.Below(static_cast<uint32_t>(ties)) == 0) {
-              best = child.get();
+  auto worker_body =
+      [&](pipeline::ExecutionCore::WorkerContext&) -> Status {
+    for (;;) {
+      size_t index = 0;
+      const TreeNode* leaf = nullptr;
+      SimClock clock;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (aborted) return Status::Ok();
+        if (options.mode == SearchMode::kRandom) {
+          if (random_cursor >= random_order.size()) return Status::Ok();
+          index = random_order[random_cursor++];
+        } else {
+          if (unclaimed[tree_->root()] == 0) return Status::Ok();
+          // Greedy descent to the best-scoring unclaimed leaf under the
+          // scores known right now.
+          const TreeNode* node = tree_->root();
+          while (!node->is_leaf()) {
+            const TreeNode* best = nullptr;
+            double best_score = -1;
+            size_t ties = 0;
+            double inherit = 0.5;
+            auto self = score.find(node);
+            if (self != score.end()) inherit = self->second;
+            for (const auto& child : node->children) {
+              if (unclaimed[child.get()] == 0) continue;
+              auto it = score.find(child.get());
+              double s = it != score.end() ? it->second : inherit;
+              if (best == nullptr || s > best_score) {
+                best = child.get();
+                best_score = s;
+                ties = 1;
+              } else if (s == best_score) {
+                // Reservoir-style random tie-break keeps trials diverse.
+                ++ties;
+                if (rng.Below(static_cast<uint32_t>(ties)) == 0) {
+                  best = child.get();
+                }
+              }
             }
+            node = best;
+          }
+          leaf = node;
+          index = leaf_index_.at(leaf);
+          // Claim the path so no other worker dequeues this candidate.
+          for (const TreeNode* cur = leaf; cur != nullptr;
+               cur = parent.at(cur)) {
+            unclaimed[cur] -= 1;
           }
         }
-        node = best;
+        // Start on the earliest free virtual worker.
+        clock.AdvanceTo(worker_slots.ClaimEarliest());
       }
 
-      size_t index = leaf_index_.at(node);
-      MLCASK_ASSIGN_OR_RETURN(SearchStep step,
-                              RunCandidate(&executor, &clock, index, seed));
-      trial.steps.push_back(step);
-      score[node] = step.score;
+      StatusOr<SearchStep> step =
+          RunCandidate(&executor, &clock, index, options.seed);
 
-      // Decrement unrun along the path and refresh ancestor scores.
-      const TreeNode* cur = node;
-      while (cur != nullptr) {
-        unrun[cur] -= 1;
-        auto pit = parent.find(cur);
-        cur = pit == parent.end() ? nullptr : pit->second;
-        if (cur != nullptr) {
-          double sum = 0;
-          size_t n = 0;
-          for (const auto& child : cur->children) {
-            auto it = score.find(child.get());
-            if (it != score.end()) {
-              sum += it->second;
-              ++n;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        worker_slots.Release(clock.Now());
+        if (!step.ok()) {
+          aborted = true;
+          return step.status();
+        }
+        makespan = std::max(makespan, step->end_time_s);
+        trial.steps.push_back(*step);
+        if (options.mode == SearchMode::kPrioritized) {
+          score[leaf] = step->score;
+          // Decrement unrun along the path and refresh ancestor scores, so
+          // the next claim anywhere in the tree sees this result.
+          const TreeNode* cur = leaf;
+          while (cur != nullptr) {
+            unrun[cur] -= 1;
+            cur = parent.at(cur);
+            if (cur != nullptr) {
+              double sum = 0;
+              size_t n = 0;
+              for (const auto& child : cur->children) {
+                auto it = score.find(child.get());
+                if (it != score.end()) {
+                  sum += it->second;
+                  ++n;
+                }
+              }
+              if (n > 0) score[cur] = sum / static_cast<double>(n);
             }
           }
-          if (n > 0) score[cur] = sum / static_cast<double>(n);
         }
       }
     }
+  };
+
+  pipeline::ExecutionCore core(num_workers);
+  MLCASK_RETURN_IF_ERROR(core.RunWorkers(worker_body, 0).status());
+  trial.wall_clock_s = makespan;
+  trial.executions = executor.executions();
+
+  // Parallel completion order interleaves worker timelines; report steps on
+  // the virtual timeline so positions mean "finished k-th".
+  if (num_workers > 1) {
+    std::stable_sort(trial.steps.begin(), trial.steps.end(),
+                     [](const SearchStep& a, const SearchStep& b) {
+                       return a.end_time_s < b.end_time_s;
+                     });
   }
 
   trial.best_score = 0;

@@ -31,6 +31,26 @@ struct TrialResult {
   double best_score = 0;
   /// 1-based step at which the trial's best score was first reached.
   size_t steps_to_optimal = 0;
+  /// Virtual makespan of the trial: with one worker the serial sim time,
+  /// with N workers the longest worker timeline.
+  double wall_clock_s = 0;
+  /// Component executions the trial performed (cache hits excluded) — the
+  /// paper's pruned-candidate metric. Identical between serial and parallel
+  /// runs: the cache's in-flight guards dedup shared prefixes across
+  /// workers.
+  uint64_t executions = 0;
+};
+
+/// Knobs for one trial.
+struct TrialOptions {
+  SearchMode mode = SearchMode::kPrioritized;
+  uint64_t seed = 1;
+  /// Workers draining the candidate frontier concurrently. 1 reproduces the
+  /// serial search exactly; N > 1 preserves the prioritized semantics —
+  /// every claim takes the best-scoring unclaimed leaf under the scores
+  /// known at claim time, and a worker's completed score steers candidates
+  /// not yet dequeued.
+  size_t num_workers = 1;
 };
 
 /// The prioritized pipeline search: visits all candidates of the (PC-pruned,
@@ -67,8 +87,18 @@ class PrioritizedSearch {
   /// Runs one trial: visits all candidates in the mode's order, measuring
   /// simulated end time and score per step. Each trial uses a fresh executor
   /// (seeded with history checkpoints) and `seed` for model training, so
-  /// repeated trials vary realistically.
-  StatusOr<TrialResult> RunTrial(SearchMode mode, uint64_t seed);
+  /// repeated trials vary realistically. With options.num_workers > 1 the
+  /// frontier is drained concurrently on the ExecutionCore; steps are
+  /// reported in virtual end-time order.
+  StatusOr<TrialResult> RunTrial(const TrialOptions& options);
+
+  /// Serial convenience overload (the pre-parallel API).
+  StatusOr<TrialResult> RunTrial(SearchMode mode, uint64_t seed) {
+    TrialOptions options;
+    options.mode = mode;
+    options.seed = seed;
+    return RunTrial(options);
+  }
 
  private:
   StatusOr<SearchStep> RunCandidate(pipeline::Executor* executor,
@@ -83,6 +113,8 @@ class PrioritizedSearch {
   std::unique_ptr<SearchSpace> space_;
   std::unique_ptr<PipelineSearchTree> tree_;
   std::vector<CandidateChain> candidates_;
+  /// Leaves in candidate order: leaves_[i] ends Candidates()[i].
+  std::vector<const TreeNode*> leaves_;
   std::unordered_map<const TreeNode*, size_t> leaf_index_;
   /// Initial scores for leaves that correspond to pipelines trained in
   /// history (keyed by candidate index).

@@ -126,4 +126,31 @@ std::vector<CandidateChain> PipelineSearchTree::Candidates() const {
   return out;
 }
 
+std::vector<const TreeNode*> PipelineSearchTree::Leaves() const {
+  std::vector<const TreeNode*> out;
+  std::function<void(const TreeNode&)> walk = [&](const TreeNode& node) {
+    if (node.is_leaf() && node.spec != nullptr) {
+      out.push_back(&node);
+      return;
+    }
+    for (const auto& child : node.children) walk(*child);
+  };
+  walk(*root_);
+  return out;
+}
+
+std::unordered_map<const TreeNode*, const TreeNode*>
+PipelineSearchTree::ParentIndex() const {
+  std::unordered_map<const TreeNode*, const TreeNode*> parent;
+  parent[root_.get()] = nullptr;
+  std::function<void(const TreeNode&)> walk = [&](const TreeNode& node) {
+    for (const auto& child : node.children) {
+      parent[child.get()] = &node;
+      walk(*child);
+    }
+  };
+  walk(*root_);
+  return parent;
+}
+
 }  // namespace mlcask::merge

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "merge/compat_lut.h"
@@ -59,6 +60,14 @@ class PipelineSearchTree {
   /// All pre-merge pipeline candidates in depth-first order — the order
   /// Algorithm 2 executes them in.
   std::vector<CandidateChain> Candidates() const;
+
+  /// The leaves in the same depth-first order Candidates() uses, so
+  /// Leaves()[i] is the node whose root-to-leaf path is Candidates()[i].
+  std::vector<const TreeNode*> Leaves() const;
+
+  /// Child -> parent pointers for every node (the root maps to nullptr) —
+  /// what score propagation walks upward during prioritized search.
+  std::unordered_map<const TreeNode*, const TreeNode*> ParentIndex() const;
 
   /// Depth (number of component levels).
   size_t NumLevels() const { return num_levels_; }

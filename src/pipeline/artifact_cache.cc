@@ -1,0 +1,105 @@
+#include "pipeline/artifact_cache.h"
+
+namespace mlcask::pipeline {
+
+ArtifactCache::Lease::~Lease() {
+  if (cache_ != nullptr) cache_->Abandon(key_);
+}
+
+ArtifactCache::EntryPtr ArtifactCache::Find(const Hash256& key) const {
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.slots.find(key);
+  if (it == shard.slots.end() || it->second.entry == nullptr) return nullptr;
+  return it->second.entry;
+}
+
+ArtifactCache::Acquired ArtifactCache::Acquire(const Hash256& key) {
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  for (;;) {
+    auto it = shard.slots.find(key);
+    if (it == shard.slots.end()) {
+      shard.slots[key].pending = true;
+      Acquired acquired;
+      acquired.lease.reset(new Lease(this, key));
+      return acquired;
+    }
+    if (it->second.entry != nullptr) {
+      Acquired acquired;
+      acquired.entry = it->second.entry;
+      return acquired;
+    }
+    // Pending under another worker's lease: wait for Fulfill (entry set) or
+    // Abandon (slot erased, in which case this worker may claim it).
+    shard.ready_cv.wait(lock);
+  }
+}
+
+ArtifactCache::EntryPtr ArtifactCache::Fulfill(Lease* lease,
+                                               ArtifactEntry entry) {
+  Shard& shard = ShardFor(lease->key_);
+  EntryPtr stored = std::make_shared<const ArtifactEntry>(std::move(entry));
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    Slot& slot = shard.slots[lease->key_];
+    slot.entry = stored;
+    slot.pending = false;
+  }
+  shard.ready_cv.notify_all();
+  lease->cache_ = nullptr;  // disarm the destructor
+  return stored;
+}
+
+ArtifactCache::EntryPtr ArtifactCache::Insert(const Hash256& key,
+                                              ArtifactEntry entry) {
+  Shard& shard = ShardFor(key);
+  EntryPtr stored = std::make_shared<const ArtifactEntry>(std::move(entry));
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    Slot& slot = shard.slots[key];
+    slot.entry = stored;
+    slot.pending = false;
+  }
+  shard.ready_cv.notify_all();
+  return stored;
+}
+
+void ArtifactCache::Abandon(const Hash256& key) {
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.slots.find(key);
+    if (it != shard.slots.end() && it->second.entry == nullptr) {
+      shard.slots.erase(it);
+    }
+  }
+  shard.ready_cv.notify_all();
+}
+
+size_t ArtifactCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, slot] : shard.slots) {
+      (void)key;
+      if (slot.entry != nullptr) ++total;
+    }
+  }
+  return total;
+}
+
+void ArtifactCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.slots.begin(); it != shard.slots.end();) {
+      if (it->second.pending) {
+        ++it;
+      } else {
+        it = shard.slots.erase(it);
+      }
+    }
+  }
+}
+
+}  // namespace mlcask::pipeline

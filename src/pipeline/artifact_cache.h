@@ -1,0 +1,132 @@
+#ifndef MLCASK_PIPELINE_ARTIFACT_CACHE_H_
+#define MLCASK_PIPELINE_ARTIFACT_CACHE_H_
+
+#include <cmath>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/sha256.h"
+#include "data/table.h"
+
+namespace mlcask::pipeline {
+
+/// One materialized component output, shared by every pipeline whose prefix
+/// (or DAG ancestry) hashes to the same key. Entries are immutable once
+/// published; readers hold them through shared_ptr so a concurrent Clear()
+/// cannot pull a table out from under a running pipeline.
+struct ArtifactEntry {
+  data::Table table;
+  double score = std::nan("");
+  std::string metric;
+  std::map<std::string, double> metrics;
+  Hash256 output_id;
+  /// Virtual (sim-clock) time at which the producing worker finished this
+  /// artifact. A worker that reuses the entry advances its own clock to at
+  /// least this point — the waiting cost of sharing work across workers.
+  double ready_at_s = 0;
+
+  bool has_score() const { return !std::isnan(score); }
+};
+
+/// A concurrent artifact cache with per-key in-flight guards. This is the
+/// single cache namespace behind the executor: chain prefixes from Run() and
+/// DAG nodes from RunDag() use the same recursive keying
+/// (Executor::NodeKey), so a chain and the equivalent linear DAG share
+/// entries.
+///
+/// The in-flight guard is what keeps `executions()` — the paper's pruned
+/// candidate metric — identical between serial and parallel search: when two
+/// candidates sharing a prefix race, the second worker blocks on the first
+/// worker's lease and reuses its result instead of recomputing it.
+class ArtifactCache {
+ public:
+  using EntryPtr = std::shared_ptr<const ArtifactEntry>;
+
+  ArtifactCache() = default;
+  ArtifactCache(const ArtifactCache&) = delete;
+  ArtifactCache& operator=(const ArtifactCache&) = delete;
+
+  /// Exclusive right to compute one key. Obtained from Acquire(); must be
+  /// passed to Fulfill() with the computed entry, or destroyed (e.g. on an
+  /// error path), which abandons the key and wakes one waiter to take over.
+  class Lease {
+   public:
+    Lease(Lease&& other) noexcept : cache_(other.cache_), key_(other.key_) {
+      other.cache_ = nullptr;
+    }
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease();
+
+   private:
+    friend class ArtifactCache;
+    Lease(ArtifactCache* cache, const Hash256& key)
+        : cache_(cache), key_(key) {}
+    ArtifactCache* cache_;  ///< Null once fulfilled or abandoned.
+    Hash256 key_;
+  };
+
+  /// Result of Acquire(): exactly one of `entry` (the key is ready — reuse
+  /// it) or `lease` (this caller must compute it) is set.
+  struct Acquired {
+    EntryPtr entry;
+    std::unique_ptr<Lease> lease;
+  };
+
+  /// Non-blocking lookup; returns nullptr unless the key is ready (pending
+  /// keys are invisible — Find never waits).
+  EntryPtr Find(const Hash256& key) const;
+
+  /// Either returns the ready entry, grants a lease (first caller on a
+  /// missing key), or blocks while another worker holds the lease and
+  /// returns its entry once fulfilled.
+  Acquired Acquire(const Hash256& key);
+
+  /// Publishes `entry` for the leased key and wakes all waiters. Returns the
+  /// stored entry.
+  EntryPtr Fulfill(Lease* lease, ArtifactEntry entry);
+
+  /// Publishes `entry` unconditionally (checkpoint seeding, single-threaded
+  /// setup). Overwrites a ready entry under the same key.
+  EntryPtr Insert(const Hash256& key, ArtifactEntry entry);
+
+  /// Number of ready entries.
+  size_t size() const;
+
+  /// Drops all ready entries. Keys with an active lease are left pending
+  /// (their computation is still in flight and will publish as usual).
+  void Clear();
+
+ private:
+  struct Slot {
+    EntryPtr entry;       ///< Set when ready.
+    bool pending = false; ///< True while a lease is outstanding.
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable ready_cv;
+    std::unordered_map<Hash256, Slot, Hash256Hasher> slots;
+  };
+
+  static constexpr size_t kNumShards = 16;
+
+  Shard& ShardFor(const Hash256& key) {
+    return shards_[key.bytes[0] % kNumShards];
+  }
+  const Shard& ShardFor(const Hash256& key) const {
+    return shards_[key.bytes[0] % kNumShards];
+  }
+
+  void Abandon(const Hash256& key);
+
+  Shard shards_[kNumShards];
+};
+
+}  // namespace mlcask::pipeline
+
+#endif  // MLCASK_PIPELINE_ARTIFACT_CACHE_H_

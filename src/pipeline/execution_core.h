@@ -1,0 +1,115 @@
+#ifndef MLCASK_PIPELINE_EXECUTION_CORE_H_
+#define MLCASK_PIPELINE_EXECUTION_CORE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+
+namespace mlcask::pipeline {
+
+/// A pool of virtual worker-availability times for list scheduling: a task
+/// claims the earliest-free virtual worker slot, executes on whatever real
+/// thread picked it up, and releases the slot at its virtual finish time.
+/// Decoupling virtual slots from real threads keeps reported makespans from
+/// inflating when the OS timeslices the threads unevenly (e.g. a one-core
+/// host where a single thread executes most tasks). NOT internally
+/// synchronized — callers mutate it under their own scheduler lock. Shared
+/// by ExecutionCore::RunGraph and the merge layer's frontier drain so the
+/// two model virtual time identically.
+class VirtualWorkerPool {
+ public:
+  VirtualWorkerPool(size_t num_workers, double start_time_s) {
+    for (size_t i = 0; i < num_workers; ++i) free_.insert(start_time_s);
+  }
+
+  /// Removes and returns the earliest-available slot time.
+  double ClaimEarliest() {
+    double slot = *free_.begin();
+    free_.erase(free_.begin());
+    return slot;
+  }
+
+  /// Returns a slot at its new availability time.
+  void Release(double free_at_s) { free_.insert(free_at_s); }
+
+ private:
+  std::multiset<double> free_;
+};
+
+/// The parallel execution core: a worker thread pool plus the scheduling
+/// primitives the upper layers build on. Two entry points:
+///
+///  - RunWorkers(): one long-running body per worker, each with its own
+///    virtual SimClock. The merge layer drains its priority frontier this
+///    way (workers pull the best unclaimed candidate, run it, publish the
+///    score, repeat).
+///  - RunGraph(): a topological DAG scheduler. A task is dispatched to an
+///    idle worker as soon as all its predecessors have finished; the worker
+///    clock is advanced to the predecessors' virtual finish time first, so
+///    the final makespan models a W-worker machine.
+///
+/// With num_workers == 1 everything runs inline on the calling thread in
+/// deterministic FIFO order — the serial paths of the executor and the
+/// search stay bit-identical to the pre-parallel implementation.
+///
+/// Real threads do the real (toy) compute, which is what the concurrency
+/// tests hammer; reported times come from the virtual clocks, consistent
+/// with the repo-wide simulated-time convention (see SimClock).
+class ExecutionCore {
+ public:
+  explicit ExecutionCore(size_t num_workers);
+  ~ExecutionCore();
+
+  ExecutionCore(const ExecutionCore&) = delete;
+  ExecutionCore& operator=(const ExecutionCore&) = delete;
+
+  size_t num_workers() const { return num_workers_; }
+
+  /// Per-worker context for RunWorkers bodies.
+  struct WorkerContext {
+    size_t worker_index = 0;
+    SimClock* clock = nullptr;  ///< This worker's virtual timeline.
+  };
+  using WorkerBody = std::function<Status(WorkerContext&)>;
+
+  /// Runs `body` once per worker; every worker clock starts at
+  /// `start_time_s`. Returns the makespan (max worker clock at completion),
+  /// or the first non-ok status any body returned.
+  StatusOr<double> RunWorkers(const WorkerBody& body, double start_time_s = 0);
+
+  /// Runs tasks 0..num_tasks-1 respecting `deps` (deps[i] lists the task
+  /// indices that must finish before i starts). `run(i, clock)` is invoked
+  /// with the worker's clock already advanced to
+  /// max(worker time, dependency finish times); the task's finish time is
+  /// the clock value when it returns. A non-ok status cancels all
+  /// not-yet-started tasks and is returned. On success returns the makespan;
+  /// `finish_times` (optional) receives each task's virtual finish time.
+  StatusOr<double> RunGraph(size_t num_tasks,
+                            const std::vector<std::vector<size_t>>& deps,
+                            const std::function<Status(size_t, SimClock*)>& run,
+                            double start_time_s = 0,
+                            std::vector<double>* finish_times = nullptr);
+
+ private:
+  void Submit(std::function<void()> job);
+  void WorkerLoop();
+
+  size_t num_workers_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable job_cv_;
+  std::queue<std::function<void()>> jobs_;
+  bool stopping_ = false;
+};
+
+}  // namespace mlcask::pipeline
+
+#endif  // MLCASK_PIPELINE_EXECUTION_CORE_H_

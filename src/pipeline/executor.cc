@@ -1,25 +1,53 @@
 #include "pipeline/executor.h"
 
 #include <algorithm>
+#include <mutex>
+#include <unordered_map>
 
 #include "common/sha256.h"
+#include "pipeline/execution_core.h"
 
 namespace mlcask::pipeline {
 
-Hash256 Executor::ChainKey(
-    const std::vector<const ComponentVersionSpec*>& chain) {
+namespace {
+
+/// Deterministic per-component seed: run seed mixed with the node key, so
+/// dataset components and model inits are deterministic per pipeline but
+/// distinct across components — and identical no matter which worker runs
+/// the component or in which order.
+uint64_t MixSeed(uint64_t seed, const Hash256& key) {
+  for (uint8_t b : key.bytes) seed = seed * 131 + b;
+  return seed;
+}
+
+}  // namespace
+
+Hash256 Executor::NodeKey(const ComponentVersionSpec& spec,
+                          const std::vector<Hash256>& parent_keys) {
   Sha256 h;
-  for (const ComponentVersionSpec* spec : chain) {
-    h.Update(spec->name);
-    h.Update("\x1f");
-    h.Update(spec->version.ToString(/*simplify_master=*/false));
-    h.Update("\x1f");
-    h.Update(spec->impl);
-    h.Update("\x1f");
-    h.Update(spec->params.Dump());
-    h.Update("\x1e");
+  h.Update(spec.name);
+  h.Update("\x1f");
+  h.Update(spec.version.ToString(/*simplify_master=*/false));
+  h.Update("\x1f");
+  h.Update(spec.impl);
+  h.Update("\x1f");
+  h.Update(spec.params.Dump());
+  h.Update("\x1e");
+  for (const Hash256& pk : parent_keys) {
+    h.Update(pk.bytes.data(), pk.bytes.size());
   }
   return h.Finish();
+}
+
+Hash256 Executor::ChainKey(
+    const std::vector<const ComponentVersionSpec*>& chain) {
+  Hash256 key;
+  std::vector<Hash256> parents;
+  for (const ComponentVersionSpec* spec : chain) {
+    key = NodeKey(*spec, parents);
+    parents.assign(1, key);
+  }
+  return key;
 }
 
 Status Executor::SeedCache(const std::vector<ComponentVersionSpec>& chain,
@@ -32,20 +60,21 @@ Status Executor::SeedCache(const std::vector<ComponentVersionSpec>& chain,
   std::vector<const ComponentVersionSpec*> ptrs;
   ptrs.reserve(chain.size());
   for (const ComponentVersionSpec& s : chain) ptrs.push_back(&s);
-  CacheEntry entry;
+  ArtifactEntry entry;
   entry.table = std::move(output);
   entry.score = score;
   entry.metric = metric;
   entry.metrics = std::move(metrics);
   entry.output_id = output_id;
-  cache_[ChainKey(ptrs)] = std::move(entry);
+  entry.ready_at_s = 0;  // checkpoints are free: materialized before the run
+  cache_.Insert(ChainKey(ptrs), std::move(entry));
   return Status::Ok();
 }
 
 const data::Table* Executor::FindCached(
     const std::vector<const ComponentVersionSpec*>& chain) const {
-  auto it = cache_.find(ChainKey(chain));
-  return it == cache_.end() ? nullptr : &it->second.table;
+  ArtifactCache::EntryPtr entry = cache_.Find(ChainKey(chain));
+  return entry == nullptr ? nullptr : &entry->table;
 }
 
 StatusOr<PipelineRunResult> Executor::Run(const Pipeline& pipeline,
@@ -59,6 +88,7 @@ StatusOr<PipelineRunResult> Executor::Run(const Pipeline& pipeline,
         "pipelines and search-tree formulation are chains)");
   }
 
+  SimClock* clock = options.clock != nullptr ? options.clock : clock_;
   PipelineRunResult result;
 
   // MLCask checks declared compatibility before spending any compute
@@ -79,24 +109,25 @@ StatusOr<PipelineRunResult> Executor::Run(const Pipeline& pipeline,
   // intermediate outputs were not individually materialized.
   std::vector<Hash256> prefix_keys(order.size());
   {
-    std::vector<const ComponentVersionSpec*> prefix;
-    prefix.reserve(order.size());
+    std::vector<Hash256> parents;
     for (size_t i = 0; i < order.size(); ++i) {
-      prefix.push_back(order[i]);
-      prefix_keys[i] = ChainKey(prefix);
+      prefix_keys[i] = NodeKey(*order[i], parents);
+      parents.assign(1, prefix_keys[i]);
     }
   }
   size_t resume_from = 0;  // first component index that must execute
   if (options.reuse_cached_outputs) {
     for (size_t i = order.size(); i-- > 0;) {
-      if (cache_.find(prefix_keys[i]) != cache_.end()) {
+      if (cache_.Find(prefix_keys[i]) != nullptr) {
         resume_from = i + 1;
         break;
       }
     }
   }
 
-  const data::Table* current = nullptr;
+  // Keeps the current input table alive even if the cache is cleared by
+  // another thread mid-run.
+  ArtifactCache::EntryPtr current;
 
   for (size_t i = 0; i < order.size(); ++i) {
     const ComponentVersionSpec* spec = order[i];
@@ -106,26 +137,49 @@ StatusOr<PipelineRunResult> Executor::Run(const Pipeline& pipeline,
     info.version = spec->version;
     info.kind = spec->kind;
 
-    Hash256 key = prefix_keys[i];
-    if (i < resume_from) {
+    const Hash256& key = prefix_keys[i];
+
+    auto reuse = [&](const ArtifactCache::EntryPtr& entry) {
       info.reused = true;
-      auto cached = cache_.find(key);
-      if (cached != cache_.end()) {
-        info.output_id = cached->second.output_id;
-        current = &cached->second.table;
-        if (!std::isnan(cached->second.score)) {
-          result.score = cached->second.score;
-          result.metric = cached->second.metric;
-          result.metrics = cached->second.metrics;
-        }
+      info.output_id = entry->output_id;
+      current = entry;
+      if (entry->has_score()) {
+        result.score = entry->score;
+        result.metric = entry->metric;
+        result.metrics = entry->metrics;
       }
+      // Waiting for an artifact another worker finishes later in virtual
+      // time costs exactly that wait; on a serial timeline this is a no-op.
+      if (clock != nullptr) clock->AdvanceTo(entry->ready_at_s);
+    };
+
+    if (i < resume_from) {
+      ArtifactCache::EntryPtr cached = cache_.Find(key);
+      if (cached != nullptr) {
+        reuse(cached);
+      } else {
+        info.reused = true;
+      }
+      result.components.push_back(std::move(info));
+      continue;
+    }
+
+    // Past the resume point every key is claimed through the in-flight
+    // guard: if a concurrent candidate is already computing this prefix we
+    // wait for its result instead of recomputing it.
+    ArtifactCache::Acquired acquired =
+        options.reuse_cached_outputs
+            ? cache_.Acquire(key)
+            : ArtifactCache::Acquired{nullptr, nullptr};
+    if (acquired.entry != nullptr) {
+      reuse(acquired.entry);
       result.components.push_back(std::move(info));
       continue;
     }
 
     // Runtime incompatibility: without the precheck, upstream components
     // have already burned their time before this one fails (the baselines'
-    // behaviour in Fig. 5).
+    // behaviour in Fig. 5). The abandoned lease wakes any waiter.
     if (i > 0 && !order[i - 1]->CompatibleWith(*spec)) {
       result.compatibility_failure = true;
       result.failed_component = spec->name;
@@ -136,27 +190,23 @@ StatusOr<PipelineRunResult> Executor::Run(const Pipeline& pipeline,
     MLCASK_ASSIGN_OR_RETURN(const LibraryFn* fn, registry_->Get(spec->impl));
 
     ExecInput in;
-    in.input = current;
+    in.input = current == nullptr ? nullptr : &current->table;
     in.params = &spec->params;
-    // Seed varies by run seed and position so dataset components and model
-    // inits are deterministic per pipeline but distinct across components.
-    uint64_t seed = options.seed;
-    for (uint8_t b : key.bytes) seed = seed * 131 + b;
-    in.seed = seed;
+    in.seed = MixSeed(options.seed, key);
 
     MLCASK_ASSIGN_OR_RETURN(ExecOutput out, (*fn)(in));
-    executions_ += 1;
+    executions_.fetch_add(1, std::memory_order_relaxed);
     info.executed = true;
 
-    size_t rows = current != nullptr ? current->num_rows() : out.table.num_rows();
-    info.exec_s =
-        spec->cost_per_krow_s * static_cast<double>(rows) / 1000.0;
+    size_t rows = current != nullptr ? current->table.num_rows()
+                                     : out.table.num_rows();
+    info.exec_s = spec->cost_per_krow_s * static_cast<double>(rows) / 1000.0;
     if (spec->kind == ComponentKind::kModel) {
       result.time.train_s += info.exec_s;
     } else {
       result.time.preprocess_s += info.exec_s;
     }
-    if (clock_ != nullptr) clock_->Advance(info.exec_s);
+    if (clock != nullptr) clock->Advance(info.exec_s);
 
     if (out.has_score()) {
       result.score = out.score;
@@ -174,18 +224,24 @@ StatusOr<PipelineRunResult> Executor::Run(const Pipeline& pipeline,
       info.bytes_written = put.logical_bytes;
       info.output_id = put.id;
       result.time.storage_s += put.storage_time_s;
-      if (clock_ != nullptr) clock_->Advance(put.storage_time_s);
+      if (clock != nullptr) clock->Advance(put.storage_time_s);
     }
 
-    CacheEntry entry;
+    ArtifactEntry entry;
     entry.table = std::move(out.table);
     entry.score = out.score;
     entry.metric = out.metric;
     entry.metrics = std::move(out.metrics);
     entry.output_id = info.output_id;
-    auto [it, inserted] = cache_.insert_or_assign(key, std::move(entry));
-    (void)inserted;
-    current = &it->second.table;
+    entry.ready_at_s = clock != nullptr ? clock->Now() : 0;
+    if (acquired.lease != nullptr) {
+      current = cache_.Fulfill(acquired.lease.get(), std::move(entry));
+    } else {
+      // reuse disabled: later runs will not look the entry up, but the
+      // merge materialization (FindCached on the winner) still expects the
+      // freshest outputs in the cache.
+      current = cache_.Insert(key, std::move(entry));
+    }
 
     result.components.push_back(std::move(info));
   }
@@ -208,6 +264,7 @@ StatusOr<PipelineRunResult> Executor::RunDag(const Pipeline& pipeline,
   MLCASK_ASSIGN_OR_RETURN(std::vector<const ComponentVersionSpec*> order,
                           pipeline.TopologicalOrder());
 
+  SimClock* clock = options.clock != nullptr ? options.clock : clock_;
   PipelineRunResult result;
 
   if (options.precheck_compatibility) {
@@ -220,77 +277,97 @@ StatusOr<PipelineRunResult> Executor::RunDag(const Pipeline& pipeline,
     MLCASK_RETURN_IF_ERROR(compat);
   }
 
-  // Recursive node keys: H("dag", spec identity, sorted parent keys). Kept
-  // distinct from chain keys so a chain pipeline run through RunDag never
-  // aliases Run()'s cache entries (their reuse guarantees differ).
-  std::unordered_map<std::string, Hash256> node_keys;
-  std::unordered_map<std::string, const ComponentVersionSpec*> spec_by_name;
-  for (const ComponentVersionSpec* spec : order) {
-    spec_by_name[spec->name] = spec;
-  }
-  auto parents_of = [&](const ComponentVersionSpec* spec) {
-    std::vector<std::string> preds = pipeline.Predecessors(spec->name);
+  // Recursive node keys H(spec, sorted parent keys) — the same scheme
+  // ChainKey folds over a chain, so a chain run through RunDag (or through
+  // Run) shares one cache namespace.
+  const size_t n = order.size();
+  std::unordered_map<std::string, size_t> index_of;
+  for (size_t i = 0; i < n; ++i) index_of[order[i]->name] = i;
+
+  std::vector<std::vector<size_t>> deps(n);
+  std::vector<Hash256> node_keys(n);
+  std::vector<size_t> successor_count(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<std::string> preds = pipeline.Predecessors(order[i]->name);
     std::sort(preds.begin(), preds.end());
-    return preds;
-  };
-  for (const ComponentVersionSpec* spec : order) {
-    Sha256 h;
-    h.Update("dag\x1e");
-    h.Update(spec->name);
-    h.Update("\x1f");
-    h.Update(spec->version.ToString(false));
-    h.Update("\x1f");
-    h.Update(spec->impl);
-    h.Update("\x1f");
-    h.Update(spec->params.Dump());
-    h.Update("\x1e");
-    for (const std::string& pred : parents_of(spec)) {
-      const Hash256& pk = node_keys.at(pred);
-      h.Update(pk.bytes.data(), pk.bytes.size());
+    std::vector<Hash256> parent_keys;
+    parent_keys.reserve(preds.size());
+    deps[i].reserve(preds.size());
+    for (const std::string& pred : preds) {
+      size_t pi = index_of.at(pred);
+      deps[i].push_back(pi);
+      successor_count[pi] += 1;
+      parent_keys.push_back(node_keys[pi]);
     }
-    node_keys[spec->name] = h.Finish();
+    node_keys[i] = NodeKey(*order[i], parent_keys);
   }
 
-  for (const ComponentVersionSpec* spec : order) {
-    ComponentRunInfo info;
-    info.name = spec->name;
-    info.version = spec->version;
-    info.kind = spec->kind;
-
-    Hash256 key = node_keys.at(spec->name);
-    auto cached = cache_.find(key);
-    if (options.reuse_cached_outputs && cached != cache_.end()) {
-      info.reused = true;
-      info.output_id = cached->second.output_id;
-      if (!std::isnan(cached->second.score)) {
-        result.score = cached->second.score;
-        result.metric = cached->second.metric;
-        result.metrics = cached->second.metrics;
-      }
-      result.components.push_back(std::move(info));
-      continue;
+  // Checkpoint pruning, the DAG analogue of Run()'s longest-cached-prefix
+  // scan: an uncached node only executes if it is a sink or some executing
+  // successor needs its table. Ancestors fully covered by downstream
+  // checkpoints are skipped (marked reused without an entry), exactly as a
+  // chain prefix under a seeded checkpoint is.
+  std::vector<char> cached(n, 0);
+  if (options.reuse_cached_outputs) {
+    for (size_t i = 0; i < n; ++i) {
+      cached[i] = cache_.Find(node_keys[i]) != nullptr ? 1 : 0;
     }
+  }
+  std::vector<char> must_execute(n, 0);
+  std::vector<char> table_needed(n, 0);
+  for (size_t i = n; i-- > 0;) {  // order is topological; walk sinks first
+    bool is_sink = successor_count[i] == 0;
+    must_execute[i] = !cached[i] && (is_sink || table_needed[i]) ? 1 : 0;
+    if (must_execute[i]) {
+      for (size_t pi : deps[i]) table_needed[pi] = 1;
+    }
+  }
 
-    // Gather predecessor outputs; every predecessor must be in the cache
-    // (it was either just executed or reused above).
+  // Per-task outcome slots; each task writes only its own index, so no lock
+  // is needed beyond the scheduler's happens-before edges.
+  struct TaskOutcome {
+    ComponentRunInfo info;
+    ArtifactCache::EntryPtr entry;
+    bool processed = false;
+    bool has_score = false;
+    double score = 0;
+    std::string metric;
+    std::map<std::string, double> metrics;
+    double finish_s = 0;  ///< Virtual time when this task's worker finished.
+  };
+  std::vector<TaskOutcome> outcomes(n);
+
+  // First runtime-compatibility failure (precheck off); guarded by fail_mu.
+  std::mutex fail_mu;
+  std::string failed_component;
+
+  // Executes node i under `lease` (null when reuse is disabled and nothing
+  // is published). Predecessor outputs come from their outcome slots — the
+  // scheduler guarantees they finished, and its mutex provides the
+  // happens-before edge that makes reading them safe.
+  auto execute_node = [&](size_t i, ArtifactCache::Lease* lease,
+                          SimClock* task_clock) -> Status {
+    const ComponentVersionSpec* spec = order[i];
+    TaskOutcome& slot = outcomes[i];
+
     std::vector<const data::Table*> inputs;
     size_t input_rows = 0;
-    for (const std::string& pred : parents_of(spec)) {
-      const ComponentVersionSpec* pred_spec = spec_by_name.at(pred);
+    inputs.reserve(deps[i].size());
+    for (size_t pi : deps[i]) {
+      const ComponentVersionSpec* pred_spec = order[pi];
       if (!options.precheck_compatibility &&
           !pred_spec->CompatibleWith(*spec)) {
-        result.compatibility_failure = true;
-        result.failed_component = spec->name;
-        result.components.push_back(std::move(info));
-        return result;
+        std::lock_guard<std::mutex> lock(fail_mu);
+        if (failed_component.empty()) failed_component = spec->name;
+        return Status::Incompatible("runtime schema mismatch at " +
+                                    spec->name);
       }
-      auto it = cache_.find(node_keys.at(pred));
-      if (it == cache_.end()) {
-        return Status::Internal("predecessor '" + pred +
+      if (outcomes[pi].entry == nullptr) {
+        return Status::Internal("predecessor '" + pred_spec->name +
                                 "' missing from cache during DAG run");
       }
-      inputs.push_back(&it->second.table);
-      input_rows = std::max(input_rows, it->second.table.num_rows());
+      inputs.push_back(&outcomes[pi].entry->table);
+      input_rows = std::max(input_rows, outcomes[pi].entry->table.num_rows());
     }
 
     MLCASK_ASSIGN_OR_RETURN(const LibraryFn* fn, registry_->Get(spec->impl));
@@ -298,27 +375,22 @@ StatusOr<PipelineRunResult> Executor::RunDag(const Pipeline& pipeline,
     in.inputs = inputs;
     in.input = inputs.empty() ? nullptr : inputs.front();
     in.params = &spec->params;
-    uint64_t seed = options.seed;
-    for (uint8_t b : key.bytes) seed = seed * 131 + b;
-    in.seed = seed;
+    in.seed = MixSeed(options.seed, node_keys[i]);
 
     MLCASK_ASSIGN_OR_RETURN(ExecOutput out, (*fn)(in));
-    executions_ += 1;
-    info.executed = true;
+    executions_.fetch_add(1, std::memory_order_relaxed);
+    slot.info.executed = true;
 
     size_t rows = inputs.empty() ? out.table.num_rows() : input_rows;
-    info.exec_s = spec->cost_per_krow_s * static_cast<double>(rows) / 1000.0;
-    if (spec->kind == ComponentKind::kModel) {
-      result.time.train_s += info.exec_s;
-    } else {
-      result.time.preprocess_s += info.exec_s;
-    }
-    if (clock_ != nullptr) clock_->Advance(info.exec_s);
+    slot.info.exec_s =
+        spec->cost_per_krow_s * static_cast<double>(rows) / 1000.0;
+    task_clock->Advance(slot.info.exec_s);
 
     if (out.has_score()) {
-      result.score = out.score;
-      result.metric = out.metric;
-      result.metrics = out.metrics;
+      slot.has_score = true;
+      slot.score = out.score;
+      slot.metric = out.metric;
+      slot.metrics = out.metrics;
     }
 
     if (options.store_outputs) {
@@ -327,24 +399,133 @@ StatusOr<PipelineRunResult> Executor::RunDag(const Pipeline& pipeline,
           storage::PutResult put,
           engine_->Put("artifact/" + pipeline.name() + "/" + spec->Key(),
                        bytes));
-      info.storage_s = put.storage_time_s;
-      info.bytes_written = put.logical_bytes;
-      info.output_id = put.id;
-      result.time.storage_s += put.storage_time_s;
-      if (clock_ != nullptr) clock_->Advance(put.storage_time_s);
+      slot.info.storage_s = put.storage_time_s;
+      slot.info.bytes_written = put.logical_bytes;
+      slot.info.output_id = put.id;
+      task_clock->Advance(put.storage_time_s);
     }
 
-    CacheEntry entry;
+    ArtifactEntry entry;
     entry.table = std::move(out.table);
     entry.score = out.score;
     entry.metric = out.metric;
     entry.metrics = std::move(out.metrics);
-    entry.output_id = info.output_id;
-    cache_.insert_or_assign(key, std::move(entry));
-    result.components.push_back(std::move(info));
+    entry.output_id = slot.info.output_id;
+    entry.ready_at_s = task_clock->Now();
+    if (lease != nullptr) {
+      slot.entry = cache_.Fulfill(lease, std::move(entry));
+    } else {
+      // See Run(): reuse-off runs still publish for merge materialization.
+      slot.entry = cache_.Insert(node_keys[i], std::move(entry));
+    }
+    return Status::Ok();
+  };
+
+  auto run_task = [&](size_t i, SimClock* task_clock) -> Status {
+    const ComponentVersionSpec* spec = order[i];
+    TaskOutcome& slot = outcomes[i];
+    slot.info.name = spec->name;
+    slot.info.version = spec->version;
+    slot.info.kind = spec->kind;
+    slot.processed = true;
+    // Record the worker's virtual finish on every exit path, so a failed
+    // run still charges the caller's clock for the time it burned.
+    struct FinishRecorder {
+      TaskOutcome& slot;
+      SimClock* clock;
+      ~FinishRecorder() { slot.finish_s = clock->Now(); }
+    } finish_recorder{slot, task_clock};
+
+    auto reuse_entry = [&](const ArtifactCache::EntryPtr& entry) {
+      slot.info.reused = true;
+      slot.info.output_id = entry->output_id;
+      slot.entry = entry;
+      if (entry->has_score()) {
+        slot.has_score = true;
+        slot.score = entry->score;
+        slot.metric = entry->metric;
+        slot.metrics = entry->metrics;
+      }
+      task_clock->AdvanceTo(entry->ready_at_s);
+    };
+
+    if (!must_execute[i]) {
+      // Cached, or an ancestor fully covered by downstream checkpoints
+      // (skipped without an entry, like a chain prefix under a seeded
+      // checkpoint).
+      ArtifactCache::EntryPtr entry = cache_.Find(node_keys[i]);
+      if (entry != nullptr) {
+        reuse_entry(entry);
+      } else {
+        slot.info.reused = true;
+      }
+      return Status::Ok();
+    }
+    if (!options.reuse_cached_outputs) {
+      return execute_node(i, nullptr, task_clock);
+    }
+    ArtifactCache::Acquired acquired = cache_.Acquire(node_keys[i]);
+    if (acquired.entry != nullptr) {
+      reuse_entry(acquired.entry);
+      return Status::Ok();
+    }
+    return execute_node(i, acquired.lease.get(), task_clock);
+  };
+
+  ExecutionCore core(options.num_workers);
+  double base = clock != nullptr ? clock->Now() : 0;
+  StatusOr<double> makespan = core.RunGraph(
+      n, deps,
+      [&](size_t i, SimClock* task_clock) { return run_task(i, task_clock); },
+      base);
+
+  if (!makespan.ok()) {
+    if (makespan.status().IsIncompatible()) {
+      result.compatibility_failure = true;
+      {
+        std::lock_guard<std::mutex> lock(fail_mu);
+        result.failed_component = failed_component;
+      }
+      // The baselines' behaviour in Fig. 5: upstream components burned
+      // their time before the failure — charge it (partial makespan).
+      double failed_makespan = base;
+      for (TaskOutcome& slot : outcomes) {
+        if (slot.processed) {
+          failed_makespan = std::max(failed_makespan, slot.finish_s);
+          result.components.push_back(std::move(slot.info));
+          result.time.storage_s += result.components.back().storage_s;
+          double exec_s = result.components.back().exec_s;
+          if (result.components.back().kind == ComponentKind::kModel) {
+            result.time.train_s += exec_s;
+          } else {
+            result.time.preprocess_s += exec_s;
+          }
+        }
+      }
+      if (clock != nullptr) clock->AdvanceTo(failed_makespan);
+      return result;
+    }
+    return makespan.status();
+  }
+  if (clock != nullptr) clock->AdvanceTo(*makespan);
+
+  for (size_t i = 0; i < n; ++i) {
+    TaskOutcome& slot = outcomes[i];
+    if (slot.has_score) {
+      result.score = slot.score;
+      result.metric = slot.metric;
+      result.metrics = slot.metrics;
+    }
+    if (slot.info.kind == ComponentKind::kModel) {
+      result.time.train_s += slot.info.exec_s;
+    } else {
+      result.time.preprocess_s += slot.info.exec_s;
+    }
+    result.time.storage_s += slot.info.storage_s;
+    result.components.push_back(std::move(slot.info));
   }
 
-  for (size_t i = 0; i < order.size(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     version::ComponentRecord rec = order[i]->ToRecord();
     rec.output_id = result.components[i].output_id;
     result.snapshot.components.push_back(std::move(rec));

@@ -1,15 +1,16 @@
 #ifndef MLCASK_PIPELINE_EXECUTOR_H_
 #define MLCASK_PIPELINE_EXECUTOR_H_
 
+#include <atomic>
 #include <cmath>
 #include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "data/table.h"
+#include "pipeline/artifact_cache.h"
 #include "pipeline/library_registry.h"
 #include "pipeline/pipeline.h"
 #include "storage/storage_engine.h"
@@ -28,6 +29,16 @@ struct ExecutorOptions {
   /// Materialize component outputs into the storage engine.
   bool store_outputs = true;
   uint64_t seed = 1;
+  /// Worker threads for RunDag: independent DAG components dispatch
+  /// concurrently through the ExecutionCore. 1 = explicitly serial
+  /// (deterministic FIFO topological order, the pre-parallel behaviour);
+  /// 0 = unset, meaning serial unless a driver-level default (e.g.
+  /// sim::Deployment::num_workers) fills it in.
+  size_t num_workers = 0;
+  /// Per-run clock override. When set, this run charges its simulated time
+  /// here instead of the executor's constructor clock — parallel searches
+  /// give each worker its own timeline this way.
+  SimClock* clock = nullptr;
 };
 
 /// Per-component accounting of one pipeline run.
@@ -62,11 +73,19 @@ struct PipelineRunResult {
 };
 
 /// Runs pipelines against a library registry, charging simulated execution
-/// and storage time, and maintaining the artifact cache keyed by the prefix
-/// chain of component versions. Prefix keying is what lets sibling pipelines
-/// in a merge search tree share everything up to their divergence point
-/// (paper Sec. VI-B: "nodes sharing the same parent node also share the same
-/// path to the tree root").
+/// and storage time, and maintaining the artifact cache keyed by the recursive
+/// node key H(spec, parent keys). For a chain this collapses to a prefix
+/// chain key, which is what lets sibling pipelines in a merge search tree
+/// share everything up to their divergence point (paper Sec. VI-B: "nodes
+/// sharing the same parent node also share the same path to the tree root").
+/// Chain runs (Run) and DAG runs (RunDag) share one cache namespace: a chain
+/// and the equivalent linear DAG hit the same entries.
+///
+/// Thread safety: one executor may serve many workers at once. The cache's
+/// per-key in-flight guards make concurrent candidates sharing a prefix
+/// compute it exactly once (the second worker waits and reuses), so
+/// executions() matches the serial count. Callers running in parallel pass a
+/// per-worker clock through ExecutorOptions::clock.
 class Executor {
  public:
   /// All pointers must outlive the executor; `clock` may be nullptr.
@@ -82,11 +101,11 @@ class Executor {
 
   /// Runs a general DAG pipeline (Definition 1). Components with several
   /// predecessors receive all their inputs (name-sorted) through
-  /// ExecInput::inputs. Caching uses recursive node keys
-  /// H(spec, parent keys), which coincide in role — though not in value —
-  /// with the chain keys Run() uses, so DAG runs keep a separate cache
-  /// namespace. Compatibility requires every predecessor's output schema to
-  /// match the consumer's declared input schema.
+  /// ExecInput::inputs. With options.num_workers > 1, independent components
+  /// run concurrently on the ExecutionCore; reported times model the
+  /// resulting schedule's makespan. Compatibility requires every
+  /// predecessor's output schema to match the consumer's declared input
+  /// schema.
   StatusOr<PipelineRunResult> RunDag(const Pipeline& pipeline,
                                      const ExecutorOptions& options);
 
@@ -98,38 +117,40 @@ class Executor {
                    const Hash256& output_id,
                    std::map<std::string, double> metrics = {});
 
-  /// Cache key for a chain prefix: order-sensitive hash over the component
-  /// identity, version, impl, and hyperparameters of each element.
+  /// Recursive node key: order-sensitive hash over the component identity,
+  /// version, impl, and hyperparameters, chained with the keys of the
+  /// component's (name-sorted) predecessors. The one keying scheme behind
+  /// both chain and DAG caching.
+  static Hash256 NodeKey(const ComponentVersionSpec& spec,
+                         const std::vector<Hash256>& parent_keys);
+
+  /// Cache key for a chain prefix: NodeKey folded along the chain.
   static Hash256 ChainKey(const std::vector<const ComponentVersionSpec*>& chain);
 
   /// Returns the cached output table for an exact chain, or nullptr. Used by
   /// the merge operation to materialize the winning pipeline's outputs after
   /// the search (MLCask stores trial outputs locally and persists only the
-  /// merge result).
+  /// merge result). The pointer stays valid only until the chain's entry is
+  /// re-published (a reuse-off re-run or re-seed of the same chain) or the
+  /// cache is cleared — consume it before running anything else.
   const data::Table* FindCached(
       const std::vector<const ComponentVersionSpec*>& chain) const;
 
   size_t cache_size() const { return cache_.size(); }
-  void ClearCache() { cache_.clear(); }
+  void ClearCache() { cache_.Clear(); }
 
   /// Cumulative number of component executions this executor performed
   /// (cache hits excluded) — the quantity PR pruning minimizes.
-  uint64_t executions() const { return executions_; }
+  uint64_t executions() const {
+    return executions_.load(std::memory_order_relaxed);
+  }
 
  private:
-  struct CacheEntry {
-    data::Table table;
-    double score = std::nan("");
-    std::string metric;
-    std::map<std::string, double> metrics;
-    Hash256 output_id;
-  };
-
   const LibraryRegistry* registry_;
   storage::StorageEngine* engine_;
   SimClock* clock_;
-  std::unordered_map<Hash256, CacheEntry, Hash256Hasher> cache_;
-  uint64_t executions_ = 0;
+  ArtifactCache cache_;
+  std::atomic<uint64_t> executions_{0};
 };
 
 }  // namespace mlcask::pipeline

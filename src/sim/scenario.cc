@@ -13,8 +13,11 @@ StatusOr<Hash256> Deployment::RunAndCommit(
   for (const pipeline::ComponentVersionSpec& spec : p.components()) {
     MLCASK_RETURN_IF_ERROR(libraries->Put(spec));
   }
-  MLCASK_ASSIGN_OR_RETURN(pipeline::PipelineRunResult run,
-                          executor->Run(p, opts));
+  pipeline::ExecutorOptions eo = opts;
+  if (eo.num_workers == 0) eo.num_workers = num_workers;  // 0 = unset
+  MLCASK_ASSIGN_OR_RETURN(
+      pipeline::PipelineRunResult run,
+      p.IsChain() ? executor->Run(p, eo) : executor->RunDag(p, eo));
   if (run.compatibility_failure) {
     return Status::Incompatible("pipeline failed compatibility at " +
                                 run.failed_component);
@@ -29,8 +32,10 @@ StatusOr<Hash256> Deployment::RunAndCommit(
 }
 
 StatusOr<std::unique_ptr<Deployment>> MakeDeployment(
-    const std::string& workload_name, double scale, bool folder_storage) {
+    const std::string& workload_name, double scale, bool folder_storage,
+    size_t num_workers) {
   auto d = std::make_unique<Deployment>();
+  d->num_workers = num_workers == 0 ? 1 : num_workers;
   if (folder_storage) {
     d->engine = std::make_unique<storage::LocalDirEngine>();
   } else {
@@ -49,7 +54,8 @@ StatusOr<std::unique_ptr<Deployment>> MakeDeployment(
   return d;
 }
 
-StatusOr<ScenarioInfo> BuildTwoBranchScenario(Deployment* d) {
+StatusOr<ScenarioInfo> BuildTwoBranchScenario(Deployment* d,
+                                              int extra_model_versions) {
   const Workload& w = d->workload;
   ScenarioInfo info;
   if (w.preprocessors.empty()) {
@@ -94,6 +100,21 @@ StatusOr<ScenarioInfo> BuildTwoBranchScenario(Deployment* d) {
                           WithComponent(dev1, model_0_3));
   MLCASK_RETURN_IF_ERROR(
       d->RunAndCommit(dev2, "dev", "frank", "model 0.3").status());
+
+  // Optional widening: further model increments on dev beyond Fig. 3.
+  // Skip one increment so the dev series (0.5, 0.6, ...) never collides
+  // with master's independently-authored model 0.4 below.
+  pipeline::Pipeline dev_head = dev2;
+  pipeline::ComponentVersionSpec dev_model = model_0_3;
+  if (extra_model_versions > 0) dev_model = BumpIncrement(dev_model);
+  for (int i = 0; i < extra_model_versions; ++i) {
+    dev_model = BumpIncrement(dev_model);
+    MLCASK_ASSIGN_OR_RETURN(dev_head, WithComponent(dev_head, dev_model));
+    MLCASK_RETURN_IF_ERROR(
+        d->RunAndCommit(dev_head, "dev", "frank",
+                        "model " + dev_model.version.ToString(false))
+            .status());
+  }
 
   // --- HEAD side (master, "Jane") ---------------------------------------
   // master.0.1: first preprocessor 0.1 and model 0.4 (compatible with the

@@ -26,9 +26,15 @@ struct Deployment {
   std::unique_ptr<version::PipelineRepo> repo;
   std::unique_ptr<pipeline::Executor> executor;
   Workload workload;
+  /// Default worker count applied to runs whose options leave num_workers
+  /// unset (0) — the deployment-wide parallelism knob the drivers and
+  /// benches thread through to the ExecutionCore. An explicit
+  /// ExecutorOptions::num_workers (including 1 = serial) always wins.
+  size_t num_workers = 1;
 
-  /// Runs `p`, commits the result snapshot on `branch`, and registers every
-  /// component version in the library repository. Returns the commit id.
+  /// Runs `p` (chains through Run, general DAGs through RunDag), commits
+  /// the result snapshot on `branch`, and registers every component version
+  /// in the library repository. Returns the commit id.
   StatusOr<Hash256> RunAndCommit(const pipeline::Pipeline& p,
                                  const std::string& branch,
                                  const std::string& author,
@@ -37,10 +43,11 @@ struct Deployment {
 };
 
 /// Creates a deployment with a ForkBase engine (pass `folder_storage` for
-/// the baselines' local-dir archival engine instead).
+/// the baselines' local-dir archival engine instead). `num_workers` is the
+/// deployment-wide parallelism default.
 StatusOr<std::unique_ptr<Deployment>> MakeDeployment(
     const std::string& workload_name, double scale,
-    bool folder_storage = false);
+    bool folder_storage = false, size_t num_workers = 1);
 
 /// Reproduces the paper's Fig. 3 two-branch history on a deployment:
 ///
@@ -60,7 +67,13 @@ struct ScenarioInfo {
   std::string schema_bumped_component;
 };
 
-StatusOr<ScenarioInfo> BuildTwoBranchScenario(Deployment* deployment);
+/// `extra_model_versions` appends that many further increment updates of the
+/// model on the dev branch after the Fig. 3 history — numbered 0.5, 0.6, ...
+/// (0.4 is skipped: master's independently-authored model already owns it) —
+/// widening the merge frontier, which is what the parallel-search scaling
+/// bench exercises. 0 reproduces the paper's scenario exactly.
+StatusOr<ScenarioInfo> BuildTwoBranchScenario(Deployment* deployment,
+                                              int extra_model_versions = 0);
 
 }  // namespace mlcask::sim
 

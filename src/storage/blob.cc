@@ -24,35 +24,51 @@ uint64_t ReadU64(const char* p) {
 
 }  // namespace
 
-BlobWriteInfo WriteBlob(ChunkStore* store, const Chunker& chunker,
-                        std::string_view data) {
+BlobPlan PlanBlob(const Chunker& chunker, std::string_view data) {
+  BlobPlan plan;
+  plan.pieces = chunker.Split(data);
+  plan.piece_hashes.reserve(plan.pieces.size());
+  plan.index.reserve(plan.pieces.size() * kIndexEntrySize);
+  for (const auto& [off, len] : plan.pieces) {
+    Hash256 h = Chunk::ComputeHash(ChunkType::kData, data.substr(off, len));
+    plan.index.append(reinterpret_cast<const char*>(h.bytes.data()), 32);
+    AppendU64(&plan.index, len);
+    plan.piece_hashes.push_back(h);
+  }
+  plan.index_hash = Chunk::ComputeHash(ChunkType::kIndex, plan.index);
+  return plan;
+}
+
+BlobWriteInfo CommitBlob(ChunkStore* store, const BlobPlan& plan,
+                         std::string_view data) {
   BlobWriteInfo info;
-  std::string index;
-  auto pieces = chunker.Split(data);
-  index.reserve(pieces.size() * kIndexEntrySize);
-  for (const auto& [off, len] : pieces) {
-    std::string_view piece = data.substr(off, len);
-    bool existed = store->Contains(Chunk::ComputeHash(ChunkType::kData, piece));
-    Hash256 h = store->Put(ChunkType::kData, piece);
+  for (size_t i = 0; i < plan.pieces.size(); ++i) {
+    const auto& [off, len] = plan.pieces[i];
+    bool existed = store->Contains(plan.piece_hashes[i]);
+    store->PutPrehashed(plan.piece_hashes[i], ChunkType::kData,
+                        data.substr(off, len));
     if (existed) {
       info.dedup_bytes += len;
     } else {
       info.new_physical_bytes += len;
     }
-    index.append(reinterpret_cast<const char*>(h.bytes.data()), 32);
-    AppendU64(&index, len);
   }
-  bool index_existed =
-      store->Contains(Chunk::ComputeHash(ChunkType::kIndex, index));
-  info.ref.root = store->Put(ChunkType::kIndex, index);
+  bool index_existed = store->Contains(plan.index_hash);
+  info.ref.root =
+      store->PutPrehashed(plan.index_hash, ChunkType::kIndex, plan.index);
   if (index_existed) {
-    info.dedup_bytes += index.size();
+    info.dedup_bytes += plan.index.size();
   } else {
-    info.new_physical_bytes += index.size();
+    info.new_physical_bytes += plan.index.size();
   }
   info.ref.size = data.size();
-  info.ref.num_chunks = static_cast<uint32_t>(pieces.size());
+  info.ref.num_chunks = static_cast<uint32_t>(plan.pieces.size());
   return info;
+}
+
+BlobWriteInfo WriteBlob(ChunkStore* store, const Chunker& chunker,
+                        std::string_view data) {
+  return CommitBlob(store, PlanBlob(chunker, data), data);
 }
 
 namespace {

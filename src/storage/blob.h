@@ -33,10 +33,29 @@ struct BlobWriteInfo {
   uint64_t dedup_bytes = 0;         ///< Bytes de-duplicated against the store.
 };
 
+/// The CPU-heavy half of a blob write — chunk boundaries, per-chunk hashes,
+/// and the serialized index chunk with its hash. A pure function of `data`,
+/// so a storage engine can compute it OUTSIDE its write lock and only
+/// serialize the cheap map insertions (CommitBlob).
+struct BlobPlan {
+  std::vector<std::pair<size_t, size_t>> pieces;  ///< (offset, length).
+  std::vector<Hash256> piece_hashes;
+  std::string index;
+  Hash256 index_hash;
+};
+BlobPlan PlanBlob(const Chunker& chunker, std::string_view data);
+
+/// The insertion half: stores the planned chunks and index. The caller must
+/// hold whatever lock guards `store`. `data` must be the same bytes the
+/// plan was computed from.
+BlobWriteInfo CommitBlob(ChunkStore* store, const BlobPlan& plan,
+                         std::string_view data);
+
 /// Writes `data` through `chunker` into `store` as data chunks plus one index
 /// chunk (a single-level Merkle list: 32-byte child hash + 8-byte length per
 /// entry). Identical regions of different blobs share data chunks; identical
-/// blobs share everything including the index.
+/// blobs share everything including the index. Equivalent to
+/// CommitBlob(store, PlanBlob(chunker, data), data).
 BlobWriteInfo WriteBlob(ChunkStore* store, const Chunker& chunker,
                         std::string_view data);
 

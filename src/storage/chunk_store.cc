@@ -3,7 +3,12 @@
 namespace mlcask::storage {
 
 Hash256 ChunkStore::Put(ChunkType type, std::string_view data) {
-  Hash256 hash = Chunk::ComputeHash(type, data);
+  return PutPrehashed(Chunk::ComputeHash(type, data), type, data);
+}
+
+Hash256 ChunkStore::PutPrehashed(const Hash256& hash, ChunkType type,
+                                 std::string_view data) {
+  std::lock_guard<std::mutex> stats_lock(stats_mu_);
   stats_.puts += 1;
   stats_.logical_bytes += data.size();
   auto it = chunks_.find(hash);
@@ -22,7 +27,10 @@ Hash256 ChunkStore::Put(ChunkType type, std::string_view data) {
 }
 
 StatusOr<const Chunk*> ChunkStore::Get(const Hash256& hash) const {
-  stats_.gets += 1;
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    stats_.gets += 1;
+  }
   auto it = chunks_.find(hash);
   if (it == chunks_.end()) {
     return Status::NotFound("chunk " + hash.ShortHex() + " not in store");
@@ -40,8 +48,11 @@ Status ChunkStore::Release(const Hash256& hash) {
     return Status::NotFound("chunk " + hash.ShortHex() + " not in store");
   }
   if (--it->second.refs == 0) {
-    stats_.physical_bytes -= it->second.chunk->size();
-    stats_.distinct_chunks -= 1;
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      stats_.physical_bytes -= it->second.chunk->size();
+      stats_.distinct_chunks -= 1;
+    }
     chunks_.erase(it);
   }
   return Status::Ok();
@@ -73,8 +84,11 @@ Status ChunkStore::RestoreChunk(ChunkType type, std::string_view data,
   Entry entry;
   entry.chunk = std::make_unique<Chunk>(type, std::string(data));
   entry.refs = refs;
-  stats_.physical_bytes += data.size();
-  stats_.distinct_chunks += 1;
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    stats_.physical_bytes += data.size();
+    stats_.distinct_chunks += 1;
+  }
   chunks_.emplace(hash, std::move(entry));
   return Status::Ok();
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -36,6 +37,12 @@ struct ChunkStoreStats {
 /// An in-memory content-addressable store with reference counts. This is the
 /// bottom layer of the ForkBase-style engine: identical chunks are stored
 /// once regardless of which object, version, or branch wrote them.
+///
+/// Thread safety: the chunk map itself is NOT internally synchronized — the
+/// owning engine serializes mutations (Put/Release/Restore) behind its
+/// writer lock and allows concurrent readers (Get/Contains) behind its
+/// reader lock. The stats counters ARE internally synchronized, because the
+/// read path bumps `gets` even when the caller only holds a reader lock.
 class ChunkStore {
  public:
   ChunkStore() = default;
@@ -46,6 +53,12 @@ class ChunkStore {
   /// Stores a chunk (no-op apart from refcount/stats if already present) and
   /// returns its address.
   Hash256 Put(ChunkType type, std::string_view data);
+
+  /// Same, but with the address precomputed by the caller (via
+  /// Chunk::ComputeHash(type, data)) — lets engines hash outside their
+  /// write lock. `hash` MUST match the data.
+  Hash256 PutPrehashed(const Hash256& hash, ChunkType type,
+                       std::string_view data);
 
   /// Looks up a chunk by address.
   StatusOr<const Chunk*> Get(const Hash256& hash) const;
@@ -67,7 +80,10 @@ class ChunkStore {
   /// persisted store. Fails if the chunk already exists.
   Status RestoreChunk(ChunkType type, std::string_view data, uint64_t refs);
 
-  const ChunkStoreStats& stats() const { return stats_; }
+  ChunkStoreStats stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+  }
   size_t size() const { return chunks_.size(); }
 
  private:
@@ -77,6 +93,7 @@ class ChunkStore {
   };
 
   std::unordered_map<Hash256, Entry, Hash256Hasher> chunks_;
+  mutable std::mutex stats_mu_;
   mutable ChunkStoreStats stats_;
 };
 

@@ -1,6 +1,8 @@
 #include "storage/forkbase_engine.h"
 
 #include <algorithm>
+#include <mutex>
+#include <shared_mutex>
 
 namespace mlcask::storage {
 
@@ -14,30 +16,39 @@ ForkBaseEngine::ForkBaseEngine(StorageTimeModel time_model,
 
 StatusOr<PutResult> ForkBaseEngine::Put(const std::string& key,
                                         std::string_view data) {
-  BlobWriteInfo info = WriteBlob(&chunks_, *chunker_, data);
-
-  // The version id is derived from the blob root plus the key so two keys
-  // holding identical bytes still have distinct version ids (their chunks
-  // are shared regardless).
-  Sha256 h;
-  h.Update(key);
-  h.Update(info.ref.root.bytes.data(), info.ref.root.bytes.size());
-  // Distinguish repeated identical writes to the same key.
-  uint64_t ordinal = keys_[key].size();
-  h.Update(&ordinal, sizeof(ordinal));
-  Hash256 version_id = h.Finish();
-
-  blobs_[version_id] = info.ref;
-  keys_[key].push_back(version_id);
+  // Content-defined chunking and per-chunk hashing are pure functions of
+  // the data — do the CPU-heavy work before taking the writer lock so
+  // parallel workers only serialize on the map insertions.
+  BlobPlan plan = PlanBlob(*chunker_, data);
 
   PutResult result;
-  result.id = version_id;
-  result.logical_bytes = data.size();
-  result.new_physical_bytes = info.new_physical_bytes;
-  result.deduplicated = info.new_physical_bytes == 0 && !data.empty();
-  result.storage_time_s =
-      time_model_.WriteSeconds(info.new_physical_bytes, data.size());
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    BlobWriteInfo info = CommitBlob(&chunks_, plan, data);
 
+    // The version id is derived from the blob root plus the key so two keys
+    // holding identical bytes still have distinct version ids (their chunks
+    // are shared regardless).
+    Sha256 h;
+    h.Update(key);
+    h.Update(info.ref.root.bytes.data(), info.ref.root.bytes.size());
+    // Distinguish repeated identical writes to the same key.
+    uint64_t ordinal = keys_[key].size();
+    h.Update(&ordinal, sizeof(ordinal));
+    Hash256 version_id = h.Finish();
+
+    blobs_[version_id] = info.ref;
+    keys_[key].push_back(version_id);
+
+    result.id = version_id;
+    result.logical_bytes = data.size();
+    result.new_physical_bytes = info.new_physical_bytes;
+    result.deduplicated = info.new_physical_bytes == 0 && !data.empty();
+    result.storage_time_s =
+        time_model_.WriteSeconds(info.new_physical_bytes, data.size());
+  }
+
+  std::lock_guard<std::mutex> stats_lock(stats_mu_);
   stats_.puts += 1;
   stats_.logical_bytes += result.logical_bytes;
   stats_.physical_bytes += result.new_physical_bytes;
@@ -46,35 +57,50 @@ StatusOr<PutResult> ForkBaseEngine::Put(const std::string& key,
 }
 
 StatusOr<std::string> ForkBaseEngine::Get(const std::string& key) {
-  auto it = keys_.find(key);
-  if (it == keys_.end() || it->second.empty()) {
-    return Status::NotFound("no object under key '" + key + "'");
+  Hash256 latest;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = keys_.find(key);
+    if (it == keys_.end() || it->second.empty()) {
+      return Status::NotFound("no object under key '" + key + "'");
+    }
+    latest = it->second.back();
   }
-  return GetVersion(it->second.back());
+  return GetVersion(latest);
 }
 
 StatusOr<std::string> ForkBaseEngine::GetVersion(const Hash256& id) {
-  auto it = blobs_.find(id);
-  if (it == blobs_.end()) {
-    return Status::NotFound("no object version " + id.ShortHex());
+  std::string data;
+  {
+    // Shared is enough: chunk-map mutations happen only under the writer
+    // lock, and the chunk store's read counters are internally guarded.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = blobs_.find(id);
+    if (it == blobs_.end()) {
+      return Status::NotFound("no object version " + id.ShortHex());
+    }
+    MLCASK_ASSIGN_OR_RETURN(data, ReadBlob(chunks_, it->second));
   }
-  MLCASK_ASSIGN_OR_RETURN(std::string data, ReadBlob(chunks_, it->second));
+  std::lock_guard<std::mutex> stats_lock(stats_mu_);
   stats_.gets += 1;
   stats_.storage_time_s += time_model_.ReadSeconds(data.size());
   return data;
 }
 
 bool ForkBaseEngine::HasVersion(const Hash256& id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return blobs_.find(id) != blobs_.end();
 }
 
 std::vector<Hash256> ForkBaseEngine::Versions(const std::string& key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = keys_.find(key);
   return it == keys_.end() ? std::vector<Hash256>{} : it->second;
 }
 
 std::vector<std::pair<std::string, Hash256>> ForkBaseEngine::ListAllVersions()
     const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::pair<std::string, Hash256>> out;
   for (const auto& [key, versions] : keys_) {
     for (const Hash256& id : versions) out.emplace_back(key, id);
@@ -84,6 +110,7 @@ std::vector<std::pair<std::string, Hash256>> ForkBaseEngine::ListAllVersions()
 
 Status ForkBaseEngine::RestoreVersion(const std::string& key, const Hash256& id,
                                       const BlobRef& ref) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (blobs_.count(id) != 0) {
     return Status::AlreadyExists("version " + id.ShortHex() +
                                  " already present");
@@ -94,19 +121,24 @@ Status ForkBaseEngine::RestoreVersion(const std::string& key, const Hash256& id,
 }
 
 StatusOr<uint64_t> ForkBaseEngine::DeleteVersion(const Hash256& id) {
-  auto it = blobs_.find(id);
-  if (it == blobs_.end()) {
-    return Status::NotFound("no object version " + id.ShortHex());
+  uint64_t freed = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = blobs_.find(id);
+    if (it == blobs_.end()) {
+      return Status::NotFound("no object version " + id.ShortHex());
+    }
+    uint64_t physical_before = chunks_.stats().physical_bytes;
+    MLCASK_RETURN_IF_ERROR(ReleaseBlob(&chunks_, it->second));
+    freed = physical_before - chunks_.stats().physical_bytes;
+    blobs_.erase(it);
+    for (auto& [key, versions] : keys_) {
+      (void)key;
+      versions.erase(std::remove(versions.begin(), versions.end(), id),
+                     versions.end());
+    }
   }
-  uint64_t physical_before = chunks_.stats().physical_bytes;
-  MLCASK_RETURN_IF_ERROR(ReleaseBlob(&chunks_, it->second));
-  uint64_t freed = physical_before - chunks_.stats().physical_bytes;
-  blobs_.erase(it);
-  for (auto& [key, versions] : keys_) {
-    (void)key;
-    versions.erase(std::remove(versions.begin(), versions.end(), id),
-                   versions.end());
-  }
+  std::lock_guard<std::mutex> stats_lock(stats_mu_);
   stats_.physical_bytes -= freed;
   return freed;
 }

@@ -2,6 +2,8 @@
 #define MLCASK_STORAGE_FORKBASE_ENGINE_H_
 
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -40,14 +42,20 @@ class ForkBaseEngine : public StorageEngine {
   std::vector<std::pair<std::string, Hash256>> ListAllVersions() const override;
   StatusOr<uint64_t> DeleteVersion(const Hash256& id) override;
 
-  const EngineStats& stats() const override { return stats_; }
+  EngineStats stats() const override {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+  }
   std::string Name() const override { return "forkbase"; }
   double ReadCost(uint64_t bytes) const override {
     return time_model_.ReadSeconds(bytes);
   }
 
   /// Chunk-level accounting (distinct chunks, dedup ratio).
-  const ChunkStoreStats& chunk_stats() const { return chunks_.stats(); }
+  ChunkStoreStats chunk_stats() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return chunks_.stats();
+  }
 
   // --- persistence access (storage/persistence.h) -------------------------
 
@@ -66,14 +74,24 @@ class ForkBaseEngine : public StorageEngine {
 
   /// Overwrites the cumulative statistics (persisted alongside the data so
   /// CSS/CST accounting survives a restart).
-  void RestoreStats(const EngineStats& stats) { stats_ = stats; }
+  void RestoreStats(const EngineStats& stats) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_ = stats;
+  }
 
-  /// Mutable chunk-store access for restore.
+  /// Mutable chunk-store access for restore. Restore runs single-threaded,
+  /// before any worker touches the engine.
   ChunkStore* mutable_chunk_store() { return &chunks_; }
 
  private:
   StorageTimeModel time_model_;
   std::unique_ptr<Chunker> chunker_;
+  // `mu_` guards the version maps and chunk store (shared for readers,
+  // exclusive for writers); `stats_mu_` separately guards the cumulative
+  // counters so hot read paths do not serialize on the map lock to account
+  // their traffic.
+  mutable std::shared_mutex mu_;
+  mutable std::mutex stats_mu_;
   ChunkStore chunks_;
   // Version id -> blob handle; key -> version ids in insertion order.
   std::unordered_map<Hash256, BlobRef, Hash256Hasher> blobs_;

@@ -1,6 +1,8 @@
 #include "storage/local_dir_engine.h"
 
 #include <algorithm>
+#include <mutex>
+#include <shared_mutex>
 
 #include "common/sha256.h"
 
@@ -11,24 +13,29 @@ LocalDirEngine::LocalDirEngine(StorageTimeModel time_model)
 
 StatusOr<PutResult> LocalDirEngine::Put(const std::string& key,
                                         std::string_view data) {
-  // Folder semantics: a full copy per version. The "folder name" is a version
-  // id derived from key + ordinal, mirroring run-1/, run-2/, ... directories.
-  Sha256 h;
-  h.Update(key);
-  uint64_t ordinal = keys_[key].size();
-  h.Update(&ordinal, sizeof(ordinal));
-  Hash256 version_id = h.Finish();
-
-  objects_[version_id] = std::string(data);
-  keys_[key].push_back(version_id);
-
   PutResult result;
-  result.id = version_id;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    // Folder semantics: a full copy per version. The "folder name" is a
+    // version id derived from key + ordinal, mirroring run-1/, run-2/, ...
+    // directories.
+    Sha256 h;
+    h.Update(key);
+    uint64_t ordinal = keys_[key].size();
+    h.Update(&ordinal, sizeof(ordinal));
+    Hash256 version_id = h.Finish();
+
+    objects_[version_id] = std::string(data);
+    keys_[key].push_back(version_id);
+
+    result.id = version_id;
+  }
   result.logical_bytes = data.size();
   result.new_physical_bytes = data.size();  // no de-duplication, ever
   result.deduplicated = false;
   result.storage_time_s = time_model_.WriteSeconds(data.size(), data.size());
 
+  std::lock_guard<std::mutex> stats_lock(stats_mu_);
   stats_.puts += 1;
   stats_.logical_bytes += data.size();
   stats_.physical_bytes += data.size();
@@ -37,34 +44,48 @@ StatusOr<PutResult> LocalDirEngine::Put(const std::string& key,
 }
 
 StatusOr<std::string> LocalDirEngine::Get(const std::string& key) {
-  auto it = keys_.find(key);
-  if (it == keys_.end() || it->second.empty()) {
-    return Status::NotFound("no object under key '" + key + "'");
+  Hash256 latest;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = keys_.find(key);
+    if (it == keys_.end() || it->second.empty()) {
+      return Status::NotFound("no object under key '" + key + "'");
+    }
+    latest = it->second.back();
   }
-  return GetVersion(it->second.back());
+  return GetVersion(latest);
 }
 
 StatusOr<std::string> LocalDirEngine::GetVersion(const Hash256& id) {
-  auto it = objects_.find(id);
-  if (it == objects_.end()) {
-    return Status::NotFound("no object version " + id.ShortHex());
+  std::string data;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = objects_.find(id);
+    if (it == objects_.end()) {
+      return Status::NotFound("no object version " + id.ShortHex());
+    }
+    data = it->second;
   }
+  std::lock_guard<std::mutex> stats_lock(stats_mu_);
   stats_.gets += 1;
-  stats_.storage_time_s += time_model_.ReadSeconds(it->second.size());
-  return it->second;
+  stats_.storage_time_s += time_model_.ReadSeconds(data.size());
+  return data;
 }
 
 bool LocalDirEngine::HasVersion(const Hash256& id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return objects_.find(id) != objects_.end();
 }
 
 std::vector<Hash256> LocalDirEngine::Versions(const std::string& key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = keys_.find(key);
   return it == keys_.end() ? std::vector<Hash256>{} : it->second;
 }
 
 std::vector<std::pair<std::string, Hash256>> LocalDirEngine::ListAllVersions()
     const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::pair<std::string, Hash256>> out;
   for (const auto& [key, versions] : keys_) {
     for (const Hash256& id : versions) out.emplace_back(key, id);
@@ -73,17 +94,22 @@ std::vector<std::pair<std::string, Hash256>> LocalDirEngine::ListAllVersions()
 }
 
 StatusOr<uint64_t> LocalDirEngine::DeleteVersion(const Hash256& id) {
-  auto it = objects_.find(id);
-  if (it == objects_.end()) {
-    return Status::NotFound("no object version " + id.ShortHex());
+  uint64_t freed = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = objects_.find(id);
+    if (it == objects_.end()) {
+      return Status::NotFound("no object version " + id.ShortHex());
+    }
+    freed = it->second.size();
+    objects_.erase(it);
+    for (auto& [key, versions] : keys_) {
+      (void)key;
+      versions.erase(std::remove(versions.begin(), versions.end(), id),
+                     versions.end());
+    }
   }
-  uint64_t freed = it->second.size();
-  objects_.erase(it);
-  for (auto& [key, versions] : keys_) {
-    (void)key;
-    versions.erase(std::remove(versions.begin(), versions.end(), id),
-                   versions.end());
-  }
+  std::lock_guard<std::mutex> stats_lock(stats_mu_);
   stats_.physical_bytes -= freed;
   return freed;
 }

@@ -1,6 +1,8 @@
 #ifndef MLCASK_STORAGE_LOCAL_DIR_ENGINE_H_
 #define MLCASK_STORAGE_LOCAL_DIR_ENGINE_H_
 
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -32,7 +34,10 @@ class LocalDirEngine : public StorageEngine {
   std::vector<std::pair<std::string, Hash256>> ListAllVersions() const override;
   StatusOr<uint64_t> DeleteVersion(const Hash256& id) override;
 
-  const EngineStats& stats() const override { return stats_; }
+  EngineStats stats() const override {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+  }
   std::string Name() const override { return "local-dir"; }
   double ReadCost(uint64_t bytes) const override {
     return time_model_.ReadSeconds(bytes);
@@ -40,6 +45,10 @@ class LocalDirEngine : public StorageEngine {
 
  private:
   StorageTimeModel time_model_;
+  // `mu_` guards the object/version maps; `stats_mu_` guards the counters
+  // (see StorageEngine's thread-safety contract).
+  mutable std::shared_mutex mu_;
+  mutable std::mutex stats_mu_;
   std::unordered_map<Hash256, std::string, Hash256Hasher> objects_;
   std::unordered_map<std::string, std::vector<Hash256>> keys_;
   EngineStats stats_;

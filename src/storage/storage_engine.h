@@ -60,6 +60,11 @@ struct EngineStats {
 /// version; versions are addressable by content id. This is the interface the
 /// dataset/library/pipeline repositories ride on, and the axis along which
 /// MLCask (ForkBase engine) differs from ModelDB/MLflow (folder archival).
+///
+/// Thread safety: implementations must tolerate concurrent calls from many
+/// worker threads (the parallel ExecutionCore issues Put/Get from its pool).
+/// `stats()` returns a consistent snapshot; totals observed after all
+/// writers have joined equal the serial sums exactly.
 class StorageEngine {
  public:
   virtual ~StorageEngine() = default;
@@ -90,7 +95,7 @@ class StorageEngine {
   /// versions are not freed). NotFound if the id is unknown.
   virtual StatusOr<uint64_t> DeleteVersion(const Hash256& id) = 0;
 
-  virtual const EngineStats& stats() const = 0;
+  virtual EngineStats stats() const = 0;
   virtual std::string Name() const = 0;
 
   /// Modeled seconds spent reading `bytes` back (charged by callers that

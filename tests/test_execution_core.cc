@@ -1,0 +1,212 @@
+// Tests for the ExecutionCore (thread pool + virtual-time schedulers) and
+// the ArtifactCache's in-flight guards.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "pipeline/artifact_cache.h"
+#include "pipeline/execution_core.h"
+
+namespace mlcask::pipeline {
+namespace {
+
+TEST(ExecutionCoreTest, RunWorkersRunsBodyPerWorker) {
+  for (size_t workers : {size_t{1}, size_t{4}}) {
+    ExecutionCore core(workers);
+    std::atomic<size_t> calls{0};
+    auto makespan = core.RunWorkers([&](ExecutionCore::WorkerContext& ctx) {
+      calls.fetch_add(1);
+      ctx.clock->Advance(2.0);
+      return Status::Ok();
+    });
+    ASSERT_TRUE(makespan.ok());
+    EXPECT_EQ(calls.load(), workers);
+    // Every worker advanced its own clock by 2s; the makespan is the max,
+    // not the sum.
+    EXPECT_DOUBLE_EQ(*makespan, 2.0);
+  }
+}
+
+TEST(ExecutionCoreTest, RunWorkersPropagatesError) {
+  ExecutionCore core(4);
+  auto makespan = core.RunWorkers([&](ExecutionCore::WorkerContext& ctx) {
+    return ctx.worker_index == 2 ? Status::Internal("boom") : Status::Ok();
+  });
+  EXPECT_FALSE(makespan.ok());
+}
+
+TEST(ExecutionCoreTest, GraphMakespanModelsParallelMachine) {
+  // Diamond: 0 -> {1, 2} -> 3, each task 1 virtual second. With two
+  // workers 1 and 2 overlap: makespan 3; serially it is 4.
+  std::vector<std::vector<size_t>> deps = {{}, {0}, {0}, {1, 2}};
+  auto run = [](size_t, SimClock* clock) {
+    clock->Advance(1.0);
+    return Status::Ok();
+  };
+  ExecutionCore serial(1);
+  auto serial_span = serial.RunGraph(4, deps, run);
+  ASSERT_TRUE(serial_span.ok());
+  EXPECT_DOUBLE_EQ(*serial_span, 4.0);
+
+  ExecutionCore parallel(2);
+  auto parallel_span = parallel.RunGraph(4, deps, run);
+  ASSERT_TRUE(parallel_span.ok());
+  EXPECT_DOUBLE_EQ(*parallel_span, 3.0);
+}
+
+TEST(ExecutionCoreTest, GraphRespectsDependencyOrder) {
+  // A chain: each task must observe its predecessor's side effect.
+  constexpr size_t kN = 32;
+  std::vector<std::vector<size_t>> deps(kN);
+  for (size_t i = 1; i < kN; ++i) deps[i] = {i - 1};
+  std::vector<int> done(kN, 0);
+  std::atomic<bool> violated{false};
+  ExecutionCore core(4);
+  auto span = core.RunGraph(kN, deps, [&](size_t i, SimClock*) {
+    if (i > 0 && done[i - 1] != 1) violated = true;
+    done[i] = 1;
+    return Status::Ok();
+  });
+  ASSERT_TRUE(span.ok());
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(ExecutionCoreTest, GraphFinishTimesReported) {
+  std::vector<std::vector<size_t>> deps = {{}, {0}};
+  std::vector<double> finish;
+  ExecutionCore core(2);
+  auto span = core.RunGraph(
+      2, deps,
+      [](size_t i, SimClock* clock) {
+        clock->Advance(i == 0 ? 1.5 : 2.0);
+        return Status::Ok();
+      },
+      /*start_time_s=*/10.0, &finish);
+  ASSERT_TRUE(span.ok());
+  ASSERT_EQ(finish.size(), 2u);
+  EXPECT_DOUBLE_EQ(finish[0], 11.5);
+  EXPECT_DOUBLE_EQ(finish[1], 13.5);
+  EXPECT_DOUBLE_EQ(*span, 13.5);
+}
+
+TEST(ExecutionCoreTest, GraphWithUnreachableCycleErrorsInsteadOfHanging) {
+  // Task 0 is a valid source, but 1 and 2 depend on each other: the graph
+  // must error out after 0 completes, not sleep forever.
+  std::vector<std::vector<size_t>> deps = {{}, {2}, {1}};
+  for (size_t workers : {size_t{1}, size_t{2}}) {
+    ExecutionCore core(workers);
+    auto span = core.RunGraph(3, deps, [](size_t, SimClock*) {
+      return Status::Ok();
+    });
+    EXPECT_FALSE(span.ok()) << "workers=" << workers;
+  }
+}
+
+TEST(ExecutionCoreTest, GraphErrorCancelsRemainingTasks) {
+  constexpr size_t kN = 16;
+  std::vector<std::vector<size_t>> deps(kN);
+  for (size_t i = 1; i < kN; ++i) deps[i] = {i - 1};
+  std::atomic<size_t> ran{0};
+  ExecutionCore core(2);
+  auto span = core.RunGraph(kN, deps, [&](size_t i, SimClock*) {
+    ran.fetch_add(1);
+    return i == 3 ? Status::Internal("boom") : Status::Ok();
+  });
+  EXPECT_FALSE(span.ok());
+  EXPECT_LT(ran.load(), kN);
+}
+
+TEST(ArtifactCacheTest, FindMissesUntilInsert) {
+  ArtifactCache cache;
+  Hash256 key;
+  key.bytes[0] = 1;
+  EXPECT_EQ(cache.Find(key), nullptr);
+  ArtifactEntry entry;
+  entry.score = 0.5;
+  cache.Insert(key, std::move(entry));
+  auto found = cache.Find(key);
+  ASSERT_NE(found, nullptr);
+  EXPECT_DOUBLE_EQ(found->score, 0.5);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ArtifactCacheTest, InFlightGuardComputesOnce) {
+  // Many threads acquire the same key; exactly one gets a lease, the rest
+  // block until it fulfills and then reuse the entry.
+  ArtifactCache cache;
+  Hash256 key;
+  key.bytes[0] = 7;
+  std::atomic<size_t> computed{0};
+  std::atomic<size_t> reused{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      ArtifactCache::Acquired acquired = cache.Acquire(key);
+      if (acquired.lease != nullptr) {
+        computed.fetch_add(1);
+        // Hold the lease long enough that the others really wait.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        ArtifactEntry entry;
+        entry.score = 0.75;
+        cache.Fulfill(acquired.lease.get(), std::move(entry));
+      } else {
+        EXPECT_DOUBLE_EQ(acquired.entry->score, 0.75);
+        reused.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(computed.load(), 1u);
+  EXPECT_EQ(reused.load(), 7u);
+}
+
+TEST(ArtifactCacheTest, AbandonedLeaseHandsOverToWaiter) {
+  ArtifactCache cache;
+  Hash256 key;
+  key.bytes[0] = 9;
+  std::atomic<size_t> leases_granted{0};
+  {
+    ArtifactCache::Acquired first = cache.Acquire(key);
+    ASSERT_NE(first.lease, nullptr);
+    std::thread waiter([&] {
+      ArtifactCache::Acquired second = cache.Acquire(key);
+      // The abandoned lease must not leave the waiter stuck or hand it a
+      // phantom entry.
+      ASSERT_NE(second.lease, nullptr);
+      leases_granted.fetch_add(1);
+      ArtifactEntry entry;
+      entry.score = 1.0;
+      cache.Fulfill(second.lease.get(), std::move(entry));
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    // Drop `first` without fulfilling: error path.
+    { ArtifactCache::Acquired dropped = std::move(first); }
+    waiter.join();
+  }
+  EXPECT_EQ(leases_granted.load(), 1u);
+  auto found = cache.Find(key);
+  ASSERT_NE(found, nullptr);
+  EXPECT_DOUBLE_EQ(found->score, 1.0);
+}
+
+TEST(ArtifactCacheTest, ClearKeepsPendingLeases) {
+  ArtifactCache cache;
+  Hash256 ready_key, pending_key;
+  ready_key.bytes[0] = 1;
+  pending_key.bytes[0] = 2;
+  cache.Insert(ready_key, ArtifactEntry{});
+  ArtifactCache::Acquired acquired = cache.Acquire(pending_key);
+  ASSERT_NE(acquired.lease, nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.Find(ready_key), nullptr);
+  // The pending computation still publishes.
+  cache.Fulfill(acquired.lease.get(), ArtifactEntry{});
+  EXPECT_NE(cache.Find(pending_key), nullptr);
+}
+
+}  // namespace
+}  // namespace mlcask::pipeline

@@ -1,0 +1,120 @@
+// Concurrency stress tests for the storage engines: many threads hammering
+// one engine with Put/Get/Versions traffic. The StorageEngine contract says
+// stats totals observed after all writers join must equal the serial sums
+// exactly — no lost updates, no torn counters.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "storage/forkbase_engine.h"
+#include "storage/local_dir_engine.h"
+
+namespace mlcask::storage {
+namespace {
+
+constexpr size_t kThreads = 8;
+constexpr size_t kPutsPerThread = 50;
+
+std::string PayloadFor(size_t thread, size_t i) {
+  // A large shared base (dedups at chunk level across all writers) plus a
+  // distinct-size unique tail, so logical-byte totals catch misattributed
+  // updates while ForkBase still gets dedup traffic under contention. The
+  // base bytes vary (content-defined chunking needs entropy to place
+  // boundaries) but are identical across all payloads.
+  std::string payload;
+  payload.reserve(32768 + 600);
+  for (size_t j = 0; j < 32768; ++j) {
+    payload.push_back(static_cast<char>('0' + (j * j + j / 7) % 77));
+  }
+  payload.append(100 + 7 * thread + i, static_cast<char>('a' + thread));
+  return payload;
+}
+
+template <typename Engine>
+void HammerEngine(Engine* engine) {
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> expected_logical{0};
+  std::atomic<uint64_t> get_failures{0};
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([engine, t, &expected_logical, &get_failures] {
+      for (size_t i = 0; i < kPutsPerThread; ++i) {
+        std::string payload = PayloadFor(t, i);
+        // Half the keys are shared across threads (version-list contention),
+        // half are private.
+        std::string key = i % 2 == 0
+                              ? "shared/" + std::to_string(i)
+                              : "private/" + std::to_string(t) + "/" +
+                                    std::to_string(i);
+        auto put = engine->Put(key, payload);
+        ASSERT_TRUE(put.ok());
+        expected_logical.fetch_add(payload.size());
+        // Immediately read our own version back through the shared maps.
+        auto got = engine->GetVersion(put->id);
+        if (!got.ok() || *got != payload) get_failures.fetch_add(1);
+        // Mixed readers on shared state.
+        (void)engine->Versions(key);
+        (void)engine->HasVersion(put->id);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(get_failures.load(), 0u);
+  EngineStats stats = engine->stats();
+  EXPECT_EQ(stats.puts, kThreads * kPutsPerThread);
+  EXPECT_EQ(stats.gets, kThreads * kPutsPerThread);
+  EXPECT_EQ(stats.logical_bytes, expected_logical.load());
+  EXPECT_EQ(engine->ListAllVersions().size(), kThreads * kPutsPerThread);
+}
+
+TEST(StorageConcurrencyTest, ForkBaseStatsMatchSerialSum) {
+  ForkBaseEngine engine;
+  HammerEngine(&engine);
+  // Every payload shares an 8 KB base, so chunk dedup must kick in even
+  // under contention: physical < logical.
+  EXPECT_LT(engine.stats().physical_bytes, engine.stats().logical_bytes);
+}
+
+TEST(StorageConcurrencyTest, LocalDirStatsMatchSerialSum) {
+  LocalDirEngine engine;
+  HammerEngine(&engine);
+  // Folder archival never dedups.
+  EXPECT_EQ(engine.stats().physical_bytes, engine.stats().logical_bytes);
+}
+
+TEST(StorageConcurrencyTest, ConcurrentDeleteAndPutStayConsistent) {
+  ForkBaseEngine engine;
+  // Pre-populate versions to delete.
+  std::vector<Hash256> ids;
+  for (size_t i = 0; i < 64; ++i) {
+    auto put = engine.Put("victim/" + std::to_string(i), std::string(500, 'x'));
+    ASSERT_TRUE(put.ok());
+    ids.push_back(put->id);
+  }
+  std::thread deleter([&] {
+    for (const Hash256& id : ids) {
+      auto freed = engine.DeleteVersion(id);
+      ASSERT_TRUE(freed.ok());
+    }
+  });
+  std::thread writer([&] {
+    for (size_t i = 0; i < 64; ++i) {
+      ASSERT_TRUE(
+          engine.Put("fresh/" + std::to_string(i), std::string(300, 'y'))
+              .ok());
+    }
+  });
+  deleter.join();
+  writer.join();
+  for (const Hash256& id : ids) {
+    EXPECT_FALSE(engine.HasVersion(id));
+  }
+  EXPECT_EQ(engine.ListAllVersions().size(), 64u);
+}
+
+}  // namespace
+}  // namespace mlcask::storage

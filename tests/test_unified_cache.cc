@@ -1,0 +1,104 @@
+// Regression tests for the unified cache namespace: chain runs (Run) and
+// DAG runs (RunDag) key artifacts with the same recursive NodeKey scheme,
+// so a chain and the equivalent linear DAG share cached outputs. Before the
+// unification these lived in two disjoint namespaces and a chain re-run
+// through RunDag recomputed everything.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "pipeline/executor.h"
+#include "sim/libraries.h"
+#include "sim/workloads.h"
+#include "storage/forkbase_engine.h"
+
+namespace mlcask::pipeline {
+namespace {
+
+class UnifiedCacheTest : public ::testing::Test {
+ protected:
+  UnifiedCacheTest() : executor_(&registry_, &engine_, &clock_) {
+    MLCASK_CHECK_OK(sim::RegisterWorkloadLibraries(&registry_));
+    auto w = sim::MakeWorkload("readmission", 0.05);
+    MLCASK_CHECK_OK(w.status());
+    chain_ = w->initial;
+  }
+
+  LibraryRegistry registry_;
+  storage::ForkBaseEngine engine_;
+  SimClock clock_;
+  Executor executor_;
+  Pipeline chain_;
+};
+
+TEST_F(UnifiedCacheTest, DagRunReusesChainRunArtifacts) {
+  auto first = executor_.Run(chain_, {});
+  ASSERT_TRUE(first.ok());
+  uint64_t execs = executor_.executions();
+  ASSERT_GT(execs, 0u);
+
+  auto second = executor_.RunDag(chain_, {});
+  ASSERT_TRUE(second.ok());
+  for (const auto& c : second->components) {
+    EXPECT_TRUE(c.reused) << c.name;
+    EXPECT_FALSE(c.executed) << c.name;
+  }
+  EXPECT_EQ(executor_.executions(), execs);
+  EXPECT_DOUBLE_EQ(second->score, first->score);
+  EXPECT_DOUBLE_EQ(second->time.Total(), 0.0);
+}
+
+TEST_F(UnifiedCacheTest, ChainRunReusesDagRunArtifacts) {
+  auto first = executor_.RunDag(chain_, {});
+  ASSERT_TRUE(first.ok());
+  uint64_t execs = executor_.executions();
+
+  auto second = executor_.Run(chain_, {});
+  ASSERT_TRUE(second.ok());
+  for (const auto& c : second->components) {
+    EXPECT_TRUE(c.reused) << c.name;
+  }
+  EXPECT_EQ(executor_.executions(), execs);
+  EXPECT_DOUBLE_EQ(second->score, first->score);
+}
+
+TEST_F(UnifiedCacheTest, ChainKeyMatchesFoldedNodeKey) {
+  std::vector<const ComponentVersionSpec*> specs;
+  for (const auto& c : chain_.components()) specs.push_back(&c);
+  std::vector<Hash256> parents;
+  Hash256 key;
+  for (const ComponentVersionSpec* spec : specs) {
+    key = Executor::NodeKey(*spec, parents);
+    parents.assign(1, key);
+  }
+  EXPECT_EQ(key, Executor::ChainKey(specs));
+  // Prefix keys differ from the full key (order- and length-sensitive).
+  std::vector<const ComponentVersionSpec*> prefix(specs.begin(),
+                                                  specs.end() - 1);
+  EXPECT_NE(Executor::ChainKey(prefix), Executor::ChainKey(specs));
+}
+
+TEST_F(UnifiedCacheTest, SeededChainCheckpointServesDagRun) {
+  // A checkpoint seeded through the chain API (as merge does from commit
+  // history) must be visible to a DAG run of the same pipeline.
+  auto prefix_run = executor_.Run(chain_, {});
+  ASSERT_TRUE(prefix_run.ok());
+  uint64_t execs = executor_.executions();
+
+  Executor fresh(&registry_, &engine_, &clock_);
+  std::vector<ComponentVersionSpec> specs = chain_.components();
+  std::vector<const ComponentVersionSpec*> ptrs;
+  for (const auto& s : specs) ptrs.push_back(&s);
+  const data::Table* full = executor_.FindCached(ptrs);
+  ASSERT_NE(full, nullptr);
+  MLCASK_CHECK_OK(fresh.SeedCache(specs, *full, prefix_run->score, "score",
+                                  Hash256{}));
+  auto dag = fresh.RunDag(chain_, {});
+  ASSERT_TRUE(dag.ok());
+  EXPECT_TRUE(dag->components.back().reused);
+  EXPECT_EQ(fresh.executions(), 0u);
+  (void)execs;
+}
+
+}  // namespace
+}  // namespace mlcask::pipeline
