@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_prioritized_search.dir/bench/fig10_prioritized_search.cc.o"
+  "CMakeFiles/bench_fig10_prioritized_search.dir/bench/fig10_prioritized_search.cc.o.d"
+  "bench_fig10_prioritized_search"
+  "bench_fig10_prioritized_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_prioritized_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

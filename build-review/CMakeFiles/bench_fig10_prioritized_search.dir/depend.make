@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_prioritized_search.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_distributed.dir/bench/fig11_distributed.cc.o"
+  "CMakeFiles/bench_fig11_distributed.dir/bench/fig11_distributed.cc.o.d"
+  "bench_fig11_distributed"
+  "bench_fig11_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

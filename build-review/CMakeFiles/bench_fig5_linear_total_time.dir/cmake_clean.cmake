@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_linear_total_time.dir/bench/fig5_linear_total_time.cc.o"
+  "CMakeFiles/bench_fig5_linear_total_time.dir/bench/fig5_linear_total_time.cc.o.d"
+  "bench_fig5_linear_total_time"
+  "bench_fig5_linear_total_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_linear_total_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_time_composition.dir/bench/fig6_time_composition.cc.o"
+  "CMakeFiles/bench_fig6_time_composition.dir/bench/fig6_time_composition.cc.o.d"
+  "bench_fig6_time_composition"
+  "bench_fig6_time_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_time_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_linear_storage.dir/bench/fig7_linear_storage.cc.o"
+  "CMakeFiles/bench_fig7_linear_storage.dir/bench/fig7_linear_storage.cc.o.d"
+  "bench_fig7_linear_storage"
+  "bench_fig7_linear_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_linear_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

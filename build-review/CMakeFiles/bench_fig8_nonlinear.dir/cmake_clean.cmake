@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_nonlinear.dir/bench/fig8_nonlinear.cc.o"
+  "CMakeFiles/bench_fig8_nonlinear.dir/bench/fig8_nonlinear.cc.o.d"
+  "bench_fig8_nonlinear"
+  "bench_fig8_nonlinear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_nonlinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_merge_composition.dir/bench/fig9_merge_composition.cc.o"
+  "CMakeFiles/bench_fig9_merge_composition.dir/bench/fig9_merge_composition.cc.o.d"
+  "bench_fig9_merge_composition"
+  "bench_fig9_merge_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_merge_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9_merge_composition.
+# This may be replaced when dependencies are built.

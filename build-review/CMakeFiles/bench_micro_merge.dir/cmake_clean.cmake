@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_merge.dir/bench/micro_merge.cc.o"
+  "CMakeFiles/bench_micro_merge.dir/bench/micro_merge.cc.o.d"
+  "bench_micro_merge"
+  "bench_micro_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

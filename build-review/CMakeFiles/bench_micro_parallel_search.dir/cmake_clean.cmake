@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_parallel_search.dir/bench/micro_parallel_search.cc.o"
+  "CMakeFiles/bench_micro_parallel_search.dir/bench/micro_parallel_search.cc.o.d"
+  "bench_micro_parallel_search"
+  "bench_micro_parallel_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_parallel_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_pipeline.dir/bench/micro_pipeline.cc.o"
+  "CMakeFiles/bench_micro_pipeline.dir/bench/micro_pipeline.cc.o.d"
+  "bench_micro_pipeline"
+  "bench_micro_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_storage.dir/bench/micro_storage.cc.o"
+  "CMakeFiles/bench_micro_storage.dir/bench/micro_storage.cc.o.d"
+  "bench_micro_storage"
+  "bench_micro_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

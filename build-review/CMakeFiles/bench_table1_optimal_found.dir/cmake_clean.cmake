@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_optimal_found.dir/bench/table1_optimal_found.cc.o"
+  "CMakeFiles/bench_table1_optimal_found.dir/bench/table1_optimal_found.cc.o.d"
+  "bench_table1_optimal_found"
+  "bench_table1_optimal_found.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_optimal_found.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

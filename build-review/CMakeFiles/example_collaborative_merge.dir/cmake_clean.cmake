@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_collaborative_merge.dir/examples/collaborative_merge.cpp.o"
+  "CMakeFiles/example_collaborative_merge.dir/examples/collaborative_merge.cpp.o.d"
+  "example_collaborative_merge"
+  "example_collaborative_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_collaborative_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_collaborative_merge.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dag_fusion.dir/examples/dag_fusion.cpp.o"
+  "CMakeFiles/example_dag_fusion.dir/examples/dag_fusion.cpp.o.d"
+  "example_dag_fusion"
+  "example_dag_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dag_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

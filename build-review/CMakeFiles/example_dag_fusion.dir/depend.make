@@ -1,0 +1,2 @@
+# Empty dependencies file for example_dag_fusion.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_prioritized_budget.dir/examples/prioritized_budget.cpp.o"
+  "CMakeFiles/example_prioritized_budget.dir/examples/prioritized_budget.cpp.o.d"
+  "example_prioritized_budget"
+  "example_prioritized_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_prioritized_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

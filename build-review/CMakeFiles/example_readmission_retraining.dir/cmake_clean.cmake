@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_readmission_retraining.dir/examples/readmission_retraining.cpp.o"
+  "CMakeFiles/example_readmission_retraining.dir/examples/readmission_retraining.cpp.o.d"
+  "example_readmission_retraining"
+  "example_readmission_retraining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_readmission_retraining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_retrospective_audit.dir/examples/retrospective_audit.cpp.o"
+  "CMakeFiles/example_retrospective_audit.dir/examples/retrospective_audit.cpp.o.d"
+  "example_retrospective_audit"
+  "example_retrospective_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_retrospective_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

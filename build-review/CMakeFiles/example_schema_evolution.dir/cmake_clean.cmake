@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_schema_evolution.dir/examples/schema_evolution.cpp.o"
+  "CMakeFiles/example_schema_evolution.dir/examples/schema_evolution.cpp.o.d"
+  "example_schema_evolution"
+  "example_schema_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_schema_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

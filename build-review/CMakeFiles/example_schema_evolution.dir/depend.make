@@ -1,0 +1,2 @@
+# Empty dependencies file for example_schema_evolution.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/system_under_test.cc" "CMakeFiles/mlcask.dir/src/baselines/system_under_test.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/baselines/system_under_test.cc.o.d"
+  "/root/repo/src/common/json.cc" "CMakeFiles/mlcask.dir/src/common/json.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/common/json.cc.o.d"
+  "/root/repo/src/common/rng.cc" "CMakeFiles/mlcask.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/common/sha256.cc" "CMakeFiles/mlcask.dir/src/common/sha256.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/common/sha256.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/mlcask.dir/src/common/status.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "CMakeFiles/mlcask.dir/src/common/strings.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/common/strings.cc.o.d"
+  "/root/repo/src/data/generators.cc" "CMakeFiles/mlcask.dir/src/data/generators.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/data/generators.cc.o.d"
+  "/root/repo/src/data/schema.cc" "CMakeFiles/mlcask.dir/src/data/schema.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/data/schema.cc.o.d"
+  "/root/repo/src/data/table.cc" "CMakeFiles/mlcask.dir/src/data/table.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/data/table.cc.o.d"
+  "/root/repo/src/merge/compat_lut.cc" "CMakeFiles/mlcask.dir/src/merge/compat_lut.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/merge/compat_lut.cc.o.d"
+  "/root/repo/src/merge/merge_op.cc" "CMakeFiles/mlcask.dir/src/merge/merge_op.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/merge/merge_op.cc.o.d"
+  "/root/repo/src/merge/prioritized.cc" "CMakeFiles/mlcask.dir/src/merge/prioritized.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/merge/prioritized.cc.o.d"
+  "/root/repo/src/merge/search_space.cc" "CMakeFiles/mlcask.dir/src/merge/search_space.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/merge/search_space.cc.o.d"
+  "/root/repo/src/merge/search_tree.cc" "CMakeFiles/mlcask.dir/src/merge/search_tree.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/merge/search_tree.cc.o.d"
+  "/root/repo/src/ml/adaboost.cc" "CMakeFiles/mlcask.dir/src/ml/adaboost.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/ml/adaboost.cc.o.d"
+  "/root/repo/src/ml/autolearn.cc" "CMakeFiles/mlcask.dir/src/ml/autolearn.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/ml/autolearn.cc.o.d"
+  "/root/repo/src/ml/embedding.cc" "CMakeFiles/mlcask.dir/src/ml/embedding.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/ml/embedding.cc.o.d"
+  "/root/repo/src/ml/hmm.cc" "CMakeFiles/mlcask.dir/src/ml/hmm.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/ml/hmm.cc.o.d"
+  "/root/repo/src/ml/logreg.cc" "CMakeFiles/mlcask.dir/src/ml/logreg.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/ml/logreg.cc.o.d"
+  "/root/repo/src/ml/matrix.cc" "CMakeFiles/mlcask.dir/src/ml/matrix.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/ml/matrix.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "CMakeFiles/mlcask.dir/src/ml/metrics.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/ml/metrics.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "CMakeFiles/mlcask.dir/src/ml/mlp.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/ml/mlp.cc.o.d"
+  "/root/repo/src/ml/train_eval.cc" "CMakeFiles/mlcask.dir/src/ml/train_eval.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/ml/train_eval.cc.o.d"
+  "/root/repo/src/ml/zernike.cc" "CMakeFiles/mlcask.dir/src/ml/zernike.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/ml/zernike.cc.o.d"
+  "/root/repo/src/pipeline/artifact_cache.cc" "CMakeFiles/mlcask.dir/src/pipeline/artifact_cache.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/pipeline/artifact_cache.cc.o.d"
+  "/root/repo/src/pipeline/checkout.cc" "CMakeFiles/mlcask.dir/src/pipeline/checkout.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/pipeline/checkout.cc.o.d"
+  "/root/repo/src/pipeline/component.cc" "CMakeFiles/mlcask.dir/src/pipeline/component.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/pipeline/component.cc.o.d"
+  "/root/repo/src/pipeline/execution_core.cc" "CMakeFiles/mlcask.dir/src/pipeline/execution_core.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/pipeline/execution_core.cc.o.d"
+  "/root/repo/src/pipeline/executor.cc" "CMakeFiles/mlcask.dir/src/pipeline/executor.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/pipeline/executor.cc.o.d"
+  "/root/repo/src/pipeline/library_registry.cc" "CMakeFiles/mlcask.dir/src/pipeline/library_registry.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/pipeline/library_registry.cc.o.d"
+  "/root/repo/src/pipeline/library_repo.cc" "CMakeFiles/mlcask.dir/src/pipeline/library_repo.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/pipeline/library_repo.cc.o.d"
+  "/root/repo/src/pipeline/pipeline.cc" "CMakeFiles/mlcask.dir/src/pipeline/pipeline.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/pipeline/pipeline.cc.o.d"
+  "/root/repo/src/sim/distributed.cc" "CMakeFiles/mlcask.dir/src/sim/distributed.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/sim/distributed.cc.o.d"
+  "/root/repo/src/sim/libraries.cc" "CMakeFiles/mlcask.dir/src/sim/libraries.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/sim/libraries.cc.o.d"
+  "/root/repo/src/sim/linear_driver.cc" "CMakeFiles/mlcask.dir/src/sim/linear_driver.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/sim/linear_driver.cc.o.d"
+  "/root/repo/src/sim/scenario.cc" "CMakeFiles/mlcask.dir/src/sim/scenario.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/sim/scenario.cc.o.d"
+  "/root/repo/src/sim/workloads.cc" "CMakeFiles/mlcask.dir/src/sim/workloads.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/sim/workloads.cc.o.d"
+  "/root/repo/src/storage/blob.cc" "CMakeFiles/mlcask.dir/src/storage/blob.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/storage/blob.cc.o.d"
+  "/root/repo/src/storage/branch_table.cc" "CMakeFiles/mlcask.dir/src/storage/branch_table.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/storage/branch_table.cc.o.d"
+  "/root/repo/src/storage/chunk.cc" "CMakeFiles/mlcask.dir/src/storage/chunk.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/storage/chunk.cc.o.d"
+  "/root/repo/src/storage/chunk_store.cc" "CMakeFiles/mlcask.dir/src/storage/chunk_store.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/storage/chunk_store.cc.o.d"
+  "/root/repo/src/storage/chunker.cc" "CMakeFiles/mlcask.dir/src/storage/chunker.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/storage/chunker.cc.o.d"
+  "/root/repo/src/storage/forkbase_engine.cc" "CMakeFiles/mlcask.dir/src/storage/forkbase_engine.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/storage/forkbase_engine.cc.o.d"
+  "/root/repo/src/storage/local_dir_engine.cc" "CMakeFiles/mlcask.dir/src/storage/local_dir_engine.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/storage/local_dir_engine.cc.o.d"
+  "/root/repo/src/storage/persistence.cc" "CMakeFiles/mlcask.dir/src/storage/persistence.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/storage/persistence.cc.o.d"
+  "/root/repo/src/version/commit.cc" "CMakeFiles/mlcask.dir/src/version/commit.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/version/commit.cc.o.d"
+  "/root/repo/src/version/gc.cc" "CMakeFiles/mlcask.dir/src/version/gc.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/version/gc.cc.o.d"
+  "/root/repo/src/version/history_query.cc" "CMakeFiles/mlcask.dir/src/version/history_query.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/version/history_query.cc.o.d"
+  "/root/repo/src/version/pipeline_repo.cc" "CMakeFiles/mlcask.dir/src/version/pipeline_repo.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/version/pipeline_repo.cc.o.d"
+  "/root/repo/src/version/semver.cc" "CMakeFiles/mlcask.dir/src/version/semver.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/version/semver.cc.o.d"
+  "/root/repo/src/version/version_graph.cc" "CMakeFiles/mlcask.dir/src/version/version_graph.cc.o" "gcc" "CMakeFiles/mlcask.dir/src/version/version_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

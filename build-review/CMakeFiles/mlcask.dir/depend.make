@@ -1,0 +1,2 @@
+# Empty dependencies file for mlcask.
+# This may be replaced when dependencies are built.

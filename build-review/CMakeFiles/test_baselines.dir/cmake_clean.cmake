@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baselines.dir/tests/test_baselines.cc.o"
+  "CMakeFiles/test_baselines.dir/tests/test_baselines.cc.o.d"
+  "test_baselines"
+  "test_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

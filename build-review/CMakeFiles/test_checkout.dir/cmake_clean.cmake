@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checkout.dir/tests/test_checkout.cc.o"
+  "CMakeFiles/test_checkout.dir/tests/test_checkout.cc.o.d"
+  "test_checkout"
+  "test_checkout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checkout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

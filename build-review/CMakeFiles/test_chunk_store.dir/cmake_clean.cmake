@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chunk_store.dir/tests/test_chunk_store.cc.o"
+  "CMakeFiles/test_chunk_store.dir/tests/test_chunk_store.cc.o.d"
+  "test_chunk_store"
+  "test_chunk_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chunk_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

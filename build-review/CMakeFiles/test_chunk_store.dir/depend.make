@@ -1,0 +1,2 @@
+# Empty dependencies file for test_chunk_store.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chunker.dir/tests/test_chunker.cc.o"
+  "CMakeFiles/test_chunker.dir/tests/test_chunker.cc.o.d"
+  "test_chunker"
+  "test_chunker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chunker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_util.dir/tests/test_common_util.cc.o"
+  "CMakeFiles/test_common_util.dir/tests/test_common_util.cc.o.d"
+  "test_common_util"
+  "test_common_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dag_executor.dir/tests/test_dag_executor.cc.o"
+  "CMakeFiles/test_dag_executor.dir/tests/test_dag_executor.cc.o.d"
+  "test_dag_executor"
+  "test_dag_executor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dag_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_dag_executor.
+# This may be replaced when dependencies are built.

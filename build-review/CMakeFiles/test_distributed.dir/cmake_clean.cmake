@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distributed.dir/tests/test_distributed.cc.o"
+  "CMakeFiles/test_distributed.dir/tests/test_distributed.cc.o.d"
+  "test_distributed"
+  "test_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_execution_core.dir/tests/test_execution_core.cc.o"
+  "CMakeFiles/test_execution_core.dir/tests/test_execution_core.cc.o.d"
+  "test_execution_core"
+  "test_execution_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_execution_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_history_query.dir/tests/test_history_query.cc.o"
+  "CMakeFiles/test_history_query.dir/tests/test_history_query.cc.o.d"
+  "test_history_query"
+  "test_history_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_history_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_library_impls.dir/tests/test_library_impls.cc.o"
+  "CMakeFiles/test_library_impls.dir/tests/test_library_impls.cc.o.d"
+  "test_library_impls"
+  "test_library_impls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_library_impls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

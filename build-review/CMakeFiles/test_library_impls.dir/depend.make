@@ -1,0 +1,2 @@
+# Empty dependencies file for test_library_impls.
+# This may be replaced when dependencies are built.

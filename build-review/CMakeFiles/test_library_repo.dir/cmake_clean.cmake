@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_library_repo.dir/tests/test_library_repo.cc.o"
+  "CMakeFiles/test_library_repo.dir/tests/test_library_repo.cc.o.d"
+  "test_library_repo"
+  "test_library_repo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_library_repo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_merge.dir/tests/test_merge.cc.o"
+  "CMakeFiles/test_merge.dir/tests/test_merge.cc.o.d"
+  "test_merge"
+  "test_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_features.dir/tests/test_ml_features.cc.o"
+  "CMakeFiles/test_ml_features.dir/tests/test_ml_features.cc.o.d"
+  "test_ml_features"
+  "test_ml_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_models.dir/tests/test_ml_models.cc.o"
+  "CMakeFiles/test_ml_models.dir/tests/test_ml_models.cc.o.d"
+  "test_ml_models"
+  "test_ml_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

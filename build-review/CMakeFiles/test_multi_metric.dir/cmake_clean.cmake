@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_metric.dir/tests/test_multi_metric.cc.o"
+  "CMakeFiles/test_multi_metric.dir/tests/test_multi_metric.cc.o.d"
+  "test_multi_metric"
+  "test_multi_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_multi_metric.
+# This may be replaced when dependencies are built.

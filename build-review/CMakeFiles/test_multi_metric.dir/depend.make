@@ -1,0 +1,2 @@
+# Empty dependencies file for test_multi_metric.
+# This may be replaced when dependencies are built.

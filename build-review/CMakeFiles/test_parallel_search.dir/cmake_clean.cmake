@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_search.dir/tests/test_parallel_search.cc.o"
+  "CMakeFiles/test_parallel_search.dir/tests/test_parallel_search.cc.o.d"
+  "test_parallel_search"
+  "test_parallel_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

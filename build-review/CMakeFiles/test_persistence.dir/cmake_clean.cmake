@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_persistence.dir/tests/test_persistence.cc.o"
+  "CMakeFiles/test_persistence.dir/tests/test_persistence.cc.o.d"
+  "test_persistence"
+  "test_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_repo.dir/tests/test_pipeline_repo.cc.o"
+  "CMakeFiles/test_pipeline_repo.dir/tests/test_pipeline_repo.cc.o.d"
+  "test_pipeline_repo"
+  "test_pipeline_repo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_repo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prioritized.dir/tests/test_prioritized.cc.o"
+  "CMakeFiles/test_prioritized.dir/tests/test_prioritized.cc.o.d"
+  "test_prioritized"
+  "test_prioritized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prioritized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_prioritized.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_semver.dir/tests/test_semver.cc.o"
+  "CMakeFiles/test_semver.dir/tests/test_semver.cc.o.d"
+  "test_semver"
+  "test_semver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_semver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

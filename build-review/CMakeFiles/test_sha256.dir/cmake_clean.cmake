@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sha256.dir/tests/test_sha256.cc.o"
+  "CMakeFiles/test_sha256.dir/tests/test_sha256.cc.o.d"
+  "test_sha256"
+  "test_sha256.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sha256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_storage_concurrency.dir/tests/test_storage_concurrency.cc.o"
+  "CMakeFiles/test_storage_concurrency.dir/tests/test_storage_concurrency.cc.o.d"
+  "test_storage_concurrency"
+  "test_storage_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_storage_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

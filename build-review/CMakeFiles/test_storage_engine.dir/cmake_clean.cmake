@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_storage_engine.dir/tests/test_storage_engine.cc.o"
+  "CMakeFiles/test_storage_engine.dir/tests/test_storage_engine.cc.o.d"
+  "test_storage_engine"
+  "test_storage_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_storage_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

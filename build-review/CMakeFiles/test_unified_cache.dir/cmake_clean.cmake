@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unified_cache.dir/tests/test_unified_cache.cc.o"
+  "CMakeFiles/test_unified_cache.dir/tests/test_unified_cache.cc.o.d"
+  "test_unified_cache"
+  "test_unified_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unified_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_version_graph.dir/tests/test_version_graph.cc.o"
+  "CMakeFiles/test_version_graph.dir/tests/test_version_graph.cc.o.d"
+  "test_version_graph"
+  "test_version_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_version_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
