@@ -3,8 +3,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
 #include <string>
 
+#include "common/json.h"
 #include "common/status.h"
 
 namespace mlcask::bench {
@@ -35,6 +39,107 @@ T CheckedValue(StatusOr<T> value, const char* what) {
   CheckOk(value.status(), what);
   return *std::move(value);
 }
+
+/// Common bench CLI flags:
+///   --json <path> / --json=<path>  write a machine-readable report there
+///   --short                        reduced iteration count for CI
+struct BenchArgs {
+  std::string json_path;
+  bool short_mode = false;
+};
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--short") == 0) {
+      args.short_mode = true;
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      args.json_path = arg + 7;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "[bench] --json requires a path argument\n");
+        std::exit(2);
+      }
+      args.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "[bench] unknown argument: %s\n", arg);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+/// Accumulates bench results into a JSON document — the format behind the
+/// repo's `BENCH_*.json` perf-trajectory artifacts. Typical shape:
+///   {"bench": "...", "sections": {"<name>": {<metric>: <number>, ...}}}
+/// Metrics land under named sections; Write() emits the document (pretty,
+/// newline-terminated) when a path was requested and is a no-op otherwise.
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void Metric(const std::string& section, const std::string& key,
+              double value) {
+    Section(section).Set(key, Json::Number(value));
+  }
+  void Metric(const std::string& section, const std::string& key,
+              const std::string& value) {
+    Section(section).Set(key, Json::Str(value));
+  }
+  /// Without this overload a string literal would convert to bool (a
+  /// standard conversion beats the user-defined one to std::string) and be
+  /// silently recorded as `true`.
+  void Metric(const std::string& section, const std::string& key,
+              const char* value) {
+    Metric(section, key, std::string(value));
+  }
+  void Metric(const std::string& section, const std::string& key, bool value) {
+    Section(section).Set(key, Json::Bool(value));
+  }
+
+  /// Direct access to one section's object, for nested values.
+  Json& Section(const std::string& name) {
+    auto it = sections_.find(name);
+    if (it == sections_.end()) {
+      it = sections_.emplace(name, Json::Object()).first;
+    }
+    return it->second;
+  }
+
+  /// Writes the report to `path` (no-op when empty). Returns false and
+  /// warns on I/O failure — the bench's PASS/FAIL verdict stays about the
+  /// measured numbers, not about the disk.
+  bool Write(const std::string& path) {
+    if (path.empty()) return true;
+    Json root = Json::Object();
+    root.Set("bench", Json::Str(bench_name_));
+    Json sections = Json::Object();
+    for (const auto& [name, section] : sections_) {
+      sections.Set(name, section);
+    }
+    root.Set("sections", std::move(sections));
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "[bench] cannot open %s for writing\n",
+                   path.c_str());
+      return false;
+    }
+    out << root.Pretty() << "\n";
+    out.flush();  // surface ENOSPC-style errors now, not in the destructor
+    if (!out.good()) {
+      std::fprintf(stderr, "[bench] error writing %s\n", path.c_str());
+      return false;
+    }
+    std::printf("json report written to %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string bench_name_;
+  std::map<std::string, Json> sections_;
+};
 
 }  // namespace mlcask::bench
 

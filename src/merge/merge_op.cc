@@ -1,5 +1,6 @@
 #include "merge/merge_op.h"
 
+#include <algorithm>
 #include <set>
 
 #include "merge/compat_lut.h"
@@ -69,7 +70,10 @@ StatusOr<MergeReport> MergeOperation::Merge(const std::string& head_branch,
     report.pruned_by_compatibility = tree.PruneIncompatible(lut);
   }
 
-  pipeline::Executor executor(registry_, engine_, clock_);
+  pipeline::ArtifactCache::Options cache_options;
+  cache_options.max_bytes = options.cache_max_bytes;
+  pipeline::Executor executor(registry_, engine_, /*clock=*/nullptr,
+                              cache_options);
   std::set<Hash256> checkpoint_keys;
   if (options.reuse_outputs) {
     MLCASK_RETURN_IF_ERROR(SeedCheckpoints(&executor, space, head_branch,
@@ -102,22 +106,82 @@ StatusOr<MergeReport> MergeOperation::Merge(const std::string& head_branch,
   eo.store_outputs = options.store_trial_outputs;
   eo.seed = options.seed;
 
-  version::PipelineSnapshot best_snapshot;
-  for (const CandidateChain& chain : candidates) {
-    std::vector<pipeline::ComponentVersionSpec> specs;
-    specs.reserve(chain.size());
-    for (const pipeline::ComponentVersionSpec* s : chain) specs.push_back(*s);
-    MLCASK_ASSIGN_OR_RETURN(pipeline::Pipeline p,
-                            pipeline::Pipeline::Chain(pipeline_name, specs));
+  // Drain Algorithm 2's candidate list through the shared execution pool.
+  // Claims are FIFO in candidate (DFS) order, so the prefix locality the
+  // search tree was built for survives parallelism; each claimed candidate
+  // starts on the earliest free VIRTUAL worker slot (list scheduling, the
+  // repo-wide virtual-time convention). A checkpoint one worker publishes
+  // propagates to every later claim through the shared artifact cache, and
+  // two workers racing the same prefix dedup through its in-flight lease —
+  // which is why component_executions and the selected winner are provably
+  // identical to the serial walk. With one worker the drain reproduces the
+  // serial loop exactly (same claims, same single timeline).
+  const size_t num_workers = std::max<size_t>(1, options.num_workers);
+  std::mutex mu;
+  size_t cursor = 0;
+  bool aborted = false;
+  pipeline::VirtualWorkerPool worker_slots(num_workers, clock_start);
+  double makespan = clock_start;
+  std::vector<pipeline::PipelineRunResult> runs(candidates.size());
+  std::vector<double> end_times(candidates.size(), 0);
 
-    MLCASK_ASSIGN_OR_RETURN(pipeline::PipelineRunResult run,
-                            executor.Run(p, eo));
+  auto worker_body =
+      [&](pipeline::ExecutionCore::WorkerContext&) -> Status {
+    for (;;) {
+      size_t index = 0;
+      SimClock clock;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (aborted || cursor >= candidates.size()) return Status::Ok();
+        index = cursor++;
+        clock.AdvanceTo(worker_slots.ClaimEarliest());
+      }
+      const CandidateChain& chain = candidates[index];
+      std::vector<pipeline::ComponentVersionSpec> specs;
+      specs.reserve(chain.size());
+      for (const pipeline::ComponentVersionSpec* s : chain) {
+        specs.push_back(*s);
+      }
+      StatusOr<pipeline::Pipeline> p =
+          pipeline::Pipeline::Chain(pipeline_name, specs);
+      StatusOr<pipeline::PipelineRunResult> run = p.status();
+      if (p.ok()) {
+        pipeline::ExecutorOptions candidate_eo = eo;
+        candidate_eo.clock = &clock;  // this worker's virtual timeline
+        run = executor.Run(*p, candidate_eo);
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        worker_slots.Release(clock.Now());
+        if (!run.ok()) {
+          aborted = true;
+          return run.status();
+        }
+        makespan = std::max(makespan, clock.Now());
+        end_times[index] = clock.Now() - clock_start;
+        runs[index] = *std::move(run);
+      }
+    }
+  };
+
+  pipeline::ExecutionCore* core =
+      fallback_core_.Get(options.core, num_workers);
+  MLCASK_RETURN_IF_ERROR(
+      core->RunWorkers(worker_body, clock_start, num_workers).status());
+  report.makespan_s = makespan - clock_start;
+  if (clock_ != nullptr) clock_->AdvanceTo(makespan);
+
+  // Aggregate in candidate order — stable across worker counts, so the
+  // argmax (first maximum in DFS order) matches the serial walk exactly.
+  version::PipelineSnapshot best_snapshot;
+  for (size_t index = 0; index < candidates.size(); ++index) {
+    const pipeline::PipelineRunResult& run = runs[index];
     CandidateOutcome outcome;
-    outcome.chain = chain;
+    outcome.chain = candidates[index];
     outcome.incompatible = run.compatibility_failure;
     outcome.metrics = run.metrics;
     outcome.time = run.time;
-    outcome.end_time_s = (clock_ != nullptr ? clock_->Now() : 0) - clock_start;
+    outcome.end_time_s = end_times[index];
     report.total_time += run.time;
 
     // The objective: the primary score, or the named metric when the user
@@ -145,8 +209,6 @@ StatusOr<MergeReport> MergeOperation::Merge(const std::string& head_branch,
     }
     report.outcomes.push_back(std::move(outcome));
   }
-  report.component_executions = executor.executions();
-
   if (report.best_index < 0) {
     return Status::FailedPrecondition(
         "merge found no feasible pipeline candidate");
@@ -159,21 +221,59 @@ StatusOr<MergeReport> MergeOperation::Merge(const std::string& head_branch,
                                                        report.best_index)]
                                        .chain;
     CandidateChain prefix;
+    // Rolling pin: holding prefix i's EntryPtr keeps it resident (eviction
+    // skips pinned entries) while prefix i+1 is fetched or recomputed, so
+    // the pinned working set stays the same couple of entries as during
+    // the drain.
+    pipeline::ArtifactCache::EntryPtr prev_pin;
     for (size_t i = 0; i < winner.size(); ++i) {
       prefix.push_back(winner[i]);
-      const data::Table* table = executor.FindCached(prefix);
-      if (table == nullptr) continue;
+      pipeline::ArtifactCache::EntryPtr entry =
+          executor.FindCachedEntry(prefix);
+      if (entry == nullptr) {
+        // The byte cap evicted this prefix during the drain. The merge
+        // result must still persist complete: recompute it (the previous
+        // prefix is pinned, so the re-run resumes there and recomputes
+        // exactly one component) and charge the time like any other
+        // cap-induced recomputation.
+        std::vector<pipeline::ComponentVersionSpec> specs;
+        specs.reserve(prefix.size());
+        for (const pipeline::ComponentVersionSpec* s : prefix) {
+          specs.push_back(*s);
+        }
+        MLCASK_ASSIGN_OR_RETURN(
+            pipeline::Pipeline p,
+            pipeline::Pipeline::Chain(pipeline_name, specs));
+        pipeline::ExecutorOptions rerun_eo = eo;
+        rerun_eo.reuse_cached_outputs = true;
+        SimClock rerun_clock;
+        rerun_clock.AdvanceTo(clock_ != nullptr ? clock_->Now() : 0);
+        rerun_eo.clock = &rerun_clock;
+        MLCASK_ASSIGN_OR_RETURN(pipeline::PipelineRunResult rerun,
+                                executor.Run(p, rerun_eo));
+        report.total_time += rerun.time;
+        if (clock_ != nullptr) clock_->AdvanceTo(rerun_clock.Now());
+        entry = executor.FindCachedEntry(prefix);
+        if (entry == nullptr) continue;  // defensive; publish just happened
+      }
       MLCASK_ASSIGN_OR_RETURN(
           storage::PutResult put,
           engine_->Put("artifact/" + pipeline_name + "/" + winner[i]->Key(),
-                       table->Serialize()));
+                       entry->table.Serialize()));
       report.total_time.storage_s += put.storage_time_s;
       if (clock_ != nullptr) clock_->Advance(put.storage_time_s);
       if (i < best_snapshot.components.size()) {
         best_snapshot.components[i].output_id = put.id;
       }
+      prev_pin = std::move(entry);
     }
   }
+  // Snapshotted AFTER winner materialization so cap-induced rerun activity
+  // (executions, evictions, peak bytes) is visible in the report, matching
+  // the time already charged to total_time. Uncapped merges never rerun,
+  // so the executions-identical-across-workers invariant is unaffected.
+  report.component_executions = executor.executions();
+  report.cache_stats = executor.cache_stats();
   report.storage_bytes = engine_->stats().physical_bytes - bytes_before;
 
   MLCASK_ASSIGN_OR_RETURN(

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "merge/search_space.h"
 #include "merge/search_tree.h"
+#include "pipeline/execution_core.h"
 #include "pipeline/executor.h"
 #include "pipeline/library_repo.h"
 #include "storage/storage_engine.h"
@@ -33,6 +34,20 @@ struct MergeOptions {
   std::string optimize_metric;
   uint64_t seed = 1;
   std::string author = "mlcask";
+  /// Workers draining the candidate list concurrently; 1 reproduces
+  /// Algorithm 2's serial depth-first walk exactly. `component_executions`
+  /// and the selected winner are identical across worker counts — racing
+  /// shared prefixes dedup through the artifact cache's in-flight leases.
+  size_t num_workers = 1;
+  /// Shared long-lived ExecutionCore (non-owning; must outlive the call).
+  /// When null, the MergeOperation lazily builds one pool and reuses it
+  /// across its Merge calls — never one per call (see the pool-ownership
+  /// rules in execution_core.h).
+  pipeline::ExecutionCore* core = nullptr;
+  /// Byte cap for the trial executor's artifact cache (0 = unbounded): long
+  /// merge searches trade recomputation for bounded memory. Leased slots
+  /// and entries held by running candidates are never evicted.
+  uint64_t cache_max_bytes = 0;
 };
 
 /// One executed (or skipped) pre-merge pipeline candidate.
@@ -60,6 +75,14 @@ struct MergeReport {
   double best_score = std::nan("");
   std::string metric;
   TimeBreakdown total_time;  ///< CET/CST components; CPT = Total().
+  /// Virtual makespan of the candidate drain: the wall-clock of the search
+  /// on a num_workers-wide machine (list-scheduled over virtual worker
+  /// slots). With one worker this equals the serial candidate time; CPT
+  /// (total_time) is worker-count-invariant while makespan_s shrinks.
+  double makespan_s = 0;
+  /// Artifact-cache telemetry of the trial executor: peak resident bytes
+  /// vs. the configured cap, and how many entries the LRU policy dropped.
+  pipeline::ArtifactCache::Stats cache_stats;
   uint64_t storage_bytes = 0;  ///< Bytes written during merge (CSS delta).
   Hash256 merge_commit;
   /// Owns the component specs that every CandidateChain in `outcomes` points
@@ -104,6 +127,9 @@ class MergeOperation {
   const pipeline::LibraryRegistry* registry_;
   storage::StorageEngine* engine_;
   SimClock* clock_;
+  /// Fallback pool for Merge calls that inject no shared core; built at
+  /// most once per MergeOperation and reused.
+  pipeline::LazyExecutionCore fallback_core_;
 };
 
 }  // namespace mlcask::merge

@@ -287,8 +287,9 @@ StatusOr<TrialResult> PrioritizedSearch::RunTrial(const TrialOptions& options) {
     }
   };
 
-  pipeline::ExecutionCore core(num_workers);
-  MLCASK_RETURN_IF_ERROR(core.RunWorkers(worker_body, 0).status());
+  pipeline::ExecutionCore* core = fallback_core_.Get(options.core, num_workers);
+  MLCASK_RETURN_IF_ERROR(
+      core->RunWorkers(worker_body, 0, num_workers).status());
   trial.wall_clock_s = makespan;
   trial.executions = executor.executions();
 

@@ -51,6 +51,12 @@ struct TrialOptions {
   /// known at claim time, and a worker's completed score steers candidates
   /// not yet dequeued.
   size_t num_workers = 1;
+  /// Shared long-lived ExecutionCore (non-owning; must outlive the trial).
+  /// When null the search lazily builds one fallback pool and reuses it
+  /// across its trials (sized by the first trial's worker count; virtual
+  /// widths per trial are unaffected). Pass the deployment pool to share
+  /// real threads with the rest of the system.
+  pipeline::ExecutionCore* core = nullptr;
 };
 
 /// The prioritized pipeline search: visits all candidates of the (PC-pruned,
@@ -121,6 +127,9 @@ class PrioritizedSearch {
   std::unordered_map<size_t, double> initial_scores_;
   std::string head_branch_;
   std::string merge_branch_;
+  /// Fallback pool for trials that inject no TrialOptions::core; built at
+  /// most once per search, not per trial.
+  pipeline::LazyExecutionCore fallback_core_;
 };
 
 }  // namespace mlcask::merge

@@ -6,11 +6,24 @@ ArtifactCache::Lease::~Lease() {
   if (cache_ != nullptr) cache_->Abandon(key_);
 }
 
+uint64_t ArtifactCache::EntryBytes(const ArtifactEntry& entry) {
+  uint64_t bytes = entry.table.ByteSize() + sizeof(ArtifactEntry);
+  bytes += entry.metric.size();
+  for (const auto& [name, value] : entry.metrics) {
+    (void)value;
+    bytes += name.size() + sizeof(double) + 16;  // node overhead estimate
+  }
+  return bytes;
+}
+
 ArtifactCache::EntryPtr ArtifactCache::Find(const Hash256& key) const {
   const Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.slots.find(key);
   if (it == shard.slots.end() || it->second.entry == nullptr) return nullptr;
+  if (it->second.in_lru) {
+    shard.lru.splice(shard.lru.end(), shard.lru, it->second.lru_it);
+  }
   return it->second.entry;
 }
 
@@ -26,6 +39,9 @@ ArtifactCache::Acquired ArtifactCache::Acquire(const Hash256& key) {
       return acquired;
     }
     if (it->second.entry != nullptr) {
+      if (it->second.in_lru) {
+        shard.lru.splice(shard.lru.end(), shard.lru, it->second.lru_it);
+      }
       Acquired acquired;
       acquired.entry = it->second.entry;
       return acquired;
@@ -36,15 +52,92 @@ ArtifactCache::Acquired ArtifactCache::Acquire(const Hash256& key) {
   }
 }
 
+void ArtifactCache::PublishLocked(Shard& shard, const Hash256& key,
+                                  EntryPtr stored, uint64_t nbytes) {
+  Slot& slot = shard.slots[key];
+  if (slot.in_lru) {
+    // Overwrite of a ready entry: retire the old accounting first.
+    bytes_.fetch_sub(slot.bytes, std::memory_order_relaxed);
+    shard.lru.erase(slot.lru_it);
+  }
+  slot.entry = std::move(stored);
+  slot.pending = false;
+  slot.bytes = nbytes;
+  slot.lru_it = shard.lru.insert(shard.lru.end(), key);
+  slot.in_lru = true;
+  bytes_.fetch_add(nbytes, std::memory_order_relaxed);
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t largest = largest_entry_bytes_.load(std::memory_order_relaxed);
+  while (nbytes > largest &&
+         !largest_entry_bytes_.compare_exchange_weak(
+             largest, nbytes, std::memory_order_relaxed)) {
+  }
+}
+
+void ArtifactCache::MakeRoom(uint64_t incoming) {
+  const uint64_t cap = options_.max_bytes;
+  if (cap == 0) return;
+  // Sweep shards round-robin, dropping least-recently-used unpinned ready
+  // entries until the incoming entry fits. A full sweep with no progress
+  // means everything resident is pinned (use_count > 1) or pending — the
+  // cap then yields (high-water-mark semantics) rather than blocking the
+  // publish.
+  bool progress = true;
+  while (progress &&
+         bytes_.load(std::memory_order_relaxed) + incoming > cap) {
+    progress = false;
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.lru.begin();
+      while (it != shard.lru.end() &&
+             bytes_.load(std::memory_order_relaxed) + incoming > cap) {
+        auto sit = shard.slots.find(*it);
+        Slot& slot = sit->second;
+        // Pinned by an outstanding reader: the shard lock makes use_count
+        // exact here (new copies are only handed out under it), so count 1
+        // means the cache holds the sole reference and may drop it.
+        if (slot.entry.use_count() > 1) {
+          ++it;
+          continue;
+        }
+        bytes_.fetch_sub(slot.bytes, std::memory_order_relaxed);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        it = shard.lru.erase(it);
+        shard.slots.erase(sit);
+        progress = true;
+      }
+    }
+  }
+}
+
+void ArtifactCache::UpdatePeak() {
+  uint64_t now = bytes_.load(std::memory_order_relaxed);
+  uint64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (now > peak && !peak_bytes_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+}
+
 ArtifactCache::EntryPtr ArtifactCache::Fulfill(Lease* lease,
                                                ArtifactEntry entry) {
   Shard& shard = ShardFor(lease->key_);
   EntryPtr stored = std::make_shared<const ArtifactEntry>(std::move(entry));
+  const uint64_t nbytes = EntryBytes(*stored);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    Slot& slot = shard.slots[lease->key_];
-    slot.entry = stored;
-    slot.pending = false;
+    // Make room first so the resident total stays under the cap after the
+    // publish; `stored` is held by this frame, so the new entry itself can
+    // never be a victim of a concurrent sweep. cap_mu_ makes the
+    // check-then-publish atomic against other publishers.
+    std::unique_lock<std::mutex> cap_lock;
+    if (options_.max_bytes > 0) {
+      cap_lock = std::unique_lock<std::mutex>(cap_mu_);
+    }
+    MakeRoom(nbytes);
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      PublishLocked(shard, lease->key_, stored, nbytes);
+    }
+    UpdatePeak();
   }
   shard.ready_cv.notify_all();
   lease->cache_ = nullptr;  // disarm the destructor
@@ -55,11 +148,18 @@ ArtifactCache::EntryPtr ArtifactCache::Insert(const Hash256& key,
                                               ArtifactEntry entry) {
   Shard& shard = ShardFor(key);
   EntryPtr stored = std::make_shared<const ArtifactEntry>(std::move(entry));
+  const uint64_t nbytes = EntryBytes(*stored);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    Slot& slot = shard.slots[key];
-    slot.entry = stored;
-    slot.pending = false;
+    std::unique_lock<std::mutex> cap_lock;
+    if (options_.max_bytes > 0) {
+      cap_lock = std::unique_lock<std::mutex>(cap_mu_);
+    }
+    MakeRoom(nbytes);
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      PublishLocked(shard, key, stored, nbytes);
+    }
+    UpdatePeak();
   }
   shard.ready_cv.notify_all();
   return stored;
@@ -89,6 +189,16 @@ size_t ArtifactCache::size() const {
   return total;
 }
 
+ArtifactCache::Stats ArtifactCache::stats() const {
+  Stats s;
+  s.bytes = bytes_.load(std::memory_order_relaxed);
+  s.peak_bytes = peak_bytes_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.largest_entry_bytes = largest_entry_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
 void ArtifactCache::Clear() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -96,9 +206,12 @@ void ArtifactCache::Clear() {
       if (it->second.pending) {
         ++it;
       } else {
+        bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
         it = shard.slots.erase(it);
       }
     }
+    // Only ready slots are listed, and all of them were just erased.
+    shard.lru.clear();
   }
 }
 

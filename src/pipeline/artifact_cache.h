@@ -1,8 +1,11 @@
 #ifndef MLCASK_PIPELINE_ARTIFACT_CACHE_H_
 #define MLCASK_PIPELINE_ARTIFACT_CACHE_H_
 
+#include <atomic>
 #include <cmath>
 #include <condition_variable>
+#include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -17,7 +20,7 @@ namespace mlcask::pipeline {
 /// One materialized component output, shared by every pipeline whose prefix
 /// (or DAG ancestry) hashes to the same key. Entries are immutable once
 /// published; readers hold them through shared_ptr so a concurrent Clear()
-/// cannot pull a table out from under a running pipeline.
+/// or LRU eviction cannot pull a table out from under a running pipeline.
 struct ArtifactEntry {
   data::Table table;
   double score = std::nan("");
@@ -42,11 +45,51 @@ struct ArtifactEntry {
 /// candidate metric — identical between serial and parallel search: when two
 /// candidates sharing a prefix race, the second worker blocks on the first
 /// worker's lease and reuses its result instead of recomputing it.
+///
+/// ## Byte-bounded LRU eviction
+///
+/// With `Options::max_bytes > 0` the cache evicts least-recently-used READY
+/// entries when a new publish would push the total payload past the cap.
+/// Eviction never touches:
+///  - pending (leased) slots — their computation is in flight and a waiter
+///    may be blocked on the lease;
+///  - entries pinned by an outstanding EntryPtr reader (shared_ptr
+///    use_count > 1) — a running pipeline's input can't be dropped while in
+///    use, which also preserves the pointer-stability contract of
+///    Executor::FindCached (the caller's EntryPtr keeps the entry both
+///    alive and resident).
+/// An evicted key simply recomputes on its next Acquire — eviction degrades
+/// to recomputation, never to corruption. The cap is a high-water mark:
+/// when everything resident is pinned or pending, a publish may exceed it
+/// rather than fail (and a single entry larger than the cap is still
+/// admitted).
 class ArtifactCache {
  public:
   using EntryPtr = std::shared_ptr<const ArtifactEntry>;
 
+  struct Options {
+    /// Total payload cap in bytes across all shards; 0 = unbounded (the
+    /// historical behaviour).
+    uint64_t max_bytes = 0;
+  };
+
+  /// Cumulative cache accounting (all counters monotone except `bytes`).
+  struct Stats {
+    uint64_t bytes = 0;       ///< Resident payload bytes right now.
+    uint64_t peak_bytes = 0;  ///< High-water mark of `bytes`.
+    uint64_t evictions = 0;   ///< Entries dropped by the LRU policy.
+    uint64_t insertions = 0;  ///< Entries published (Fulfill + Insert).
+    /// Largest single entry ever published. Useful for sizing caps and for
+    /// bounding the pinned overshoot: peak_bytes can exceed max_bytes by
+    /// at most the transiently pinned working set — a couple of entries
+    /// per concurrently running chain candidate, or a whole DAG run's
+    /// planned-on cached nodes (RunDag pins its plan for the run's
+    /// duration).
+    uint64_t largest_entry_bytes = 0;
+  };
+
   ArtifactCache() = default;
+  explicit ArtifactCache(Options options) : options_(options) {}
   ArtifactCache(const ArtifactCache&) = delete;
   ArtifactCache& operator=(const ArtifactCache&) = delete;
 
@@ -79,7 +122,8 @@ class ArtifactCache {
   };
 
   /// Non-blocking lookup; returns nullptr unless the key is ready (pending
-  /// keys are invisible — Find never waits).
+  /// keys are invisible — Find never waits). A hit refreshes the entry's
+  /// LRU position.
   EntryPtr Find(const Hash256& key) const;
 
   /// Either returns the ready entry, grants a lease (first caller on a
@@ -102,15 +146,30 @@ class ArtifactCache {
   /// (their computation is still in flight and will publish as usual).
   void Clear();
 
+  const Options& options() const { return options_; }
+  Stats stats() const;
+
+  /// Approximate resident size of one entry — the unit the byte cap is
+  /// enforced in.
+  static uint64_t EntryBytes(const ArtifactEntry& entry);
+
  private:
   struct Slot {
-    EntryPtr entry;       ///< Set when ready.
-    bool pending = false; ///< True while a lease is outstanding.
+    EntryPtr entry;        ///< Set when ready.
+    bool pending = false;  ///< True while a lease is outstanding.
+    uint64_t bytes = 0;    ///< EntryBytes at publish time (ready slots).
+    /// Position in the shard's recency list; valid only when `in_lru`.
+    std::list<Hash256>::iterator lru_it;
+    bool in_lru = false;
   };
   struct Shard {
     mutable std::mutex mu;
     std::condition_variable ready_cv;
     std::unordered_map<Hash256, Slot, Hash256Hasher> slots;
+    /// Ready keys, least-recently-used first. Pending slots are never
+    /// listed (nothing to evict yet). Mutable so a const Find can refresh
+    /// recency under the shard lock.
+    mutable std::list<Hash256> lru;
   };
 
   static constexpr size_t kNumShards = 16;
@@ -124,7 +183,34 @@ class ArtifactCache {
 
   void Abandon(const Hash256& key);
 
+  /// Publishes `stored` into `shard` under its lock: replaces any previous
+  /// ready entry's accounting and appends the key at the MRU end.
+  void PublishLocked(Shard& shard, const Hash256& key, EntryPtr stored,
+                     uint64_t nbytes);
+
+  /// Evicts LRU unpinned ready entries (round-robin over shards) until
+  /// `incoming` more bytes fit under the cap or nothing evictable remains.
+  /// Must be called WITHOUT any shard lock held.
+  void MakeRoom(uint64_t incoming);
+
+  void UpdatePeak();
+
+  Options options_;
+  /// Serializes {MakeRoom, publish, peak update} when a byte cap is
+  /// configured, making cap enforcement atomic across concurrent
+  /// publishers — without it two racing publishes could each see room and
+  /// together overshoot the cap. Never held while a shard lock is held
+  /// (always taken first), so there is no ordering inversion; uncapped
+  /// caches never touch it. Deliberate trade-off: capped publishes
+  /// serialize (the sharding still serves lookups), buying strict byte
+  /// accounting on exactly the runs that asked to be memory-bounded.
+  std::mutex cap_mu_;
   Shard shards_[kNumShards];
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> peak_bytes_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> largest_entry_bytes_{0};
 };
 
 }  // namespace mlcask::pipeline

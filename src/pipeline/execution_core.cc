@@ -5,12 +5,15 @@
 
 namespace mlcask::pipeline {
 
-ExecutionCore::ExecutionCore(size_t num_workers)
-    : num_workers_(std::max<size_t>(1, num_workers)) {
-  // A single-worker core runs everything inline; no threads to keep.
-  if (num_workers_ == 1) return;
-  threads_.reserve(num_workers_);
-  for (size_t i = 0; i < num_workers_; ++i) {
+std::atomic<uint64_t> ExecutionCore::instances_{0};
+
+ExecutionCore::ExecutionCore(size_t num_threads)
+    : num_threads_(std::max<size_t>(1, num_threads)) {
+  instances_.fetch_add(1, std::memory_order_relaxed);
+  // A single-thread core runs everything inline; no threads to keep.
+  if (num_threads_ == 1) return;
+  threads_.reserve(num_threads_);
+  for (size_t i = 0; i < num_threads_; ++i) {
     threads_.emplace_back([this] { WorkerLoop(); });
   }
 }
@@ -24,63 +27,110 @@ ExecutionCore::~ExecutionCore() {
   for (std::thread& t : threads_) t.join();
 }
 
-void ExecutionCore::Submit(std::function<void()> job) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    jobs_.push(std::move(job));
-  }
-  job_cv_.notify_one();
+ExecutionCore::PoolStats ExecutionCore::stats() const {
+  PoolStats s;
+  s.threads_spawned = threads_.size();
+  s.batches_run = batches_run_.load(std::memory_order_relaxed);
+  s.tasks_run = tasks_run_.load(std::memory_order_relaxed);
+  s.tasks_stolen = tasks_stolen_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void ExecutionCore::WorkerLoop() {
   for (;;) {
-    std::function<void()> job;
+    std::shared_ptr<Task> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       job_cv_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
       if (jobs_.empty()) return;  // stopping
-      job = std::move(jobs_.front());
+      task = std::move(jobs_.front());
       jobs_.pop();
     }
-    job();
+    // A task may already have been claimed by its submitter (helping);
+    // claiming is a one-shot atomic so each body runs exactly once.
+    if (!task->claimed.exchange(true, std::memory_order_acq_rel)) {
+      task->fn();
+    }
   }
 }
 
 StatusOr<double> ExecutionCore::RunWorkers(const WorkerBody& body,
-                                           double start_time_s) {
-  if (num_workers_ == 1) {
-    SimClock clock;
-    clock.AdvanceTo(start_time_s);
-    WorkerContext ctx;
-    ctx.worker_index = 0;
-    ctx.clock = &clock;
-    MLCASK_RETURN_IF_ERROR(body(ctx));
-    return clock.Now();
-  }
+                                           double start_time_s,
+                                           size_t num_bodies) {
+  const size_t n = num_bodies != 0 ? num_bodies : num_threads_;
+  batches_run_.fetch_add(1, std::memory_order_relaxed);
 
-  std::vector<SimClock> clocks(num_workers_);
+  std::vector<SimClock> clocks(n);
   for (SimClock& c : clocks) c.AdvanceTo(start_time_s);
 
+  Status first_error = Status::Ok();
+
+  auto run_body = [&](size_t i) {
+    tasks_run_.fetch_add(1, std::memory_order_relaxed);
+    WorkerContext ctx;
+    ctx.worker_index = i;
+    ctx.clock = &clocks[i];
+    return body(ctx);
+  };
+
+  if (threads_.empty()) {
+    // Inline pool: bodies run sequentially on the calling thread. Worker
+    // bodies are drain-loops, so body 0 typically does all the work and the
+    // rest return immediately; virtual time is modelled by the callers'
+    // VirtualWorkerPool, not by real concurrency.
+    for (size_t i = 0; i < n; ++i) {
+      Status s = run_body(i);
+      if (!s.ok() && first_error.ok()) first_error = s;
+    }
+    MLCASK_RETURN_IF_ERROR(first_error);
+    double makespan = start_time_s;
+    for (const SimClock& c : clocks) makespan = std::max(makespan, c.Now());
+    return makespan;
+  }
+
+  // Batch bookkeeping lives on this stack frame. Every task claims exactly
+  // once; whoever runs the last one wakes the submitter. Pool threads that
+  // pop an already-claimed task only touch its atomic flag (kept alive by
+  // the shared_ptr), never the stack state, so unwinding after done == n is
+  // safe even while a straggler thread is still discarding its pop.
   std::mutex done_mu;
   std::condition_variable done_cv;
   size_t done = 0;
-  Status first_error = Status::Ok();
 
-  for (size_t i = 0; i < num_workers_; ++i) {
-    Submit([this, i, &body, &clocks, &done_mu, &done_cv, &done, &first_error] {
-      WorkerContext ctx;
-      ctx.worker_index = i;
-      ctx.clock = &clocks[i];
-      Status s = body(ctx);
+  std::vector<std::shared_ptr<Task>> tasks;
+  tasks.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto task = std::make_shared<Task>();
+    task->fn = [&, i] {
+      Status s = run_body(i);
       std::lock_guard<std::mutex> lock(done_mu);
       if (!s.ok() && first_error.ok()) first_error = s;
-      if (++done == num_workers_) done_cv.notify_all();
-    });
+      if (++done == n) done_cv.notify_all();
+    };
+    tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::shared_ptr<Task>& task : tasks) jobs_.push(task);
+  }
+  job_cv_.notify_all();
+
+  // Work stealing (helping): the submitting thread drains the unclaimed
+  // remainder of its own batch instead of blocking. This is what makes
+  // nested scheduling calls from pool workers deadlock-free — a nested
+  // submitter can always finish its batch single-handedly even when every
+  // pool thread is occupied by outer bodies.
+  for (const std::shared_ptr<Task>& task : tasks) {
+    if (!task->claimed.exchange(true, std::memory_order_acq_rel)) {
+      tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
+      task->fn();
+    }
   }
   {
     std::unique_lock<std::mutex> lock(done_mu);
-    done_cv.wait(lock, [&] { return done == num_workers_; });
+    done_cv.wait(lock, [&] { return done == n; });
   }
+
   MLCASK_RETURN_IF_ERROR(first_error);
   double makespan = start_time_s;
   for (const SimClock& c : clocks) makespan = std::max(makespan, c.Now());
@@ -90,10 +140,11 @@ StatusOr<double> ExecutionCore::RunWorkers(const WorkerBody& body,
 StatusOr<double> ExecutionCore::RunGraph(
     size_t num_tasks, const std::vector<std::vector<size_t>>& deps,
     const std::function<Status(size_t, SimClock*)>& run, double start_time_s,
-    std::vector<double>* finish_times) {
+    std::vector<double>* finish_times, size_t virtual_workers) {
   if (deps.size() != num_tasks) {
     return Status::InvalidArgument("deps size does not match task count");
   }
+  const size_t width = virtual_workers != 0 ? virtual_workers : num_threads_;
 
   // Shared scheduler state, guarded by `mu`. Virtual time uses a pool of
   // worker-availability slots (classic list scheduling) DECOUPLED from the
@@ -101,7 +152,7 @@ StatusOr<double> ExecutionCore::RunGraph(
   // virtual worker). A single real thread executing most tasks (e.g. on a
   // one-core host) therefore does not inflate the makespan; residual
   // run-to-run jitter remains with several workers because the FIFO ready
-  // order follows real completion order. With one worker the schedule is
+  // order follows real completion order. With width 1 the schedule is
   // fully deterministic.
   std::mutex mu;
   std::condition_variable cv;
@@ -109,7 +160,7 @@ StatusOr<double> ExecutionCore::RunGraph(
   std::vector<std::vector<size_t>> successors(num_tasks);
   std::vector<double> ready_time(num_tasks, start_time_s);
   std::vector<double> finish(num_tasks, start_time_s);
-  VirtualWorkerPool worker_free(num_workers_, start_time_s);
+  VirtualWorkerPool worker_free(width, start_time_s);
   std::queue<size_t> ready;
   size_t remaining = num_tasks;
   size_t in_flight = 0;
@@ -176,7 +227,7 @@ StatusOr<double> ExecutionCore::RunGraph(
     }
   };
 
-  MLCASK_RETURN_IF_ERROR(RunWorkers(body, start_time_s).status());
+  MLCASK_RETURN_IF_ERROR(RunWorkers(body, start_time_s, width).status());
   double makespan = start_time_s;
   {
     std::lock_guard<std::mutex> lock(mu);

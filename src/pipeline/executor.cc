@@ -71,9 +71,14 @@ Status Executor::SeedCache(const std::vector<ComponentVersionSpec>& chain,
   return Status::Ok();
 }
 
+ArtifactCache::EntryPtr Executor::FindCachedEntry(
+    const std::vector<const ComponentVersionSpec*>& chain) const {
+  return cache_.Find(ChainKey(chain));
+}
+
 const data::Table* Executor::FindCached(
     const std::vector<const ComponentVersionSpec*>& chain) const {
-  ArtifactCache::EntryPtr entry = cache_.Find(ChainKey(chain));
+  ArtifactCache::EntryPtr entry = FindCachedEntry(chain);
   return entry == nullptr ? nullptr : &entry->table;
 }
 
@@ -116,9 +121,15 @@ StatusOr<PipelineRunResult> Executor::Run(const Pipeline& pipeline,
     }
   }
   size_t resume_from = 0;  // first component index that must execute
+  // The scan PINS the entry it resumes from: holding the EntryPtr keeps a
+  // byte-capped cache from evicting it between this scan and the reuse
+  // below — otherwise the run would proceed with a null input instead of
+  // recomputing.
+  ArtifactCache::EntryPtr resume_entry;
   if (options.reuse_cached_outputs) {
     for (size_t i = order.size(); i-- > 0;) {
-      if (cache_.Find(prefix_keys[i]) != nullptr) {
+      resume_entry = cache_.Find(prefix_keys[i]);
+      if (resume_entry != nullptr) {
         resume_from = i + 1;
         break;
       }
@@ -154,7 +165,11 @@ StatusOr<PipelineRunResult> Executor::Run(const Pipeline& pipeline,
     };
 
     if (i < resume_from) {
-      ArtifactCache::EntryPtr cached = cache_.Find(key);
+      // The resume component itself reuses the pinned entry from the scan;
+      // earlier prefixes are covered by it and only surface their
+      // output_id/score if still resident.
+      ArtifactCache::EntryPtr cached =
+          i + 1 == resume_from ? resume_entry : cache_.Find(key);
       if (cached != nullptr) {
         reuse(cached);
       } else {
@@ -307,10 +322,14 @@ StatusOr<PipelineRunResult> Executor::RunDag(const Pipeline& pipeline,
   // successor needs its table. Ancestors fully covered by downstream
   // checkpoints are skipped (marked reused without an entry), exactly as a
   // chain prefix under a seeded checkpoint is.
-  std::vector<char> cached(n, 0);
+  // Cached entries are PINNED for the whole run (EntryPtr held): the
+  // execute/skip plan below is built from this snapshot, so a byte-capped
+  // cache must not be able to evict a planned-on entry mid-run — that
+  // would turn a skip into a missing predecessor.
+  std::vector<ArtifactCache::EntryPtr> cached(n);
   if (options.reuse_cached_outputs) {
     for (size_t i = 0; i < n; ++i) {
-      cached[i] = cache_.Find(node_keys[i]) != nullptr ? 1 : 0;
+      cached[i] = cache_.Find(node_keys[i]);
     }
   }
   std::vector<char> must_execute(n, 0);
@@ -450,12 +469,11 @@ StatusOr<PipelineRunResult> Executor::RunDag(const Pipeline& pipeline,
     };
 
     if (!must_execute[i]) {
-      // Cached, or an ancestor fully covered by downstream checkpoints
-      // (skipped without an entry, like a chain prefix under a seeded
-      // checkpoint).
-      ArtifactCache::EntryPtr entry = cache_.Find(node_keys[i]);
-      if (entry != nullptr) {
-        reuse_entry(entry);
+      // Cached (the entry pinned at plan time, immune to eviction), or an
+      // ancestor fully covered by downstream checkpoints (skipped without
+      // an entry, like a chain prefix under a seeded checkpoint).
+      if (cached[i] != nullptr) {
+        reuse_entry(cached[i]);
       } else {
         slot.info.reused = true;
       }
@@ -472,12 +490,17 @@ StatusOr<PipelineRunResult> Executor::RunDag(const Pipeline& pipeline,
     return execute_node(i, acquired.lease.get(), task_clock);
   };
 
-  ExecutionCore core(options.num_workers);
+  // Schedule on the shared pool (options.core) or the executor's lazy
+  // fallback — never a per-call pool. The requested num_workers is the
+  // VIRTUAL machine width; the pool's real thread count is whatever the
+  // pool owner chose.
+  const size_t width = std::max<size_t>(1, options.num_workers);
+  ExecutionCore* core = fallback_core_.Get(options.core, width);
   double base = clock != nullptr ? clock->Now() : 0;
-  StatusOr<double> makespan = core.RunGraph(
+  StatusOr<double> makespan = core->RunGraph(
       n, deps,
       [&](size_t i, SimClock* task_clock) { return run_task(i, task_clock); },
-      base);
+      base, /*finish_times=*/nullptr, /*virtual_workers=*/width);
 
   if (!makespan.ok()) {
     if (makespan.status().IsIncompatible()) {

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cmath>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,6 +13,7 @@
 #include "common/status.h"
 #include "data/table.h"
 #include "pipeline/artifact_cache.h"
+#include "pipeline/execution_core.h"
 #include "pipeline/library_registry.h"
 #include "pipeline/pipeline.h"
 #include "storage/storage_engine.h"
@@ -39,6 +42,13 @@ struct ExecutorOptions {
   /// here instead of the executor's constructor clock — parallel searches
   /// give each worker its own timeline this way.
   SimClock* clock = nullptr;
+  /// Shared long-lived ExecutionCore (non-owning; must outlive the run).
+  /// When set, RunDag schedules on it instead of the executor's own
+  /// fallback pool — one deployment-wide pool serves every run and merge
+  /// candidate (see the pool-ownership rules in execution_core.h). The
+  /// pool's real thread count is independent of `num_workers`, which is the
+  /// VIRTUAL machine width of this run.
+  ExecutionCore* core = nullptr;
 };
 
 /// Per-component accounting of one pipeline run.
@@ -89,9 +99,14 @@ struct PipelineRunResult {
 class Executor {
  public:
   /// All pointers must outlive the executor; `clock` may be nullptr.
+  /// `cache_options` bounds the artifact cache (see ArtifactCache::Options;
+  /// the default is unbounded).
   Executor(const LibraryRegistry* registry, storage::StorageEngine* engine,
-           SimClock* clock)
-      : registry_(registry), engine_(engine), clock_(clock) {}
+           SimClock* clock, ArtifactCache::Options cache_options = {})
+      : registry_(registry),
+        engine_(engine),
+        clock_(clock),
+        cache_(cache_options) {}
 
   /// Runs `pipeline` (a chain) with the given options. Compatibility
   /// failures are reported in the result, not as an error status; hard
@@ -127,17 +142,28 @@ class Executor {
   /// Cache key for a chain prefix: NodeKey folded along the chain.
   static Hash256 ChainKey(const std::vector<const ComponentVersionSpec*>& chain);
 
-  /// Returns the cached output table for an exact chain, or nullptr. Used by
-  /// the merge operation to materialize the winning pipeline's outputs after
+  /// Returns the cached entry for an exact chain, or nullptr. Used by the
+  /// merge operation to materialize the winning pipeline's outputs after
   /// the search (MLCask stores trial outputs locally and persists only the
-  /// merge result). The pointer stays valid only until the chain's entry is
-  /// re-published (a reuse-off re-run or re-seed of the same chain) or the
-  /// cache is cleared — consume it before running anything else.
+  /// merge result). Holding the EntryPtr pins the entry: LRU eviction skips
+  /// entries with outstanding readers, and even a concurrent Clear() or
+  /// eviction only drops the cache's own reference — the table stays valid
+  /// for as long as the caller keeps the pointer.
+  ArtifactCache::EntryPtr FindCachedEntry(
+      const std::vector<const ComponentVersionSpec*>& chain) const;
+
+  /// Raw-pointer convenience over FindCachedEntry. The pointer is only
+  /// stable while nothing else mutates the cache (no re-publish of the
+  /// chain, no Clear, and no LRU eviction — the pin is dropped before this
+  /// returns). Prefer FindCachedEntry anywhere the cache is byte-bounded or
+  /// shared across threads.
   const data::Table* FindCached(
       const std::vector<const ComponentVersionSpec*>& chain) const;
 
   size_t cache_size() const { return cache_.size(); }
   void ClearCache() { cache_.Clear(); }
+  /// Byte/eviction accounting of the artifact cache (LRU cap telemetry).
+  ArtifactCache::Stats cache_stats() const { return cache_.stats(); }
 
   /// Cumulative number of component executions this executor performed
   /// (cache hits excluded) — the quantity PR pruning minimizes.
@@ -151,6 +177,13 @@ class Executor {
   SimClock* clock_;
   ArtifactCache cache_;
   std::atomic<uint64_t> executions_{0};
+  /// Fallback pool for runs that pass no ExecutorOptions::core: built
+  /// lazily once, sized by the first request, reused for the executor's
+  /// lifetime — RunDag never constructs a per-call pool
+  /// (ExecutionCore::instances_created() proves it). Later runs requesting
+  /// a wider machine still report correct makespans: the virtual width is
+  /// passed per call, independent of the pool's real thread count.
+  LazyExecutionCore fallback_core_;
 };
 
 }  // namespace mlcask::pipeline

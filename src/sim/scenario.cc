@@ -15,6 +15,7 @@ StatusOr<Hash256> Deployment::RunAndCommit(
   }
   pipeline::ExecutorOptions eo = opts;
   if (eo.num_workers == 0) eo.num_workers = num_workers;  // 0 = unset
+  if (eo.core == nullptr) eo.core = core.get();  // share the deployment pool
   MLCASK_ASSIGN_OR_RETURN(
       pipeline::PipelineRunResult run,
       p.IsChain() ? executor->Run(p, eo) : executor->RunDag(p, eo));
@@ -51,6 +52,7 @@ StatusOr<std::unique_ptr<Deployment>> MakeDeployment(
       workload_name, d->engine.get(), d->clock.get());
   d->executor = std::make_unique<pipeline::Executor>(
       d->registry.get(), d->engine.get(), d->clock.get());
+  d->core = std::make_unique<pipeline::ExecutionCore>(d->num_workers);
   return d;
 }
 

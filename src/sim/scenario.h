@@ -6,6 +6,7 @@
 
 #include "common/sim_clock.h"
 #include "common/status.h"
+#include "pipeline/execution_core.h"
 #include "pipeline/executor.h"
 #include "pipeline/library_registry.h"
 #include "pipeline/library_repo.h"
@@ -25,6 +26,11 @@ struct Deployment {
   std::unique_ptr<pipeline::LibraryRepo> libraries;
   std::unique_ptr<version::PipelineRepo> repo;
   std::unique_ptr<pipeline::Executor> executor;
+  /// The deployment-wide shared ExecutionCore: one long-lived pool reused
+  /// by every RunDag call and merge drain (threaded through
+  /// ExecutorOptions::core / MergeOptions::core). Sized by `num_workers`
+  /// real threads at deployment creation.
+  std::unique_ptr<pipeline::ExecutionCore> core;
   Workload workload;
   /// Default worker count applied to runs whose options leave num_workers
   /// unset (0) — the deployment-wide parallelism knob the drivers and

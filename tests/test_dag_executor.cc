@@ -189,6 +189,37 @@ TEST_F(DagExecutorTest, RuntimeIncompatibilityDetectedAtJoin) {
   EXPECT_EQ(executor_.executions(), execs_before);
 }
 
+TEST_F(DagExecutorTest, RunDagNeverConstructsPerCallPools) {
+  // The pool-lifetime regression the shared-core refactor exists for:
+  // repeated RunDag calls must not construct ExecutionCores per call. The
+  // fallback path builds exactly one lazy pool per executor; the shared
+  // path builds none at all.
+  Pipeline p = MakeDiamond();
+  const uint64_t before = ExecutionCore::instances_created();
+  for (int i = 0; i < 5; ++i) {
+    ExecutorOptions opts;
+    opts.num_workers = 2;
+    auto result = executor_.RunDag(p, opts);
+    ASSERT_TRUE(result.ok());
+    EXPECT_FALSE(result->compatibility_failure);
+  }
+  EXPECT_EQ(ExecutionCore::instances_created() - before, 1u)
+      << "fallback pool must be built lazily, once";
+
+  ExecutionCore shared(2);
+  const uint64_t with_shared = ExecutionCore::instances_created();
+  for (int i = 0; i < 5; ++i) {
+    ExecutorOptions opts;
+    opts.num_workers = 2;
+    opts.core = &shared;
+    auto result = executor_.RunDag(p, opts);
+    ASSERT_TRUE(result.ok());
+  }
+  EXPECT_EQ(ExecutionCore::instances_created() - with_shared, 0u)
+      << "a shared pool must be reused, not copied per call";
+  EXPECT_EQ(shared.stats().batches_run, 5u);
+}
+
 TEST_F(DagExecutorTest, ConcatRequiresLabel) {
   // A join whose inputs carry no label is a hard library error.
   data::Table no_label;

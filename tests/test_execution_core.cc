@@ -120,6 +120,92 @@ TEST(ExecutionCoreTest, GraphErrorCancelsRemainingTasks) {
   EXPECT_LT(ran.load(), kN);
 }
 
+TEST(ExecutionCoreTest, VirtualWidthIsIndependentOfThreadCount) {
+  // Diamond: 0 -> {1, 2} -> 3, each task 1 virtual second. The reported
+  // makespan follows the requested VIRTUAL width, not the pool's real
+  // thread count — a wide pool models a serial machine faithfully and a
+  // narrow pool models a wide machine faithfully.
+  std::vector<std::vector<size_t>> deps = {{}, {0}, {0}, {1, 2}};
+  auto run = [](size_t, SimClock* clock) {
+    clock->Advance(1.0);
+    return Status::Ok();
+  };
+  ExecutionCore wide_pool(4);
+  auto serial_span = wide_pool.RunGraph(4, deps, run, 0, nullptr,
+                                        /*virtual_workers=*/1);
+  ASSERT_TRUE(serial_span.ok());
+  EXPECT_DOUBLE_EQ(*serial_span, 4.0);
+
+  ExecutionCore narrow_pool(1);
+  auto parallel_span = narrow_pool.RunGraph(4, deps, run, 0, nullptr,
+                                            /*virtual_workers=*/2);
+  ASSERT_TRUE(parallel_span.ok());
+  EXPECT_DOUBLE_EQ(*parallel_span, 3.0);
+}
+
+TEST(ExecutionCoreTest, NestedRunGraphFromPoolWorkerDoesNotDeadlock) {
+  // Regression for the shared-pool deadlock: every pool thread is occupied
+  // by an outer body, and each outer body submits a nested graph to the
+  // SAME pool. Without the submitting thread helping (batch-local work
+  // stealing) the nested batches would sit in the queue forever. The
+  // virtual makespans of the nested graphs must come out exactly as if
+  // each had the pool to itself.
+  ExecutionCore core(2);
+  std::vector<std::vector<size_t>> deps = {{}, {0}, {0}, {1, 2}};
+  auto run = [](size_t, SimClock* clock) {
+    clock->Advance(1.0);
+    return Status::Ok();
+  };
+  std::atomic<size_t> nested_ok{0};
+  auto outer = [&](ExecutionCore::WorkerContext&) -> Status {
+    auto span =
+        core.RunGraph(4, deps, run, 0, nullptr, /*virtual_workers=*/2);
+    MLCASK_RETURN_IF_ERROR(span.status());
+    if (*span == 3.0) nested_ok.fetch_add(1);
+    return Status::Ok();
+  };
+  auto makespan = core.RunWorkers(outer, 0, /*num_bodies=*/2);
+  ASSERT_TRUE(makespan.ok());
+  EXPECT_EQ(nested_ok.load(), 2u);
+  // The nested submitters must have helped: at least one nested body was
+  // claimed by its own submitting thread rather than a pool thread.
+  EXPECT_GT(core.stats().tasks_stolen, 0u);
+}
+
+TEST(ExecutionCoreTest, PoolStatsCountThreadsBatchesAndTasks) {
+  ExecutionCore core(3);
+  EXPECT_EQ(core.stats().threads_spawned, 3u);
+  EXPECT_EQ(core.stats().batches_run, 0u);
+  auto span = core.RunWorkers(
+      [](ExecutionCore::WorkerContext&) { return Status::Ok(); }, 0,
+      /*num_bodies=*/5);
+  ASSERT_TRUE(span.ok());
+  ExecutionCore::PoolStats stats = core.stats();
+  EXPECT_EQ(stats.batches_run, 1u);
+  EXPECT_EQ(stats.tasks_run, 5u);
+  // An inline (threadless) core spawns nothing and steals nothing.
+  ExecutionCore inline_core(1);
+  ASSERT_TRUE(inline_core
+                  .RunWorkers(
+                      [](ExecutionCore::WorkerContext&) {
+                        return Status::Ok();
+                      },
+                      0, /*num_bodies=*/2)
+                  .ok());
+  EXPECT_EQ(inline_core.stats().threads_spawned, 0u);
+  EXPECT_EQ(inline_core.stats().tasks_run, 2u);
+  EXPECT_EQ(inline_core.stats().tasks_stolen, 0u);
+}
+
+TEST(ExecutionCoreTest, InstanceCounterTracksConstruction) {
+  const uint64_t before = ExecutionCore::instances_created();
+  {
+    ExecutionCore a(1);
+    ExecutionCore b(2);
+  }
+  EXPECT_EQ(ExecutionCore::instances_created() - before, 2u);
+}
+
 TEST(ArtifactCacheTest, FindMissesUntilInsert) {
   ArtifactCache cache;
   Hash256 key;
