@@ -1,12 +1,63 @@
 #include "merge/merge_op.h"
 
 #include <algorithm>
+#include <numeric>
 #include <set>
+#include <unordered_map>
 
 #include "merge/compat_lut.h"
 #include "pipeline/checkout.h"
 
 namespace mlcask::merge {
+
+namespace {
+
+/// Groups candidate indices by their subtree — the leaves under one deepest
+/// shared prefix (the chain minus its final component) — and balances the
+/// groups across `num_shards` shards, longest-processing-time first. A
+/// subtree never splits: its candidates share cached prefixes, and keeping
+/// them on one shard (one trial executor) is what keeps the summed
+/// execution count identical to the single-node drain. Returns per-shard
+/// candidate-index lists in DFS order and fills `shard_of` per candidate.
+std::vector<std::vector<size_t>> PartitionSubtrees(
+    const std::vector<CandidateChain>& candidates, size_t num_shards,
+    std::vector<size_t>* shard_of) {
+  std::unordered_map<Hash256, size_t, Hash256Hasher> group_of;
+  std::vector<std::vector<size_t>> groups;  // first-appearance (DFS) order
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    CandidateChain prefix = candidates[i];
+    if (!prefix.empty()) prefix.pop_back();
+    auto [it, inserted] =
+        group_of.emplace(pipeline::Executor::ChainKey(prefix), groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(i);
+  }
+  // LPT: biggest group onto the least-loaded shard; stable sort and
+  // lowest-index tie-breaks keep the assignment deterministic.
+  std::vector<size_t> order(groups.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return groups[a].size() > groups[b].size();
+  });
+  std::vector<std::vector<size_t>> shards(num_shards);
+  std::vector<size_t> load(num_shards, 0);
+  for (size_t g : order) {
+    const size_t target = static_cast<size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    load[target] += groups[g].size();
+    for (size_t i : groups[g]) shards[target].push_back(i);
+  }
+  for (std::vector<size_t>& list : shards) {
+    std::sort(list.begin(), list.end());  // DFS order within the shard
+  }
+  shard_of->assign(candidates.size(), 0);
+  for (size_t s = 0; s < num_shards; ++s) {
+    for (size_t i : shards[s]) (*shard_of)[i] = s;
+  }
+  return shards;
+}
+
+}  // namespace
 
 Status MergeOperation::SeedCheckpoints(pipeline::Executor* executor,
                                        const SearchSpace& space,
@@ -31,6 +82,19 @@ Status MergeOperation::SeedCheckpoints(pipeline::Executor* executor,
         *commit, *libraries_, engine_, executor, checkpoint_keys));
   }
   return Status::Ok();
+}
+
+pipeline::ExecutionCore* MergeOperation::ShardCore(size_t shard) {
+  std::lock_guard<std::mutex> lock(shard_core_mu_);
+  while (shard_cores_.size() <= shard) {
+    // One REAL thread per shard core: shard drains run sequentially in
+    // real time (their parallelism is virtual, via each drain's
+    // VirtualWorkerPool width), so OS threads per shard would sit idle.
+    // Inline cores keep "each shard drains through its own ExecutionCore"
+    // without spawning shards x workers threads.
+    shard_cores_.push_back(std::make_unique<pipeline::ExecutionCore>(1));
+  }
+  return shard_cores_[shard].get();
 }
 
 StatusOr<MergeReport> MergeOperation::Merge(const std::string& head_branch,
@@ -70,14 +134,26 @@ StatusOr<MergeReport> MergeOperation::Merge(const std::string& head_branch,
     report.pruned_by_compatibility = tree.PruneIncompatible(lut);
   }
 
+  // One trial executor per shard (single-node = exactly one): each shard's
+  // artifact cache is private — the real deployment this models keeps trial
+  // outputs on the worker that computed them — so every shard seeds its own
+  // checkpoints from the shared storage engine.
+  const size_t num_shards = std::max<size_t>(1, options.shards);
   pipeline::ArtifactCache::Options cache_options;
   cache_options.max_bytes = options.cache_max_bytes;
-  pipeline::Executor executor(registry_, engine_, /*clock=*/nullptr,
-                              cache_options);
+  std::vector<std::unique_ptr<pipeline::Executor>> executors;
+  executors.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    executors.push_back(std::make_unique<pipeline::Executor>(
+        registry_, engine_, /*clock=*/nullptr, cache_options));
+  }
   std::set<Hash256> checkpoint_keys;
   if (options.reuse_outputs) {
-    MLCASK_RETURN_IF_ERROR(SeedCheckpoints(&executor, space, head_branch,
-                                           merge_branch, &checkpoint_keys));
+    for (std::unique_ptr<pipeline::Executor>& executor : executors) {
+      MLCASK_RETURN_IF_ERROR(SeedCheckpoints(executor.get(), space,
+                                             head_branch, merge_branch,
+                                             &checkpoint_keys));
+    }
     report.checkpoints_marked =
         tree.MarkCheckpoints([&](const CandidateChain& chain) {
           return checkpoint_keys.count(pipeline::Executor::ChainKey(chain)) !=
@@ -106,73 +182,107 @@ StatusOr<MergeReport> MergeOperation::Merge(const std::string& head_branch,
   eo.store_outputs = options.store_trial_outputs;
   eo.seed = options.seed;
 
-  // Drain Algorithm 2's candidate list through the shared execution pool.
-  // Claims are FIFO in candidate (DFS) order, so the prefix locality the
-  // search tree was built for survives parallelism; each claimed candidate
-  // starts on the earliest free VIRTUAL worker slot (list scheduling, the
-  // repo-wide virtual-time convention). A checkpoint one worker publishes
-  // propagates to every later claim through the shared artifact cache, and
-  // two workers racing the same prefix dedup through its in-flight lease —
-  // which is why component_executions and the selected winner are provably
-  // identical to the serial walk. With one worker the drain reproduces the
-  // serial loop exactly (same claims, same single timeline).
+  // Assign candidate subtrees to shards. Single-node keeps the whole DFS
+  // list on shard 0 — the partitioner degenerates to one group list there,
+  // so both modes share one drain implementation.
+  std::vector<size_t> shard_of(candidates.size(), 0);
+  std::vector<std::vector<size_t>> shard_lists;
+  if (num_shards > 1) {
+    shard_lists = PartitionSubtrees(candidates, num_shards, &shard_of);
+  } else {
+    shard_lists.emplace_back(candidates.size());
+    std::iota(shard_lists[0].begin(), shard_lists[0].end(), 0);
+  }
+  report.shards_used = num_shards;
+  for (const std::vector<size_t>& list : shard_lists) {
+    report.shard_candidates.push_back(list.size());
+  }
+
   const size_t num_workers = std::max<size_t>(1, options.num_workers);
-  std::mutex mu;
-  size_t cursor = 0;
-  bool aborted = false;
-  pipeline::VirtualWorkerPool worker_slots(num_workers, clock_start);
-  double makespan = clock_start;
   std::vector<pipeline::PipelineRunResult> runs(candidates.size());
   std::vector<double> end_times(candidates.size(), 0);
+  double makespan = clock_start;
 
-  auto worker_body =
-      [&](pipeline::ExecutionCore::WorkerContext&) -> Status {
-    for (;;) {
-      size_t index = 0;
-      SimClock clock;
-      {
-        std::lock_guard<std::mutex> lock(mu);
-        if (aborted || cursor >= candidates.size()) return Status::Ok();
-        index = cursor++;
-        clock.AdvanceTo(worker_slots.ClaimEarliest());
-      }
-      const CandidateChain& chain = candidates[index];
-      std::vector<pipeline::ComponentVersionSpec> specs;
-      specs.reserve(chain.size());
-      for (const pipeline::ComponentVersionSpec* s : chain) {
-        specs.push_back(*s);
-      }
-      StatusOr<pipeline::Pipeline> p =
-          pipeline::Pipeline::Chain(pipeline_name, specs);
-      StatusOr<pipeline::PipelineRunResult> run = p.status();
-      if (p.ok()) {
-        pipeline::ExecutorOptions candidate_eo = eo;
-        candidate_eo.clock = &clock;  // this worker's virtual timeline
-        run = executor.Run(*p, candidate_eo);
-      }
-      {
-        std::lock_guard<std::mutex> lock(mu);
-        worker_slots.Release(clock.Now());
-        if (!run.ok()) {
-          aborted = true;
-          return run.status();
+  // Drain one shard's candidate list through its executor on `core`:
+  // Algorithm 2's claims stay FIFO in candidate (DFS) order, so the prefix
+  // locality the search tree was built for survives both parallelism and
+  // sharding; each claimed candidate starts on the earliest free VIRTUAL
+  // worker slot (list scheduling, the repo-wide virtual-time convention).
+  // A checkpoint one worker publishes propagates to every later claim
+  // through the shard's shared artifact cache, and two workers racing the
+  // same prefix dedup through its in-flight lease — which is why
+  // component_executions and the selected winner are provably identical to
+  // the serial walk. With one worker the drain reproduces the serial loop
+  // exactly (same claims, same single timeline). Every shard starts at
+  // clock_start on its own virtual timeline: shards model machines running
+  // in parallel, so the merge's makespan is the slowest shard's drain.
+  auto drain_shard = [&](pipeline::Executor& executor,
+                         pipeline::ExecutionCore* core,
+                         const std::vector<size_t>& indices) -> Status {
+    std::mutex mu;
+    size_t cursor = 0;
+    bool aborted = false;
+    pipeline::VirtualWorkerPool worker_slots(num_workers, clock_start);
+
+    auto worker_body =
+        [&](pipeline::ExecutionCore::WorkerContext&) -> Status {
+      for (;;) {
+        size_t index = 0;
+        SimClock clock;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          if (aborted || cursor >= indices.size()) return Status::Ok();
+          index = indices[cursor++];
+          clock.AdvanceTo(worker_slots.ClaimEarliest());
         }
-        makespan = std::max(makespan, clock.Now());
-        end_times[index] = clock.Now() - clock_start;
-        runs[index] = *std::move(run);
+        const CandidateChain& chain = candidates[index];
+        std::vector<pipeline::ComponentVersionSpec> specs;
+        specs.reserve(chain.size());
+        for (const pipeline::ComponentVersionSpec* s : chain) {
+          specs.push_back(*s);
+        }
+        StatusOr<pipeline::Pipeline> p =
+            pipeline::Pipeline::Chain(pipeline_name, specs);
+        StatusOr<pipeline::PipelineRunResult> run = p.status();
+        if (p.ok()) {
+          pipeline::ExecutorOptions candidate_eo = eo;
+          candidate_eo.clock = &clock;  // this worker's virtual timeline
+          run = executor.Run(*p, candidate_eo);
+        }
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          worker_slots.Release(clock.Now());
+          if (!run.ok()) {
+            aborted = true;
+            return run.status();
+          }
+          makespan = std::max(makespan, clock.Now());
+          end_times[index] = clock.Now() - clock_start;
+          runs[index] = *std::move(run);
+        }
       }
-    }
+    };
+    return core->RunWorkers(worker_body, clock_start, num_workers).status();
   };
 
-  pipeline::ExecutionCore* core =
-      fallback_core_.Get(options.core, num_workers);
-  MLCASK_RETURN_IF_ERROR(
-      core->RunWorkers(worker_body, clock_start, num_workers).status());
+  if (num_shards == 1) {
+    pipeline::ExecutionCore* core =
+        fallback_core_.Get(options.core, num_workers);
+    MLCASK_RETURN_IF_ERROR(drain_shard(*executors[0], core, shard_lists[0]));
+  } else {
+    // Shards drain sequentially in real time but concurrently in virtual
+    // time (each starts at clock_start); `runs`/`end_times`/`makespan` are
+    // safe to share because each drain joins before the next starts.
+    for (size_t s = 0; s < num_shards; ++s) {
+      MLCASK_RETURN_IF_ERROR(
+          drain_shard(*executors[s], ShardCore(s), shard_lists[s]));
+    }
+  }
   report.makespan_s = makespan - clock_start;
   if (clock_ != nullptr) clock_->AdvanceTo(makespan);
 
-  // Aggregate in candidate order — stable across worker counts, so the
-  // argmax (first maximum in DFS order) matches the serial walk exactly.
+  // Reduce in candidate order — stable across worker AND shard counts, so
+  // the argmax (first maximum in DFS order) matches the serial walk exactly.
   version::PipelineSnapshot best_snapshot;
   for (size_t index = 0; index < candidates.size(); ++index) {
     const pipeline::PipelineRunResult& run = runs[index];
@@ -215,21 +325,28 @@ StatusOr<MergeReport> MergeOperation::Merge(const std::string& head_branch,
   }
 
   // MLCask keeps trial outputs local; only the merge result is persisted
-  // ("saves the final optimal pipeline only once", Sec. VII-D).
+  // ("saves the final optimal pipeline only once", Sec. VII-D). The winner's
+  // artifacts are assembled from the cache of the shard that ran it, then
+  // committed through ONE PutMany batch — on a ShardedStorageEngine that is
+  // a two-phase commit across the shards the artifact keys route to, so a
+  // merge result spanning shards persists all-or-nothing.
   if (!options.store_trial_outputs) {
-    const CandidateChain& winner = report.outcomes[static_cast<size_t>(
-                                                       report.best_index)]
-                                       .chain;
+    const size_t winner_index = static_cast<size_t>(report.best_index);
+    const CandidateChain& winner = report.outcomes[winner_index].chain;
+    pipeline::Executor& winner_executor = *executors[shard_of[winner_index]];
     CandidateChain prefix;
+    std::vector<storage::PutRequest> batch;
+    std::vector<size_t> batch_component;  ///< Winner position per request.
     // Rolling pin: holding prefix i's EntryPtr keeps it resident (eviction
     // skips pinned entries) while prefix i+1 is fetched or recomputed, so
     // the pinned working set stays the same couple of entries as during
-    // the drain.
+    // the drain; each serialized payload is copied into the batch, so the
+    // entry itself need not stay pinned until the commit.
     pipeline::ArtifactCache::EntryPtr prev_pin;
     for (size_t i = 0; i < winner.size(); ++i) {
       prefix.push_back(winner[i]);
       pipeline::ArtifactCache::EntryPtr entry =
-          executor.FindCachedEntry(prefix);
+          winner_executor.FindCachedEntry(prefix);
       if (entry == nullptr) {
         // The byte cap evicted this prefix during the drain. The merge
         // result must still persist complete: recompute it (the previous
@@ -250,30 +367,46 @@ StatusOr<MergeReport> MergeOperation::Merge(const std::string& head_branch,
         rerun_clock.AdvanceTo(clock_ != nullptr ? clock_->Now() : 0);
         rerun_eo.clock = &rerun_clock;
         MLCASK_ASSIGN_OR_RETURN(pipeline::PipelineRunResult rerun,
-                                executor.Run(p, rerun_eo));
+                                winner_executor.Run(p, rerun_eo));
         report.total_time += rerun.time;
         if (clock_ != nullptr) clock_->AdvanceTo(rerun_clock.Now());
-        entry = executor.FindCachedEntry(prefix);
+        entry = winner_executor.FindCachedEntry(prefix);
         if (entry == nullptr) continue;  // defensive; publish just happened
       }
-      MLCASK_ASSIGN_OR_RETURN(
-          storage::PutResult put,
-          engine_->Put("artifact/" + pipeline_name + "/" + winner[i]->Key(),
-                       entry->table.Serialize()));
-      report.total_time.storage_s += put.storage_time_s;
-      if (clock_ != nullptr) clock_->Advance(put.storage_time_s);
-      if (i < best_snapshot.components.size()) {
-        best_snapshot.components[i].output_id = put.id;
-      }
+      batch.push_back({"artifact/" + pipeline_name + "/" + winner[i]->Key(),
+                       entry->table.Serialize()});
+      batch_component.push_back(i);
       prev_pin = std::move(entry);
+    }
+    MLCASK_ASSIGN_OR_RETURN(std::vector<storage::PutResult> puts,
+                            engine_->PutMany(batch));
+    for (size_t j = 0; j < puts.size(); ++j) {
+      report.total_time.storage_s += puts[j].storage_time_s;
+      if (clock_ != nullptr) clock_->Advance(puts[j].storage_time_s);
+      const size_t i = batch_component[j];
+      if (i < best_snapshot.components.size()) {
+        best_snapshot.components[i].output_id = puts[j].id;
+      }
     }
   }
   // Snapshotted AFTER winner materialization so cap-induced rerun activity
   // (executions, evictions, peak bytes) is visible in the report, matching
   // the time already charged to total_time. Uncapped merges never rerun,
   // so the executions-identical-across-workers invariant is unaffected.
-  report.component_executions = executor.executions();
-  report.cache_stats = executor.cache_stats();
+  // Sharded merges sum across the per-shard executors and caches.
+  report.component_executions = 0;
+  report.cache_stats = pipeline::ArtifactCache::Stats();
+  for (const std::unique_ptr<pipeline::Executor>& executor : executors) {
+    report.component_executions += executor->executions();
+    pipeline::ArtifactCache::Stats s = executor->cache_stats();
+    report.cache_stats.bytes += s.bytes;
+    report.cache_stats.peak_bytes += s.peak_bytes;
+    report.cache_stats.evictions += s.evictions;
+    report.cache_stats.insertions += s.insertions;
+    report.cache_stats.largest_entry_bytes =
+        std::max(report.cache_stats.largest_entry_bytes,
+                 s.largest_entry_bytes);
+  }
   report.storage_bytes = engine_->stats().physical_bytes - bytes_before;
 
   MLCASK_ASSIGN_OR_RETURN(

@@ -2,6 +2,8 @@
 #define MLCASK_MERGE_MERGE_OP_H_
 
 #include <cmath>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -42,8 +44,23 @@ struct MergeOptions {
   /// Shared long-lived ExecutionCore (non-owning; must outlive the call).
   /// When null, the MergeOperation lazily builds one pool and reuses it
   /// across its Merge calls — never one per call (see the pool-ownership
-  /// rules in execution_core.h).
+  /// rules in execution_core.h). Single-node drains only: with shards >= 2
+  /// each shard drains through its own (lazily-built, inline) core and
+  /// this pool is not consulted.
   pipeline::ExecutionCore* core = nullptr;
+  /// Distributed-merge partitioning (paper Sec. VII-F made real): with
+  /// shards >= 2, Algorithm 2's candidate subtrees — leaves grouped under
+  /// their deepest shared prefix — are assigned to shards by longest-
+  /// processing-time-first balancing, and each shard drains its groups
+  /// through its own trial executor and ExecutionCore on an independent
+  /// virtual timeline (num_workers applies per shard). Winners reduce in
+  /// global DFS order, so the selected winner and the summed
+  /// component_executions are identical to the single-node path whenever
+  /// cross-group shared prefixes are checkpointed (always true for
+  /// two-branch scenario merges: interior levels come from committed
+  /// pipelines); makespan_s becomes the slowest shard's drain. 0/1 =
+  /// single-node (the historical path, bit-for-bit).
+  size_t shards = 1;
   /// Byte cap for the trial executor's artifact cache (0 = unbounded): long
   /// merge searches trade recomputation for bounded memory. Leased slots
   /// and entries held by running candidates are never evicted.
@@ -82,7 +99,14 @@ struct MergeReport {
   double makespan_s = 0;
   /// Artifact-cache telemetry of the trial executor: peak resident bytes
   /// vs. the configured cap, and how many entries the LRU policy dropped.
+  /// Sharded merges aggregate across the per-shard caches (byte fields sum,
+  /// so peak_bytes upper-bounds the true concurrent peak).
   pipeline::ArtifactCache::Stats cache_stats;
+  /// Sharded-drain accounting: how many shards drained candidates and how
+  /// many candidates each was assigned (single-node reports one entry
+  /// holding the full candidate count).
+  size_t shards_used = 1;
+  std::vector<size_t> shard_candidates;
   uint64_t storage_bytes = 0;  ///< Bytes written during merge (CSS delta).
   Hash256 merge_commit;
   /// Owns the component specs that every CandidateChain in `outcomes` points
@@ -122,6 +146,12 @@ class MergeOperation {
                          const std::string& merge_branch,
                          std::set<Hash256>* checkpoint_keys);
 
+  /// Per-shard ExecutionCore for sharded drains: built lazily ONCE per
+  /// MergeOperation and reused by every later call, per the pool-ownership
+  /// rules in execution_core.h. Single-threaded (inline) pools: shard
+  /// drains are sequential in real time, parallel only in virtual time.
+  pipeline::ExecutionCore* ShardCore(size_t shard);
+
   version::PipelineRepo* repo_;
   pipeline::LibraryRepo* libraries_;
   const pipeline::LibraryRegistry* registry_;
@@ -130,6 +160,8 @@ class MergeOperation {
   /// Fallback pool for Merge calls that inject no shared core; built at
   /// most once per MergeOperation and reused.
   pipeline::LazyExecutionCore fallback_core_;
+  std::mutex shard_core_mu_;
+  std::vector<std::unique_ptr<pipeline::ExecutionCore>> shard_cores_;
 };
 
 }  // namespace mlcask::merge

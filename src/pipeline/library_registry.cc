@@ -1,5 +1,7 @@
 #include "pipeline/library_registry.h"
 
+#include <mutex>
+
 namespace mlcask::pipeline {
 
 Status LibraryRegistry::Register(const std::string& name, LibraryFn fn) {
@@ -9,6 +11,7 @@ Status LibraryRegistry::Register(const std::string& name, LibraryFn fn) {
   if (fn == nullptr) {
     return Status::InvalidArgument("library function must be callable");
   }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto [it, inserted] = fns_.emplace(name, std::move(fn));
   (void)it;
   if (!inserted) {
@@ -18,18 +21,22 @@ Status LibraryRegistry::Register(const std::string& name, LibraryFn fn) {
 }
 
 StatusOr<const LibraryFn*> LibraryRegistry::Get(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = fns_.find(name);
   if (it == fns_.end()) {
     return Status::NotFound("library '" + name + "' not registered");
   }
+  // Safe past the lock: map nodes are stable and never erased (see header).
   return &it->second;
 }
 
 bool LibraryRegistry::Has(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return fns_.find(name) != fns_.end();
 }
 
 std::vector<std::string> LibraryRegistry::List() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(fns_.size());
   for (const auto& [name, fn] : fns_) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <functional>
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,13 @@ using LibraryFn = std::function<StatusOr<ExecOutput>(const ExecInput&)>;
 /// Maps entry-point names (the `impl` field of component metafiles) to
 /// executables. The paper's library repository stores executables; here the
 /// registry is the lookup half, while the storage engine holds the metafiles.
+///
+/// Thread safety: lookups take a shared lock and registration an exclusive
+/// one, so dynamically loading new libraries while executors run is safe.
+/// The LibraryFn pointer Get() returns stays valid for the registry's
+/// lifetime: entries live in a node-based map and are never erased or
+/// overwritten (re-registering a name fails with AlreadyExists), so a
+/// worker may keep calling through the pointer while other libraries land.
 class LibraryRegistry {
  public:
   Status Register(const std::string& name, LibraryFn fn);
@@ -57,9 +65,13 @@ class LibraryRegistry {
   bool Has(const std::string& name) const;
 
   std::vector<std::string> List() const;
-  size_t size() const { return fns_.size(); }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return fns_.size();
+  }
 
  private:
+  mutable std::shared_mutex mu_;
   std::map<std::string, LibraryFn> fns_;
 };
 

@@ -1,8 +1,10 @@
 #include "sim/scenario.h"
 
+#include "pipeline/checkout.h"
 #include "sim/libraries.h"
 #include "storage/forkbase_engine.h"
 #include "storage/local_dir_engine.h"
+#include "storage/sharded_engine.h"
 
 namespace mlcask::sim {
 
@@ -35,12 +37,28 @@ StatusOr<Hash256> Deployment::RunAndCommit(
 StatusOr<std::unique_ptr<Deployment>> MakeDeployment(
     const std::string& workload_name, double scale, bool folder_storage,
     size_t num_workers) {
+  DeploymentConfig config;
+  config.folder_storage = folder_storage;
+  config.num_workers = num_workers;
+  return MakeDeployment(workload_name, scale, config);
+}
+
+StatusOr<std::unique_ptr<Deployment>> MakeDeployment(
+    const std::string& workload_name, double scale,
+    const DeploymentConfig& config) {
   auto d = std::make_unique<Deployment>();
-  d->num_workers = num_workers == 0 ? 1 : num_workers;
-  if (folder_storage) {
-    d->engine = std::make_unique<storage::LocalDirEngine>();
+  d->num_workers = config.num_workers == 0 ? 1 : config.num_workers;
+  auto backend_factory = [&]() -> std::unique_ptr<storage::StorageEngine> {
+    if (config.folder_storage) {
+      return std::make_unique<storage::LocalDirEngine>();
+    }
+    return std::make_unique<storage::ForkBaseEngine>();
+  };
+  if (config.storage_shards >= 2) {
+    d->engine = storage::MakeLoopbackCluster(config.storage_shards,
+                                             backend_factory);
   } else {
-    d->engine = std::make_unique<storage::ForkBaseEngine>();
+    d->engine = backend_factory();
   }
   d->clock = std::make_unique<SimClock>();
   d->registry = std::make_unique<pipeline::LibraryRegistry>();
@@ -134,6 +152,36 @@ StatusOr<ScenarioInfo> BuildTwoBranchScenario(Deployment* d,
                       first_pre + " 0.1 + model 0.4")
           .status());
 
+  return info;
+}
+
+StatusOr<ScenarioInfo> BuildDistributedMergeScenario(
+    Deployment* d, int extra_extractor_versions, int extra_model_versions) {
+  MLCASK_ASSIGN_OR_RETURN(ScenarioInfo info,
+                          BuildTwoBranchScenario(d, extra_model_versions));
+  if (extra_extractor_versions <= 0) return info;
+  // Further increment updates of the schema-bumped extractor (1.1, 1.2, ...)
+  // committed on dev with dev's current model: same schema as 1.0, so every
+  // new-schema model version follows each of them — one extra subtree per
+  // version at the extraction level of the search tree.
+  MLCASK_ASSIGN_OR_RETURN(const version::Commit* dev_head,
+                          d->repo->Head("dev"));
+  MLCASK_ASSIGN_OR_RETURN(
+      pipeline::Pipeline current,
+      pipeline::MaterializePipeline(*dev_head, *d->libraries,
+                                    d->repo->name()));
+  MLCASK_ASSIGN_OR_RETURN(const pipeline::ComponentVersionSpec* extractor,
+                          current.Find(info.schema_bumped_component));
+  pipeline::ComponentVersionSpec next = *extractor;
+  for (int i = 0; i < extra_extractor_versions; ++i) {
+    next = BumpIncrement(next);
+    MLCASK_ASSIGN_OR_RETURN(current, WithComponent(current, next));
+    MLCASK_RETURN_IF_ERROR(
+        d->RunAndCommit(current, "dev", "frank",
+                        info.schema_bumped_component + " " +
+                            next.version.ToString(false))
+            .status());
+  }
   return info;
 }
 

@@ -48,12 +48,31 @@ struct Deployment {
                                  const pipeline::ExecutorOptions& opts = {});
 };
 
+/// Deployment provisioning knobs (the growing axes get a struct; the old
+/// positional overload below stays for existing call sites).
+struct DeploymentConfig {
+  bool folder_storage = false;  ///< LocalDir archival instead of ForkBase.
+  size_t num_workers = 1;       ///< Deployment-wide parallelism default.
+  /// >= 2 provisions a DISTRIBUTED storage deployment: that many backend
+  /// engines, each behind a StorageEngineService + LoopbackTransport +
+  /// RemoteStorageEngine proxy, routed by one ShardedStorageEngine (keys
+  /// consistent-hashed, `pipeline/` + `library/` metadata replicated via
+  /// two-phase commit — see storage/sharded_engine.h). Every storage call
+  /// then crosses a real serialization boundary. 0/1 = one local engine.
+  size_t storage_shards = 1;
+};
+
 /// Creates a deployment with a ForkBase engine (pass `folder_storage` for
 /// the baselines' local-dir archival engine instead). `num_workers` is the
 /// deployment-wide parallelism default.
 StatusOr<std::unique_ptr<Deployment>> MakeDeployment(
     const std::string& workload_name, double scale,
     bool folder_storage = false, size_t num_workers = 1);
+
+/// Struct-config overload; supports distributed storage deployments.
+StatusOr<std::unique_ptr<Deployment>> MakeDeployment(
+    const std::string& workload_name, double scale,
+    const DeploymentConfig& config);
 
 /// Reproduces the paper's Fig. 3 two-branch history on a deployment:
 ///
@@ -80,6 +99,18 @@ struct ScenarioInfo {
 /// bench exercises. 0 reproduces the paper's scenario exactly.
 StatusOr<ScenarioInfo> BuildTwoBranchScenario(Deployment* deployment,
                                               int extra_model_versions = 0);
+
+/// The distributed-merge (Fig. 11) scenario: the Fig. 3 history, optionally
+/// widened with extra model versions, plus `extra_extractor_versions`
+/// further increment updates of the schema-bumped preprocessor committed on
+/// dev (1.1, 1.2, ...). Each new extractor version multiplies the search
+/// tree's subtree count — extraction-level nodes are the deepest shared
+/// prefixes — which is what gives a sharded merge drain
+/// (MergeOptions::shards) balanced work to distribute. 0 extra extractors
+/// reduces to BuildTwoBranchScenario.
+StatusOr<ScenarioInfo> BuildDistributedMergeScenario(
+    Deployment* deployment, int extra_extractor_versions,
+    int extra_model_versions = 0);
 
 }  // namespace mlcask::sim
 

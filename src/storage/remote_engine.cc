@@ -1,0 +1,426 @@
+#include "storage/remote_engine.h"
+
+#include <utility>
+
+#include "common/json.h"
+
+namespace mlcask::storage {
+
+namespace wire {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string HexEncode(std::string_view bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(kHexDigits[c >> 4]);
+    out.push_back(kHexDigits[c & 0xf]);
+  }
+  return out;
+}
+
+StatusOr<std::string> HexDecode(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    return Status::InvalidArgument("hex payload has odd length");
+  }
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexNibble(hex[i]);
+    int lo = HexNibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("malformed hex payload");
+    }
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace wire
+
+namespace {
+
+using wire::HexDecode;
+using wire::HexEncode;
+
+Json ErrorResponse(const Status& status) {
+  Json response = Json::Object();
+  response.Set("ok", Json::Bool(false));
+  response.Set("code", Json::Int(static_cast<int64_t>(status.code())));
+  response.Set("message", Json::Str(status.message()));
+  return response;
+}
+
+Json OkResponse() {
+  Json response = Json::Object();
+  response.Set("ok", Json::Bool(true));
+  return response;
+}
+
+/// Reconstructs the Status a response encodes ({"ok":false,...} documents).
+Status DecodeError(const Json& response) {
+  auto code = static_cast<StatusCode>(response.GetInt("code"));
+  return Status(code, response.GetString("message"));
+}
+
+Json EncodePutResult(const PutResult& result) {
+  Json out = Json::Object();
+  out.Set("id", Json::Str(result.id.ToHex()));
+  out.Set("logical_bytes", Json::Int(static_cast<int64_t>(
+                               result.logical_bytes)));
+  out.Set("new_physical_bytes",
+          Json::Int(static_cast<int64_t>(result.new_physical_bytes)));
+  out.Set("storage_time_s", Json::Number(result.storage_time_s));
+  out.Set("deduplicated", Json::Bool(result.deduplicated));
+  return out;
+}
+
+StatusOr<PutResult> DecodePutResult(const Json& doc) {
+  PutResult result;
+  if (!Hash256::FromHex(doc.GetString("id"), &result.id)) {
+    return Status::Corruption("put response carries a malformed id");
+  }
+  result.logical_bytes = static_cast<uint64_t>(doc.GetInt("logical_bytes"));
+  result.new_physical_bytes =
+      static_cast<uint64_t>(doc.GetInt("new_physical_bytes"));
+  result.storage_time_s = doc.GetDouble("storage_time_s");
+  result.deduplicated = doc.GetBool("deduplicated");
+  return result;
+}
+
+StatusOr<Hash256> DecodeId(const Json& request) {
+  Hash256 id;
+  if (!Hash256::FromHex(request.GetString("id"), &id)) {
+    return Status::InvalidArgument("request carries a malformed content id");
+  }
+  return id;
+}
+
+/// The server-side dispatch. Every arm mirrors one StorageEngine method.
+Json Dispatch(StorageEngine* engine, const Json& request) {
+  const std::string method = request.GetString("method");
+
+  if (method == "put") {
+    auto data = HexDecode(request.GetString("data"));
+    if (!data.ok()) return ErrorResponse(data.status());
+    auto result = engine->Put(request.GetString("key"), *data);
+    if (!result.ok()) return ErrorResponse(result.status());
+    Json response = OkResponse();
+    response.Set("result", EncodePutResult(*result));
+    return response;
+  }
+
+  if (method == "put_many") {
+    const Json* batch_json = request.Get("batch");
+    if (batch_json == nullptr || !batch_json->is_array()) {
+      return ErrorResponse(
+          Status::InvalidArgument("put_many request lacks a batch array"));
+    }
+    std::vector<PutRequest> batch;
+    batch.reserve(batch_json->size());
+    for (size_t i = 0; i < batch_json->size(); ++i) {
+      auto data = HexDecode(batch_json->at(i).GetString("data"));
+      if (!data.ok()) return ErrorResponse(data.status());
+      batch.push_back({batch_json->at(i).GetString("key"), *std::move(data)});
+    }
+    auto results = engine->PutMany(batch);
+    if (!results.ok()) return ErrorResponse(results.status());
+    Json encoded = Json::Array();
+    for (const PutResult& result : *results) {
+      encoded.Append(EncodePutResult(result));
+    }
+    Json response = OkResponse();
+    response.Set("results", std::move(encoded));
+    return response;
+  }
+
+  if (method == "get") {
+    auto data = engine->Get(request.GetString("key"));
+    if (!data.ok()) return ErrorResponse(data.status());
+    Json response = OkResponse();
+    response.Set("data", Json::Str(HexEncode(*data)));
+    return response;
+  }
+
+  if (method == "get_version") {
+    auto id = DecodeId(request);
+    if (!id.ok()) return ErrorResponse(id.status());
+    auto data = engine->GetVersion(*id);
+    if (!data.ok()) return ErrorResponse(data.status());
+    Json response = OkResponse();
+    response.Set("data", Json::Str(HexEncode(*data)));
+    return response;
+  }
+
+  if (method == "has_version") {
+    auto id = DecodeId(request);
+    if (!id.ok()) return ErrorResponse(id.status());
+    Json response = OkResponse();
+    response.Set("has", Json::Bool(engine->HasVersion(*id)));
+    return response;
+  }
+
+  if (method == "versions") {
+    Json ids = Json::Array();
+    for (const Hash256& id : engine->Versions(request.GetString("key"))) {
+      ids.Append(Json::Str(id.ToHex()));
+    }
+    Json response = OkResponse();
+    response.Set("ids", std::move(ids));
+    return response;
+  }
+
+  if (method == "list_all_versions") {
+    Json entries = Json::Array();
+    for (const auto& [key, id] : engine->ListAllVersions()) {
+      Json entry = Json::Object();
+      entry.Set("key", Json::Str(key));
+      entry.Set("id", Json::Str(id.ToHex()));
+      entries.Append(std::move(entry));
+    }
+    Json response = OkResponse();
+    response.Set("entries", std::move(entries));
+    return response;
+  }
+
+  if (method == "delete_version") {
+    auto id = DecodeId(request);
+    if (!id.ok()) return ErrorResponse(id.status());
+    auto freed = engine->DeleteVersion(*id);
+    if (!freed.ok()) return ErrorResponse(freed.status());
+    Json response = OkResponse();
+    response.Set("freed_bytes", Json::Int(static_cast<int64_t>(*freed)));
+    return response;
+  }
+
+  if (method == "stats") {
+    EngineStats stats = engine->stats();
+    Json response = OkResponse();
+    response.Set("logical_bytes",
+                 Json::Int(static_cast<int64_t>(stats.logical_bytes)));
+    response.Set("physical_bytes",
+                 Json::Int(static_cast<int64_t>(stats.physical_bytes)));
+    response.Set("storage_time_s", Json::Number(stats.storage_time_s));
+    response.Set("puts", Json::Int(static_cast<int64_t>(stats.puts)));
+    response.Set("gets", Json::Int(static_cast<int64_t>(stats.gets)));
+    return response;
+  }
+
+  if (method == "name") {
+    Json response = OkResponse();
+    response.Set("name", Json::Str(engine->Name()));
+    return response;
+  }
+
+  if (method == "read_cost") {
+    Json response = OkResponse();
+    response.Set("cost_s", Json::Number(engine->ReadCost(static_cast<uint64_t>(
+                               request.GetInt("bytes")))));
+    return response;
+  }
+
+  return ErrorResponse(
+      Status::Unimplemented("unknown storage method '" + method + "'"));
+}
+
+}  // namespace
+
+std::string StorageEngineService::Handle(std::string_view request) {
+  auto parsed = Json::Parse(request);
+  if (!parsed.ok()) {
+    return ErrorResponse(
+               Status::InvalidArgument("unparseable storage request: " +
+                                       parsed.status().message()))
+        .Dump();
+  }
+  return Dispatch(engine_, *parsed).Dump();
+}
+
+// --------------------------------------------------------------- client ---
+
+RemoteStorageEngine::RemoteStorageEngine(std::unique_ptr<Transport> transport)
+    : transport_(std::move(transport)) {
+  Json request = Json::Object();
+  request.Set("method", Json::Str("name"));
+  auto response = RoundTrip(request.Dump());
+  name_ = "remote";
+  if (response.ok()) {
+    auto doc = Json::Parse(*response);
+    if (doc.ok() && doc->GetBool("ok")) {
+      name_ = "remote(" + doc->GetString("name") + ")";
+    }
+  }
+}
+
+StatusOr<std::string> RemoteStorageEngine::RoundTrip(
+    std::string_view request) const {
+  return transport_->Call(request);
+}
+
+namespace {
+/// One call: serialize, send, parse, surface the remote Status on failure.
+StatusOr<Json> CallMethod(const Transport* transport, Json request) {
+  // Transports are shared mutable endpoints; Call is non-const by design
+  // (it counts traffic), while the engine methods using it may be const.
+  auto response = const_cast<Transport*>(transport)->Call(request.Dump());
+  if (!response.ok()) return response.status();
+  auto doc = Json::Parse(*response);
+  if (!doc.ok()) {
+    return Status::Corruption("unparseable storage response: " +
+                              doc.status().message());
+  }
+  if (!doc->GetBool("ok")) return DecodeError(*doc);
+  return *std::move(doc);
+}
+}  // namespace
+
+StatusOr<PutResult> RemoteStorageEngine::Put(const std::string& key,
+                                             std::string_view data) {
+  Json request = Json::Object();
+  request.Set("method", Json::Str("put"));
+  request.Set("key", Json::Str(key));
+  request.Set("data", Json::Str(HexEncode(data)));
+  MLCASK_ASSIGN_OR_RETURN(Json response,
+                          CallMethod(transport_.get(), std::move(request)));
+  const Json* result = response.Get("result");
+  if (result == nullptr) {
+    return Status::Corruption("put response lacks a result");
+  }
+  return DecodePutResult(*result);
+}
+
+StatusOr<std::vector<PutResult>> RemoteStorageEngine::PutMany(
+    const std::vector<PutRequest>& batch) {
+  Json encoded = Json::Array();
+  for (const PutRequest& put : batch) {
+    Json entry = Json::Object();
+    entry.Set("key", Json::Str(put.key));
+    entry.Set("data", Json::Str(HexEncode(put.data)));
+    encoded.Append(std::move(entry));
+  }
+  Json request = Json::Object();
+  request.Set("method", Json::Str("put_many"));
+  request.Set("batch", std::move(encoded));
+  MLCASK_ASSIGN_OR_RETURN(Json response,
+                          CallMethod(transport_.get(), std::move(request)));
+  const Json* results = response.Get("results");
+  if (results == nullptr || !results->is_array() ||
+      results->size() != batch.size()) {
+    return Status::Corruption("put_many response result count mismatch");
+  }
+  std::vector<PutResult> decoded;
+  decoded.reserve(results->size());
+  for (size_t i = 0; i < results->size(); ++i) {
+    MLCASK_ASSIGN_OR_RETURN(PutResult result, DecodePutResult(results->at(i)));
+    decoded.push_back(result);
+  }
+  return decoded;
+}
+
+StatusOr<std::string> RemoteStorageEngine::Get(const std::string& key) {
+  Json request = Json::Object();
+  request.Set("method", Json::Str("get"));
+  request.Set("key", Json::Str(key));
+  MLCASK_ASSIGN_OR_RETURN(Json response,
+                          CallMethod(transport_.get(), std::move(request)));
+  return HexDecode(response.GetString("data"));
+}
+
+StatusOr<std::string> RemoteStorageEngine::GetVersion(const Hash256& id) {
+  Json request = Json::Object();
+  request.Set("method", Json::Str("get_version"));
+  request.Set("id", Json::Str(id.ToHex()));
+  MLCASK_ASSIGN_OR_RETURN(Json response,
+                          CallMethod(transport_.get(), std::move(request)));
+  return HexDecode(response.GetString("data"));
+}
+
+bool RemoteStorageEngine::HasVersion(const Hash256& id) const {
+  Json request = Json::Object();
+  request.Set("method", Json::Str("has_version"));
+  request.Set("id", Json::Str(id.ToHex()));
+  auto response = CallMethod(transport_.get(), std::move(request));
+  return response.ok() && response->GetBool("has");
+}
+
+std::vector<Hash256> RemoteStorageEngine::Versions(
+    const std::string& key) const {
+  Json request = Json::Object();
+  request.Set("method", Json::Str("versions"));
+  request.Set("key", Json::Str(key));
+  auto response = CallMethod(transport_.get(), std::move(request));
+  std::vector<Hash256> ids;
+  if (!response.ok()) return ids;
+  const Json* encoded = response->Get("ids");
+  if (encoded == nullptr || !encoded->is_array()) return ids;
+  ids.reserve(encoded->size());
+  for (size_t i = 0; i < encoded->size(); ++i) {
+    Hash256 id;
+    if (Hash256::FromHex(encoded->at(i).AsString(), &id)) ids.push_back(id);
+  }
+  return ids;
+}
+
+std::vector<std::pair<std::string, Hash256>>
+RemoteStorageEngine::ListAllVersions() const {
+  Json request = Json::Object();
+  request.Set("method", Json::Str("list_all_versions"));
+  auto response = CallMethod(transport_.get(), std::move(request));
+  std::vector<std::pair<std::string, Hash256>> entries;
+  if (!response.ok()) return entries;
+  const Json* encoded = response->Get("entries");
+  if (encoded == nullptr || !encoded->is_array()) return entries;
+  entries.reserve(encoded->size());
+  for (size_t i = 0; i < encoded->size(); ++i) {
+    Hash256 id;
+    if (Hash256::FromHex(encoded->at(i).GetString("id"), &id)) {
+      entries.emplace_back(encoded->at(i).GetString("key"), id);
+    }
+  }
+  return entries;
+}
+
+StatusOr<uint64_t> RemoteStorageEngine::DeleteVersion(const Hash256& id) {
+  Json request = Json::Object();
+  request.Set("method", Json::Str("delete_version"));
+  request.Set("id", Json::Str(id.ToHex()));
+  MLCASK_ASSIGN_OR_RETURN(Json response,
+                          CallMethod(transport_.get(), std::move(request)));
+  return static_cast<uint64_t>(response.GetInt("freed_bytes"));
+}
+
+EngineStats RemoteStorageEngine::stats() const {
+  Json request = Json::Object();
+  request.Set("method", Json::Str("stats"));
+  auto response = CallMethod(transport_.get(), std::move(request));
+  EngineStats stats;
+  if (!response.ok()) return stats;
+  stats.logical_bytes =
+      static_cast<uint64_t>(response->GetInt("logical_bytes"));
+  stats.physical_bytes =
+      static_cast<uint64_t>(response->GetInt("physical_bytes"));
+  stats.storage_time_s = response->GetDouble("storage_time_s");
+  stats.puts = static_cast<uint64_t>(response->GetInt("puts"));
+  stats.gets = static_cast<uint64_t>(response->GetInt("gets"));
+  return stats;
+}
+
+double RemoteStorageEngine::ReadCost(uint64_t bytes) const {
+  Json request = Json::Object();
+  request.Set("method", Json::Str("read_cost"));
+  request.Set("bytes", Json::Int(static_cast<int64_t>(bytes)));
+  auto response = CallMethod(transport_.get(), std::move(request));
+  return response.ok() ? response->GetDouble("cost_s") : 0.0;
+}
+
+}  // namespace mlcask::storage

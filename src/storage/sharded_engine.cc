@@ -1,0 +1,416 @@
+#include "storage/sharded_engine.h"
+
+#include <algorithm>
+#include <mutex>
+#include <set>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/sha256.h"
+#include "common/strings.h"
+#include "storage/remote_engine.h"
+#include "storage/transport.h"
+
+namespace mlcask::storage {
+
+namespace {
+
+constexpr std::string_view kStagingPrefix = "__2pc__/";
+/// Header prepended to staged intent payloads so their content ids live in
+/// a private namespace: cleanup deletes by content id, and without the
+/// header a user object whose bytes happened to equal "key\x1f data" would
+/// alias the staged blob and be deleted with it. (A user payload starting
+/// with this exact header can still alias — the StorageEngine interface
+/// has no delete-one-key's-version primitive — but only deliberately.)
+constexpr std::string_view kIntentHeader = "__2pc-intent__\x1f";
+
+uint64_t RingPoint(std::string_view label) {
+  Hash256 h = Sha256::Digest(label.data(), label.size());
+  uint64_t point = 0;
+  for (size_t i = 0; i < 8; ++i) point = (point << 8) | h.bytes[i];
+  return point;
+}
+
+bool IsStagingKey(std::string_view key) {
+  return StartsWith(key, kStagingPrefix);
+}
+
+}  // namespace
+
+ShardedStorageEngine::ShardedStorageEngine(
+    std::vector<std::unique_ptr<StorageEngine>> shards)
+    : ShardedStorageEngine(std::move(shards), Options()) {}
+
+ShardedStorageEngine::ShardedStorageEngine(
+    std::vector<std::unique_ptr<StorageEngine>> shards, Options options)
+    : shards_(std::move(shards)), options_(std::move(options)) {
+  MLCASK_CHECK_MSG(!shards_.empty(),
+                   "sharded engine needs at least one shard");
+  const size_t vnodes = std::max<size_t>(1, options_.virtual_nodes_per_shard);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    for (size_t v = 0; v < vnodes; ++v) {
+      // First-writer-wins on the (astronomically unlikely) point collision;
+      // the ring stays deterministic either way.
+      ring_.emplace(
+          RingPoint("ring/" + std::to_string(s) + "#" + std::to_string(v)), s);
+    }
+  }
+}
+
+size_t ShardedStorageEngine::ShardForKey(std::string_view key) const {
+  auto it = ring_.lower_bound(RingPoint(key));
+  if (it == ring_.end()) it = ring_.begin();  // wrap around the ring
+  return it->second;
+}
+
+bool ShardedStorageEngine::IsReplicated(std::string_view key) const {
+  for (const std::string& prefix : options_.replicated_prefixes) {
+    if (StartsWith(key, prefix)) return true;
+  }
+  return false;
+}
+
+void ShardedStorageEngine::RecordVersion(const Hash256& id, size_t shard) {
+  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  version_shard_[id] = shard;
+}
+
+StatusOr<PutResult> ShardedStorageEngine::DirectPut(size_t shard,
+                                                    const std::string& key,
+                                                    std::string_view data) {
+  MLCASK_ASSIGN_OR_RETURN(PutResult result, shards_[shard]->Put(key, data));
+  RecordVersion(result.id, shard);
+  return result;
+}
+
+Status ShardedStorageEngine::RunTransaction(
+    const std::vector<ShardWrite>& writes, std::vector<PutResult>* results) {
+  // One coordinated transaction at a time: without this, two concurrent
+  // transactions touching a replicated key could interleave their apply
+  // loops in opposite orders on different shards, leaving the replicas'
+  // latest-version views permanently divergent. Transactions are
+  // control-plane writes (commit logs, merge winners), so serializing them
+  // costs nothing on the hot path; uncoordinated DirectPuts never take it.
+  std::lock_guard<std::mutex> txn_lock(txn_mu_);
+  const uint64_t txn = txn_counter_.fetch_add(1, std::memory_order_relaxed);
+  txn_prepared_.fetch_add(writes.size(), std::memory_order_relaxed);
+
+  auto staging_key_for = [&](size_t write_index) {
+    return StrFormat("%stxn%llu/s%zu/w%zu",
+                     std::string(kStagingPrefix).c_str(),
+                     static_cast<unsigned long long>(txn),
+                     writes[write_index].shard, write_index);
+  };
+
+  // Participant shards and their writes, in original write order.
+  std::map<size_t, std::vector<size_t>> by_shard;
+  for (size_t i = 0; i < writes.size(); ++i) {
+    by_shard[writes[i].shard].push_back(i);
+  }
+
+  // Staging keys are deterministic, so cleanup resolves what actually
+  // landed by LOOKUP rather than by remembered ids — it stays correct even
+  // when a prepare batch failed halfway and returned no results. Leftover
+  // staging records would be invisible anyway (filtered from
+  // ListAllVersions); best effort is fine.
+  auto cleanup_staged = [&]() {
+    for (const auto& [shard, indices] : by_shard) {
+      for (size_t i : indices) {
+        for (const Hash256& id : shards_[shard]->Versions(staging_key_for(i))) {
+          (void)shards_[shard]->DeleteVersion(id);
+        }
+      }
+    }
+  };
+
+  // Phase 1: stage every payload on its participant shard — ONE PutMany
+  // batch per shard (a single message on a remote proxy). The staged blob
+  // binds the target key to the data, so a recovering shard could replay
+  // the intent; on a deduplicating engine the staged chunks also make the
+  // phase-2 write transfer almost nothing new.
+  for (const auto& [shard, indices] : by_shard) {
+    std::vector<PutRequest> staging;
+    staging.reserve(indices.size());
+    for (size_t i : indices) {
+      std::string intent(kIntentHeader);
+      intent.append(writes[i].request->key);
+      intent.push_back('\x1f');
+      intent.append(writes[i].request->data);
+      staging.push_back({staging_key_for(i), std::move(intent)});
+    }
+    auto prepared = shards_[shard]->PutMany(staging);
+    if (!prepared.ok()) {
+      cleanup_staged();
+      txn_aborts_.fetch_add(1, std::memory_order_relaxed);
+      return Status(prepared.status().code(),
+                    "2pc prepare failed on shard " + std::to_string(shard) +
+                        ": " + prepared.status().message());
+    }
+  }
+
+  // Phase 2: unanimous prepare — apply the real writes.
+  struct Slot {
+    bool filled = false;
+    PutResult result;      ///< Shard-0 replica when replicated.
+    double max_time_s = 0;
+    size_t replicas = 0;
+    size_t last_shard = 0;
+  };
+  std::map<size_t, Slot> slots;  // batch index -> merged result
+  std::vector<std::pair<size_t, PutResult>> applied_writes;
+  applied_writes.reserve(writes.size());
+  for (const ShardWrite& w : writes) {
+    auto applied = shards_[w.shard]->Put(w.request->key, w.request->data);
+    if (!applied.ok()) {
+      // Prepare voted yes everywhere, so an apply failure is a broken
+      // participant, not a routine abort — but partial state must not
+      // surface. Roll back every write already applied (safe even for
+      // deduplicated applies: both engines derive version ids from
+      // key + ordinal, so a fresh Put always creates a fresh id and the
+      // delete can never take an older object with it) and account the
+      // transaction as aborted.
+      for (const auto& [shard, result] : applied_writes) {
+        (void)shards_[shard]->DeleteVersion(result.id);
+      }
+      cleanup_staged();
+      txn_aborts_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Internal(
+          "2pc apply failed on shard " + std::to_string(w.shard) + ": " +
+          applied.status().message() + " (transaction rolled back)");
+    }
+    applied_writes.emplace_back(w.shard, *applied);
+    Slot& slot = slots[w.batch_index];
+    slot.replicas += 1;
+    slot.last_shard = w.shard;
+    slot.max_time_s = std::max(slot.max_time_s, applied->storage_time_s);
+    if (!slot.filled || w.shard == 0) {
+      slot.filled = true;
+      slot.result = *applied;
+    }
+  }
+  cleanup_staged();
+  txn_commits_.fetch_add(1, std::memory_order_relaxed);
+
+  for (auto& [batch_index, slot] : slots) {
+    // Replicas write in parallel in a real deployment: charge the slowest.
+    slot.result.storage_time_s = slot.max_time_s;
+    RecordVersion(slot.result.id,
+                  slot.replicas > 1 ? kReplicated : slot.last_shard);
+    (*results)[batch_index] = slot.result;
+  }
+  return Status::Ok();
+}
+
+StatusOr<PutResult> ShardedStorageEngine::Put(const std::string& key,
+                                              std::string_view data) {
+  if (!IsReplicated(key)) {
+    return DirectPut(ShardForKey(key), key, data);
+  }
+  // Replicated namespace: coordinate all shards even for one key — this is
+  // the branch-table/commit-log write path, and every shard must agree.
+  PutRequest request{key, std::string(data)};
+  std::vector<ShardWrite> writes;
+  writes.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    writes.push_back({s, 0, &request});
+  }
+  std::vector<PutResult> results(1);
+  MLCASK_RETURN_IF_ERROR(RunTransaction(writes, &results));
+  return results[0];
+}
+
+StatusOr<std::vector<PutResult>> ShardedStorageEngine::PutMany(
+    const std::vector<PutRequest>& batch) {
+  std::vector<ShardWrite> writes;
+  std::set<size_t> participants;
+  bool any_replicated = false;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (IsReplicated(batch[i].key)) {
+      any_replicated = true;
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        writes.push_back({s, i, &batch[i]});
+        participants.insert(s);
+      }
+    } else {
+      size_t s = ShardForKey(batch[i].key);
+      writes.push_back({s, i, &batch[i]});
+      participants.insert(s);
+    }
+  }
+  std::vector<PutResult> results(batch.size());
+  if (writes.empty()) return results;
+  if (participants.size() == 1 && !any_replicated && batch.size() == 1) {
+    // One write on one shard: no coordination needed.
+    MLCASK_ASSIGN_OR_RETURN(results[0],
+                            DirectPut(writes[0].shard, batch[0].key,
+                                      batch[0].data));
+    return results;
+  }
+  MLCASK_RETURN_IF_ERROR(RunTransaction(writes, &results));
+  return results;
+}
+
+StatusOr<std::string> ShardedStorageEngine::Get(const std::string& key) {
+  const size_t shard = IsReplicated(key) ? 0 : ShardForKey(key);
+  return shards_[shard]->Get(key);
+}
+
+StatusOr<std::string> ShardedStorageEngine::GetVersion(const Hash256& id) {
+  {
+    std::shared_lock<std::shared_mutex> lock(index_mu_);
+    auto it = version_shard_.find(id);
+    if (it != version_shard_.end()) {
+      const size_t shard = it->second == kReplicated ? 0 : it->second;
+      lock.unlock();
+      return shards_[shard]->GetVersion(id);
+    }
+  }
+  // Not in the router index (e.g. a restored shard): broadcast probe.
+  for (const auto& shard : shards_) {
+    auto data = shard->GetVersion(id);
+    if (data.ok()) return data;
+    if (!data.status().IsNotFound()) return data.status();
+  }
+  return Status::NotFound("version " + id.ShortHex() + " not on any shard");
+}
+
+bool ShardedStorageEngine::HasVersion(const Hash256& id) const {
+  {
+    std::shared_lock<std::shared_mutex> lock(index_mu_);
+    auto it = version_shard_.find(id);
+    if (it != version_shard_.end()) {
+      const size_t shard = it->second == kReplicated ? 0 : it->second;
+      lock.unlock();
+      return shards_[shard]->HasVersion(id);
+    }
+  }
+  for (const auto& shard : shards_) {
+    if (shard->HasVersion(id)) return true;
+  }
+  return false;
+}
+
+std::vector<Hash256> ShardedStorageEngine::Versions(
+    const std::string& key) const {
+  const size_t shard = IsReplicated(key) ? 0 : ShardForKey(key);
+  return shards_[shard]->Versions(key);
+}
+
+std::vector<std::pair<std::string, Hash256>>
+ShardedStorageEngine::ListAllVersions() const {
+  std::vector<std::pair<std::string, Hash256>> all;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    for (auto& entry : shards_[s]->ListAllVersions()) {
+      if (IsStagingKey(entry.first)) continue;  // internal 2pc records
+      // Replicated keys exist on every shard; surface one logical copy.
+      if (s != 0 && IsReplicated(entry.first)) continue;
+      all.push_back(std::move(entry));
+    }
+  }
+  return all;
+}
+
+StatusOr<uint64_t> ShardedStorageEngine::DeleteVersion(const Hash256& id) {
+  size_t shard = kReplicated;
+  bool indexed = false;
+  {
+    std::shared_lock<std::shared_mutex> lock(index_mu_);
+    auto it = version_shard_.find(id);
+    if (it != version_shard_.end()) {
+      shard = it->second;
+      indexed = true;
+    }
+  }
+  if (!indexed) {
+    // Not in the router index (a restored shard): probe everywhere. More
+    // than one holder means a replicated version — fall through to the
+    // delete-every-replica branch, otherwise replicas would leak.
+    std::vector<size_t> holders;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (shards_[s]->HasVersion(id)) holders.push_back(s);
+    }
+    if (holders.empty()) {
+      return Status::NotFound("version " + id.ShortHex() + " not on any shard");
+    }
+    shard = holders.size() == 1 ? holders[0] : kReplicated;
+  }
+  uint64_t freed = 0;
+  if (shard == kReplicated) {
+    // Drop every replica; report one replica's freed bytes (the logical
+    // view counts one copy).
+    bool counted = false;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      auto result = shards_[s]->DeleteVersion(id);
+      if (!result.ok() && !result.status().IsNotFound()) {
+        return result.status();
+      }
+      if (result.ok() && !counted) {
+        freed = *result;
+        counted = true;
+      }
+    }
+  } else {
+    MLCASK_ASSIGN_OR_RETURN(freed, shards_[shard]->DeleteVersion(id));
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(index_mu_);
+    version_shard_.erase(id);
+  }
+  return freed;
+}
+
+EngineStats ShardedStorageEngine::stats() const {
+  EngineStats total;
+  for (const auto& shard : shards_) {
+    EngineStats s = shard->stats();
+    total.logical_bytes += s.logical_bytes;
+    total.physical_bytes += s.physical_bytes;
+    total.storage_time_s += s.storage_time_s;
+    total.puts += s.puts;
+    total.gets += s.gets;
+  }
+  return total;
+}
+
+std::string ShardedStorageEngine::Name() const {
+  return "sharded-" + std::to_string(shards_.size()) + "x[" +
+         shards_[0]->Name() + "]";
+}
+
+double ShardedStorageEngine::ReadCost(uint64_t bytes) const {
+  return shards_[0]->ReadCost(bytes);
+}
+
+ShardedStorageEngine::TwoPhaseStats ShardedStorageEngine::two_phase_stats()
+    const {
+  TwoPhaseStats s;
+  s.transactions = txn_counter_.load(std::memory_order_relaxed);
+  s.prepared_writes = txn_prepared_.load(std::memory_order_relaxed);
+  s.commits = txn_commits_.load(std::memory_order_relaxed);
+  s.aborts = txn_aborts_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::unique_ptr<ShardedStorageEngine> MakeLoopbackCluster(
+    size_t shards,
+    const std::function<std::unique_ptr<StorageEngine>()>& backend_factory,
+    ShardedStorageEngine::Options options) {
+  MLCASK_CHECK_MSG(shards > 0, "cluster needs at least one shard");
+  std::vector<std::unique_ptr<StorageEngine>> proxies;
+  proxies.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    // Ownership chain: proxy -> transport -> (shared) service -> backend.
+    auto service =
+        std::make_shared<StorageEngineService>(backend_factory());
+    auto transport = std::make_unique<LoopbackTransport>(
+        [service](std::string_view request) {
+          return service->Handle(request);
+        });
+    proxies.push_back(
+        std::make_unique<RemoteStorageEngine>(std::move(transport)));
+  }
+  return std::make_unique<ShardedStorageEngine>(std::move(proxies),
+                                                std::move(options));
+}
+
+}  // namespace mlcask::storage

@@ -1,0 +1,159 @@
+#ifndef MLCASK_STORAGE_SHARDED_ENGINE_H_
+#define MLCASK_STORAGE_SHARDED_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/storage_engine.h"
+
+namespace mlcask::storage {
+
+/// A distributed StorageEngine: N child engines (typically RemoteStorageEngine
+/// proxies, so every call crosses a serialization boundary) behind one router.
+///
+/// ## Routing
+///
+/// Object keys route by consistent hashing: each shard owns
+/// `virtual_nodes_per_shard` points on a 64-bit ring, a key goes to the shard
+/// owning the first point at or after H(key). Version ids route through a
+/// router-side index maintained on Put (with a broadcast probe as fallback),
+/// since a content id alone does not reveal its key.
+///
+/// ## Replicated namespaces (cross-shard branch-table coordination)
+///
+/// Keys matching `replicated_prefixes` — by default the `pipeline/` commit
+/// logs that persist the branch table and the `library/` metafiles — are
+/// written to EVERY shard through the two-phase protocol below and read from
+/// shard 0. Version-control metadata must be visible cluster-wide (any shard
+/// can resolve branch heads and commit history); bulky artifacts partition.
+///
+/// ## Two-phase commit (merge winners)
+///
+/// `PutMany` overrides the interface default with an all-or-nothing protocol:
+///   phase 1  stage every write's payload on its participant shard under a
+///            transactional `__2pc__/<txn>/...` key (durable intent; on a
+///            deduplicating engine the staged chunks make the commit write
+///            nearly free);
+///   phase 2  on unanimous success, apply the real writes and drop the
+///            staging records; any prepare failure aborts — staged records
+///            are deleted and no real key ever surfaces.
+/// The merge operation persists its winner through PutMany, so a merge
+/// result spanning shards commits atomically. A single-write,
+/// non-replicated batch skips coordination (a one-write transaction needs
+/// no 2PC). Staging keys are internal: they never appear in
+/// ListAllVersions.
+///
+/// Thread safety: same contract as every StorageEngine — concurrent calls
+/// from many workers are safe (the router index has its own lock; child
+/// engines carry their own guarantees).
+class ShardedStorageEngine : public StorageEngine {
+ public:
+  struct Options {
+    /// Key prefixes replicated to every shard (see above).
+    std::vector<std::string> replicated_prefixes = {"pipeline/", "library/"};
+    /// Ring points per shard; more points = smoother key balance.
+    size_t virtual_nodes_per_shard = 16;
+  };
+
+  /// Two-phase-commit telemetry.
+  struct TwoPhaseStats {
+    uint64_t transactions = 0;     ///< Multi-participant PutMany/replicated.
+    uint64_t prepared_writes = 0;  ///< Staging records written (phase 1).
+    uint64_t commits = 0;          ///< Transactions fully applied.
+    uint64_t aborts = 0;           ///< Transactions rolled back in phase 1.
+  };
+
+  /// Takes ownership of the child engines. At least one shard is required.
+  explicit ShardedStorageEngine(
+      std::vector<std::unique_ptr<StorageEngine>> shards);
+  ShardedStorageEngine(std::vector<std::unique_ptr<StorageEngine>> shards,
+                       Options options);
+
+  StatusOr<PutResult> Put(const std::string& key,
+                          std::string_view data) override;
+  StatusOr<std::vector<PutResult>> PutMany(
+      const std::vector<PutRequest>& batch) override;
+  StatusOr<std::string> Get(const std::string& key) override;
+  StatusOr<std::string> GetVersion(const Hash256& id) override;
+  bool HasVersion(const Hash256& id) const override;
+  std::vector<Hash256> Versions(const std::string& key) const override;
+  std::vector<std::pair<std::string, Hash256>> ListAllVersions() const override;
+  StatusOr<uint64_t> DeleteVersion(const Hash256& id) override;
+  EngineStats stats() const override;  ///< Sum over child engines.
+  std::string Name() const override;
+  double ReadCost(uint64_t bytes) const override;
+
+  size_t num_shards() const { return shards_.size(); }
+  StorageEngine* shard(size_t i) { return shards_[i].get(); }
+  const StorageEngine* shard(size_t i) const { return shards_[i].get(); }
+
+  /// Ring lookup for `key` (replication not considered).
+  size_t ShardForKey(std::string_view key) const;
+  bool IsReplicated(std::string_view key) const;
+
+  TwoPhaseStats two_phase_stats() const;
+
+ private:
+  /// One write bound for a specific shard, remembering its slot in the
+  /// caller's batch so results come back in order.
+  struct ShardWrite {
+    size_t shard = 0;
+    size_t batch_index = 0;
+    const PutRequest* request = nullptr;
+  };
+
+  /// Runs the two-phase protocol over `writes` (already routed). On success
+  /// fills `results[batch_index]` for every write; replicated writes report
+  /// their shard-0 result with the slowest replica's storage time.
+  Status RunTransaction(const std::vector<ShardWrite>& writes,
+                        std::vector<PutResult>* results);
+
+  /// Applies one uncoordinated write and records its version id.
+  StatusOr<PutResult> DirectPut(size_t shard, const std::string& key,
+                                std::string_view data);
+
+  void RecordVersion(const Hash256& id, size_t shard);
+
+  /// Sentinel shard index meaning "present on every shard, read from 0".
+  static constexpr size_t kReplicated = static_cast<size_t>(-1);
+
+  std::vector<std::unique_ptr<StorageEngine>> shards_;
+  Options options_;
+  std::map<uint64_t, size_t> ring_;  ///< Ring point -> shard index.
+
+  mutable std::shared_mutex index_mu_;
+  std::unordered_map<Hash256, size_t, Hash256Hasher> version_shard_;
+
+  /// Serializes coordinated transactions so concurrent replicated writes
+  /// cannot apply in different orders on different shards (replica
+  /// divergence). DirectPut never takes it.
+  std::mutex txn_mu_;
+  std::atomic<uint64_t> txn_counter_{0};
+  std::atomic<uint64_t> txn_prepared_{0};
+  std::atomic<uint64_t> txn_commits_{0};
+  std::atomic<uint64_t> txn_aborts_{0};
+};
+
+/// Builds the canonical loopback cluster: `shards` backends (from
+/// `backend_factory`), each wrapped in a StorageEngineService behind a
+/// LoopbackTransport and a RemoteStorageEngine proxy, all routed by one
+/// ShardedStorageEngine. Every storage call crosses the wire format exactly
+/// as a socket deployment would; swapping the transport is the only change a
+/// real multi-process setup needs.
+std::unique_ptr<ShardedStorageEngine> MakeLoopbackCluster(
+    size_t shards,
+    const std::function<std::unique_ptr<StorageEngine>()>& backend_factory,
+    ShardedStorageEngine::Options options = ShardedStorageEngine::Options());
+
+}  // namespace mlcask::storage
+
+#endif  // MLCASK_STORAGE_SHARDED_ENGINE_H_

@@ -36,6 +36,12 @@ struct StorageTimeModel {
   }
 };
 
+/// One write of a multi-key batch (StorageEngine::PutMany).
+struct PutRequest {
+  std::string key;
+  std::string data;
+};
+
 /// Result of storing one object version.
 struct PutResult {
   Hash256 id;                      ///< Content id of this object version.
@@ -72,6 +78,24 @@ class StorageEngine {
   /// Stores a new version of `key`.
   virtual StatusOr<PutResult> Put(const std::string& key,
                                   std::string_view data) = 0;
+
+  /// Stores a batch of writes, one new version per request, returning one
+  /// PutResult per request in order. The default implementation applies the
+  /// puts serially with no atomicity guarantee (a mid-batch failure leaves
+  /// earlier writes in place). Distributed engines override this with an
+  /// all-or-nothing protocol: ShardedStorageEngine runs a two-phase commit
+  /// across the participating shards, which is how merge winners are
+  /// persisted atomically (see sharded_engine.h).
+  virtual StatusOr<std::vector<PutResult>> PutMany(
+      const std::vector<PutRequest>& batch) {
+    std::vector<PutResult> results;
+    results.reserve(batch.size());
+    for (const PutRequest& request : batch) {
+      MLCASK_ASSIGN_OR_RETURN(PutResult result, Put(request.key, request.data));
+      results.push_back(result);
+    }
+    return results;
+  }
 
   /// Reads the latest version of `key`.
   virtual StatusOr<std::string> Get(const std::string& key) = 0;

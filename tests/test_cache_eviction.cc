@@ -7,7 +7,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <list>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/logging.h"
@@ -147,6 +150,96 @@ TEST(CacheEvictionTest, ClearResetsByteAccounting) {
   cache.Clear();
   EXPECT_EQ(cache.stats().bytes, 0u);
   EXPECT_EQ(cache.size(), 0u);
+}
+
+/// ROADMAP question made measurable: the cache's byte cap is enforced by a
+/// per-shard LRU swept round-robin from shard 0, NOT a global LRU. This
+/// recorded-trace test replays one deterministic access trace through (a)
+/// the real capped cache, counting recomputations (granted leases), and
+/// (b) an ideal global-LRU oracle of the same capacity, counting misses —
+/// quantifying how much recomputation the shard-local eviction order costs
+/// on an adversarial layout (hot keys concentrated on the low shards the
+/// sweep drains first, cold keys on high shards).
+TEST(CacheEvictionTest, TraceQuantifiesShardedVsGlobalLruRecomputation) {
+  constexpr size_t kHot = 16;    // 4 keys on each of shards 0..3
+  constexpr size_t kCold = 16;   // 2 keys on each of shards 8..15
+  constexpr size_t kCapacityEntries = 24;
+  constexpr int kRounds = 30;
+
+  std::vector<Hash256> hot, cold;
+  for (size_t i = 0; i < kHot; ++i) {
+    hot.push_back(ShardKey(static_cast<uint8_t>(i % 4),
+                           static_cast<uint8_t>(i)));
+  }
+  for (size_t j = 0; j < kCold; ++j) {
+    cold.push_back(ShardKey(static_cast<uint8_t>(8 + j % 8),
+                            static_cast<uint8_t>(64 + j)));
+  }
+  // The trace: every round touches the whole hot set, then one cold key.
+  // A capacity of 24 fits the 16 hot keys plus churn; a global LRU keeps
+  // the hot set resident for the entire trace.
+  std::vector<Hash256> trace;
+  for (int r = 0; r < kRounds; ++r) {
+    for (const Hash256& key : hot) trace.push_back(key);
+    trace.push_back(cold[static_cast<size_t>(r) % kCold]);
+  }
+
+  // (a) The real cache.
+  ArtifactCache::Options options;
+  options.max_bytes =
+      kCapacityEntries * OneEntryBytes() + OneEntryBytes() / 2;
+  ArtifactCache cache(options);
+  uint64_t recomputations = 0;
+  for (const Hash256& key : trace) {
+    ArtifactCache::Acquired acquired = cache.Acquire(key);
+    if (acquired.lease != nullptr) {
+      ++recomputations;
+      cache.Fulfill(acquired.lease.get(), MakeEntry(1.0));
+    }
+  }
+
+  // (b) The ideal global-LRU oracle at the same entry capacity.
+  uint64_t oracle_misses = 0;
+  std::list<Hash256> lru;  // least recent first
+  std::unordered_map<Hash256, std::list<Hash256>::iterator, Hash256Hasher>
+      resident;
+  for (const Hash256& key : trace) {
+    auto it = resident.find(key);
+    if (it != resident.end()) {
+      lru.erase(it->second);
+    } else {
+      ++oracle_misses;
+      if (resident.size() == kCapacityEntries) {
+        resident.erase(lru.front());
+        lru.pop_front();
+      }
+    }
+    lru.push_back(key);
+    resident[key] = std::prev(lru.end());
+  }
+
+  const double ratio = static_cast<double>(recomputations) /
+                       static_cast<double>(oracle_misses);
+  std::printf("[trace] sharded-LRU recomputations=%llu, global-LRU oracle "
+              "misses=%llu, ratio=%.2fx over %zu accesses\n",
+              static_cast<unsigned long long>(recomputations),
+              static_cast<unsigned long long>(oracle_misses), ratio,
+              trace.size());
+  ::testing::Test::RecordProperty("sharded_recomputations",
+                                  static_cast<int>(recomputations));
+  ::testing::Test::RecordProperty("global_lru_oracle_misses",
+                                  static_cast<int>(oracle_misses));
+
+  // Every key misses at least once, under either policy, and the sharded
+  // sweep can at best match the ideal oracle. The measured GAP (printed +
+  // recorded above — currently ~5.3x) is the data point the ROADMAP asks
+  // for; deliberately NOT asserted as a lower bound, so landing a global
+  // recency epoch improves the ratio toward 1.0 without failing this test.
+  EXPECT_GE(oracle_misses, kHot + kCold);
+  EXPECT_GE(recomputations, oracle_misses);
+  // Upper bound: even the adversarial layout must stay short of
+  // pathological recompute-everything.
+  EXPECT_LT(recomputations, trace.size() * 3 / 4);
 }
 
 TEST(CacheEvictionTest, ConcurrentChurnRecomputesNotCorrupts) {

@@ -1,0 +1,147 @@
+// ThreadSanitizer-style stress tests for LibraryRegistry: dynamic library
+// registration racing concurrent executor-side lookups must be safe, the
+// pointer Get() hands out must stay valid while later registrations land,
+// and a duplicate-name race must admit exactly one winner.
+
+#include "pipeline/library_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mlcask::pipeline {
+namespace {
+
+/// A trivial library body whose identity is observable from the outside.
+LibraryFn MakeFn(double tag) {
+  return [tag](const ExecInput&) -> StatusOr<ExecOutput> {
+    ExecOutput out;
+    out.score = tag;
+    out.metric = "tag";
+    return out;
+  };
+}
+
+TEST(RegistryStressTest, RegistrationRacesLookupsSafely) {
+  LibraryRegistry registry;
+  // Executors resolve these pre-registered impls the whole time.
+  constexpr int kStable = 8;
+  for (int i = 0; i < kStable; ++i) {
+    ASSERT_TRUE(registry.Register("stable_" + std::to_string(i),
+                                  MakeFn(i)).ok());
+  }
+
+  constexpr int kWriters = 3;
+  constexpr int kReaders = 3;
+  constexpr int kPerWriter = 120;
+  std::atomic<bool> stop{false};
+  std::atomic<int> lookup_failures{0};
+  std::atomic<int> call_failures{0};
+
+  std::vector<std::thread> threads;
+  // Writers: stream in new libraries, all names disjoint.
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        std::string name =
+            "dyn_" + std::to_string(w) + "_" + std::to_string(i);
+        if (!registry.Register(name, MakeFn(w * 1000 + i)).ok()) {
+          call_failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  // Readers: hammer the executor-side surface (Get + call, Has, List, size)
+  // while the map grows underneath them.
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      ExecInput input;
+      size_t last_size = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string name = "stable_" + std::to_string(r % kStable);
+        auto fn = registry.Get(name);
+        if (!fn.ok()) {
+          lookup_failures.fetch_add(1);
+          continue;
+        }
+        auto out = (**fn)(input);
+        if (!out.ok() || out->score != static_cast<double>(r % kStable)) {
+          call_failures.fetch_add(1);
+        }
+        if (!registry.Has(name)) lookup_failures.fetch_add(1);
+        size_t size = registry.size();
+        if (size < last_size) call_failures.fetch_add(1);  // never shrinks
+        last_size = size;
+        if (registry.List().size() != size && registry.List().size() < size) {
+          call_failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<size_t>(w)].join();
+  stop.store(true);
+  for (size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  EXPECT_EQ(lookup_failures.load(), 0);
+  EXPECT_EQ(call_failures.load(), 0);
+  EXPECT_EQ(registry.size(),
+            static_cast<size_t>(kStable + kWriters * kPerWriter));
+  // Every dynamically registered library is resolvable afterwards.
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < kPerWriter; i += 17) {
+      EXPECT_TRUE(
+          registry.Has("dyn_" + std::to_string(w) + "_" + std::to_string(i)));
+    }
+  }
+}
+
+TEST(RegistryStressTest, DuplicateNameRaceAdmitsExactlyOneWinner) {
+  for (int round = 0; round < 20; ++round) {
+    LibraryRegistry registry;
+    constexpr int kThreads = 4;
+    std::atomic<int> winners{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        if (registry.Register("contested", MakeFn(t)).ok()) {
+          winners.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(winners.load(), 1) << "round " << round;
+    EXPECT_EQ(registry.size(), 1u);
+  }
+}
+
+TEST(RegistryStressTest, HandedOutPointerSurvivesLaterRegistrations) {
+  LibraryRegistry registry;
+  ASSERT_TRUE(registry.Register("first", MakeFn(42)).ok());
+  auto fn = registry.Get("first");
+  ASSERT_TRUE(fn.ok());
+  const LibraryFn* pointer = *fn;
+
+  std::thread writer([&] {
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_TRUE(registry.Register("later_" + std::to_string(i),
+                                    MakeFn(i)).ok());
+    }
+  });
+  ExecInput input;
+  for (int i = 0; i < 500; ++i) {
+    auto out = (*pointer)(input);
+    ASSERT_TRUE(out.ok());
+    EXPECT_DOUBLE_EQ(out->score, 42.0);
+  }
+  writer.join();
+  // Still the same mapping after the churn.
+  auto again = registry.Get("first");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, pointer);
+}
+
+}  // namespace
+}  // namespace mlcask::pipeline

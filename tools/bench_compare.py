@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Bench-trajectory regression gate.
+
+Compares the current BENCH_*.json report (the JsonReporter schema:
+``{"bench": ..., "sections": {<section>: {<metric>: <number>}}}``) against
+the median of the last N reports accumulated in a history directory, and
+exits nonzero when a gated metric degrades by more than the threshold —
+the CI comparator the ROADMAP asks for over the BENCH_micro_merge.json
+trajectory (and any other report with the same schema, e.g.
+BENCH_fig11_distributed.json).
+
+Gated metrics, by name:
+  * ``*makespan*``  — lower is better (virtual wall-clock of a drain);
+  * ``*speedup*``   — higher is better (scaling quality).
+Everything else (scores, byte counts, eviction telemetry) is recorded but
+not gated: those have their own exact PASS/FAIL checks inside the benches.
+
+Typical CI usage (history persisted via actions/cache):
+
+    python3 tools/bench_compare.py --current BENCH_micro_merge.json \
+        --history-dir bench-history --last 5 --threshold 0.10
+    python3 tools/bench_compare.py --current BENCH_micro_merge.json \
+        --history-dir bench-history --append --tag "$GITHUB_RUN_ID"
+
+An empty or missing history passes with a note: the gate only engages once
+a few data points exist.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import statistics
+import sys
+
+LOWER_IS_BETTER = ("makespan",)
+HIGHER_IS_BETTER = ("speedup",)
+
+
+def metric_direction(name):
+    """Returns 'lower', 'higher', or None (not gated) for a metric name."""
+    lowered = name.lower()
+    if any(tag in lowered for tag in LOWER_IS_BETTER):
+        return "lower"
+    if any(tag in lowered for tag in HIGHER_IS_BETTER):
+        return "higher"
+    return None
+
+
+def load_metrics(path):
+    """Flattens one report into {(section, metric): float}."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    flat = {}
+    for section, metrics in doc.get("sections", {}).items():
+        if not isinstance(metrics, dict):
+            continue
+        for name, value in metrics.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            flat[(section, name)] = float(value)
+    return flat, doc.get("bench", "bench")
+
+
+def history_files(history_dir, bench_name):
+    """History reports for this bench, oldest first (by mtime, then name)."""
+    if not os.path.isdir(history_dir):
+        return []
+    paths = [
+        os.path.join(history_dir, entry)
+        for entry in os.listdir(history_dir)
+        if entry.startswith(bench_name + "-") and entry.endswith(".json")
+    ]
+    return sorted(paths, key=lambda p: (os.path.getmtime(p), p))
+
+
+def compare(current_path, history_dir, last, threshold, min_history):
+    current, bench_name = load_metrics(current_path)
+    history = history_files(history_dir, bench_name)[-last:]
+    if len(history) < min_history:
+        print(
+            f"bench_compare: only {len(history)} historical report(s) for "
+            f"'{bench_name}' in {history_dir!r} (need {min_history}); "
+            "nothing to gate yet — PASS"
+        )
+        return 0
+
+    series = {}
+    for path in history:
+        metrics, _ = load_metrics(path)
+        for key, value in metrics.items():
+            series.setdefault(key, []).append(value)
+
+    regressions = []
+    checked = 0
+    for (section, name), value in sorted(current.items()):
+        direction = metric_direction(name)
+        past = series.get((section, name))
+        if direction is None or not past:
+            continue
+        checked += 1
+        median = statistics.median(past)
+        if median == 0:
+            continue
+        if direction == "lower":
+            change = value / median - 1.0
+            regressed = change > threshold
+            verdict = f"{change:+.1%} vs median {median:.4g} (lower is better)"
+        else:
+            change = 1.0 - value / median
+            regressed = change > threshold
+            verdict = (
+                f"{-change:+.1%} vs median {median:.4g} (higher is better)"
+            )
+        status = "REGRESSION" if regressed else "ok"
+        print(
+            f"  [{status:>10}] {section}/{name}: {value:.4g} {verdict} "
+            f"over {len(past)} run(s)"
+        )
+        if regressed:
+            regressions.append(f"{section}/{name}")
+
+    print(
+        f"bench_compare: checked {checked} gated metric(s) against "
+        f"{len(history)} run(s), threshold {threshold:.0%}"
+    )
+    if regressions:
+        print(
+            "bench_compare: FAIL — regressed metrics: "
+            + ", ".join(regressions)
+        )
+        return 1
+    print("bench_compare: PASS")
+    return 0
+
+
+def append(current_path, history_dir, tag, keep):
+    _, bench_name = load_metrics(current_path)
+    os.makedirs(history_dir, exist_ok=True)
+    target = os.path.join(history_dir, f"{bench_name}-{tag}.json")
+    shutil.copyfile(current_path, target)
+    print(f"bench_compare: appended {target}")
+    stale = history_files(history_dir, bench_name)[:-keep]
+    for path in stale:
+        os.remove(path)
+        print(f"bench_compare: pruned {path}")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", required=True,
+                        help="BENCH_*.json produced by this run")
+    parser.add_argument("--history-dir", default="bench-history",
+                        help="directory of prior reports (default: %(default)s)")
+    parser.add_argument("--last", type=int, default=5,
+                        help="compare against the median of the last N runs")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed fractional degradation (default 10%%)")
+    parser.add_argument("--min-history", type=int, default=2,
+                        help="gate only once this many reports exist")
+    parser.add_argument("--append", action="store_true",
+                        help="record the current report into the history "
+                             "instead of comparing")
+    parser.add_argument("--tag", default="local",
+                        help="history file tag, e.g. the CI run id")
+    parser.add_argument("--keep", type=int, default=20,
+                        help="history files retained per bench on --append")
+    args = parser.parse_args(argv)
+
+    if not os.path.isfile(args.current):
+        print(f"bench_compare: current report {args.current!r} not found")
+        return 2
+    if args.append:
+        return append(args.current, args.history_dir, args.tag, args.keep)
+    return compare(args.current, args.history_dir, args.last, args.threshold,
+                   args.min_history)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
