@@ -40,29 +40,75 @@ T CheckedValue(StatusOr<T> value, const char* what) {
   return *std::move(value);
 }
 
-/// Common bench CLI flags:
+/// Common bench CLI flags — THE one flag parser every standalone bench
+/// shares (micro_merge_parallel, fig11_distributed, micro_merge_realtime);
+/// benches must not hand-roll their own argv loops:
 ///   --json <path> / --json=<path>  write a machine-readable report there
 ///   --short                        reduced iteration count for CI
+/// Bench-specific integer knobs register through `int_flags` (defaults in,
+/// parsed values out via `ints`), so every bench gets identical syntax
+/// (`--name <n>` / `--name=<n>`) and identical unknown-flag handling.
 struct BenchArgs {
   std::string json_path;
   bool short_mode = false;
+  /// Values of the caller-registered integer flags, keyed by flag name
+  /// (including the leading dashes), pre-filled with the defaults.
+  std::map<std::string, long> ints;
 };
 
-inline BenchArgs ParseBenchArgs(int argc, char** argv) {
+inline BenchArgs ParseBenchArgs(
+    int argc, char** argv, const std::map<std::string, long>& int_flags = {}) {
   BenchArgs args;
+  args.ints = int_flags;
+  auto parse_int = [](const char* flag, const char* text) {
+    char* end = nullptr;
+    long value = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0') {
+      std::fprintf(stderr, "[bench] %s expects an integer, got '%s'\n", flag,
+                   text);
+      std::exit(2);
+    }
+    return value;
+  };
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--short") == 0) {
       args.short_mode = true;
-    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      continue;
+    }
+    if (std::strncmp(arg, "--json=", 7) == 0) {
       args.json_path = arg + 7;
-    } else if (std::strcmp(arg, "--json") == 0) {
+      continue;
+    }
+    if (std::strcmp(arg, "--json") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "[bench] --json requires a path argument\n");
         std::exit(2);
       }
       args.json_path = argv[++i];
-    } else {
+      continue;
+    }
+    bool matched = false;
+    for (const auto& [name, unused_default] : int_flags) {
+      (void)unused_default;
+      if (std::strncmp(arg, name.c_str(), name.size()) == 0 &&
+          arg[name.size()] == '=') {
+        args.ints[name] = parse_int(name.c_str(), arg + name.size() + 1);
+        matched = true;
+        break;
+      }
+      if (name == arg) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "[bench] %s requires an integer argument\n",
+                       name.c_str());
+          std::exit(2);
+        }
+        args.ints[name] = parse_int(name.c_str(), argv[++i]);
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
       std::fprintf(stderr, "[bench] unknown argument: %s\n", arg);
       std::exit(2);
     }

@@ -1,0 +1,178 @@
+// REAL wall-clock scaling of the sharded merge drain. Earlier benches
+// measure VIRTUAL makespans (SimClock timelines); this one measures the
+// actual steady-clock time of MergeOperation::Merge's candidate-drain phase
+// (MergeReport::drain_wall_ms) and compares the sequential real-time shard
+// dispatch (concurrent_shard_drains=false, the pre-existing behaviour)
+// against the concurrent dispatch (per-shard drains on concurrently running
+// per-shard ExecutionCores — real OS threads).
+//
+// Per shard count the bench verifies the two dispatch modes are
+// result-identical (executions, winner score, virtual makespan — one
+// virtual worker per shard keeps virtual time deterministic) and reports
+//   real speedup = min sequential drain wall / min concurrent drain wall.
+//
+// PASS requires >= 2x real speedup at 4 shards — but only on a host with
+// at least --min-cores (default 4) hardware threads. On smaller machines
+// real parallelism physically cannot show, so the gate SKIPS WITH A NOTICE
+// (exit stays 0) instead of failing contributors on 1/2-core laptops; CI
+// runs on multi-core runners where the gate is live. Flags: --short (fewer
+// shard counts/repeats), --json <path> (write the
+// BENCH_micro_merge_realtime.json trajectory artifact), --repeats <n>,
+// --min-cores <n>.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "merge/merge_op.h"
+#include "sim/scenario.h"
+
+namespace mlcask {
+namespace {
+
+constexpr double kScale = 0.12;
+
+struct DrainPoint {
+  uint64_t executions = 0;
+  double best_score = 0;
+  double makespan_s = 0;
+  double wall_ms = 0;  ///< Best (minimum) drain wall over the repeats.
+};
+
+/// One full metric-driven merge of the widened fig11 scenario on a fresh
+/// sharded deployment; returns the drain's real wall time and the
+/// result fingerprint. `concurrent` picks the real-time dispatch mode.
+DrainPoint RunOnce(size_t shards, bool concurrent) {
+  sim::DeploymentConfig config;
+  config.num_workers = 1;
+  config.storage_shards = shards;
+  auto d = bench::CheckedValue(
+      sim::MakeDeployment("readmission", kScale, config), "MakeDeployment");
+  bench::CheckOk(sim::BuildDistributedMergeScenario(
+                     d.get(), /*extra_extractor_versions=*/2,
+                     /*extra_model_versions=*/4)
+                     .status(),
+                 "BuildDistributedMergeScenario");
+  merge::MergeOperation op(d->repo.get(), d->libraries.get(),
+                           d->registry.get(), d->engine.get(),
+                           d->clock.get());
+  merge::MergeOptions options;
+  options.shards = shards;
+  options.concurrent_shard_drains = concurrent;
+  auto report =
+      bench::CheckedValue(op.Merge("master", "dev", options), "Merge");
+  DrainPoint point;
+  point.executions = report.component_executions;
+  point.best_score = report.best_score;
+  point.makespan_s = report.makespan_s;
+  point.wall_ms = report.drain_wall_ms;
+  return point;
+}
+
+DrainPoint RunBest(size_t shards, bool concurrent, int repeats) {
+  DrainPoint best = RunOnce(shards, concurrent);
+  for (int r = 1; r < repeats; ++r) {
+    DrainPoint next = RunOnce(shards, concurrent);
+    // The fingerprint must be run-invariant; keep the fastest wall.
+    if (next.executions != best.executions ||
+        next.best_score != best.best_score ||
+        next.makespan_s != best.makespan_s) {
+      std::fprintf(stderr,
+                   "[bench] nondeterministic merge fingerprint at %zu "
+                   "shards (%s dispatch)\n",
+                   shards, concurrent ? "concurrent" : "sequential");
+      std::exit(1);
+    }
+    best.wall_ms = std::min(best.wall_ms, next.wall_ms);
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace mlcask
+
+int main(int argc, char** argv) {
+  using namespace mlcask;
+  bench::BenchArgs args = bench::ParseBenchArgs(
+      argc, argv, {{"--repeats", 3}, {"--min-cores", 4}});
+  // Repeats are NOT reduced in short mode: the gate compares best-of-N
+  // wall times, and on shared CI runners one clean run out of three is
+  // what keeps a noisy-neighbor hiccup from failing the build. Each drain
+  // is ~100ms, so the extra repeats cost almost nothing.
+  const int repeats = std::max(1, static_cast<int>(args.ints["--repeats"]));
+  const size_t min_cores = static_cast<size_t>(args.ints["--min-cores"]);
+  const size_t cores = std::max<size_t>(1, std::thread::hardware_concurrency());
+
+  bench::Banner("micro_merge_realtime",
+                "REAL (steady-clock) sharded merge drain scaling");
+  std::printf("fig11 merge scenario, scale=%.2f, host cores=%zu, "
+              "repeats=%d%s\n",
+              kScale, cores, repeats, args.short_mode ? " (short mode)" : "");
+  bench::JsonReporter reporter("micro_merge_realtime");
+  reporter.Metric("realtime", "host_cores", static_cast<double>(cores));
+  reporter.Metric("realtime", "repeats", static_cast<double>(repeats));
+
+  const std::vector<size_t> shard_counts =
+      args.short_mode ? std::vector<size_t>{4}
+                      : std::vector<size_t>{2, 4, 8};
+
+  bool ok = true;
+  double real_speedup_at_4 = 0;
+  std::printf("%8s%16s%16s%12s%14s%10s\n", "shards", "seq wall(ms)",
+              "conc wall(ms)", "real", "makespan(s)", "execs");
+  for (size_t shards : shard_counts) {
+    DrainPoint seq = RunBest(shards, /*concurrent=*/false, repeats);
+    DrainPoint conc = RunBest(shards, /*concurrent=*/true, repeats);
+    if (conc.executions != seq.executions ||
+        conc.best_score != seq.best_score ||
+        conc.makespan_s != seq.makespan_s) {
+      std::printf("FAIL: concurrent dispatch changed the merge result at "
+                  "%zu shards\n",
+                  shards);
+      ok = false;
+    }
+    const double speedup = conc.wall_ms > 0 ? seq.wall_ms / conc.wall_ms : 0;
+    if (shards == 4) real_speedup_at_4 = speedup;
+    std::printf("%8zu%16.1f%16.1f%11.2fx%14.2f%10llu\n", shards, seq.wall_ms,
+                conc.wall_ms, speedup, conc.makespan_s,
+                static_cast<unsigned long long>(conc.executions));
+    const std::string suffix = "_s" + std::to_string(shards);
+    reporter.Metric("realtime", "drain_wall_ms_seq" + suffix, seq.wall_ms);
+    reporter.Metric("realtime", "drain_wall_ms_conc" + suffix, conc.wall_ms);
+    reporter.Metric("realtime", "real_speedup" + suffix, speedup);
+    reporter.Metric("realtime", "virtual_makespan_s" + suffix,
+                    conc.makespan_s);
+    reporter.Metric("realtime", "executions" + suffix,
+                    static_cast<double>(conc.executions));
+  }
+
+  // The gate: >= 2x real drain speedup at 4 shards — live only on hosts
+  // with enough hardware threads for real parallelism to exist.
+  std::string gate = "skipped-shard-counts";
+  if (std::find(shard_counts.begin(), shard_counts.end(), size_t{4}) !=
+      shard_counts.end()) {
+    if (cores < min_cores) {
+      gate = "skipped-cores";
+      std::printf(
+          "NOTICE: host has %zu hardware thread(s) (< %zu): the >= 2x "
+          "real-speedup gate is SKIPPED — real shard parallelism cannot "
+          "show here. Numbers above are still reported; CI gates on a "
+          "multi-core runner.\n",
+          cores, min_cores);
+    } else {
+      const bool pass = real_speedup_at_4 >= 2.0;
+      gate = pass ? "pass" : "fail";
+      std::printf("real drain speedup at 4 shards: %.2fx (target >= 2x): "
+                  "%s\n",
+                  real_speedup_at_4, pass ? "PASS" : "FAIL");
+      ok = ok && pass;
+    }
+  }
+  reporter.Metric("realtime", "gate", gate);
+  reporter.Metric("summary", "pass", ok);
+  reporter.Write(args.json_path);
+  return ok ? 0 : 1;
+}

@@ -1,6 +1,7 @@
 #include "merge/merge_op.h"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 #include <set>
 #include <unordered_map>
@@ -84,15 +85,19 @@ Status MergeOperation::SeedCheckpoints(pipeline::Executor* executor,
   return Status::Ok();
 }
 
-pipeline::ExecutionCore* MergeOperation::ShardCore(size_t shard) {
+pipeline::ExecutionCore* MergeOperation::ShardCore(size_t shard,
+                                                   size_t real_threads) {
   std::lock_guard<std::mutex> lock(shard_core_mu_);
   while (shard_cores_.size() <= shard) {
-    // One REAL thread per shard core: shard drains run sequentially in
-    // real time (their parallelism is virtual, via each drain's
-    // VirtualWorkerPool width), so OS threads per shard would sit idle.
-    // Inline cores keep "each shard drains through its own ExecutionCore"
-    // without spawning shards x workers threads.
-    shard_cores_.push_back(std::make_unique<pipeline::ExecutionCore>(1));
+    // With num_workers == 1 a shard core is inline (no OS threads): under
+    // the concurrent dispatch its whole drain runs on the dispatch pool's
+    // thread for that shard, so real parallelism is one core per shard.
+    // With num_workers > 1 the shard core carries that many real threads
+    // and the shard's candidates genuinely race each other too. Real
+    // thread counts only shape wall-clock; virtual results are identical
+    // either way.
+    shard_cores_.push_back(std::make_unique<pipeline::ExecutionCore>(
+        std::max<size_t>(1, real_threads)));
   }
   return shard_cores_[shard].get();
 }
@@ -181,6 +186,7 @@ StatusOr<MergeReport> MergeOperation::Merge(const std::string& head_branch,
   eo.precheck_compatibility = false;
   eo.store_outputs = options.store_trial_outputs;
   eo.seed = options.seed;
+  eo.streamed_handoff = options.streamed_handoff;
 
   // Assign candidate subtrees to shards. Single-node keeps the whole DFS
   // list on shard 0 — the partitioner degenerates to one group list there,
@@ -201,9 +207,9 @@ StatusOr<MergeReport> MergeOperation::Merge(const std::string& head_branch,
   const size_t num_workers = std::max<size_t>(1, options.num_workers);
   std::vector<pipeline::PipelineRunResult> runs(candidates.size());
   std::vector<double> end_times(candidates.size(), 0);
-  double makespan = clock_start;
+  std::vector<double> shard_makespans(num_shards, clock_start);
 
-  // Drain one shard's candidate list through its executor on `core`:
+  // Drain one shard's candidate list through its executor on its core:
   // Algorithm 2's claims stay FIFO in candidate (DFS) order, so the prefix
   // locality the search tree was built for survives both parallelism and
   // sharding; each claimed candidate starts on the earliest free VIRTUAL
@@ -216,12 +222,16 @@ StatusOr<MergeReport> MergeOperation::Merge(const std::string& head_branch,
   // exactly (same claims, same single timeline). Every shard starts at
   // clock_start on its own virtual timeline: shards model machines running
   // in parallel, so the merge's makespan is the slowest shard's drain.
-  auto drain_shard = [&](pipeline::Executor& executor,
-                         pipeline::ExecutionCore* core,
-                         const std::vector<size_t>& indices) -> Status {
+  // Drain state is per-shard (executor, cache, candidate indices, makespan
+  // slot; `runs`/`end_times` writes are disjoint by index), so drains may
+  // run sequentially OR concurrently in real time with identical results.
+  auto drain_shard = [&](size_t shard_index) -> Status {
+    pipeline::Executor& executor = *executors[shard_index];
+    const std::vector<size_t>& indices = shard_lists[shard_index];
     std::mutex mu;
     size_t cursor = 0;
     bool aborted = false;
+    double shard_makespan = clock_start;
     pipeline::VirtualWorkerPool worker_slots(num_workers, clock_start);
 
     auto worker_body =
@@ -256,28 +266,62 @@ StatusOr<MergeReport> MergeOperation::Merge(const std::string& head_branch,
             aborted = true;
             return run.status();
           }
-          makespan = std::max(makespan, clock.Now());
+          shard_makespan = std::max(shard_makespan, clock.Now());
           end_times[index] = clock.Now() - clock_start;
           runs[index] = *std::move(run);
         }
       }
     };
-    return core->RunWorkers(worker_body, clock_start, num_workers).status();
+    pipeline::ExecutionCore* core =
+        num_shards == 1 ? fallback_core_.Get(options.core, num_workers)
+                        : ShardCore(shard_index, num_workers);
+    Status status =
+        core->RunWorkers(worker_body, clock_start, num_workers).status();
+    // RunWorkers joined every body; the local makespan is stable now.
+    shard_makespans[shard_index] = shard_makespan;
+    return status;
   };
 
+  const auto drain_wall_start = std::chrono::steady_clock::now();
   if (num_shards == 1) {
-    pipeline::ExecutionCore* core =
-        fallback_core_.Get(options.core, num_workers);
-    MLCASK_RETURN_IF_ERROR(drain_shard(*executors[0], core, shard_lists[0]));
-  } else {
-    // Shards drain sequentially in real time but concurrently in virtual
-    // time (each starts at clock_start); `runs`/`end_times`/`makespan` are
-    // safe to share because each drain joins before the next starts.
+    MLCASK_RETURN_IF_ERROR(drain_shard(0));
+  } else if (!options.concurrent_shard_drains) {
+    // Sequential real-time dispatch (the A/B baseline): shards still
+    // overlap in VIRTUAL time — each starts at clock_start — but their
+    // real wall-clock adds up.
     for (size_t s = 0; s < num_shards; ++s) {
-      MLCASK_RETURN_IF_ERROR(
-          drain_shard(*executors[s], ShardCore(s), shard_lists[s]));
+      MLCASK_RETURN_IF_ERROR(drain_shard(s));
+    }
+  } else {
+    // Concurrent real-time dispatch: one dispatch-pool thread per shard
+    // runs that shard's whole drain, so merge wall-clock scales with real
+    // cores. Shard cores are built up front (outside the racing bodies);
+    // statuses are collected and reduced in shard order so the reported
+    // failure is deterministic.
+    for (size_t s = 0; s < num_shards; ++s) ShardCore(s, num_workers);
+    pipeline::ExecutionCore* dispatch =
+        shard_dispatch_core_.Get(nullptr, num_shards);
+    std::vector<Status> shard_status(num_shards, Status::Ok());
+    auto dispatch_body =
+        [&](pipeline::ExecutionCore::WorkerContext& ctx) -> Status {
+      if (ctx.worker_index < num_shards) {
+        shard_status[ctx.worker_index] = drain_shard(ctx.worker_index);
+      }
+      return Status::Ok();
+    };
+    MLCASK_RETURN_IF_ERROR(
+        dispatch->RunWorkers(dispatch_body, clock_start, num_shards)
+            .status());
+    for (size_t s = 0; s < num_shards; ++s) {
+      MLCASK_RETURN_IF_ERROR(shard_status[s]);
     }
   }
+  report.drain_wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - drain_wall_start)
+          .count();
+  double makespan = clock_start;
+  for (double m : shard_makespans) makespan = std::max(makespan, m);
   report.makespan_s = makespan - clock_start;
   if (clock_ != nullptr) clock_->AdvanceTo(makespan);
 

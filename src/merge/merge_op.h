@@ -45,8 +45,9 @@ struct MergeOptions {
   /// When null, the MergeOperation lazily builds one pool and reuses it
   /// across its Merge calls — never one per call (see the pool-ownership
   /// rules in execution_core.h). Single-node drains only: with shards >= 2
-  /// each shard drains through its own (lazily-built, inline) core and
-  /// this pool is not consulted.
+  /// each shard drains through its own lazily-built core (sized
+  /// `num_workers` real threads, inline when 1) and this pool is not
+  /// consulted.
   pipeline::ExecutionCore* core = nullptr;
   /// Distributed-merge partitioning (paper Sec. VII-F made real): with
   /// shards >= 2, Algorithm 2's candidate subtrees — leaves grouped under
@@ -65,6 +66,30 @@ struct MergeOptions {
   /// merge searches trade recomputation for bounded memory. Leased slots
   /// and entries held by running candidates are never evicted.
   uint64_t cache_max_bytes = 0;
+  /// REAL-time parallelism for sharded drains. With shards >= 2 and this
+  /// set (the default), the per-shard candidate drains are dispatched onto
+  /// concurrently running per-shard ExecutionCores — real OS threads, so
+  /// merge wall-clock scales with cores — while every shard keeps its
+  /// independent VIRTUAL timeline starting at the merge's clock origin.
+  /// Shard state is disjoint (each shard owns its executor, cache, and
+  /// candidate indices), so the winner, component_executions, makespan_s,
+  /// and persisted artifact hashes are bit-identical to the sequential
+  /// real-time dispatch (tests/test_sharded_engine.cc asserts this at
+  /// 1/2/4/8 shards); `MergeReport::drain_wall_ms` shows the real-time
+  /// difference. False preserves the historical sequential dispatch (A/B
+  /// baseline — the real-time bench measures both). On an error, the
+  /// concurrent dispatch still drains every shard and reports the failure
+  /// of the lowest-numbered failing shard, where the sequential dispatch
+  /// stops at the first failing shard.
+  bool concurrent_shard_drains = true;
+  /// Streamed prefix handoff in the virtual-time model (see
+  /// ExecutorOptions::streamed_handoff): candidates that reuse an artifact
+  /// still being produced on another worker's timeline charge
+  /// overlap-adjusted wait (start at the first chunk boundary) instead of
+  /// the producer's full finish time. Tightens makespan_s, never inflates
+  /// it; executions and the winner are charging-invariant. False restores
+  /// the legacy full-wait charging for A/B comparison.
+  bool streamed_handoff = true;
 };
 
 /// One executed (or skipped) pre-merge pipeline candidate.
@@ -107,6 +132,12 @@ struct MergeReport {
   /// holding the full candidate count).
   size_t shards_used = 1;
   std::vector<size_t> shard_candidates;
+  /// REAL (steady-clock) wall time of the candidate-drain phase, in
+  /// milliseconds — the one deliberately non-virtual number in the report,
+  /// measuring how well concurrent shard drains use the host's cores
+  /// (bench_micro_merge_realtime gates on the sequential/concurrent ratio).
+  /// Virtual metrics (makespan_s, total_time) are unaffected by it.
+  double drain_wall_ms = 0;
   uint64_t storage_bytes = 0;  ///< Bytes written during merge (CSS delta).
   Hash256 merge_commit;
   /// Owns the component specs that every CandidateChain in `outcomes` points
@@ -148,9 +179,10 @@ class MergeOperation {
 
   /// Per-shard ExecutionCore for sharded drains: built lazily ONCE per
   /// MergeOperation and reused by every later call, per the pool-ownership
-  /// rules in execution_core.h. Single-threaded (inline) pools: shard
-  /// drains are sequential in real time, parallel only in virtual time.
-  pipeline::ExecutionCore* ShardCore(size_t shard);
+  /// rules in execution_core.h. `real_threads` sizes a core the first time
+  /// its shard is seen (later calls reuse whatever was built — real thread
+  /// count never affects virtual results, only wall-clock).
+  pipeline::ExecutionCore* ShardCore(size_t shard, size_t real_threads);
 
   version::PipelineRepo* repo_;
   pipeline::LibraryRepo* libraries_;
@@ -162,6 +194,11 @@ class MergeOperation {
   pipeline::LazyExecutionCore fallback_core_;
   std::mutex shard_core_mu_;
   std::vector<std::unique_ptr<pipeline::ExecutionCore>> shard_cores_;
+  /// Dispatch pool for CONCURRENT shard drains: one real thread per shard
+  /// (sized by the first sharded call), each running one shard's whole
+  /// drain body. Built lazily once per MergeOperation and reused — never
+  /// per call.
+  pipeline::LazyExecutionCore shard_dispatch_core_;
 };
 
 }  // namespace mlcask::merge

@@ -16,14 +16,26 @@ uint64_t ArtifactCache::EntryBytes(const ArtifactEntry& entry) {
   return bytes;
 }
 
+void ArtifactCache::TouchLocked(const Shard& shard, const Hash256& key,
+                                Slot& slot) const {
+  slot.epoch = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (options_.max_bytes == 0) return;  // nothing ever evicts
+  // One live record per slot: if one is already buffered or in the heap,
+  // restamping the epoch is enough — MakeRoom requeues the record at the
+  // slot's current epoch when it pops stale. Touches therefore cost the
+  // shard lock they already hold plus (at most) one vector append.
+  if (!slot.record_live) {
+    shard.pending_records.push_back(RecencyRecord{slot.epoch, key});
+    slot.record_live = true;
+  }
+}
+
 ArtifactCache::EntryPtr ArtifactCache::Find(const Hash256& key) const {
   const Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.slots.find(key);
   if (it == shard.slots.end() || it->second.entry == nullptr) return nullptr;
-  if (it->second.in_lru) {
-    shard.lru.splice(shard.lru.end(), shard.lru, it->second.lru_it);
-  }
+  TouchLocked(shard, key, it->second);
   return it->second.entry;
 }
 
@@ -39,9 +51,7 @@ ArtifactCache::Acquired ArtifactCache::Acquire(const Hash256& key) {
       return acquired;
     }
     if (it->second.entry != nullptr) {
-      if (it->second.in_lru) {
-        shard.lru.splice(shard.lru.end(), shard.lru, it->second.lru_it);
-      }
+      TouchLocked(shard, key, it->second);
       Acquired acquired;
       acquired.entry = it->second.entry;
       return acquired;
@@ -55,16 +65,13 @@ ArtifactCache::Acquired ArtifactCache::Acquire(const Hash256& key) {
 void ArtifactCache::PublishLocked(Shard& shard, const Hash256& key,
                                   EntryPtr stored, uint64_t nbytes) {
   Slot& slot = shard.slots[key];
-  if (slot.in_lru) {
+  if (slot.entry != nullptr) {
     // Overwrite of a ready entry: retire the old accounting first.
     bytes_.fetch_sub(slot.bytes, std::memory_order_relaxed);
-    shard.lru.erase(slot.lru_it);
   }
   slot.entry = std::move(stored);
   slot.pending = false;
   slot.bytes = nbytes;
-  slot.lru_it = shard.lru.insert(shard.lru.end(), key);
-  slot.in_lru = true;
   bytes_.fetch_add(nbytes, std::memory_order_relaxed);
   insertions_.fetch_add(1, std::memory_order_relaxed);
   uint64_t largest = largest_entry_bytes_.load(std::memory_order_relaxed);
@@ -72,42 +79,59 @@ void ArtifactCache::PublishLocked(Shard& shard, const Hash256& key,
          !largest_entry_bytes_.compare_exchange_weak(
              largest, nbytes, std::memory_order_relaxed)) {
   }
+  TouchLocked(shard, key, slot);
 }
 
 void ArtifactCache::MakeRoom(uint64_t incoming) {
   const uint64_t cap = options_.max_bytes;
   if (cap == 0) return;
-  // Sweep shards round-robin, dropping least-recently-used unpinned ready
-  // entries until the incoming entry fits. A full sweep with no progress
-  // means everything resident is pinned (use_count > 1) or pending — the
-  // cap then yields (high-water-mark semantics) rather than blocking the
-  // publish.
-  bool progress = true;
-  while (progress &&
-         bytes_.load(std::memory_order_relaxed) + incoming > cap) {
-    progress = false;
-    for (Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mu);
-      auto it = shard.lru.begin();
-      while (it != shard.lru.end() &&
-             bytes_.load(std::memory_order_relaxed) + incoming > cap) {
-        auto sit = shard.slots.find(*it);
-        Slot& slot = sit->second;
-        // Pinned by an outstanding reader: the shard lock makes use_count
-        // exact here (new copies are only handed out under it), so count 1
-        // means the cache holds the sole reference and may drop it.
-        if (slot.entry.use_count() > 1) {
-          ++it;
-          continue;
-        }
-        bytes_.fetch_sub(slot.bytes, std::memory_order_relaxed);
-        evictions_.fetch_add(1, std::memory_order_relaxed);
-        it = shard.lru.erase(it);
-        shard.slots.erase(sit);
-        progress = true;
-      }
+  // cap_mu_ (held by the caller) guards the heap, so this whole sweep is
+  // single-threaded; only the brief per-shard locks touch shared hit-path
+  // state. First drain every shard's pending records into the heap so the
+  // globally-oldest candidate is actually visible here.
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const RecencyRecord& rec : shard.pending_records) {
+      recency_heap_.push(rec);
     }
+    shard.pending_records.clear();
   }
+  // Pop globally-oldest records until the incoming entry fits. Each pop
+  // either evicts its slot (consuming the slot's one record), drops a
+  // record whose slot is gone, requeues a stale record at the slot's
+  // current epoch (still its only record, so ordering stays exact), or
+  // sets a pinned victim aside for requeue after the sweep. An exhausted
+  // heap means everything resident is pinned or pending — the cap then
+  // yields (high-water-mark semantics) rather than blocking the publish.
+  std::vector<RecencyRecord> pinned;
+  while (bytes_.load(std::memory_order_relaxed) + incoming > cap &&
+         !recency_heap_.empty()) {
+    RecencyRecord victim = recency_heap_.top();
+    recency_heap_.pop();
+    Shard& shard = ShardFor(victim.key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.slots.find(victim.key);
+    if (it == shard.slots.end() || it->second.entry == nullptr) {
+      continue;  // slot evicted/cleared meanwhile: the record dies with it
+    }
+    Slot& slot = it->second;
+    if (slot.epoch != victim.epoch) {
+      // Touched since the record was created; reorder it to its true spot.
+      recency_heap_.push(RecencyRecord{slot.epoch, victim.key});
+      continue;
+    }
+    // Pinned by an outstanding reader: the shard lock makes use_count exact
+    // here (new copies are only handed out under it), so count 1 means the
+    // cache holds the sole reference and may drop it.
+    if (slot.entry.use_count() > 1) {
+      pinned.push_back(victim);
+      continue;
+    }
+    bytes_.fetch_sub(slot.bytes, std::memory_order_relaxed);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    shard.slots.erase(it);
+  }
+  for (const RecencyRecord& rec : pinned) recency_heap_.push(rec);
 }
 
 void ArtifactCache::UpdatePeak() {
@@ -210,9 +234,11 @@ void ArtifactCache::Clear() {
         it = shard.slots.erase(it);
       }
     }
-    // Only ready slots are listed, and all of them were just erased.
-    shard.lru.clear();
+    // Only ready slots carry records, and all of them were just erased.
+    shard.pending_records.clear();
   }
+  // Heap records for the dropped keys find no slot when popped and die
+  // there; no need to rebuild the heap here.
 }
 
 }  // namespace mlcask::pipeline

@@ -5,14 +5,16 @@
 #include <cmath>
 #include <condition_variable>
 #include <cstdint>
-#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <queue>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/sha256.h"
+#include "common/sim_clock.h"
 #include "data/table.h"
 
 namespace mlcask::pipeline {
@@ -29,10 +31,23 @@ struct ArtifactEntry {
   Hash256 output_id;
   /// Virtual (sim-clock) time at which the producing worker finished this
   /// artifact. A worker that reuses the entry advances its own clock to at
-  /// least this point — the waiting cost of sharing work across workers.
+  /// least this point — the waiting cost of sharing work across workers —
+  /// unless streamed handoff applies (see `stream_span`).
   double ready_at_s = 0;
+  /// Stream watermark published with the entry: the producer's virtual start
+  /// and the number of uniform chunk boundaries its output streamed across.
+  /// Together with `ready_at_s` this is the per-chunk progress record a
+  /// consumer needs to charge overlap-adjusted wait instead of the full
+  /// finish time (streamed prefix handoff — see StreamSpan in sim_clock.h).
+  /// Checkpoint seeds keep the defaults (not streamable: they were
+  /// materialized before the run).
+  double started_at_s = 0;
+  uint32_t stream_chunks = 1;
 
   bool has_score() const { return !std::isnan(score); }
+  StreamSpan stream_span() const {
+    return StreamSpan{started_at_s, ready_at_s, stream_chunks};
+  }
 };
 
 /// A concurrent artifact cache with per-key in-flight guards. This is the
@@ -46,10 +61,29 @@ struct ArtifactEntry {
 /// candidates sharing a prefix race, the second worker blocks on the first
 /// worker's lease and reuses its result instead of recomputing it.
 ///
-/// ## Byte-bounded LRU eviction
+/// ## Byte-bounded eviction: global recency epoch
 ///
 /// With `Options::max_bytes > 0` the cache evicts least-recently-used READY
 /// entries when a new publish would push the total payload past the cap.
+/// Recency is GLOBAL, not per-shard: every touch (Find hit, Acquire hit,
+/// publish) stamps the slot with a cache-wide monotonic epoch from one
+/// atomic counter, and eviction always drops the globally-oldest unpinned
+/// ready entry. Victims are located through a lazily-maintained cross-shard
+/// min-heap of (epoch, key) records. The hit path stays shard-local: a
+/// touch records at most ONE live record per slot into its shard's pending
+/// buffer under the shard lock it already holds (no cache-wide lock, no
+/// per-touch heap churn); MakeRoom — serialized by cap_mu_ anyway — drains
+/// the buffers into the heap and pops minima, REQUEUEING a record whose
+/// epoch no longer matches its slot at the slot's current epoch (it is
+/// that slot's only record, so requeue-on-stale keeps the order exact),
+/// dropping records whose slot is gone, and setting pinned victims aside
+/// for requeue after the sweep. The one-record-per-slot invariant bounds
+/// heap + buffers at the number of ready slots ever resident. This
+/// replaces the earlier round-robin per-shard LRU sweep, whose shard-local
+/// eviction order recomputed ~5x more than a true global LRU on
+/// adversarial layouts (hot keys concentrated on low shards — see the
+/// recorded-trace regression test in tests/test_cache_eviction.cc, which
+/// now gates the global policy at <= 1.5x an ideal global-LRU oracle).
 /// Eviction never touches:
 ///  - pending (leased) slots — their computation is in flight and a waiter
 ///    may be blocked on the lease;
@@ -158,18 +192,37 @@ class ArtifactCache {
     EntryPtr entry;        ///< Set when ready.
     bool pending = false;  ///< True while a lease is outstanding.
     uint64_t bytes = 0;    ///< EntryBytes at publish time (ready slots).
-    /// Position in the shard's recency list; valid only when `in_lru`.
-    std::list<Hash256>::iterator lru_it;
-    bool in_lru = false;
+    /// Global recency epoch of the slot's last touch (stamped from the
+    /// cache-wide atomic counter). 0 = never stamped.
+    uint64_t epoch = 0;
+    /// Whether a recency record for this slot is live in its shard's
+    /// pending buffer or the cross-shard heap. At most one record exists
+    /// per ready slot; a touch that finds one live only restamps `epoch`
+    /// (MakeRoom requeues the stale record at the fresh epoch on pop).
+    bool record_live = false;
   };
+
+  /// One (epoch, key) record in the recency machinery (see the class
+  /// comment): buffered per shard on touch, drained into the cross-shard
+  /// heap by MakeRoom.
+  struct RecencyRecord {
+    uint64_t epoch = 0;
+    Hash256 key;
+  };
+
   struct Shard {
     mutable std::mutex mu;
     std::condition_variable ready_cv;
-    std::unordered_map<Hash256, Slot, Hash256Hasher> slots;
-    /// Ready keys, least-recently-used first. Pending slots are never
-    /// listed (nothing to evict yet). Mutable so a const Find can refresh
-    /// recency under the shard lock.
-    mutable std::list<Hash256> lru;
+    /// Mutable so a const Find can stamp recency under the shard lock.
+    mutable std::unordered_map<Hash256, Slot, Hash256Hasher> slots;
+    /// Recency records not yet drained into the heap. Guarded by `mu`;
+    /// mutable for the same reason as `slots`. Only capped caches append.
+    mutable std::vector<RecencyRecord> pending_records;
+  };
+  struct RecencyNewer {
+    bool operator()(const RecencyRecord& a, const RecencyRecord& b) const {
+      return a.epoch > b.epoch;  // min-heap: globally-oldest on top
+    }
   };
 
   static constexpr size_t kNumShards = 16;
@@ -184,13 +237,20 @@ class ArtifactCache {
   void Abandon(const Hash256& key);
 
   /// Publishes `stored` into `shard` under its lock: replaces any previous
-  /// ready entry's accounting and appends the key at the MRU end.
+  /// ready entry's accounting and stamps a fresh recency epoch.
   void PublishLocked(Shard& shard, const Hash256& key, EntryPtr stored,
                      uint64_t nbytes);
 
-  /// Evicts LRU unpinned ready entries (round-robin over shards) until
-  /// `incoming` more bytes fit under the cap or nothing evictable remains.
-  /// Must be called WITHOUT any shard lock held.
+  /// Stamps `slot` with a fresh global epoch and, on capped caches,
+  /// ensures exactly one live recency record for it (appending to the
+  /// shard's pending buffer when none is live). Caller holds the shard
+  /// lock.
+  void TouchLocked(const Shard& shard, const Hash256& key, Slot& slot) const;
+
+  /// Evicts globally-oldest unpinned ready entries (via the recency heap)
+  /// until `incoming` more bytes fit under the cap or nothing evictable
+  /// remains. Caller holds cap_mu_ (which is the heap's guard) but no
+  /// shard lock.
   void MakeRoom(uint64_t incoming);
 
   void UpdatePeak();
@@ -206,6 +266,16 @@ class ArtifactCache {
   /// accounting on exactly the runs that asked to be memory-bounded.
   std::mutex cap_mu_;
   Shard shards_[kNumShards];
+  /// Cache-wide monotonic recency counter; every touch of a ready slot
+  /// draws the next epoch, so "globally oldest" is well-defined across
+  /// shards without any cross-shard lock on the touch path.
+  mutable std::atomic<uint64_t> epoch_{0};
+  /// Cross-shard recency heap. Accessed ONLY from MakeRoom, which always
+  /// runs under cap_mu_ — the cap lock doubles as the heap's guard, so the
+  /// hit path never takes a cache-wide lock for recency bookkeeping.
+  std::priority_queue<RecencyRecord, std::vector<RecencyRecord>,
+                      RecencyNewer>
+      recency_heap_;
   std::atomic<uint64_t> bytes_{0};
   std::atomic<uint64_t> peak_bytes_{0};
   std::atomic<uint64_t> evictions_{0};

@@ -74,6 +74,11 @@ class VirtualWorkerPool {
 ///    first request, and reused for the executor's lifetime.
 ///  - `MergeOperation` / `PrioritizedSearch` accept an injected pool via
 ///    their options and otherwise fall back to a lazily-built owned pool.
+///  - Sharded merge drains add two more lazily-built-once pool families on
+///    the MergeOperation: one core per shard (real width = the drain's
+///    num_workers) and a dispatch pool with one real thread per shard that
+///    runs the per-shard drain bodies concurrently
+///    (MergeOptions::concurrent_shard_drains).
 ///
 /// The constructor argument is the REAL thread count; every scheduling call
 /// may request a different VIRTUAL width (`num_bodies` / `virtual_workers`),

@@ -20,6 +20,19 @@ uint64_t MixSeed(uint64_t seed, const Hash256& key) {
   return seed;
 }
 
+/// Chunk boundaries an output table streams across — the granularity of
+/// streamed prefix handoff. Row-deterministic (never wall-clock- or
+/// worker-dependent) so charged times are reproducible; capped so the
+/// overlap model stays coarse-grained rather than pretending per-row
+/// pipelining.
+uint32_t StreamChunksFor(const data::Table& table) {
+  constexpr uint32_t kMaxStreamChunks = 8;
+  const size_t rows = table.num_rows();
+  if (rows < 2) return 1;
+  return static_cast<uint32_t>(
+      std::min<size_t>(kMaxStreamChunks, rows));
+}
+
 }  // namespace
 
 Hash256 Executor::NodeKey(const ComponentVersionSpec& spec,
@@ -140,6 +153,21 @@ StatusOr<PipelineRunResult> Executor::Run(const Pipeline& pipeline,
   // another thread mid-run.
   ArtifactCache::EntryPtr current;
 
+  // Streamed prefix handoff state: when the last reused entry is streamable
+  // the clock was only advanced to its FIRST chunk boundary, and this span
+  // holds the deferred remainder — either the next executed component
+  // consumes the stream (tail floor applied after its compute) or the span
+  // is flushed to the full finish time (superseded without consumption, or
+  // the run ends on the reuse). See ExecutorOptions::streamed_handoff.
+  StreamSpan pending_stream;
+  bool stream_pending = false;
+  auto flush_pending_stream = [&] {
+    if (stream_pending && clock != nullptr) {
+      clock->AdvanceTo(pending_stream.ready_at_s);
+    }
+    stream_pending = false;
+  };
+
   for (size_t i = 0; i < order.size(); ++i) {
     const ComponentVersionSpec* spec = order[i];
 
@@ -159,9 +187,22 @@ StatusOr<PipelineRunResult> Executor::Run(const Pipeline& pipeline,
         result.metric = entry->metric;
         result.metrics = entry->metrics;
       }
+      // A previous streamed reuse that no executed component consumed
+      // degenerates to the legacy full wait before this entry takes over.
+      flush_pending_stream();
       // Waiting for an artifact another worker finishes later in virtual
       // time costs exactly that wait; on a serial timeline this is a no-op.
-      if (clock != nullptr) clock->AdvanceTo(entry->ready_at_s);
+      // A streamable entry charges only up to its first chunk boundary now
+      // and defers the rest to the consuming component (or the flush).
+      const StreamSpan span = entry->stream_span();
+      if (options.streamed_handoff && clock != nullptr &&
+          span.streamable()) {
+        clock->AdvanceTo(span.FirstChunkReadyS());
+        pending_stream = span;
+        stream_pending = true;
+      } else if (clock != nullptr) {
+        clock->AdvanceTo(entry->ready_at_s);
+      }
     };
 
     if (i < resume_from) {
@@ -196,6 +237,9 @@ StatusOr<PipelineRunResult> Executor::Run(const Pipeline& pipeline,
     // have already burned their time before this one fails (the baselines'
     // behaviour in Fig. 5). The abandoned lease wakes any waiter.
     if (i > 0 && !order[i - 1]->CompatibleWith(*spec)) {
+      // The failing component never consumed the stream; charge the legacy
+      // full wait so failure timing stays conservative.
+      flush_pending_stream();
       result.compatibility_failure = true;
       result.failed_component = spec->name;
       result.components.push_back(std::move(info));
@@ -221,7 +265,17 @@ StatusOr<PipelineRunResult> Executor::Run(const Pipeline& pipeline,
     } else {
       result.time.preprocess_s += info.exec_s;
     }
+    const double exec_start_s = clock != nullptr ? clock->Now() : 0;
     if (clock != nullptr) clock->Advance(info.exec_s);
+    if (stream_pending) {
+      // This component consumed its input as a stream: it started at the
+      // first chunk boundary (already charged) but cannot finish before
+      // processing the last chunk the producer publishes at ready_at_s.
+      if (clock != nullptr) {
+        clock->AdvanceTo(pending_stream.ConsumerTailFloorS(info.exec_s));
+      }
+      stream_pending = false;
+    }
 
     if (out.has_score()) {
       result.score = out.score;
@@ -243,11 +297,15 @@ StatusOr<PipelineRunResult> Executor::Run(const Pipeline& pipeline,
     }
 
     ArtifactEntry entry;
+    entry.stream_chunks = StreamChunksFor(out.table);
     entry.table = std::move(out.table);
     entry.score = out.score;
     entry.metric = out.metric;
     entry.metrics = std::move(out.metrics);
     entry.output_id = info.output_id;
+    // The stream watermark: consumers overlap with [started_at_s,
+    // ready_at_s] (compute + storage) in stream_chunks uniform boundaries.
+    entry.started_at_s = exec_start_s;
     entry.ready_at_s = clock != nullptr ? clock->Now() : 0;
     if (acquired.lease != nullptr) {
       current = cache_.Fulfill(acquired.lease.get(), std::move(entry));
@@ -260,6 +318,10 @@ StatusOr<PipelineRunResult> Executor::Run(const Pipeline& pipeline,
 
     result.components.push_back(std::move(info));
   }
+
+  // A run ending on a reused entry pays the producer's full finish time:
+  // the pipeline's score/output is only known once the producer completes.
+  flush_pending_stream();
 
   // Assemble the commit-ready snapshot.
   for (size_t i = 0; i < order.size(); ++i) {
@@ -341,6 +403,19 @@ StatusOr<PipelineRunResult> Executor::RunDag(const Pipeline& pipeline,
       for (size_t pi : deps[i]) table_needed[pi] = 1;
     }
   }
+  // Streamed prefix handoff eligibility (see ExecutorOptions): a reused
+  // node may charge only its first chunk boundary when some EXECUTING
+  // successor actually consumes its table as a stream (that successor's
+  // tail floor then accounts the producer's finish). A reused sink — or a
+  // reused node all of whose successors are themselves cache hits — pays
+  // the full finish time: nothing downstream overlaps with it.
+  std::vector<char> stream_consumed(n, 0);
+  if (options.streamed_handoff) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!must_execute[i]) continue;
+      for (size_t pi : deps[i]) stream_consumed[pi] = 1;
+    }
+  }
 
   // Per-task outcome slots; each task writes only its own index, so no lock
   // is needed beyond the scheduler's happens-before edges.
@@ -353,6 +428,10 @@ StatusOr<PipelineRunResult> Executor::RunDag(const Pipeline& pipeline,
     std::string metric;
     std::map<std::string, double> metrics;
     double finish_s = 0;  ///< Virtual time when this task's worker finished.
+    /// Set when this node's reuse was charged as a stream (first chunk
+    /// only): executing successors apply the tail floor from `stream`.
+    bool streamed = false;
+    StreamSpan stream;
   };
   std::vector<TaskOutcome> outcomes(n);
 
@@ -376,6 +455,14 @@ StatusOr<PipelineRunResult> Executor::RunDag(const Pipeline& pipeline,
       const ComponentVersionSpec* pred_spec = order[pi];
       if (!options.precheck_compatibility &&
           !pred_spec->CompatibleWith(*spec)) {
+        // The failing component never consumed its streamed inputs: charge
+        // every streamed predecessor's FULL finish (mirroring Run()'s
+        // flush) so failure timing stays as conservative as legacy.
+        for (size_t flush_pi : deps[i]) {
+          if (outcomes[flush_pi].streamed) {
+            task_clock->AdvanceTo(outcomes[flush_pi].stream.ready_at_s);
+          }
+        }
         std::lock_guard<std::mutex> lock(fail_mu);
         if (failed_component.empty()) failed_component = spec->name;
         return Status::Incompatible("runtime schema mismatch at " +
@@ -403,7 +490,17 @@ StatusOr<PipelineRunResult> Executor::RunDag(const Pipeline& pipeline,
     size_t rows = inputs.empty() ? out.table.num_rows() : input_rows;
     slot.info.exec_s =
         spec->cost_per_krow_s * static_cast<double>(rows) / 1000.0;
+    const double exec_start_s = task_clock->Now();
     task_clock->Advance(slot.info.exec_s);
+    // Streamed predecessors: this node started at their first chunk
+    // boundary (the scheduler's ready_time edge) but cannot finish before
+    // processing each producer's LAST chunk.
+    for (size_t pi : deps[i]) {
+      if (outcomes[pi].streamed) {
+        task_clock->AdvanceTo(
+            outcomes[pi].stream.ConsumerTailFloorS(slot.info.exec_s));
+      }
+    }
 
     if (out.has_score()) {
       slot.has_score = true;
@@ -425,11 +522,13 @@ StatusOr<PipelineRunResult> Executor::RunDag(const Pipeline& pipeline,
     }
 
     ArtifactEntry entry;
+    entry.stream_chunks = StreamChunksFor(out.table);
     entry.table = std::move(out.table);
     entry.score = out.score;
     entry.metric = out.metric;
     entry.metrics = std::move(out.metrics);
     entry.output_id = slot.info.output_id;
+    entry.started_at_s = exec_start_s;
     entry.ready_at_s = task_clock->Now();
     if (lease != nullptr) {
       slot.entry = cache_.Fulfill(lease, std::move(entry));
@@ -465,7 +564,18 @@ StatusOr<PipelineRunResult> Executor::RunDag(const Pipeline& pipeline,
         slot.metric = entry->metric;
         slot.metrics = entry->metrics;
       }
-      task_clock->AdvanceTo(entry->ready_at_s);
+      // Streamed handoff: when an executing successor consumes this table,
+      // finish (= the successor's ready edge) at the first chunk boundary
+      // and let the successor's tail floor account the producer's finish;
+      // otherwise pay the full finish time as before.
+      const StreamSpan span = entry->stream_span();
+      if (stream_consumed[i] && span.streamable()) {
+        task_clock->AdvanceTo(span.FirstChunkReadyS());
+        slot.stream = span;
+        slot.streamed = true;
+      } else {
+        task_clock->AdvanceTo(entry->ready_at_s);
+      }
     };
 
     if (!must_execute[i]) {
@@ -484,6 +594,15 @@ StatusOr<PipelineRunResult> Executor::RunDag(const Pipeline& pipeline,
     }
     ArtifactCache::Acquired acquired = cache_.Acquire(node_keys[i]);
     if (acquired.entry != nullptr) {
+      // A planned-executing node that turned into a runtime cache hit
+      // (another run published it) consumes no streams: charge streamed
+      // predecessors their full finish first — this node's reuse time
+      // comes from ANOTHER run's timeline and cannot vouch for them.
+      for (size_t pi : deps[i]) {
+        if (outcomes[pi].streamed) {
+          task_clock->AdvanceTo(outcomes[pi].stream.ready_at_s);
+        }
+      }
       reuse_entry(acquired.entry);
       return Status::Ok();
     }
@@ -515,6 +634,13 @@ StatusOr<PipelineRunResult> Executor::RunDag(const Pipeline& pipeline,
       for (TaskOutcome& slot : outcomes) {
         if (slot.processed) {
           failed_makespan = std::max(failed_makespan, slot.finish_s);
+          // A streamed reuse whose consumer was cancelled by the failure
+          // recorded only its first-chunk time; the failed run still pays
+          // the producer's full finish, like legacy charging would.
+          if (slot.streamed) {
+            failed_makespan =
+                std::max(failed_makespan, slot.stream.ready_at_s);
+          }
           result.components.push_back(std::move(slot.info));
           result.time.storage_s += result.components.back().storage_s;
           double exec_s = result.components.back().exec_s;

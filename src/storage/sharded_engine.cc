@@ -93,7 +93,19 @@ Status ShardedStorageEngine::RunTransaction(
   // costs nothing on the hot path; uncoordinated DirectPuts never take it.
   std::lock_guard<std::mutex> txn_lock(txn_mu_);
   const uint64_t txn = txn_counter_.fetch_add(1, std::memory_order_relaxed);
-  txn_prepared_.fetch_add(writes.size(), std::memory_order_relaxed);
+  // Telemetry lands in tp_stats_ as ONE unit when the transaction resolves
+  // (commit or abort), never piecemeal: a concurrent stats reader must see
+  // transactions == commits + aborts in every snapshot.
+  auto resolve = [&](bool committed) {
+    std::lock_guard<std::mutex> stats_lock(tp_stats_mu_);
+    tp_stats_.transactions += 1;
+    tp_stats_.prepared_writes += writes.size();
+    if (committed) {
+      tp_stats_.commits += 1;
+    } else {
+      tp_stats_.aborts += 1;
+    }
+  };
 
   auto staging_key_for = [&](size_t write_index) {
     return StrFormat("%stxn%llu/s%zu/w%zu",
@@ -141,7 +153,7 @@ Status ShardedStorageEngine::RunTransaction(
     auto prepared = shards_[shard]->PutMany(staging);
     if (!prepared.ok()) {
       cleanup_staged();
-      txn_aborts_.fetch_add(1, std::memory_order_relaxed);
+      resolve(/*committed=*/false);
       return Status(prepared.status().code(),
                     "2pc prepare failed on shard " + std::to_string(shard) +
                         ": " + prepared.status().message());
@@ -173,7 +185,7 @@ Status ShardedStorageEngine::RunTransaction(
         (void)shards_[shard]->DeleteVersion(result.id);
       }
       cleanup_staged();
-      txn_aborts_.fetch_add(1, std::memory_order_relaxed);
+      resolve(/*committed=*/false);
       return Status::Internal(
           "2pc apply failed on shard " + std::to_string(w.shard) + ": " +
           applied.status().message() + " (transaction rolled back)");
@@ -189,7 +201,7 @@ Status ShardedStorageEngine::RunTransaction(
     }
   }
   cleanup_staged();
-  txn_commits_.fetch_add(1, std::memory_order_relaxed);
+  resolve(/*committed=*/true);
 
   for (auto& [batch_index, slot] : slots) {
     // Replicas write in parallel in a real deployment: charge the slowest.
@@ -383,12 +395,8 @@ double ShardedStorageEngine::ReadCost(uint64_t bytes) const {
 
 ShardedStorageEngine::TwoPhaseStats ShardedStorageEngine::two_phase_stats()
     const {
-  TwoPhaseStats s;
-  s.transactions = txn_counter_.load(std::memory_order_relaxed);
-  s.prepared_writes = txn_prepared_.load(std::memory_order_relaxed);
-  s.commits = txn_commits_.load(std::memory_order_relaxed);
-  s.aborts = txn_aborts_.load(std::memory_order_relaxed);
-  return s;
+  std::lock_guard<std::mutex> lock(tp_stats_mu_);
+  return tp_stats_;
 }
 
 std::unique_ptr<ShardedStorageEngine> MakeLoopbackCluster(

@@ -64,9 +64,14 @@ class ShardedStorageEngine : public StorageEngine {
     size_t virtual_nodes_per_shard = 16;
   };
 
-  /// Two-phase-commit telemetry.
+  /// Two-phase-commit telemetry. `two_phase_stats()` returns a CONSISTENT
+  /// snapshot: all four counters are bumped together, under one mutex, at
+  /// the moment a transaction RESOLVES (commit or abort), so any reader —
+  /// including one polling while concurrent merge drains archive trial
+  /// outputs — always observes `transactions == commits + aborts` exactly,
+  /// with in-flight transactions invisible until they resolve.
   struct TwoPhaseStats {
-    uint64_t transactions = 0;     ///< Multi-participant PutMany/replicated.
+    uint64_t transactions = 0;     ///< Resolved PutMany/replicated txns.
     uint64_t prepared_writes = 0;  ///< Staging records written (phase 1).
     uint64_t commits = 0;          ///< Transactions fully applied.
     uint64_t aborts = 0;           ///< Transactions rolled back in phase 1.
@@ -137,10 +142,12 @@ class ShardedStorageEngine : public StorageEngine {
   /// cannot apply in different orders on different shards (replica
   /// divergence). DirectPut never takes it.
   std::mutex txn_mu_;
+  /// Staging-key id generator only; telemetry lives in tp_stats_.
   std::atomic<uint64_t> txn_counter_{0};
-  std::atomic<uint64_t> txn_prepared_{0};
-  std::atomic<uint64_t> txn_commits_{0};
-  std::atomic<uint64_t> txn_aborts_{0};
+  /// 2PC telemetry, updated as one unit at transaction resolution so
+  /// two_phase_stats() snapshots are consistent (see TwoPhaseStats).
+  mutable std::mutex tp_stats_mu_;
+  TwoPhaseStats tp_stats_;
 };
 
 /// Builds the canonical loopback cluster: `shards` backends (from

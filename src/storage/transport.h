@@ -1,9 +1,9 @@
 #ifndef MLCASK_STORAGE_TRANSPORT_H_
 #define MLCASK_STORAGE_TRANSPORT_H_
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -44,6 +44,14 @@ class Transport {
 /// returns its response, counting both directions' bytes. The handler side
 /// still sees nothing but the serialized request — the loopback is a real
 /// serialization boundary, just with a zero-latency wire.
+///
+/// stats() returns a CONSISTENT snapshot: all three counters are updated
+/// together under one mutex after each round trip, so a reader racing
+/// in-flight calls (e.g. polling telemetry while shard services apply a
+/// batched PutMany) never observes a call counted without its bytes, or
+/// request bytes from a newer call than the response bytes
+/// (tests/test_transport.cc hammers this invariant). Independent atomics
+/// would tear: each counter individually consistent, the triple not.
 class LoopbackTransport : public Transport {
  public:
   using Handler = std::function<std::string(std::string_view)>;
@@ -54,28 +62,29 @@ class LoopbackTransport : public Transport {
     if (handler_ == nullptr) {
       return Status::FailedPrecondition("loopback transport has no handler");
     }
+    // The handler runs outside the stats lock: counting must not serialize
+    // the engine work behind concurrent calls.
     std::string response = handler_(request);
-    calls_.fetch_add(1, std::memory_order_relaxed);
-    request_bytes_.fetch_add(request.size(), std::memory_order_relaxed);
-    response_bytes_.fetch_add(response.size(), std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.calls += 1;
+      stats_.request_bytes += request.size();
+      stats_.response_bytes += response.size();
+    }
     return response;
   }
 
   TransportStats stats() const override {
-    TransportStats s;
-    s.calls = calls_.load(std::memory_order_relaxed);
-    s.request_bytes = request_bytes_.load(std::memory_order_relaxed);
-    s.response_bytes = response_bytes_.load(std::memory_order_relaxed);
-    return s;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
   }
 
   std::string Name() const override { return "loopback"; }
 
  private:
   Handler handler_;
-  std::atomic<uint64_t> calls_{0};
-  std::atomic<uint64_t> request_bytes_{0};
-  std::atomic<uint64_t> response_bytes_{0};
+  mutable std::mutex stats_mu_;
+  TransportStats stats_;
 };
 
 }  // namespace mlcask::storage

@@ -152,15 +152,17 @@ TEST(CacheEvictionTest, ClearResetsByteAccounting) {
   EXPECT_EQ(cache.size(), 0u);
 }
 
-/// ROADMAP question made measurable: the cache's byte cap is enforced by a
-/// per-shard LRU swept round-robin from shard 0, NOT a global LRU. This
-/// recorded-trace test replays one deterministic access trace through (a)
-/// the real capped cache, counting recomputations (granted leases), and
-/// (b) an ideal global-LRU oracle of the same capacity, counting misses —
-/// quantifying how much recomputation the shard-local eviction order costs
-/// on an adversarial layout (hot keys concentrated on the low shards the
-/// sweep drains first, cold keys on high shards).
-TEST(CacheEvictionTest, TraceQuantifiesShardedVsGlobalLruRecomputation) {
+/// GATING regression for the global recency epoch. The byte cap used to be
+/// enforced by a per-shard LRU swept round-robin from shard 0, which this
+/// recorded trace measured at ~5.3x the recomputations of an ideal global
+/// LRU on an adversarial layout (hot keys concentrated on the low shards
+/// the sweep drained first, cold keys on high shards). Eviction now picks
+/// the globally-oldest unpinned entry via the cross-shard recency heap, so
+/// the same trace must stay within 1.5x of the oracle — a regression back
+/// to any shard-local eviction order fails here. The trace replays through
+/// (a) the real capped cache, counting recomputations (granted leases), and
+/// (b) an ideal global-LRU oracle of the same capacity, counting misses.
+TEST(CacheEvictionTest, GlobalEpochEvictionTracksGlobalLruOracle) {
   constexpr size_t kHot = 16;    // 4 keys on each of shards 0..3
   constexpr size_t kCold = 16;   // 2 keys on each of shards 8..15
   constexpr size_t kCapacityEntries = 24;
@@ -230,16 +232,16 @@ TEST(CacheEvictionTest, TraceQuantifiesShardedVsGlobalLruRecomputation) {
   ::testing::Test::RecordProperty("global_lru_oracle_misses",
                                   static_cast<int>(oracle_misses));
 
-  // Every key misses at least once, under either policy, and the sharded
-  // sweep can at best match the ideal oracle. The measured GAP (printed +
-  // recorded above — currently ~5.3x) is the data point the ROADMAP asks
-  // for; deliberately NOT asserted as a lower bound, so landing a global
-  // recency epoch improves the ratio toward 1.0 without failing this test.
+  // Every key misses at least once, under either policy, and the real
+  // cache can at best match the ideal oracle.
   EXPECT_GE(oracle_misses, kHot + kCold);
   EXPECT_GE(recomputations, oracle_misses);
-  // Upper bound: even the adversarial layout must stay short of
-  // pathological recompute-everything.
-  EXPECT_LT(recomputations, trace.size() * 3 / 4);
+  // The gate: global-epoch eviction must track the global-LRU oracle on
+  // the layout that defeated the per-shard sweep (~5.3x). The measured
+  // ratio is 1.0x; 1.5x leaves headroom for policy tweaks (batching,
+  // approximate heaps) without readmitting shard-local eviction order.
+  EXPECT_LE(static_cast<double>(recomputations),
+            1.5 * static_cast<double>(oracle_misses));
 }
 
 TEST(CacheEvictionTest, ConcurrentChurnRecomputesNotCorrupts) {

@@ -315,7 +315,8 @@ struct MergeFingerprint {
 };
 
 MergeFingerprint RunMerge(Scenario scenario, size_t shards,
-                          uint64_t cache_max_bytes) {
+                          uint64_t cache_max_bytes,
+                          bool concurrent_shard_drains = true) {
   DeploymentConfig config;
   config.num_workers = 1;
   config.storage_shards = shards;  // real distributed storage when sharded
@@ -335,6 +336,7 @@ MergeFingerprint RunMerge(Scenario scenario, size_t shards,
   MergeOptions options;
   options.shards = shards;
   options.cache_max_bytes = cache_max_bytes;
+  options.concurrent_shard_drains = concurrent_shard_drains;
   auto report = op.Merge("master", "dev", options);
   MLCASK_CHECK_OK(report.status());
 
@@ -382,6 +384,35 @@ TEST_P(ShardedMergeEquivalenceTest, MatchesSingleNodeOnBothScenarios) {
       // Sharding must never make the virtual drain slower.
       EXPECT_LE(sharded.makespan_s, reference.makespan_s + 1e-9);
     }
+  }
+}
+
+/// REAL-time parallelism must be invisible in the results: dispatching the
+/// per-shard drains onto concurrently running per-shard ExecutionCores
+/// (real OS threads) produces the identical winner, execution count,
+/// persisted artifact hashes — and, with one virtual worker per shard,
+/// even the identical virtual makespan — as the sequential real-time
+/// dispatch, at every shard count and on both scenarios.
+TEST_P(ShardedMergeEquivalenceTest, ConcurrentDrainsMatchSequentialDrains) {
+  const size_t shards = GetParam();
+  for (Scenario scenario : {Scenario::kFig9, Scenario::kFig11}) {
+    SCOPED_TRACE(scenario == Scenario::kFig9 ? "fig9" : "fig11");
+    MergeFingerprint sequential =
+        RunMerge(scenario, shards, /*cache=*/0,
+                 /*concurrent_shard_drains=*/false);
+    MergeFingerprint concurrent =
+        RunMerge(scenario, shards, /*cache=*/0,
+                 /*concurrent_shard_drains=*/true);
+    EXPECT_EQ(concurrent.executions, sequential.executions);
+    EXPECT_EQ(concurrent.best_index, sequential.best_index);
+    EXPECT_EQ(concurrent.best_score, sequential.best_score);
+    EXPECT_EQ(concurrent.candidates, sequential.candidates);
+    EXPECT_EQ(concurrent.winner_chain, sequential.winner_chain);
+    EXPECT_EQ(concurrent.artifact_hashes, sequential.artifact_hashes);
+    // One virtual worker per shard keeps each shard's timeline serial and
+    // deterministic, so the virtual makespan is bit-identical too — real
+    // dispatch order must never leak into virtual time.
+    EXPECT_EQ(concurrent.makespan_s, sequential.makespan_s);
   }
 }
 
