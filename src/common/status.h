@@ -22,6 +22,8 @@ enum class StatusCode : uint8_t {
   kIncompatible,  ///< Pipeline component compatibility violation (Def. 4).
   kUnimplemented,
   kInternal,
+  kUnavailable,       ///< Transport-level failure: peer gone, connect refused.
+  kDeadlineExceeded,  ///< A round trip outlived its deadline.
 };
 
 /// Returns the canonical lower-case name of a status code ("ok", "not_found"...).
@@ -67,6 +69,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -76,6 +84,10 @@ class Status {
   bool IsIncompatible() const { return code_ == StatusCode::kIncompatible; }
   bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
   }
 
   /// "ok" or "<code>: <message>".

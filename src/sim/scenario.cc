@@ -4,6 +4,7 @@
 #include "sim/libraries.h"
 #include "storage/forkbase_engine.h"
 #include "storage/local_dir_engine.h"
+#include "storage/server_cluster.h"
 #include "storage/sharded_engine.h"
 
 namespace mlcask::sim {
@@ -54,7 +55,11 @@ StatusOr<std::unique_ptr<Deployment>> MakeDeployment(
     }
     return std::make_unique<storage::ForkBaseEngine>();
   };
-  if (config.storage_shards >= 2) {
+  if (!config.storage_endpoints.empty()) {
+    // Out-of-process shards: dial the running mlcask_server processes.
+    MLCASK_ASSIGN_OR_RETURN(d->engine,
+                            storage::ConnectCluster(config.storage_endpoints));
+  } else if (config.storage_shards >= 2) {
     d->engine = storage::MakeLoopbackCluster(config.storage_shards,
                                              backend_factory);
   } else {

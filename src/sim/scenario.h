@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/sim_clock.h"
 #include "common/status.h"
@@ -60,6 +61,13 @@ struct DeploymentConfig {
   /// two-phase commit — see storage/sharded_engine.h). Every storage call
   /// then crosses a real serialization boundary. 0/1 = one local engine.
   size_t storage_shards = 1;
+  /// Non-empty provisions the storage tier OUT OF PROCESS: one socket
+  /// connection per endpoint spec (`unix:/path`, `tcp:host:port` — each a
+  /// running `mlcask_server`), routed by the same ShardedStorageEngine as
+  /// the loopback cluster (see storage::ConnectCluster). Overrides
+  /// storage_shards and folder_storage: the shard count is the endpoint
+  /// count and each server chose its own backend at launch.
+  std::vector<std::string> storage_endpoints;
 };
 
 /// Creates a deployment with a ForkBase engine (pass `folder_storage` for

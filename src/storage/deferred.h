@@ -1,0 +1,72 @@
+#ifndef MLCASK_STORAGE_DEFERRED_H_
+#define MLCASK_STORAGE_DEFERRED_H_
+
+#include <chrono>
+#include <functional>
+#include <future>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace mlcask::storage {
+
+/// Completion handle of one in-flight transport round trip. Resolves to the
+/// serialized response payload, or to a transport-level error status (peer
+/// gone, deadline, version skew). Transports guarantee the future is ALWAYS
+/// eventually fulfilled — a lost connection fails every pending call rather
+/// than leaving waiters hung.
+using TransportFuture = std::future<StatusOr<std::string>>;
+
+/// A typed in-flight RPC result: the raw transport future plus the decoder
+/// that turns the serialized response into T. Get() waits and decodes —
+/// one-shot, like the future underneath. The point of the type is WHEN work
+/// happens: the request is already on the wire by the time a Deferred
+/// exists, so issuing N Deferreds and then Get()ing them overlaps N round
+/// trips (the sharded engine's fan-out pattern). The ready-value form wraps
+/// an already-computed result, which is how plain local engines satisfy the
+/// StorageEngine Async* surface behind the same collection loops.
+template <typename T>
+class Deferred {
+ public:
+  using Decoder = std::function<StatusOr<T>(StatusOr<std::string>)>;
+
+  /// `timeout_ms` bounds Get(): 0 waits forever; otherwise a response that
+  /// has not arrived within the window resolves as DeadlineExceeded, so a
+  /// connected-but-wedged peer can stall one fan-out round, never hang it.
+  /// (The transport keeps the call registered — a straggler response is
+  /// absorbed there and, deliberately, still counted in TransportStats as
+  /// a completed round trip: the deadline here is an ENGINE-level verdict
+  /// the caller sees, not a transport failure, and deregistering would
+  /// mean threading correlation ids through the public future API for a
+  /// telemetry nicety.)
+  Deferred(TransportFuture future, Decoder decoder, uint64_t timeout_ms = 0)
+      : future_(std::move(future)),
+        decoder_(std::move(decoder)),
+        timeout_ms_(timeout_ms) {}
+  /// Already-resolved value (inline/synchronous issue path).
+  explicit Deferred(StatusOr<T> ready) : ready_(std::move(ready)) {}
+
+  /// Waits for the response (no-op when ready) and decodes. Call once.
+  StatusOr<T> Get() {
+    if (ready_.has_value()) return *std::move(ready_);
+    if (timeout_ms_ > 0 &&
+        future_.wait_for(std::chrono::milliseconds(timeout_ms_)) !=
+            std::future_status::ready) {
+      return Status::DeadlineExceeded("async call exceeded " +
+                                      std::to_string(timeout_ms_) + "ms");
+    }
+    return decoder_(future_.get());
+  }
+
+ private:
+  std::optional<StatusOr<T>> ready_;
+  TransportFuture future_;
+  Decoder decoder_;
+  uint64_t timeout_ms_ = 0;
+};
+
+}  // namespace mlcask::storage
+
+#endif  // MLCASK_STORAGE_DEFERRED_H_

@@ -1,0 +1,61 @@
+#include "storage/endpoint.h"
+
+#include "common/strings.h"
+
+namespace mlcask::storage {
+
+StatusOr<Endpoint> Endpoint::Parse(std::string_view spec) {
+  Endpoint ep;
+  if (spec == "loopback:" || spec == "loopback") {
+    ep.kind = Kind::kLoopback;
+    return ep;
+  }
+  if (StartsWith(spec, "unix:")) {
+    ep.kind = Kind::kUnix;
+    ep.path = std::string(spec.substr(5));
+    if (ep.path.empty()) {
+      return Status::InvalidArgument("unix endpoint needs a path: '" +
+                                     std::string(spec) + "'");
+    }
+    // sockaddr_un.sun_path is 108 bytes including the terminator.
+    if (ep.path.size() >= 108) {
+      return Status::InvalidArgument("unix socket path too long (>=108): '" +
+                                     std::string(spec) + "'");
+    }
+    return ep;
+  }
+  if (StartsWith(spec, "tcp:")) {
+    ep.kind = Kind::kTcp;
+    std::string_view rest = spec.substr(4);
+    size_t colon = rest.rfind(':');
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument("tcp endpoint needs host:port: '" +
+                                     std::string(spec) + "'");
+    }
+    ep.host = std::string(rest.substr(0, colon));
+    uint64_t port = 0;
+    if (!ParseUint(rest.substr(colon + 1), &port) || port > 65535) {
+      return Status::InvalidArgument("tcp endpoint has a malformed port: '" +
+                                     std::string(spec) + "'");
+    }
+    ep.port = static_cast<uint16_t>(port);
+    return ep;
+  }
+  return Status::InvalidArgument(
+      "endpoint spec must start with loopback:, unix: or tcp:  — got '" +
+      std::string(spec) + "'");
+}
+
+std::string Endpoint::ToString() const {
+  switch (kind) {
+    case Kind::kLoopback:
+      return "loopback:";
+    case Kind::kUnix:
+      return "unix:" + path;
+    case Kind::kTcp:
+      return "tcp:" + host + ":" + std::to_string(port);
+  }
+  return "loopback:";
+}
+
+}  // namespace mlcask::storage

@@ -1,0 +1,42 @@
+#ifndef MLCASK_STORAGE_ENDPOINT_H_
+#define MLCASK_STORAGE_ENDPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace mlcask::storage {
+
+/// A parsed transport endpoint. Every place that names a peer — the
+/// `mlcask_server` binary, `ConnectCluster`, the socket transports — shares
+/// this one URI-style grammar:
+///
+///   loopback:             in-process handler, zero-latency wire
+///   unix:/path/to.sock    Unix-domain stream socket at that path
+///   tcp:host:port         TCP to `host` (name or literal) on `port`;
+///                         an empty host ("tcp::7777") means 127.0.0.1 for
+///                         clients and INADDR_ANY for servers
+///
+/// The scheme prefix is mandatory: a bare "/path" or "host:port" is rejected
+/// so a typo'd spec fails loudly instead of silently picking a transport.
+struct Endpoint {
+  enum class Kind { kLoopback, kUnix, kTcp };
+
+  Kind kind = Kind::kLoopback;
+  std::string path;  ///< Unix socket path (kUnix only).
+  std::string host;  ///< TCP host, may be empty (kTcp only).
+  uint16_t port = 0; ///< TCP port; 0 asks a server for an ephemeral port.
+
+  /// Parses a spec string; malformed specs return InvalidArgument with the
+  /// offending spec quoted.
+  static StatusOr<Endpoint> Parse(std::string_view spec);
+
+  /// Canonical spec string ("unix:/tmp/s.sock", "tcp:127.0.0.1:7777").
+  std::string ToString() const;
+};
+
+}  // namespace mlcask::storage
+
+#endif  // MLCASK_STORAGE_ENDPOINT_H_

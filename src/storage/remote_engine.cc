@@ -268,11 +268,10 @@ StatusOr<std::string> RemoteStorageEngine::RoundTrip(
 }
 
 namespace {
-/// One call: serialize, send, parse, surface the remote Status on failure.
-StatusOr<Json> CallMethod(const Transport* transport, Json request) {
-  // Transports are shared mutable endpoints; Call is non-const by design
-  // (it counts traffic), while the engine methods using it may be const.
-  auto response = const_cast<Transport*>(transport)->Call(request.Dump());
+
+/// Raw serialized response -> parsed JSON document (or the remote Status).
+/// Shared by the blocking call path and every Deferred decoder.
+StatusOr<Json> DecodeResponse(StatusOr<std::string> response) {
   if (!response.ok()) return response.status();
   auto doc = Json::Parse(*response);
   if (!doc.ok()) {
@@ -282,16 +281,17 @@ StatusOr<Json> CallMethod(const Transport* transport, Json request) {
   if (!doc->GetBool("ok")) return DecodeError(*doc);
   return *std::move(doc);
 }
-}  // namespace
 
-StatusOr<PutResult> RemoteStorageEngine::Put(const std::string& key,
-                                             std::string_view data) {
-  Json request = Json::Object();
-  request.Set("method", Json::Str("put"));
-  request.Set("key", Json::Str(key));
-  request.Set("data", Json::Str(HexEncode(data)));
-  MLCASK_ASSIGN_OR_RETURN(Json response,
-                          CallMethod(transport_.get(), std::move(request)));
+/// One blocking call: serialize, send, parse, surface the remote Status.
+StatusOr<Json> CallMethod(const Transport* transport, Json request) {
+  // Transports are shared mutable endpoints; Call is non-const by design
+  // (it counts traffic), while the engine methods using it may be const.
+  return DecodeResponse(
+      const_cast<Transport*>(transport)->Call(request.Dump()));
+}
+
+StatusOr<PutResult> DecodePutResponse(StatusOr<std::string> raw) {
+  MLCASK_ASSIGN_OR_RETURN(Json response, DecodeResponse(std::move(raw)));
   const Json* result = response.Get("result");
   if (result == nullptr) {
     return Status::Corruption("put response lacks a result");
@@ -299,23 +299,12 @@ StatusOr<PutResult> RemoteStorageEngine::Put(const std::string& key,
   return DecodePutResult(*result);
 }
 
-StatusOr<std::vector<PutResult>> RemoteStorageEngine::PutMany(
-    const std::vector<PutRequest>& batch) {
-  Json encoded = Json::Array();
-  for (const PutRequest& put : batch) {
-    Json entry = Json::Object();
-    entry.Set("key", Json::Str(put.key));
-    entry.Set("data", Json::Str(HexEncode(put.data)));
-    encoded.Append(std::move(entry));
-  }
-  Json request = Json::Object();
-  request.Set("method", Json::Str("put_many"));
-  request.Set("batch", std::move(encoded));
-  MLCASK_ASSIGN_OR_RETURN(Json response,
-                          CallMethod(transport_.get(), std::move(request)));
+StatusOr<std::vector<PutResult>> DecodePutManyResponse(
+    StatusOr<std::string> raw, size_t expected) {
+  MLCASK_ASSIGN_OR_RETURN(Json response, DecodeResponse(std::move(raw)));
   const Json* results = response.Get("results");
   if (results == nullptr || !results->is_array() ||
-      results->size() != batch.size()) {
+      results->size() != expected) {
     return Status::Corruption("put_many response result count mismatch");
   }
   std::vector<PutResult> decoded;
@@ -327,30 +316,110 @@ StatusOr<std::vector<PutResult>> RemoteStorageEngine::PutMany(
   return decoded;
 }
 
+StatusOr<std::string> DecodeDataResponse(StatusOr<std::string> raw) {
+  MLCASK_ASSIGN_OR_RETURN(Json response, DecodeResponse(std::move(raw)));
+  return HexDecode(response.GetString("data"));
+}
+
+StatusOr<bool> DecodeHasResponse(StatusOr<std::string> raw) {
+  MLCASK_ASSIGN_OR_RETURN(Json response, DecodeResponse(std::move(raw)));
+  return response.GetBool("has");
+}
+
+StatusOr<uint64_t> DecodeFreedResponse(StatusOr<std::string> raw) {
+  MLCASK_ASSIGN_OR_RETURN(Json response, DecodeResponse(std::move(raw)));
+  return static_cast<uint64_t>(response.GetInt("freed_bytes"));
+}
+
+Json PutRequestJson(const std::string& key, std::string_view data) {
+  Json request = Json::Object();
+  request.Set("method", Json::Str("put"));
+  request.Set("key", Json::Str(key));
+  request.Set("data", Json::Str(HexEncode(data)));
+  return request;
+}
+
+Json PutManyRequestJson(const std::vector<PutRequest>& batch) {
+  Json encoded = Json::Array();
+  for (const PutRequest& put : batch) {
+    Json entry = Json::Object();
+    entry.Set("key", Json::Str(put.key));
+    entry.Set("data", Json::Str(HexEncode(put.data)));
+    encoded.Append(std::move(entry));
+  }
+  Json request = Json::Object();
+  request.Set("method", Json::Str("put_many"));
+  request.Set("batch", std::move(encoded));
+  return request;
+}
+
+Json IdRequestJson(const char* method, const Hash256& id) {
+  Json request = Json::Object();
+  request.Set("method", Json::Str(method));
+  request.Set("id", Json::Str(id.ToHex()));
+  return request;
+}
+
+}  // namespace
+
+StatusOr<PutResult> RemoteStorageEngine::Put(const std::string& key,
+                                             std::string_view data) {
+  return DecodePutResponse(transport_->Call(PutRequestJson(key, data).Dump()));
+}
+
+Deferred<PutResult> RemoteStorageEngine::AsyncPut(const std::string& key,
+                                                  std::string_view data) {
+  return Deferred<PutResult>(
+      transport_->AsyncCall(PutRequestJson(key, data).Dump()),
+      DecodePutResponse, transport_->call_timeout_ms());
+}
+
+StatusOr<std::vector<PutResult>> RemoteStorageEngine::PutMany(
+    const std::vector<PutRequest>& batch) {
+  return DecodePutManyResponse(
+      transport_->Call(PutManyRequestJson(batch).Dump()), batch.size());
+}
+
+Deferred<std::vector<PutResult>> RemoteStorageEngine::AsyncPutMany(
+    const std::vector<PutRequest>& batch) {
+  const size_t expected = batch.size();
+  return Deferred<std::vector<PutResult>>(
+      transport_->AsyncCall(PutManyRequestJson(batch).Dump()),
+      [expected](StatusOr<std::string> raw) {
+        return DecodePutManyResponse(std::move(raw), expected);
+      },
+      transport_->call_timeout_ms());
+}
+
 StatusOr<std::string> RemoteStorageEngine::Get(const std::string& key) {
   Json request = Json::Object();
   request.Set("method", Json::Str("get"));
   request.Set("key", Json::Str(key));
-  MLCASK_ASSIGN_OR_RETURN(Json response,
-                          CallMethod(transport_.get(), std::move(request)));
-  return HexDecode(response.GetString("data"));
+  return DecodeDataResponse(transport_->Call(request.Dump()));
 }
 
 StatusOr<std::string> RemoteStorageEngine::GetVersion(const Hash256& id) {
-  Json request = Json::Object();
-  request.Set("method", Json::Str("get_version"));
-  request.Set("id", Json::Str(id.ToHex()));
-  MLCASK_ASSIGN_OR_RETURN(Json response,
-                          CallMethod(transport_.get(), std::move(request)));
-  return HexDecode(response.GetString("data"));
+  return DecodeDataResponse(
+      transport_->Call(IdRequestJson("get_version", id).Dump()));
+}
+
+Deferred<std::string> RemoteStorageEngine::AsyncGetVersion(const Hash256& id) {
+  return Deferred<std::string>(
+      transport_->AsyncCall(IdRequestJson("get_version", id).Dump()),
+      DecodeDataResponse, transport_->call_timeout_ms());
 }
 
 bool RemoteStorageEngine::HasVersion(const Hash256& id) const {
-  Json request = Json::Object();
-  request.Set("method", Json::Str("has_version"));
-  request.Set("id", Json::Str(id.ToHex()));
-  auto response = CallMethod(transport_.get(), std::move(request));
-  return response.ok() && response->GetBool("has");
+  auto response = DecodeHasResponse(
+      const_cast<Transport*>(transport_.get())
+          ->Call(IdRequestJson("has_version", id).Dump()));
+  return response.ok() && *response;
+}
+
+Deferred<bool> RemoteStorageEngine::AsyncHasVersion(const Hash256& id) const {
+  return Deferred<bool>(const_cast<Transport*>(transport_.get())
+                            ->AsyncCall(IdRequestJson("has_version", id).Dump()),
+                        DecodeHasResponse, transport_->call_timeout_ms());
 }
 
 std::vector<Hash256> RemoteStorageEngine::Versions(
@@ -391,12 +460,14 @@ RemoteStorageEngine::ListAllVersions() const {
 }
 
 StatusOr<uint64_t> RemoteStorageEngine::DeleteVersion(const Hash256& id) {
-  Json request = Json::Object();
-  request.Set("method", Json::Str("delete_version"));
-  request.Set("id", Json::Str(id.ToHex()));
-  MLCASK_ASSIGN_OR_RETURN(Json response,
-                          CallMethod(transport_.get(), std::move(request)));
-  return static_cast<uint64_t>(response.GetInt("freed_bytes"));
+  return DecodeFreedResponse(
+      transport_->Call(IdRequestJson("delete_version", id).Dump()));
+}
+
+Deferred<uint64_t> RemoteStorageEngine::AsyncDeleteVersion(const Hash256& id) {
+  return Deferred<uint64_t>(
+      transport_->AsyncCall(IdRequestJson("delete_version", id).Dump()),
+      DecodeFreedResponse, transport_->call_timeout_ms());
 }
 
 EngineStats RemoteStorageEngine::stats() const {

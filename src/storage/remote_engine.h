@@ -45,7 +45,12 @@ class StorageEngineService {
 /// request message, sends it through a Transport, and decodes the response.
 /// With a LoopbackTransport this gives an in-process deployment the exact
 /// call/serialization profile of a networked one (the "aha" the distributed
-/// tests rely on); a socket transport drops in without touching callers.
+/// tests rely on); a SocketTransport makes the peer a real process.
+///
+/// Beyond the blocking StorageEngine surface, the proxy exposes Async*
+/// variants of the write/lookup calls the sharded router fans out: each
+/// returns a Deferred<T> whose request is already on the wire, so issuing
+/// one per shard before collecting overlaps the round trips.
 class RemoteStorageEngine : public StorageEngine {
  public:
   /// Owns the transport. The remote peer's engine name is fetched eagerly so
@@ -77,6 +82,18 @@ class RemoteStorageEngine : public StorageEngine {
   EngineStats stats() const override;
   std::string Name() const override { return name_; }
   double ReadCost(uint64_t bytes) const override;
+
+  /// Async overrides: unlike the StorageEngine inline defaults, the
+  /// request is ON THE WIRE before the method returns; Get() on the result
+  /// waits for and decodes the response. Semantics and wire messages are
+  /// identical to the blocking methods.
+  Deferred<PutResult> AsyncPut(const std::string& key,
+                               std::string_view data) override;
+  Deferred<std::vector<PutResult>> AsyncPutMany(
+      const std::vector<PutRequest>& batch) override;
+  Deferred<std::string> AsyncGetVersion(const Hash256& id) override;
+  Deferred<bool> AsyncHasVersion(const Hash256& id) const override;
+  Deferred<uint64_t> AsyncDeleteVersion(const Hash256& id) override;
 
   const Transport* transport() const { return transport_.get(); }
 

@@ -1,0 +1,195 @@
+#include "storage/server_cluster.h"
+
+#include "storage/remote_engine.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace mlcask::storage {
+
+StatusOr<std::unique_ptr<ShardedStorageEngine>> ConnectCluster(
+    const std::vector<std::string>& endpoints,
+    ShardedStorageEngine::Options options,
+    const SocketTransport::Options& transport_options) {
+  if (endpoints.empty()) {
+    return Status::InvalidArgument(
+        "ConnectCluster needs at least one endpoint");
+  }
+  std::vector<std::unique_ptr<StorageEngine>> proxies;
+  proxies.reserve(endpoints.size());
+  for (const std::string& spec : endpoints) {
+    MLCASK_ASSIGN_OR_RETURN(Endpoint ep, Endpoint::Parse(spec));
+    if (ep.kind == Endpoint::Kind::kLoopback) {
+      return Status::InvalidArgument(
+          "loopback: endpoints have no wire to dial; use MakeLoopbackCluster");
+    }
+    MLCASK_ASSIGN_OR_RETURN(std::unique_ptr<SocketTransport> transport,
+                            SocketTransport::Connect(ep, transport_options));
+    proxies.push_back(
+        std::make_unique<RemoteStorageEngine>(std::move(transport)));
+  }
+  return std::make_unique<ShardedStorageEngine>(std::move(proxies),
+                                                std::move(options));
+}
+
+namespace {
+
+/// One probe: can we complete a connect() on the Unix socket right now?
+bool CanConnect(const std::string& path) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const bool ok =
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+LocalServerCluster::~LocalServerCluster() { Stop(); }
+
+Status LocalServerCluster::Start(size_t shards, const Options& options) {
+  if (shards == 0) {
+    return Status::InvalidArgument("cluster needs at least one shard");
+  }
+  if (!pids_.empty() || !dir_.empty()) {
+    return Status::FailedPrecondition("cluster already started");
+  }
+  std::string binary = options.server_binary;
+  if (binary.empty()) {
+    const char* env = std::getenv("MLCASK_SERVER_BIN");
+    if (env != nullptr) binary = env;
+  }
+  if (binary.empty() || ::access(binary.c_str(), X_OK) != 0) {
+    return Status::FailedPrecondition(
+        "mlcask_server binary not found (set Options::server_binary or "
+        "$MLCASK_SERVER_BIN); looked at '" +
+        binary + "'");
+  }
+
+  char dir_template[] = "/tmp/mlcask-cluster-XXXXXX";
+  if (::mkdtemp(dir_template) == nullptr) {
+    return Status::Internal(std::string("mkdtemp failed: ") +
+                            std::strerror(errno));
+  }
+  dir_ = dir_template;
+
+  for (size_t s = 0; s < shards; ++s) {
+    const std::string sock = dir_ + "/shard" + std::to_string(s) + ".sock";
+    const std::string spec = "unix:" + sock;
+    const std::string log = dir_ + "/shard" + std::to_string(s) + ".log";
+    pid_t pid = ::fork();
+    if (pid < 0) {
+      Status st =
+          Status::Internal(std::string("fork failed: ") + std::strerror(errno));
+      Stop();
+      return st;
+    }
+    if (pid == 0) {
+      // Child: own stdout/stderr go to a per-shard log (test output stays
+      // clean, the log stays available for post-mortems), then exec.
+      int log_fd = ::open(log.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+      if (log_fd >= 0) {
+        ::dup2(log_fd, STDOUT_FILENO);
+        ::dup2(log_fd, STDERR_FILENO);
+        ::close(log_fd);
+      }
+      ::execl(binary.c_str(), binary.c_str(), "--endpoint", spec.c_str(),
+              "--backend", options.backend.c_str(),
+              static_cast<char*>(nullptr));
+      std::_Exit(127);  // exec failed
+    }
+    pids_.push_back(pid);
+    endpoints_.push_back(spec);
+  }
+
+  // Wait until every shard accepts. A child dying early (exec failure, bind
+  // error) is surfaced as its exit, not as a timeout. The timeout is PER
+  // SERVER (as Options documents): each shard's clock starts when we begin
+  // waiting on it, so a slow machine bringing up many shards doesn't starve
+  // the last ones of their allowance.
+  for (size_t s = 0; s < shards; ++s) {
+    const std::string sock = dir_ + "/shard" + std::to_string(s) + ".sock";
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options.startup_timeout_ms);
+    for (;;) {
+      if (CanConnect(sock)) break;
+      int wstatus = 0;
+      if (::waitpid(pids_[s], &wstatus, WNOHANG) == pids_[s]) {
+        pids_[s] = -1;  // already reaped
+        Status st = Status::Unavailable(
+            "mlcask_server for shard " + std::to_string(s) +
+            " exited during startup (status " + std::to_string(wstatus) +
+            "); see " + dir_ + "/shard" + std::to_string(s) + ".log");
+        Stop();
+        return st;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        Status st = Status::DeadlineExceeded(
+            "shard " + std::to_string(s) + " did not accept on " + sock +
+            " within " + std::to_string(options.startup_timeout_ms) + "ms");
+        Stop();
+        return st;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  return Status::Ok();
+}
+
+void LocalServerCluster::Stop() {
+  for (pid_t pid : pids_) {
+    if (pid > 0) ::kill(pid, SIGTERM);
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  for (pid_t& pid : pids_) {
+    while (pid > 0) {
+      int wstatus = 0;
+      pid_t reaped = ::waitpid(pid, &wstatus, WNOHANG);
+      if (reaped == pid || (reaped < 0 && errno == ECHILD)) {
+        pid = -1;
+        break;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, &wstatus, 0);
+        pid = -1;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  pids_.clear();
+  if (!dir_.empty()) {
+    for (const std::string& spec : endpoints_) {
+      // "unix:" prefix is 5 bytes.
+      ::unlink(spec.substr(5).c_str());
+    }
+    // Logs are intentionally left behind only if the rmdir fails (i.e. a
+    // post-mortem is likely wanted); normal teardown removes everything.
+    for (size_t s = 0; s < endpoints_.size(); ++s) {
+      ::unlink((dir_ + "/shard" + std::to_string(s) + ".log").c_str());
+    }
+    ::rmdir(dir_.c_str());
+    dir_.clear();
+  }
+  endpoints_.clear();
+}
+
+}  // namespace mlcask::storage

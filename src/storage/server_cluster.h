@@ -1,0 +1,73 @@
+#ifndef MLCASK_STORAGE_SERVER_CLUSTER_H_
+#define MLCASK_STORAGE_SERVER_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/sharded_engine.h"
+#include "storage/socket_transport.h"
+
+namespace mlcask::storage {
+
+/// The multi-process sibling of MakeLoopbackCluster: dials one socket
+/// transport per endpoint spec (`unix:/path`, `tcp:host:port` — each
+/// typically a running `mlcask_server` process), wraps each in a
+/// RemoteStorageEngine proxy, and routes them all through one
+/// ShardedStorageEngine. The returned cluster is call-for-call identical to
+/// a loopback one — same wire format, same routing, same 2PC — except that
+/// the round trips now cross real process/host boundaries and the async
+/// fan-outs genuinely overlap their wire latency. Connection failures
+/// surface as Unavailable naming the endpoint. `loopback:` specs are
+/// rejected: they have no wire to dial (use MakeLoopbackCluster).
+StatusOr<std::unique_ptr<ShardedStorageEngine>> ConnectCluster(
+    const std::vector<std::string>& endpoints,
+    ShardedStorageEngine::Options options = ShardedStorageEngine::Options(),
+    const SocketTransport::Options& transport_options =
+        SocketTransport::Options());
+
+/// Spawns and owns N `mlcask_server` OS processes, one storage shard each,
+/// listening on Unix-domain sockets under a fresh private temp directory.
+/// This is the launcher behind the multi-process equivalence tests and the
+/// fig11 bench's --socket mode: Start() returns once every server accepts
+/// connections, endpoints() feeds straight into ConnectCluster, and the
+/// destructor SIGTERMs + reaps every child (SIGKILL after a grace period),
+/// so a failing test never leaks server processes.
+class LocalServerCluster {
+ public:
+  struct Options {
+    /// Path to the mlcask_server binary. Empty = $MLCASK_SERVER_BIN.
+    std::string server_binary;
+    std::string backend = "forkbase";  ///< forkbase | localdir
+    /// Per-server wait for the socket to accept, in milliseconds.
+    uint64_t startup_timeout_ms = 10000;
+  };
+
+  LocalServerCluster() = default;
+  ~LocalServerCluster();
+  LocalServerCluster(const LocalServerCluster&) = delete;
+  LocalServerCluster& operator=(const LocalServerCluster&) = delete;
+
+  /// Launches `shards` servers and waits until each endpoint accepts a
+  /// connection. On failure every already-spawned child is torn down before
+  /// the error returns. Call once per instance.
+  Status Start(size_t shards, const Options& options);
+  Status Start(size_t shards) { return Start(shards, Options()); }
+
+  /// `unix:` endpoint specs, one per shard, in shard order.
+  const std::vector<std::string>& endpoints() const { return endpoints_; }
+
+  /// SIGTERMs and reaps all children, removes the socket dir. Idempotent.
+  void Stop();
+
+ private:
+  std::vector<pid_t> pids_;
+  std::vector<std::string> endpoints_;
+  std::string dir_;
+};
+
+}  // namespace mlcask::storage
+
+#endif  // MLCASK_STORAGE_SERVER_CLUSTER_H_

@@ -35,6 +35,17 @@ bool IsStagingKey(std::string_view key) {
   return StartsWith(key, kStagingPrefix);
 }
 
+/// Measures one fan-out's overlap: issued round trips raise `inflight`,
+/// collected ones lower it, `peak` keeps the high-water mark. An
+/// issue-all-then-collect fan-out peaks at N; a serial issue-wait loop
+/// never leaves 1 — which is exactly what the round-trip ledgers record.
+struct InflightMeter {
+  uint64_t inflight = 0;
+  uint64_t peak = 0;
+  void Issue() { peak = std::max(peak, ++inflight); }
+  void Collect() { --inflight; }
+};
+
 }  // namespace
 
 ShardedStorageEngine::ShardedStorageEngine(
@@ -55,6 +66,8 @@ ShardedStorageEngine::ShardedStorageEngine(
           RingPoint("ring/" + std::to_string(s) + "#" + std::to_string(v)), s);
     }
   }
+  tp_stats_.per_shard_round_trips.assign(shards_.size(), 0);
+  bc_stats_.per_shard_probes.assign(shards_.size(), 0);
 }
 
 size_t ShardedStorageEngine::ShardForKey(std::string_view key) const {
@@ -93,6 +106,22 @@ Status ShardedStorageEngine::RunTransaction(
   // costs nothing on the hot path; uncoordinated DirectPuts never take it.
   std::lock_guard<std::mutex> txn_lock(txn_mu_);
   const uint64_t txn = txn_counter_.fetch_add(1, std::memory_order_relaxed);
+  // Round-trip ledger of THIS transaction, accumulated locally while the
+  // phases run. The InflightMeter records whatever overlap the code
+  // structure actually achieved — the overlapped fan-out reaches the
+  // participant count, a serial issue-wait loop never leaves 1.
+  struct {
+    uint64_t prepare_round_trips = 0;
+    uint64_t apply_round_trips = 0;
+    InflightMeter meter;
+    std::vector<uint64_t> per_shard;
+    void Issue(size_t shard) {
+      meter.Issue();
+      per_shard[shard] += 1;
+    }
+    void Collect() { meter.Collect(); }
+  } ledger;
+  ledger.per_shard.assign(shards_.size(), 0);
   // Telemetry lands in tp_stats_ as ONE unit when the transaction resolves
   // (commit or abort), never piecemeal: a concurrent stats reader must see
   // transactions == commits + aborts in every snapshot.
@@ -104,6 +133,13 @@ Status ShardedStorageEngine::RunTransaction(
       tp_stats_.commits += 1;
     } else {
       tp_stats_.aborts += 1;
+    }
+    tp_stats_.prepare_round_trips += ledger.prepare_round_trips;
+    tp_stats_.apply_round_trips += ledger.apply_round_trips;
+    tp_stats_.max_inflight_round_trips =
+        std::max(tp_stats_.max_inflight_round_trips, ledger.meter.peak);
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      tp_stats_.per_shard_round_trips[s] += ledger.per_shard[s];
     }
   };
 
@@ -136,10 +172,14 @@ Status ShardedStorageEngine::RunTransaction(
   };
 
   // Phase 1: stage every payload on its participant shard — ONE PutMany
-  // batch per shard (a single message on a remote proxy). The staged blob
-  // binds the target key to the data, so a recovering shard could replay
-  // the intent; on a deduplicating engine the staged chunks also make the
-  // phase-2 write transfer almost nothing new.
+  // batch per shard (a single message on a remote proxy), every
+  // participant's batch ISSUED before any response is collected, so the
+  // prepare round trips overlap instead of serializing over the wire. The
+  // staged blob binds the target key to the data, so a recovering shard
+  // could replay the intent; on a deduplicating engine the staged chunks
+  // also make the phase-2 write transfer almost nothing new.
+  std::vector<std::pair<size_t, Deferred<std::vector<PutResult>>>> prepares;
+  prepares.reserve(by_shard.size());
   for (const auto& [shard, indices] : by_shard) {
     std::vector<PutRequest> staging;
     staging.reserve(indices.size());
@@ -150,17 +190,88 @@ Status ShardedStorageEngine::RunTransaction(
       intent.append(writes[i].request->data);
       staging.push_back({staging_key_for(i), std::move(intent)});
     }
-    auto prepared = shards_[shard]->PutMany(staging);
-    if (!prepared.ok()) {
-      cleanup_staged();
-      resolve(/*committed=*/false);
-      return Status(prepared.status().code(),
-                    "2pc prepare failed on shard " + std::to_string(shard) +
-                        ": " + prepared.status().message());
+    prepares.emplace_back(shard, shards_[shard]->AsyncPutMany(staging));
+    ledger.Issue(shard);
+    ledger.prepare_round_trips += 1;
+  }
+  Status prepare_failure;
+  size_t prepare_failed_shard = 0;
+  for (auto& [shard, deferred] : prepares) {
+    auto prepared = deferred.Get();
+    ledger.Collect();
+    if (!prepared.ok() && prepare_failure.ok()) {
+      prepare_failure = prepared.status();
+      prepare_failed_shard = shard;
     }
   }
+  if (!prepare_failure.ok()) {
+    cleanup_staged();
+    resolve(/*committed=*/false);
+    return Status(prepare_failure.code(),
+                  "2pc prepare failed on shard " +
+                      std::to_string(prepare_failed_shard) + ": " +
+                      prepare_failure.message());
+  }
 
-  // Phase 2: unanimous prepare — apply the real writes.
+  // Phase 2: unanimous prepare — apply the real writes. Applies stay
+  // per-write (a failure must know exactly which version ids to roll back),
+  // but ALL of them are issued before any is collected: same-shard writes
+  // pipeline in order on one session (preserving each engine's
+  // key+ordinal version-id sequence), different shards' applies overlap.
+  std::vector<Deferred<PutResult>> applies;
+  applies.reserve(writes.size());
+  for (const ShardWrite& w : writes) {
+    applies.push_back(
+        shards_[w.shard]->AsyncPut(w.request->key, w.request->data));
+    ledger.Issue(w.shard);
+    ledger.apply_round_trips += 1;
+  }
+  std::vector<StatusOr<PutResult>> applied_results;
+  applied_results.reserve(writes.size());
+  for (Deferred<PutResult>& deferred : applies) {
+    applied_results.push_back(deferred.Get());
+    ledger.Collect();
+  }
+  for (size_t i = 0; i < writes.size(); ++i) {
+    if (applied_results[i].ok()) continue;
+    // Prepare voted yes everywhere, so an apply failure is a broken
+    // participant, not a routine abort — but partial state must not
+    // surface. Roll back every write that DID apply (safe even for
+    // deduplicated applies: both engines derive version ids from
+    // key + ordinal, so a fresh Put always creates a fresh id and the
+    // delete can never take an older object with it) and account the
+    // transaction as aborted.
+    for (size_t j = 0; j < writes.size(); ++j) {
+      if (applied_results[j].ok()) {
+        (void)shards_[writes[j].shard]->DeleteVersion(applied_results[j]->id);
+      }
+    }
+    cleanup_staged();
+    resolve(/*committed=*/false);
+    // A timed-out apply is INDETERMINATE, not definitely-failed: the write
+    // was on the wire, and a wedged-but-alive shard may still apply it
+    // after we gave up (loopback had no timeouts; sockets do). Report that
+    // honestly instead of claiming a clean rollback — the operator must
+    // recheck that shard when it recovers, or replicas can diverge.
+    bool indeterminate = false;
+    for (const auto& result : applied_results) {
+      if (!result.ok() && result.status().IsDeadlineExceeded()) {
+        indeterminate = true;
+        break;
+      }
+    }
+    if (indeterminate) {
+      return Status::Internal(
+          "2pc apply timed out on shard " + std::to_string(writes[i].shard) +
+          ": " + applied_results[i].status().message() +
+          " (known applies rolled back, but the timed-out write's outcome "
+          "is INDETERMINATE — verify that shard before trusting replicas)");
+    }
+    return Status::Internal(
+        "2pc apply failed on shard " + std::to_string(writes[i].shard) +
+        ": " + applied_results[i].status().message() +
+        " (transaction rolled back)");
+  }
   struct Slot {
     bool filled = false;
     PutResult result;      ///< Shard-0 replica when replicated.
@@ -169,35 +280,16 @@ Status ShardedStorageEngine::RunTransaction(
     size_t last_shard = 0;
   };
   std::map<size_t, Slot> slots;  // batch index -> merged result
-  std::vector<std::pair<size_t, PutResult>> applied_writes;
-  applied_writes.reserve(writes.size());
-  for (const ShardWrite& w : writes) {
-    auto applied = shards_[w.shard]->Put(w.request->key, w.request->data);
-    if (!applied.ok()) {
-      // Prepare voted yes everywhere, so an apply failure is a broken
-      // participant, not a routine abort — but partial state must not
-      // surface. Roll back every write already applied (safe even for
-      // deduplicated applies: both engines derive version ids from
-      // key + ordinal, so a fresh Put always creates a fresh id and the
-      // delete can never take an older object with it) and account the
-      // transaction as aborted.
-      for (const auto& [shard, result] : applied_writes) {
-        (void)shards_[shard]->DeleteVersion(result.id);
-      }
-      cleanup_staged();
-      resolve(/*committed=*/false);
-      return Status::Internal(
-          "2pc apply failed on shard " + std::to_string(w.shard) + ": " +
-          applied.status().message() + " (transaction rolled back)");
-    }
-    applied_writes.emplace_back(w.shard, *applied);
+  for (size_t i = 0; i < writes.size(); ++i) {
+    const ShardWrite& w = writes[i];
+    const PutResult& applied = *applied_results[i];
     Slot& slot = slots[w.batch_index];
     slot.replicas += 1;
     slot.last_shard = w.shard;
-    slot.max_time_s = std::max(slot.max_time_s, applied->storage_time_s);
+    slot.max_time_s = std::max(slot.max_time_s, applied.storage_time_s);
     if (!slot.filled || w.shard == 0) {
       slot.filled = true;
-      slot.result = *applied;
+      slot.result = applied;
     }
   }
   cleanup_staged();
@@ -277,9 +369,22 @@ StatusOr<std::string> ShardedStorageEngine::GetVersion(const Hash256& id) {
       return shards_[shard]->GetVersion(id);
     }
   }
-  // Not in the router index (e.g. a restored shard): broadcast probe.
+  // Not in the router index (e.g. a restored shard): broadcast probe, every
+  // shard's round trip issued before the first response is inspected.
+  // Responses are still judged in shard order, so the answer (first holder
+  // wins, first non-NotFound error surfaces) is identical to the old
+  // serial loop — only the wire latency stops multiplying by shard count.
+  std::vector<Deferred<std::string>> probes;
+  probes.reserve(shards_.size());
+  InflightMeter meter;
   for (const auto& shard : shards_) {
-    auto data = shard->GetVersion(id);
+    probes.push_back(shard->AsyncGetVersion(id));
+    meter.Issue();
+  }
+  RecordBroadcast(meter.peak);
+  for (Deferred<std::string>& probe : probes) {
+    auto data = probe.Get();
+    meter.Collect();
     if (data.ok()) return data;
     if (!data.status().IsNotFound()) return data.status();
   }
@@ -296,8 +401,21 @@ bool ShardedStorageEngine::HasVersion(const Hash256& id) const {
       return shards_[shard]->HasVersion(id);
     }
   }
+  std::vector<Deferred<bool>> probes;
+  probes.reserve(shards_.size());
+  InflightMeter meter;
   for (const auto& shard : shards_) {
-    if (shard->HasVersion(id)) return true;
+    probes.push_back(shard->AsyncHasVersion(id));
+    meter.Issue();
+  }
+  RecordBroadcast(meter.peak);
+  for (Deferred<bool>& probe : probes) {
+    auto has = probe.Get();
+    meter.Collect();
+    // First holder wins; the remaining Deferreds are abandoned safely (the
+    // transport always fulfills the promise side), so one slow shard never
+    // delays an answer another shard already gave.
+    if (has.ok() && *has) return true;
   }
   return false;
 }
@@ -334,12 +452,33 @@ StatusOr<uint64_t> ShardedStorageEngine::DeleteVersion(const Hash256& id) {
     }
   }
   if (!indexed) {
-    // Not in the router index (a restored shard): probe everywhere. More
-    // than one holder means a replicated version — fall through to the
-    // delete-every-replica branch, otherwise replicas would leak.
-    std::vector<size_t> holders;
+    // Not in the router index (a restored shard): probe everywhere
+    // (overlapped broadcast). More than one holder means a replicated
+    // version — fall through to the delete-every-replica branch, otherwise
+    // replicas would leak.
+    std::vector<Deferred<bool>> probes;
+    probes.reserve(shards_.size());
+    InflightMeter meter;
     for (size_t s = 0; s < shards_.size(); ++s) {
-      if (shards_[s]->HasVersion(id)) holders.push_back(s);
+      probes.push_back(shards_[s]->AsyncHasVersion(id));
+      meter.Issue();
+    }
+    RecordBroadcast(meter.peak);
+    std::vector<size_t> holders;
+    Status probe_failure;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      auto has = probes[s].Get();
+      meter.Collect();
+      if (!has.ok() && probe_failure.ok()) probe_failure = has.status();
+      if (has.ok() && *has) holders.push_back(s);
+    }
+    if (!probe_failure.ok()) {
+      // A shard that cannot answer might be the holder: deciding NotFound
+      // here would leak its replica (and deleting only the reachable
+      // replicas of a replicated version would leave the cluster
+      // permanently divergent). Surface the failure; the caller retries
+      // when the shard is back.
+      return probe_failure;
     }
     if (holders.empty()) {
       return Status::NotFound("version " + id.ShortHex() + " not on any shard");
@@ -397,6 +536,22 @@ ShardedStorageEngine::TwoPhaseStats ShardedStorageEngine::two_phase_stats()
     const {
   std::lock_guard<std::mutex> lock(tp_stats_mu_);
   return tp_stats_;
+}
+
+void ShardedStorageEngine::RecordBroadcast(
+    uint64_t measured_peak_inflight) const {
+  std::lock_guard<std::mutex> lock(bc_stats_mu_);
+  bc_stats_.broadcasts += 1;
+  bc_stats_.probe_round_trips += shards_.size();
+  bc_stats_.max_inflight_probes =
+      std::max(bc_stats_.max_inflight_probes, measured_peak_inflight);
+  for (uint64_t& probes : bc_stats_.per_shard_probes) probes += 1;
+}
+
+ShardedStorageEngine::BroadcastStats ShardedStorageEngine::broadcast_stats()
+    const {
+  std::lock_guard<std::mutex> lock(bc_stats_mu_);
+  return bc_stats_;
 }
 
 std::unique_ptr<ShardedStorageEngine> MakeLoopbackCluster(

@@ -65,16 +65,41 @@ class ShardedStorageEngine : public StorageEngine {
   };
 
   /// Two-phase-commit telemetry. `two_phase_stats()` returns a CONSISTENT
-  /// snapshot: all four counters are bumped together, under one mutex, at
+  /// snapshot: all counters are bumped together, under one mutex, at
   /// the moment a transaction RESOLVES (commit or abort), so any reader —
   /// including one polling while concurrent merge drains archive trial
   /// outputs — always observes `transactions == commits + aborts` exactly,
   /// with in-flight transactions invisible until they resolve.
+  ///
+  /// The round-trip ledger makes the ASYNC fan-out observable without
+  /// timing: `max_inflight_round_trips` is the peak number of shard round
+  /// trips a single transaction phase had issued before collecting the
+  /// first response. The overlapped fan-out pushes it to the participant
+  /// count; a regression to the old issue-one-wait-one serial loop pins it
+  /// at 1, which is exactly what the regression tests assert on.
   struct TwoPhaseStats {
     uint64_t transactions = 0;     ///< Resolved PutMany/replicated txns.
     uint64_t prepared_writes = 0;  ///< Staging records written (phase 1).
     uint64_t commits = 0;          ///< Transactions fully applied.
     uint64_t aborts = 0;           ///< Transactions rolled back in phase 1.
+    uint64_t prepare_round_trips = 0;  ///< Phase-1 shard messages issued.
+    uint64_t apply_round_trips = 0;    ///< Phase-2 shard messages issued.
+    /// Peak round trips in flight inside one transaction phase (see above).
+    uint64_t max_inflight_round_trips = 0;
+    /// Prepare+apply messages per shard index — the per-shard view that
+    /// shows whether coordination load is balanced or piling on one shard.
+    std::vector<uint64_t> per_shard_round_trips;
+  };
+
+  /// Router broadcast telemetry (version-id lookups that missed the router
+  /// index and probed every shard). Same consistency and same
+  /// inflight-accounting contract as TwoPhaseStats: `max_inflight_probes`
+  /// reaches the shard count when the fan-out overlaps, 1 when serial.
+  struct BroadcastStats {
+    uint64_t broadcasts = 0;          ///< Broadcast operations run.
+    uint64_t probe_round_trips = 0;   ///< Per-shard probe messages issued.
+    uint64_t max_inflight_probes = 0;
+    std::vector<uint64_t> per_shard_probes;  ///< Probe messages per shard.
   };
 
   /// Takes ownership of the child engines. At least one shard is required.
@@ -106,6 +131,7 @@ class ShardedStorageEngine : public StorageEngine {
   bool IsReplicated(std::string_view key) const;
 
   TwoPhaseStats two_phase_stats() const;
+  BroadcastStats broadcast_stats() const;
 
  private:
   /// One write bound for a specific shard, remembering its slot in the
@@ -128,6 +154,13 @@ class ShardedStorageEngine : public StorageEngine {
 
   void RecordVersion(const Hash256& id, size_t shard);
 
+  /// Accounts one index-miss broadcast (a probe issued to every shard)
+  /// into bc_stats_ as a single unit. `measured_peak_inflight` comes from
+  /// the call site's issue/collect meter — a real measurement, so a
+  /// regression to a serial probe loop shows up as 1 in the stats (and
+  /// fails the ledger tests) instead of being papered over.
+  void RecordBroadcast(uint64_t measured_peak_inflight) const;
+
   /// Sentinel shard index meaning "present on every shard, read from 0".
   static constexpr size_t kReplicated = static_cast<size_t>(-1);
 
@@ -148,6 +181,9 @@ class ShardedStorageEngine : public StorageEngine {
   /// two_phase_stats() snapshots are consistent (see TwoPhaseStats).
   mutable std::mutex tp_stats_mu_;
   TwoPhaseStats tp_stats_;
+  /// Broadcast-probe telemetry, one unit per broadcast (see BroadcastStats).
+  mutable std::mutex bc_stats_mu_;
+  mutable BroadcastStats bc_stats_;
 };
 
 /// Builds the canonical loopback cluster: `shards` backends (from
@@ -160,6 +196,12 @@ std::unique_ptr<ShardedStorageEngine> MakeLoopbackCluster(
     size_t shards,
     const std::function<std::unique_ptr<StorageEngine>()>& backend_factory,
     ShardedStorageEngine::Options options = ShardedStorageEngine::Options());
+
+// ConnectCluster — the multi-process sibling of MakeLoopbackCluster, which
+// dials running mlcask_server processes over unix:/tcp: endpoints — lives
+// in storage/server_cluster.h: it (and only it) needs the socket transport,
+// and this header stays transport-agnostic for the loopback-only majority
+// of consumers.
 
 }  // namespace mlcask::storage
 

@@ -1,0 +1,544 @@
+#include "storage/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace mlcask::storage {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what, int err) {
+  return Status::Unavailable(what + ": " + std::strerror(err));
+}
+
+/// Writes the whole buffer, restarting on EINTR. MSG_NOSIGNAL: a dead peer
+/// must surface as EPIPE, not kill the process with SIGPIPE.
+Status SendAll(int fd, std::string_view bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("socket write failed", errno);
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+/// Builds a connected or bound socket for `ep`. For servers, `bind_side`
+/// binds+listens; for clients it connects.
+StatusOr<int> OpenSocket(const Endpoint& ep, bool bind_side) {
+  if (ep.kind == Endpoint::Kind::kLoopback) {
+    return Status::InvalidArgument(
+        "loopback: endpoints have no wire; use LoopbackTransport");
+  }
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return ErrnoStatus("socket(AF_UNIX)", errno);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, ep.path.c_str(), sizeof(addr.sun_path) - 1);
+    if (bind_side) {
+      ::unlink(ep.path.c_str());  // a stale file must not wedge restarts
+      if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+          ::listen(fd, 64) != 0) {
+        Status st = ErrnoStatus("bind/listen " + ep.ToString(), errno);
+        ::close(fd);
+        return st;
+      }
+    } else if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                         sizeof(addr)) != 0) {
+      Status st = ErrnoStatus("connect " + ep.ToString(), errno);
+      ::close(fd);
+      return st;
+    }
+    return fd;
+  }
+  // TCP: resolve host (empty host = 127.0.0.1 for clients, any for servers).
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  if (bind_side) hints.ai_flags = AI_PASSIVE;
+  const std::string host =
+      !ep.host.empty() ? ep.host : (bind_side ? std::string() : "127.0.0.1");
+  const std::string port = std::to_string(ep.port);
+  addrinfo* res = nullptr;
+  int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(), port.c_str(),
+                         &hints, &res);
+  if (rc != 0) {
+    return Status::Unavailable("resolve " + ep.ToString() + ": " +
+                               ::gai_strerror(rc));
+  }
+  Status last = Status::Unavailable("no address for " + ep.ToString());
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = ErrnoStatus("socket(AF_INET)", errno);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (bind_side) {
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+          ::listen(fd, 64) == 0) {
+        ::freeaddrinfo(res);
+        return fd;
+      }
+    } else if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      ::freeaddrinfo(res);
+      return fd;
+    }
+    last = ErrnoStatus((bind_side ? "bind/listen " : "connect ") +
+                           ep.ToString(),
+                       errno);
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  return last;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- client ---
+
+StatusOr<std::unique_ptr<SocketTransport>> SocketTransport::Connect(
+    const Endpoint& endpoint, Options options) {
+  MLCASK_ASSIGN_OR_RETURN(int fd, OpenSocket(endpoint, /*bind_side=*/false));
+  return std::unique_ptr<SocketTransport>(
+      new SocketTransport(fd, endpoint, std::move(options)));
+}
+
+StatusOr<std::unique_ptr<SocketTransport>> SocketTransport::Connect(
+    std::string_view spec, Options options) {
+  MLCASK_ASSIGN_OR_RETURN(Endpoint ep, Endpoint::Parse(spec));
+  return Connect(ep, std::move(options));
+}
+
+SocketTransport::SocketTransport(int fd, Endpoint endpoint, Options options)
+    : endpoint_(std::move(endpoint)), options_(std::move(options)), fd_(fd) {
+  reader_ = std::thread([this] { ReaderLoop(); });
+}
+
+SocketTransport::~SocketTransport() {
+  ::shutdown(fd_, SHUT_RDWR);  // wakes the reader out of read()
+  if (reader_.joinable()) reader_.join();
+  ::close(fd_);
+  FailAllPending(Status::Unavailable("transport destroyed"));
+}
+
+TransportFuture SocketTransport::AsyncCall(std::string_view request) {
+  uint64_t unused_id = 0;
+  return AsyncCallWithId(request, &unused_id);
+}
+
+TransportFuture SocketTransport::AsyncCallWithId(std::string_view request,
+                                                 uint64_t* id_out) {
+  const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  *id_out = id;
+  std::promise<StatusOr<std::string>> promise;
+  TransportFuture future = promise.get_future();
+  if (request.size() > options_.max_frame_payload) {
+    // Refuse BEFORE framing: an oversized frame would be rejected by the
+    // peer's decoder as stream corruption, killing every in-flight call on
+    // the session. This way the one offending call gets a clear status and
+    // the session lives. (Also guards the u32 length field against >4 GiB
+    // truncation — max_frame_payload is a uint32_t.)
+    promise.set_value(Status::InvalidArgument(
+        "request of " + std::to_string(request.size()) +
+        " bytes exceeds the frame payload limit (" +
+        std::to_string(options_.max_frame_payload) + ")"));
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.transport_errors += 1;
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (!broken_.ok()) {
+      promise.set_value(broken_);
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      stats_.transport_errors += 1;
+      return future;
+    }
+    Pending pending;
+    pending.promise = std::move(promise);
+    pending.request_bytes = request.size();
+    pending_.emplace(id, std::move(pending));
+  }
+  std::string frame;
+  AppendFrame(&frame, FrameType::kData, id, request);
+  Status sent;
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    sent = SendAll(fd_, frame);
+  }
+  if (!sent.ok()) {
+    // The peer is gone for everyone, not just this call.
+    FailAllPending(sent);
+  }
+  return future;
+}
+
+StatusOr<std::string> SocketTransport::Call(std::string_view request) {
+  uint64_t id = 0;
+  TransportFuture future = AsyncCallWithId(request, &id);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.call_timeout_ms);
+  return CollectWithDeadline(&future, id, deadline);
+}
+
+std::vector<StatusOr<std::string>> SocketTransport::CallMany(
+    const std::vector<std::string>& requests) {
+  // Issue everything first (that's the whole point), then collect against
+  // ONE shared deadline — the documented call_timeout bounds the batch the
+  // same way it bounds a single Call.
+  std::vector<uint64_t> ids(requests.size(), 0);
+  std::vector<TransportFuture> futures;
+  futures.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    futures.push_back(AsyncCallWithId(requests[i], &ids[i]));
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.call_timeout_ms);
+  std::vector<StatusOr<std::string>> responses;
+  responses.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    responses.push_back(CollectWithDeadline(&futures[i], ids[i], deadline));
+  }
+  return responses;
+}
+
+StatusOr<std::string> SocketTransport::CollectWithDeadline(
+    TransportFuture* future, uint64_t id,
+    std::chrono::steady_clock::time_point deadline) {
+  if (options_.call_timeout_ms == 0 ||
+      future->wait_until(deadline) == std::future_status::ready) {
+    return future->get();
+  }
+  // Deregister the pending call so a LATE response is dropped by the
+  // reader instead of being counted as a completed round trip — the caller
+  // sees this call fail exactly once, in exactly one stats bucket. If the
+  // entry is already gone, the response (or a connection failure) resolved
+  // the future between the timeout and this lock: honor that result.
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (pending_.erase(id) == 0) return future->get();
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.transport_errors += 1;
+  }
+  return Status::DeadlineExceeded(
+      "call to " + endpoint_.ToString() + " exceeded " +
+      std::to_string(options_.call_timeout_ms) + "ms");
+}
+
+void SocketTransport::FailAllPending(const Status& status) {
+  std::unordered_map<uint64_t, Pending> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (broken_.ok()) broken_ = status;
+    orphaned.swap(pending_);
+  }
+  if (!orphaned.empty()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.transport_errors += orphaned.size();
+  }
+  for (auto& [id, pending] : orphaned) {
+    (void)id;
+    pending.promise.set_value(status);
+  }
+}
+
+void SocketTransport::ReaderLoop() {
+  FrameDecoder decoder(options_.max_frame_payload);
+  char buf[64 * 1024];
+  for (;;) {
+    ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      Status eof = decoder.Finish();
+      FailAllPending(eof.ok() ? Status::Unavailable(
+                                    "peer " + endpoint_.ToString() +
+                                    " closed the connection")
+                              : eof);
+      return;
+    }
+    decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    for (;;) {
+      Frame frame;
+      auto next = decoder.Next(&frame);
+      if (!next.ok()) {
+        // Version skew on a response is still correlated (frozen header):
+        // fail that one call with the clear status and keep the stream;
+        // anything else is corruption — the stream is untrustworthy.
+        if (next.status().code() == StatusCode::kUnimplemented) {
+          std::promise<StatusOr<std::string>> waiter;
+          bool found = false;
+          {
+            std::lock_guard<std::mutex> lock(pending_mu_);
+            auto it = pending_.find(frame.id);
+            if (it != pending_.end()) {
+              waiter = std::move(it->second.promise);
+              pending_.erase(it);
+              found = true;
+            }
+          }
+          if (found) {
+            {
+              std::lock_guard<std::mutex> lock(stats_mu_);
+              stats_.transport_errors += 1;
+            }
+            waiter.set_value(next.status());
+          }
+          continue;
+        }
+        FailAllPending(next.status());
+        return;
+      }
+      if (!*next) break;  // need more bytes
+      std::promise<StatusOr<std::string>> waiter;
+      size_t request_bytes = 0;
+      bool found = false;
+      {
+        std::lock_guard<std::mutex> lock(pending_mu_);
+        auto it = pending_.find(frame.id);
+        if (it != pending_.end()) {
+          waiter = std::move(it->second.promise);
+          request_bytes = it->second.request_bytes;
+          pending_.erase(it);
+          found = true;
+        }
+      }
+      if (!found) continue;  // response to an abandoned/unknown id
+      if (frame.type == FrameType::kError) {
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          stats_.transport_errors += 1;
+        }
+        waiter.set_value(DecodeErrorPayload(frame.payload));
+        continue;
+      }
+      {
+        // One unit: a reader polling stats never sees a call counted
+        // without its bytes (same contract as LoopbackTransport).
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.calls += 1;
+        stats_.request_bytes += request_bytes;
+        stats_.response_bytes += frame.payload.size();
+      }
+      waiter.set_value(std::move(frame.payload));
+    }
+  }
+}
+
+TransportStats SocketTransport::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+std::string SocketTransport::Name() const {
+  return "socket(" + endpoint_.ToString() + ")";
+}
+
+// --------------------------------------------------------------- server ---
+
+StatusOr<std::unique_ptr<SocketTransportServer>> SocketTransportServer::Bind(
+    const Endpoint& endpoint, Options options) {
+  MLCASK_ASSIGN_OR_RETURN(int fd, OpenSocket(endpoint, /*bind_side=*/true));
+  Endpoint bound = endpoint;
+  if (bound.kind == Endpoint::Kind::kTcp && bound.port == 0) {
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+      bound.port = ntohs(addr.sin_port);
+    }
+  }
+  if (bound.kind == Endpoint::Kind::kTcp && bound.host.empty()) {
+    bound.host = "127.0.0.1";  // the spec clients should dial
+  }
+  return std::unique_ptr<SocketTransportServer>(
+      new SocketTransportServer(fd, std::move(bound), std::move(options)));
+}
+
+StatusOr<std::unique_ptr<SocketTransportServer>> SocketTransportServer::Bind(
+    std::string_view spec, Options options) {
+  MLCASK_ASSIGN_OR_RETURN(Endpoint ep, Endpoint::Parse(spec));
+  return Bind(ep, std::move(options));
+}
+
+SocketTransportServer::SocketTransportServer(int listen_fd, Endpoint endpoint,
+                                             Options options)
+    : endpoint_(std::move(endpoint)),
+      options_(std::move(options)),
+      listen_fd_(listen_fd) {}
+
+SocketTransportServer::~SocketTransportServer() { Shutdown(); }
+
+Status SocketTransportServer::Serve(TransportHandler handler) {
+  if (handler == nullptr) {
+    return Status::InvalidArgument("Serve needs a handler");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (serving_) return Status::FailedPrecondition("server already serving");
+  if (shutting_down_) return Status::FailedPrecondition("server shut down");
+  handler_ = std::move(handler);
+  serving_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void SocketTransportServer::ReapFinishedLocked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      // The thread has (at most) its final return left; joining is
+      // immediate and keeps a long-lived server from accumulating one
+      // dead thread + fd per client that ever disconnected.
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SocketTransportServer::AcceptLoop() {
+  // Local copy: Shutdown() only shutdown()s the listen socket while this
+  // thread runs and close()s it strictly AFTER joining us, so the fd stays
+  // valid (if half-closed) for the whole loop and its number can never be
+  // recycled to another socket under our feet.
+  const int listen_fd = listen_fd_;
+  for (;;) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket closed: shutdown
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) {
+      ::close(fd);
+      return;
+    }
+    ReapFinishedLocked();
+    connections_accepted_ += 1;
+    auto connection = std::make_unique<Connection>();
+    Connection* raw = connection.get();
+    raw->fd = fd;
+    connections_.push_back(std::move(connection));
+    raw->thread = std::thread([this, raw] { ConnectionLoop(raw); });
+  }
+}
+
+void SocketTransportServer::ConnectionLoop(Connection* connection) {
+  const int fd = connection->fd;
+  FrameDecoder decoder(options_.max_frame_payload);
+  char buf[64 * 1024];
+  bool alive = true;
+  while (alive) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // peer gone or shutdown
+    decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    while (alive) {
+      Frame frame;
+      auto next = decoder.Next(&frame);
+      if (!next.ok()) {
+        if (next.status().code() == StatusCode::kUnimplemented) {
+          // Version skew, id recovered from the frozen header: tell the
+          // exact caller why with an ERROR frame, then keep serving — one
+          // future-version message must not take down the session.
+          std::string reply;
+          AppendFrame(&reply, FrameType::kError, frame.id,
+                      EncodeErrorPayload(next.status()));
+          if (!SendAll(fd, reply).ok()) alive = false;
+          continue;
+        }
+        // Garbled stream: nothing correlatable to answer. Closing fails the
+        // peer's pending calls as Unavailable instead of hanging them.
+        ::shutdown(fd, SHUT_RDWR);
+        alive = false;
+        break;
+      }
+      if (!*next) break;  // need more bytes
+      if (frame.type != FrameType::kData) continue;  // clients send data only
+      std::string response = handler_(frame.payload);
+      std::string reply;
+      if (response.size() > options_.max_frame_payload) {
+        // Same refusal as the client side: an oversized frame would read
+        // as stream corruption at the peer and kill its whole session.
+        AppendFrame(&reply, FrameType::kError, frame.id,
+                    EncodeErrorPayload(Status::FailedPrecondition(
+                        "response of " + std::to_string(response.size()) +
+                        " bytes exceeds the frame payload limit")));
+      } else {
+        AppendFrame(&reply, FrameType::kData, frame.id, response);
+      }
+      if (!SendAll(fd, reply).ok()) alive = false;
+    }
+  }
+  // Retire the socket under mu_ so Shutdown never touches a recycled fd.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (connection->fd >= 0) {
+      ::close(connection->fd);
+      connection->fd = -1;
+    }
+  }
+  connection->done.store(true, std::memory_order_release);
+}
+
+void SocketTransportServer::Shutdown() {
+  std::vector<std::unique_ptr<Connection>> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_ && listen_fd_ < 0 && connections_.empty()) {
+      return;  // idempotent: a second Shutdown finds nothing to do
+    }
+    shutting_down_ = true;
+    // Half-close only: the blocked accept() returns, but the fd number
+    // stays reserved until the accept thread is joined — close()ing here
+    // would let the kernel recycle it to an unrelated socket that the
+    // still-running AcceptLoop then accept()s on.
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+    for (auto& connection : connections_) {
+      if (connection->fd >= 0) ::shutdown(connection->fd, SHUT_RDWR);
+    }
+    to_join.swap(connections_);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+  }
+  for (auto& connection : to_join) {
+    if (connection->thread.joinable()) connection->thread.join();
+    if (connection->fd >= 0) ::close(connection->fd);
+  }
+  if (endpoint_.kind == Endpoint::Kind::kUnix) {
+    ::unlink(endpoint_.path.c_str());
+  }
+}
+
+uint64_t SocketTransportServer::connections_accepted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return connections_accepted_;
+}
+
+}  // namespace mlcask::storage

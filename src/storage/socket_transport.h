@@ -1,0 +1,201 @@
+#ifndef MLCASK_STORAGE_SOCKET_TRANSPORT_H_
+#define MLCASK_STORAGE_SOCKET_TRANSPORT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/endpoint.h"
+#include "storage/frame.h"
+#include "storage/transport.h"
+
+namespace mlcask::storage {
+
+/// The first real Transport: length-prefixed frames (storage/frame.h) over a
+/// Unix-domain or TCP stream socket, multiplexed by per-request correlation
+/// id. One connection carries any number of in-flight calls: AsyncCall
+/// registers the id, writes the frame, and returns; a dedicated reader
+/// thread demultiplexes response frames back to their waiters. That is what
+/// turns the sharded engine's N-shard fan-outs into N OVERLAPPED round
+/// trips — the serial-loop latency multiplier the blocking API had is gone.
+///
+/// Failure surface (all as statuses, never hangs):
+///   connect refused / no such socket      Unavailable (from Connect)
+///   peer closes / resets mid-call         Unavailable, fails EVERY pending
+///   call outliving options.call_timeout   DeadlineExceeded (Call/CallMany)
+///   wire-format version skew              Unimplemented (from the peer's
+///                                         error frame, or local decode)
+///   garbled stream                        Corruption, connection abandoned
+///
+/// stats() is a consistent snapshot under one mutex, same contract as
+/// LoopbackTransport; completed calls count {calls, request, response} as
+/// one unit, transport failures count transport_errors.
+class SocketTransport : public Transport {
+ public:
+  struct Options {
+    /// Milliseconds a blocking Call/CallMany waits before giving up with
+    /// DeadlineExceeded. 0 = wait forever. AsyncCall futures are not
+    /// deadline-bound (the waiter chooses how long to wait) but always
+    /// resolve on response or connection loss.
+    uint64_t call_timeout_ms = 30000;
+    /// Reject frames above this payload size as corrupt.
+    uint32_t max_frame_payload = kMaxFramePayload;
+  };
+
+  /// Connects to `endpoint` (unix: or tcp:). Connection failures surface as
+  /// Unavailable; a loopback endpoint is rejected as InvalidArgument (it
+  /// has no wire — build a LoopbackTransport instead). The no-options
+  /// overloads use the defaults above.
+  static StatusOr<std::unique_ptr<SocketTransport>> Connect(
+      const Endpoint& endpoint, Options options);
+  static StatusOr<std::unique_ptr<SocketTransport>> Connect(
+      const Endpoint& endpoint) {
+    return Connect(endpoint, Options());
+  }
+  /// Spec-string convenience ("unix:/tmp/s.sock", "tcp:host:port").
+  static StatusOr<std::unique_ptr<SocketTransport>> Connect(
+      std::string_view spec, Options options);
+  static StatusOr<std::unique_ptr<SocketTransport>> Connect(
+      std::string_view spec) {
+    return Connect(spec, Options());
+  }
+
+  ~SocketTransport() override;
+
+  StatusOr<std::string> Call(std::string_view request) override;
+  TransportFuture AsyncCall(std::string_view request) override;
+  /// Overridden so the batch honors call_timeout_ms too: all requests are
+  /// issued first, then collected against one shared deadline.
+  std::vector<StatusOr<std::string>> CallMany(
+      const std::vector<std::string>& requests) override;
+  TransportStats stats() const override;
+  std::string Name() const override;
+  uint64_t call_timeout_ms() const override {
+    return options_.call_timeout_ms;
+  }
+
+ private:
+  SocketTransport(int fd, Endpoint endpoint, Options options);
+
+  /// AsyncCall plus the assigned correlation id, so deadline-bound callers
+  /// can deregister the pending entry on timeout.
+  TransportFuture AsyncCallWithId(std::string_view request, uint64_t* id_out);
+  /// Waits for `future` until `deadline` (forever when call_timeout_ms is
+  /// 0). On timeout the pending entry for `id` is removed, so the one call
+  /// is accounted exactly once: as a transport error, never ALSO as a
+  /// completed round trip when its response straggles in later.
+  StatusOr<std::string> CollectWithDeadline(
+      TransportFuture* future, uint64_t id,
+      std::chrono::steady_clock::time_point deadline);
+
+  void ReaderLoop();
+  /// Fails every pending call with `status` and marks the session broken.
+  void FailAllPending(const Status& status);
+
+  struct Pending {
+    std::promise<StatusOr<std::string>> promise;
+    size_t request_bytes = 0;
+  };
+
+  const Endpoint endpoint_;
+  const Options options_;
+  int fd_ = -1;
+
+  std::mutex write_mu_;  ///< Serializes frame writes (frames stay whole).
+
+  std::mutex pending_mu_;
+  std::unordered_map<uint64_t, Pending> pending_;
+  Status broken_;  ///< Non-ok once the session is unusable.
+  std::atomic<uint64_t> next_id_{1};
+
+  mutable std::mutex stats_mu_;
+  TransportStats stats_;
+
+  std::thread reader_;
+};
+
+/// Server half: binds a unix:/tcp: endpoint, accepts connections, and pumps
+/// each connection's request frames through the TransportHandler, writing
+/// response frames correlated by id. Requests on ONE connection are handled
+/// in arrival order (the per-shard ordering the 2PC apply phase relies on);
+/// separate connections are handled concurrently on their own threads.
+///
+/// Version skew and garbled streams are answered per the frame contract:
+/// a well-framed request in an unknown wire version gets an Unimplemented
+/// ERROR frame back (correlated via the frozen header layout); an
+/// unparseable stream closes the connection, which fails the peer's pending
+/// calls as Unavailable instead of hanging them.
+class SocketTransportServer : public TransportServer {
+ public:
+  struct Options {
+    uint32_t max_frame_payload = kMaxFramePayload;
+  };
+
+  /// Binds and listens. unix: paths are unlinked first (stale socket files
+  /// from a crashed predecessor must not wedge restarts); tcp: port 0 binds
+  /// an ephemeral port, visible via endpoint().
+  static StatusOr<std::unique_ptr<SocketTransportServer>> Bind(
+      const Endpoint& endpoint, Options options);
+  static StatusOr<std::unique_ptr<SocketTransportServer>> Bind(
+      const Endpoint& endpoint) {
+    return Bind(endpoint, Options());
+  }
+  static StatusOr<std::unique_ptr<SocketTransportServer>> Bind(
+      std::string_view spec, Options options);
+  static StatusOr<std::unique_ptr<SocketTransportServer>> Bind(
+      std::string_view spec) {
+    return Bind(spec, Options());
+  }
+
+  ~SocketTransportServer() override;
+
+  Status Serve(TransportHandler handler) override;
+  void Shutdown() override;
+  std::string endpoint() const override { return endpoint_.ToString(); }
+
+  /// Connections accepted over the server's lifetime (telemetry/tests).
+  uint64_t connections_accepted() const;
+
+ private:
+  /// One accepted connection: its socket, its pump thread, and a done flag
+  /// the reaper polls. The fd is closed by whichever side retires it —
+  /// ConnectionLoop on peer disconnect (fd set to -1 under mu_), Shutdown
+  /// otherwise.
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  SocketTransportServer(int listen_fd, Endpoint endpoint, Options options);
+
+  void AcceptLoop();
+  void ConnectionLoop(Connection* connection);
+  /// Joins and erases finished connections (called from the accept loop so
+  /// a long-lived server does not accumulate one dead thread + fd per
+  /// client that ever disconnected). Caller holds mu_.
+  void ReapFinishedLocked();
+
+  Endpoint endpoint_;
+  Options options_;
+  int listen_fd_ = -1;
+  TransportHandler handler_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  uint64_t connections_accepted_ = 0;
+  bool shutting_down_ = false;
+  bool serving_ = false;
+
+  std::thread accept_thread_;
+};
+
+}  // namespace mlcask::storage
+
+#endif  // MLCASK_STORAGE_SOCKET_TRANSPORT_H_

@@ -10,6 +10,7 @@
 
 #include "common/sha256.h"
 #include "common/status.h"
+#include "storage/deferred.h"
 
 namespace mlcask::storage {
 
@@ -125,6 +126,36 @@ class StorageEngine {
   /// Modeled seconds spent reading `bytes` back (charged by callers that
   /// account read traffic; Get itself also accumulates it into stats()).
   virtual double ReadCost(uint64_t bytes) const = 0;
+
+  /// ## Async surface (fan-out callers)
+  ///
+  /// Issue-now-wait-later variants of the calls the sharded router fans out
+  /// across shards (2PC prepare/apply, replicated puts, broadcast version
+  /// probes): issuing one per shard before Get()ing any overlaps the round
+  /// trips. The defaults below execute the blocking call INLINE at issue
+  /// time and hand back a ready Deferred — correct (and deterministic) for
+  /// local engines, zero burden on implementors. RemoteStorageEngine
+  /// overrides them on Transport::AsyncCall so the request is on the wire
+  /// when the Deferred exists; a decorator wrapping another engine should
+  /// forward these along with the blocking calls, or its children fall back
+  /// to serial issue.
+  virtual Deferred<PutResult> AsyncPut(const std::string& key,
+                                       std::string_view data) {
+    return Deferred<PutResult>(Put(key, data));
+  }
+  virtual Deferred<std::vector<PutResult>> AsyncPutMany(
+      const std::vector<PutRequest>& batch) {
+    return Deferred<std::vector<PutResult>>(PutMany(batch));
+  }
+  virtual Deferred<std::string> AsyncGetVersion(const Hash256& id) {
+    return Deferred<std::string>(GetVersion(id));
+  }
+  virtual Deferred<bool> AsyncHasVersion(const Hash256& id) const {
+    return Deferred<bool>(StatusOr<bool>(HasVersion(id)));
+  }
+  virtual Deferred<uint64_t> AsyncDeleteVersion(const Hash256& id) {
+    return Deferred<uint64_t>(DeleteVersion(id));
+  }
 };
 
 }  // namespace mlcask::storage

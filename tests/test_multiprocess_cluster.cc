@@ -1,0 +1,184 @@
+// TRUE multi-process deployments: real mlcask_server OS processes hosting
+// the shards over unix: endpoints, dialed by ConnectCluster. The headline
+// assertion is the acceptance criterion of the async-transport redesign: a
+// merge run against out-of-process shards produces the bit-identical
+// winner, execution count, and persisted artifact hashes as the in-process
+// loopback cluster, at 1, 2, and 4 shards — and the 2PC fan-out issues its
+// round trips concurrently (verified by round-trip accounting, not timing).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "merge/merge_op.h"
+#include "sim/scenario.h"
+#include "storage/server_cluster.h"
+#include "storage/sharded_engine.h"
+
+#ifndef MLCASK_SERVER_BIN
+#define MLCASK_SERVER_BIN ""
+#endif
+
+namespace mlcask::merge {
+namespace {
+
+using sim::BuildTwoBranchScenario;
+using sim::DeploymentConfig;
+using sim::MakeDeployment;
+using storage::LocalServerCluster;
+using storage::ShardedStorageEngine;
+
+LocalServerCluster::Options ServerOptions() {
+  LocalServerCluster::Options options;
+  options.server_binary = MLCASK_SERVER_BIN;
+  return options;
+}
+
+struct MergeFingerprint {
+  uint64_t executions = 0;
+  double best_score = 0;
+  int best_index = -1;
+  std::vector<std::string> winner_chain;
+  std::vector<std::string> artifact_hashes;
+};
+
+/// One fig9 merge on a deployment. `endpoints` empty = loopback cluster
+/// with `shards` in-process shards; non-empty = out-of-process cluster.
+MergeFingerprint RunMerge(size_t shards,
+                          const std::vector<std::string>& endpoints,
+                          ShardedStorageEngine::TwoPhaseStats* tp_out =
+                              nullptr) {
+  DeploymentConfig config;
+  config.num_workers = 1;
+  config.storage_shards = shards;
+  config.storage_endpoints = endpoints;
+  auto deployment = MakeDeployment("readmission", 0.06, config);
+  MLCASK_CHECK_OK(deployment.status());
+  auto d = *std::move(deployment);
+  MLCASK_CHECK_OK(BuildTwoBranchScenario(d.get()).status());
+  MergeOperation op(d->repo.get(), d->libraries.get(), d->registry.get(),
+                    d->engine.get(), d->clock.get());
+  MergeOptions options;
+  options.shards = shards;
+  auto report = op.Merge("master", "dev", options);
+  MLCASK_CHECK_OK(report.status());
+
+  MergeFingerprint fp;
+  fp.executions = report->component_executions;
+  fp.best_score = report->best_score;
+  fp.best_index = report->best_index;
+  const CandidateChain& winner =
+      report->outcomes[static_cast<size_t>(report->best_index)].chain;
+  for (const pipeline::ComponentVersionSpec* spec : winner) {
+    fp.winner_chain.push_back(spec->Key());
+  }
+  auto head = d->repo->Head("master");
+  MLCASK_CHECK_OK(head.status());
+  for (const version::ComponentRecord& rec : (*head)->snapshot.components) {
+    fp.artifact_hashes.push_back(rec.output_id.ToHex());
+    EXPECT_TRUE(d->engine->HasVersion(rec.output_id));
+  }
+  if (tp_out != nullptr) {
+    auto* sharded = dynamic_cast<ShardedStorageEngine*>(d->engine.get());
+    if (sharded != nullptr) *tp_out = sharded->two_phase_stats();
+  }
+  return fp;
+}
+
+TEST(MultiProcessClusterTest, BasicOperationsAgainstRealServerProcesses) {
+  LocalServerCluster servers;
+  auto started = servers.Start(3, ServerOptions());
+  ASSERT_TRUE(started.ok()) << started;
+  auto cluster = storage::ConnectCluster(servers.endpoints());
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+
+  // Routed object writes land and read back through real processes.
+  std::vector<storage::PutResult> puts;
+  for (int i = 0; i < 12; ++i) {
+    auto put = (*cluster)->Put("artifact/obj" + std::to_string(i),
+                               "payload-" + std::to_string(i));
+    ASSERT_TRUE(put.ok()) << put.status();
+    puts.push_back(*put);
+  }
+  for (int i = 0; i < 12; ++i) {
+    auto got = (*cluster)->Get("artifact/obj" + std::to_string(i));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, "payload-" + std::to_string(i));
+    EXPECT_TRUE((*cluster)->HasVersion(puts[static_cast<size_t>(i)].id));
+  }
+
+  // Replicated metadata commits via 2PC across the processes.
+  ASSERT_TRUE((*cluster)->Put("pipeline/demo/commits", "commit-json").ok());
+  for (size_t s = 0; s < (*cluster)->num_shards(); ++s) {
+    auto got = (*cluster)->shard(s)->Get("pipeline/demo/commits");
+    ASSERT_TRUE(got.ok()) << "shard " << s;
+    EXPECT_EQ(*got, "commit-json");
+  }
+  auto tp = (*cluster)->two_phase_stats();
+  EXPECT_EQ(tp.commits, 1u);
+  // The replicated put's prepare fan-out had all three shards' round trips
+  // in flight at once — over real sockets this is genuine concurrency.
+  EXPECT_EQ(tp.max_inflight_round_trips, 3u);
+}
+
+TEST(MultiProcessClusterTest, MergeMatchesLoopbackClusterAtEveryShardCount) {
+  MergeFingerprint reference = RunMerge(1, {});
+  for (size_t shards : {1ul, 2ul, 4ul}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    LocalServerCluster servers;
+    auto started = servers.Start(shards, ServerOptions());
+    ASSERT_TRUE(started.ok()) << started;
+
+    ShardedStorageEngine::TwoPhaseStats tp;
+    MergeFingerprint socket_fp = RunMerge(shards, servers.endpoints(), &tp);
+    EXPECT_EQ(socket_fp.executions, reference.executions);
+    EXPECT_EQ(socket_fp.best_index, reference.best_index);
+    EXPECT_EQ(socket_fp.best_score, reference.best_score);  // exact
+    EXPECT_EQ(socket_fp.winner_chain, reference.winner_chain);
+    EXPECT_EQ(socket_fp.artifact_hashes, reference.artifact_hashes);
+
+    // Loopback equivalence at the same shard count, for completeness (the
+    // sharded-engine suite covers this; here it pins socket == loopback,
+    // not just socket == single-node).
+    MergeFingerprint loopback_fp = RunMerge(shards, {});
+    EXPECT_EQ(socket_fp.artifact_hashes, loopback_fp.artifact_hashes);
+    EXPECT_EQ(socket_fp.winner_chain, loopback_fp.winner_chain);
+
+    if (shards > 1) {
+      // Round-trip accounting, not timing: some transaction had at least
+      // every participant's round trip in flight simultaneously over the
+      // wire (the apply phase can push the peak above the shard count when
+      // a batch carries several writes per shard).
+      EXPECT_GE(tp.max_inflight_round_trips, shards)
+          << "2PC fan-out did not overlap its round trips";
+      EXPECT_EQ(tp.per_shard_round_trips.size(), shards);
+      for (size_t s = 0; s < shards; ++s) {
+        EXPECT_GT(tp.per_shard_round_trips[s], 0u) << "shard " << s;
+      }
+    }
+  }
+}
+
+TEST(MultiProcessClusterTest, DeadServerSurfacesUnavailableNotAHang) {
+  LocalServerCluster servers;
+  auto started = servers.Start(2, ServerOptions());
+  ASSERT_TRUE(started.ok()) << started;
+  auto cluster = storage::ConnectCluster(servers.endpoints());
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+  ASSERT_TRUE((*cluster)->Put("artifact/x", "alive").ok());
+
+  // Kill the processes under the live cluster: every subsequent call must
+  // come back with a status (Unavailable through the remote proxy's error
+  // channel), never hang a test thread.
+  servers.Stop();
+  auto put = (*cluster)->Put("pipeline/doomed", "never-lands");
+  ASSERT_FALSE(put.ok());
+  auto tp = (*cluster)->two_phase_stats();
+  EXPECT_EQ(tp.aborts, tp.transactions - tp.commits);
+}
+
+}  // namespace
+}  // namespace mlcask::merge

@@ -114,6 +114,66 @@ TEST(ShardedEngineTest, PutManyCommitsAtomicallyInOrder) {
   EXPECT_EQ(cluster->ListAllVersions().size(), batch.size());
 }
 
+TEST(ShardedEngineTest, TwoPhaseRoundTripLedgerObservesOverlappedFanout) {
+  auto cluster = MakeCluster(4);
+  // One replicated put: 4 participants, one prepare batch + one apply each.
+  ASSERT_TRUE(cluster->Put("pipeline/demo/commits", "commit-json").ok());
+  auto tp = cluster->two_phase_stats();
+  EXPECT_EQ(tp.prepare_round_trips, 4u);
+  EXPECT_EQ(tp.apply_round_trips, 4u);
+  // The accounting-not-timing witness: all four participants' round trips
+  // were in flight before the first was collected. The old serial
+  // issue-one-wait-one loop can never push this above 1.
+  EXPECT_EQ(tp.max_inflight_round_trips, 4u);
+  ASSERT_EQ(tp.per_shard_round_trips.size(), 4u);
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(tp.per_shard_round_trips[s], 2u) << "shard " << s;
+  }
+
+  // A routed (non-replicated) multi-write batch: participants vary, but
+  // per-shard counts must sum to prepare batches + apply writes.
+  std::vector<PutRequest> batch;
+  for (int i = 0; i < 6; ++i) {
+    batch.push_back({"artifact/rt/c" + std::to_string(i), "x"});
+  }
+  ASSERT_TRUE(cluster->PutMany(batch).ok());
+  tp = cluster->two_phase_stats();
+  uint64_t per_shard_total = 0;
+  for (uint64_t n : tp.per_shard_round_trips) per_shard_total += n;
+  EXPECT_EQ(per_shard_total, tp.prepare_round_trips + tp.apply_round_trips);
+  EXPECT_EQ(tp.transactions, 2u);
+}
+
+TEST(ShardedEngineTest, BroadcastLedgerCountsIndexMissProbes) {
+  auto cluster = MakeCluster(3);
+  // Write BEHIND the router (directly to a shard) so the router index has
+  // never seen the version id: lookups must fall back to a broadcast.
+  auto put = cluster->shard(1)->Put("artifact/hidden", "behind-the-router");
+  ASSERT_TRUE(put.ok());
+  EXPECT_EQ(cluster->broadcast_stats().broadcasts, 0u);
+
+  EXPECT_TRUE(cluster->HasVersion(put->id));
+  auto bc = cluster->broadcast_stats();
+  EXPECT_EQ(bc.broadcasts, 1u);
+  EXPECT_EQ(bc.probe_round_trips, 3u);
+  EXPECT_EQ(bc.max_inflight_probes, 3u);  // overlapped, not serial
+  ASSERT_EQ(bc.per_shard_probes.size(), 3u);
+  for (size_t s = 0; s < 3; ++s) EXPECT_EQ(bc.per_shard_probes[s], 1u);
+
+  auto data = cluster->GetVersion(put->id);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "behind-the-router");
+  bc = cluster->broadcast_stats();
+  EXPECT_EQ(bc.broadcasts, 2u);
+  EXPECT_EQ(bc.probe_round_trips, 6u);
+
+  // An INDEXED lookup never broadcasts: the ledger stands still.
+  auto indexed = cluster->Put("artifact/indexed", "routed");
+  ASSERT_TRUE(indexed.ok());
+  EXPECT_TRUE(cluster->HasVersion(indexed->id));
+  EXPECT_EQ(cluster->broadcast_stats().broadcasts, 2u);
+}
+
 /// Wraps an engine and fails every Put once armed — the "participant vote
 /// no" of the 2PC tests.
 template <typename Inner>

@@ -29,6 +29,35 @@ TEST(LoopbackTransportTest, CountsCallsAndBytes) {
   EXPECT_EQ(s.response_bytes, 6u);
 }
 
+TEST(LoopbackTransportTest, AsyncCallResolvesInlineAndDeterministically) {
+  // The base-class AsyncCall degrades to a synchronous Call resolved
+  // inline: by the time the future is returned the handler has run. That
+  // keeps loopback deployments bit-deterministic (the sharded equivalence
+  // matrix depends on it) while sharing the fan-out code path with real
+  // async transports.
+  int handled = 0;
+  LoopbackTransport transport([&handled](std::string_view request) {
+    handled += 1;
+    return std::string(request) + "!";
+  });
+  TransportFuture future = transport.AsyncCall("a");
+  EXPECT_EQ(handled, 1);  // already executed at issue time
+  auto result = future.get();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, "a!");
+}
+
+TEST(LoopbackTransportTest, CallManyPreservesOrderAndCountsEveryCall) {
+  LoopbackTransport transport(
+      [](std::string_view request) { return std::string(request) + "?"; });
+  auto responses = transport.CallMany({"x", "y", "z"});
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(*responses[0], "x?");
+  EXPECT_EQ(*responses[1], "y?");
+  EXPECT_EQ(*responses[2], "z?");
+  EXPECT_EQ(transport.stats().calls, 3u);
+}
+
 TEST(LoopbackTransportTest, StatsSnapshotIsConsistentUnderConcurrency) {
   // Fixed-size request/response make consistency checkable: in any honest
   // snapshot, request_bytes == calls * |req| and response_bytes ==

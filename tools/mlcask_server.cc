@@ -1,0 +1,107 @@
+// mlcask_server — hosts one storage shard as a standalone OS process.
+//
+// Binds a SocketTransportServer on the given endpoint and pumps every
+// request frame through a StorageEngineService over the chosen backend
+// engine. Point `ConnectCluster` (or the fig11 bench's --socket mode) at N
+// of these and the sharded deployment is truly multi-process: same wire
+// format, same routing, same 2PC as the in-process loopback cluster.
+//
+//   mlcask_server --endpoint unix:/tmp/shard0.sock [--backend forkbase]
+//   mlcask_server --endpoint tcp:127.0.0.1:7070    [--backend localdir]
+//
+// Prints "READY <endpoint>" on stdout once accepting (with the real port
+// when an ephemeral tcp: port was requested) — launchers may wait for that
+// line or simply poll-connect. Exits cleanly on SIGINT/SIGTERM.
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "storage/forkbase_engine.h"
+#include "storage/local_dir_engine.h"
+#include "storage/remote_engine.h"
+#include "storage/socket_transport.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleStop(int) { g_stop = 1; }
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --endpoint <unix:/path | tcp:host:port> "
+               "[--backend forkbase|localdir]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mlcask;
+  std::string endpoint_spec;
+  std::string backend = "forkbase";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--endpoint") == 0) {
+      endpoint_spec = value("--endpoint");
+    } else if (std::strncmp(arg, "--endpoint=", 11) == 0) {
+      endpoint_spec = arg + 11;
+    } else if (std::strcmp(arg, "--backend") == 0) {
+      backend = value("--backend");
+    } else if (std::strncmp(arg, "--backend=", 10) == 0) {
+      backend = arg + 10;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      return Usage(argv[0]);
+    }
+  }
+  if (endpoint_spec.empty()) return Usage(argv[0]);
+
+  std::unique_ptr<storage::StorageEngine> engine;
+  if (backend == "forkbase") {
+    engine = std::make_unique<storage::ForkBaseEngine>();
+  } else if (backend == "localdir") {
+    engine = std::make_unique<storage::LocalDirEngine>();
+  } else {
+    std::fprintf(stderr, "unknown backend '%s' (forkbase|localdir)\n",
+                 backend.c_str());
+    return 2;
+  }
+  storage::StorageEngineService service(std::move(engine));
+
+  auto server = storage::SocketTransportServer::Bind(endpoint_spec);
+  if (!server.ok()) {
+    std::fprintf(stderr, "bind failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  Status serving = (*server)->Serve(
+      [&service](std::string_view request) { return service.Handle(request); });
+  if (!serving.ok()) {
+    std::fprintf(stderr, "serve failed: %s\n", serving.ToString().c_str());
+    return 1;
+  }
+
+  std::signal(SIGINT, HandleStop);
+  std::signal(SIGTERM, HandleStop);
+  std::printf("READY %s\n", (*server)->endpoint().c_str());
+  std::fflush(stdout);
+
+  while (!g_stop) {
+    ::usleep(50 * 1000);
+  }
+  (*server)->Shutdown();
+  return 0;
+}
