@@ -32,15 +32,38 @@ uint32_t GetU32(const char* p) {
   return v;
 }
 
+/// Which frame types exist at a given wire version. Chunk frames are only
+/// sent on version >= 2 sessions, so on a v1 stream they are corruption, not
+/// a message.
+bool ValidType(uint8_t type, uint8_t version) {
+  if (type == static_cast<uint8_t>(FrameType::kData) ||
+      type == static_cast<uint8_t>(FrameType::kError)) {
+    return true;
+  }
+  if (version >= kWireVersionBinary &&
+      (type == static_cast<uint8_t>(FrameType::kChunk) ||
+       type == static_cast<uint8_t>(FrameType::kChunkEnd))) {
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
+
+void AppendFrameHeader(std::string* out, FrameType type, uint64_t id,
+                       uint32_t payload_size, uint8_t version) {
+  out->reserve(out->size() + kHeaderSize);
+  out->push_back(static_cast<char>(version));
+  out->push_back(static_cast<char>(type));
+  PutU64(out, id);
+  PutU32(out, payload_size);
+}
 
 void AppendFrame(std::string* out, FrameType type, uint64_t id,
                  std::string_view payload, uint8_t version) {
   out->reserve(out->size() + kHeaderSize + payload.size());
-  out->push_back(static_cast<char>(version));
-  out->push_back(static_cast<char>(type));
-  PutU64(out, id);
-  PutU32(out, static_cast<uint32_t>(payload.size()));
+  AppendFrameHeader(out, type, id, static_cast<uint32_t>(payload.size()),
+                    version);
   out->append(payload);
 }
 
@@ -72,10 +95,25 @@ Status DecodeErrorPayload(std::string_view payload) {
                 std::string(payload.substr(colon + 1)));
 }
 
+void FrameDecoder::Compact() {
+  if (pos_ == 0) return;
+  if (pos_ >= buffer_.size()) {
+    buffer_.clear();
+    pos_ = 0;
+    return;
+  }
+  // Amortized O(1): only move the remainder once the dead prefix outweighs
+  // it, so N small frames cost one move, not N.
+  if (pos_ >= buffer_.size() - pos_) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+}
+
 StatusOr<bool> FrameDecoder::Next(Frame* out) {
   if (!fatal_.ok()) return fatal_;
-  if (buffer_.size() < kHeaderSize) return false;
-  const char* h = buffer_.data();
+  if (buffer_.size() - pos_ < kHeaderSize) return false;
+  const char* h = buffer_.data() + pos_;
   const uint8_t version = static_cast<uint8_t>(h[0]);
   const uint8_t type = static_cast<uint8_t>(h[1]);
   const uint64_t id = GetU64(h + 2);
@@ -86,37 +124,41 @@ StatusOr<bool> FrameDecoder::Next(Frame* out) {
         std::to_string(max_payload_) + ")");
     return fatal_;
   }
-  if (version != kWireVersion) {
+  if (version < kWireVersionJson || version > max_version_) {
     // Header layout is frozen, so the id is trustworthy even across
     // versions — the caller can answer the right request. Consume the frame
     // so one mismatched message doesn't wedge the whole stream, then report.
-    if (buffer_.size() < kHeaderSize + length) return false;
+    if (buffer_.size() - pos_ < kHeaderSize + length) return false;
     out->type = FrameType::kError;
     out->id = id;
+    out->version = version;
     out->payload.clear();
-    buffer_.erase(0, kHeaderSize + length);
+    pos_ += kHeaderSize + length;
+    Compact();
     return Status::Unimplemented(
         "peer speaks wire-format version " + std::to_string(version) +
-        ", this build speaks " + std::to_string(kWireVersion));
+        ", this build speaks " + std::to_string(max_version_));
   }
-  if (type != static_cast<uint8_t>(FrameType::kData) &&
-      type != static_cast<uint8_t>(FrameType::kError)) {
-    fatal_ = Status::Corruption("unknown frame type " + std::to_string(type));
+  if (!ValidType(type, version)) {
+    fatal_ = Status::Corruption("unknown frame type " + std::to_string(type) +
+                                " at wire version " + std::to_string(version));
     return fatal_;
   }
-  if (buffer_.size() < kHeaderSize + length) return false;
+  if (buffer_.size() - pos_ < kHeaderSize + length) return false;
   out->type = static_cast<FrameType>(type);
   out->id = id;
-  out->payload.assign(buffer_, kHeaderSize, length);
-  buffer_.erase(0, kHeaderSize + length);
+  out->version = version;
+  out->payload.assign(buffer_, pos_ + kHeaderSize, length);
+  pos_ += kHeaderSize + length;
+  Compact();
   return true;
 }
 
 Status FrameDecoder::Finish() const {
   if (!fatal_.ok()) return fatal_;
-  if (!buffer_.empty()) {
+  if (buffer_.size() > pos_) {
     return Status::Corruption("stream ended inside a frame (" +
-                              std::to_string(buffer_.size()) +
+                              std::to_string(buffer_.size() - pos_) +
                               " trailing bytes)");
   }
   return Status::Ok();

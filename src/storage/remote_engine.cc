@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "common/json.h"
+#include "storage/frame.h"
+#include "storage/wire_codec.h"
 
 namespace mlcask::storage {
 
@@ -236,6 +238,12 @@ Json Dispatch(StorageEngine* engine, const Json& request) {
 }  // namespace
 
 std::string StorageEngineService::Handle(std::string_view request) {
+  // One-byte codec sniff: the binary magic is never '{', so a service can
+  // serve new-codec and JSON-era callers on the same endpoint — no frames
+  // needed for loopback deployments to get the fast path.
+  if (wire::IsBinaryMessage(request)) {
+    return wire::DispatchBinary(engine_, request);
+  }
   auto parsed = Json::Parse(request);
   if (!parsed.ok()) {
     return ErrorResponse(
@@ -248,12 +256,42 @@ std::string StorageEngineService::Handle(std::string_view request) {
 
 // --------------------------------------------------------------- client ---
 
-RemoteStorageEngine::RemoteStorageEngine(std::unique_ptr<Transport> transport)
-    : transport_(std::move(transport)) {
+RemoteStorageEngine::RemoteStorageEngine(std::unique_ptr<Transport> transport,
+                                         WireCodec codec)
+    : transport_(std::move(transport)), binary_(codec != WireCodec::kJson) {
+  name_ = "remote";
+  if (binary_) {
+    // The name hello doubles as the codec probe: a binary-era peer answers
+    // it, a JSON-era one rejects the unknown wire version / magic with
+    // Unimplemented. kAuto treats that one status as "old peer" and drops
+    // the SESSION to JSON — including the transport's frame version, so
+    // framing and codec downgrade together. Any other failure (peer down,
+    // timeout) is not evidence about the codec: stay binary.
+    auto response =
+        RoundTrip(wire::EncodePlainRequest(wire::Method::kName));
+    if (response.ok()) {
+      auto peer = wire::DecodeDataResponse(*response);
+      if (peer.ok()) {
+        name_ = "remote(" + std::string(*peer) + ")";
+        return;
+      }
+      // A JSON document in reply to a binary hello is an old service
+      // reached over a frameless transport (loopback): same skew, answered
+      // at the codec layer instead of the frame layer.
+      const bool old_peer =
+          peer.status().code() == StatusCode::kUnimplemented ||
+          (!response->empty() && (*response)[0] == '{');
+      if (codec != WireCodec::kAuto || !old_peer) return;
+    } else if (codec != WireCodec::kAuto ||
+               response.status().code() != StatusCode::kUnimplemented) {
+      return;
+    }
+    binary_ = false;
+    transport_->set_wire_version(kWireVersionJson);
+  }
   Json request = Json::Object();
   request.Set("method", Json::Str("name"));
   auto response = RoundTrip(request.Dump());
-  name_ = "remote";
   if (response.ok()) {
     auto doc = Json::Parse(*response);
     if (doc.ok() && doc->GetBool("ok")) {
@@ -360,15 +398,50 @@ Json IdRequestJson(const char* method, const Hash256& id) {
   return request;
 }
 
+// Binary-codec adapters: raw transport result -> typed value. Same shapes
+// as the JSON decoders above so the blocking methods and Deferred wrappers
+// stay symmetrical across codecs.
+
+StatusOr<PutResult> DecodeBinaryPut(StatusOr<std::string> raw) {
+  if (!raw.ok()) return raw.status();
+  return wire::DecodePutResponse(*raw);
+}
+
+StatusOr<std::string> DecodeBinaryData(StatusOr<std::string> raw) {
+  if (!raw.ok()) return raw.status();
+  MLCASK_ASSIGN_OR_RETURN(std::string_view data,
+                          wire::DecodeDataResponse(*raw));
+  return std::string(data);
+}
+
+StatusOr<bool> DecodeBinaryHas(StatusOr<std::string> raw) {
+  if (!raw.ok()) return raw.status();
+  return wire::DecodeHasResponse(*raw);
+}
+
+StatusOr<uint64_t> DecodeBinaryFreed(StatusOr<std::string> raw) {
+  if (!raw.ok()) return raw.status();
+  return wire::DecodeFreedResponse(*raw);
+}
+
 }  // namespace
 
 StatusOr<PutResult> RemoteStorageEngine::Put(const std::string& key,
                                              std::string_view data) {
+  if (binary_) {
+    return DecodeBinaryPut(
+        transport_->Call(wire::EncodePutRequest(key, data)));
+  }
   return DecodePutResponse(transport_->Call(PutRequestJson(key, data).Dump()));
 }
 
 Deferred<PutResult> RemoteStorageEngine::AsyncPut(const std::string& key,
                                                   std::string_view data) {
+  if (binary_) {
+    return Deferred<PutResult>(
+        transport_->AsyncCall(wire::EncodePutRequest(key, data)),
+        DecodeBinaryPut, transport_->call_timeout_ms());
+  }
   return Deferred<PutResult>(
       transport_->AsyncCall(PutRequestJson(key, data).Dump()),
       DecodePutResponse, transport_->call_timeout_ms());
@@ -376,6 +449,11 @@ Deferred<PutResult> RemoteStorageEngine::AsyncPut(const std::string& key,
 
 StatusOr<std::vector<PutResult>> RemoteStorageEngine::PutMany(
     const std::vector<PutRequest>& batch) {
+  if (binary_) {
+    auto raw = transport_->Call(wire::EncodePutManyRequest(batch));
+    if (!raw.ok()) return raw.status();
+    return wire::DecodePutManyResponse(*raw, batch.size());
+  }
   return DecodePutManyResponse(
       transport_->Call(PutManyRequestJson(batch).Dump()), batch.size());
 }
@@ -383,6 +461,16 @@ StatusOr<std::vector<PutResult>> RemoteStorageEngine::PutMany(
 Deferred<std::vector<PutResult>> RemoteStorageEngine::AsyncPutMany(
     const std::vector<PutRequest>& batch) {
   const size_t expected = batch.size();
+  if (binary_) {
+    return Deferred<std::vector<PutResult>>(
+        transport_->AsyncCall(wire::EncodePutManyRequest(batch)),
+        [expected](StatusOr<std::string> raw)
+            -> StatusOr<std::vector<PutResult>> {
+          if (!raw.ok()) return raw.status();
+          return wire::DecodePutManyResponse(*raw, expected);
+        },
+        transport_->call_timeout_ms());
+  }
   return Deferred<std::vector<PutResult>>(
       transport_->AsyncCall(PutManyRequestJson(batch).Dump()),
       [expected](StatusOr<std::string> raw) {
@@ -392,6 +480,10 @@ Deferred<std::vector<PutResult>> RemoteStorageEngine::AsyncPutMany(
 }
 
 StatusOr<std::string> RemoteStorageEngine::Get(const std::string& key) {
+  if (binary_) {
+    return DecodeBinaryData(
+        transport_->Call(wire::EncodeKeyRequest(wire::Method::kGet, key)));
+  }
   Json request = Json::Object();
   request.Set("method", Json::Str("get"));
   request.Set("key", Json::Str(key));
@@ -399,36 +491,64 @@ StatusOr<std::string> RemoteStorageEngine::Get(const std::string& key) {
 }
 
 StatusOr<std::string> RemoteStorageEngine::GetVersion(const Hash256& id) {
+  if (binary_) {
+    return DecodeBinaryData(transport_->Call(
+        wire::EncodeIdRequest(wire::Method::kGetVersion, id)));
+  }
   return DecodeDataResponse(
       transport_->Call(IdRequestJson("get_version", id).Dump()));
 }
 
 Deferred<std::string> RemoteStorageEngine::AsyncGetVersion(const Hash256& id) {
+  if (binary_) {
+    return Deferred<std::string>(
+        transport_->AsyncCall(
+            wire::EncodeIdRequest(wire::Method::kGetVersion, id)),
+        DecodeBinaryData, transport_->call_timeout_ms());
+  }
   return Deferred<std::string>(
       transport_->AsyncCall(IdRequestJson("get_version", id).Dump()),
       DecodeDataResponse, transport_->call_timeout_ms());
 }
 
 bool RemoteStorageEngine::HasVersion(const Hash256& id) const {
-  auto response = DecodeHasResponse(
-      const_cast<Transport*>(transport_.get())
-          ->Call(IdRequestJson("has_version", id).Dump()));
+  auto* transport = const_cast<Transport*>(transport_.get());
+  auto response =
+      binary_
+          ? DecodeBinaryHas(transport->Call(
+                wire::EncodeIdRequest(wire::Method::kHasVersion, id)))
+          : DecodeHasResponse(
+                transport->Call(IdRequestJson("has_version", id).Dump()));
   return response.ok() && *response;
 }
 
 Deferred<bool> RemoteStorageEngine::AsyncHasVersion(const Hash256& id) const {
-  return Deferred<bool>(const_cast<Transport*>(transport_.get())
-                            ->AsyncCall(IdRequestJson("has_version", id).Dump()),
-                        DecodeHasResponse, transport_->call_timeout_ms());
+  auto* transport = const_cast<Transport*>(transport_.get());
+  if (binary_) {
+    return Deferred<bool>(
+        transport->AsyncCall(
+            wire::EncodeIdRequest(wire::Method::kHasVersion, id)),
+        DecodeBinaryHas, transport_->call_timeout_ms());
+  }
+  return Deferred<bool>(
+      transport->AsyncCall(IdRequestJson("has_version", id).Dump()),
+      DecodeHasResponse, transport_->call_timeout_ms());
 }
 
 std::vector<Hash256> RemoteStorageEngine::Versions(
     const std::string& key) const {
+  std::vector<Hash256> ids;
+  if (binary_) {
+    auto raw = const_cast<Transport*>(transport_.get())
+                   ->Call(wire::EncodeKeyRequest(wire::Method::kVersions, key));
+    if (!raw.ok()) return ids;
+    auto decoded = wire::DecodeVersionsResponse(*raw);
+    return decoded.ok() ? *std::move(decoded) : ids;
+  }
   Json request = Json::Object();
   request.Set("method", Json::Str("versions"));
   request.Set("key", Json::Str(key));
   auto response = CallMethod(transport_.get(), std::move(request));
-  std::vector<Hash256> ids;
   if (!response.ok()) return ids;
   const Json* encoded = response->Get("ids");
   if (encoded == nullptr || !encoded->is_array()) return ids;
@@ -442,10 +562,18 @@ std::vector<Hash256> RemoteStorageEngine::Versions(
 
 std::vector<std::pair<std::string, Hash256>>
 RemoteStorageEngine::ListAllVersions() const {
+  std::vector<std::pair<std::string, Hash256>> entries;
+  if (binary_) {
+    auto raw =
+        const_cast<Transport*>(transport_.get())
+            ->Call(wire::EncodePlainRequest(wire::Method::kListAllVersions));
+    if (!raw.ok()) return entries;
+    auto decoded = wire::DecodeEntriesResponse(*raw);
+    return decoded.ok() ? *std::move(decoded) : entries;
+  }
   Json request = Json::Object();
   request.Set("method", Json::Str("list_all_versions"));
   auto response = CallMethod(transport_.get(), std::move(request));
-  std::vector<std::pair<std::string, Hash256>> entries;
   if (!response.ok()) return entries;
   const Json* encoded = response->Get("entries");
   if (encoded == nullptr || !encoded->is_array()) return entries;
@@ -460,21 +588,38 @@ RemoteStorageEngine::ListAllVersions() const {
 }
 
 StatusOr<uint64_t> RemoteStorageEngine::DeleteVersion(const Hash256& id) {
+  if (binary_) {
+    return DecodeBinaryFreed(transport_->Call(
+        wire::EncodeIdRequest(wire::Method::kDeleteVersion, id)));
+  }
   return DecodeFreedResponse(
       transport_->Call(IdRequestJson("delete_version", id).Dump()));
 }
 
 Deferred<uint64_t> RemoteStorageEngine::AsyncDeleteVersion(const Hash256& id) {
+  if (binary_) {
+    return Deferred<uint64_t>(
+        transport_->AsyncCall(
+            wire::EncodeIdRequest(wire::Method::kDeleteVersion, id)),
+        DecodeBinaryFreed, transport_->call_timeout_ms());
+  }
   return Deferred<uint64_t>(
       transport_->AsyncCall(IdRequestJson("delete_version", id).Dump()),
       DecodeFreedResponse, transport_->call_timeout_ms());
 }
 
 EngineStats RemoteStorageEngine::stats() const {
+  EngineStats stats;
+  if (binary_) {
+    auto raw = const_cast<Transport*>(transport_.get())
+                   ->Call(wire::EncodePlainRequest(wire::Method::kStats));
+    if (!raw.ok()) return stats;
+    auto decoded = wire::DecodeStatsResponse(*raw);
+    return decoded.ok() ? *decoded : stats;
+  }
   Json request = Json::Object();
   request.Set("method", Json::Str("stats"));
   auto response = CallMethod(transport_.get(), std::move(request));
-  EngineStats stats;
   if (!response.ok()) return stats;
   stats.logical_bytes =
       static_cast<uint64_t>(response->GetInt("logical_bytes"));
@@ -487,6 +632,13 @@ EngineStats RemoteStorageEngine::stats() const {
 }
 
 double RemoteStorageEngine::ReadCost(uint64_t bytes) const {
+  if (binary_) {
+    auto raw = const_cast<Transport*>(transport_.get())
+                   ->Call(wire::EncodeReadCostRequest(bytes));
+    if (!raw.ok()) return 0.0;
+    auto decoded = wire::DecodeCostResponse(*raw);
+    return decoded.ok() ? *decoded : 0.0;
+  }
   Json request = Json::Object();
   request.Set("method", Json::Str("read_cost"));
   request.Set("bytes", Json::Int(static_cast<int64_t>(bytes)));

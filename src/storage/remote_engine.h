@@ -41,6 +41,15 @@ class StorageEngineService {
   StorageEngine* engine_;
 };
 
+/// Which request codec a RemoteStorageEngine speaks.
+enum class WireCodec : uint8_t {
+  /// Binary (wire version 2), negotiating down to JSON when the peer
+  /// answers the hello with Unimplemented (an older build). The default.
+  kAuto = 0,
+  kBinary = 1,  ///< Binary only; an old peer surfaces Unimplemented.
+  kJson = 2,    ///< JSON + hex (wire version 1) only, for skew tests.
+};
+
 /// Client half: a StorageEngine proxy that serializes every call into a
 /// request message, sends it through a Transport, and decodes the response.
 /// With a LoopbackTransport this gives an in-process deployment the exact
@@ -54,8 +63,12 @@ class StorageEngineService {
 class RemoteStorageEngine : public StorageEngine {
  public:
   /// Owns the transport. The remote peer's engine name is fetched eagerly so
-  /// Name() stays cheap and non-faulting.
-  explicit RemoteStorageEngine(std::unique_ptr<Transport> transport);
+  /// Name() stays cheap and non-faulting; that same hello doubles as the
+  /// codec negotiation probe (see WireCodec::kAuto). When negotiation drops
+  /// to JSON the transport's wire version is dropped with it, so frames and
+  /// codec stay in lockstep on the session.
+  explicit RemoteStorageEngine(std::unique_ptr<Transport> transport,
+                               WireCodec codec = WireCodec::kAuto);
 
   StatusOr<PutResult> Put(const std::string& key,
                           std::string_view data) override;
@@ -97,10 +110,17 @@ class RemoteStorageEngine : public StorageEngine {
 
   const Transport* transport() const { return transport_.get(); }
 
+  /// The codec this proxy actually ended up speaking (kAuto resolves to
+  /// kBinary or kJson during construction).
+  WireCodec codec() const {
+    return binary_ ? WireCodec::kBinary : WireCodec::kJson;
+  }
+
  private:
   StatusOr<std::string> RoundTrip(std::string_view request) const;
 
   std::unique_ptr<Transport> transport_;
+  bool binary_ = true;
   std::string name_;
 };
 

@@ -10,6 +10,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
@@ -56,6 +57,29 @@ bool CanConnect(const std::string& path) {
       ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
   ::close(fd);
   return ok;
+}
+
+/// The last ~2 KiB of a child's log, inlined into launch-failure statuses so
+/// the reason (bad flag, bind failure, missing lib) is IN the error a test
+/// prints — not behind a tmpdir path that Stop() is about to erase.
+std::string LogTail(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return "";
+  constexpr off_t kTailBytes = 2048;
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return "";
+  }
+  const off_t start = size > kTailBytes ? size - kTailBytes : 0;
+  std::string tail(static_cast<size_t>(size - start), '\0');
+  ssize_t n = ::pread(fd, tail.data(), tail.size(), start);
+  ::close(fd);
+  if (n <= 0) return "";
+  tail.resize(static_cast<size_t>(n));
+  while (!tail.empty() && tail.back() == '\n') tail.pop_back();
+  if (tail.empty()) return "";
+  return (start > 0 ? "; log tail:\n...": "; log tail:\n") + tail;
 }
 
 }  // namespace
@@ -124,9 +148,15 @@ Status LocalServerCluster::Start(size_t shards, const Options& options) {
   // the last ones of their allowance.
   for (size_t s = 0; s < shards; ++s) {
     const std::string sock = dir_ + "/shard" + std::to_string(s) + ".sock";
+    const std::string log = dir_ + "/shard" + std::to_string(s) + ".log";
     const auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::milliseconds(options.startup_timeout_ms);
+    // Exponential backoff between probes: a healthy server accepts within
+    // a millisecond or two, so start there and only back off (doubling,
+    // capped) for the slow cases — instead of taxing EVERY launch the old
+    // fixed 10ms poll. Read the log tail BEFORE Stop(): it erases the dir.
+    uint64_t backoff_ms = 1;
     for (;;) {
       if (CanConnect(sock)) break;
       int wstatus = 0;
@@ -134,19 +164,21 @@ Status LocalServerCluster::Start(size_t shards, const Options& options) {
         pids_[s] = -1;  // already reaped
         Status st = Status::Unavailable(
             "mlcask_server for shard " + std::to_string(s) +
-            " exited during startup (status " + std::to_string(wstatus) +
-            "); see " + dir_ + "/shard" + std::to_string(s) + ".log");
+            " exited during startup (status " + std::to_string(wstatus) + ")" +
+            LogTail(log));
         Stop();
         return st;
       }
       if (std::chrono::steady_clock::now() >= deadline) {
         Status st = Status::DeadlineExceeded(
             "shard " + std::to_string(s) + " did not accept on " + sock +
-            " within " + std::to_string(options.startup_timeout_ms) + "ms");
+            " within " + std::to_string(options.startup_timeout_ms) + "ms" +
+            LogTail(log));
         Stop();
         return st;
       }
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min<uint64_t>(backoff_ms * 2, 50);
     }
   }
   return Status::Ok();

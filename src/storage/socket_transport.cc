@@ -1,13 +1,18 @@
 #include "storage/socket_transport.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -21,20 +26,40 @@ Status ErrnoStatus(const std::string& what, int err) {
   return Status::Unavailable(what + ": " + std::strerror(err));
 }
 
-/// Writes the whole buffer, restarting on EINTR. MSG_NOSIGNAL: a dead peer
-/// must surface as EPIPE, not kill the process with SIGPIPE.
-Status SendAll(int fd, std::string_view bytes) {
-  size_t off = 0;
-  while (off < bytes.size()) {
-    ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
-                       MSG_NOSIGNAL);
+/// Scatter-gather write of every iovec, restarting on EINTR and advancing
+/// through partial writes. MSG_NOSIGNAL: a dead peer must surface as EPIPE,
+/// not kill the process with SIGPIPE. Mutates `iov` (offsets advance).
+Status SendParts(int fd, std::vector<iovec>* iov) {
+  // Linux caps one sendmsg at IOV_MAX (1024) entries; batch in slices.
+  constexpr size_t kMaxIov = 1024;
+  size_t idx = 0;
+  while (idx < iov->size()) {
+    msghdr msg{};
+    msg.msg_iov = iov->data() + idx;
+    msg.msg_iovlen = std::min(iov->size() - idx, kMaxIov);
+    ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return ErrnoStatus("socket write failed", errno);
     }
-    off += static_cast<size_t>(n);
+    size_t left = static_cast<size_t>(n);
+    while (idx < iov->size() && left >= (*iov)[idx].iov_len) {
+      left -= (*iov)[idx].iov_len;
+      ++idx;
+    }
+    if (idx < iov->size() && left > 0) {
+      (*iov)[idx].iov_base = static_cast<char*>((*iov)[idx].iov_base) + left;
+      (*iov)[idx].iov_len -= left;
+    }
   }
   return Status::Ok();
+}
+
+iovec MakeIov(const char* data, size_t len) {
+  iovec iov;
+  iov.iov_base = const_cast<char*>(data);
+  iov.iov_len = len;
+  return iov;
 }
 
 /// Builds a connected or bound socket for `ep`. For servers, `bind_side`
@@ -110,6 +135,14 @@ StatusOr<int> OpenSocket(const Endpoint& ep, bool bind_side) {
   return last;
 }
 
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(O_NONBLOCK)", errno);
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 // --------------------------------------------------------------- client ---
@@ -128,7 +161,10 @@ StatusOr<std::unique_ptr<SocketTransport>> SocketTransport::Connect(
 }
 
 SocketTransport::SocketTransport(int fd, Endpoint endpoint, Options options)
-    : endpoint_(std::move(endpoint)), options_(std::move(options)), fd_(fd) {
+    : endpoint_(std::move(endpoint)),
+      options_(std::move(options)),
+      fd_(fd),
+      wire_version_(options_.wire_version) {
   reader_ = std::thread([this] { ReaderLoop(); });
 }
 
@@ -177,18 +213,73 @@ TransportFuture SocketTransport::AsyncCallWithId(std::string_view request,
     pending.request_bytes = request.size();
     pending_.emplace(id, std::move(pending));
   }
-  std::string frame;
-  AppendFrame(&frame, FrameType::kData, id, request);
+  const uint8_t version = wire_version_.load(std::memory_order_relaxed);
   Status sent;
-  {
+  if (version >= kWireVersionBinary && options_.chunk_threshold > 0 &&
+      request.size() >= options_.chunk_threshold) {
+    sent = SendChunked(id, version, request);
+  } else {
+    // Scatter-gather: header + payload leave as one sendmsg, the payload
+    // bytes never copied into a frame buffer.
+    std::string header;
+    AppendFrameHeader(&header, FrameType::kData, id,
+                      static_cast<uint32_t>(request.size()), version);
+    std::vector<iovec> iov;
+    iov.push_back(MakeIov(header.data(), header.size()));
+    if (!request.empty()) iov.push_back(MakeIov(request.data(), request.size()));
     std::lock_guard<std::mutex> lock(write_mu_);
-    sent = SendAll(fd_, frame);
+    sent = SendParts(fd_, &iov);
   }
   if (!sent.ok()) {
     // The peer is gone for everyone, not just this call.
     FailAllPending(sent);
   }
   return future;
+}
+
+Status SocketTransport::SendChunked(uint64_t id, uint8_t version,
+                                    std::string_view payload) {
+  const auto cuts = wire::WireChunker().Split(payload);
+  // Hash the chunk addresses for the manifest BEFORE taking the write lock:
+  // SHA-256 over megabytes must not serialize other callers' sends.
+  Sha256 manifest;
+  std::vector<std::string> headers;
+  headers.reserve(cuts.size() + 1);
+  for (const auto& [offset, length] : cuts) {
+    const Hash256 address =
+        wire::WireChunkAddress(payload.substr(offset, length));
+    manifest.Update(address.bytes.data(), address.bytes.size());
+    std::string header;
+    AppendFrameHeader(&header, FrameType::kChunk, id,
+                      static_cast<uint32_t>(length), version);
+    headers.push_back(std::move(header));
+  }
+  const std::string end_payload =
+      wire::EncodeChunkEnd(payload.size(), cuts.size(), manifest.Finish());
+  std::string end_header;
+  AppendFrameHeader(&end_header, FrameType::kChunkEnd, id,
+                    static_cast<uint32_t>(end_payload.size()), version);
+
+  std::vector<iovec> iov;
+  iov.reserve(cuts.size() * 2 + 2);
+  for (size_t i = 0; i < cuts.size(); ++i) {
+    iov.push_back(MakeIov(headers[i].data(), headers[i].size()));
+    iov.push_back(
+        MakeIov(payload.data() + cuts[i].first, cuts[i].second));
+  }
+  iov.push_back(MakeIov(end_header.data(), end_header.size()));
+  iov.push_back(MakeIov(end_payload.data(), end_payload.size()));
+
+  Status sent;
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    sent = SendParts(fd_, &iov);
+  }
+  if (sent.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.chunk_frames_sent += cuts.size() + 1;
+  }
+  return sent;
 }
 
 StatusOr<std::string> SocketTransport::Call(std::string_view request) {
@@ -264,6 +355,8 @@ void SocketTransport::FailAllPending(const Status& status) {
 
 void SocketTransport::ReaderLoop() {
   FrameDecoder decoder(options_.max_frame_payload);
+  // Reassembles incoming chunk-streamed responses; reader-thread-only.
+  wire::StreamAssembler assembler(options_.max_frame_payload);
   char buf[64 * 1024];
   for (;;) {
     ssize_t n = ::read(fd_, buf, sizeof(buf));
@@ -277,6 +370,12 @@ void SocketTransport::ReaderLoop() {
       return;
     }
     decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.peak_decoder_buffer_bytes =
+          std::max(stats_.peak_decoder_buffer_bytes,
+                   decoder.peak_buffer_bytes());
+    }
     for (;;) {
       Frame frame;
       auto next = decoder.Next(&frame);
@@ -309,6 +408,33 @@ void SocketTransport::ReaderLoop() {
         return;
       }
       if (!*next) break;  // need more bytes
+      if (frame.type == FrameType::kChunk) {
+        Status accepted = assembler.OnChunk(frame.id, frame.payload);
+        if (!accepted.ok()) {
+          // A chunk stream that violates limits means the framing itself
+          // can no longer be trusted.
+          FailAllPending(accepted);
+          return;
+        }
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.chunk_frames_received += 1;
+        continue;
+      }
+      if (frame.type == FrameType::kChunkEnd) {
+        auto assembled = assembler.OnEnd(frame.id, frame.payload);
+        if (!assembled.ok()) {
+          // Manifest mismatch = the stream delivered corrupt bytes.
+          FailAllPending(assembled.status());
+          return;
+        }
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          stats_.chunk_frames_received += 1;
+        }
+        frame.type = FrameType::kData;
+        frame.payload = *std::move(assembled);
+        // Falls through to the pending-call resolution below.
+      }
       std::promise<StatusOr<std::string>> waiter;
       size_t request_bytes = 0;
       bool found = false;
@@ -383,7 +509,8 @@ SocketTransportServer::SocketTransportServer(int listen_fd, Endpoint endpoint,
                                              Options options)
     : endpoint_(std::move(endpoint)),
       options_(std::move(options)),
-      listen_fd_(listen_fd) {}
+      listen_fd_(listen_fd),
+      chunk_cache_(options_.chunk_cache_bytes) {}
 
 SocketTransportServer::~SocketTransportServer() { Shutdown(); }
 
@@ -391,154 +518,479 @@ Status SocketTransportServer::Serve(TransportHandler handler) {
   if (handler == nullptr) {
     return Status::InvalidArgument("Serve needs a handler");
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  if (serving_) return Status::FailedPrecondition("server already serving");
-  if (shutting_down_) return Status::FailedPrecondition("server shut down");
+  ServerState expected = ServerState::kInitial;
+  if (!state_.compare_exchange_strong(expected, ServerState::kStarting,
+                                      std::memory_order_acq_rel)) {
+    return expected == ServerState::kStarting ||
+                   expected == ServerState::kStarted
+               ? Status::FailedPrecondition("server already serving")
+               : Status::FailedPrecondition("server shut down");
+  }
   handler_ = std::move(handler);
-  serving_ = true;
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  Status up = Status::Ok();
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    up = ErrnoStatus("epoll/eventfd setup failed", errno);
+  }
+  if (up.ok()) up = SetNonBlocking(listen_fd_);
+  if (up.ok()) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listen_fd_;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+      up = ErrnoStatus("epoll_ctl(listen)", errno);
+    }
+    ev.data.fd = wake_fd_;
+    if (up.ok() &&
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+      up = ErrnoStatus("epoll_ctl(wake)", errno);
+    }
+  }
+  if (!up.ok()) {
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    epoll_fd_ = wake_fd_ = -1;
+    state_.store(ServerState::kStopped, std::memory_order_release);
+    return up;
+  }
+  loop_thread_ = std::thread([this] { LoopThread(); });
+  const size_t workers = std::max<size_t>(1, options_.worker_threads);
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerThread(); });
+  }
+  state_.store(ServerState::kStarted, std::memory_order_release);
   return Status::Ok();
 }
 
-void SocketTransportServer::ReapFinishedLocked() {
-  for (auto it = connections_.begin(); it != connections_.end();) {
-    if ((*it)->done.load(std::memory_order_acquire)) {
-      // The thread has (at most) its final return left; joining is
-      // immediate and keeps a long-lived server from accumulating one
-      // dead thread + fd per client that ever disconnected.
-      if ((*it)->thread.joinable()) (*it)->thread.join();
-      it = connections_.erase(it);
-    } else {
-      ++it;
+void SocketTransportServer::LoopThread() {
+  epoll_event events[64];
+  while (!stop_.load(std::memory_order_acquire)) {
+    int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drained = 0;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;  // queued flushes run below
+      }
+      if (fd == listen_fd_) {
+        AcceptReady();
+        continue;
+      }
+      auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;  // closed earlier this batch
+      std::shared_ptr<Connection> connection = it->second;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0 &&
+          (events[i].events & EPOLLIN) == 0) {
+        CloseConnection(connection);
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0) {
+        ReadReady(connection);
+      }
+      if ((events[i].events & EPOLLOUT) != 0 &&
+          connections_.count(fd) != 0) {
+        if (!FlushConnection(connection)) CloseConnection(connection);
+      }
+    }
+    // Worker-produced responses queued since the last pass.
+    std::vector<std::shared_ptr<Connection>> ready;
+    {
+      std::lock_guard<std::mutex> lock(notify_mu_);
+      ready.swap(notify_);
+    }
+    for (const auto& connection : ready) {
+      if (!FlushConnection(connection)) CloseConnection(connection);
     }
   }
+  // Teardown: retire every connection. Marking closed under the lock makes
+  // late worker output a silent drop instead of a write to a recycled fd.
+  for (auto& [fd, connection] : connections_) {
+    {
+      std::lock_guard<std::mutex> lock(connection->mu);
+      connection->closed = true;
+      connection->fd = -1;
+      connection->outbox.clear();
+    }
+    ::close(fd);
+  }
+  connections_.clear();
 }
 
-void SocketTransportServer::AcceptLoop() {
-  // Local copy: Shutdown() only shutdown()s the listen socket while this
-  // thread runs and close()s it strictly AFTER joining us, so the fd stays
-  // valid (if half-closed) for the whole loop and its number can never be
-  // recycled to another socket under our feet.
-  const int listen_fd = listen_fd_;
+void SocketTransportServer::AcceptReady() {
   for (;;) {
-    int fd = ::accept(listen_fd, nullptr, nullptr);
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      return;  // listen socket closed: shutdown
+      return;  // EAGAIN (drained) or listen socket closed
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shutting_down_) {
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto connection = std::make_shared<Connection>(
+        options_.max_frame_payload, options_.max_wire_version, &chunk_cache_);
+    connection->fd = fd;
+    connection->epoll_events = EPOLLIN;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
       ::close(fd);
-      return;
+      continue;
     }
-    ReapFinishedLocked();
-    connections_accepted_ += 1;
-    auto connection = std::make_unique<Connection>();
-    Connection* raw = connection.get();
-    raw->fd = fd;
-    connections_.push_back(std::move(connection));
-    raw->thread = std::thread([this, raw] { ConnectionLoop(raw); });
+    connections_.emplace(fd, std::move(connection));
   }
 }
 
-void SocketTransportServer::ConnectionLoop(Connection* connection) {
-  const int fd = connection->fd;
-  FrameDecoder decoder(options_.max_frame_payload);
+void SocketTransportServer::ReadReady(
+    const std::shared_ptr<Connection>& connection) {
   char buf[64 * 1024];
-  bool alive = true;
-  while (alive) {
-    ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // peer gone or shutdown
-    decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
-    while (alive) {
+  for (;;) {
+    ssize_t n = ::recv(connection->fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      CloseConnection(connection);
+      return;
+    }
+    if (n == 0) {
+      CloseConnection(connection);
+      return;
+    }
+    connection->decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    for (;;) {
       Frame frame;
-      auto next = decoder.Next(&frame);
+      auto next = connection->decoder.Next(&frame);
       if (!next.ok()) {
         if (next.status().code() == StatusCode::kUnimplemented) {
           // Version skew, id recovered from the frozen header: tell the
           // exact caller why with an ERROR frame, then keep serving — one
-          // future-version message must not take down the session.
-          std::string reply;
-          AppendFrame(&reply, FrameType::kError, frame.id,
-                      EncodeErrorPayload(next.status()));
-          if (!SendAll(fd, reply).ok()) alive = false;
+          // future-version message must not take down the session. The
+          // reply is stamped with the OLDEST version so any peer parses it.
+          OutPart part;
+          AppendFrame(&part.header, FrameType::kError, frame.id,
+                      EncodeErrorPayload(next.status()), kWireVersionJson);
+          {
+            std::lock_guard<std::mutex> lock(connection->mu);
+            connection->outbox.push_back(std::move(part));
+          }
+          if (!FlushConnection(connection)) {
+            CloseConnection(connection);
+            return;
+          }
           continue;
         }
         // Garbled stream: nothing correlatable to answer. Closing fails the
         // peer's pending calls as Unavailable instead of hanging them.
-        ::shutdown(fd, SHUT_RDWR);
-        alive = false;
-        break;
+        CloseConnection(connection);
+        return;
       }
       if (!*next) break;  // need more bytes
-      if (frame.type != FrameType::kData) continue;  // clients send data only
-      std::string response = handler_(frame.payload);
-      std::string reply;
-      if (response.size() > options_.max_frame_payload) {
-        // Same refusal as the client side: an oversized frame would read
-        // as stream corruption at the peer and kill its whole session.
-        AppendFrame(&reply, FrameType::kError, frame.id,
-                    EncodeErrorPayload(Status::FailedPrecondition(
-                        "response of " + std::to_string(response.size()) +
-                        " bytes exceeds the frame payload limit")));
-      } else {
-        AppendFrame(&reply, FrameType::kData, frame.id, response);
+      if (frame.type == FrameType::kError) continue;  // clients never send
+      bool schedule = false;
+      {
+        std::lock_guard<std::mutex> lock(connection->mu);
+        Job job;
+        job.type = frame.type;
+        job.id = frame.id;
+        job.version = frame.version;
+        job.payload = std::move(frame.payload);
+        connection->jobs.push_back(std::move(job));
+        if (!connection->job_active) {
+          // Claim the strand: exactly one worker drains this connection's
+          // jobs at a time, so requests are handled in arrival order.
+          connection->job_active = true;
+          schedule = true;
+        }
       }
-      if (!SendAll(fd, reply).ok()) alive = false;
+      if (schedule) {
+        std::lock_guard<std::mutex> lock(work_mu_);
+        work_queue_.push_back(connection);
+        work_cv_.notify_one();
+      }
+    }
+    if (n < static_cast<ssize_t>(sizeof(buf))) return;  // drained for now
+  }
+}
+
+bool SocketTransportServer::FlushConnection(
+    const std::shared_ptr<Connection>& connection) {
+  std::lock_guard<std::mutex> lock(connection->mu);
+  if (connection->closed || connection->fd < 0) return true;
+  while (!connection->outbox.empty()) {
+    // Gather up to 64 parts per sendmsg: header and payload slices go to
+    // the kernel as they are, never coalesced into a staging buffer.
+    iovec iov[64];
+    size_t niov = 0;
+    for (const OutPart& part : connection->outbox) {
+      if (niov >= 63) break;
+      if (part.header_off < part.header.size()) {
+        iov[niov++] = MakeIov(part.header.data() + part.header_off,
+                              part.header.size() - part.header_off);
+      }
+      if (part.body != nullptr && part.body_len > 0) {
+        iov[niov++] = MakeIov(part.body->data() + part.body_off,
+                              part.body_len);
+      }
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = niov;
+    ssize_t n = ::sendmsg(connection->fd, &msg, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Kernel buffer full: arm EPOLLOUT and resume when writable.
+        if ((connection->epoll_events & EPOLLOUT) == 0) {
+          connection->epoll_events = EPOLLIN | EPOLLOUT;
+          epoll_event ev{};
+          ev.events = connection->epoll_events;
+          ev.data.fd = connection->fd;
+          ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, connection->fd, &ev);
+        }
+        return true;
+      }
+      return false;  // peer gone: caller retires the connection
+    }
+    size_t left = static_cast<size_t>(n);
+    while (!connection->outbox.empty()) {
+      OutPart& part = connection->outbox.front();
+      size_t take =
+          std::min(left, part.header.size() - part.header_off);
+      part.header_off += take;
+      left -= take;
+      if (part.header_off < part.header.size()) break;
+      if (part.body != nullptr) {
+        take = std::min(left, part.body_len);
+        part.body_off += take;
+        part.body_len -= take;
+        left -= take;
+        if (part.body_len > 0) break;
+      }
+      connection->outbox.pop_front();
+      if (left == 0) break;
     }
   }
-  // Retire the socket under mu_ so Shutdown never touches a recycled fd.
+  if ((connection->epoll_events & EPOLLOUT) != 0) {
+    connection->epoll_events = EPOLLIN;
+    epoll_event ev{};
+    ev.events = connection->epoll_events;
+    ev.data.fd = connection->fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, connection->fd, &ev);
+  }
+  return true;
+}
+
+void SocketTransportServer::CloseConnection(
+    const std::shared_ptr<Connection>& connection) {
+  int fd = -1;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (connection->fd >= 0) {
-      ::close(connection->fd);
-      connection->fd = -1;
+    std::lock_guard<std::mutex> lock(connection->mu);
+    if (connection->closed) return;
+    connection->closed = true;
+    fd = connection->fd;
+    connection->fd = -1;
+    connection->outbox.clear();
+  }
+  if (fd < 0) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  connections_.erase(fd);
+}
+
+void SocketTransportServer::AbortConnection(
+    const std::shared_ptr<Connection>& connection) {
+  // Workers never close fds (the loop owns them); a half-close makes the
+  // loop observe EOF and retire the connection on its own thread.
+  std::lock_guard<std::mutex> lock(connection->mu);
+  if (!connection->closed && connection->fd >= 0) {
+    ::shutdown(connection->fd, SHUT_RDWR);
+  }
+}
+
+void SocketTransportServer::WorkerThread() {
+  for (;;) {
+    std::shared_ptr<Connection> connection;
+    {
+      std::unique_lock<std::mutex> lock(work_mu_);
+      work_cv_.wait(lock, [this] {
+        return workers_stop_ || !work_queue_.empty();
+      });
+      if (work_queue_.empty()) return;  // stopping and drained
+      connection = std::move(work_queue_.front());
+      work_queue_.pop_front();
+    }
+    // Drain this connection's strand: one worker at a time, arrival order.
+    for (;;) {
+      Job job;
+      {
+        std::lock_guard<std::mutex> lock(connection->mu);
+        if (connection->jobs.empty() || connection->closed) {
+          connection->jobs.clear();
+          connection->job_active = false;
+          break;
+        }
+        job = std::move(connection->jobs.front());
+        connection->jobs.pop_front();
+      }
+      ProcessJob(connection, std::move(job));
     }
   }
-  connection->done.store(true, std::memory_order_release);
+}
+
+void SocketTransportServer::ProcessJob(
+    const std::shared_ptr<Connection>& connection, Job job) {
+  if (job.type == FrameType::kChunk) {
+    Status accepted = connection->assembler.OnChunk(job.id, job.payload);
+    if (!accepted.ok()) AbortConnection(connection);
+    return;
+  }
+  if (job.type == FrameType::kChunkEnd) {
+    auto assembled = connection->assembler.OnEnd(job.id, job.payload);
+    if (!assembled.ok()) {
+      // Bad manifest/bookkeeping: the stream delivered corrupt bytes, and
+      // there is no trustworthy way to keep decoding it.
+      AbortConnection(connection);
+      return;
+    }
+    job.payload = *std::move(assembled);
+  }
+  std::string response = handler_(job.payload);
+  EnqueueResponse(connection, job.id, job.version, std::move(response));
+}
+
+void SocketTransportServer::EnqueueResponse(
+    const std::shared_ptr<Connection>& connection, uint64_t id,
+    uint8_t version, std::string response) {
+  std::vector<OutPart> parts;
+  if (response.size() > options_.max_frame_payload) {
+    // Same refusal as the client side: an oversized frame would read as
+    // stream corruption at the peer and kill its whole session.
+    OutPart part;
+    AppendFrame(&part.header, FrameType::kError, id,
+                EncodeErrorPayload(Status::FailedPrecondition(
+                    "response of " + std::to_string(response.size()) +
+                    " bytes exceeds the frame payload limit")),
+                version);
+    parts.push_back(std::move(part));
+  } else if (version >= kWireVersionBinary && options_.chunk_threshold > 0 &&
+             response.size() >= options_.chunk_threshold) {
+    // Stream the response: all chunk parts reference ONE shared buffer.
+    auto body = std::make_shared<const std::string>(std::move(response));
+    const auto cuts = wire::WireChunker().Split(*body);
+    Sha256 manifest;
+    parts.reserve(cuts.size() + 1);
+    for (const auto& [offset, length] : cuts) {
+      const Hash256 address = wire::WireChunkAddress(
+          std::string_view(body->data() + offset, length));
+      manifest.Update(address.bytes.data(), address.bytes.size());
+      OutPart part;
+      AppendFrameHeader(&part.header, FrameType::kChunk, id,
+                        static_cast<uint32_t>(length), version);
+      part.body = body;
+      part.body_off = offset;
+      part.body_len = length;
+      parts.push_back(std::move(part));
+    }
+    const std::string end_payload =
+        wire::EncodeChunkEnd(body->size(), cuts.size(), manifest.Finish());
+    OutPart end;
+    AppendFrame(&end.header, FrameType::kChunkEnd, id, end_payload, version);
+    parts.push_back(std::move(end));
+  } else {
+    OutPart part;
+    AppendFrameHeader(&part.header, FrameType::kData, id,
+                      static_cast<uint32_t>(response.size()), version);
+    const size_t length = response.size();
+    part.body = std::make_shared<const std::string>(std::move(response));
+    part.body_off = 0;
+    part.body_len = length;
+    parts.push_back(std::move(part));
+  }
+  {
+    std::lock_guard<std::mutex> lock(connection->mu);
+    if (connection->closed) return;
+    for (OutPart& part : parts) {
+      connection->outbox.push_back(std::move(part));
+    }
+  }
+  NotifyWritable(connection);
+}
+
+void SocketTransportServer::NotifyWritable(
+    std::shared_ptr<Connection> connection) {
+  {
+    std::lock_guard<std::mutex> lock(notify_mu_);
+    notify_.push_back(std::move(connection));
+  }
+  uint64_t one = 1;
+  ssize_t written = ::write(wake_fd_, &one, sizeof(one));
+  (void)written;  // eventfd writes only fail when shutting down
 }
 
 void SocketTransportServer::Shutdown() {
-  std::vector<std::unique_ptr<Connection>> to_join;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shutting_down_ && listen_fd_ < 0 && connections_.empty()) {
-      return;  // idempotent: a second Shutdown finds nothing to do
+  for (;;) {
+    ServerState state = state_.load(std::memory_order_acquire);
+    if (state == ServerState::kStopped) return;
+    if (state == ServerState::kInitial) {
+      if (state_.compare_exchange_strong(state, ServerState::kStopped,
+                                         std::memory_order_acq_rel)) {
+        if (listen_fd_ >= 0) {
+          ::close(listen_fd_);
+          listen_fd_ = -1;
+        }
+        if (endpoint_.kind == Endpoint::Kind::kUnix) {
+          ::unlink(endpoint_.path.c_str());
+        }
+        return;
+      }
+      continue;
     }
-    shutting_down_ = true;
-    // Half-close only: the blocked accept() returns, but the fd number
-    // stays reserved until the accept thread is joined — close()ing here
-    // would let the kernel recycle it to an unrelated socket that the
-    // still-running AcceptLoop then accept()s on.
-    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-    for (auto& connection : connections_) {
-      if (connection->fd >= 0) ::shutdown(connection->fd, SHUT_RDWR);
+    if (state == ServerState::kStarted) {
+      if (state_.compare_exchange_strong(state, ServerState::kStopping,
+                                         std::memory_order_acq_rel)) {
+        break;  // this thread performs the teardown
+      }
+      continue;
     }
-    to_join.swap(connections_);
+    // kStarting (Serve mid-flight) or kStopping (another thread tearing
+    // down): wait for the transition to settle.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
+
+  stop_.store(true, std::memory_order_release);
+  uint64_t one = 1;
+  ssize_t written = ::write(wake_fd_, &one, sizeof(one));
+  (void)written;
+  if (loop_thread_.joinable()) loop_thread_.join();
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (listen_fd_ >= 0) {
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-    }
+    std::lock_guard<std::mutex> lock(work_mu_);
+    workers_stop_ = true;
   }
-  for (auto& connection : to_join) {
-    if (connection->thread.joinable()) connection->thread.join();
-    if (connection->fd >= 0) ::close(connection->fd);
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  wake_fd_ = epoll_fd_ = -1;
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
   }
   if (endpoint_.kind == Endpoint::Kind::kUnix) {
     ::unlink(endpoint_.path.c_str());
   }
-}
-
-uint64_t SocketTransportServer::connections_accepted() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return connections_accepted_;
+  state_.store(ServerState::kStopped, std::memory_order_release);
 }
 
 }  // namespace mlcask::storage

@@ -3,7 +3,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -14,6 +16,7 @@
 #include "storage/endpoint.h"
 #include "storage/frame.h"
 #include "storage/transport.h"
+#include "storage/wire_codec.h"
 
 namespace mlcask::storage {
 
@@ -25,13 +28,26 @@ namespace mlcask::storage {
 /// turns the sharded engine's N-shard fan-outs into N OVERLAPPED round
 /// trips — the serial-loop latency multiplier the blocking API had is gone.
 ///
+/// Wire-speed details (version 2 sessions):
+///   * sends are scatter-gather — the 14-byte header and the payload go out
+///     as one sendmsg iovec, never coalesced into a copy;
+///   * payloads at or above options.chunk_threshold are streamed as
+///     content-defined CHUNK frames (shared correlation id, manifest-hashed
+///     CHUNK_END), so the peer's receive buffer stays O(chunk), not
+///     O(value), and the receiving shard can dedupe identical chunks;
+///   * incoming chunk streams are reassembled and integrity-checked before
+///     the waiter sees the value.
+/// set_wire_version(kWireVersionJson) drops the session to version-1 frames
+/// (monolithic, JSON-era) — codec negotiation uses it when the peer is an
+/// older build.
+///
 /// Failure surface (all as statuses, never hangs):
 ///   connect refused / no such socket      Unavailable (from Connect)
 ///   peer closes / resets mid-call         Unavailable, fails EVERY pending
 ///   call outliving options.call_timeout   DeadlineExceeded (Call/CallMany)
 ///   wire-format version skew              Unimplemented (from the peer's
 ///                                         error frame, or local decode)
-///   garbled stream                        Corruption, connection abandoned
+///   garbled stream / bad chunk manifest   Corruption, connection abandoned
 ///
 /// stats() is a consistent snapshot under one mutex, same contract as
 /// LoopbackTransport; completed calls count {calls, request, response} as
@@ -46,6 +62,12 @@ class SocketTransport : public Transport {
     uint64_t call_timeout_ms = 30000;
     /// Reject frames above this payload size as corrupt.
     uint32_t max_frame_payload = kMaxFramePayload;
+    /// Payloads at or above this size are chunk-streamed on version-2
+    /// sessions. 0 disables streaming.
+    size_t chunk_threshold = wire::kDefaultChunkThreshold;
+    /// Initial wire version stamped on outgoing frames. Tests forge old
+    /// peers with kWireVersionJson; production uses the default.
+    uint8_t wire_version = kWireVersionBinary;
   };
 
   /// Connects to `endpoint` (unix: or tcp:). Connection failures surface as
@@ -79,6 +101,12 @@ class SocketTransport : public Transport {
   uint64_t call_timeout_ms() const override {
     return options_.call_timeout_ms;
   }
+  uint8_t wire_version() const override {
+    return wire_version_.load(std::memory_order_relaxed);
+  }
+  void set_wire_version(uint8_t version) override {
+    wire_version_.store(version, std::memory_order_relaxed);
+  }
 
  private:
   SocketTransport(int fd, Endpoint endpoint, Options options);
@@ -94,6 +122,10 @@ class SocketTransport : public Transport {
       TransportFuture* future, uint64_t id,
       std::chrono::steady_clock::time_point deadline);
 
+  /// Streams one large payload as CHUNK frames + CHUNK_END, all from one
+  /// scatter-gather iovec batch under the write lock.
+  Status SendChunked(uint64_t id, uint8_t version, std::string_view payload);
+
   void ReaderLoop();
   /// Fails every pending call with `status` and marks the session broken.
   void FailAllPending(const Status& status);
@@ -106,6 +138,7 @@ class SocketTransport : public Transport {
   const Endpoint endpoint_;
   const Options options_;
   int fd_ = -1;
+  std::atomic<uint8_t> wire_version_;
 
   std::mutex write_mu_;  ///< Serializes frame writes (frames stay whole).
 
@@ -120,11 +153,37 @@ class SocketTransport : public Transport {
   std::thread reader_;
 };
 
-/// Server half: binds a unix:/tcp: endpoint, accepts connections, and pumps
-/// each connection's request frames through the TransportHandler, writing
-/// response frames correlated by id. Requests on ONE connection are handled
-/// in arrival order (the per-shard ordering the 2PC apply phase relies on);
-/// separate connections are handled concurrently on their own threads.
+/// Lifecycle of the event-loop server, in start order. Transitions are
+/// one-way: kInitial -> kStarting -> kStarted -> kStopping -> kStopped
+/// (Bind-then-destroy goes kInitial -> kStopped directly). Borrowed from
+/// the explicit pipeline start/stop discipline so every thread knows which
+/// resources exist at any point — no half-started servers.
+enum class ServerState : uint8_t {
+  kInitial = 0,   ///< Bound, not serving.
+  kStarting = 1,  ///< Serve() is bringing up the loop + workers.
+  kStarted = 2,   ///< Event loop running, accepting connections.
+  kStopping = 3,  ///< Shutdown() in progress.
+  kStopped = 4,   ///< Everything joined and closed. Terminal.
+};
+
+/// Server half: binds a unix:/tcp: endpoint and serves every connection
+/// from ONE epoll event loop over nonblocking sockets — no thread per
+/// connection, so thousands of idle clients cost one thread and their fds.
+///
+///   * The loop owns all sockets: it accepts, reads into each connection's
+///     incremental FrameDecoder, and flushes responses with scatter-gather
+///     sendmsg from a per-connection iovec queue (header + payload parts,
+///     never coalesced; EPOLLOUT is armed only while a flush would block).
+///   * Handlers run on a small worker pool so the loop never blocks on
+///     application work. Requests on ONE connection are handled in arrival
+///     order (a per-connection job strand — the per-shard ordering the 2PC
+///     apply phase relies on); separate connections proceed concurrently.
+///   * Incoming chunk streams are reassembled per connection and deduped
+///     through a server-wide WireChunkCache: identical chunks across
+///     values, versions, and clients hash/store once (wire_chunk_stats()).
+///   * Responses at or above chunk_threshold stream back as CHUNK frames
+///     on version-2 connections; responses are stamped with the REQUEST's
+///     wire version, so a version-1 client of this server keeps working.
 ///
 /// Version skew and garbled streams are answered per the frame contract:
 /// a well-framed request in an unknown wire version gets an Unimplemented
@@ -135,6 +194,16 @@ class SocketTransportServer : public TransportServer {
  public:
   struct Options {
     uint32_t max_frame_payload = kMaxFramePayload;
+    /// Responses at or above this size stream as chunk frames (version-2
+    /// connections only). 0 disables streaming.
+    size_t chunk_threshold = wire::kDefaultChunkThreshold;
+    /// Newest wire version accepted/stamped. Tests forge an old server
+    /// with kWireVersionJson to exercise negotiation.
+    uint8_t max_wire_version = kWireVersionBinary;
+    /// Handler worker pool size.
+    size_t worker_threads = 4;
+    /// Receive-side chunk cache capacity (bytes of retained chunk data).
+    size_t chunk_cache_bytes = 64u << 20;
   };
 
   /// Binds and listens. unix: paths are unlinked first (stale socket files
@@ -159,41 +228,106 @@ class SocketTransportServer : public TransportServer {
   void Shutdown() override;
   std::string endpoint() const override { return endpoint_.ToString(); }
 
+  ServerState state() const { return state_.load(std::memory_order_acquire); }
+
   /// Connections accepted over the server's lifetime (telemetry/tests).
-  uint64_t connections_accepted() const;
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+
+  /// Receive-side chunk dedup accounting (telemetry/tests/bench).
+  ChunkStoreStats wire_chunk_stats() const { return chunk_cache_.stats(); }
 
  private:
-  /// One accepted connection: its socket, its pump thread, and a done flag
-  /// the reaper polls. The fd is closed by whichever side retires it —
-  /// ConnectionLoop on peer disconnect (fd set to -1 under mu_), Shutdown
-  /// otherwise.
+  /// One queued piece of outgoing data: a frame header plus an optional
+  /// slice of a shared payload. The payload body is shared_ptr-owned so N
+  /// chunk parts of one response reference one buffer — zero coalescing.
+  struct OutPart {
+    std::string header;
+    size_t header_off = 0;
+    std::shared_ptr<const std::string> body;
+    size_t body_off = 0;
+    size_t body_len = 0;
+  };
+
+  /// One decoded request awaiting a worker.
+  struct Job {
+    FrameType type = FrameType::kData;
+    uint64_t id = 0;
+    uint8_t version = kWireVersion;
+    std::string payload;
+  };
+
+  /// Per-connection state. The event loop owns fd/decoder/outbox flushing;
+  /// exactly one worker at a time drains `jobs` (the strand), preserving
+  /// arrival order. `mu` guards the cross-thread fields.
   struct Connection {
+    std::mutex mu;
     int fd = -1;
-    std::thread thread;
-    std::atomic<bool> done{false};
+    bool closed = false;
+    uint32_t epoll_events = 0;  ///< Currently armed event mask.
+    FrameDecoder decoder;
+    wire::StreamAssembler assembler;
+    std::deque<Job> jobs;
+    bool job_active = false;  ///< A worker currently owns the strand.
+    std::deque<OutPart> outbox;
+
+    Connection(uint32_t max_payload, uint8_t max_version,
+               wire::WireChunkCache* cache)
+        : decoder(max_payload, max_version),
+          assembler(max_payload, cache) {}
   };
 
   SocketTransportServer(int listen_fd, Endpoint endpoint, Options options);
 
-  void AcceptLoop();
-  void ConnectionLoop(Connection* connection);
-  /// Joins and erases finished connections (called from the accept loop so
-  /// a long-lived server does not accumulate one dead thread + fd per
-  /// client that ever disconnected). Caller holds mu_.
-  void ReapFinishedLocked();
+  void LoopThread();
+  void WorkerThread();
+
+  void AcceptReady();
+  void ReadReady(const std::shared_ptr<Connection>& connection);
+  /// Flushes the outbox with scatter-gather sendmsg until empty or EAGAIN;
+  /// arms/disarms EPOLLOUT accordingly. Event-loop thread only. Returns
+  /// false when the peer is gone and the caller must CloseConnection.
+  bool FlushConnection(const std::shared_ptr<Connection>& connection);
+  /// Event-loop thread only: deregisters, closes, forgets.
+  void CloseConnection(const std::shared_ptr<Connection>& connection);
+
+  /// Worker side: runs the handler for one job and enqueues the response
+  /// (monolithic or chunk-streamed), then pokes the loop to flush.
+  void ProcessJob(const std::shared_ptr<Connection>& connection, Job job);
+  void EnqueueResponse(const std::shared_ptr<Connection>& connection,
+                       uint64_t id, uint8_t version, std::string response);
+  /// Thread safe: queues `connection` for a loop-thread flush and wakes it.
+  void NotifyWritable(std::shared_ptr<Connection> connection);
+  /// Thread safe: half-closes the socket so the loop retires it (workers
+  /// never close fds — the loop owns them).
+  static void AbortConnection(const std::shared_ptr<Connection>& connection);
 
   Endpoint endpoint_;
   Options options_;
   int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
   TransportHandler handler_;
+  wire::WireChunkCache chunk_cache_;
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Connection>> connections_;
-  uint64_t connections_accepted_ = 0;
-  bool shutting_down_ = false;
-  bool serving_ = false;
+  std::atomic<ServerState> state_{ServerState::kInitial};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> connections_accepted_{0};
 
-  std::thread accept_thread_;
+  /// Loop-thread-only registry keeping connections alive while registered.
+  std::unordered_map<int, std::shared_ptr<Connection>> connections_;
+
+  std::mutex notify_mu_;
+  std::vector<std::shared_ptr<Connection>> notify_;  ///< Pending flushes.
+
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Connection>> work_queue_;
+  bool workers_stop_ = false;
+
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace mlcask::storage

@@ -20,6 +20,12 @@ struct TransportStats {
   uint64_t request_bytes = 0;   ///< Serialized request payload, total.
   uint64_t response_bytes = 0;  ///< Serialized response payload, total.
   uint64_t transport_errors = 0;  ///< Round trips failed below the app layer.
+  uint64_t chunk_frames_sent = 0;      ///< Streamed-transfer frames out.
+  uint64_t chunk_frames_received = 0;  ///< Streamed-transfer frames in.
+  /// High-water mark of the frame receive buffer. With chunk streaming this
+  /// stays O(chunk size) even for multi-MiB values — the acceptance bound
+  /// the transport tests assert. 0 for transports without a wire.
+  uint64_t peak_decoder_buffer_bytes = 0;
 };
 
 // TransportFuture (the completion handle AsyncCall returns) lives in
@@ -94,6 +100,14 @@ class Transport {
   /// Get() with it so a connected-but-wedged peer cannot hang a fan-out.
   /// Zero-latency in-process transports have nothing to bound.
   virtual uint64_t call_timeout_ms() const { return 0; }
+
+  /// Wire-format version stamped on outgoing frames, for transports with a
+  /// framed wire (0 = not frame-based, e.g. loopback). Codec negotiation
+  /// calls set_wire_version to drop a session to the JSON-era version when
+  /// the peer answers binary requests with Unimplemented; the defaults make
+  /// both no-ops for wireless transports.
+  virtual uint8_t wire_version() const { return 0; }
+  virtual void set_wire_version(uint8_t /*version*/) {}
 };
 
 /// The SERVER half of the transport API: binds an endpoint, pumps incoming

@@ -1,0 +1,221 @@
+#ifndef MLCASK_STORAGE_WIRE_CODEC_H_
+#define MLCASK_STORAGE_WIRE_CODEC_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/sha256.h"
+#include "common/status.h"
+#include "storage/chunk_store.h"
+#include "storage/chunker.h"
+#include "storage/storage_engine.h"
+
+namespace mlcask::storage::wire {
+
+// ---------------------------------------------------------------------------
+// Binary wire codec (wire version 2).
+//
+// Every message is:
+//
+//   byte 0        magic 0xBC — never '{', so one byte distinguishes a binary
+//                 message from a JSON one and a service can serve both
+//   byte 1        request: opcode (Method); response: status code (0 = ok)
+//   varint        meta section length
+//   meta section  tagged fields, each: key varint ((tag << 2) | kind), then
+//                   kind 0 varint   value varint
+//                   kind 1 bytes    varint length + bytes
+//                   kind 2 hash     32 raw bytes
+//                   kind 3 f64      8 bytes little-endian IEEE double
+//                 unknown tags are skipped (forward compatibility)
+//   body          the REST of the message, verbatim — artifact bytes live
+//                 here, so encoding a put is one memcpy and decoding returns
+//                 a string_view into the receive buffer: no hex doubling, no
+//                 re-parse, no copy on proxy hops
+// ---------------------------------------------------------------------------
+
+inline constexpr uint8_t kBinaryMagic = 0xBC;
+
+/// True when `message` is a binary-codec message (vs JSON, which starts
+/// with '{'). The empty string is neither and counts as JSON so the JSON
+/// path produces its usual parse error.
+inline bool IsBinaryMessage(std::string_view message) {
+  return !message.empty() &&
+         static_cast<uint8_t>(message[0]) == kBinaryMagic;
+}
+
+/// RPC opcodes, one per StorageEngine method. Values are frozen on the wire.
+enum class Method : uint8_t {
+  kPut = 1,
+  kPutMany = 2,
+  kGet = 3,
+  kGetVersion = 4,
+  kHasVersion = 5,
+  kVersions = 6,
+  kListAllVersions = 7,
+  kDeleteVersion = 8,
+  kStats = 9,
+  kName = 10,
+  kReadCost = 11,
+};
+
+// Varint / field primitives (exposed for tests and the chunk-end codec).
+void PutVarint(std::string* out, uint64_t v);
+bool GetVarint(std::string_view* in, uint64_t* v);
+
+// --- request encoding (client side) ---------------------------------------
+
+/// Put: meta {key}, body = artifact bytes verbatim (single memcpy).
+std::string EncodePutRequest(std::string_view key, std::string_view data);
+/// PutMany: meta {count}, body = count x [varint key_len, key,
+/// varint data_len, data].
+std::string EncodePutManyRequest(const std::vector<PutRequest>& batch);
+/// Get / Versions: meta {key}.
+std::string EncodeKeyRequest(Method method, std::string_view key);
+/// GetVersion / HasVersion / DeleteVersion: meta {id}.
+std::string EncodeIdRequest(Method method, const Hash256& id);
+/// Stats / Name / ListAllVersions: empty meta.
+std::string EncodePlainRequest(Method method);
+/// ReadCost: meta {bytes}.
+std::string EncodeReadCostRequest(uint64_t bytes);
+
+/// A decoded request. Views point INTO the request message — zero copy; the
+/// message must outlive the views.
+struct Request {
+  Method method = Method::kName;
+  std::string_view key;
+  Hash256 id;
+  uint64_t bytes = 0;         ///< kReadCost operand.
+  std::string_view body;      ///< kPut: artifact bytes, verbatim.
+  std::vector<std::pair<std::string_view, std::string_view>> batch;
+};
+StatusOr<Request> DecodeRequest(std::string_view message);
+
+// --- response encoding (server side) ---------------------------------------
+
+std::string EncodeErrorResponse(const Status& status);
+/// Get / GetVersion: body = data verbatim. Name: body = name bytes.
+std::string EncodeDataResponse(std::string_view data);
+std::string EncodePutResponse(const PutResult& result);
+std::string EncodePutManyResponse(const std::vector<PutResult>& results);
+std::string EncodeHasResponse(bool has);
+std::string EncodeFreedResponse(uint64_t freed_bytes);
+/// Versions: body = concatenated 32-byte ids.
+std::string EncodeVersionsResponse(const std::vector<Hash256>& ids);
+/// ListAllVersions: body = entries x [varint key_len, key, 32-byte id].
+std::string EncodeEntriesResponse(
+    const std::vector<std::pair<std::string, Hash256>>& entries);
+std::string EncodeStatsResponse(const EngineStats& stats);
+std::string EncodeCostResponse(double cost_s);
+
+// --- response decoding (client side) ---------------------------------------
+
+/// Strips magic + status byte. Ok: *rest = the remainder (meta + body).
+/// Error responses decode back into the exact remote Status.
+Status DecodeResponseStatus(std::string_view message, std::string_view* rest);
+/// Zero copy: the returned view points into `message`.
+StatusOr<std::string_view> DecodeDataResponse(std::string_view message);
+StatusOr<PutResult> DecodePutResponse(std::string_view message);
+StatusOr<std::vector<PutResult>> DecodePutManyResponse(
+    std::string_view message, size_t expected);
+StatusOr<bool> DecodeHasResponse(std::string_view message);
+StatusOr<uint64_t> DecodeFreedResponse(std::string_view message);
+StatusOr<std::vector<Hash256>> DecodeVersionsResponse(
+    std::string_view message);
+StatusOr<std::vector<std::pair<std::string, Hash256>>> DecodeEntriesResponse(
+    std::string_view message);
+StatusOr<EngineStats> DecodeStatsResponse(std::string_view message);
+StatusOr<double> DecodeCostResponse(std::string_view message);
+
+/// Server-side dispatch of one binary request against an engine; the binary
+/// twin of the JSON Dispatch in remote_engine.cc. Malformed requests produce
+/// a binary error response, never a crash.
+std::string DispatchBinary(StorageEngine* engine, std::string_view request);
+
+// ---------------------------------------------------------------------------
+// Chunk streaming (wire version 2): payloads at or above the threshold are
+// cut by the content-defined wire chunker and sent as CHUNK frames sharing
+// the correlation id, terminated by a CHUNK_END frame carrying the manifest.
+// ---------------------------------------------------------------------------
+
+/// Default payload size from which transports stream instead of sending one
+/// monolithic frame.
+inline constexpr size_t kDefaultChunkThreshold = 256u << 10;  // 256 KiB
+
+/// The shared content-defined cutter for wire streaming: Gear CDC with
+/// 16 KiB / 64 KiB / 256 KiB min/avg/max. Deterministic (fixed gear table),
+/// so both sides of a connection — and different versions of the same
+/// artifact — cut identical content into identical chunks, which is what
+/// makes the receiving shard's chunk cache dedupe across versions.
+const Chunker& WireChunker();
+
+/// CHUNK_END payload: varint total_bytes, varint chunk_count, 32-byte
+/// manifest (SHA-256 over the concatenated chunk addresses).
+std::string EncodeChunkEnd(uint64_t total_bytes, uint64_t chunk_count,
+                           const Hash256& manifest);
+Status DecodeChunkEnd(std::string_view payload, uint64_t* total_bytes,
+                      uint64_t* chunk_count, Hash256* manifest);
+
+/// The address of one wire chunk (the unit the stream manifest hashes and
+/// the receive-side cache dedupes on).
+Hash256 WireChunkAddress(std::string_view chunk);
+
+/// Receive-side content-addressable chunk cache: identical chunks arriving
+/// on any connection — across values, versions, and clients — are hashed
+/// once and counted as dedup hits. Capacity-capped FIFO so a long-lived
+/// server retains recent chunks (cross-version dedup) without growing
+/// without bound. Thread safe (the underlying ChunkStore's mutations are
+/// externally serialized here, per its contract).
+class WireChunkCache {
+ public:
+  explicit WireChunkCache(size_t max_bytes) : max_bytes_(max_bytes) {}
+
+  /// Adds one chunk, returning its address. A repeat of a retained chunk is
+  /// a dedup hit (refcounted, no second copy stored).
+  Hash256 Add(std::string_view chunk);
+
+  ChunkStoreStats stats() const;
+
+ private:
+  const size_t max_bytes_;
+  mutable std::mutex mu_;
+  ChunkStore store_;
+  /// Retention order; every Add pushes one entry holding one reference.
+  std::vector<Hash256> retained_;
+  size_t evict_at_ = 0;  ///< Front of the FIFO within retained_.
+};
+
+/// Reassembles chunk streams, one per correlation id. OnChunk accumulates;
+/// OnEnd verifies count/size/manifest and returns the whole value. Single
+/// threaded per instance (each connection owns one). With a cache attached
+/// every received chunk is also deposited there for cross-stream dedup.
+class StreamAssembler {
+ public:
+  explicit StreamAssembler(size_t max_total_bytes,
+                           WireChunkCache* cache = nullptr)
+      : max_total_(max_total_bytes), cache_(cache) {}
+
+  Status OnChunk(uint64_t id, std::string_view chunk);
+  StatusOr<std::string> OnEnd(uint64_t id, std::string_view end_payload);
+
+  size_t active_streams() const { return streams_.size(); }
+
+ private:
+  struct Stream {
+    std::string data;
+    Sha256 manifest;
+    uint64_t chunks = 0;
+  };
+
+  const size_t max_total_;
+  WireChunkCache* cache_;
+  std::unordered_map<uint64_t, Stream> streams_;
+};
+
+}  // namespace mlcask::storage::wire
+
+#endif  // MLCASK_STORAGE_WIRE_CODEC_H_

@@ -23,7 +23,10 @@
 #include <vector>
 
 #include "storage/endpoint.h"
+#include "storage/forkbase_engine.h"
 #include "storage/frame.h"
+#include "storage/remote_engine.h"
+#include "storage/wire_codec.h"
 
 namespace mlcask::storage {
 namespace {
@@ -451,6 +454,237 @@ TEST(SocketTransportTest, GarbledStreamClosesConnectionWithStatuses) {
   auto response = (*transport)->Call("after-garbage");
   ASSERT_TRUE(response.ok()) << response.status();
   EXPECT_EQ(*response, "x");
+}
+
+// ------------------------------------------------ chunk streaming (v2) ---
+
+TEST(SocketTransportTest, ChunkStreamedRoundTripBoundsTheReceiveBuffer) {
+  const std::string spec = "unix:" + TempSocketPath("chunked");
+  SocketTransportServer::Options server_options;
+  server_options.chunk_threshold = 32 * 1024;
+  auto server = SocketTransportServer::Bind(spec, server_options);
+  ASSERT_TRUE(server.ok()) << server.status();
+  ASSERT_TRUE((*server)
+                  ->Serve([](std::string_view request) {
+                    return std::string(request);  // echo: streams back too
+                  })
+                  .ok());
+
+  SocketTransport::Options client_options;
+  client_options.chunk_threshold = 32 * 1024;
+  auto transport = SocketTransport::Connect(spec, client_options);
+  ASSERT_TRUE(transport.ok()) << transport.status();
+
+  // Patterned (not constant) payload so the content-defined chunker cuts
+  // realistically.
+  std::string payload(4 * 1024 * 1024, '\0');
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>((i * 2654435761u) >> 11);
+  }
+  auto echoed = (*transport)->Call(payload);
+  ASSERT_TRUE(echoed.ok()) << echoed.status();
+  EXPECT_EQ(*echoed, payload);
+
+  TransportStats stats = (*transport)->stats();
+  EXPECT_GT(stats.chunk_frames_sent, 1u);
+  EXPECT_GT(stats.chunk_frames_received, 1u);
+  // THE acceptance bound: the client's receive buffer peaked at O(chunk),
+  // not O(value) — a monolithic 4 MiB response would show ~payload here.
+  EXPECT_LT(stats.peak_decoder_buffer_bytes * 4, payload.size());
+
+  // The same value sent again is pure dedup on the receiving shard.
+  ChunkStoreStats before = (*server)->wire_chunk_stats();
+  ASSERT_TRUE((*transport)->Call(payload).ok());
+  ChunkStoreStats after = (*server)->wire_chunk_stats();
+  EXPECT_GT(after.dedup_hits, before.dedup_hits);
+  EXPECT_EQ(after.physical_bytes, before.physical_bytes);
+}
+
+TEST(SocketTransportTest, ChunkEndWithoutStreamClosesTheConnection) {
+  const std::string path = TempSocketPath("chunk-orphan");
+  auto server = SocketTransportServer::Bind("unix:" + path);
+  ASSERT_TRUE(server.ok()) << server.status();
+  ASSERT_TRUE((*server)->Serve([](std::string_view) { return "x"; }).ok());
+
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::string wire;
+  AppendFrame(&wire, FrameType::kChunkEnd, 9,
+              wire::EncodeChunkEnd(0, 0, Hash256{}));
+  ASSERT_EQ(::send(fd, wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+  char buf[64];
+  EXPECT_EQ(::read(fd, buf, sizeof(buf)), 0);  // closed, not hung
+  ::close(fd);
+
+  // Honest connections still work afterwards.
+  auto transport = SocketTransport::Connect("unix:" + path);
+  ASSERT_TRUE(transport.ok());
+  auto response = (*transport)->Call("after");
+  ASSERT_TRUE(response.ok()) << response.status();
+}
+
+TEST(SocketTransportTest, GarbledChunkManifestClosesTheConnection) {
+  const std::string path = TempSocketPath("chunk-garble");
+  auto server = SocketTransportServer::Bind("unix:" + path);
+  ASSERT_TRUE(server.ok()) << server.status();
+  ASSERT_TRUE((*server)->Serve([](std::string_view) { return "x"; }).ok());
+
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  // Two chunk frames, then an END whose manifest does not match: integrity
+  // check fails, the stream cannot be trusted, the connection dies.
+  std::string wire;
+  AppendFrame(&wire, FrameType::kChunk, 11, "part-one");
+  AppendFrame(&wire, FrameType::kChunk, 11, "part-two");
+  Hash256 wrong;
+  wrong.bytes.fill(0xEE);
+  AppendFrame(&wire, FrameType::kChunkEnd, 11,
+              wire::EncodeChunkEnd(16, 2, wrong));
+  ASSERT_EQ(::send(fd, wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+  char buf[64];
+  EXPECT_EQ(::read(fd, buf, sizeof(buf)), 0);
+  ::close(fd);
+
+  // A truncated stream (chunks, then the peer vanishes) must also leave
+  // the server serving; the half-built stream is garbage-collected with
+  // the connection.
+  int fd2 = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd2, 0);
+  ASSERT_EQ(::connect(fd2, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::string partial;
+  AppendFrame(&partial, FrameType::kChunk, 12, "never-finished");
+  ASSERT_EQ(::send(fd2, partial.data(), partial.size(), 0),
+            static_cast<ssize_t>(partial.size()));
+  ::close(fd2);
+
+  auto transport = SocketTransport::Connect("unix:" + path);
+  ASSERT_TRUE(transport.ok());
+  auto response = (*transport)->Call("after");
+  ASSERT_TRUE(response.ok()) << response.status();
+}
+
+// ------------------------------------------------- version-skew matrix ---
+
+TEST(SocketTransportTest, AutoCodecNegotiatesDownAgainstAnOldServer) {
+  // An "old" server: max wire version 1 (JSON era). A default client's
+  // binary hello bounces with a correlated Unimplemented ERROR frame; the
+  // kAuto proxy drops the session to JSON and everything works.
+  const std::string spec = "unix:" + TempSocketPath("negotiate");
+  SocketTransportServer::Options old_options;
+  old_options.max_wire_version = kWireVersionJson;
+  auto server = SocketTransportServer::Bind(spec, old_options);
+  ASSERT_TRUE(server.ok()) << server.status();
+  StorageEngineService service(std::make_unique<ForkBaseEngine>());
+  ASSERT_TRUE((*server)
+                  ->Serve([&service](std::string_view request) {
+                    return service.Handle(request);
+                  })
+                  .ok());
+
+  auto transport = SocketTransport::Connect(spec);
+  ASSERT_TRUE(transport.ok()) << transport.status();
+  RemoteStorageEngine remote(*std::move(transport), WireCodec::kAuto);
+  EXPECT_EQ(remote.codec(), WireCodec::kJson);
+  EXPECT_EQ(remote.transport()->wire_version(), kWireVersionJson);
+  EXPECT_EQ(remote.Name(), "remote(forkbase)");
+  auto put = remote.Put("k", "negotiated-value");
+  ASSERT_TRUE(put.ok()) << put.status();
+  auto get = remote.Get("k");
+  ASSERT_TRUE(get.ok()) << get.status();
+  EXPECT_EQ(*get, "negotiated-value");
+}
+
+TEST(SocketTransportTest, ForcedBinaryAgainstAnOldServerFailsTyped) {
+  const std::string spec = "unix:" + TempSocketPath("forced-binary");
+  SocketTransportServer::Options old_options;
+  old_options.max_wire_version = kWireVersionJson;
+  auto server = SocketTransportServer::Bind(spec, old_options);
+  ASSERT_TRUE(server.ok()) << server.status();
+  StorageEngineService service(std::make_unique<ForkBaseEngine>());
+  ASSERT_TRUE((*server)
+                  ->Serve([&service](std::string_view request) {
+                    return service.Handle(request);
+                  })
+                  .ok());
+
+  auto transport = SocketTransport::Connect(spec);
+  ASSERT_TRUE(transport.ok()) << transport.status();
+  RemoteStorageEngine remote(*std::move(transport), WireCodec::kBinary);
+  EXPECT_EQ(remote.codec(), WireCodec::kBinary);  // no silent downgrade
+  auto put = remote.Put("k", "v");
+  ASSERT_FALSE(put.ok());  // typed failure, never a hang or corruption
+  EXPECT_EQ(put.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(SocketTransportTest, JsonClientAgainstACurrentServerStillWorks) {
+  // One version back stays supported: a JSON-era client (v1 frames, JSON
+  // codec) against a current server.
+  const std::string spec = "unix:" + TempSocketPath("old-client");
+  auto server = SocketTransportServer::Bind(spec);
+  ASSERT_TRUE(server.ok()) << server.status();
+  StorageEngineService service(std::make_unique<ForkBaseEngine>());
+  ASSERT_TRUE((*server)
+                  ->Serve([&service](std::string_view request) {
+                    return service.Handle(request);
+                  })
+                  .ok());
+
+  SocketTransport::Options old_client;
+  old_client.wire_version = kWireVersionJson;
+  auto transport = SocketTransport::Connect(spec, old_client);
+  ASSERT_TRUE(transport.ok()) << transport.status();
+  RemoteStorageEngine remote(*std::move(transport), WireCodec::kJson);
+  EXPECT_EQ(remote.Name(), "remote(forkbase)");
+  auto put = remote.Put("legacy", "payload");
+  ASSERT_TRUE(put.ok()) << put.status();
+  auto get = remote.Get("legacy");
+  ASSERT_TRUE(get.ok()) << get.status();
+  EXPECT_EQ(*get, "payload");
+}
+
+// ------------------------------------------------------ server lifecycle ---
+
+TEST(SocketTransportTest, ServerLifecycleStatesAreOneWay) {
+  const std::string spec = "unix:" + TempSocketPath("lifecycle");
+  auto server = SocketTransportServer::Bind(spec);
+  ASSERT_TRUE(server.ok()) << server.status();
+  EXPECT_EQ((*server)->state(), ServerState::kInitial);
+
+  ASSERT_TRUE((*server)->Serve([](std::string_view) { return ""; }).ok());
+  EXPECT_EQ((*server)->state(), ServerState::kStarted);
+
+  Status again = (*server)->Serve([](std::string_view) { return ""; });
+  ASSERT_FALSE(again.ok());
+  EXPECT_TRUE(again.code() == StatusCode::kFailedPrecondition);
+
+  (*server)->Shutdown();
+  EXPECT_EQ((*server)->state(), ServerState::kStopped);
+  (*server)->Shutdown();  // idempotent
+  EXPECT_EQ((*server)->state(), ServerState::kStopped);
+
+  Status after = (*server)->Serve([](std::string_view) { return ""; });
+  ASSERT_FALSE(after.ok());
+  EXPECT_TRUE(after.code() == StatusCode::kFailedPrecondition);
+
+  // Bind-then-destroy (never served) goes kInitial -> kStopped cleanly.
+  auto idle = SocketTransportServer::Bind(
+      "unix:" + TempSocketPath("lifecycle-idle"));
+  ASSERT_TRUE(idle.ok());
+  (*idle)->Shutdown();
+  EXPECT_EQ((*idle)->state(), ServerState::kStopped);
 }
 
 TEST(SocketTransportTest, StatsStayConsistentUnderConcurrentCalls) {

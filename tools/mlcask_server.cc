@@ -15,6 +15,7 @@
 
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -34,7 +35,8 @@ void HandleStop(int) { g_stop = 1; }
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --endpoint <unix:/path | tcp:host:port> "
-               "[--backend forkbase|localdir]\n",
+               "[--backend forkbase|localdir] [--workers N] "
+               "[--chunk-threshold BYTES] [--chunk-cache BYTES]\n",
                argv0);
   return 2;
 }
@@ -45,6 +47,7 @@ int main(int argc, char** argv) {
   using namespace mlcask;
   std::string endpoint_spec;
   std::string backend = "forkbase";
+  storage::SocketTransportServer::Options server_options;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     auto value = [&](const char* flag) -> const char* {
@@ -62,6 +65,24 @@ int main(int argc, char** argv) {
       backend = value("--backend");
     } else if (std::strncmp(arg, "--backend=", 10) == 0) {
       backend = arg + 10;
+    } else if (std::strcmp(arg, "--workers") == 0) {
+      server_options.worker_threads =
+          static_cast<size_t>(std::strtoull(value("--workers"), nullptr, 10));
+    } else if (std::strncmp(arg, "--workers=", 10) == 0) {
+      server_options.worker_threads =
+          static_cast<size_t>(std::strtoull(arg + 10, nullptr, 10));
+    } else if (std::strcmp(arg, "--chunk-threshold") == 0) {
+      server_options.chunk_threshold = static_cast<size_t>(
+          std::strtoull(value("--chunk-threshold"), nullptr, 10));
+    } else if (std::strncmp(arg, "--chunk-threshold=", 18) == 0) {
+      server_options.chunk_threshold =
+          static_cast<size_t>(std::strtoull(arg + 18, nullptr, 10));
+    } else if (std::strcmp(arg, "--chunk-cache") == 0) {
+      server_options.chunk_cache_bytes = static_cast<size_t>(
+          std::strtoull(value("--chunk-cache"), nullptr, 10));
+    } else if (std::strncmp(arg, "--chunk-cache=", 14) == 0) {
+      server_options.chunk_cache_bytes =
+          static_cast<size_t>(std::strtoull(arg + 14, nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg);
       return Usage(argv[0]);
@@ -81,7 +102,8 @@ int main(int argc, char** argv) {
   }
   storage::StorageEngineService service(std::move(engine));
 
-  auto server = storage::SocketTransportServer::Bind(endpoint_spec);
+  auto server =
+      storage::SocketTransportServer::Bind(endpoint_spec, server_options);
   if (!server.ok()) {
     std::fprintf(stderr, "bind failed: %s\n",
                  server.status().ToString().c_str());
