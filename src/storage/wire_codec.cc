@@ -1,5 +1,6 @@
 #include "storage/wire_codec.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "storage/chunk.h"
@@ -315,6 +316,13 @@ StatusOr<Request> DecodeRequest(std::string_view message) {
   }
   request.body = body;
   if (request.method == Method::kPutMany) {
+    // The count varint is peer-controlled; each entry costs at least two
+    // length bytes, so anything beyond body.size()/2 cannot parse. Reject it
+    // here rather than handing a 2^60 count to reserve(), which would throw
+    // past the handler instead of producing an error response.
+    if (batch_count > body.size() / 2) {
+      return Status::InvalidArgument("put_many count exceeds batch body");
+    }
     request.batch.reserve(batch_count);
     std::string_view rest = body;
     for (uint64_t i = 0; i < batch_count; ++i) {
@@ -535,7 +543,9 @@ StatusOr<std::vector<std::pair<std::string, Hash256>>> DecodeEntriesResponse(
   std::vector<std::pair<std::string, Hash256>> entries;
   while (!body.empty()) {
     uint64_t key_len = 0;
-    if (!GetVarint(&body, &key_len) || body.size() < key_len + 32) {
+    // Checked without addition: key_len + 32 could wrap for a hostile varint.
+    if (!GetVarint(&body, &key_len) || body.size() < 32 ||
+        body.size() - 32 < key_len) {
       return Status::Corruption("list_all_versions entry truncated");
     }
     Hash256 id;
@@ -687,15 +697,22 @@ Hash256 WireChunkCache::Add(std::string_view chunk) {
   std::lock_guard<std::mutex> lock(mu_);
   Hash256 address = store_.Put(ChunkType::kData, chunk);
   retained_.push_back(address);
-  // Evict oldest references once over capacity. Deduped entries hold extra
-  // refs on the same chunk, so physical bytes only drop when the last
-  // retained reference goes.
-  while (store_.stats().physical_bytes > max_bytes_ &&
+  // Evict oldest references once over capacity — by physical bytes, and also
+  // by reference count: under heavy dedup every Add is a refcount bump with
+  // no physical growth, so a bytes-only cap would let retained_ grow without
+  // bound. Deduped entries hold extra refs on the same chunk, so physical
+  // bytes only drop when the last retained reference goes.
+  const size_t max_entries =
+      std::max<size_t>(1, max_bytes_ / kMinRetainedChunkBytes);
+  while ((store_.stats().physical_bytes > max_bytes_ ||
+          retained_.size() - evict_at_ > max_entries) &&
          evict_at_ < retained_.size()) {
     (void)store_.Release(retained_[evict_at_++]);
   }
-  if (evict_at_ > 0 && evict_at_ == retained_.size()) {
-    retained_.clear();
+  if (evict_at_ > 0 &&
+      (evict_at_ == retained_.size() || evict_at_ >= max_entries)) {
+    retained_.erase(retained_.begin(),
+                    retained_.begin() + static_cast<ptrdiff_t>(evict_at_));
     evict_at_ = 0;
   }
   return address;

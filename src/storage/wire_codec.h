@@ -181,6 +181,11 @@ class WireChunkCache {
   ChunkStoreStats stats() const;
 
  private:
+  /// Accounting floor for the retained-reference cap: matches WireChunker's
+  /// minimum cut size, so the FIFO holds at most max_bytes_/16KiB references
+  /// even when dedup keeps physical bytes flat.
+  static constexpr size_t kMinRetainedChunkBytes = 16u << 10;
+
   const size_t max_bytes_;
   mutable std::mutex mu_;
   ChunkStore store_;

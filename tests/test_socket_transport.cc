@@ -271,6 +271,37 @@ TEST(SocketTransportTest, AsyncCallsOverlapOnTheWire) {
   EXPECT_EQ(*second_result, "second");
 }
 
+TEST(SocketTransportTest, OversizedRequestFailsLocallyAndSessionSurvives) {
+  // With chunking disabled the whole request must fit one frame. A request
+  // above max_frame_payload has to be refused at the CLIENT with a typed
+  // status — framed and sent, the peer's decoder would see corruption and
+  // the whole multiplexed session (every other in-flight call) would die.
+  const std::string spec = "unix:" + TempSocketPath("oversize");
+  auto server = SocketTransportServer::Bind(spec);
+  ASSERT_TRUE(server.ok()) << server.status();
+  ASSERT_TRUE((*server)
+                  ->Serve([](std::string_view request) {
+                    return "echo:" + std::string(request);
+                  })
+                  .ok());
+
+  SocketTransport::Options options;
+  options.max_frame_payload = 64 * 1024;
+  options.chunk_threshold = 0;  // monolithic frames only
+  auto transport = SocketTransport::Connect((*server)->endpoint(), options);
+  ASSERT_TRUE(transport.ok()) << transport.status();
+
+  auto too_big = (*transport)->Call(std::string(128 * 1024, 'x'));
+  ASSERT_FALSE(too_big.ok());
+  EXPECT_EQ(too_big.status().code(), StatusCode::kInvalidArgument);
+
+  // Only the offending call failed: the session still answers.
+  auto after = (*transport)->Call("still-alive");
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(*after, "echo:still-alive");
+  EXPECT_EQ((*transport)->stats().transport_errors, 1u);
+}
+
 TEST(SocketTransportTest, ConnectRefusedIsUnavailable) {
   auto missing = SocketTransport::Connect(
       "unix:/tmp/mlcask-definitely-not-bound.sock");

@@ -249,6 +249,49 @@ TEST(WireCodecTest, MalformedBinaryRequestsProduceErrorsNotCrashes) {
   EXPECT_FALSE(truncated_status.ok());
 }
 
+TEST(WireCodecTest, PutManyHostileCountIsRejectedNotReserved) {
+  // A put_many whose count varint says 2^64-1 entries but whose body holds
+  // none. The count must be rejected against the body size BEFORE reserve()
+  // touches it — a thrown length_error would escape the dispatch path and
+  // kill the server instead of producing an error response.
+  std::string meta;
+  wire::PutVarint(&meta, (4u << 2) | 0);  // kTagCount, varint kind
+  wire::PutVarint(&meta, ~0ull);
+  std::string message;
+  message.push_back(static_cast<char>(wire::kBinaryMagic));
+  message.push_back(static_cast<char>(wire::Method::kPutMany));
+  wire::PutVarint(&message, meta.size());
+  message.append(meta);  // empty body follows
+
+  auto decoded = wire::DecodeRequest(message);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+
+  // The full server path answers with a binary error, it does not crash.
+  ForkBaseEngine engine;
+  std::string_view rest;
+  Status status = wire::DecodeResponseStatus(
+      wire::DispatchBinary(&engine, message), &rest);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireCodecTest, EntriesResponseHugeKeyLenIsCorruptionNotOverflow) {
+  // key_len near 2^64 makes `key_len + 32` wrap to a small number; the
+  // bounds check must not use that sum or the decoder reads far out of the
+  // buffer. A hostile ok-response: empty meta, body = huge key_len varint
+  // plus a few real bytes.
+  std::string message;
+  message.push_back(static_cast<char>(wire::kBinaryMagic));
+  message.push_back(0);          // status ok
+  wire::PutVarint(&message, 0);  // empty meta
+  wire::PutVarint(&message, ~0ull - 16);  // key_len: wraps if 32 is added
+  message.append(40, 'x');
+
+  auto decoded = wire::DecodeEntriesResponse(message);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
 // ------------------------------------------------------- chunk streaming ---
 
 TEST(WireCodecTest, StreamAssemblerReassemblesAndVerifies) {
@@ -314,6 +357,22 @@ TEST(WireCodecTest, ChunkCacheDedupesAndEvicts) {
     cache.Add("filler-chunk-" + std::to_string(i) + std::string(16, 'z'));
   }
   EXPECT_LE(cache.stats().physical_bytes, 256u);
+}
+
+TEST(WireCodecTest, ChunkCacheEntryCapBoundsRetainedRefsUnderDedup) {
+  // 32 KiB cap -> at most two retained references (32 KiB / 16 KiB floor).
+  // Heavy dedup keeps physical bytes flat, so the bytes cap never fires; the
+  // reference-count cap must, or retained_ grows for the server's lifetime.
+  wire::WireChunkCache cache(32u << 10);
+  cache.Add(std::string(100, 'a'));
+  const std::string b(100, 'b');
+  for (int i = 0; i < 1000; ++i) cache.Add(b);
+  const ChunkStoreStats stats = cache.stats();
+  EXPECT_GE(stats.dedup_hits, 999u);
+  // The entry cap evicted chunk a's only reference long ago: the store holds
+  // just b now, at one copy.
+  EXPECT_EQ(stats.distinct_chunks, 1u);
+  EXPECT_LE(stats.physical_bytes, 100u);
 }
 
 // ----------------------------------------------- end-to-end over loopback ---
