@@ -2,6 +2,7 @@
 
 #include "pipeline/checkout.h"
 #include "sim/libraries.h"
+#include "storage/fault_injector.h"
 #include "storage/forkbase_engine.h"
 #include "storage/local_dir_engine.h"
 #include "storage/server_cluster.h"
@@ -56,9 +57,21 @@ StatusOr<std::unique_ptr<Deployment>> MakeDeployment(
     return std::make_unique<storage::ForkBaseEngine>();
   };
   if (!config.storage_endpoints.empty()) {
-    // Out-of-process shards: dial the running mlcask_server processes.
-    MLCASK_ASSIGN_OR_RETURN(d->engine,
-                            storage::ConnectCluster(config.storage_endpoints));
+    // Out-of-process shards: dial the running mlcask_server processes,
+    // optionally through a client-side fault injector (chaos harness).
+    storage::SocketTransport::Options transport_options;
+    if (!config.client_fault_spec.empty()) {
+      MLCASK_ASSIGN_OR_RETURN(
+          storage::FaultSpec spec,
+          storage::FaultSpec::Parse(config.client_fault_spec));
+      transport_options.injector =
+          std::make_shared<storage::FaultInjector>(spec);
+    }
+    MLCASK_ASSIGN_OR_RETURN(
+        d->engine,
+        storage::ConnectCluster(config.storage_endpoints,
+                                storage::ShardedStorageEngine::Options(),
+                                transport_options));
   } else if (config.storage_shards >= 2) {
     d->engine = storage::MakeLoopbackCluster(config.storage_shards,
                                              backend_factory);

@@ -68,6 +68,13 @@ struct DeploymentConfig {
   /// storage_shards and folder_storage: the shard count is the endpoint
   /// count and each server chose its own backend at launch.
   std::vector<std::string> storage_endpoints;
+  /// Chaos harness: a storage::FaultSpec string applied to the CLIENT side
+  /// of every storage connection (frame drops, drop-after-send, garbling,
+  /// delays — see FaultSpec::Parse). Only meaningful with
+  /// storage_endpoints; the transports redial and replay through the
+  /// faults, so a deployment under injection must still produce
+  /// bit-identical results. Empty = no injection.
+  std::string client_fault_spec;
 };
 
 /// Creates a deployment with a ForkBase engine (pass `folder_storage` for

@@ -204,4 +204,78 @@ StatusOr<std::unique_ptr<ForkBaseEngine>> LoadEngine(
   return engine;
 }
 
+
+// ------------------------------------------------------ durable decorator ---
+
+StatusOr<std::unique_ptr<DurableForkBaseEngine>> DurableForkBaseEngine::Open(
+    const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create data dir '" + dir +
+                            "': " + ec.message());
+  }
+  std::unique_ptr<ForkBaseEngine> inner;
+  if (fs::exists(dir + "/manifest.json")) {
+    MLCASK_ASSIGN_OR_RETURN(inner, LoadEngine(dir));
+  } else {
+    inner = std::make_unique<ForkBaseEngine>();
+  }
+  return std::unique_ptr<DurableForkBaseEngine>(
+      new DurableForkBaseEngine(std::move(inner), dir));
+}
+
+StatusOr<PutResult> DurableForkBaseEngine::Put(const std::string& key,
+                                               std::string_view data) {
+  MLCASK_ASSIGN_OR_RETURN(PutResult result, inner_->Put(key, data));
+  MLCASK_RETURN_IF_ERROR(SaveEngine(*inner_, dir_));
+  return result;
+}
+
+StatusOr<std::vector<PutResult>> DurableForkBaseEngine::PutMany(
+    const std::vector<PutRequest>& batch) {
+  MLCASK_ASSIGN_OR_RETURN(std::vector<PutResult> results,
+                          inner_->PutMany(batch));
+  MLCASK_RETURN_IF_ERROR(SaveEngine(*inner_, dir_));
+  return results;
+}
+
+StatusOr<std::string> DurableForkBaseEngine::Get(const std::string& key) {
+  return inner_->Get(key);
+}
+
+StatusOr<std::string> DurableForkBaseEngine::GetVersion(const Hash256& id) {
+  return inner_->GetVersion(id);
+}
+
+bool DurableForkBaseEngine::HasVersion(const Hash256& id) const {
+  return inner_->HasVersion(id);
+}
+
+std::vector<Hash256> DurableForkBaseEngine::Versions(
+    const std::string& key) const {
+  return inner_->Versions(key);
+}
+
+std::vector<std::pair<std::string, Hash256>>
+DurableForkBaseEngine::ListAllVersions() const {
+  return inner_->ListAllVersions();
+}
+
+StatusOr<uint64_t> DurableForkBaseEngine::DeleteVersion(const Hash256& id) {
+  MLCASK_ASSIGN_OR_RETURN(uint64_t freed, inner_->DeleteVersion(id));
+  MLCASK_RETURN_IF_ERROR(SaveEngine(*inner_, dir_));
+  return freed;
+}
+
+EngineStats DurableForkBaseEngine::stats() const { return inner_->stats(); }
+
+std::string DurableForkBaseEngine::Name() const {
+  return "durable(" + inner_->Name() + ")";
+}
+
+double DurableForkBaseEngine::ReadCost(uint64_t bytes) const {
+  return inner_->ReadCost(bytes);
+}
+
 }  // namespace mlcask::storage

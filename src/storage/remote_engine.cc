@@ -1,8 +1,10 @@
 #include "storage/remote_engine.h"
 
+#include <random>
 #include <utility>
 
 #include "common/json.h"
+#include "common/strings.h"
 #include "storage/frame.h"
 #include "storage/wire_codec.h"
 
@@ -237,12 +239,62 @@ Json Dispatch(StorageEngine* engine, const Json& request) {
 
 }  // namespace
 
+bool StorageEngineService::LookupReplayOrClaim(const std::string& token,
+                                               std::string* response) {
+  std::unique_lock<std::mutex> lock(ledger_mu_);
+  for (;;) {
+    auto it = ledger_.find(token);
+    if (it == ledger_.end()) {
+      ledger_.emplace(token, LedgerEntry{});  // claimed: we execute it
+      return false;
+    }
+    if (it->second.ready) {
+      *response = it->second.response;
+      replay_hits_ += 1;
+      return true;
+    }
+    // The original execution is still in flight on another worker (the
+    // client redialed fast enough to race its own request). Wait for the
+    // recorded response instead of racing a second execution into the
+    // engine. Handle() always records after dispatch, so every claim
+    // resolves.
+    ledger_cv_.wait(lock);
+  }
+}
+
+void StorageEngineService::RecordReplay(const std::string& token,
+                                        const std::string& response) {
+  {
+    std::lock_guard<std::mutex> lock(ledger_mu_);
+    LedgerEntry& entry = ledger_[token];
+    if (!entry.ready) {
+      entry.ready = true;
+      entry.response = response;
+      // Only RECORDED entries enter the eviction queue, so an in-flight
+      // claim can never be evicted out from under its waiters.
+      ledger_order_.push_back(token);
+      while (ledger_order_.size() > kLedgerCap) {
+        ledger_.erase(ledger_order_.front());
+        ledger_order_.pop_front();
+      }
+    }
+  }
+  ledger_cv_.notify_all();
+}
+
 std::string StorageEngineService::Handle(std::string_view request) {
   // One-byte codec sniff: the binary magic is never '{', so a service can
   // serve new-codec and JSON-era callers on the same endpoint — no frames
   // needed for loopback deployments to get the fast path.
   if (wire::IsBinaryMessage(request)) {
-    return wire::DispatchBinary(engine_, request);
+    const std::string token(wire::ExtractReplayToken(request));
+    std::string replayed;
+    if (!token.empty() && LookupReplayOrClaim(token, &replayed)) {
+      return replayed;
+    }
+    std::string response = wire::DispatchBinary(engine_, request);
+    if (!token.empty()) RecordReplay(token, response);
+    return response;
   }
   auto parsed = Json::Parse(request);
   if (!parsed.ok()) {
@@ -251,7 +303,12 @@ std::string StorageEngineService::Handle(std::string_view request) {
                                        parsed.status().message()))
         .Dump();
   }
-  return Dispatch(engine_, *parsed).Dump();
+  const std::string token = parsed->GetString("replay_token");
+  std::string replayed;
+  if (!token.empty() && LookupReplayOrClaim(token, &replayed)) return replayed;
+  std::string response = Dispatch(engine_, *parsed).Dump();
+  if (!token.empty()) RecordReplay(token, response);
+  return response;
 }
 
 // --------------------------------------------------------------- client ---
@@ -260,6 +317,10 @@ RemoteStorageEngine::RemoteStorageEngine(std::unique_ptr<Transport> transport,
                                          WireCodec codec)
     : transport_(std::move(transport)), binary_(codec != WireCodec::kJson) {
   name_ = "remote";
+  // Random per-proxy session id: replay tokens from two proxies (e.g. a
+  // restarted router) can never collide in a server's dedup ledger.
+  std::random_device rd;
+  replay_session_ = StrFormat("%08x%08x", rd(), rd());
   if (binary_) {
     // The name hello doubles as the codec probe: a binary-era peer answers
     // it, a JSON-era one rejects the unknown wire version / magic with
@@ -303,6 +364,11 @@ RemoteStorageEngine::RemoteStorageEngine(std::unique_ptr<Transport> transport,
 StatusOr<std::string> RemoteStorageEngine::RoundTrip(
     std::string_view request) const {
   return transport_->Call(request);
+}
+
+std::string RemoteStorageEngine::NextReplayToken() {
+  return replay_session_ + "." +
+         std::to_string(replay_seq_.fetch_add(1, std::memory_order_relaxed));
 }
 
 namespace {
@@ -369,15 +435,20 @@ StatusOr<uint64_t> DecodeFreedResponse(StatusOr<std::string> raw) {
   return static_cast<uint64_t>(response.GetInt("freed_bytes"));
 }
 
-Json PutRequestJson(const std::string& key, std::string_view data) {
+Json PutRequestJson(const std::string& key, std::string_view data,
+                    const std::string& replay_token = std::string()) {
   Json request = Json::Object();
   request.Set("method", Json::Str("put"));
   request.Set("key", Json::Str(key));
   request.Set("data", Json::Str(HexEncode(data)));
+  if (!replay_token.empty()) {
+    request.Set("replay_token", Json::Str(replay_token));
+  }
   return request;
 }
 
-Json PutManyRequestJson(const std::vector<PutRequest>& batch) {
+Json PutManyRequestJson(const std::vector<PutRequest>& batch,
+                        const std::string& replay_token = std::string()) {
   Json encoded = Json::Array();
   for (const PutRequest& put : batch) {
     Json entry = Json::Object();
@@ -388,13 +459,20 @@ Json PutManyRequestJson(const std::vector<PutRequest>& batch) {
   Json request = Json::Object();
   request.Set("method", Json::Str("put_many"));
   request.Set("batch", std::move(encoded));
+  if (!replay_token.empty()) {
+    request.Set("replay_token", Json::Str(replay_token));
+  }
   return request;
 }
 
-Json IdRequestJson(const char* method, const Hash256& id) {
+Json IdRequestJson(const char* method, const Hash256& id,
+                   const std::string& replay_token = std::string()) {
   Json request = Json::Object();
   request.Set("method", Json::Str(method));
   request.Set("id", Json::Str(id.ToHex()));
+  if (!replay_token.empty()) {
+    request.Set("replay_token", Json::Str(replay_token));
+  }
   return request;
 }
 
@@ -428,42 +506,47 @@ StatusOr<uint64_t> DecodeBinaryFreed(StatusOr<std::string> raw) {
 
 StatusOr<PutResult> RemoteStorageEngine::Put(const std::string& key,
                                              std::string_view data) {
+  const std::string token = NextReplayToken();
   if (binary_) {
     return DecodeBinaryPut(
-        transport_->Call(wire::EncodePutRequest(key, data)));
+        transport_->Call(wire::EncodePutRequest(key, data, token)));
   }
-  return DecodePutResponse(transport_->Call(PutRequestJson(key, data).Dump()));
+  return DecodePutResponse(
+      transport_->Call(PutRequestJson(key, data, token).Dump()));
 }
 
 Deferred<PutResult> RemoteStorageEngine::AsyncPut(const std::string& key,
                                                   std::string_view data) {
+  const std::string token = NextReplayToken();
   if (binary_) {
     return Deferred<PutResult>(
-        transport_->AsyncCall(wire::EncodePutRequest(key, data)),
+        transport_->AsyncCall(wire::EncodePutRequest(key, data, token)),
         DecodeBinaryPut, transport_->call_timeout_ms());
   }
   return Deferred<PutResult>(
-      transport_->AsyncCall(PutRequestJson(key, data).Dump()),
+      transport_->AsyncCall(PutRequestJson(key, data, token).Dump()),
       DecodePutResponse, transport_->call_timeout_ms());
 }
 
 StatusOr<std::vector<PutResult>> RemoteStorageEngine::PutMany(
     const std::vector<PutRequest>& batch) {
+  const std::string token = NextReplayToken();
   if (binary_) {
-    auto raw = transport_->Call(wire::EncodePutManyRequest(batch));
+    auto raw = transport_->Call(wire::EncodePutManyRequest(batch, token));
     if (!raw.ok()) return raw.status();
     return wire::DecodePutManyResponse(*raw, batch.size());
   }
   return DecodePutManyResponse(
-      transport_->Call(PutManyRequestJson(batch).Dump()), batch.size());
+      transport_->Call(PutManyRequestJson(batch, token).Dump()), batch.size());
 }
 
 Deferred<std::vector<PutResult>> RemoteStorageEngine::AsyncPutMany(
     const std::vector<PutRequest>& batch) {
   const size_t expected = batch.size();
+  const std::string token = NextReplayToken();
   if (binary_) {
     return Deferred<std::vector<PutResult>>(
-        transport_->AsyncCall(wire::EncodePutManyRequest(batch)),
+        transport_->AsyncCall(wire::EncodePutManyRequest(batch, token)),
         [expected](StatusOr<std::string> raw)
             -> StatusOr<std::vector<PutResult>> {
           if (!raw.ok()) return raw.status();
@@ -472,7 +555,7 @@ Deferred<std::vector<PutResult>> RemoteStorageEngine::AsyncPutMany(
         transport_->call_timeout_ms());
   }
   return Deferred<std::vector<PutResult>>(
-      transport_->AsyncCall(PutManyRequestJson(batch).Dump()),
+      transport_->AsyncCall(PutManyRequestJson(batch, token).Dump()),
       [expected](StatusOr<std::string> raw) {
         return DecodePutManyResponse(std::move(raw), expected);
       },
@@ -588,23 +671,25 @@ RemoteStorageEngine::ListAllVersions() const {
 }
 
 StatusOr<uint64_t> RemoteStorageEngine::DeleteVersion(const Hash256& id) {
+  const std::string token = NextReplayToken();
   if (binary_) {
     return DecodeBinaryFreed(transport_->Call(
-        wire::EncodeIdRequest(wire::Method::kDeleteVersion, id)));
+        wire::EncodeIdRequest(wire::Method::kDeleteVersion, id, token)));
   }
   return DecodeFreedResponse(
-      transport_->Call(IdRequestJson("delete_version", id).Dump()));
+      transport_->Call(IdRequestJson("delete_version", id, token).Dump()));
 }
 
 Deferred<uint64_t> RemoteStorageEngine::AsyncDeleteVersion(const Hash256& id) {
+  const std::string token = NextReplayToken();
   if (binary_) {
     return Deferred<uint64_t>(
         transport_->AsyncCall(
-            wire::EncodeIdRequest(wire::Method::kDeleteVersion, id)),
+            wire::EncodeIdRequest(wire::Method::kDeleteVersion, id, token)),
         DecodeBinaryFreed, transport_->call_timeout_ms());
   }
   return Deferred<uint64_t>(
-      transport_->AsyncCall(IdRequestJson("delete_version", id).Dump()),
+      transport_->AsyncCall(IdRequestJson("delete_version", id, token).Dump()),
       DecodeFreedResponse, transport_->call_timeout_ms());
 }
 

@@ -1,9 +1,15 @@
 #ifndef MLCASK_STORAGE_REMOTE_ENGINE_H_
 #define MLCASK_STORAGE_REMOTE_ENGINE_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "storage/storage_engine.h"
@@ -32,13 +38,52 @@ class StorageEngineService {
   /// Parses one serialized request, dispatches it to the engine, and
   /// serializes the response. Malformed requests produce an error response,
   /// never a crash — a remote peer cannot take the server down.
+  ///
+  /// Requests carrying a replay token (mutations from a RemoteStorageEngine)
+  /// are idempotent: the first execution records its response in a ledger,
+  /// and a replay of the same token — a redialing client resending a call
+  /// whose response was lost — returns the recorded response without
+  /// touching the engine. The ledger is FIFO-capped; a token can only be
+  /// replayed within the client's redial window, which is orders of
+  /// magnitude shorter than the time kLedgerCap fresh mutations take.
   std::string Handle(std::string_view request);
 
   StorageEngine* engine() { return engine_; }
 
+  /// Requests answered from the replay ledger instead of the engine.
+  uint64_t replay_hits() const {
+    std::lock_guard<std::mutex> lock(ledger_mu_);
+    return replay_hits_;
+  }
+
  private:
+  static constexpr size_t kLedgerCap = 4096;
+
+  /// One ledger slot: claimed (execution in flight) until `ready`, then a
+  /// recorded response any replay can be answered from.
+  struct LedgerEntry {
+    bool ready = false;
+    std::string response;
+  };
+
+  /// Returns true and fills `response` when `token` already executed.
+  /// Otherwise CLAIMS the token for this caller, who must RecordReplay
+  /// after dispatching. A duplicate arriving while the original execution
+  /// is still in flight BLOCKS until the response is recorded — two
+  /// concurrent executions of one token can never both reach the engine,
+  /// which is what makes redial replay exactly-once rather than merely
+  /// usually-once.
+  bool LookupReplayOrClaim(const std::string& token, std::string* response);
+  void RecordReplay(const std::string& token, const std::string& response);
+
   std::unique_ptr<StorageEngine> owned_;
   StorageEngine* engine_;
+
+  mutable std::mutex ledger_mu_;
+  std::condition_variable ledger_cv_;
+  std::unordered_map<std::string, LedgerEntry> ledger_;
+  std::deque<std::string> ledger_order_;  ///< FIFO eviction order.
+  uint64_t replay_hits_ = 0;
 };
 
 /// Which request codec a RemoteStorageEngine speaks.
@@ -118,10 +163,17 @@ class RemoteStorageEngine : public StorageEngine {
 
  private:
   StatusOr<std::string> RoundTrip(std::string_view request) const;
+  /// Fresh idempotency token for one mutating call: a per-proxy random
+  /// session id plus a sequence number. Unique across proxies (random
+  /// session) and within one (sequence), so the server ledger never
+  /// confuses two distinct mutations.
+  std::string NextReplayToken();
 
   std::unique_ptr<Transport> transport_;
   bool binary_ = true;
   std::string name_;
+  std::string replay_session_;
+  std::atomic<uint64_t> replay_seq_{0};
 };
 
 namespace wire {

@@ -15,7 +15,9 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <thread>
+#include <vector>
 
 namespace mlcask::storage {
 
@@ -82,27 +84,140 @@ std::string LogTail(const std::string& path) {
   return (start > 0 ? "; log tail:\n...": "; log tail:\n") + tail;
 }
 
+/// Decodes one reaped child's wait status into a human verdict. Empty
+/// string = clean exit (exit code 0 or our own SIGTERM).
+std::string DescribeExit(int wstatus) {
+  if (WIFEXITED(wstatus)) {
+    const int code = WEXITSTATUS(wstatus);
+    if (code == 0) return "";
+    return "exited with status " + std::to_string(code);
+  }
+  if (WIFSIGNALED(wstatus)) {
+    const int sig = WTERMSIG(wstatus);
+    if (sig == SIGTERM) return "";  // our own shutdown signal
+    const char* name = ::strsignal(sig);
+    return "killed by signal " + std::to_string(sig) +
+           (name != nullptr ? std::string(" (") + name + ")" : "");
+  }
+  return "ended with unrecognized wait status " + std::to_string(wstatus);
+}
+
 }  // namespace
 
-LocalServerCluster::~LocalServerCluster() { Stop(); }
+LocalServerCluster::~LocalServerCluster() { (void)Stop(); }
+
+std::string LocalServerCluster::SocketPath(size_t s) const {
+  return dir_ + "/shard" + std::to_string(s) + ".sock";
+}
+
+std::string LocalServerCluster::LogPath(size_t s) const {
+  return dir_ + "/shard" + std::to_string(s) + ".log";
+}
+
+std::string LocalServerCluster::DataDir(size_t s) const {
+  return dir_ + "/shard" + std::to_string(s) + ".data";
+}
+
+Status LocalServerCluster::SpawnShard(size_t s) {
+  const std::string sock = SocketPath(s);
+  const std::string spec = "unix:" + sock;
+  const std::string log = LogPath(s);
+  // A killed shard leaves its socket file behind; the replacement must be
+  // able to bind the same path.
+  ::unlink(sock.c_str());
+
+  std::vector<std::string> args = {binary_,          "--endpoint", spec,
+                                   "--backend",      options_.backend};
+  if (!options_.fault_spec.empty()) {
+    args.push_back("--fault-spec");
+    args.push_back(options_.fault_spec);
+  }
+  if (options_.durable) {
+    args.push_back("--data-dir");
+    args.push_back(DataDir(s));
+  }
+
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    return Status::Internal(std::string("fork failed: ") +
+                            std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: own stdout/stderr go to a per-shard log (test output stays
+    // clean, the log stays available for post-mortems), then exec. Appending
+    // keeps the pre-crash log across a restart — the interesting part.
+    int log_fd = ::open(log.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+    if (log_fd >= 0) {
+      ::dup2(log_fd, STDOUT_FILENO);
+      ::dup2(log_fd, STDERR_FILENO);
+      ::close(log_fd);
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    ::execv(binary_.c_str(), argv.data());
+    std::_Exit(127);  // exec failed
+  }
+  shards_[s].pid = pid;
+  shards_[s].killed_deliberately = false;
+  return Status::Ok();
+}
+
+Status LocalServerCluster::WaitForAccept(size_t s) {
+  const std::string sock = SocketPath(s);
+  const std::string log = LogPath(s);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.startup_timeout_ms);
+  // Exponential backoff between probes: a healthy server accepts within
+  // a millisecond or two, so start there and only back off (doubling,
+  // capped) for the slow cases — instead of taxing EVERY launch a
+  // fixed 10ms poll. Read the log tail BEFORE any teardown erases the dir.
+  uint64_t backoff_ms = 1;
+  for (;;) {
+    if (CanConnect(sock)) return Status::Ok();
+    int wstatus = 0;
+    if (::waitpid(shards_[s].pid, &wstatus, WNOHANG) == shards_[s].pid) {
+      shards_[s].pid = -1;  // already reaped
+      std::string verdict = DescribeExit(wstatus);
+      if (verdict.empty()) verdict = "exited";
+      return Status::Unavailable("mlcask_server for shard " +
+                                 std::to_string(s) + " " + verdict +
+                                 " during startup" + LogTail(log));
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::DeadlineExceeded(
+          "shard " + std::to_string(s) + " did not accept on " + sock +
+          " within " + std::to_string(options_.startup_timeout_ms) + "ms" +
+          LogTail(log));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min<uint64_t>(backoff_ms * 2, 50);
+  }
+}
 
 Status LocalServerCluster::Start(size_t shards, const Options& options) {
   if (shards == 0) {
     return Status::InvalidArgument("cluster needs at least one shard");
   }
-  if (!pids_.empty() || !dir_.empty()) {
+  if (!shards_.empty() || !dir_.empty()) {
     return Status::FailedPrecondition("cluster already started");
   }
-  std::string binary = options.server_binary;
-  if (binary.empty()) {
-    const char* env = std::getenv("MLCASK_SERVER_BIN");
-    if (env != nullptr) binary = env;
+  if (options.durable && options.backend != "forkbase") {
+    return Status::InvalidArgument(
+        "durable clusters require the forkbase backend");
   }
-  if (binary.empty() || ::access(binary.c_str(), X_OK) != 0) {
+  options_ = options;
+  binary_ = options.server_binary;
+  if (binary_.empty()) {
+    const char* env = std::getenv("MLCASK_SERVER_BIN");
+    if (env != nullptr) binary_ = env;
+  }
+  if (binary_.empty() || ::access(binary_.c_str(), X_OK) != 0) {
     return Status::FailedPrecondition(
         "mlcask_server binary not found (set Options::server_binary or "
         "$MLCASK_SERVER_BIN); looked at '" +
-        binary + "'");
+        binary_ + "'");
   }
 
   char dir_template[] = "/tmp/mlcask-cluster-XXXXXX";
@@ -112,33 +227,14 @@ Status LocalServerCluster::Start(size_t shards, const Options& options) {
   }
   dir_ = dir_template;
 
+  shards_.resize(shards);
   for (size_t s = 0; s < shards; ++s) {
-    const std::string sock = dir_ + "/shard" + std::to_string(s) + ".sock";
-    const std::string spec = "unix:" + sock;
-    const std::string log = dir_ + "/shard" + std::to_string(s) + ".log";
-    pid_t pid = ::fork();
-    if (pid < 0) {
-      Status st =
-          Status::Internal(std::string("fork failed: ") + std::strerror(errno));
-      Stop();
-      return st;
+    Status spawned = SpawnShard(s);
+    if (!spawned.ok()) {
+      (void)Stop();
+      return spawned;
     }
-    if (pid == 0) {
-      // Child: own stdout/stderr go to a per-shard log (test output stays
-      // clean, the log stays available for post-mortems), then exec.
-      int log_fd = ::open(log.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
-      if (log_fd >= 0) {
-        ::dup2(log_fd, STDOUT_FILENO);
-        ::dup2(log_fd, STDERR_FILENO);
-        ::close(log_fd);
-      }
-      ::execl(binary.c_str(), binary.c_str(), "--endpoint", spec.c_str(),
-              "--backend", options.backend.c_str(),
-              static_cast<char*>(nullptr));
-      std::_Exit(127);  // exec failed
-    }
-    pids_.push_back(pid);
-    endpoints_.push_back(spec);
+    endpoints_.push_back("unix:" + SocketPath(s));
   }
 
   // Wait until every shard accepts. A child dying early (exec failure, bind
@@ -147,81 +243,115 @@ Status LocalServerCluster::Start(size_t shards, const Options& options) {
   // waiting on it, so a slow machine bringing up many shards doesn't starve
   // the last ones of their allowance.
   for (size_t s = 0; s < shards; ++s) {
-    const std::string sock = dir_ + "/shard" + std::to_string(s) + ".sock";
-    const std::string log = dir_ + "/shard" + std::to_string(s) + ".log";
-    const auto deadline =
-        std::chrono::steady_clock::now() +
-        std::chrono::milliseconds(options.startup_timeout_ms);
-    // Exponential backoff between probes: a healthy server accepts within
-    // a millisecond or two, so start there and only back off (doubling,
-    // capped) for the slow cases — instead of taxing EVERY launch the old
-    // fixed 10ms poll. Read the log tail BEFORE Stop(): it erases the dir.
-    uint64_t backoff_ms = 1;
-    for (;;) {
-      if (CanConnect(sock)) break;
-      int wstatus = 0;
-      if (::waitpid(pids_[s], &wstatus, WNOHANG) == pids_[s]) {
-        pids_[s] = -1;  // already reaped
-        Status st = Status::Unavailable(
-            "mlcask_server for shard " + std::to_string(s) +
-            " exited during startup (status " + std::to_string(wstatus) + ")" +
-            LogTail(log));
-        Stop();
-        return st;
-      }
-      if (std::chrono::steady_clock::now() >= deadline) {
-        Status st = Status::DeadlineExceeded(
-            "shard " + std::to_string(s) + " did not accept on " + sock +
-            " within " + std::to_string(options.startup_timeout_ms) + "ms" +
-            LogTail(log));
-        Stop();
-        return st;
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-      backoff_ms = std::min<uint64_t>(backoff_ms * 2, 50);
+    Status accepting = WaitForAccept(s);
+    if (!accepting.ok()) {
+      (void)Stop();
+      return accepting;
     }
   }
   return Status::Ok();
 }
 
-void LocalServerCluster::Stop() {
-  for (pid_t pid : pids_) {
-    if (pid > 0) ::kill(pid, SIGTERM);
+Status LocalServerCluster::KillShard(size_t i) {
+  if (i >= shards_.size()) {
+    return Status::InvalidArgument("no shard " + std::to_string(i));
+  }
+  if (shards_[i].pid <= 0) {
+    return Status::FailedPrecondition("shard " + std::to_string(i) +
+                                      " is not running");
+  }
+  shards_[i].killed_deliberately = true;
+  ::kill(shards_[i].pid, SIGKILL);
+  int wstatus = 0;
+  ::waitpid(shards_[i].pid, &wstatus, 0);
+  shards_[i].pid = -1;
+  return Status::Ok();
+}
+
+Status LocalServerCluster::RestartShard(size_t i) {
+  if (i >= shards_.size()) {
+    return Status::InvalidArgument("no shard " + std::to_string(i));
+  }
+  if (shards_[i].pid > 0) {
+    // Reap a shard that died on its own (e.g. an injected kill_after) so
+    // the restart does not leak a zombie; a still-live shard is an error.
+    int wstatus = 0;
+    if (::waitpid(shards_[i].pid, &wstatus, WNOHANG) == shards_[i].pid) {
+      shards_[i].pid = -1;
+      shards_[i].killed_deliberately = true;  // restart absolves the crash
+    } else {
+      return Status::FailedPrecondition(
+          "shard " + std::to_string(i) +
+          " is still running; KillShard it first");
+    }
+  }
+  MLCASK_RETURN_IF_ERROR(SpawnShard(i));
+  return WaitForAccept(i);
+}
+
+Status LocalServerCluster::Stop() {
+  Status verdict = Status::Ok();
+  for (const Shard& shard : shards_) {
+    if (shard.pid > 0) ::kill(shard.pid, SIGTERM);
   }
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(5);
-  for (pid_t& pid : pids_) {
-    while (pid > 0) {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = shards_[s];
+    while (shard.pid > 0) {
       int wstatus = 0;
-      pid_t reaped = ::waitpid(pid, &wstatus, WNOHANG);
-      if (reaped == pid || (reaped < 0 && errno == ECHILD)) {
-        pid = -1;
+      pid_t reaped = ::waitpid(shard.pid, &wstatus, WNOHANG);
+      if (reaped == shard.pid) {
+        // The post-mortem: a child that exited non-zero or died on a
+        // signal we did not send CRASHED, and the first crash becomes
+        // Stop()'s verdict (with the log tail, read before the cleanup
+        // below erases it).
+        const std::string how = DescribeExit(wstatus);
+        if (!how.empty() && !shard.killed_deliberately && verdict.ok()) {
+          verdict = Status::Internal("shard " + std::to_string(s) + " " +
+                                     how + LogTail(LogPath(s)));
+        }
+        shard.pid = -1;
+        break;
+      }
+      if (reaped < 0 && errno == ECHILD) {
+        shard.pid = -1;
         break;
       }
       if (std::chrono::steady_clock::now() >= deadline) {
-        ::kill(pid, SIGKILL);
-        ::waitpid(pid, &wstatus, 0);
-        pid = -1;
+        // A shard ignoring SIGTERM past the grace period is a hang — the
+        // exact failure mode the chaos suite exists to catch.
+        ::kill(shard.pid, SIGKILL);
+        ::waitpid(shard.pid, &wstatus, 0);
+        if (verdict.ok()) {
+          verdict = Status::Internal(
+              "shard " + std::to_string(s) +
+              " did not exit within the SIGTERM grace period (hung; "
+              "SIGKILLed)" +
+              LogTail(LogPath(s)));
+        }
+        shard.pid = -1;
         break;
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
   }
-  pids_.clear();
+  const size_t count = shards_.size();
+  shards_.clear();
   if (!dir_.empty()) {
-    for (const std::string& spec : endpoints_) {
-      // "unix:" prefix is 5 bytes.
-      ::unlink(spec.substr(5).c_str());
-    }
-    // Logs are intentionally left behind only if the rmdir fails (i.e. a
-    // post-mortem is likely wanted); normal teardown removes everything.
-    for (size_t s = 0; s < endpoints_.size(); ++s) {
-      ::unlink((dir_ + "/shard" + std::to_string(s) + ".log").c_str());
+    for (size_t s = 0; s < count; ++s) {
+      ::unlink(SocketPath(s).c_str());
+      ::unlink(LogPath(s).c_str());
+      if (options_.durable) {
+        std::error_code ec;
+        std::filesystem::remove_all(DataDir(s), ec);
+      }
     }
     ::rmdir(dir_.c_str());
     dir_.clear();
   }
   endpoints_.clear();
+  return verdict;
 }
 
 }  // namespace mlcask::storage

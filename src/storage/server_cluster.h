@@ -43,6 +43,13 @@ class LocalServerCluster {
     std::string backend = "forkbase";  ///< forkbase | localdir
     /// Per-server wait for the socket to accept, in milliseconds.
     uint64_t startup_timeout_ms = 10000;
+    /// Deterministic fault schedule passed to every server as --fault-spec
+    /// (see FaultSpec::Parse for the grammar). Empty = no injection.
+    std::string fault_spec;
+    /// Give every shard a private --data-dir under the cluster temp dir, so
+    /// acknowledged writes survive KillShard + RestartShard. Requires the
+    /// forkbase backend. The chaos recovery drills run on this.
+    bool durable = false;
   };
 
   LocalServerCluster() = default;
@@ -59,11 +66,42 @@ class LocalServerCluster {
   /// `unix:` endpoint specs, one per shard, in shard order.
   const std::vector<std::string>& endpoints() const { return endpoints_; }
 
+  /// Hard-kills shard `i` (SIGKILL — no grace, no flush): the chaos drills'
+  /// crash primitive. Recorded as deliberate, so Stop() does not report it
+  /// as an anomaly. The endpoint and (durable) data dir stay in place for
+  /// RestartShard.
+  Status KillShard(size_t i);
+  /// Respawns a dead shard on its original endpoint (and data dir when
+  /// durable) and waits until it accepts again. The shard process is new;
+  /// clients redial, the ENGINE state is whatever the data dir preserved.
+  Status RestartShard(size_t i);
+
   /// SIGTERMs and reaps all children, removes the socket dir. Idempotent.
-  void Stop();
+  /// The returned status is the post-mortem: Ok when every child exited
+  /// cleanly (exit 0, our SIGTERM, or a deliberate KillShard); otherwise it
+  /// names the first shard that CRASHED — non-zero exit code or an
+  /// unexpected signal, decoded from the wait status — with its log tail
+  /// inlined. The destructor calls this and discards the verdict.
+  Status Stop();
 
  private:
-  std::vector<pid_t> pids_;
+  struct Shard {
+    pid_t pid = -1;
+    bool killed_deliberately = false;
+  };
+
+  std::string SocketPath(size_t s) const;
+  std::string LogPath(size_t s) const;
+  std::string DataDir(size_t s) const;
+  /// Forks + execs one server process for shard `s` (fresh or restart).
+  Status SpawnShard(size_t s);
+  /// Polls shard `s`'s socket until it accepts, surfacing an early child
+  /// death as its decoded exit instead of a timeout.
+  Status WaitForAccept(size_t s);
+
+  Options options_;
+  std::string binary_;
+  std::vector<Shard> shards_;
   std::vector<std::string> endpoints_;
   std::string dir_;
 };

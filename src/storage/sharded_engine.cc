@@ -35,6 +35,40 @@ bool IsStagingKey(std::string_view key) {
   return StartsWith(key, kStagingPrefix);
 }
 
+/// Parses a staging key's transaction id and flags the per-transaction
+/// commit-decision record (`__2pc__/txn<N>/decision`). Returns false for
+/// keys that merely share the prefix without following the layout — those
+/// are not ours to resolve.
+bool ParseStagingKey(std::string_view key, uint64_t* txn, bool* is_decision) {
+  if (!StartsWith(key, kStagingPrefix)) return false;
+  std::string_view rest = key.substr(kStagingPrefix.size());
+  if (!StartsWith(rest, "txn")) return false;
+  rest.remove_prefix(3);
+  size_t i = 0;
+  uint64_t value = 0;
+  while (i < rest.size() && rest[i] >= '0' && rest[i] <= '9') {
+    value = value * 10 + static_cast<uint64_t>(rest[i] - '0');
+    ++i;
+  }
+  if (i == 0 || i >= rest.size() || rest[i] != '/') return false;
+  *txn = value;
+  *is_decision = rest.substr(i + 1) == "decision";
+  return true;
+}
+
+/// Splits a staged intent payload back into (target key, data). Mirrors the
+/// encoding in RunTransaction's phase 1.
+bool ParseIntentPayload(std::string_view payload, std::string_view* key,
+                        std::string_view* data) {
+  if (!StartsWith(payload, kIntentHeader)) return false;
+  payload.remove_prefix(kIntentHeader.size());
+  const size_t sep = payload.find('\x1f');
+  if (sep == std::string_view::npos) return false;
+  *key = payload.substr(0, sep);
+  *data = payload.substr(sep + 1);
+  return true;
+}
+
 /// Measures one fan-out's overlap: issued round trips raise `inflight`,
 /// collected ones lower it, `peak` keeps the high-water mark. An
 /// issue-all-then-collect fan-out peaks at N; a serial issue-wait loop
@@ -68,6 +102,58 @@ ShardedStorageEngine::ShardedStorageEngine(
   }
   tp_stats_.per_shard_round_trips.assign(shards_.size(), 0);
   bc_stats_.per_shard_probes.assign(shards_.size(), 0);
+  consecutive_failures_.assign(shards_.size(), 0);
+  half_open_skips_.assign(shards_.size(), 0);
+}
+
+void ShardedStorageEngine::NoteShardResult(size_t shard,
+                                           const Status& status) const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  if (status.ok()) {
+    consecutive_failures_[shard] = 0;
+    half_open_skips_[shard] = 0;
+    return;
+  }
+  // Only unreachability counts against health: a shard that ANSWERS with
+  // NotFound / InvalidArgument / etc. is alive and routing to it is fine.
+  if (status.code() == StatusCode::kUnavailable ||
+      status.code() == StatusCode::kDeadlineExceeded) {
+    consecutive_failures_[shard] += 1;
+  }
+}
+
+bool ShardedStorageEngine::SkipDownShard(size_t shard) const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  if (consecutive_failures_[shard] < kDownFailures) return false;
+  half_open_skips_[shard] += 1;
+  // Half-open: let every kHalfOpenEvery-th fan-out through so a recovered
+  // shard's first success resets the streak without operator action.
+  return half_open_skips_[shard] % kHalfOpenEvery != 0;
+}
+
+bool ShardedStorageEngine::ShardDown(size_t shard) const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  return consecutive_failures_[shard] >= kDownFailures;
+}
+
+ShardedStorageEngine::ShardHealthView ShardedStorageEngine::shard_health()
+    const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  ShardHealthView view;
+  view.state.reserve(shards_.size());
+  for (uint64_t failures : consecutive_failures_) {
+    view.state.push_back(failures == 0 ? ShardHealth::kUp
+                         : failures < kDownFailures ? ShardHealth::kDegraded
+                                                    : ShardHealth::kDown);
+  }
+  view.consecutive_failures = consecutive_failures_;
+  return view;
+}
+
+void ShardedStorageEngine::MarkShardRecovered(size_t shard) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  consecutive_failures_[shard] = 0;
+  half_open_skips_[shard] = 0;
 }
 
 size_t ShardedStorageEngine::ShardForKey(std::string_view key) const {
@@ -91,9 +177,11 @@ void ShardedStorageEngine::RecordVersion(const Hash256& id, size_t shard) {
 StatusOr<PutResult> ShardedStorageEngine::DirectPut(size_t shard,
                                                     const std::string& key,
                                                     std::string_view data) {
-  MLCASK_ASSIGN_OR_RETURN(PutResult result, shards_[shard]->Put(key, data));
-  RecordVersion(result.id, shard);
-  return result;
+  auto result = shards_[shard]->Put(key, data);
+  NoteShardResult(shard, result.ok() ? Status::Ok() : result.status());
+  if (!result.ok()) return result.status();
+  RecordVersion(result->id, shard);
+  return *result;
 }
 
 Status ShardedStorageEngine::RunTransaction(
@@ -113,6 +201,7 @@ Status ShardedStorageEngine::RunTransaction(
   struct {
     uint64_t prepare_round_trips = 0;
     uint64_t apply_round_trips = 0;
+    uint64_t decision_round_trips = 0;
     InflightMeter meter;
     std::vector<uint64_t> per_shard;
     void Issue(size_t shard) {
@@ -136,6 +225,7 @@ Status ShardedStorageEngine::RunTransaction(
     }
     tp_stats_.prepare_round_trips += ledger.prepare_round_trips;
     tp_stats_.apply_round_trips += ledger.apply_round_trips;
+    tp_stats_.decision_round_trips += ledger.decision_round_trips;
     tp_stats_.max_inflight_round_trips =
         std::max(tp_stats_.max_inflight_round_trips, ledger.meter.peak);
     for (size_t s = 0; s < shards_.size(); ++s) {
@@ -150,10 +240,34 @@ Status ShardedStorageEngine::RunTransaction(
                      writes[write_index].shard, write_index);
   };
 
+  /// The durable commit decision for THIS transaction, written to shard 0
+  /// (and only shard 0 — one authority, no split brain) after a unanimous
+  /// prepare. Recovery rolls a transaction forward iff this record exists.
+  const std::string decision_key =
+      StrFormat("%stxn%llu/decision", std::string(kStagingPrefix).c_str(),
+                static_cast<unsigned long long>(txn));
+
   // Participant shards and their writes, in original write order.
   std::map<size_t, std::vector<size_t>> by_shard;
   for (size_t i = 0; i < writes.size(); ++i) {
     by_shard[writes[i].shard].push_back(i);
+  }
+
+  // Health pre-check: a participant the router already knows is down makes
+  // the outcome a foregone conclusion — abort with a typed status BEFORE
+  // staging anything, instead of burning a per-shard timeout to rediscover
+  // it. SkipDownShard's half-open pass-through still lets every
+  // kHalfOpenEvery-th transaction probe the shard, so recovery needs no
+  // operator action.
+  for (const auto& [shard, indices] : by_shard) {
+    if (SkipDownShard(shard)) {
+      resolve(/*committed=*/false);
+      return Status::Unavailable(
+          "2pc aborted before staging: shard " + std::to_string(shard) +
+          " is down (" +
+          std::to_string(shard_health().consecutive_failures[shard]) +
+          " consecutive failures)");
+    }
   }
 
   // Staging keys are deterministic, so cleanup resolves what actually
@@ -168,6 +282,11 @@ Status ShardedStorageEngine::RunTransaction(
           (void)shards_[shard]->DeleteVersion(id);
         }
       }
+    }
+    // The decision record is part of the transaction's staging footprint:
+    // commit and abort alike must leave zero __2pc__/ keys behind.
+    for (const Hash256& id : shards_[0]->Versions(decision_key)) {
+      (void)shards_[0]->DeleteVersion(id);
     }
   };
 
@@ -199,6 +318,8 @@ Status ShardedStorageEngine::RunTransaction(
   for (auto& [shard, deferred] : prepares) {
     auto prepared = deferred.Get();
     ledger.Collect();
+    NoteShardResult(shard,
+                    prepared.ok() ? Status::Ok() : prepared.status());
     if (!prepared.ok() && prepare_failure.ok()) {
       prepare_failure = prepared.status();
       prepare_failed_shard = shard;
@@ -211,6 +332,29 @@ Status ShardedStorageEngine::RunTransaction(
                   "2pc prepare failed on shard " +
                       std::to_string(prepare_failed_shard) + ": " +
                       prepare_failure.message());
+  }
+
+  // Decision point: persist the commit decision durably on shard 0 BEFORE
+  // any real write lands. From here on a crashed coordinator's transaction
+  // is recoverable — RecoverTwoPhase finds the decision and rolls the
+  // staged intents forward; without it the intents are fenced. A failed
+  // decision write is therefore a clean abort: nothing real has applied.
+  {
+    std::string decision(kIntentHeader);
+    decision.append("commit");
+    ledger.Issue(0);
+    ledger.decision_round_trips += 1;
+    auto decided = shards_[0]->Put(decision_key, decision);
+    ledger.Collect();
+    NoteShardResult(0, decided.ok() ? Status::Ok() : decided.status());
+    if (!decided.ok()) {
+      cleanup_staged();
+      resolve(/*committed=*/false);
+      return Status(decided.status().code(),
+                    "2pc decision write failed on shard 0: " +
+                        decided.status().message() +
+                        " (transaction aborted, nothing applied)");
+    }
   }
 
   // Phase 2: unanimous prepare — apply the real writes. Applies stay
@@ -228,15 +372,27 @@ Status ShardedStorageEngine::RunTransaction(
   }
   std::vector<StatusOr<PutResult>> applied_results;
   applied_results.reserve(writes.size());
-  for (Deferred<PutResult>& deferred : applies) {
-    applied_results.push_back(deferred.Get());
+  for (size_t i = 0; i < applies.size(); ++i) {
+    applied_results.push_back(applies[i].Get());
     ledger.Collect();
+    NoteShardResult(writes[i].shard, applied_results.back().ok()
+                                         ? Status::Ok()
+                                         : applied_results.back().status());
   }
   for (size_t i = 0; i < writes.size(); ++i) {
     if (applied_results[i].ok()) continue;
     // Prepare voted yes everywhere, so an apply failure is a broken
     // participant, not a routine abort — but partial state must not
-    // surface. Roll back every write that DID apply (safe even for
+    // surface. REVOKE the commit decision first: once it is gone a
+    // concurrent or later recovery fences this transaction instead of
+    // rolling it forward, so the rollback below cannot race a re-apply.
+    // (If the coordinator dies between this delete and the rollback, the
+    // already-applied writes survive as real versions — a known limitation;
+    // the recovery scan at least can no longer resurrect the rest.)
+    for (const Hash256& did : shards_[0]->Versions(decision_key)) {
+      (void)shards_[0]->DeleteVersion(did);
+    }
+    // Roll back every write that DID apply (safe even for
     // deduplicated applies: both engines derive version ids from
     // key + ordinal, so a fresh Put always creates a fresh id and the
     // delete can never take an older object with it) and account the
@@ -374,19 +530,43 @@ StatusOr<std::string> ShardedStorageEngine::GetVersion(const Hash256& id) {
   // Responses are still judged in shard order, so the answer (first holder
   // wins, first non-NotFound error surfaces) is identical to the old
   // serial loop — only the wire latency stops multiplying by shard count.
-  std::vector<Deferred<std::string>> probes;
+  // Shards the health tracker knows are down are skipped (no timeout
+  // burned); if the id is then found nowhere, the honest answer is a typed
+  // Unavailable naming them, NOT NotFound — the version may well live on a
+  // shard we could not ask.
+  std::vector<std::pair<size_t, Deferred<std::string>>> probes;
+  std::vector<size_t> probed;
+  std::vector<size_t> skipped;
   probes.reserve(shards_.size());
   InflightMeter meter;
-  for (const auto& shard : shards_) {
-    probes.push_back(shard->AsyncGetVersion(id));
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (SkipDownShard(s)) {
+      skipped.push_back(s);
+      continue;
+    }
+    probes.emplace_back(s, shards_[s]->AsyncGetVersion(id));
+    probed.push_back(s);
     meter.Issue();
   }
-  RecordBroadcast(meter.peak);
-  for (Deferred<std::string>& probe : probes) {
+  RecordBroadcast(meter.peak, probed);
+  for (auto& [s, probe] : probes) {
     auto data = probe.Get();
     meter.Collect();
+    NoteShardResult(s, data.ok() || data.status().IsNotFound()
+                           ? Status::Ok()
+                           : data.status());
     if (data.ok()) return data;
     if (!data.status().IsNotFound()) return data.status();
+  }
+  if (!skipped.empty()) {
+    std::string names;
+    for (size_t s : skipped) {
+      if (!names.empty()) names += ",";
+      names += std::to_string(s);
+    }
+    return Status::Unavailable("version " + id.ShortHex() +
+                               " not on any reachable shard (shard(s) " +
+                               names + " down, not probed)");
   }
   return Status::NotFound("version " + id.ShortHex() + " not on any shard");
 }
@@ -401,23 +581,30 @@ bool ShardedStorageEngine::HasVersion(const Hash256& id) const {
       return shards_[shard]->HasVersion(id);
     }
   }
-  std::vector<Deferred<bool>> probes;
+  // Down shards are skipped: HasVersion has no error channel, so the
+  // degraded answer for an unreachable holder is false (the documented
+  // fallback for transport failure anyway).
+  std::vector<std::pair<size_t, Deferred<bool>>> probes;
+  std::vector<size_t> probed;
   probes.reserve(shards_.size());
   InflightMeter meter;
-  for (const auto& shard : shards_) {
-    probes.push_back(shard->AsyncHasVersion(id));
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (SkipDownShard(s)) continue;
+    probes.emplace_back(s, shards_[s]->AsyncHasVersion(id));
+    probed.push_back(s);
     meter.Issue();
   }
-  RecordBroadcast(meter.peak);
-  for (Deferred<bool>& probe : probes) {
+  RecordBroadcast(meter.peak, probed);
+  bool found = false;
+  for (auto& [s, probe] : probes) {
     auto has = probe.Get();
     meter.Collect();
-    // First holder wins; the remaining Deferreds are abandoned safely (the
-    // transport always fulfills the promise side), so one slow shard never
-    // delays an answer another shard already gave.
-    if (has.ok() && *has) return true;
+    // Every probe is collected (each answer feeds the health tracker);
+    // any holder makes the answer true.
+    NoteShardResult(s, has.ok() ? Status::Ok() : has.status());
+    if (has.ok() && *has) found = true;
   }
-  return false;
+  return found;
 }
 
 std::vector<Hash256> ShardedStorageEngine::Versions(
@@ -451,24 +638,38 @@ StatusOr<uint64_t> ShardedStorageEngine::DeleteVersion(const Hash256& id) {
       indexed = true;
     }
   }
+  // A delete must be able to reach EVERY potential holder: deciding with a
+  // down shard in the cluster risks leaking its replica or leaving a
+  // replicated version half-deleted (permanent divergence). Fail fast with
+  // a typed status instead; the caller retries once the shard is back.
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (ShardDown(s)) {
+      return Status::Unavailable(
+          "cannot delete version " + id.ShortHex() + ": shard " +
+          std::to_string(s) + " is down and may hold a replica");
+    }
+  }
   if (!indexed) {
     // Not in the router index (a restored shard): probe everywhere
     // (overlapped broadcast). More than one holder means a replicated
     // version — fall through to the delete-every-replica branch, otherwise
     // replicas would leak.
     std::vector<Deferred<bool>> probes;
+    std::vector<size_t> probed;
     probes.reserve(shards_.size());
     InflightMeter meter;
     for (size_t s = 0; s < shards_.size(); ++s) {
       probes.push_back(shards_[s]->AsyncHasVersion(id));
+      probed.push_back(s);
       meter.Issue();
     }
-    RecordBroadcast(meter.peak);
+    RecordBroadcast(meter.peak, probed);
     std::vector<size_t> holders;
     Status probe_failure;
     for (size_t s = 0; s < shards_.size(); ++s) {
       auto has = probes[s].Get();
       meter.Collect();
+      NoteShardResult(s, has.ok() ? Status::Ok() : has.status());
       if (!has.ok() && probe_failure.ok()) probe_failure = has.status();
       if (has.ok() && *has) holders.push_back(s);
     }
@@ -538,14 +739,157 @@ ShardedStorageEngine::TwoPhaseStats ShardedStorageEngine::two_phase_stats()
   return tp_stats_;
 }
 
+Status ShardedStorageEngine::RecoverTwoPhase() {
+  // Recovery is itself a coordinated mutation: hold the transaction lock so
+  // no new transaction interleaves with the scan-and-resolve pass.
+  std::lock_guard<std::mutex> txn_lock(txn_mu_);
+
+  struct StagedRecord {
+    size_t shard = 0;
+    std::string key;  ///< Full staging key (intent or decision).
+    Hash256 id;
+    bool is_decision = false;
+  };
+  std::map<uint64_t, std::vector<StagedRecord>> txns;
+  std::map<uint64_t, bool> committed;  ///< Decision present on shard 0.
+  uint64_t max_txn = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    for (const auto& [key, id] : shards_[s]->ListAllVersions()) {
+      uint64_t txn = 0;
+      bool is_decision = false;
+      if (!ParseStagingKey(key, &txn, &is_decision)) continue;
+      txns[txn].push_back({s, key, id, is_decision});
+      // Only shard 0's copy of the decision is authoritative: the
+      // coordinator never writes it anywhere else, so a stray decision on
+      // another shard is garbage and gets deleted with the rest.
+      if (is_decision && s == 0) committed[txn] = true;
+      max_txn = std::max(max_txn, txn);
+    }
+  }
+
+  uint64_t recovered = 0;
+  uint64_t fenced = 0;
+  uint64_t replayed = 0;
+  Status first_failure;
+
+  for (auto& [txn, records] : txns) {
+    bool roll_forward = committed.count(txn) > 0;
+    if (roll_forward) {
+      // Committed: the dead coordinator promised these writes. Re-apply
+      // each staged intent — idempotently: a write the coordinator already
+      // landed exists as a version of the target key with the intent's
+      // exact bytes, and is recognized instead of applied again.
+      // Replicated keys (the same target key staged on >1 shard) re-enter
+      // the router index as replicated.
+      std::map<std::string, size_t> key_shards;  // target key -> shard count
+      struct Replay {
+        size_t shard;
+        std::string key;
+        std::string data;
+      };
+      std::vector<Replay> replays;
+      bool txn_ok = true;
+      for (const StagedRecord& record : records) {
+        if (record.is_decision) continue;
+        auto payload = shards_[record.shard]->GetVersion(record.id);
+        if (!payload.ok()) {
+          if (first_failure.ok()) {
+            first_failure = Status(
+                payload.status().code(),
+                "2pc recovery cannot read intent " + record.key +
+                    " on shard " + std::to_string(record.shard) + ": " +
+                    payload.status().message());
+          }
+          txn_ok = false;
+          break;
+        }
+        std::string_view target_key;
+        std::string_view data;
+        if (!ParseIntentPayload(*payload, &target_key, &data)) {
+          if (first_failure.ok()) {
+            first_failure = Status::Corruption(
+                "2pc recovery found a malformed intent payload under " +
+                record.key);
+          }
+          txn_ok = false;
+          break;
+        }
+        key_shards[std::string(target_key)] += 1;
+        replays.push_back(
+            {record.shard, std::string(target_key), std::string(data)});
+      }
+      if (!txn_ok) continue;  // Leave the records; a later pass retries.
+      for (const Replay& replay : replays) {
+        bool already_applied = false;
+        for (const Hash256& vid :
+             shards_[replay.shard]->Versions(replay.key)) {
+          auto existing = shards_[replay.shard]->GetVersion(vid);
+          if (existing.ok() && *existing == replay.data) {
+            already_applied = true;
+            RecordVersion(vid, key_shards[replay.key] > 1 ? kReplicated
+                                                          : replay.shard);
+            break;
+          }
+        }
+        if (already_applied) continue;
+        auto put = shards_[replay.shard]->Put(replay.key, replay.data);
+        if (!put.ok()) {
+          if (first_failure.ok()) {
+            first_failure = Status(
+                put.status().code(),
+                "2pc recovery failed to replay " + replay.key +
+                    " on shard " + std::to_string(replay.shard) + ": " +
+                    put.status().message());
+          }
+          txn_ok = false;
+          break;
+        }
+        RecordVersion(put->id,
+                      key_shards[replay.key] > 1 ? kReplicated : replay.shard);
+        replayed += 1;
+      }
+      if (!txn_ok) continue;
+    }
+    // Resolved (rolled forward or fenced): destroy every staging record so
+    // the writes can never surface again and a rescan comes back clean.
+    for (const StagedRecord& record : records) {
+      (void)shards_[record.shard]->DeleteVersion(record.id);
+    }
+    if (roll_forward) {
+      recovered += 1;
+    } else {
+      fenced += 1;
+    }
+  }
+
+  // A rebuilt router restarts its transaction counter at 0; bump it past
+  // every id seen on disk so new staging keys can never collide with
+  // leftovers from a previous incarnation.
+  if (!txns.empty()) {
+    uint64_t expected = txn_counter_.load(std::memory_order_relaxed);
+    while (expected <= max_txn &&
+           !txn_counter_.compare_exchange_weak(expected, max_txn + 1,
+                                               std::memory_order_relaxed)) {
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> stats_lock(tp_stats_mu_);
+    tp_stats_.recovered_transactions += recovered;
+    tp_stats_.fenced_transactions += fenced;
+    tp_stats_.replayed_writes += replayed;
+  }
+  return first_failure;
+}
+
 void ShardedStorageEngine::RecordBroadcast(
-    uint64_t measured_peak_inflight) const {
+    uint64_t measured_peak_inflight, const std::vector<size_t>& probed) const {
   std::lock_guard<std::mutex> lock(bc_stats_mu_);
   bc_stats_.broadcasts += 1;
-  bc_stats_.probe_round_trips += shards_.size();
+  bc_stats_.probe_round_trips += probed.size();
   bc_stats_.max_inflight_probes =
       std::max(bc_stats_.max_inflight_probes, measured_peak_inflight);
-  for (uint64_t& probes : bc_stats_.per_shard_probes) probes += 1;
+  for (size_t s : probed) bc_stats_.per_shard_probes[s] += 1;
 }
 
 ShardedStorageEngine::BroadcastStats ShardedStorageEngine::broadcast_stats()

@@ -89,6 +89,19 @@ class ShardedStorageEngine : public StorageEngine {
     /// Prepare+apply messages per shard index — the per-shard view that
     /// shows whether coordination load is balanced or piling on one shard.
     std::vector<uint64_t> per_shard_round_trips;
+    /// Commit-decision writes issued to shard 0: exactly one per
+    /// transaction that reached a unanimous prepare (aborts before the
+    /// decision point issue none).
+    uint64_t decision_round_trips = 0;
+    /// RecoverTwoPhase outcomes: transactions rolled FORWARD (durable
+    /// decision found), transactions FENCED (no decision — intents
+    /// destroyed so a zombie coordinator can never land them), and the
+    /// individual writes the roll-forwards actually re-applied (an
+    /// already-applied write is recognized by payload identity and
+    /// skipped, so replay is idempotent).
+    uint64_t recovered_transactions = 0;
+    uint64_t fenced_transactions = 0;
+    uint64_t replayed_writes = 0;
   };
 
   /// Router broadcast telemetry (version-id lookups that missed the router
@@ -133,6 +146,38 @@ class ShardedStorageEngine : public StorageEngine {
   TwoPhaseStats two_phase_stats() const;
   BroadcastStats broadcast_stats() const;
 
+  /// Availability of one shard as judged from this router's own traffic:
+  /// kUnavailable / kDeadlineExceeded responses bump a consecutive-failure
+  /// count (any other answer — including NotFound — resets it, because the
+  /// shard responded). One failure degrades; kDownFailures consecutive
+  /// failures mark the shard down, after which broadcasts and 2PC fan-outs
+  /// skip it and fail fast with a typed Unavailable instead of burning a
+  /// timeout per call. Down shards are re-probed every kHalfOpenEvery-th
+  /// skip (half-open), so a recovered shard rejoins without manual help;
+  /// MarkShardRecovered short-circuits that wait after a known restart.
+  enum class ShardHealth : uint8_t { kUp = 0, kDegraded = 1, kDown = 2 };
+  struct ShardHealthView {
+    std::vector<ShardHealth> state;                ///< One entry per shard.
+    std::vector<uint64_t> consecutive_failures;    ///< Current streaks.
+  };
+  ShardHealthView shard_health() const;
+  /// Clears shard `shard`'s failure streak (e.g. after restarting its
+  /// process), so the next fan-out talks to it immediately.
+  void MarkShardRecovered(size_t shard);
+
+  /// Scans every shard for leftover `__2pc__/` staging records from
+  /// transactions that died mid-flight (coordinator crash, shard kill) and
+  /// resolves each one: a transaction whose durable commit decision exists
+  /// on shard 0 is rolled FORWARD (its intents are re-applied, idempotently
+  /// — a write the dead coordinator already landed is recognized by payload
+  /// identity and not applied twice), any other transaction is FENCED (its
+  /// intents are deleted, so the writes can never surface). Either way the
+  /// staging records are gone afterwards: a clean scan is the recovery
+  /// invariant the chaos suite asserts. Call on a freshly (re)built router
+  /// before accepting new transactions, and after rejoining a crashed
+  /// shard. Outcomes are counted in two_phase_stats().
+  Status RecoverTwoPhase();
+
  private:
   /// One write bound for a specific shard, remembering its slot in the
   /// caller's batch so results come back in order.
@@ -154,12 +199,28 @@ class ShardedStorageEngine : public StorageEngine {
 
   void RecordVersion(const Hash256& id, size_t shard);
 
-  /// Accounts one index-miss broadcast (a probe issued to every shard)
-  /// into bc_stats_ as a single unit. `measured_peak_inflight` comes from
-  /// the call site's issue/collect meter — a real measurement, so a
-  /// regression to a serial probe loop shows up as 1 in the stats (and
-  /// fails the ledger tests) instead of being papered over.
-  void RecordBroadcast(uint64_t measured_peak_inflight) const;
+  /// Accounts one index-miss broadcast into bc_stats_ as a single unit.
+  /// `measured_peak_inflight` comes from the call site's issue/collect
+  /// meter — a real measurement, so a regression to a serial probe loop
+  /// shows up as 1 in the stats (and fails the ledger tests) instead of
+  /// being papered over. `probed` lists the shards actually messaged
+  /// (down shards a fan-out skipped are not probes).
+  void RecordBroadcast(uint64_t measured_peak_inflight,
+                       const std::vector<size_t>& probed) const;
+
+  /// Feeds one shard response into the health tracker (see shard_health()).
+  /// Pass Ok for any answered call — NotFound is an answer.
+  void NoteShardResult(size_t shard, const Status& status) const;
+  /// True when `shard` is down and this fan-out should skip it. Mutates the
+  /// half-open counter: every kHalfOpenEvery-th would-be skip returns false
+  /// so the shard gets probed.
+  bool SkipDownShard(size_t shard) const;
+  /// Non-mutating down check (for callers that fail fast instead of
+  /// skipping, e.g. DeleteVersion).
+  bool ShardDown(size_t shard) const;
+
+  static constexpr uint64_t kDownFailures = 3;
+  static constexpr uint64_t kHalfOpenEvery = 8;
 
   /// Sentinel shard index meaning "present on every shard, read from 0".
   static constexpr size_t kReplicated = static_cast<size_t>(-1);
@@ -184,6 +245,12 @@ class ShardedStorageEngine : public StorageEngine {
   /// Broadcast-probe telemetry, one unit per broadcast (see BroadcastStats).
   mutable std::mutex bc_stats_mu_;
   mutable BroadcastStats bc_stats_;
+
+  /// Health tracker state (see shard_health()); mutable because query-side
+  /// const calls observe failures too.
+  mutable std::mutex health_mu_;
+  mutable std::vector<uint64_t> consecutive_failures_;
+  mutable std::vector<uint64_t> half_open_skips_;
 };
 
 /// Builds the canonical loopback cluster: `shards` backends (from

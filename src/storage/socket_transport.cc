@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstring>
 #include <utility>
 
@@ -169,7 +170,14 @@ SocketTransport::SocketTransport(int fd, Endpoint endpoint, Options options)
 }
 
 SocketTransport::~SocketTransport() {
-  ::shutdown(fd_, SHUT_RDWR);  // wakes the reader out of read()
+  stopping_.store(true, std::memory_order_release);
+  redial_cv_.notify_all();  // wakes a backoff sleep
+  {
+    // Under write_mu_ so the shutdown hits whichever fd is current — the
+    // reader swaps fd_ during redial and checks stopping_ under this lock.
+    std::lock_guard<std::mutex> lock(write_mu_);
+    ::shutdown(fd_, SHUT_RDWR);  // wakes the reader out of read()
+  }
   if (reader_.joinable()) reader_.join();
   ::close(fd_);
   FailAllPending(Status::Unavailable("transport destroyed"));
@@ -210,35 +218,74 @@ TransportFuture SocketTransport::AsyncCallWithId(std::string_view request,
     }
     Pending pending;
     pending.promise = std::move(promise);
-    pending.request_bytes = request.size();
+    // Retained so a redial can replay the call on the fresh connection.
+    pending.request.assign(request.data(), request.size());
     pending_.emplace(id, std::move(pending));
   }
-  const uint8_t version = wire_version_.load(std::memory_order_relaxed);
-  Status sent;
-  if (version >= kWireVersionBinary && options_.chunk_threshold > 0 &&
-      request.size() >= options_.chunk_threshold) {
-    sent = SendChunked(id, version, request);
-  } else {
-    // Scatter-gather: header + payload leave as one sendmsg, the payload
-    // bytes never copied into a frame buffer.
-    std::string header;
-    AppendFrameHeader(&header, FrameType::kData, id,
-                      static_cast<uint32_t>(request.size()), version);
-    std::vector<iovec> iov;
-    iov.push_back(MakeIov(header.data(), header.size()));
-    if (!request.empty()) iov.push_back(MakeIov(request.data(), request.size()));
-    std::lock_guard<std::mutex> lock(write_mu_);
-    sent = SendParts(fd_, &iov);
+  SendFault fault;
+  if (options_.injector != nullptr) fault = options_.injector->OnClientSend();
+  if (fault.delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(fault.delay_ms));
   }
+  Status sent = SendRequest(id, request, fault);
   if (!sent.ok()) {
-    // The peer is gone for everyone, not just this call.
-    FailAllPending(sent);
+    if (options_.redial_budget_ms > 0) {
+      // Degrade instead of failing: the reader notices the dead connection
+      // (the shutdown below guarantees it wakes), redials, and replays this
+      // call along with every other pending one.
+      std::lock_guard<std::mutex> lock(write_mu_);
+      connected_ = false;
+      if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+    } else {
+      // The peer is gone for everyone, not just this call.
+      FailAllPending(sent);
+    }
   }
   return future;
 }
 
+Status SocketTransport::SendRequest(uint64_t id, std::string_view request,
+                                    const SendFault& fault) {
+  const uint8_t version = wire_version_.load(std::memory_order_relaxed);
+  if (fault.drop_before) {
+    // "Frame dropped" on a stream socket: the only honest simulation is
+    // killing the connection before the bytes leave — the reader sees EOF,
+    // redials, and the replay delivers the request exactly once.
+    std::lock_guard<std::mutex> lock(write_mu_);
+    if (connected_ && fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+    return Status::Ok();
+  }
+  if (version >= kWireVersionBinary && options_.chunk_threshold > 0 &&
+      request.size() >= options_.chunk_threshold) {
+    return SendChunked(id, version, request, fault);
+  }
+  // Scatter-gather: header + payload leave as one sendmsg, the payload
+  // bytes never copied into a frame buffer.
+  std::string header;
+  AppendFrameHeader(&header, FrameType::kData, id,
+                    static_cast<uint32_t>(request.size()), version);
+  if (fault.garble) {
+    // Corrupt the length field to an impossible size: the peer's decoder
+    // reports Corruption and closes, exercising the redial+replay path
+    // with a guaranteed-detectable garble.
+    header[10] = header[11] = header[12] = header[13] = '\xff';
+  }
+  std::vector<iovec> iov;
+  iov.push_back(MakeIov(header.data(), header.size()));
+  if (!request.empty()) iov.push_back(MakeIov(request.data(), request.size()));
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (!connected_) return Status::Ok();  // queued; replay will deliver it
+  Status sent = SendParts(fd_, &iov);
+  if (sent.ok() && fault.drop_after && fd_ >= 0) {
+    // Request delivered, response lost: the replay-ledger scenario.
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+  return sent;
+}
+
 Status SocketTransport::SendChunked(uint64_t id, uint8_t version,
-                                    std::string_view payload) {
+                                    std::string_view payload,
+                                    const SendFault& fault) {
   const auto cuts = wire::WireChunker().Split(payload);
   // Hash the chunk addresses for the manifest BEFORE taking the write lock:
   // SHA-256 over megabytes must not serialize other callers' sends.
@@ -270,10 +317,19 @@ Status SocketTransport::SendChunked(uint64_t id, uint8_t version,
   iov.push_back(MakeIov(end_header.data(), end_header.size()));
   iov.push_back(MakeIov(end_payload.data(), end_payload.size()));
 
+  if (fault.garble && !headers.empty()) {
+    // Same guaranteed-detectable corruption as the monolithic path.
+    headers[0][10] = headers[0][11] = headers[0][12] = headers[0][13] = '\xff';
+  }
+
   Status sent;
   {
     std::lock_guard<std::mutex> lock(write_mu_);
+    if (!connected_) return Status::Ok();  // replay will deliver it
     sent = SendParts(fd_, &iov);
+    if (sent.ok() && fault.drop_after && fd_ >= 0) {
+      ::shutdown(fd_, SHUT_RDWR);
+    }
   }
   if (sent.ok()) {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -354,20 +410,71 @@ void SocketTransport::FailAllPending(const Status& status) {
 }
 
 void SocketTransport::ReaderLoop() {
+  // Session manager: pump frames until the connection dies, then run the
+  // recovery state machine (degraded -> redialing -> recovered) and pump
+  // the replacement. Terminal only on destruction, redial-budget
+  // exhaustion, or consecutive barren sessions (a flapping peer that never
+  // delivers a frame must not redial forever).
+  constexpr int kMaxBarrenSessions = 8;
+  int barren_sessions = 0;
+  for (;;) {
+    bool delivered = false;
+    Status session = PumpSession(&delivered);
+    if (stopping_.load(std::memory_order_acquire)) {
+      conn_state_.store(ConnState::kFailed, std::memory_order_relaxed);
+      FailAllPending(session);
+      return;
+    }
+    if (options_.redial_budget_ms == 0) {
+      // Fail-fast mode: first connection loss fails the session.
+      conn_state_.store(ConnState::kFailed, std::memory_order_relaxed);
+      FailAllPending(session);
+      return;
+    }
+    barren_sessions = delivered ? 0 : barren_sessions + 1;
+    if (barren_sessions >= kMaxBarrenSessions) {
+      conn_state_.store(ConnState::kFailed, std::memory_order_relaxed);
+      FailAllPending(Status::Unavailable(
+          "peer " + endpoint_.ToString() + " flapping: " +
+          std::to_string(barren_sessions) +
+          " consecutive sessions delivered no frame"));
+      return;
+    }
+    conn_state_.store(ConnState::kDegraded, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(write_mu_);
+      connected_ = false;
+    }
+    Status redialed = Redial();
+    if (!redialed.ok()) {
+      conn_state_.store(ConnState::kFailed, std::memory_order_relaxed);
+      FailAllPending(redialed);
+      return;
+    }
+    conn_state_.store(ConnState::kRecovered, std::memory_order_relaxed);
+  }
+}
+
+Status SocketTransport::PumpSession(bool* delivered) {
+  // Fresh decode state per connection: a garble that killed the previous
+  // session must not poison this one.
   FrameDecoder decoder(options_.max_frame_payload);
   // Reassembles incoming chunk-streamed responses; reader-thread-only.
   wire::StreamAssembler assembler(options_.max_frame_payload);
+  int fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    fd = fd_;
+  }
   char buf[64 * 1024];
   for (;;) {
-    ssize_t n = ::read(fd_, buf, sizeof(buf));
+    ssize_t n = ::read(fd, buf, sizeof(buf));
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) {
       Status eof = decoder.Finish();
-      FailAllPending(eof.ok() ? Status::Unavailable(
-                                    "peer " + endpoint_.ToString() +
-                                    " closed the connection")
-                              : eof);
-      return;
+      return eof.ok() ? Status::Unavailable("peer " + endpoint_.ToString() +
+                                            " closed the connection")
+                      : eof;
     }
     decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
     {
@@ -400,12 +507,12 @@ void SocketTransport::ReaderLoop() {
               std::lock_guard<std::mutex> lock(stats_mu_);
               stats_.transport_errors += 1;
             }
+            *delivered = true;  // the peer answered; session is live
             waiter.set_value(next.status());
           }
           continue;
         }
-        FailAllPending(next.status());
-        return;
+        return next.status();
       }
       if (!*next) break;  // need more bytes
       if (frame.type == FrameType::kChunk) {
@@ -413,8 +520,7 @@ void SocketTransport::ReaderLoop() {
         if (!accepted.ok()) {
           // A chunk stream that violates limits means the framing itself
           // can no longer be trusted.
-          FailAllPending(accepted);
-          return;
+          return accepted;
         }
         std::lock_guard<std::mutex> lock(stats_mu_);
         stats_.chunk_frames_received += 1;
@@ -424,8 +530,7 @@ void SocketTransport::ReaderLoop() {
         auto assembled = assembler.OnEnd(frame.id, frame.payload);
         if (!assembled.ok()) {
           // Manifest mismatch = the stream delivered corrupt bytes.
-          FailAllPending(assembled.status());
-          return;
+          return assembled.status();
         }
         {
           std::lock_guard<std::mutex> lock(stats_mu_);
@@ -443,12 +548,13 @@ void SocketTransport::ReaderLoop() {
         auto it = pending_.find(frame.id);
         if (it != pending_.end()) {
           waiter = std::move(it->second.promise);
-          request_bytes = it->second.request_bytes;
+          request_bytes = it->second.request.size();
           pending_.erase(it);
           found = true;
         }
       }
       if (!found) continue;  // response to an abandoned/unknown id
+      *delivered = true;
       if (frame.type == FrameType::kError) {
         {
           std::lock_guard<std::mutex> lock(stats_mu_);
@@ -468,6 +574,78 @@ void SocketTransport::ReaderLoop() {
       waiter.set_value(std::move(frame.payload));
     }
   }
+}
+
+Status SocketTransport::Redial() {
+  conn_state_.store(ConnState::kRedialing, std::memory_order_relaxed);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.redial_budget_ms);
+  uint64_t backoff = std::max<uint64_t>(1, options_.redial_initial_backoff_ms);
+  Status last = Status::Unavailable("redial never attempted");
+  int new_fd = -1;
+  for (;;) {
+    if (stopping_.load(std::memory_order_acquire)) {
+      return Status::Unavailable("transport destroyed");
+    }
+    auto opened = OpenSocket(endpoint_, /*bind_side=*/false);
+    if (opened.ok()) {
+      new_fd = *opened;
+      break;
+    }
+    last = opened.status();
+    if (std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(backoff) >=
+        deadline) {
+      return Status::Unavailable(
+          "redial budget (" + std::to_string(options_.redial_budget_ms) +
+          "ms) exhausted for " + endpoint_.ToString() + ": " +
+          last.message());
+    }
+    {
+      std::unique_lock<std::mutex> lock(redial_mu_);
+      redial_cv_.wait_for(lock, std::chrono::milliseconds(backoff), [this] {
+        return stopping_.load(std::memory_order_acquire);
+      });
+    }
+    backoff = std::min<uint64_t>(backoff * 2, 500);
+  }
+  // Snapshot the calls to replay BEFORE going connected: anything arriving
+  // after the swap sends itself; anything in this snapshot is sent below.
+  // Correlation-id order preserves the per-connection ordering the 2PC
+  // apply phase relies on.
+  std::vector<std::pair<uint64_t, std::string>> replay;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    replay.reserve(pending_.size());
+    for (const auto& [id, pending] : pending_) {
+      replay.emplace_back(id, pending.request);
+    }
+  }
+  std::sort(replay.begin(), replay.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(new_fd);
+      return Status::Unavailable("transport destroyed");
+    }
+    ::close(fd_);
+    fd_ = new_fd;
+    connected_ = true;
+  }
+  redials_.fetch_add(1, std::memory_order_relaxed);
+  for (const auto& [id, request] : replay) {
+    // Replays carry no injected faults — the fault hit the ORIGINAL
+    // transmission; recovery must be clean or it is not recovery.
+    Status sent = SendRequest(id, request, SendFault{});
+    if (!sent.ok()) {
+      // The replacement died mid-replay: let the pump observe it and run
+      // another redial cycle (bounded by the barren-session cap).
+      break;
+    }
+  }
+  return Status::Ok();
 }
 
 TransportStats SocketTransport::stats() const {
@@ -833,11 +1011,17 @@ void SocketTransportServer::WorkerThread() {
       Job job;
       {
         std::lock_guard<std::mutex> lock(connection->mu);
-        if (connection->jobs.empty() || connection->closed) {
-          connection->jobs.clear();
+        if (connection->jobs.empty()) {
           connection->job_active = false;
           break;
         }
+        // Jobs of a CLOSED connection still execute: the request was
+        // delivered in full, so the peer may legitimately believe it
+        // happened — dropping it here would turn a lost RESPONSE into a
+        // lost WRITE. Executing it lands the mutation and records it in
+        // the replay ledger, so the peer's redial replay gets the recorded
+        // answer instead of a second application. Only the response is
+        // discarded (EnqueueResponse is a no-op once closed).
         job = std::move(connection->jobs.front());
         connection->jobs.pop_front();
       }
@@ -862,6 +1046,17 @@ void SocketTransportServer::ProcessJob(
       return;
     }
     job.payload = *std::move(assembled);
+  }
+  if (options_.injector != nullptr) {
+    JobFault fault = options_.injector->OnServerJob(job.payload.size());
+    if (fault.kill) {
+      // The chaos "kill -9 mid-2PC": nothing is flushed, no destructor
+      // runs — indistinguishable from a power cut on this shard.
+      ::kill(::getpid(), SIGKILL);
+    }
+    if (fault.delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(fault.delay_ms));
+    }
   }
   std::string response = handler_(job.payload);
   EnqueueResponse(connection, job.id, job.version, std::move(response));

@@ -14,11 +14,29 @@
 #include <vector>
 
 #include "storage/endpoint.h"
+#include "storage/fault_injector.h"
 #include "storage/frame.h"
 #include "storage/transport.h"
 #include "storage/wire_codec.h"
 
 namespace mlcask::storage {
+
+/// Client connection lifecycle under the self-healing transport. One-way
+/// within a session; kRecovered and kConnected are equivalent for callers
+/// (kRecovered just records that at least one redial happened).
+///
+///   kConnected --(read error / EOF / corruption)--> kDegraded
+///   kDegraded  --(redial attempts, bounded exponential backoff)--> kRedialing
+///   kRedialing --(connect ok: replay pending calls)--> kRecovered
+///   kRedialing --(budget exhausted)--> kFailed (terminal; pending calls
+///                                      fail Unavailable, session broken)
+enum class ConnState : uint8_t {
+  kConnected = 0,
+  kDegraded = 1,
+  kRedialing = 2,
+  kRecovered = 3,
+  kFailed = 4,
+};
 
 /// The first real Transport: length-prefixed frames (storage/frame.h) over a
 /// Unix-domain or TCP stream socket, multiplexed by per-request correlation
@@ -41,13 +59,21 @@ namespace mlcask::storage {
 /// (monolithic, JSON-era) — codec negotiation uses it when the peer is an
 /// older build.
 ///
-/// Failure surface (all as statuses, never hangs):
+/// Failure surface (all as statuses, never hangs). A lost or garbled
+/// connection first enters the redial state machine (ConnState above):
+/// in-flight calls stay pending, a replacement connection is dialed with
+/// bounded exponential backoff, and pending requests are replayed on it in
+/// correlation-id order (the server's replay ledger deduplicates mutations
+/// the first connection already applied). Only when the redial budget is
+/// exhausted does the session fail:
 ///   connect refused / no such socket      Unavailable (from Connect)
-///   peer closes / resets mid-call         Unavailable, fails EVERY pending
+///   peer gone + redial budget exhausted   Unavailable, fails EVERY pending
 ///   call outliving options.call_timeout   DeadlineExceeded (Call/CallMany)
 ///   wire-format version skew              Unimplemented (from the peer's
 ///                                         error frame, or local decode)
-///   garbled stream / bad chunk manifest   Corruption, connection abandoned
+///   garbled stream / bad chunk manifest   redial; terminal only on budget
+///                                         exhaustion (redial_budget_ms=0
+///                                         restores fail-fast Corruption)
 ///
 /// stats() is a consistent snapshot under one mutex, same contract as
 /// LoopbackTransport; completed calls count {calls, request, response} as
@@ -68,6 +94,18 @@ class SocketTransport : public Transport {
     /// Initial wire version stamped on outgoing frames. Tests forge old
     /// peers with kWireVersionJson; production uses the default.
     uint8_t wire_version = kWireVersionBinary;
+    /// Total milliseconds the transport keeps redialing a lost connection
+    /// before declaring the session broken. While redialing, in-flight
+    /// calls stay pending and are REPLAYED on the fresh connection (the
+    /// server's replay ledger makes replayed mutations apply once). 0
+    /// restores the old fail-fast behavior: first connection loss fails
+    /// every pending call.
+    uint64_t redial_budget_ms = 2000;
+    /// First redial backoff; doubles per attempt, capped at 500ms.
+    uint64_t redial_initial_backoff_ms = 10;
+    /// Optional deterministic fault policy applied to outgoing requests
+    /// (drop / drop-after-send / garble / delay). Chaos harness only.
+    std::shared_ptr<FaultInjector> injector;
   };
 
   /// Connects to `endpoint` (unix: or tcp:). Connection failures surface as
@@ -108,6 +146,13 @@ class SocketTransport : public Transport {
     wire_version_.store(version, std::memory_order_relaxed);
   }
 
+  /// Connection state machine position (telemetry/tests).
+  ConnState conn_state() const {
+    return conn_state_.load(std::memory_order_relaxed);
+  }
+  /// Successful redials over the transport's lifetime.
+  uint64_t redials() const { return redials_.load(std::memory_order_relaxed); }
+
  private:
   SocketTransport(int fd, Endpoint endpoint, Options options);
 
@@ -122,23 +167,42 @@ class SocketTransport : public Transport {
       TransportFuture* future, uint64_t id,
       std::chrono::steady_clock::time_point deadline);
 
+  /// Sends one already-registered request (monolithic or chunk-streamed),
+  /// applying `fault` on the way out. A degraded connection silently skips
+  /// the send — the redial replay delivers it. Send failures degrade the
+  /// connection (redial enabled) or fail the session (budget 0).
+  Status SendRequest(uint64_t id, std::string_view request,
+                     const SendFault& fault);
   /// Streams one large payload as CHUNK frames + CHUNK_END, all from one
   /// scatter-gather iovec batch under the write lock.
-  Status SendChunked(uint64_t id, uint8_t version, std::string_view payload);
+  Status SendChunked(uint64_t id, uint8_t version, std::string_view payload,
+                     const SendFault& fault);
 
   void ReaderLoop();
+  /// Reads and demultiplexes one connection's worth of frames; returns the
+  /// status that ended the session (EOF, read error, corruption). Sets
+  /// `*delivered` when at least one frame resolved a pending call.
+  Status PumpSession(bool* delivered);
+  /// Dials a replacement connection (bounded exponential backoff within
+  /// redial_budget_ms), installs it, and replays every pending request in
+  /// correlation-id order.
+  Status Redial();
   /// Fails every pending call with `status` and marks the session broken.
   void FailAllPending(const Status& status);
 
   struct Pending {
     std::promise<StatusOr<std::string>> promise;
-    size_t request_bytes = 0;
+    std::string request;  ///< Full request bytes, retained for replay.
   };
 
   const Endpoint endpoint_;
   const Options options_;
-  int fd_ = -1;
+  int fd_ = -1;          ///< Guarded by write_mu_ (the reader swaps it).
+  bool connected_ = true;  ///< Guarded by write_mu_; false while degraded.
   std::atomic<uint8_t> wire_version_;
+  std::atomic<ConnState> conn_state_{ConnState::kConnected};
+  std::atomic<uint64_t> redials_{0};
+  std::atomic<bool> stopping_{false};
 
   std::mutex write_mu_;  ///< Serializes frame writes (frames stay whole).
 
@@ -149,6 +213,9 @@ class SocketTransport : public Transport {
 
   mutable std::mutex stats_mu_;
   TransportStats stats_;
+
+  std::mutex redial_mu_;
+  std::condition_variable redial_cv_;  ///< Wakes backoff sleeps on destroy.
 
   std::thread reader_;
 };
@@ -204,6 +271,9 @@ class SocketTransportServer : public TransportServer {
     size_t worker_threads = 4;
     /// Receive-side chunk cache capacity (bytes of retained chunk data).
     size_t chunk_cache_bytes = 64u << 20;
+    /// Optional deterministic fault policy applied to inbound jobs (delay,
+    /// slow-drip, kill -9 on the Nth request). Chaos harness only.
+    std::shared_ptr<FaultInjector> injector;
   };
 
   /// Binds and listens. unix: paths are unlinked first (stale socket files

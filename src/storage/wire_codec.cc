@@ -140,6 +140,7 @@ constexpr uint32_t kTagKey = 1;        // request: key (bytes)
 constexpr uint32_t kTagId = 2;         // request: content id (hash)
 constexpr uint32_t kTagBytesArg = 3;   // request: read_cost operand (varint)
 constexpr uint32_t kTagCount = 4;      // put_many batch size (varint)
+constexpr uint32_t kTagReplayToken = 5;  // request: idempotency token (bytes)
 
 constexpr uint32_t kTagErrMessage = 1;   // error response message (bytes)
 constexpr uint32_t kTagResultId = 1;     // PutResult.id (hash)
@@ -233,15 +234,23 @@ void AppendPutResultMeta(std::string* meta, const PutResult& result) {
 
 // --- requests ---------------------------------------------------------------
 
-std::string EncodePutRequest(std::string_view key, std::string_view data) {
+std::string EncodePutRequest(std::string_view key, std::string_view data,
+                             std::string_view replay_token) {
   std::string meta;
   PutFieldBytes(&meta, kTagKey, key);
+  if (!replay_token.empty()) {
+    PutFieldBytes(&meta, kTagReplayToken, replay_token);
+  }
   return EncodeRequestMessage(Method::kPut, meta, data);
 }
 
-std::string EncodePutManyRequest(const std::vector<PutRequest>& batch) {
+std::string EncodePutManyRequest(const std::vector<PutRequest>& batch,
+                                 std::string_view replay_token) {
   std::string meta;
   PutFieldVarint(&meta, kTagCount, batch.size());
+  if (!replay_token.empty()) {
+    PutFieldBytes(&meta, kTagReplayToken, replay_token);
+  }
   std::string body;
   size_t total = 0;
   for (const PutRequest& put : batch) {
@@ -263,9 +272,13 @@ std::string EncodeKeyRequest(Method method, std::string_view key) {
   return EncodeRequestMessage(method, meta, {});
 }
 
-std::string EncodeIdRequest(Method method, const Hash256& id) {
+std::string EncodeIdRequest(Method method, const Hash256& id,
+                            std::string_view replay_token) {
   std::string meta;
   PutFieldHash(&meta, kTagId, id);
+  if (!replay_token.empty()) {
+    PutFieldBytes(&meta, kTagReplayToken, replay_token);
+  }
   return EncodeRequestMessage(method, meta, {});
 }
 
@@ -307,6 +320,9 @@ StatusOr<Request> DecodeRequest(std::string_view message) {
       case kTagCount:
         batch_count = reader.varint();
         break;
+      case kTagReplayToken:
+        request.replay_token = reader.bytes();
+        break;
       default:
         break;
     }
@@ -344,6 +360,18 @@ StatusOr<Request> DecodeRequest(std::string_view message) {
     }
   }
   return request;
+}
+
+std::string_view ExtractReplayToken(std::string_view message) {
+  uint8_t opcode = 0;
+  std::string_view meta;
+  std::string_view body;
+  if (!Disassemble(message, &opcode, &meta, &body).ok()) return {};
+  FieldReader reader(meta);
+  while (reader.Next()) {
+    if (reader.tag() == kTagReplayToken) return reader.bytes();
+  }
+  return {};
 }
 
 // --- responses --------------------------------------------------------------

@@ -69,15 +69,22 @@ bool GetVarint(std::string_view* in, uint64_t* v);
 
 // --- request encoding (client side) ---------------------------------------
 
-/// Put: meta {key}, body = artifact bytes verbatim (single memcpy).
-std::string EncodePutRequest(std::string_view key, std::string_view data);
-/// PutMany: meta {count}, body = count x [varint key_len, key,
-/// varint data_len, data].
-std::string EncodePutManyRequest(const std::vector<PutRequest>& batch);
+/// Put: meta {key[, replay_token]}, body = artifact bytes verbatim (single
+/// memcpy). A non-empty replay token marks the request idempotently
+/// replayable: a server that has already answered this token returns the
+/// recorded response instead of applying the mutation again (redial replay
+/// after a lost response must apply once). Old servers skip the unknown tag.
+std::string EncodePutRequest(std::string_view key, std::string_view data,
+                             std::string_view replay_token = {});
+/// PutMany: meta {count[, replay_token]}, body = count x [varint key_len,
+/// key, varint data_len, data].
+std::string EncodePutManyRequest(const std::vector<PutRequest>& batch,
+                                 std::string_view replay_token = {});
 /// Get / Versions: meta {key}.
 std::string EncodeKeyRequest(Method method, std::string_view key);
-/// GetVersion / HasVersion / DeleteVersion: meta {id}.
-std::string EncodeIdRequest(Method method, const Hash256& id);
+/// GetVersion / HasVersion / DeleteVersion: meta {id[, replay_token]}.
+std::string EncodeIdRequest(Method method, const Hash256& id,
+                            std::string_view replay_token = {});
 /// Stats / Name / ListAllVersions: empty meta.
 std::string EncodePlainRequest(Method method);
 /// ReadCost: meta {bytes}.
@@ -91,9 +98,15 @@ struct Request {
   Hash256 id;
   uint64_t bytes = 0;         ///< kReadCost operand.
   std::string_view body;      ///< kPut: artifact bytes, verbatim.
+  std::string_view replay_token;  ///< Empty unless idempotently replayable.
   std::vector<std::pair<std::string_view, std::string_view>> batch;
 };
 StatusOr<Request> DecodeRequest(std::string_view message);
+
+/// Cheap meta-only scan for the replay token of a binary request: empty when
+/// absent or the message is not a well-formed binary request. The service's
+/// dedup ledger consults this before the full dispatch.
+std::string_view ExtractReplayToken(std::string_view message);
 
 // --- response encoding (server side) ---------------------------------------
 

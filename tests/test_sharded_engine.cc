@@ -125,9 +125,11 @@ TEST(ShardedEngineTest, TwoPhaseRoundTripLedgerObservesOverlappedFanout) {
   // were in flight before the first was collected. The old serial
   // issue-one-wait-one loop can never push this above 1.
   EXPECT_EQ(tp.max_inflight_round_trips, 4u);
+  // The durable commit decision adds one round trip, always on shard 0.
+  EXPECT_EQ(tp.decision_round_trips, 1u);
   ASSERT_EQ(tp.per_shard_round_trips.size(), 4u);
   for (size_t s = 0; s < 4; ++s) {
-    EXPECT_EQ(tp.per_shard_round_trips[s], 2u) << "shard " << s;
+    EXPECT_EQ(tp.per_shard_round_trips[s], s == 0 ? 3u : 2u) << "shard " << s;
   }
 
   // A routed (non-replicated) multi-write batch: participants vary, but
@@ -140,7 +142,8 @@ TEST(ShardedEngineTest, TwoPhaseRoundTripLedgerObservesOverlappedFanout) {
   tp = cluster->two_phase_stats();
   uint64_t per_shard_total = 0;
   for (uint64_t n : tp.per_shard_round_trips) per_shard_total += n;
-  EXPECT_EQ(per_shard_total, tp.prepare_round_trips + tp.apply_round_trips);
+  EXPECT_EQ(per_shard_total, tp.prepare_round_trips + tp.apply_round_trips +
+                                 tp.decision_round_trips);
   EXPECT_EQ(tp.transactions, 2u);
 }
 

@@ -12,6 +12,17 @@ BENCH_fig11_distributed.json).
 Gated metrics, by name:
   * ``*makespan*``  — lower is better (virtual wall-clock of a drain);
   * ``*speedup*``   — higher is better (scaling quality).
+
+Chaos-invariant metrics (from BENCH_chaos_suite.json) are gated EXACTLY
+(zero tolerance, ignoring --threshold): robustness counts are
+deterministic under seeded injection, so any movement is a real behaviour
+change, not noise:
+  * ``recovered_merges``, ``recovered_transactions`` — higher is better,
+    may never drop below the history median;
+  * ``typed_failures``, ``hangs``, ``wrong_winners``, ``staged_residue``
+    — lower is better, may never rise above the history median (and a
+    median of zero means zero, forever).
+
 Everything else (scores, byte counts, eviction telemetry) is recorded but
 not gated: those have their own exact PASS/FAIL checks inside the benches.
 
@@ -44,15 +55,33 @@ import sys
 LOWER_IS_BETTER = ("makespan",)
 HIGHER_IS_BETTER = ("speedup",)
 
+# Chaos-invariant counters from bench_chaos_suite: deterministic under
+# seeded fault injection, so they are gated with ZERO tolerance — the
+# noise thresholds that make sense for timing metrics would let a
+# robustness regression slide through as "within 10%".
+EXACT_LOWER_IS_BETTER = (
+    "typed_failures", "hangs", "wrong_winners", "staged_residue",
+)
+EXACT_HIGHER_IS_BETTER = ("recovered_merges", "recovered_transactions")
+
 
 def metric_direction(name):
-    """Returns 'lower', 'higher', or None (not gated) for a metric name."""
+    """Returns ('lower'|'higher'|None, exact) for a metric name.
+
+    `exact` marks chaos-invariant counters gated with zero tolerance.
+    Exact tags are matched first so e.g. a hypothetical
+    ``recovered_merges_speedup`` stays exact rather than noisy.
+    """
     lowered = name.lower()
+    if any(tag in lowered for tag in EXACT_LOWER_IS_BETTER):
+        return "lower", True
+    if any(tag in lowered for tag in EXACT_HIGHER_IS_BETTER):
+        return "higher", True
     if any(tag in lowered for tag in LOWER_IS_BETTER):
-        return "lower"
+        return "lower", False
     if any(tag in lowered for tag in HIGHER_IS_BETTER):
-        return "higher"
-    return None
+        return "higher", False
+    return None, False
 
 
 def load_metrics(path):
@@ -108,16 +137,28 @@ def compare(current_path, history_dir, last, threshold, min_history,
     regressions = []
     checked = 0
     for (section, name), value in sorted(current.items()):
-        direction = metric_direction(name)
+        direction, exact = metric_direction(name)
         past = series.get((section, name))
         if direction is None or not past:
             continue
         checked += 1
-        limit = real_threshold if is_real_time_metric(name) else threshold
+        if exact:
+            limit = 0.0
+        else:
+            limit = real_threshold if is_real_time_metric(name) else threshold
         median = statistics.median(past)
         if median == 0:
-            continue
-        if direction == "lower":
+            # A ratio vs zero is meaningless. For exact counters the median
+            # IS the contract: a lower-is-better count with an all-zero
+            # history (hangs, wrong_winners, staged_residue) must stay zero,
+            # and a higher-is-better one sitting at zero can only improve.
+            if not exact:
+                continue
+            regressed = value > 0 if direction == "lower" else False
+            verdict = (
+                f"vs median 0 ({direction} is better, exact)"
+            )
+        elif direction == "lower":
             change = value / median - 1.0
             regressed = change > limit
             verdict = f"{change:+.1%} vs median {median:.4g} (lower is better)"
@@ -129,9 +170,11 @@ def compare(current_path, history_dir, last, threshold, min_history,
             )
         status = "REGRESSION" if regressed else "ok"
         real_tag = " [real-time]" if is_real_time_metric(name) else ""
+        exact_tag = " [exact]" if exact else ""
         print(
             f"  [{status:>10}] {section}/{name}: {value:.4g} {verdict} "
-            f"over {len(past)} run(s), threshold {limit:.0%}{real_tag}"
+            f"over {len(past)} run(s), threshold {limit:.0%}"
+            f"{real_tag}{exact_tag}"
         )
         if regressed:
             regressions.append(f"{section}/{name}")

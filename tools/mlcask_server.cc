@@ -12,6 +12,15 @@
 // Prints "READY <endpoint>" on stdout once accepting (with the real port
 // when an ephemeral tcp: port was requested) — launchers may wait for that
 // line or simply poll-connect. Exits cleanly on SIGINT/SIGTERM.
+//
+// Chaos knobs:
+//   --fault-spec SPEC   deterministic fault injection (see FaultSpec::Parse
+//                       for the grammar, e.g. "seed=7,drop=0.05,kill_after=40");
+//                       the normalized spec is echoed on the READY line so
+//                       launchers and CI logs record exactly what ran
+//   --data-dir DIR      durable forkbase backend: every acknowledged write
+//                       is checkpointed into DIR and restored on restart
+//                       (the substrate for kill -9 / recovery drills)
 
 #include <csignal>
 #include <cstdio>
@@ -21,8 +30,10 @@
 
 #include <unistd.h>
 
+#include "storage/fault_injector.h"
 #include "storage/forkbase_engine.h"
 #include "storage/local_dir_engine.h"
+#include "storage/persistence.h"
 #include "storage/remote_engine.h"
 #include "storage/socket_transport.h"
 
@@ -36,7 +47,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --endpoint <unix:/path | tcp:host:port> "
                "[--backend forkbase|localdir] [--workers N] "
-               "[--chunk-threshold BYTES] [--chunk-cache BYTES]\n",
+               "[--chunk-threshold BYTES] [--chunk-cache BYTES] "
+               "[--fault-spec SPEC] [--data-dir DIR]\n",
                argv0);
   return 2;
 }
@@ -47,6 +59,8 @@ int main(int argc, char** argv) {
   using namespace mlcask;
   std::string endpoint_spec;
   std::string backend = "forkbase";
+  std::string fault_spec;
+  std::string data_dir;
   storage::SocketTransportServer::Options server_options;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -83,6 +97,14 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(arg, "--chunk-cache=", 14) == 0) {
       server_options.chunk_cache_bytes =
           static_cast<size_t>(std::strtoull(arg + 14, nullptr, 10));
+    } else if (std::strcmp(arg, "--fault-spec") == 0) {
+      fault_spec = value("--fault-spec");
+    } else if (std::strncmp(arg, "--fault-spec=", 13) == 0) {
+      fault_spec = arg + 13;
+    } else if (std::strcmp(arg, "--data-dir") == 0) {
+      data_dir = value("--data-dir");
+    } else if (std::strncmp(arg, "--data-dir=", 11) == 0) {
+      data_dir = arg + 11;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg);
       return Usage(argv[0]);
@@ -91,7 +113,19 @@ int main(int argc, char** argv) {
   if (endpoint_spec.empty()) return Usage(argv[0]);
 
   std::unique_ptr<storage::StorageEngine> engine;
-  if (backend == "forkbase") {
+  if (!data_dir.empty()) {
+    if (backend != "forkbase") {
+      std::fprintf(stderr, "--data-dir requires the forkbase backend\n");
+      return 2;
+    }
+    auto durable = storage::DurableForkBaseEngine::Open(data_dir);
+    if (!durable.ok()) {
+      std::fprintf(stderr, "cannot open data dir: %s\n",
+                   durable.status().ToString().c_str());
+      return 1;
+    }
+    engine = *std::move(durable);
+  } else if (backend == "forkbase") {
     engine = std::make_unique<storage::ForkBaseEngine>();
   } else if (backend == "localdir") {
     engine = std::make_unique<storage::LocalDirEngine>();
@@ -99,6 +133,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown backend '%s' (forkbase|localdir)\n",
                  backend.c_str());
     return 2;
+  }
+
+  std::shared_ptr<storage::FaultInjector> injector;
+  if (!fault_spec.empty()) {
+    auto parsed = storage::FaultSpec::Parse(fault_spec);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bad --fault-spec: %s\n",
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    injector = std::make_shared<storage::FaultInjector>(*parsed);
+    // Transport-level faults come from the server options below; engine-
+    // level faults (injected disk-full) need the backend wrapped.
+    engine = std::make_unique<storage::FaultyEngine>(std::move(engine),
+                                                     injector);
+    server_options.injector = injector;
   }
   storage::StorageEngineService service(std::move(engine));
 
@@ -118,7 +168,14 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, HandleStop);
   std::signal(SIGTERM, HandleStop);
-  std::printf("READY %s\n", (*server)->endpoint().c_str());
+  if (injector != nullptr) {
+    // The normalized spec on the READY line makes every chaos run
+    // self-describing: the log alone reproduces the schedule.
+    std::printf("READY %s fault-spec=%s\n", (*server)->endpoint().c_str(),
+                injector->spec().ToString().c_str());
+  } else {
+    std::printf("READY %s\n", (*server)->endpoint().c_str());
+  }
   std::fflush(stdout);
 
   while (!g_stop) {
