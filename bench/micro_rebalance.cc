@@ -1,0 +1,270 @@
+// micro_rebalance — elastic-cluster rebalance bench: migration throughput
+// (keys/s streamed shard→shard through the wire codec's MigrateBatch
+// opcode) and merge makespan while the topology change is in flight.
+//
+//   bench_micro_rebalance [--keys N] [--versions V] [--json PATH] [--short]
+//
+// Three sections land in the JSON report (BENCH_micro_rebalance.json):
+//   scale_out             AddShard on a loopback cluster: exact counters
+//                         (migrated_keys, versions, cursor writes) plus
+//                         real_migrate_keys_per_s (steady clock)
+//   scale_in              RemoveShard(0): the coordinator hands off and the
+//                         slot drains EMPTY — same counters
+//   merge_during_rebalance  fig9 merge with AddShard running mid-merge:
+//                         virtual makespan + wrong_winners (0 = the winner,
+//                         executions and artifact hashes are bit-identical
+//                         to the fixed-topology reference)
+//
+// Counters named migrated_keys/lost_keys/wrong_winners are gated EXACTLY by
+// tools/bench_compare.py; real_* metrics get the loose real-time threshold.
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "merge/merge_op.h"
+#include "sim/scenario.h"
+#include "storage/forkbase_engine.h"
+#include "storage/sharded_engine.h"
+
+namespace {
+
+using mlcask::Status;
+using mlcask::bench::BenchArgs;
+using mlcask::bench::CheckedValue;
+using mlcask::bench::CheckOk;
+using mlcask::bench::JsonReporter;
+using mlcask::Hash256;
+using mlcask::storage::ForkBaseEngine;
+using mlcask::storage::MakeLoopbackCluster;
+using mlcask::storage::MakeLoopbackShard;
+using mlcask::storage::ShardedStorageEngine;
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::unique_ptr<ShardedStorageEngine> MakeCluster(size_t shards) {
+  return MakeLoopbackCluster(
+      shards, [] { return std::make_unique<ForkBaseEngine>(); });
+}
+
+std::string Key(size_t i) { return "artifact/obj" + std::to_string(i); }
+
+/// Verifies every expected key version reads back; returns the LOST count
+/// (anything unreadable or with a changed id) — the headline invariant.
+size_t CountLostKeys(ShardedStorageEngine& cluster, size_t keys,
+                     const std::map<std::string, std::vector<Hash256>>& ids) {
+  size_t lost = 0;
+  for (size_t i = 0; i < keys; ++i) {
+    const std::string key = Key(i);
+    auto it = ids.find(key);
+    if (it == ids.end() || cluster.Versions(key) != it->second) {
+      ++lost;
+      continue;
+    }
+    auto got = cluster.Get(key);
+    if (!got.ok()) ++lost;
+  }
+  return lost;
+}
+
+struct MergeResult {
+  uint64_t executions = 0;
+  double best_score = 0;
+  int best_index = -1;
+  double makespan_s = 0;
+  double wall_ms = 0;
+  std::vector<std::string> artifact_hashes;
+};
+
+/// One fig9 merge at `shards` loopback shards; `mid_merge` (optional) runs
+/// on a side thread once the merge is underway.
+MergeResult RunMerge(size_t shards,
+                     const std::function<void(ShardedStorageEngine*)>&
+                         mid_merge = nullptr) {
+  mlcask::sim::DeploymentConfig config;
+  config.num_workers = 1;
+  config.storage_shards = shards;
+  auto deployment =
+      CheckedValue(mlcask::sim::MakeDeployment("readmission", 0.06, config),
+                   "deployment");
+  CheckOk(mlcask::sim::BuildTwoBranchScenario(deployment.get()).status(),
+          "scenario");
+  mlcask::merge::MergeOperation op(
+      deployment->repo.get(), deployment->libraries.get(),
+      deployment->registry.get(), deployment->engine.get(),
+      deployment->clock.get());
+  mlcask::merge::MergeOptions options;
+  options.shards = shards;
+
+  std::thread side;
+  if (mid_merge != nullptr) {
+    ShardedStorageEngine* sharded = deployment->sharded_engine();
+    MLCASK_CHECK_MSG(sharded != nullptr, "deployment engine is not sharded");
+    side = std::thread([&, sharded] {
+      // Short stagger: the whole merge drains in tens of milliseconds, so
+      // anything longer would land the topology change after the fact.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      mid_merge(sharded);
+    });
+  }
+  const auto start = std::chrono::steady_clock::now();
+  auto report = op.Merge("master", "dev", options);
+  const double wall_ms = MillisSince(start);
+  if (side.joinable()) side.join();
+  CheckOk(report.status(), "merge");
+
+  MergeResult result;
+  result.executions = report->component_executions;
+  result.best_score = report->best_score;
+  result.best_index = report->best_index;
+  result.makespan_s = report->makespan_s;
+  result.wall_ms = wall_ms;
+  auto head = CheckedValue(deployment->repo->Head("master"), "head");
+  for (const auto& rec : head->snapshot.components) {
+    result.artifact_hashes.push_back(rec.output_id.ToHex());
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = mlcask::bench::ParseBenchArgs(
+      argc, argv, {{"--keys", 600}, {"--versions", 2}});
+  const size_t keys =
+      static_cast<size_t>(args.short_mode ? 200 : args.ints["--keys"]);
+  const size_t versions = static_cast<size_t>(args.ints["--versions"]);
+
+  mlcask::bench::Banner("micro_rebalance",
+                        "live shard rebalance: migration throughput + merge "
+                        "makespan during migration");
+  JsonReporter report("micro_rebalance");
+  bool failed = false;
+
+  // ------------------------------------------------------------ scale out
+  mlcask::bench::Section("scale_out: AddShard streams keys to the new slot");
+  {
+    auto cluster = MakeCluster(2);
+    std::map<std::string, std::vector<Hash256>> ids;
+    for (size_t i = 0; i < keys; ++i) {
+      for (size_t v = 0; v < versions; ++v) {
+        CheckOk(cluster->Put(Key(i), "payload v" + std::to_string(v) +
+                                         " of " + Key(i))
+                    .status(),
+                "seed put");
+      }
+      ids[Key(i)] = cluster->Versions(Key(i));
+    }
+    CheckOk(cluster->Put("pipeline/demo/commits", "commit-json").status(),
+            "replicated seed");
+
+    const auto start = std::chrono::steady_clock::now();
+    CheckOk(cluster->AddShard(
+                MakeLoopbackShard(std::make_unique<ForkBaseEngine>())),
+            "AddShard");
+    const double wall_ms = MillisSince(start);
+    auto stats = cluster->migration_stats();
+    const size_t lost = CountLostKeys(*cluster, keys, ids);
+    const double keys_per_s =
+        wall_ms > 0 ? static_cast<double>(stats.keys_migrated) /
+                          (wall_ms / 1000.0)
+                    : 0;
+    std::printf("  keys=%zu versions=%zu migrated_keys=%llu "
+                "migrated_versions=%llu batches=%llu cursor_writes=%llu\n",
+                keys, versions,
+                static_cast<unsigned long long>(stats.keys_migrated),
+                static_cast<unsigned long long>(stats.versions_migrated),
+                static_cast<unsigned long long>(stats.batches),
+                static_cast<unsigned long long>(stats.cursor_writes));
+    std::printf("  wall=%.1fms  rate=%.0f keys/s  lost_keys=%zu\n", wall_ms,
+                keys_per_s, lost);
+    report.Metric("scale_out", "migrated_keys",
+                  static_cast<double>(stats.keys_migrated));
+    report.Metric("scale_out", "migrated_versions",
+                  static_cast<double>(stats.versions_migrated));
+    report.Metric("scale_out", "skipped_versions",
+                  static_cast<double>(stats.skipped_versions));
+    report.Metric("scale_out", "cursor_writes",
+                  static_cast<double>(stats.cursor_writes));
+    report.Metric("scale_out", "lost_keys", static_cast<double>(lost));
+    report.Metric("scale_out", "real_migrate_keys_per_s", keys_per_s);
+    report.Metric("scale_out", "migrate_wall_ms", wall_ms);
+    if (lost > 0 || stats.keys_migrated == 0) failed = true;
+
+    // ---------------------------------------------------------- scale in
+    mlcask::bench::Section(
+        "scale_in: RemoveShard(0) hands off the coordinator and drains");
+    const auto start_in = std::chrono::steady_clock::now();
+    CheckOk(cluster->RemoveShard(0), "RemoveShard");
+    const double wall_in_ms = MillisSince(start_in);
+    auto stats_in = cluster->migration_stats();
+    const size_t lost_in = CountLostKeys(*cluster, keys, ids);
+    const bool drained = cluster->shard(0)->ListAllVersions().empty();
+    const bool replicated_ok =
+        cluster->Get("pipeline/demo/commits").ok() &&
+        cluster->coordinator_shard() != 0;
+    const double keys_in_per_s =
+        wall_in_ms > 0 ? static_cast<double>(stats_in.keys_migrated) /
+                             (wall_in_ms / 1000.0)
+                       : 0;
+    std::printf("  migrated_keys=%llu wall=%.1fms rate=%.0f keys/s "
+                "lost_keys=%zu drained=%d replicated_ok=%d\n",
+                static_cast<unsigned long long>(stats_in.keys_migrated),
+                wall_in_ms, keys_in_per_s, lost_in, drained ? 1 : 0,
+                replicated_ok ? 1 : 0);
+    report.Metric("scale_in", "migrated_keys",
+                  static_cast<double>(stats_in.keys_migrated));
+    report.Metric("scale_in", "lost_keys", static_cast<double>(lost_in));
+    report.Metric("scale_in", "leaver_residue",
+                  static_cast<double>(
+                      cluster->shard(0)->ListAllVersions().size()));
+    report.Metric("scale_in", "real_migrate_keys_per_s", keys_in_per_s);
+    report.Metric("scale_in", "migrate_wall_ms", wall_in_ms);
+    if (lost_in > 0 || !drained || !replicated_ok) failed = true;
+  }
+
+  // ------------------------------------------------ merge during rebalance
+  mlcask::bench::Section(
+      "merge_during_rebalance: fig9 merge with AddShard mid-flight");
+  {
+    MergeResult reference = RunMerge(4);
+    Status rebalance = Status::Ok();
+    MergeResult live = RunMerge(4, [&](ShardedStorageEngine* engine) {
+      rebalance = engine->AddShard(
+          MakeLoopbackShard(std::make_unique<ForkBaseEngine>()));
+    });
+    CheckOk(rebalance, "mid-merge AddShard");
+    const bool identical = live.executions == reference.executions &&
+                           live.best_index == reference.best_index &&
+                           live.best_score == reference.best_score &&
+                           live.artifact_hashes == reference.artifact_hashes;
+    std::printf("  executions=%llu best_index=%d makespan=%.3fs "
+                "wall=%.1fms identical=%d\n",
+                static_cast<unsigned long long>(live.executions),
+                live.best_index, live.makespan_s, live.wall_ms,
+                identical ? 1 : 0);
+    report.Metric("merge_during_rebalance", "executions",
+                  static_cast<double>(live.executions));
+    report.Metric("merge_during_rebalance", "makespan_during_rebalance_s",
+                  live.makespan_s);
+    report.Metric("merge_during_rebalance", "merge_wall_ms", live.wall_ms);
+    report.Metric("merge_during_rebalance", "wrong_winners",
+                  identical ? 0.0 : 1.0);
+    if (!identical) failed = true;
+  }
+
+  if (!report.Write(args.json_path)) failed = true;
+  std::printf("\n%s\n", failed ? "FAIL" : "PASS");
+  return failed ? 1 : 0;
+}

@@ -10,6 +10,10 @@
 
 namespace mlcask::sim {
 
+storage::ShardedStorageEngine* Deployment::sharded_engine() const {
+  return dynamic_cast<storage::ShardedStorageEngine*>(engine.get());
+}
+
 StatusOr<Hash256> Deployment::RunAndCommit(
     const pipeline::Pipeline& p, const std::string& branch,
     const std::string& author, const std::string& message,

@@ -15,6 +15,10 @@
 #include "storage/storage_engine.h"
 #include "version/pipeline_repo.h"
 
+namespace mlcask::storage {
+class ShardedStorageEngine;
+}  // namespace mlcask::storage
+
 namespace mlcask::sim {
 
 /// A fully provisioned MLCask deployment around one workload: storage
@@ -38,6 +42,13 @@ struct Deployment {
   /// benches thread through to the ExecutionCore. An explicit
   /// ExecutorOptions::num_workers (including 1 = serial) always wins.
   size_t num_workers = 1;
+
+  /// The storage engine as the sharded router, or nullptr when the
+  /// deployment runs a single local engine (storage_shards <= 1 and no
+  /// endpoints). This is the handle for elastic-topology drills: the
+  /// rebalance tests and bench call AddShard / RemoveShard on it while a
+  /// merge is draining on the same deployment.
+  storage::ShardedStorageEngine* sharded_engine() const;
 
   /// Runs `p` (chains through Run, general DAGs through RunDag), commits
   /// the result snapshot on `branch`, and registers every component version

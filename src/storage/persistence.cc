@@ -268,6 +268,16 @@ StatusOr<uint64_t> DurableForkBaseEngine::DeleteVersion(const Hash256& id) {
   return freed;
 }
 
+StatusOr<MigrateBatchResult> DurableForkBaseEngine::MigrateBatch(
+    const std::vector<MigrateKeyVersions>& batch) {
+  MLCASK_ASSIGN_OR_RETURN(MigrateBatchResult result,
+                          inner_->MigrateBatch(batch));
+  if (result.applied_versions > 0) {
+    MLCASK_RETURN_IF_ERROR(SaveEngine(*inner_, dir_));
+  }
+  return result;
+}
+
 EngineStats DurableForkBaseEngine::stats() const { return inner_->stats(); }
 
 std::string DurableForkBaseEngine::Name() const {

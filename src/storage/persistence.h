@@ -69,6 +69,12 @@ class DurableForkBaseEngine : public StorageEngine {
   std::vector<std::pair<std::string, Hash256>> ListAllVersions()
       const override;
   StatusOr<uint64_t> DeleteVersion(const Hash256& id) override;
+  /// One checkpoint per BATCH, not per version: a rebalance replaying
+  /// thousands of versions would otherwise rewrite the manifest for each.
+  /// A crash mid-batch loses only unacknowledged applies, which the
+  /// migration driver replays idempotently from its durable cursor.
+  StatusOr<MigrateBatchResult> MigrateBatch(
+      const std::vector<MigrateKeyVersions>& batch) override;
   EngineStats stats() const override;
   std::string Name() const override;
   double ReadCost(uint64_t bytes) const override;

@@ -502,6 +502,11 @@ StatusOr<uint64_t> DecodeBinaryFreed(StatusOr<std::string> raw) {
   return wire::DecodeFreedResponse(*raw);
 }
 
+StatusOr<MigrateBatchResult> DecodeBinaryMigrate(StatusOr<std::string> raw) {
+  if (!raw.ok()) return raw.status();
+  return wire::DecodeMigrateResponse(*raw);
+}
+
 }  // namespace
 
 StatusOr<PutResult> RemoteStorageEngine::Put(const std::string& key,
@@ -691,6 +696,29 @@ Deferred<uint64_t> RemoteStorageEngine::AsyncDeleteVersion(const Hash256& id) {
   return Deferred<uint64_t>(
       transport_->AsyncCall(IdRequestJson("delete_version", id, token).Dump()),
       DecodeFreedResponse, transport_->call_timeout_ms());
+}
+
+StatusOr<MigrateBatchResult> RemoteStorageEngine::MigrateBatch(
+    const std::vector<MigrateKeyVersions>& batch) {
+  if (binary_) {
+    return DecodeBinaryMigrate(transport_->Call(
+        wire::EncodeMigrateBatchRequest(batch, NextReplayToken())));
+  }
+  // JSON-era peer: no migrate_batch method on the wire. The base default
+  // reaches the same end state through this proxy's per-call surface
+  // (Versions / Put round trips), so old servers can still be rebalanced.
+  return StorageEngine::MigrateBatch(batch);
+}
+
+Deferred<MigrateBatchResult> RemoteStorageEngine::AsyncMigrateBatch(
+    const std::vector<MigrateKeyVersions>& batch) {
+  if (binary_) {
+    return Deferred<MigrateBatchResult>(
+        transport_->AsyncCall(
+            wire::EncodeMigrateBatchRequest(batch, NextReplayToken())),
+        DecodeBinaryMigrate, transport_->call_timeout_ms());
+  }
+  return Deferred<MigrateBatchResult>(StorageEngine::MigrateBatch(batch));
 }
 
 EngineStats RemoteStorageEngine::stats() const {

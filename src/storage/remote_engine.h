@@ -137,6 +137,13 @@ class RemoteStorageEngine : public StorageEngine {
   std::vector<Hash256> Versions(const std::string& key) const override;
   std::vector<std::pair<std::string, Hash256>> ListAllVersions() const override;
   StatusOr<uint64_t> DeleteVersion(const Hash256& id) override;
+  /// Ships a whole shard-rebalance batch in ONE round trip (opcode 12);
+  /// oversized batches ride the transport's chunk streaming like any other
+  /// large message. Against a JSON-era peer the base-class default applies
+  /// the batch through the per-call surface instead — slower, same result —
+  /// so rebalancing works mid-upgrade across a mixed-version cluster.
+  StatusOr<MigrateBatchResult> MigrateBatch(
+      const std::vector<MigrateKeyVersions>& batch) override;
   EngineStats stats() const override;
   std::string Name() const override { return name_; }
   double ReadCost(uint64_t bytes) const override;
@@ -152,6 +159,8 @@ class RemoteStorageEngine : public StorageEngine {
   Deferred<std::string> AsyncGetVersion(const Hash256& id) override;
   Deferred<bool> AsyncHasVersion(const Hash256& id) const override;
   Deferred<uint64_t> AsyncDeleteVersion(const Hash256& id) override;
+  Deferred<MigrateBatchResult> AsyncMigrateBatch(
+      const std::vector<MigrateKeyVersions>& batch) override;
 
   const Transport* transport() const { return transport_.get(); }
 

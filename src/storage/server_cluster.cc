@@ -252,6 +252,76 @@ Status LocalServerCluster::Start(size_t shards, const Options& options) {
   return Status::Ok();
 }
 
+StatusOr<std::string> LocalServerCluster::AddShard() {
+  if (dir_.empty()) {
+    return Status::FailedPrecondition("cluster not started");
+  }
+  const size_t s = shards_.size();
+  shards_.push_back(Shard{});
+  Status spawned = SpawnShard(s);
+  if (!spawned.ok()) {
+    shards_.pop_back();
+    return spawned;
+  }
+  Status accepting = WaitForAccept(s);
+  if (!accepting.ok()) {
+    // Tear the half-born child down; the cluster is exactly as before.
+    if (shards_[s].pid > 0) {
+      ::kill(shards_[s].pid, SIGKILL);
+      int wstatus = 0;
+      ::waitpid(shards_[s].pid, &wstatus, 0);
+    }
+    shards_.pop_back();
+    return accepting;
+  }
+  endpoints_.push_back("unix:" + SocketPath(s));
+  return endpoints_.back();
+}
+
+Status LocalServerCluster::DrainShard(size_t i) {
+  if (i >= shards_.size()) {
+    return Status::InvalidArgument("no shard " + std::to_string(i));
+  }
+  Shard& shard = shards_[i];
+  if (shard.pid <= 0) {
+    return Status::FailedPrecondition("shard " + std::to_string(i) +
+                                      " is not running");
+  }
+  ::kill(shard.pid, SIGTERM);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  Status verdict = Status::Ok();
+  for (;;) {
+    int wstatus = 0;
+    pid_t reaped = ::waitpid(shard.pid, &wstatus, WNOHANG);
+    if (reaped == shard.pid) {
+      const std::string how = DescribeExit(wstatus);
+      if (!how.empty()) {
+        verdict = Status::Internal("drained shard " + std::to_string(i) +
+                                   " " + how + LogTail(LogPath(i)));
+      }
+      break;
+    }
+    if (reaped < 0 && errno == ECHILD) break;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      ::kill(shard.pid, SIGKILL);
+      ::waitpid(shard.pid, &wstatus, 0);
+      verdict = Status::Internal(
+          "shard " + std::to_string(i) +
+          " did not exit within the SIGTERM grace period (hung; SIGKILLed)" +
+          LogTail(LogPath(i)));
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  shard.pid = -1;
+  shard.killed_deliberately = true;  // a drain is never an anomaly
+  // Nothing may dial the retired slot again; the log stays for post-mortems
+  // until Stop() removes the whole root.
+  ::unlink(SocketPath(i).c_str());
+  return verdict;
+}
+
 Status LocalServerCluster::KillShard(size_t i) {
   if (i >= shards_.size()) {
     return Status::InvalidArgument("no shard " + std::to_string(i));
@@ -336,18 +406,19 @@ Status LocalServerCluster::Stop() {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
   }
-  const size_t count = shards_.size();
   shards_.clear();
   if (!dir_.empty()) {
-    for (size_t s = 0; s < count; ++s) {
-      ::unlink(SocketPath(s).c_str());
-      ::unlink(LogPath(s).c_str());
-      if (options_.durable) {
-        std::error_code ec;
-        std::filesystem::remove_all(DataDir(s), ec);
-      }
+    // The whole temp root goes, not an enumerated file list: sockets, logs
+    // and data dirs, but also anything a crashed child left behind (core
+    // files, half-written artifacts). The old per-file unlink + ::rmdir
+    // pair leaked the root forever on any unexpected file — rmdir fails
+    // silently on a non-empty directory.
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+    if (ec && verdict.ok()) {
+      verdict = Status::Internal("cannot remove cluster temp dir '" + dir_ +
+                                 "': " + ec.message());
     }
-    ::rmdir(dir_.c_str());
     dir_.clear();
   }
   endpoints_.clear();

@@ -66,6 +66,21 @@ class LocalServerCluster {
   /// `unix:` endpoint specs, one per shard, in shard order.
   const std::vector<std::string>& endpoints() const { return endpoints_; }
 
+  /// Spawns ONE more server process on the next shard index and waits until
+  /// it accepts, returning its `unix:` endpoint spec (also appended to
+  /// endpoints()). This is the process half of elastic scale-out: dial the
+  /// returned endpoint and hand the proxy to
+  /// ShardedStorageEngine::AddShard. On failure the cluster is unchanged.
+  StatusOr<std::string> AddShard();
+
+  /// Gracefully retires shard `i`: SIGTERM, reap (SIGKILL after the grace
+  /// period), and unlink its socket so nothing can dial the slot again.
+  /// The slot index stays allocated (shard numbering is stable) and its
+  /// log survives until Stop(). Run the engine-level
+  /// ShardedStorageEngine::RemoveShard FIRST — a drained shard takes any
+  /// un-migrated keys with it. Reports a non-clean exit as Internal.
+  Status DrainShard(size_t i);
+
   /// Hard-kills shard `i` (SIGKILL — no grace, no flush): the chaos drills'
   /// crash primitive. Recorded as deliberate, so Stop() does not report it
   /// as an anomaly. The endpoint and (durable) data dir stay in place for

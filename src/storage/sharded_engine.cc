@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <mutex>
+#include <numeric>
 #include <set>
 #include <utility>
 
@@ -24,6 +25,12 @@ constexpr std::string_view kStagingPrefix = "__2pc__/";
 /// has no delete-one-key's-version primitive — but only deliberately.)
 constexpr std::string_view kIntentHeader = "__2pc-intent__\x1f";
 
+/// Rebalance bookkeeping keys, written directly to the plan shard (never
+/// routed) and filtered from every listing like the 2PC staging records.
+constexpr std::string_view kMigrationPrefix = "__migration__/";
+constexpr std::string_view kPlanKey = "__migration__/plan";
+constexpr std::string_view kCursorKey = "__migration__/cursor";
+
 uint64_t RingPoint(std::string_view label) {
   Hash256 h = Sha256::Digest(label.data(), label.size());
   uint64_t point = 0;
@@ -33,6 +40,10 @@ uint64_t RingPoint(std::string_view label) {
 
 bool IsStagingKey(std::string_view key) {
   return StartsWith(key, kStagingPrefix);
+}
+
+bool IsMigrationKey(std::string_view key) {
+  return StartsWith(key, kMigrationPrefix);
 }
 
 /// Parses a staging key's transaction id and flags the per-transaction
@@ -57,7 +68,7 @@ bool ParseStagingKey(std::string_view key, uint64_t* txn, bool* is_decision) {
 }
 
 /// Splits a staged intent payload back into (target key, data). Mirrors the
-/// encoding in RunTransaction's phase 1.
+/// encoding in the transaction's phase 1.
 bool ParseIntentPayload(std::string_view payload, std::string_view* key,
                         std::string_view* data) {
   if (!StartsWith(payload, kIntentHeader)) return false;
@@ -80,7 +91,142 @@ struct InflightMeter {
   void Collect() { --inflight; }
 };
 
+std::string SerializeSlots(const std::vector<size_t>& slots) {
+  std::string out;
+  for (size_t s : slots) {
+    if (!out.empty()) out += ",";
+    out += std::to_string(s);
+  }
+  return out;
+}
+
+bool ParseSlots(std::string_view text, std::vector<size_t>* slots) {
+  slots->clear();
+  size_t value = 0;
+  bool in_number = false;
+  for (char c : text) {
+    if (c >= '0' && c <= '9') {
+      value = value * 10 + static_cast<size_t>(c - '0');
+      in_number = true;
+    } else if (c == ',') {
+      if (!in_number) return false;
+      slots->push_back(value);
+      value = 0;
+      in_number = false;
+    } else {
+      return false;
+    }
+  }
+  if (!in_number) return false;
+  slots->push_back(value);
+  return true;
+}
+
+/// Durable rebalance plan: everything a fresh router needs to re-install
+/// the dual-epoch window a killed one left mid-flight.
+std::string SerializePlan(const ShardRing& from, const ShardRing& to,
+                          size_t vnodes) {
+  std::string out = "mlcask-migration-plan v1\n";
+  out += "epoch=" + std::to_string(to.epoch) + "\n";
+  out += "from=" + SerializeSlots(from.members) + "\n";
+  out += "to=" + SerializeSlots(to.members) + "\n";
+  out += "vnodes=" + std::to_string(vnodes) + "\n";
+  return out;
+}
+
+bool ParsePlan(std::string_view text, uint64_t* epoch,
+               std::vector<size_t>* from, std::vector<size_t>* to,
+               size_t* vnodes) {
+  bool have_epoch = false, have_from = false, have_to = false,
+       have_vnodes = false;
+  bool first = true;
+  while (!text.empty()) {
+    const size_t nl = text.find('\n');
+    std::string_view line =
+        nl == std::string_view::npos ? text : text.substr(0, nl);
+    text.remove_prefix(nl == std::string_view::npos ? text.size() : nl + 1);
+    if (first) {
+      if (line != "mlcask-migration-plan v1") return false;
+      first = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string_view::npos) return false;
+    std::string_view name = line.substr(0, eq);
+    std::string_view value = line.substr(eq + 1);
+    if (name == "epoch") {
+      std::vector<size_t> one;
+      if (!ParseSlots(value, &one) || one.size() != 1) return false;
+      *epoch = one[0];
+      have_epoch = true;
+    } else if (name == "from") {
+      if (!ParseSlots(value, from)) return false;
+      have_from = true;
+    } else if (name == "to") {
+      if (!ParseSlots(value, to)) return false;
+      have_to = true;
+    } else if (name == "vnodes") {
+      std::vector<size_t> one;
+      if (!ParseSlots(value, &one) || one.size() != 1) return false;
+      *vnodes = one[0];
+      have_vnodes = true;
+    }  // Unknown fields are skipped: older routers tolerate newer plans.
+  }
+  return have_epoch && have_from && have_to && have_vnodes &&
+         !from->empty() && !to->empty();
+}
+
 }  // namespace
+
+// ----------------------------------------------------------- ring policy ---
+
+bool ShardRing::Contains(size_t slot) const {
+  return std::find(members.begin(), members.end(), slot) != members.end();
+}
+
+ShardRing BuildShardRing(uint64_t epoch, std::vector<size_t> members,
+                         size_t vnodes) {
+  ShardRing ring;
+  ring.epoch = epoch;
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+  ring.members = std::move(members);
+  const size_t points = std::max<size_t>(1, vnodes);
+  for (size_t s : ring.members) {
+    for (size_t v = 0; v < points; ++v) {
+      // First-writer-wins on the (astronomically unlikely) point collision;
+      // the ring stays deterministic either way. Labels depend on the SLOT
+      // only, so a slot's points are identical in every epoch.
+      ring.points.emplace(
+          RingPoint("ring/" + std::to_string(s) + "#" + std::to_string(v)), s);
+    }
+  }
+  return ring;
+}
+
+size_t RingOwner(const ShardRing& ring, std::string_view key) {
+  MLCASK_CHECK_MSG(!ring.points.empty(), "ring has no points");
+  auto it = ring.points.lower_bound(RingPoint(key));
+  if (it == ring.points.end()) it = ring.points.begin();  // wrap around
+  return it->second;
+}
+
+std::vector<KeyMove> PlanMigration(const ShardRing& from, const ShardRing& to,
+                                   std::vector<std::string> keys) {
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  std::vector<KeyMove> moves;
+  for (std::string& key : keys) {
+    const size_t old_owner = RingOwner(from, key);
+    const size_t new_owner = RingOwner(to, key);
+    if (old_owner == new_owner) continue;
+    moves.push_back({std::move(key), old_owner, new_owner});
+  }
+  return moves;  // sorted by key: the order the cursor advances in
+}
+
+// ----------------------------------------------------------- construction ---
 
 ShardedStorageEngine::ShardedStorageEngine(
     std::vector<std::unique_ptr<StorageEngine>> shards)
@@ -91,20 +237,22 @@ ShardedStorageEngine::ShardedStorageEngine(
     : shards_(std::move(shards)), options_(std::move(options)) {
   MLCASK_CHECK_MSG(!shards_.empty(),
                    "sharded engine needs at least one shard");
-  const size_t vnodes = std::max<size_t>(1, options_.virtual_nodes_per_shard);
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    for (size_t v = 0; v < vnodes; ++v) {
-      // First-writer-wins on the (astronomically unlikely) point collision;
-      // the ring stays deterministic either way.
-      ring_.emplace(
-          RingPoint("ring/" + std::to_string(s) + "#" + std::to_string(v)), s);
-    }
-  }
+  MLCASK_CHECK_MSG(shards_.size() <= kSlotCapacity,
+                   "sharded engine slot capacity exceeded");
+  // Reserve the full slot capacity once: AddShard's push_back must never
+  // reallocate under concurrent readers of existing slots.
+  shards_.reserve(kSlotCapacity);
+  std::vector<size_t> members(shards_.size());
+  std::iota(members.begin(), members.end(), size_t{0});
+  current_ring_ = BuildShardRing(/*epoch=*/0, std::move(members),
+                                 options_.virtual_nodes_per_shard);
   tp_stats_.per_shard_round_trips.assign(shards_.size(), 0);
   bc_stats_.per_shard_probes.assign(shards_.size(), 0);
   consecutive_failures_.assign(shards_.size(), 0);
   half_open_skips_.assign(shards_.size(), 0);
 }
+
+// ---------------------------------------------------------------- health ---
 
 void ShardedStorageEngine::NoteShardResult(size_t shard,
                                            const Status& status) const {
@@ -126,6 +274,11 @@ bool ShardedStorageEngine::SkipDownShard(size_t shard) const {
   std::lock_guard<std::mutex> lock(health_mu_);
   if (consecutive_failures_[shard] < kDownFailures) return false;
   half_open_skips_[shard] += 1;
+  // A freshly-down shard gets ONE immediate probe — the first fan-out
+  // after the down transition — so an outage shorter than the fan-out
+  // cadence heals in one request instead of waiting out kHalfOpenEvery
+  // skips first.
+  if (half_open_skips_[shard] == 1) return false;
   // Half-open: let every kHalfOpenEvery-th fan-out through so a recovered
   // shard's first success resets the streak without operator action.
   return half_open_skips_[shard] % kHalfOpenEvery != 0;
@@ -140,7 +293,7 @@ ShardedStorageEngine::ShardHealthView ShardedStorageEngine::shard_health()
     const {
   std::lock_guard<std::mutex> lock(health_mu_);
   ShardHealthView view;
-  view.state.reserve(shards_.size());
+  view.state.reserve(consecutive_failures_.size());
   for (uint64_t failures : consecutive_failures_) {
     view.state.push_back(failures == 0 ? ShardHealth::kUp
                          : failures < kDownFailures ? ShardHealth::kDegraded
@@ -156,10 +309,74 @@ void ShardedStorageEngine::MarkShardRecovered(size_t shard) {
   half_open_skips_[shard] = 0;
 }
 
+// --------------------------------------------------------------- routing ---
+
+size_t ShardedStorageEngine::num_shards() const { return SlotCount(); }
+
+size_t ShardedStorageEngine::SlotCount() const {
+  std::shared_lock<std::shared_mutex> lock(topo_mu_);
+  return shards_.size();
+}
+
+std::vector<size_t> ShardedStorageEngine::live_members() const {
+  std::shared_lock<std::shared_mutex> lock(topo_mu_);
+  if (!migrating_.load(std::memory_order_acquire)) {
+    return current_ring_.members;
+  }
+  std::vector<size_t> live = current_ring_.members;
+  for (size_t s : prev_ring_.members) {
+    if (std::find(live.begin(), live.end(), s) == live.end()) {
+      live.push_back(s);
+    }
+  }
+  std::sort(live.begin(), live.end());
+  return live;
+}
+
+size_t ShardedStorageEngine::coordinator_shard() const {
+  std::shared_lock<std::shared_mutex> lock(topo_mu_);
+  return current_ring_.members.front();
+}
+
+size_t ShardedStorageEngine::plan_shard() const { return coordinator_shard(); }
+
+uint64_t ShardedStorageEngine::ring_epoch() const {
+  std::shared_lock<std::shared_mutex> lock(topo_mu_);
+  return current_ring_.epoch;
+}
+
+ShardedStorageEngine::Route ShardedStorageEngine::TryRouteKey(
+    std::string_view key) const {
+  std::shared_lock<std::shared_mutex> topo(topo_mu_);
+  if (!migrating_.load(std::memory_order_acquire)) {
+    return {RingOwner(current_ring_, key), false};
+  }
+  // Dual-epoch window: a key both rings agree on routes normally; a
+  // reassigned key is at its NEW owner once the cursor passed it, at its
+  // OLD owner before, and mid-copy (in the in-flight batch) the caller
+  // must wait for the batch to land.
+  const size_t new_owner = RingOwner(current_ring_, key);
+  const size_t old_owner = RingOwner(prev_ring_, key);
+  if (new_owner == old_owner) return {new_owner, false};
+  std::lock_guard<std::mutex> mig(mig_mu_);
+  if (inflight_keys_.find(key) != inflight_keys_.end()) return {0, true};
+  return {key <= std::string_view(mig_cursor_) ? new_owner : old_owner,
+          false};
+}
+
+void ShardedStorageEngine::WaitKeyNotInFlight(std::string_view key) const {
+  std::unique_lock<std::mutex> lock(mig_mu_);
+  mig_cv_.wait(lock, [&] {
+    return inflight_keys_.find(key) == inflight_keys_.end();
+  });
+}
+
 size_t ShardedStorageEngine::ShardForKey(std::string_view key) const {
-  auto it = ring_.lower_bound(RingPoint(key));
-  if (it == ring_.end()) it = ring_.begin();  // wrap around the ring
-  return it->second;
+  while (true) {
+    Route r = TryRouteKey(key);
+    if (!r.in_flight) return r.shard;
+    WaitKeyNotInFlight(key);
+  }
 }
 
 bool ShardedStorageEngine::IsReplicated(std::string_view key) const {
@@ -169,31 +386,44 @@ bool ShardedStorageEngine::IsReplicated(std::string_view key) const {
   return false;
 }
 
+bool ShardedStorageEngine::IsInternalKey(std::string_view key) const {
+  return IsStagingKey(key) || IsMigrationKey(key);
+}
+
 void ShardedStorageEngine::RecordVersion(const Hash256& id, size_t shard) {
   std::unique_lock<std::shared_mutex> lock(index_mu_);
   version_shard_[id] = shard;
 }
 
-StatusOr<PutResult> ShardedStorageEngine::DirectPut(size_t shard,
-                                                    const std::string& key,
+StatusOr<PutResult> ShardedStorageEngine::DirectPut(const std::string& key,
                                                     std::string_view data) {
-  auto result = shards_[shard]->Put(key, data);
-  NoteShardResult(shard, result.ok() ? Status::Ok() : result.status());
-  if (!result.ok()) return result.status();
-  RecordVersion(result->id, shard);
-  return *result;
+  return WithStableRoute(key, [&](size_t shard) -> StatusOr<PutResult> {
+    auto result = shards_[shard]->Put(key, data);
+    NoteShardResult(shard, result.ok() ? Status::Ok() : result.status());
+    if (!result.ok()) return result.status();
+    RecordVersion(result->id, shard);
+    return *result;
+  });
 }
 
-Status ShardedStorageEngine::RunTransaction(
+// ------------------------------------------------------- two-phase commit ---
+
+Status ShardedStorageEngine::RunTransactionLocked(
     const std::vector<ShardWrite>& writes, std::vector<PutResult>* results) {
-  // One coordinated transaction at a time: without this, two concurrent
-  // transactions touching a replicated key could interleave their apply
-  // loops in opposite orders on different shards, leaving the replicas'
-  // latest-version views permanently divergent. Transactions are
-  // control-plane writes (commit logs, merge winners), so serializing them
-  // costs nothing on the hot path; uncoordinated DirectPuts never take it.
-  std::lock_guard<std::mutex> txn_lock(txn_mu_);
+  // The caller holds txn_mu_: one coordinated transaction at a time.
+  // Without this, two concurrent transactions touching a replicated key
+  // could interleave their apply loops in opposite orders on different
+  // shards, leaving the replicas' latest-version views permanently
+  // divergent. Migration batches and topology changes take the same lock,
+  // so the routing the caller decided stays valid for the transaction's
+  // whole lifetime. Transactions are control-plane writes (commit logs,
+  // merge winners), so serializing them costs nothing on the hot path;
+  // uncoordinated DirectPuts never take it.
   const uint64_t txn = txn_counter_.fetch_add(1, std::memory_order_relaxed);
+  // The shard holding the durable commit decision (and only it — one
+  // authority, no split brain). Stable here: topology changes serialize on
+  // txn_mu_ too.
+  const size_t coord = coordinator_shard();
   // Round-trip ledger of THIS transaction, accumulated locally while the
   // phases run. The InflightMeter records whatever overlap the code
   // structure actually achieved — the overlapped fan-out reaches the
@@ -210,7 +440,7 @@ Status ShardedStorageEngine::RunTransaction(
     }
     void Collect() { meter.Collect(); }
   } ledger;
-  ledger.per_shard.assign(shards_.size(), 0);
+  ledger.per_shard.assign(SlotCount(), 0);
   // Telemetry lands in tp_stats_ as ONE unit when the transaction resolves
   // (commit or abort), never piecemeal: a concurrent stats reader must see
   // transactions == commits + aborts in every snapshot.
@@ -228,7 +458,7 @@ Status ShardedStorageEngine::RunTransaction(
     tp_stats_.decision_round_trips += ledger.decision_round_trips;
     tp_stats_.max_inflight_round_trips =
         std::max(tp_stats_.max_inflight_round_trips, ledger.meter.peak);
-    for (size_t s = 0; s < shards_.size(); ++s) {
+    for (size_t s = 0; s < ledger.per_shard.size(); ++s) {
       tp_stats_.per_shard_round_trips[s] += ledger.per_shard[s];
     }
   };
@@ -240,9 +470,9 @@ Status ShardedStorageEngine::RunTransaction(
                      writes[write_index].shard, write_index);
   };
 
-  /// The durable commit decision for THIS transaction, written to shard 0
-  /// (and only shard 0 — one authority, no split brain) after a unanimous
-  /// prepare. Recovery rolls a transaction forward iff this record exists.
+  /// The durable commit decision for THIS transaction, written to the
+  /// coordinator shard after a unanimous prepare. Recovery rolls a
+  /// transaction forward iff this record exists.
   const std::string decision_key =
       StrFormat("%stxn%llu/decision", std::string(kStagingPrefix).c_str(),
                 static_cast<unsigned long long>(txn));
@@ -285,8 +515,8 @@ Status ShardedStorageEngine::RunTransaction(
     }
     // The decision record is part of the transaction's staging footprint:
     // commit and abort alike must leave zero __2pc__/ keys behind.
-    for (const Hash256& id : shards_[0]->Versions(decision_key)) {
-      (void)shards_[0]->DeleteVersion(id);
+    for (const Hash256& id : shards_[coord]->Versions(decision_key)) {
+      (void)shards_[coord]->DeleteVersion(id);
     }
   };
 
@@ -334,24 +564,26 @@ Status ShardedStorageEngine::RunTransaction(
                       prepare_failure.message());
   }
 
-  // Decision point: persist the commit decision durably on shard 0 BEFORE
-  // any real write lands. From here on a crashed coordinator's transaction
-  // is recoverable — RecoverTwoPhase finds the decision and rolls the
-  // staged intents forward; without it the intents are fenced. A failed
-  // decision write is therefore a clean abort: nothing real has applied.
+  // Decision point: persist the commit decision durably on the coordinator
+  // BEFORE any real write lands. From here on a crashed coordinator's
+  // transaction is recoverable — RecoverTwoPhase finds the decision and
+  // rolls the staged intents forward; without it the intents are fenced. A
+  // failed decision write is therefore a clean abort: nothing real has
+  // applied.
   {
     std::string decision(kIntentHeader);
     decision.append("commit");
-    ledger.Issue(0);
+    ledger.Issue(coord);
     ledger.decision_round_trips += 1;
-    auto decided = shards_[0]->Put(decision_key, decision);
+    auto decided = shards_[coord]->Put(decision_key, decision);
     ledger.Collect();
-    NoteShardResult(0, decided.ok() ? Status::Ok() : decided.status());
+    NoteShardResult(coord, decided.ok() ? Status::Ok() : decided.status());
     if (!decided.ok()) {
       cleanup_staged();
       resolve(/*committed=*/false);
       return Status(decided.status().code(),
-                    "2pc decision write failed on shard 0: " +
+                    "2pc decision write failed on shard " +
+                        std::to_string(coord) + ": " +
                         decided.status().message() +
                         " (transaction aborted, nothing applied)");
     }
@@ -389,8 +621,8 @@ Status ShardedStorageEngine::RunTransaction(
     // (If the coordinator dies between this delete and the rollback, the
     // already-applied writes survive as real versions — a known limitation;
     // the recovery scan at least can no longer resurrect the rest.)
-    for (const Hash256& did : shards_[0]->Versions(decision_key)) {
-      (void)shards_[0]->DeleteVersion(did);
+    for (const Hash256& did : shards_[coord]->Versions(decision_key)) {
+      (void)shards_[coord]->DeleteVersion(did);
     }
     // Roll back every write that DID apply (safe even for
     // deduplicated applies: both engines derive version ids from
@@ -430,7 +662,7 @@ Status ShardedStorageEngine::RunTransaction(
   }
   struct Slot {
     bool filled = false;
-    PutResult result;      ///< Shard-0 replica when replicated.
+    PutResult result;      ///< Coordinator replica when replicated.
     double max_time_s = 0;
     size_t replicas = 0;
     size_t last_shard = 0;
@@ -443,7 +675,7 @@ Status ShardedStorageEngine::RunTransaction(
     slot.replicas += 1;
     slot.last_shard = w.shard;
     slot.max_time_s = std::max(slot.max_time_s, applied.storage_time_s);
-    if (!slot.filled || w.shard == 0) {
+    if (!slot.filled || w.shard == coord) {
       slot.filled = true;
       slot.result = applied;
     }
@@ -461,58 +693,67 @@ Status ShardedStorageEngine::RunTransaction(
   return Status::Ok();
 }
 
+// ------------------------------------------------------------ public API ---
+
 StatusOr<PutResult> ShardedStorageEngine::Put(const std::string& key,
                                               std::string_view data) {
   if (!IsReplicated(key)) {
-    return DirectPut(ShardForKey(key), key, data);
+    return DirectPut(key, data);
   }
-  // Replicated namespace: coordinate all shards even for one key — this is
-  // the branch-table/commit-log write path, and every shard must agree.
+  // Replicated namespace: coordinate all live shards even for one key —
+  // this is the branch-table/commit-log write path, and every shard must
+  // agree. During a rebalance "all live" is the UNION of both epochs'
+  // members: the leaving shard still serves replicated reads until it
+  // drains, the joining one was pre-seeded by AddShard.
+  std::lock_guard<std::mutex> txn_lock(txn_mu_);
   PutRequest request{key, std::string(data)};
   std::vector<ShardWrite> writes;
-  writes.reserve(shards_.size());
-  for (size_t s = 0; s < shards_.size(); ++s) {
+  const std::vector<size_t> replicas = live_members();
+  writes.reserve(replicas.size());
+  for (size_t s : replicas) {
     writes.push_back({s, 0, &request});
   }
   std::vector<PutResult> results(1);
-  MLCASK_RETURN_IF_ERROR(RunTransaction(writes, &results));
+  MLCASK_RETURN_IF_ERROR(RunTransactionLocked(writes, &results));
   return results[0];
 }
 
 StatusOr<std::vector<PutResult>> ShardedStorageEngine::PutMany(
     const std::vector<PutRequest>& batch) {
+  if (batch.empty()) return std::vector<PutResult>();
+  if (batch.size() == 1 && !IsReplicated(batch[0].key)) {
+    // One write on one shard: no coordination needed.
+    std::vector<PutResult> results(1);
+    MLCASK_ASSIGN_OR_RETURN(results[0],
+                            DirectPut(batch[0].key, batch[0].data));
+    return results;
+  }
+  // Route under the transaction lock: migration batches serialize on it,
+  // so a shard decided here cannot lose the key before the apply lands.
+  std::lock_guard<std::mutex> txn_lock(txn_mu_);
   std::vector<ShardWrite> writes;
-  std::set<size_t> participants;
-  bool any_replicated = false;
+  const std::vector<size_t> replicas = live_members();
   for (size_t i = 0; i < batch.size(); ++i) {
     if (IsReplicated(batch[i].key)) {
-      any_replicated = true;
-      for (size_t s = 0; s < shards_.size(); ++s) {
+      for (size_t s : replicas) {
         writes.push_back({s, i, &batch[i]});
-        participants.insert(s);
       }
     } else {
-      size_t s = ShardForKey(batch[i].key);
-      writes.push_back({s, i, &batch[i]});
-      participants.insert(s);
+      writes.push_back({ShardForKey(batch[i].key), i, &batch[i]});
     }
   }
   std::vector<PutResult> results(batch.size());
   if (writes.empty()) return results;
-  if (participants.size() == 1 && !any_replicated && batch.size() == 1) {
-    // One write on one shard: no coordination needed.
-    MLCASK_ASSIGN_OR_RETURN(results[0],
-                            DirectPut(writes[0].shard, batch[0].key,
-                                      batch[0].data));
-    return results;
-  }
-  MLCASK_RETURN_IF_ERROR(RunTransaction(writes, &results));
+  MLCASK_RETURN_IF_ERROR(RunTransactionLocked(writes, &results));
   return results;
 }
 
 StatusOr<std::string> ShardedStorageEngine::Get(const std::string& key) {
-  const size_t shard = IsReplicated(key) ? 0 : ShardForKey(key);
-  return shards_[shard]->Get(key);
+  if (IsReplicated(key)) {
+    return shards_[coordinator_shard()]->Get(key);
+  }
+  return WithStableRoute(
+      key, [&](size_t shard) { return shards_[shard]->Get(key); });
 }
 
 StatusOr<std::string> ShardedStorageEngine::GetVersion(const Hash256& id) {
@@ -520,7 +761,8 @@ StatusOr<std::string> ShardedStorageEngine::GetVersion(const Hash256& id) {
     std::shared_lock<std::shared_mutex> lock(index_mu_);
     auto it = version_shard_.find(id);
     if (it != version_shard_.end()) {
-      const size_t shard = it->second == kReplicated ? 0 : it->second;
+      const size_t shard =
+          it->second == kReplicated ? coordinator_shard() : it->second;
       lock.unlock();
       return shards_[shard]->GetVersion(id);
     }
@@ -537,9 +779,10 @@ StatusOr<std::string> ShardedStorageEngine::GetVersion(const Hash256& id) {
   std::vector<std::pair<size_t, Deferred<std::string>>> probes;
   std::vector<size_t> probed;
   std::vector<size_t> skipped;
-  probes.reserve(shards_.size());
+  const std::vector<size_t> live = live_members();
+  probes.reserve(live.size());
   InflightMeter meter;
-  for (size_t s = 0; s < shards_.size(); ++s) {
+  for (size_t s : live) {
     if (SkipDownShard(s)) {
       skipped.push_back(s);
       continue;
@@ -576,7 +819,8 @@ bool ShardedStorageEngine::HasVersion(const Hash256& id) const {
     std::shared_lock<std::shared_mutex> lock(index_mu_);
     auto it = version_shard_.find(id);
     if (it != version_shard_.end()) {
-      const size_t shard = it->second == kReplicated ? 0 : it->second;
+      const size_t shard =
+          it->second == kReplicated ? coordinator_shard() : it->second;
       lock.unlock();
       return shards_[shard]->HasVersion(id);
     }
@@ -586,9 +830,10 @@ bool ShardedStorageEngine::HasVersion(const Hash256& id) const {
   // fallback for transport failure anyway).
   std::vector<std::pair<size_t, Deferred<bool>>> probes;
   std::vector<size_t> probed;
-  probes.reserve(shards_.size());
+  const std::vector<size_t> live = live_members();
+  probes.reserve(live.size());
   InflightMeter meter;
-  for (size_t s = 0; s < shards_.size(); ++s) {
+  for (size_t s : live) {
     if (SkipDownShard(s)) continue;
     probes.emplace_back(s, shards_[s]->AsyncHasVersion(id));
     probed.push_back(s);
@@ -609,18 +854,28 @@ bool ShardedStorageEngine::HasVersion(const Hash256& id) const {
 
 std::vector<Hash256> ShardedStorageEngine::Versions(
     const std::string& key) const {
-  const size_t shard = IsReplicated(key) ? 0 : ShardForKey(key);
-  return shards_[shard]->Versions(key);
+  if (IsReplicated(key)) {
+    return shards_[coordinator_shard()]->Versions(key);
+  }
+  return WithStableRoute(
+      key, [&](size_t shard) { return shards_[shard]->Versions(key); });
 }
 
 std::vector<std::pair<std::string, Hash256>>
 ShardedStorageEngine::ListAllVersions() const {
   std::vector<std::pair<std::string, Hash256>> all;
-  for (size_t s = 0; s < shards_.size(); ++s) {
+  const std::vector<size_t> live = live_members();
+  const size_t coord = coordinator_shard();
+  const bool dedupe = migration_in_progress();
+  // Mid-migration a key copied but not yet cleared exists on both its old
+  // and new owner; surface one logical copy.
+  std::set<std::pair<std::string, Hash256>> seen;
+  for (size_t s : live) {
     for (auto& entry : shards_[s]->ListAllVersions()) {
-      if (IsStagingKey(entry.first)) continue;  // internal 2pc records
+      if (IsInternalKey(entry.first)) continue;  // 2pc/migration records
       // Replicated keys exist on every shard; surface one logical copy.
-      if (s != 0 && IsReplicated(entry.first)) continue;
+      if (s != coord && IsReplicated(entry.first)) continue;
+      if (dedupe && !seen.insert(entry).second) continue;
       all.push_back(std::move(entry));
     }
   }
@@ -638,11 +893,12 @@ StatusOr<uint64_t> ShardedStorageEngine::DeleteVersion(const Hash256& id) {
       indexed = true;
     }
   }
+  const std::vector<size_t> live = live_members();
   // A delete must be able to reach EVERY potential holder: deciding with a
   // down shard in the cluster risks leaking its replica or leaving a
   // replicated version half-deleted (permanent divergence). Fail fast with
   // a typed status instead; the caller retries once the shard is back.
-  for (size_t s = 0; s < shards_.size(); ++s) {
+  for (size_t s : live) {
     if (ShardDown(s)) {
       return Status::Unavailable(
           "cannot delete version " + id.ShortHex() + ": shard " +
@@ -654,20 +910,20 @@ StatusOr<uint64_t> ShardedStorageEngine::DeleteVersion(const Hash256& id) {
     // (overlapped broadcast). More than one holder means a replicated
     // version — fall through to the delete-every-replica branch, otherwise
     // replicas would leak.
-    std::vector<Deferred<bool>> probes;
+    std::vector<std::pair<size_t, Deferred<bool>>> probes;
     std::vector<size_t> probed;
-    probes.reserve(shards_.size());
+    probes.reserve(live.size());
     InflightMeter meter;
-    for (size_t s = 0; s < shards_.size(); ++s) {
-      probes.push_back(shards_[s]->AsyncHasVersion(id));
+    for (size_t s : live) {
+      probes.emplace_back(s, shards_[s]->AsyncHasVersion(id));
       probed.push_back(s);
       meter.Issue();
     }
     RecordBroadcast(meter.peak, probed);
     std::vector<size_t> holders;
     Status probe_failure;
-    for (size_t s = 0; s < shards_.size(); ++s) {
-      auto has = probes[s].Get();
+    for (auto& [s, probe] : probes) {
+      auto has = probe.Get();
       meter.Collect();
       NoteShardResult(s, has.ok() ? Status::Ok() : has.status());
       if (!has.ok() && probe_failure.ok()) probe_failure = has.status();
@@ -691,7 +947,7 @@ StatusOr<uint64_t> ShardedStorageEngine::DeleteVersion(const Hash256& id) {
     // Drop every replica; report one replica's freed bytes (the logical
     // view counts one copy).
     bool counted = false;
-    for (size_t s = 0; s < shards_.size(); ++s) {
+    for (size_t s : live) {
       auto result = shards_[s]->DeleteVersion(id);
       if (!result.ok() && !result.status().IsNotFound()) {
         return result.status();
@@ -713,24 +969,25 @@ StatusOr<uint64_t> ShardedStorageEngine::DeleteVersion(const Hash256& id) {
 
 EngineStats ShardedStorageEngine::stats() const {
   EngineStats total;
-  for (const auto& shard : shards_) {
-    EngineStats s = shard->stats();
-    total.logical_bytes += s.logical_bytes;
-    total.physical_bytes += s.physical_bytes;
-    total.storage_time_s += s.storage_time_s;
-    total.puts += s.puts;
-    total.gets += s.gets;
+  for (size_t s : live_members()) {
+    EngineStats shard_stats = shards_[s]->stats();
+    total.logical_bytes += shard_stats.logical_bytes;
+    total.physical_bytes += shard_stats.physical_bytes;
+    total.storage_time_s += shard_stats.storage_time_s;
+    total.puts += shard_stats.puts;
+    total.gets += shard_stats.gets;
   }
   return total;
 }
 
 std::string ShardedStorageEngine::Name() const {
-  return "sharded-" + std::to_string(shards_.size()) + "x[" +
-         shards_[0]->Name() + "]";
+  const std::vector<size_t> live = live_members();
+  return "sharded-" + std::to_string(live.size()) + "x[" +
+         shards_[live.front()]->Name() + "]";
 }
 
 double ShardedStorageEngine::ReadCost(uint64_t bytes) const {
-  return shards_[0]->ReadCost(bytes);
+  return shards_[coordinator_shard()]->ReadCost(bytes);
 }
 
 ShardedStorageEngine::TwoPhaseStats ShardedStorageEngine::two_phase_stats()
@@ -743,6 +1000,11 @@ Status ShardedStorageEngine::RecoverTwoPhase() {
   // Recovery is itself a coordinated mutation: hold the transaction lock so
   // no new transaction interleaves with the scan-and-resolve pass.
   std::lock_guard<std::mutex> txn_lock(txn_mu_);
+  return RecoverTwoPhaseLocked();
+}
+
+Status ShardedStorageEngine::RecoverTwoPhaseLocked() {
+  const size_t coord = coordinator_shard();
 
   struct StagedRecord {
     size_t shard = 0;
@@ -751,18 +1013,18 @@ Status ShardedStorageEngine::RecoverTwoPhase() {
     bool is_decision = false;
   };
   std::map<uint64_t, std::vector<StagedRecord>> txns;
-  std::map<uint64_t, bool> committed;  ///< Decision present on shard 0.
+  std::map<uint64_t, bool> committed;  ///< Decision present on coordinator.
   uint64_t max_txn = 0;
-  for (size_t s = 0; s < shards_.size(); ++s) {
+  for (size_t s : live_members()) {
     for (const auto& [key, id] : shards_[s]->ListAllVersions()) {
       uint64_t txn = 0;
       bool is_decision = false;
       if (!ParseStagingKey(key, &txn, &is_decision)) continue;
       txns[txn].push_back({s, key, id, is_decision});
-      // Only shard 0's copy of the decision is authoritative: the
+      // Only the coordinator's copy of the decision is authoritative: the
       // coordinator never writes it anywhere else, so a stray decision on
       // another shard is garbage and gets deleted with the rest.
-      if (is_decision && s == 0) committed[txn] = true;
+      if (is_decision && s == coord) committed[txn] = true;
       max_txn = std::max(max_txn, txn);
     }
   }
@@ -898,6 +1160,524 @@ ShardedStorageEngine::BroadcastStats ShardedStorageEngine::broadcast_stats()
   return bc_stats_;
 }
 
+// ------------------------------------------------------------- rebalance ---
+
+ShardedStorageEngine::MigrationStats ShardedStorageEngine::migration_stats()
+    const {
+  std::lock_guard<std::mutex> lock(mig_stats_mu_);
+  return mig_stats_;
+}
+
+Status ShardedStorageEngine::PersistPlan(const ShardRing& from,
+                                         const ShardRing& to) {
+  // The plan lives on the NEW ring's first member: a slot that survives
+  // the change by construction (a leaving slot is never in `to`).
+  const size_t home = to.members.front();
+  auto put = shards_[home]->Put(std::string(kPlanKey),
+                                SerializePlan(from, to,
+                                              options_.virtual_nodes_per_shard));
+  NoteShardResult(home, put.ok() ? Status::Ok() : put.status());
+  if (!put.ok()) {
+    return Status(put.status().code(),
+                  "cannot persist migration plan on shard " +
+                      std::to_string(home) + ": " + put.status().message());
+  }
+  return Status::Ok();
+}
+
+Status ShardedStorageEngine::AddShard(std::unique_ptr<StorageEngine> shard) {
+  return AddShard(std::move(shard), MigrationOptions());
+}
+
+Status ShardedStorageEngine::RemoveShard(size_t slot) {
+  return RemoveShard(slot, MigrationOptions());
+}
+
+Status ShardedStorageEngine::ResumeMigration() {
+  return ResumeMigration(MigrationOptions());
+}
+
+Status ShardedStorageEngine::AddShard(std::unique_ptr<StorageEngine> shard,
+                                      const MigrationOptions& opts) {
+  if (shard == nullptr) {
+    return Status::InvalidArgument("AddShard needs an engine");
+  }
+  std::unique_lock<std::mutex> txn_lock(txn_mu_);
+  if (migration_in_progress()) {
+    return Status::FailedPrecondition(
+        "a rebalance is already in progress (epoch " +
+        std::to_string(ring_epoch()) + ")");
+  }
+  ShardRing old_ring;
+  size_t new_slot = 0;
+  {
+    std::shared_lock<std::shared_mutex> topo(topo_mu_);
+    if (shards_.size() >= kSlotCapacity) {
+      return Status::FailedPrecondition("slot capacity (" +
+                                        std::to_string(kSlotCapacity) +
+                                        ") exhausted");
+    }
+    old_ring = current_ring_;
+    new_slot = shards_.size();
+  }
+  // Seed the replicated namespace onto the new shard while it is still
+  // unroutable: every live shard must carry it before the first
+  // replicated read or 2PC fan-out can land there. Holding txn_mu_ keeps
+  // the namespace frozen for the copy.
+  const size_t coord = old_ring.members.front();
+  std::set<std::string> replicated_keys;
+  for (const auto& [key, id] : shards_[coord]->ListAllVersions()) {
+    if (IsInternalKey(key) || !IsReplicated(key)) continue;
+    replicated_keys.insert(key);
+  }
+  std::vector<MigrateKeyVersions> seed;
+  seed.reserve(replicated_keys.size());
+  for (const std::string& key : replicated_keys) {
+    MigrateKeyVersions entry;
+    entry.key = key;
+    for (const Hash256& id : shards_[coord]->Versions(key)) {
+      auto data = shards_[coord]->GetVersion(id);
+      if (!data.ok()) {
+        return Status(data.status().code(),
+                      "cannot read replicated key '" + key +
+                          "' for the new shard: " + data.status().message());
+      }
+      entry.versions.emplace_back(id, std::move(*data));
+    }
+    seed.push_back(std::move(entry));
+  }
+  if (!seed.empty()) {
+    auto copied = shard->MigrateBatch(seed);
+    if (!copied.ok()) {
+      return Status(copied.status().code(),
+                    "cannot seed replicated namespace on the new shard: " +
+                        copied.status().message());
+    }
+  }
+  std::vector<size_t> members = old_ring.members;
+  members.push_back(new_slot);
+  ShardRing next = BuildShardRing(old_ring.epoch + 1, std::move(members),
+                                  options_.virtual_nodes_per_shard);
+  // Durable plan BEFORE the epoch flips: a router killed right after the
+  // install still leaves a resumable record behind. A failed plan write
+  // aborts cleanly — nothing changed yet.
+  MLCASK_RETURN_IF_ERROR(PersistPlan(old_ring, next));
+  {
+    std::unique_lock<std::shared_mutex> topo(topo_mu_);
+    shards_.push_back(std::move(shard));
+    prev_ring_ = current_ring_;
+    current_ring_ = std::move(next);
+    migrating_.store(true, std::memory_order_release);
+  }
+  {
+    std::lock_guard<std::mutex> mig(mig_mu_);
+    mig_cursor_.clear();
+  }
+  // Grow the per-slot telemetry under each owner's lock.
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    consecutive_failures_.push_back(0);
+    half_open_skips_.push_back(0);
+  }
+  {
+    std::lock_guard<std::mutex> lock(tp_stats_mu_);
+    tp_stats_.per_shard_round_trips.push_back(0);
+  }
+  {
+    std::lock_guard<std::mutex> lock(bc_stats_mu_);
+    bc_stats_.per_shard_probes.push_back(0);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mig_stats_mu_);
+    mig_stats_.epoch = ring_epoch();
+  }
+  txn_lock.unlock();
+  return DriveMigration(opts);
+}
+
+Status ShardedStorageEngine::RemoveShard(size_t slot,
+                                         const MigrationOptions& opts) {
+  std::unique_lock<std::mutex> txn_lock(txn_mu_);
+  if (migration_in_progress()) {
+    return Status::FailedPrecondition(
+        "a rebalance is already in progress (epoch " +
+        std::to_string(ring_epoch()) + ")");
+  }
+  ShardRing old_ring;
+  {
+    std::shared_lock<std::shared_mutex> topo(topo_mu_);
+    old_ring = current_ring_;
+  }
+  if (!old_ring.Contains(slot)) {
+    return Status::InvalidArgument("shard " + std::to_string(slot) +
+                                   " is not a live member");
+  }
+  if (old_ring.members.size() <= 1) {
+    return Status::FailedPrecondition("cannot remove the last shard");
+  }
+  // Resolve every staged transaction under the OLD topology first: its
+  // commit decisions live on the OLD coordinator, which may be exactly the
+  // slot that is leaving.
+  MLCASK_RETURN_IF_ERROR(RecoverTwoPhaseLocked());
+  std::vector<size_t> members;
+  members.reserve(old_ring.members.size() - 1);
+  for (size_t s : old_ring.members) {
+    if (s != slot) members.push_back(s);
+  }
+  ShardRing next = BuildShardRing(old_ring.epoch + 1, std::move(members),
+                                  options_.virtual_nodes_per_shard);
+  MLCASK_RETURN_IF_ERROR(PersistPlan(old_ring, next));
+  {
+    std::unique_lock<std::shared_mutex> topo(topo_mu_);
+    prev_ring_ = current_ring_;
+    current_ring_ = std::move(next);
+    migrating_.store(true, std::memory_order_release);
+  }
+  {
+    std::lock_guard<std::mutex> mig(mig_mu_);
+    mig_cursor_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mig_stats_mu_);
+    mig_stats_.epoch = ring_epoch();
+  }
+  txn_lock.unlock();
+  return DriveMigration(opts);
+}
+
+Status ShardedStorageEngine::ResumeMigration(const MigrationOptions& opts) {
+  if (migration_in_progress()) {
+    // Paused in-memory (max_batches): the dual-epoch window is still
+    // installed, just keep driving.
+    return DriveMigration(opts);
+  }
+  // Scan for the durable plan a killed router left behind.
+  std::string plan_bytes;
+  size_t plan_slot = 0;
+  bool found = false;
+  for (size_t s : live_members()) {
+    auto plan = shards_[s]->Get(std::string(kPlanKey));
+    if (plan.ok()) {
+      plan_bytes = std::move(*plan);
+      plan_slot = s;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return Status::Ok();
+  uint64_t epoch = 0;
+  std::vector<size_t> from;
+  std::vector<size_t> to;
+  size_t vnodes = 0;
+  if (!ParsePlan(plan_bytes, &epoch, &from, &to, &vnodes)) {
+    return Status::Corruption("unparseable migration plan on shard " +
+                              std::to_string(plan_slot));
+  }
+  const size_t slots = SlotCount();
+  for (size_t s : from) {
+    if (s >= slots) {
+      return Status::FailedPrecondition(
+          "migration plan references slot " + std::to_string(s) +
+          " but only " + std::to_string(slots) + " are connected");
+    }
+  }
+  for (size_t s : to) {
+    if (s >= slots) {
+      return Status::FailedPrecondition(
+          "migration plan references slot " + std::to_string(s) +
+          " but only " + std::to_string(slots) + " are connected");
+    }
+  }
+  std::string cursor;
+  auto cur = shards_[plan_slot]->Get(std::string(kCursorKey));
+  if (cur.ok()) {
+    cursor = std::move(*cur);
+  } else if (!cur.status().IsNotFound()) {
+    return cur.status();
+  }
+  {
+    std::unique_lock<std::mutex> txn_lock(txn_mu_);
+    {
+      std::unique_lock<std::shared_mutex> topo(topo_mu_);
+      prev_ring_ = BuildShardRing(epoch > 0 ? epoch - 1 : 0, from, vnodes);
+      current_ring_ = BuildShardRing(epoch, to, vnodes);
+      migrating_.store(true, std::memory_order_release);
+    }
+    {
+      std::lock_guard<std::mutex> mig(mig_mu_);
+      mig_cursor_ = std::move(cursor);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mig_stats_mu_);
+      mig_stats_.resumes += 1;
+      mig_stats_.epoch = epoch;
+    }
+  }
+  return DriveMigration(opts);
+}
+
+std::vector<KeyMove> ShardedStorageEngine::EnumerateMoves() const {
+  ShardRing current;
+  std::vector<size_t> live;
+  {
+    std::shared_lock<std::shared_mutex> topo(topo_mu_);
+    if (!migrating_.load(std::memory_order_acquire)) return {};
+    current = current_ring_;
+    live = current_ring_.members;
+    for (size_t s : prev_ring_.members) {
+      if (std::find(live.begin(), live.end(), s) == live.end()) {
+        live.push_back(s);
+      }
+    }
+  }
+  std::sort(live.begin(), live.end());
+  // Any object key sitting on a live slot the CURRENT ring does not route
+  // it to must move there: the initial reassignment, keys written to old
+  // owners mid-migration, and crash residue (copied but not yet cleared)
+  // all reduce to the same rule.
+  std::vector<KeyMove> moves;
+  std::set<std::string> seen;
+  for (size_t s : live) {
+    for (const auto& [key, id] : shards_[s]->ListAllVersions()) {
+      if (IsInternalKey(key) || IsReplicated(key)) continue;
+      const size_t owner = RingOwner(current, key);
+      if (owner == s) continue;
+      if (!seen.insert(key).second) continue;
+      moves.push_back({key, s, owner});
+    }
+  }
+  std::sort(moves.begin(), moves.end(),
+            [](const KeyMove& a, const KeyMove& b) { return a.key < b.key; });
+  return moves;
+}
+
+Status ShardedStorageEngine::MigrateOneBatch(
+    const std::vector<KeyMove>& moves) {
+  // One batch is one critical section against coordinated transactions:
+  // merges route-and-apply under txn_mu_, so holding it here means no
+  // transaction can have routed to a source shard this batch is about to
+  // clear.
+  std::lock_guard<std::mutex> txn_lock(txn_mu_);
+  {
+    std::lock_guard<std::mutex> mig(mig_mu_);
+    for (const KeyMove& mv : moves) inflight_keys_.insert(mv.key);
+  }
+  // Drain: once this unique lock has been held (however briefly), every
+  // routed call that decided BEFORE the keys went in flight has finished;
+  // later calls observe the in-flight set and wait for the batch.
+  { std::unique_lock<std::shared_mutex> drain(mig_write_mu_); }
+  auto unblock = [this] {
+    std::lock_guard<std::mutex> mig(mig_mu_);
+    inflight_keys_.clear();
+    mig_cv_.notify_all();
+  };
+
+  // Read every version of every moving key from its source shard.
+  struct Moved {
+    const KeyMove* mv = nullptr;
+    std::vector<Hash256> ids;
+  };
+  std::map<size_t, std::vector<MigrateKeyVersions>> by_dest;
+  std::vector<Moved> moved;
+  uint64_t bytes = 0;
+  for (const KeyMove& mv : moves) {
+    std::vector<Hash256> ids = shards_[mv.from]->Versions(mv.key);
+    if (ids.empty()) continue;  // deleted concurrently; nothing to move
+    MigrateKeyVersions entry;
+    entry.key = mv.key;
+    entry.versions.reserve(ids.size());
+    for (const Hash256& id : ids) {
+      auto data = shards_[mv.from]->GetVersion(id);
+      if (!data.ok()) {
+        unblock();
+        return Status(data.status().code(),
+                      "rebalance cannot read '" + mv.key + "' from shard " +
+                          std::to_string(mv.from) + ": " +
+                          data.status().message());
+      }
+      bytes += data->size();
+      entry.versions.emplace_back(id, std::move(*data));
+    }
+    by_dest[mv.to].push_back(std::move(entry));
+    moved.push_back({&mv, std::move(ids)});
+  }
+
+  // Ship one MigrateBatch per destination, all round trips overlapped.
+  std::vector<std::pair<size_t, Deferred<MigrateBatchResult>>> ships;
+  ships.reserve(by_dest.size());
+  for (auto& [dest, batch] : by_dest) {
+    ships.emplace_back(dest, shards_[dest]->AsyncMigrateBatch(batch));
+  }
+  uint64_t applied = 0;
+  uint64_t skipped = 0;
+  Status ship_failure;
+  size_t failed_shard = 0;
+  for (auto& [dest, deferred] : ships) {
+    auto result = deferred.Get();
+    NoteShardResult(dest, result.ok() ? Status::Ok() : result.status());
+    if (!result.ok()) {
+      if (ship_failure.ok()) {
+        ship_failure = result.status();
+        failed_shard = dest;
+      }
+      continue;
+    }
+    applied += result->applied_versions;
+    skipped += result->skipped_versions;
+  }
+  if (!ship_failure.ok()) {
+    unblock();
+    return Status(ship_failure.code(),
+                  "rebalance batch failed on shard " +
+                      std::to_string(failed_shard) + ": " +
+                      ship_failure.message() +
+                      " (migration still installed; resume when the shard "
+                      "is back)");
+  }
+
+  // Persist the cursor BEFORE clearing the sources: a crash after this
+  // point replays the batch as skips plus residual deletes — never as
+  // data loss. (Before this point the copies simply happen again.)
+  std::string new_cursor;
+  {
+    std::lock_guard<std::mutex> mig(mig_mu_);
+    new_cursor = std::max(mig_cursor_, moves.back().key);
+  }
+  const size_t home = plan_shard();
+  auto persisted = shards_[home]->Put(std::string(kCursorKey), new_cursor);
+  NoteShardResult(home,
+                  persisted.ok() ? Status::Ok() : persisted.status());
+  if (!persisted.ok()) {
+    unblock();
+    return Status(persisted.status().code(),
+                  "rebalance cannot persist cursor on shard " +
+                      std::to_string(home) + ": " +
+                      persisted.status().message());
+  }
+  {
+    std::lock_guard<std::mutex> mig(mig_mu_);
+    mig_cursor_ = new_cursor;
+  }
+
+  // Re-home the version index, then clear the source copies.
+  for (const Moved& m : moved) {
+    for (const Hash256& id : m.ids) {
+      RecordVersion(id, m.mv->to);
+    }
+    for (const Hash256& id : m.ids) {
+      auto freed = shards_[m.mv->from]->DeleteVersion(id);
+      if (!freed.ok() && !freed.status().IsNotFound()) {
+        unblock();
+        return Status(freed.status().code(),
+                      "rebalance cannot clear source copy of '" + m.mv->key +
+                          "' on shard " + std::to_string(m.mv->from) + ": " +
+                          freed.status().message());
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mig_stats_mu_);
+    mig_stats_.keys_migrated += moved.size();
+    mig_stats_.versions_migrated += applied;
+    mig_stats_.skipped_versions += skipped;
+    mig_stats_.bytes_migrated += bytes;
+    mig_stats_.batches += 1;
+    mig_stats_.cursor_writes += 1;
+  }
+  unblock();
+  return Status::Ok();
+}
+
+Status ShardedStorageEngine::DriveMigration(const MigrationOptions& opts) {
+  const size_t batch_keys = std::max<size_t>(1, opts.batch_keys);
+  uint64_t batches_done = 0;
+  while (true) {
+    std::vector<KeyMove> moves = EnumerateMoves();
+    if (moves.empty()) {
+      // Quiesce writers, then confirm no straggler appeared between the
+      // two enumerations — only then flip to single-epoch routing.
+      std::lock_guard<std::mutex> txn_lock(txn_mu_);
+      { std::unique_lock<std::shared_mutex> drain(mig_write_mu_); }
+      moves = EnumerateMoves();
+      if (moves.empty()) return FinalizeMigrationLocked();
+    }
+    for (size_t begin = 0; begin < moves.size(); begin += batch_keys) {
+      if (opts.max_batches != 0 && batches_done >= opts.max_batches) {
+        // Paused: the dual-epoch window stays installed; ResumeMigration
+        // picks up from the (durable) cursor.
+        return Status::Ok();
+      }
+      const size_t end = std::min(moves.size(), begin + batch_keys);
+      std::vector<KeyMove> batch(moves.begin() + begin, moves.begin() + end);
+      MLCASK_RETURN_IF_ERROR(MigrateOneBatch(batch));
+      ++batches_done;
+    }
+  }
+}
+
+Status ShardedStorageEngine::FinalizeMigrationLocked() {
+  ShardRing current;
+  ShardRing prev;
+  {
+    std::shared_lock<std::shared_mutex> topo(topo_mu_);
+    if (!migrating_.load(std::memory_order_acquire)) return Status::Ok();
+    current = current_ring_;
+    prev = prev_ring_;
+  }
+  // Drain every leaving slot EMPTY: after key migration the only residue
+  // is the replicated namespace (still correct on every surviving member)
+  // plus any internal leftovers.
+  for (size_t s : prev.members) {
+    if (current.Contains(s)) continue;
+    for (const auto& [key, id] : shards_[s]->ListAllVersions()) {
+      auto freed = shards_[s]->DeleteVersion(id);
+      if (!freed.ok() && !freed.status().IsNotFound()) {
+        return Status(freed.status().code(),
+                      "cannot drain leaving shard " + std::to_string(s) +
+                          " (key '" + key + "'): " + freed.status().message());
+      }
+    }
+  }
+  // Retire the durable plan and cursor: the migration is over, a later
+  // ResumeMigration must find nothing.
+  const size_t home = current.members.front();
+  for (std::string_view bookkeeping : {kPlanKey, kCursorKey}) {
+    const std::string key(bookkeeping);
+    for (const Hash256& id : shards_[home]->Versions(key)) {
+      auto freed = shards_[home]->DeleteVersion(id);
+      if (!freed.ok() && !freed.status().IsNotFound()) {
+        return Status(freed.status().code(),
+                      "cannot retire migration record '" + key +
+                          "': " + freed.status().message());
+      }
+    }
+  }
+  {
+    std::unique_lock<std::shared_mutex> topo(topo_mu_);
+    prev_ring_ = ShardRing{};
+    migrating_.store(false, std::memory_order_release);
+  }
+  {
+    std::lock_guard<std::mutex> mig(mig_mu_);
+    mig_cursor_.clear();
+  }
+  return Status::Ok();
+}
+
+// ------------------------------------------------------------- factories ---
+
+std::unique_ptr<StorageEngine> MakeLoopbackShard(
+    std::unique_ptr<StorageEngine> backend) {
+  // Ownership chain: proxy -> transport -> (shared) service -> backend.
+  auto service = std::make_shared<StorageEngineService>(std::move(backend));
+  auto transport = std::make_unique<LoopbackTransport>(
+      [service](std::string_view request) {
+        return service->Handle(request);
+      });
+  return std::make_unique<RemoteStorageEngine>(std::move(transport));
+}
+
 std::unique_ptr<ShardedStorageEngine> MakeLoopbackCluster(
     size_t shards,
     const std::function<std::unique_ptr<StorageEngine>()>& backend_factory,
@@ -906,15 +1686,7 @@ std::unique_ptr<ShardedStorageEngine> MakeLoopbackCluster(
   std::vector<std::unique_ptr<StorageEngine>> proxies;
   proxies.reserve(shards);
   for (size_t s = 0; s < shards; ++s) {
-    // Ownership chain: proxy -> transport -> (shared) service -> backend.
-    auto service =
-        std::make_shared<StorageEngineService>(backend_factory());
-    auto transport = std::make_unique<LoopbackTransport>(
-        [service](std::string_view request) {
-          return service->Handle(request);
-        });
-    proxies.push_back(
-        std::make_unique<RemoteStorageEngine>(std::move(transport)));
+    proxies.push_back(MakeLoopbackShard(backend_factory()));
   }
   return std::make_unique<ShardedStorageEngine>(std::move(proxies),
                                                 std::move(options));

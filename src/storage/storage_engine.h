@@ -1,6 +1,7 @@
 #ifndef MLCASK_STORAGE_STORAGE_ENGINE_H_
 #define MLCASK_STORAGE_STORAGE_ENGINE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -50,6 +51,24 @@ struct PutResult {
   uint64_t new_physical_bytes = 0; ///< Bytes the store actually added.
   double storage_time_s = 0;       ///< Modeled data-prep/transfer time.
   bool deduplicated = false;       ///< True if fully dedup'd (no new bytes).
+};
+
+/// One key's full version history inside a shard-rebalance batch, oldest
+/// first. `versions` carries (expected content id, payload): replaying the
+/// payloads in order onto an engine holding no prior versions of `key`
+/// reproduces the ids bit-for-bit, because ids derive from the key, the
+/// content, and the version ordinal — the invariant live migration rides on.
+struct MigrateKeyVersions {
+  std::string key;
+  std::vector<std::pair<Hash256, std::string>> versions;
+};
+
+/// Outcome of one MigrateBatch call. `skipped_versions` counts versions the
+/// destination already held — the visible signature of a migration that
+/// RESUMED past its durable cursor instead of restarting from scratch.
+struct MigrateBatchResult {
+  uint64_t applied_versions = 0;
+  uint64_t skipped_versions = 0;
 };
 
 /// Cumulative accounting across an engine's lifetime. `physical_bytes` is the
@@ -120,6 +139,54 @@ class StorageEngine {
   /// versions are not freed). NotFound if the id is unknown.
   virtual StatusOr<uint64_t> DeleteVersion(const Hash256& id) = 0;
 
+  /// Applies a shard-rebalance batch: for each entry, appends the versions
+  /// this engine does not already hold, in order, verifying every resulting
+  /// id against the source's. Idempotent by construction — an entry whose
+  /// prefix already landed (a crash between the copy and the cursor write)
+  /// is skipped, never duplicated — so migration drivers may replay batches
+  /// freely after a failure. The destination may even hold MORE versions
+  /// than the batch carries: a crash after the cursor write routes new
+  /// writes of the key to this engine before the replayed batch arrives,
+  /// so the batch is then a strict prefix of local history and is skipped
+  /// whole. Internal error only when the overlapping prefix CONFLICTS (an
+  /// id mismatch means the key was written outside the migration protocol
+  /// and the copy must not proceed).
+  virtual StatusOr<MigrateBatchResult> MigrateBatch(
+      const std::vector<MigrateKeyVersions>& batch) {
+    MigrateBatchResult result;
+    for (const MigrateKeyVersions& entry : batch) {
+      const std::vector<Hash256> existing = Versions(entry.key);
+      const size_t overlap = std::min(existing.size(), entry.versions.size());
+      for (size_t i = 0; i < overlap; ++i) {
+        if (existing[i] != entry.versions[i].first) {
+          return Status::Internal("migration id mismatch on existing '" +
+                                  entry.key + "' version " +
+                                  std::to_string(i) + ": have " +
+                                  existing[i].ShortHex() + ", batch says " +
+                                  entry.versions[i].first.ShortHex());
+        }
+      }
+      if (existing.size() >= entry.versions.size()) {
+        result.skipped_versions += entry.versions.size();
+        continue;
+      }
+      result.skipped_versions += existing.size();
+      for (size_t i = existing.size(); i < entry.versions.size(); ++i) {
+        MLCASK_ASSIGN_OR_RETURN(PutResult put,
+                                Put(entry.key, entry.versions[i].second));
+        if (put.id != entry.versions[i].first) {
+          return Status::Internal(
+              "migrated version of '" + entry.key + "' landed as " +
+              put.id.ShortHex() + " but the source recorded " +
+              entry.versions[i].first.ShortHex() +
+              " (version-ordinal divergence)");
+        }
+        ++result.applied_versions;
+      }
+    }
+    return result;
+  }
+
   virtual EngineStats stats() const = 0;
   virtual std::string Name() const = 0;
 
@@ -155,6 +222,10 @@ class StorageEngine {
   }
   virtual Deferred<uint64_t> AsyncDeleteVersion(const Hash256& id) {
     return Deferred<uint64_t>(DeleteVersion(id));
+  }
+  virtual Deferred<MigrateBatchResult> AsyncMigrateBatch(
+      const std::vector<MigrateKeyVersions>& batch) {
+    return Deferred<MigrateBatchResult>(MigrateBatch(batch));
   }
 };
 

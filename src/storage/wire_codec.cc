@@ -153,6 +153,8 @@ constexpr uint32_t kTagFreed = 1;        // delete_version freed (varint)
 constexpr uint32_t kTagCost = 1;         // read_cost answer (f64)
 constexpr uint32_t kTagPuts = 5;         // stats.puts (varint)
 constexpr uint32_t kTagGets = 6;         // stats.gets (varint)
+constexpr uint32_t kTagApplied = 1;      // migrate applied_versions (varint)
+constexpr uint32_t kTagSkipped = 2;      // migrate skipped_versions (varint)
 
 /// Assembles [magic, second byte, varint meta_len, meta, body].
 std::string Assemble(uint8_t second, std::string_view meta,
@@ -292,13 +294,44 @@ std::string EncodeReadCostRequest(uint64_t bytes) {
   return EncodeRequestMessage(Method::kReadCost, meta, {});
 }
 
+std::string EncodeMigrateBatchRequest(
+    const std::vector<MigrateKeyVersions>& batch,
+    std::string_view replay_token) {
+  std::string meta;
+  PutFieldVarint(&meta, kTagCount, batch.size());
+  if (!replay_token.empty()) {
+    PutFieldBytes(&meta, kTagReplayToken, replay_token);
+  }
+  std::string body;
+  size_t total = 0;
+  for (const MigrateKeyVersions& entry : batch) {
+    total += entry.key.size() + 20;
+    for (const auto& [id, data] : entry.versions) {
+      total += id.bytes.size() + data.size() + 10;
+    }
+  }
+  body.reserve(total);
+  for (const MigrateKeyVersions& entry : batch) {
+    PutVarint(&body, entry.key.size());
+    body.append(entry.key);
+    PutVarint(&body, entry.versions.size());
+    for (const auto& [id, data] : entry.versions) {
+      body.append(reinterpret_cast<const char*>(id.bytes.data()),
+                  id.bytes.size());
+      PutVarint(&body, data.size());
+      body.append(data);
+    }
+  }
+  return EncodeRequestMessage(Method::kMigrateBatch, meta, body);
+}
+
 StatusOr<Request> DecodeRequest(std::string_view message) {
   uint8_t opcode = 0;
   std::string_view meta;
   std::string_view body;
   MLCASK_RETURN_IF_ERROR(Disassemble(message, &opcode, &meta, &body));
   if (opcode < static_cast<uint8_t>(Method::kPut) ||
-      opcode > static_cast<uint8_t>(Method::kReadCost)) {
+      opcode > static_cast<uint8_t>(Method::kMigrateBatch)) {
     return Status::Unimplemented("unknown binary storage opcode " +
                                  std::to_string(opcode));
   }
@@ -357,6 +390,50 @@ StatusOr<Request> DecodeRequest(std::string_view message) {
     }
     if (!rest.empty()) {
       return Status::InvalidArgument("put_many batch has trailing bytes");
+    }
+  }
+  if (request.method == Method::kMigrateBatch) {
+    // Same hostile-varint posture as put_many: every count is peer
+    // controlled, so each is bounded by what the remaining bytes could
+    // possibly parse into before any reserve().
+    if (batch_count > body.size() / 2) {
+      return Status::InvalidArgument("migrate_batch count exceeds body");
+    }
+    request.migrate.reserve(batch_count);
+    std::string_view rest = body;
+    for (uint64_t i = 0; i < batch_count; ++i) {
+      uint64_t key_len = 0;
+      if (!GetVarint(&rest, &key_len) || rest.size() < key_len) {
+        return Status::InvalidArgument("malformed migrate_batch key");
+      }
+      Request::MigrateEntry entry;
+      entry.key = rest.substr(0, key_len);
+      rest.remove_prefix(key_len);
+      uint64_t version_count = 0;
+      // Each version costs at least 32 id bytes + 1 length byte.
+      if (!GetVarint(&rest, &version_count) ||
+          version_count > rest.size() / 33) {
+        return Status::InvalidArgument("malformed migrate_batch entry");
+      }
+      entry.versions.reserve(version_count);
+      for (uint64_t v = 0; v < version_count; ++v) {
+        Hash256 id;
+        if (rest.size() < id.bytes.size()) {
+          return Status::InvalidArgument("malformed migrate_batch version");
+        }
+        std::memcpy(id.bytes.data(), rest.data(), id.bytes.size());
+        rest.remove_prefix(id.bytes.size());
+        uint64_t data_len = 0;
+        if (!GetVarint(&rest, &data_len) || rest.size() < data_len) {
+          return Status::InvalidArgument("malformed migrate_batch version");
+        }
+        entry.versions.emplace_back(id, rest.substr(0, data_len));
+        rest.remove_prefix(data_len);
+      }
+      request.migrate.push_back(std::move(entry));
+    }
+    if (!rest.empty()) {
+      return Status::InvalidArgument("migrate_batch has trailing bytes");
     }
   }
   return request;
@@ -450,6 +527,13 @@ std::string EncodeStatsResponse(const EngineStats& stats) {
 std::string EncodeCostResponse(double cost_s) {
   std::string meta;
   PutFieldF64(&meta, kTagCost, cost_s);
+  return Assemble(0, meta, {});
+}
+
+std::string EncodeMigrateResponse(const MigrateBatchResult& result) {
+  std::string meta;
+  PutFieldVarint(&meta, kTagApplied, result.applied_versions);
+  PutFieldVarint(&meta, kTagSkipped, result.skipped_versions);
   return Assemble(0, meta, {});
 }
 
@@ -628,6 +712,32 @@ StatusOr<double> DecodeCostResponse(std::string_view message) {
   return Status::Corruption("read_cost response lacks a cost");
 }
 
+StatusOr<MigrateBatchResult> DecodeMigrateResponse(std::string_view message) {
+  std::string_view meta;
+  std::string_view body;
+  MLCASK_RETURN_IF_ERROR(SplitOkResponse(message, &meta, &body));
+  MigrateBatchResult result;
+  bool saw_applied = false;
+  FieldReader reader(meta);
+  while (reader.Next()) {
+    switch (reader.tag()) {
+      case kTagApplied:
+        result.applied_versions = reader.varint();
+        saw_applied = true;
+        break;
+      case kTagSkipped:
+        result.skipped_versions = reader.varint();
+        break;
+      default:
+        break;
+    }
+  }
+  if (reader.malformed() || !saw_applied) {
+    return Status::Corruption("migrate_batch response lacks counters");
+  }
+  return result;
+}
+
 // --- server dispatch --------------------------------------------------------
 
 std::string DispatchBinary(StorageEngine* engine, std::string_view message) {
@@ -680,6 +790,22 @@ std::string DispatchBinary(StorageEngine* engine, std::string_view message) {
       return EncodeDataResponse(engine->Name());
     case Method::kReadCost:
       return EncodeCostResponse(engine->ReadCost(request->bytes));
+    case Method::kMigrateBatch: {
+      std::vector<MigrateKeyVersions> batch;
+      batch.reserve(request->migrate.size());
+      for (const Request::MigrateEntry& entry : request->migrate) {
+        MigrateKeyVersions kv;
+        kv.key.assign(entry.key);
+        kv.versions.reserve(entry.versions.size());
+        for (const auto& [id, data] : entry.versions) {
+          kv.versions.emplace_back(id, std::string(data));
+        }
+        batch.push_back(std::move(kv));
+      }
+      auto result = engine->MigrateBatch(batch);
+      if (!result.ok()) return EncodeErrorResponse(result.status());
+      return EncodeMigrateResponse(*result);
+    }
   }
   return EncodeErrorResponse(
       Status::Unimplemented("unknown binary storage opcode"));

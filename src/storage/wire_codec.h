@@ -61,6 +61,7 @@ enum class Method : uint8_t {
   kStats = 9,
   kName = 10,
   kReadCost = 11,
+  kMigrateBatch = 12,
 };
 
 // Varint / field primitives (exposed for tests and the chunk-end codec).
@@ -89,6 +90,15 @@ std::string EncodeIdRequest(Method method, const Hash256& id,
 std::string EncodePlainRequest(Method method);
 /// ReadCost: meta {bytes}.
 std::string EncodeReadCostRequest(uint64_t bytes);
+/// MigrateBatch (shard rebalance): meta {count[, replay_token]}, body =
+/// count x [varint key_len, key, varint version_count, version_count x
+/// (32-byte id, varint data_len, data)]. Payload bytes ride the body
+/// verbatim, so large batches stream as chunk frames like any other
+/// oversized message. Replayable: MigrateBatch is idempotent, so a redial
+/// replay answers from the ledger without re-applying.
+std::string EncodeMigrateBatchRequest(
+    const std::vector<MigrateKeyVersions>& batch,
+    std::string_view replay_token = {});
 
 /// A decoded request. Views point INTO the request message — zero copy; the
 /// message must outlive the views.
@@ -100,6 +110,12 @@ struct Request {
   std::string_view body;      ///< kPut: artifact bytes, verbatim.
   std::string_view replay_token;  ///< Empty unless idempotently replayable.
   std::vector<std::pair<std::string_view, std::string_view>> batch;
+  /// kMigrateBatch: decoded entries; payload views point into the message.
+  struct MigrateEntry {
+    std::string_view key;
+    std::vector<std::pair<Hash256, std::string_view>> versions;
+  };
+  std::vector<MigrateEntry> migrate;
 };
 StatusOr<Request> DecodeRequest(std::string_view message);
 
@@ -124,6 +140,7 @@ std::string EncodeEntriesResponse(
     const std::vector<std::pair<std::string, Hash256>>& entries);
 std::string EncodeStatsResponse(const EngineStats& stats);
 std::string EncodeCostResponse(double cost_s);
+std::string EncodeMigrateResponse(const MigrateBatchResult& result);
 
 // --- response decoding (client side) ---------------------------------------
 
@@ -143,6 +160,7 @@ StatusOr<std::vector<std::pair<std::string, Hash256>>> DecodeEntriesResponse(
     std::string_view message);
 StatusOr<EngineStats> DecodeStatsResponse(std::string_view message);
 StatusOr<double> DecodeCostResponse(std::string_view message);
+StatusOr<MigrateBatchResult> DecodeMigrateResponse(std::string_view message);
 
 /// Server-side dispatch of one binary request against an engine; the binary
 /// twin of the JSON Dispatch in remote_engine.cc. Malformed requests produce

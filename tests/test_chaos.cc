@@ -347,6 +347,47 @@ TEST(ChaosTest, HealthViewMarksShardDownAndFastFailsFanouts) {
   EXPECT_TRUE(cluster->Put("pipeline/health/commits", "json").ok());
 }
 
+/// Half-open gate accounting. A freshly-down shard gets ONE immediate probe
+/// (the first fan-out after the transition — an outage shorter than the
+/// fan-out cadence heals in a single request), then the breaker closes and
+/// only every 8th fan-out probes it. The old behavior skipped immediately
+/// and made a blip pay the full 8-fan-out penalty.
+TEST(ChaosTest, FreshlyDownShardGetsOneImmediateProbe) {
+  std::vector<FaultyEngine*> handles;
+  auto cluster = MakeFaultyCluster(3, &handles);
+  const size_t down = 1;
+  handles[down]->set_unavailable(true);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(cluster->Put(KeyOnShard(*cluster, down, "hit"), "x").ok());
+  }
+  ASSERT_EQ(cluster->shard_health().state[down],
+            ShardedStorageEngine::ShardHealth::kDown);
+  const uint64_t before = cluster->broadcast_stats().per_shard_probes[down];
+
+  // Fan-out #1 after the down transition: one immediate probe.
+  (void)cluster->GetVersion(Sha256::Digest("probe-1"));
+  EXPECT_EQ(cluster->broadcast_stats().per_shard_probes[down], before + 1);
+  // Fan-outs #2..#7: the breaker is closed, the shard is skipped.
+  for (int i = 2; i <= 7; ++i) {
+    (void)cluster->GetVersion(Sha256::Digest("probe-" + std::to_string(i)));
+    EXPECT_EQ(cluster->broadcast_stats().per_shard_probes[down], before + 1)
+        << "fan-out " << i << " should have skipped the down shard";
+  }
+  // Fan-out #8: the half-open retry goes through.
+  (void)cluster->GetVersion(Sha256::Digest("probe-8"));
+  EXPECT_EQ(cluster->broadcast_stats().per_shard_probes[down], before + 2);
+
+  // Once a half-open probe SUCCEEDS, the breaker resets without operator
+  // action (within one more 8-fan-out window).
+  handles[down]->set_unavailable(false);
+  for (int i = 0; i < 8; ++i) {
+    (void)cluster->GetVersion(
+        Sha256::Digest("probe-heal-" + std::to_string(i)));
+  }
+  EXPECT_EQ(cluster->shard_health().state[down],
+            ShardedStorageEngine::ShardHealth::kUp);
+}
+
 // ---------------------------------------------------------------------------
 // Transparent redial + idempotent replay over real sockets
 // ---------------------------------------------------------------------------

@@ -53,16 +53,27 @@ import statistics
 import sys
 
 LOWER_IS_BETTER = ("makespan",)
-HIGHER_IS_BETTER = ("speedup",)
+# "keys_per_s" covers the migration throughput metrics from
+# bench_micro_rebalance (real_migrate_keys_per_s) — throughput, so higher
+# is better; the "real" in the name routes them to --real-threshold.
+HIGHER_IS_BETTER = ("speedup", "keys_per_s")
 
-# Chaos-invariant counters from bench_chaos_suite: deterministic under
-# seeded fault injection, so they are gated with ZERO tolerance — the
-# noise thresholds that make sense for timing metrics would let a
-# robustness regression slide through as "within 10%".
+# Deterministic invariant counters, gated with ZERO tolerance — the noise
+# thresholds that make sense for timing metrics would let a robustness
+# regression slide through as "within 10%". Two sources:
+#   * bench_chaos_suite counters, deterministic under seeded fault
+#     injection (typed_failures, hangs, recovered_*, staged_residue);
+#   * bench_micro_rebalance counters, deterministic under a fixed key set
+#     and ring (migrated_keys must never drop: fewer keys moved for the
+#     same topology change means the planner stopped seeing keys it owns;
+#     lost_keys / leaver_residue must stay zero).
 EXACT_LOWER_IS_BETTER = (
     "typed_failures", "hangs", "wrong_winners", "staged_residue",
+    "lost_keys", "leaver_residue",
 )
-EXACT_HIGHER_IS_BETTER = ("recovered_merges", "recovered_transactions")
+EXACT_HIGHER_IS_BETTER = (
+    "recovered_merges", "recovered_transactions", "migrated_keys",
+)
 
 
 def metric_direction(name):
