@@ -30,6 +30,7 @@ constexpr std::string_view kIntentHeader = "__2pc-intent__\x1f";
 constexpr std::string_view kMigrationPrefix = "__migration__/";
 constexpr std::string_view kPlanKey = "__migration__/plan";
 constexpr std::string_view kCursorKey = "__migration__/cursor";
+constexpr std::string_view kTopologyKey = "__migration__/topology";
 
 uint64_t RingPoint(std::string_view label) {
   Hash256 h = Sha256::Digest(label.data(), label.size());
@@ -175,6 +176,55 @@ bool ParsePlan(std::string_view text, uint64_t* epoch,
   }
   return have_epoch && have_from && have_to && have_vnodes &&
          !from->empty() && !to->empty();
+}
+
+/// Durable record of the last FINALIZED membership, written to every
+/// surviving member when a rebalance completes. A router rebuilt from a
+/// stale endpoint list (one that still dials a drained slot) reads it back
+/// in ResumeMigration to restore the real ring.
+std::string SerializeTopology(const ShardRing& ring, size_t vnodes) {
+  std::string out = "mlcask-topology v1\n";
+  out += "epoch=" + std::to_string(ring.epoch) + "\n";
+  out += "members=" + SerializeSlots(ring.members) + "\n";
+  out += "vnodes=" + std::to_string(vnodes) + "\n";
+  return out;
+}
+
+bool ParseTopology(std::string_view text, uint64_t* epoch,
+                   std::vector<size_t>* members, size_t* vnodes) {
+  bool have_epoch = false, have_members = false, have_vnodes = false;
+  bool first = true;
+  while (!text.empty()) {
+    const size_t nl = text.find('\n');
+    std::string_view line =
+        nl == std::string_view::npos ? text : text.substr(0, nl);
+    text.remove_prefix(nl == std::string_view::npos ? text.size() : nl + 1);
+    if (first) {
+      if (line != "mlcask-topology v1") return false;
+      first = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string_view::npos) return false;
+    std::string_view name = line.substr(0, eq);
+    std::string_view value = line.substr(eq + 1);
+    if (name == "epoch") {
+      std::vector<size_t> one;
+      if (!ParseSlots(value, &one) || one.size() != 1) return false;
+      *epoch = one[0];
+      have_epoch = true;
+    } else if (name == "members") {
+      if (!ParseSlots(value, members)) return false;
+      have_members = true;
+    } else if (name == "vnodes") {
+      std::vector<size_t> one;
+      if (!ParseSlots(value, &one) || one.size() != 1) return false;
+      *vnodes = one[0];
+      have_vnodes = true;
+    }  // Unknown fields are skipped: older routers tolerate newer records.
+  }
+  return have_epoch && have_members && have_vnodes && !members->empty();
 }
 
 }  // namespace
@@ -346,7 +396,7 @@ uint64_t ShardedStorageEngine::ring_epoch() const {
 }
 
 ShardedStorageEngine::Route ShardedStorageEngine::TryRouteKey(
-    std::string_view key) const {
+    std::string_view key, bool for_write) const {
   std::shared_lock<std::shared_mutex> topo(topo_mu_);
   if (!migrating_.load(std::memory_order_acquire)) {
     return {RingOwner(current_ring_, key), false};
@@ -360,23 +410,48 @@ ShardedStorageEngine::Route ShardedStorageEngine::TryRouteKey(
   if (new_owner == old_owner) return {new_owner, false};
   std::lock_guard<std::mutex> mig(mig_mu_);
   if (inflight_keys_.find(key) != inflight_keys_.end()) return {0, true};
-  return {key <= std::string_view(mig_cursor_) ? new_owner : old_owner,
-          false};
+  if (key <= std::string_view(mig_cursor_)) return {new_owner, false};
+  // Past the cursor: the key (if it exists) still lives at its old owner.
+  if (for_write) {
+    // A batch is mid-copy: its cursor advance is about to route every key
+    // at or below its last key to the new owner, so a write landing on the
+    // old owner NOW could be stranded there. Writes wait the batch out;
+    // reads stay safe on the old owner.
+    if (mig_batch_active_) return {0, true};
+    // No batch in flight: the write lands on the old owner. Remember it —
+    // this key postdates the pass enumeration, so the next batch must fold
+    // it in before the cursor may pass it.
+    mig_dirty_.insert(std::string(key));
+  }
+  return {old_owner, false};
 }
 
-void ShardedStorageEngine::WaitKeyNotInFlight(std::string_view key) const {
+void ShardedStorageEngine::WaitRouteUnblocked(std::string_view key,
+                                              bool for_write) const {
   std::unique_lock<std::mutex> lock(mig_mu_);
   mig_cv_.wait(lock, [&] {
-    return inflight_keys_.find(key) == inflight_keys_.end();
+    if (inflight_keys_.find(key) != inflight_keys_.end()) return false;
+    // Mirror of TryRouteKey's write gate: a write past the cursor waits
+    // out an active batch (the cursor advance would strand it otherwise).
+    if (for_write && mig_batch_active_ &&
+        key > std::string_view(mig_cursor_)) {
+      return false;
+    }
+    return true;
   });
 }
 
-size_t ShardedStorageEngine::ShardForKey(std::string_view key) const {
+size_t ShardedStorageEngine::RouteKeyBlocking(std::string_view key,
+                                              bool for_write) const {
   while (true) {
-    Route r = TryRouteKey(key);
+    Route r = TryRouteKey(key, for_write);
     if (!r.in_flight) return r.shard;
-    WaitKeyNotInFlight(key);
+    WaitRouteUnblocked(key, for_write);
   }
+}
+
+size_t ShardedStorageEngine::ShardForKey(std::string_view key) const {
+  return RouteKeyBlocking(key, /*for_write=*/false);
 }
 
 bool ShardedStorageEngine::IsReplicated(std::string_view key) const {
@@ -397,7 +472,8 @@ void ShardedStorageEngine::RecordVersion(const Hash256& id, size_t shard) {
 
 StatusOr<PutResult> ShardedStorageEngine::DirectPut(const std::string& key,
                                                     std::string_view data) {
-  return WithStableRoute(key, [&](size_t shard) -> StatusOr<PutResult> {
+  return WithStableRoute(key, /*for_write=*/true,
+                         [&](size_t shard) -> StatusOr<PutResult> {
     auto result = shards_[shard]->Put(key, data);
     NoteShardResult(shard, result.ok() ? Status::Ok() : result.status());
     if (!result.ok()) return result.status();
@@ -739,7 +815,8 @@ StatusOr<std::vector<PutResult>> ShardedStorageEngine::PutMany(
         writes.push_back({s, i, &batch[i]});
       }
     } else {
-      writes.push_back({ShardForKey(batch[i].key), i, &batch[i]});
+      writes.push_back(
+          {RouteKeyBlocking(batch[i].key, /*for_write=*/true), i, &batch[i]});
     }
   }
   std::vector<PutResult> results(batch.size());
@@ -752,8 +829,8 @@ StatusOr<std::string> ShardedStorageEngine::Get(const std::string& key) {
   if (IsReplicated(key)) {
     return shards_[coordinator_shard()]->Get(key);
   }
-  return WithStableRoute(
-      key, [&](size_t shard) { return shards_[shard]->Get(key); });
+  return WithStableRoute(key, /*for_write=*/false,
+                         [&](size_t shard) { return shards_[shard]->Get(key); });
 }
 
 StatusOr<std::string> ShardedStorageEngine::GetVersion(const Hash256& id) {
@@ -858,7 +935,8 @@ std::vector<Hash256> ShardedStorageEngine::Versions(
     return shards_[coordinator_shard()]->Versions(key);
   }
   return WithStableRoute(
-      key, [&](size_t shard) { return shards_[shard]->Versions(key); });
+      key, /*for_write=*/false,
+      [&](size_t shard) { return shards_[shard]->Versions(key); });
 }
 
 std::vector<std::pair<std::string, Hash256>>
@@ -1272,7 +1350,13 @@ Status ShardedStorageEngine::AddShard(std::unique_ptr<StorageEngine> shard,
   {
     std::lock_guard<std::mutex> mig(mig_mu_);
     mig_cursor_.clear();
+    mig_dirty_.clear();
   }
+  // Drain in-flight writes routed under the PRE-install single-epoch ring:
+  // they carry no dirty mark (routing predates the dual-epoch window), so
+  // they must have landed before the first enumeration pass or the cursor
+  // could overtake them. Writes routed after the install are dirty-tracked.
+  { std::unique_lock<std::shared_mutex> drain(mig_write_mu_); }
   // Grow the per-slot telemetry under each owner's lock.
   {
     std::lock_guard<std::mutex> lock(health_mu_);
@@ -1336,7 +1420,10 @@ Status ShardedStorageEngine::RemoveShard(size_t slot,
   {
     std::lock_guard<std::mutex> mig(mig_mu_);
     mig_cursor_.clear();
+    mig_dirty_.clear();
   }
+  // Same pre-install write drain as AddShard (see the comment there).
+  { std::unique_lock<std::shared_mutex> drain(mig_write_mu_); }
   {
     std::lock_guard<std::mutex> lock(mig_stats_mu_);
     mig_stats_.epoch = ring_epoch();
@@ -1351,20 +1438,36 @@ Status ShardedStorageEngine::ResumeMigration(const MigrationOptions& opts) {
     // installed, just keep driving.
     return DriveMigration(opts);
   }
-  // Scan for the durable plan a killed router left behind.
+  // Scan for the durable plan a killed router left behind. A shard that
+  // cannot ANSWER is an error, not "no plan": it may hold the plan of a
+  // resumable migration, and silently serving single-epoch against a ring
+  // that does not match the physical data layout would misroute every
+  // reassigned key without surfacing anything.
   std::string plan_bytes;
   size_t plan_slot = 0;
   bool found = false;
   for (size_t s : live_members()) {
     auto plan = shards_[s]->Get(std::string(kPlanKey));
+    NoteShardResult(s, plan.ok() || plan.status().IsNotFound()
+                           ? Status::Ok()
+                           : plan.status());
     if (plan.ok()) {
       plan_bytes = std::move(*plan);
       plan_slot = s;
       found = true;
       break;
     }
+    if (!plan.status().IsNotFound()) {
+      return Status(plan.status().code(),
+                    "cannot scan shard " + std::to_string(s) +
+                        " for a resumable migration plan: " +
+                        plan.status().message());
+    }
   }
-  if (!found) return Status::Ok();
+  // No migration to resume: honor the durable record of the last
+  // FINALIZED topology instead, if any (a rebuilt router dialing a stale
+  // endpoint list needs it to stop routing keys to a drained slot).
+  if (!found) return RestoreDurableTopology();
   uint64_t epoch = 0;
   std::vector<size_t> from;
   std::vector<size_t> to;
@@ -1406,7 +1509,10 @@ Status ShardedStorageEngine::ResumeMigration(const MigrationOptions& opts) {
     {
       std::lock_guard<std::mutex> mig(mig_mu_);
       mig_cursor_ = std::move(cursor);
+      mig_dirty_.clear();
     }
+    // Same pre-install write drain as AddShard (see the comment there).
+    { std::unique_lock<std::shared_mutex> drain(mig_write_mu_); }
     {
       std::lock_guard<std::mutex> lock(mig_stats_mu_);
       mig_stats_.resumes += 1;
@@ -1414,6 +1520,65 @@ Status ShardedStorageEngine::ResumeMigration(const MigrationOptions& opts) {
     }
   }
   return DriveMigration(opts);
+}
+
+Status ShardedStorageEngine::RestoreDurableTopology() {
+  // Take the record with the highest epoch: a surviving member always
+  // carries the latest finalize's write as its newest version, but a slot
+  // re-added after a drain may still hold an older record.
+  uint64_t best_epoch = 0;
+  std::vector<size_t> best_members;
+  size_t best_vnodes = 0;
+  bool have_topology = false;
+  for (size_t s : live_members()) {
+    auto record = shards_[s]->Get(std::string(kTopologyKey));
+    NoteShardResult(s, record.ok() || record.status().IsNotFound()
+                           ? Status::Ok()
+                           : record.status());
+    if (!record.ok()) {
+      if (record.status().IsNotFound()) continue;
+      // Same rationale as the plan scan: an unreachable shard may hold the
+      // record that retires a drained slot from the ring.
+      return Status(record.status().code(),
+                    "cannot scan shard " + std::to_string(s) +
+                        " for a durable topology record: " +
+                        record.status().message());
+    }
+    uint64_t epoch = 0;
+    std::vector<size_t> members;
+    size_t vnodes = 0;
+    if (!ParseTopology(*record, &epoch, &members, &vnodes)) {
+      return Status::Corruption("unparseable topology record on shard " +
+                                std::to_string(s));
+    }
+    if (!have_topology || epoch > best_epoch) {
+      best_epoch = epoch;
+      best_members = std::move(members);
+      best_vnodes = vnodes;
+      have_topology = true;
+    }
+  }
+  if (!have_topology) return Status::Ok();
+  const size_t slots = SlotCount();
+  for (size_t s : best_members) {
+    if (s >= slots) {
+      return Status::FailedPrecondition(
+          "topology record references slot " + std::to_string(s) +
+          " but only " + std::to_string(slots) + " are connected (re-dial "
+          "the full slot list, drained endpoints included)");
+    }
+  }
+  std::lock_guard<std::mutex> txn_lock(txn_mu_);
+  {
+    std::unique_lock<std::shared_mutex> topo(topo_mu_);
+    if (current_ring_.epoch >= best_epoch) return Status::Ok();
+    current_ring_ = BuildShardRing(best_epoch, best_members, best_vnodes);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mig_stats_mu_);
+    mig_stats_.epoch = best_epoch;
+  }
+  return Status::Ok();
 }
 
 std::vector<KeyMove> ShardedStorageEngine::EnumerateMoves() const {
@@ -1451,28 +1616,71 @@ std::vector<KeyMove> ShardedStorageEngine::EnumerateMoves() const {
   return moves;
 }
 
-Status ShardedStorageEngine::MigrateOneBatch(
-    const std::vector<KeyMove>& moves) {
+StatusOr<size_t> ShardedStorageEngine::MigrateOneBatch(
+    const std::vector<KeyMove>& moves, size_t byte_budget) {
   // One batch is one critical section against coordinated transactions:
   // merges route-and-apply under txn_mu_, so holding it here means no
   // transaction can have routed to a source shard this batch is about to
-  // clear.
+  // clear. The cost is that replicated writes and PutMany stall for the
+  // batch's round trips — which is what `byte_budget` bounds: a batch of
+  // large artifacts ships a truncated prefix instead of holding the lock
+  // for an unbounded payload.
   std::lock_guard<std::mutex> txn_lock(txn_mu_);
+  // Ring snapshot for the dirty-key fold below (lock order: topo before
+  // mig, same as TryRouteKey).
+  ShardRing cur_ring;
+  ShardRing old_ring;
+  {
+    std::shared_lock<std::shared_mutex> topo(topo_mu_);
+    cur_ring = current_ring_;
+    old_ring = prev_ring_;
+  }
+  std::vector<KeyMove> batch = moves;
   {
     std::lock_guard<std::mutex> mig(mig_mu_);
-    for (const KeyMove& mv : moves) inflight_keys_.insert(mv.key);
+    // From here until the batch lands, write routes past the cursor WAIT
+    // (TryRouteKey): no key can become misplaced under the cursor advance.
+    mig_batch_active_ = true;
+    // Fold in every dirty key at or below this batch's last key: they were
+    // written to their old owner AFTER the pass enumeration (so no batch
+    // of this pass would otherwise carry them), and the cursor is about to
+    // pass them — advancing without them is how a key's data gets
+    // stranded at a shard the router no longer routes it to.
+    std::set<std::string_view> in_batch;
+    for (const KeyMove& mv : batch) in_batch.insert(mv.key);
+    const std::string& batch_max = moves.back().key;
+    // Collected separately: appending to `batch` mid-loop would reallocate
+    // it and dangle the `in_batch` views into its keys.
+    std::vector<KeyMove> folded;
+    for (const std::string& dirty : mig_dirty_) {
+      if (dirty > batch_max) break;  // set iterates sorted
+      if (in_batch.count(dirty) != 0) continue;
+      const size_t from = RingOwner(old_ring, dirty);
+      const size_t to = RingOwner(cur_ring, dirty);
+      if (from == to) continue;  // defensive: only reassigned keys get dirty
+      folded.push_back({dirty, from, to});
+    }
+    batch.insert(batch.end(), std::make_move_iterator(folded.begin()),
+                 std::make_move_iterator(folded.end()));
+    std::sort(batch.begin(), batch.end(),
+              [](const KeyMove& a, const KeyMove& b) { return a.key < b.key; });
+    for (const KeyMove& mv : batch) inflight_keys_.insert(mv.key);
   }
   // Drain: once this unique lock has been held (however briefly), every
-  // routed call that decided BEFORE the keys went in flight has finished;
-  // later calls observe the in-flight set and wait for the batch.
+  // routed call that decided BEFORE the keys went in flight (and before
+  // the write gate closed) has finished; later calls observe the in-flight
+  // set / the gate and wait for the batch.
   { std::unique_lock<std::shared_mutex> drain(mig_write_mu_); }
   auto unblock = [this] {
     std::lock_guard<std::mutex> mig(mig_mu_);
     inflight_keys_.clear();
+    mig_batch_active_ = false;
     mig_cv_.notify_all();
   };
 
-  // Read every version of every moving key from its source shard.
+  // Read every version of every moving key from its source shard, up to
+  // the byte budget: a truncated batch ships its sorted PREFIX (the cursor
+  // advance stays correct) and reports how much of `moves` it consumed.
   struct Moved {
     const KeyMove* mv = nullptr;
     std::vector<Hash256> ids;
@@ -1480,7 +1688,10 @@ Status ShardedStorageEngine::MigrateOneBatch(
   std::map<size_t, std::vector<MigrateKeyVersions>> by_dest;
   std::vector<Moved> moved;
   uint64_t bytes = 0;
-  for (const KeyMove& mv : moves) {
+  size_t included = 0;  ///< Prefix of `batch` this round actually ships.
+  for (const KeyMove& mv : batch) {
+    if (byte_budget != 0 && included > 0 && bytes >= byte_budget) break;
+    ++included;
     std::vector<Hash256> ids = shards_[mv.from]->Versions(mv.key);
     if (ids.empty()) continue;  // deleted concurrently; nothing to move
     MigrateKeyVersions entry;
@@ -1537,11 +1748,15 @@ Status ShardedStorageEngine::MigrateOneBatch(
 
   // Persist the cursor BEFORE clearing the sources: a crash after this
   // point replays the batch as skips plus residual deletes — never as
-  // data loss. (Before this point the copies simply happen again.)
+  // data loss. (Before this point the copies simply happen again.) The
+  // cursor advances exactly to the last key this batch SHIPPED — never to
+  // a key from the pass enumeration the byte budget truncated away, and
+  // never past a dirty key the batch did not fold in.
+  const std::string& last_key = batch[included - 1].key;
   std::string new_cursor;
   {
     std::lock_guard<std::mutex> mig(mig_mu_);
-    new_cursor = std::max(mig_cursor_, moves.back().key);
+    new_cursor = std::max(mig_cursor_, last_key);
   }
   const size_t home = plan_shard();
   auto persisted = shards_[home]->Put(std::string(kCursorKey), new_cursor);
@@ -1554,9 +1769,16 @@ Status ShardedStorageEngine::MigrateOneBatch(
                       std::to_string(home) + ": " +
                       persisted.status().message());
   }
+  size_t dirty_consumed = 0;
   {
     std::lock_guard<std::mutex> mig(mig_mu_);
     mig_cursor_ = new_cursor;
+    // Every key at or below the cursor is at its new owner now; the dirty
+    // entries this batch covered are resolved.
+    const auto resolved_end = mig_dirty_.upper_bound(new_cursor);
+    dirty_consumed = static_cast<size_t>(
+        std::distance(mig_dirty_.begin(), resolved_end));
+    mig_dirty_.erase(mig_dirty_.begin(), resolved_end);
   }
 
   // Re-home the version index, then clear the source copies.
@@ -1584,9 +1806,17 @@ Status ShardedStorageEngine::MigrateOneBatch(
     mig_stats_.bytes_migrated += bytes;
     mig_stats_.batches += 1;
     mig_stats_.cursor_writes += 1;
+    mig_stats_.dirty_keys_migrated += dirty_consumed;
   }
   unblock();
-  return Status::Ok();
+  // How much of the caller's `moves` slice this batch covered (everything
+  // at or below the shipped prefix's last key — the rest was truncated by
+  // the byte budget and goes around again).
+  size_t consumed = 0;
+  while (consumed < moves.size() && moves[consumed].key <= last_key) {
+    ++consumed;
+  }
+  return consumed;
 }
 
 Status ShardedStorageEngine::DriveMigration(const MigrationOptions& opts) {
@@ -1602,7 +1832,7 @@ Status ShardedStorageEngine::DriveMigration(const MigrationOptions& opts) {
       moves = EnumerateMoves();
       if (moves.empty()) return FinalizeMigrationLocked();
     }
-    for (size_t begin = 0; begin < moves.size(); begin += batch_keys) {
+    for (size_t begin = 0; begin < moves.size();) {
       if (opts.max_batches != 0 && batches_done >= opts.max_batches) {
         // Paused: the dual-epoch window stays installed; ResumeMigration
         // picks up from the (durable) cursor.
@@ -1610,7 +1840,13 @@ Status ShardedStorageEngine::DriveMigration(const MigrationOptions& opts) {
       }
       const size_t end = std::min(moves.size(), begin + batch_keys);
       std::vector<KeyMove> batch(moves.begin() + begin, moves.begin() + end);
-      MLCASK_RETURN_IF_ERROR(MigrateOneBatch(batch));
+      auto consumed = MigrateOneBatch(batch, opts.batch_bytes);
+      if (!consumed.ok()) return consumed.status();
+      // A byte-truncated batch consumes only a prefix; the remainder goes
+      // into the next round. (`consumed` can even be 0 when the whole
+      // budget went to folded-in dirty keys below this slice — the cursor
+      // still advanced, so the drive always makes progress.)
+      begin += *consumed;
       ++batches_done;
     }
   }
@@ -1639,6 +1875,22 @@ Status ShardedStorageEngine::FinalizeMigrationLocked() {
       }
     }
   }
+  // Persist the surviving membership on every remaining member BEFORE the
+  // plan is retired: a router rebuilt from the original (pre-shrink) engine
+  // list finds this record and restores the post-migration ring instead of
+  // routing a slice of the keyspace to a drained slot. Every member carries
+  // a copy so the record survives any single surviving shard being down.
+  const std::string topology =
+      SerializeTopology(current, options_.virtual_nodes_per_shard);
+  for (size_t s : current.members) {
+    auto put = shards_[s]->Put(std::string(kTopologyKey), topology);
+    NoteShardResult(s, put.ok() ? Status::Ok() : put.status());
+    if (!put.ok()) {
+      return Status(put.status().code(),
+                    "cannot persist final topology on shard " +
+                        std::to_string(s) + ": " + put.status().message());
+    }
+  }
   // Retire the durable plan and cursor: the migration is over, a later
   // ResumeMigration must find nothing.
   const size_t home = current.members.front();
@@ -1661,6 +1913,7 @@ Status ShardedStorageEngine::FinalizeMigrationLocked() {
   {
     std::lock_guard<std::mutex> mig(mig_mu_);
     mig_cursor_.clear();
+    mig_dirty_.clear();
   }
   return Status::Ok();
 }

@@ -102,10 +102,17 @@ std::vector<KeyMove> PlanMigration(const ShardRing& from, const ShardRing& to,
 /// window the router routes DUAL-EPOCH: a key at or before the migration
 /// cursor is already at its new owner, a key past it still lives at its old
 /// owner, and a key inside the in-flight batch briefly blocks until the
-/// batch lands. The cursor is persisted durably (`__migration__/cursor` on
+/// batch lands. Writes past the cursor are tracked as DIRTY (and wait out
+/// an in-flight batch), so a key written to its old owner mid-migration is
+/// folded into the next batch instead of being overtaken by the cursor —
+/// the cursor never passes a key whose data is still at its old owner. The
+/// cursor is persisted durably (`__migration__/cursor` on
 /// the coordinator) after every batch, so a router killed mid-migration
 /// resumes from where it stopped (ResumeMigration) instead of restarting —
 /// already-copied versions are recognized and skipped, never re-applied.
+/// When a rebalance FINALIZES, the surviving membership is persisted on
+/// every member (`__migration__/topology`) so a rebuilt router that dials a
+/// stale endpoint list can restore the real ring via ResumeMigration.
 /// Merges keep running throughout and commit bit-identical winners: version
 /// ids derive from key + payload + ordinal, which migration preserves.
 ///
@@ -180,6 +187,12 @@ class ShardedStorageEngine : public StorageEngine {
   struct MigrationOptions {
     /// Keys per MigrateBatch round trip (and per durable cursor write).
     size_t batch_keys = 32;
+    /// Payload budget per batch: once the versions read for a batch reach
+    /// this many bytes, the batch ships what it has and leaves the rest to
+    /// the next round (0 = unbounded). A batch holds the transaction lock
+    /// across its round trips, so this bounds how long one batch of large
+    /// artifacts can stall replicated writes and merges.
+    size_t batch_bytes = 8u << 20;
     /// Stop after this many batches with the migration still installed
     /// (dual-epoch routing stays live); 0 = run to completion. Lets tests
     /// and drills hold the cluster mid-migration deterministically —
@@ -200,6 +213,10 @@ class ShardedStorageEngine : public StorageEngine {
     /// direct evidence that a resumed migration continued instead of
     /// re-copying (the kill -9 drill asserts this is nonzero).
     uint64_t skipped_versions = 0;
+    /// Keys written to their OLD owner mid-migration (they routed past the
+    /// cursor) that a batch folded in before advancing the cursor over
+    /// them. Nonzero means live writes raced the driver and were kept.
+    uint64_t dirty_keys_migrated = 0;
   };
 
   /// Takes ownership of the child engines. At least one shard is required.
@@ -266,8 +283,14 @@ class ShardedStorageEngine : public StorageEngine {
   /// max_batches) directly, otherwise by scanning the shards for the
   /// durable `__migration__/plan` record a killed router left behind and
   /// re-installing it, cursor included. Already-migrated versions are
-  /// recognized and skipped (MigrationStats::skipped_versions). Returns Ok
-  /// and does nothing when there is nothing to resume.
+  /// recognized and skipped (MigrationStats::skipped_versions). A shard
+  /// that cannot answer the scan is an ERROR, not "no plan": silently
+  /// serving single-epoch against a mismatched data layout would misroute
+  /// every reassigned key. With no plan to resume, the durable
+  /// `__migration__/topology` record of the last FINALIZED rebalance is
+  /// honored instead, so a router rebuilt from a stale endpoint list (one
+  /// that still dials a drained slot) recovers the real membership.
+  /// Returns Ok and does nothing when there is nothing to restore.
   Status ResumeMigration();
   Status ResumeMigration(const MigrationOptions& opts);
 
@@ -351,22 +374,31 @@ class ShardedStorageEngine : public StorageEngine {
 
   void RecordVersion(const Hash256& id, size_t shard);
 
-  /// Non-blocking dual-epoch route (see ShardForKey).
-  Route TryRouteKey(std::string_view key) const;
-  /// Blocks until `key` is not in the in-flight migration batch.
-  void WaitKeyNotInFlight(std::string_view key) const;
+  /// Non-blocking dual-epoch route (see ShardForKey). Write routes carry
+  /// extra duties the read route must not: a write bound past the cursor
+  /// for its OLD owner is recorded as dirty (the pass enumeration predates
+  /// it, so the next batch must fold it in before the cursor can overtake
+  /// it), and while a batch is mid-copy such writes wait the batch out —
+  /// otherwise a write landing on the old owner during the copy would be
+  /// stranded there the moment the batch's cursor advance routes the key
+  /// to its new owner.
+  Route TryRouteKey(std::string_view key, bool for_write) const;
+  /// Blocks until TryRouteKey(key, for_write) can answer without waiting.
+  void WaitRouteUnblocked(std::string_view key, bool for_write) const;
+  /// Blocking dual-epoch route (loops TryRouteKey + WaitRouteUnblocked).
+  size_t RouteKeyBlocking(std::string_view key, bool for_write) const;
 
   /// Runs `fn(shard)` with the route pinned: holds the migration write
   /// guard (shared) so a rebalance batch cannot invalidate the decision
   /// mid-call, retrying if the key's batch claims it first.
   template <typename Fn>
-  auto WithStableRoute(std::string_view key, Fn&& fn) const {
+  auto WithStableRoute(std::string_view key, bool for_write, Fn&& fn) const {
     while (true) {
       std::shared_lock<std::shared_mutex> guard(mig_write_mu_);
-      Route r = TryRouteKey(key);
+      Route r = TryRouteKey(key, for_write);
       if (!r.in_flight) return fn(r.shard);
       guard.unlock();
-      WaitKeyNotInFlight(key);
+      WaitRouteUnblocked(key, for_write);
     }
   }
 
@@ -376,7 +408,14 @@ class ShardedStorageEngine : public StorageEngine {
 
   // --- rebalance internals (all driven by one thread per migration) ---
   Status DriveMigration(const MigrationOptions& opts);
-  Status MigrateOneBatch(const std::vector<KeyMove>& moves);
+  /// Migrates a sorted prefix of `moves` (folding in any dirty keys at or
+  /// below its last key) and returns how many of `moves` it consumed —
+  /// fewer than all of them when `byte_budget` truncates the batch.
+  StatusOr<size_t> MigrateOneBatch(const std::vector<KeyMove>& moves,
+                                   size_t byte_budget);
+  /// Installs the durable `__migration__/topology` record's membership if
+  /// one exists and is newer than the current ring (see ResumeMigration).
+  Status RestoreDurableTopology();
   /// Keys currently sitting on a live slot the CURRENT ring does not route
   /// them to, sorted by key. Empty means the data plane matches the ring.
   std::vector<KeyMove> EnumerateMoves() const;
@@ -437,6 +476,16 @@ class ShardedStorageEngine : public StorageEngine {
   mutable std::condition_variable mig_cv_;
   std::set<std::string, std::less<>> inflight_keys_;
   std::string mig_cursor_;
+  /// Reassigned keys a write sent to their OLD owner mid-migration (they
+  /// routed past the cursor, so the pass enumeration cannot know about
+  /// them). Every batch folds in the dirty keys at or below its last key
+  /// before advancing the cursor — the invariant that makes the cursor
+  /// trustworthy: no key at or before it is ever left at its old owner.
+  /// Mutable: recorded at route time, which serves const readers too.
+  mutable std::set<std::string, std::less<>> mig_dirty_;
+  /// True while a batch is between its route fence and its cursor
+  /// advance; write routes past the cursor wait it out (see TryRouteKey).
+  bool mig_batch_active_ = false;
 
   /// Write drain for uncoordinated puts: DirectPut (and routed reads) hold
   /// it shared for the duration of the shard call; a migration batch takes

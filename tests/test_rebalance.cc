@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -22,6 +23,7 @@
 #include "merge/merge_op.h"
 #include "sim/scenario.h"
 #include "storage/forkbase_engine.h"
+#include "storage/persistence.h"
 #include "storage/remote_engine.h"
 #include "storage/server_cluster.h"
 #include "storage/sharded_engine.h"
@@ -164,7 +166,7 @@ TEST(ElasticClusterTest, AddShardMigratesKeysPreservingIds) {
   for (const auto& [key, id] : cluster->shard(2)->ListAllVersions()) {
     if (key == "pipeline/demo/commits") {
       new_shard_has_replicated = true;
-    } else {
+    } else if (key.rfind("__migration__/", 0) != 0) {
       ++on_new_shard;
     }
   }
@@ -172,11 +174,102 @@ TEST(ElasticClusterTest, AddShardMigratesKeysPreservingIds) {
   EXPECT_TRUE(new_shard_has_replicated);
   // The logical view is unchanged: 40 keys x 2 versions + 1 replicated.
   EXPECT_EQ(cluster->ListAllVersions().size(), 81u);
-  // No migration bookkeeping residue anywhere.
+  // The only bookkeeping residue is the durable topology record — the
+  // plan and cursor are retired by finalize.
   for (size_t s = 0; s < cluster->num_shards(); ++s) {
     for (const auto& [key, id] : cluster->shard(s)->ListAllVersions()) {
-      EXPECT_NE(key.rfind("__migration__/", 0), 0u) << key;
+      if (key.rfind("__migration__/", 0) == 0) {
+        EXPECT_EQ(key, "__migration__/topology") << "shard " << s;
+      }
     }
+  }
+}
+
+/// Regression for the cursor-overtake race: a key written to its OLD owner
+/// while a batch pass was in flight could end up at or below the cursor
+/// without being migrated — reads went NotFound (data stranded at a shard
+/// the router no longer consults for that key) and a re-Put landed at the
+/// new owner as ordinal 0, wedging every later MigrateBatch with a
+/// permanent "migration id mismatch". The fix tracks such writes in a
+/// dirty set that each batch folds in before the cursor advances.
+TEST(ElasticClusterTest, WritesDuringMigrationAreNeverLostToTheCursor) {
+  // Migration reads versions with GetVersion; the writer only uses
+  // Put/Get. Slowing GetVersion alone stretches every batch's in-flight
+  // window from microseconds to ~a millisecond, so concurrent writes
+  // reliably land inside it — without it the race is too narrow to hit
+  // deterministically in-process.
+  struct SlowVersionReads : ForkBaseEngine {
+    StatusOr<std::string> GetVersion(const Hash256& id) override {
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+      return ForkBaseEngine::GetVersion(id);
+    }
+  };
+  auto cluster = MakeLoopbackCluster(
+      2, [] { return std::make_unique<SlowVersionReads>(); });
+  for (const std::string& key : ObjectKeys(120)) {
+    ASSERT_TRUE(cluster->Put(key, "seed " + key).ok());
+  }
+
+  // Hammer writes concurrently with the migration. The "-live" suffix
+  // interleaves the written keys lexicographically with the seeded ones,
+  // so every batch boundary is a chance for the cursor to overtake a
+  // freshly written key. Re-writing the same 60 keys exercises the re-Put
+  // half of the race (ordinal-0 copies at the new owner).
+  std::atomic<bool> stop{false};
+  std::map<std::string, std::string> last_acked;
+  std::map<std::string, size_t> puts_per_key;
+  std::vector<std::string> writer_failures;
+  std::thread writer([&] {
+    size_t counter = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::string key =
+          "artifact/obj" + std::to_string(counter % 60) + "-live";
+      const std::string value = "w" + std::to_string(counter);
+      auto put = cluster->Put(key, value);
+      if (!put.ok()) {
+        writer_failures.push_back(key + ": put: " + put.status().message());
+        break;
+      }
+      last_acked[key] = value;
+      puts_per_key[key] += 1;
+      // Read-after-write: an acknowledged write must be visible NOW, not
+      // after the next migration pass happens to re-enumerate it.
+      auto got = cluster->Get(key);
+      if (!got.ok()) {
+        writer_failures.push_back(key + ": get: " + got.status().message());
+        break;
+      }
+      if (*got != value) {
+        writer_failures.push_back(key + ": stale read: got '" + *got +
+                                  "' want '" + value + "'");
+        break;
+      }
+      ++counter;
+    }
+  });
+
+  ShardedStorageEngine::MigrationOptions opts;
+  opts.batch_keys = 1;  // maximize cursor advances = race windows
+  auto added = cluster->AddShard(
+      MakeLoopbackShard(std::make_unique<ForkBaseEngine>()), opts);
+  stop.store(true, std::memory_order_release);
+  writer.join();
+
+  // Before the fix this failed two ways: the writer saw NotFound/stale
+  // reads, and AddShard died with Internal "migration id mismatch".
+  ASSERT_TRUE(added.ok()) << added;
+  EXPECT_FALSE(cluster->migration_in_progress());
+  EXPECT_TRUE(writer_failures.empty())
+      << writer_failures.size() << " failures, first: "
+      << writer_failures.front();
+  ASSERT_GT(puts_per_key.size(), 0u);
+  // Every acknowledged write survived the rebalance: latest value AND the
+  // full version history (an overtaken re-Put would fork the history).
+  for (const auto& [key, value] : last_acked) {
+    auto got = cluster->Get(key);
+    ASSERT_TRUE(got.ok()) << key << ": " << got.status();
+    EXPECT_EQ(*got, value) << key;
+    EXPECT_EQ(cluster->Versions(key).size(), puts_per_key[key]) << key;
   }
 }
 
@@ -313,6 +406,112 @@ TEST(ElasticClusterTest, ReplayedBatchIsSkippedNotDuplicated) {
       ASSERT_TRUE(data.ok());
       EXPECT_EQ(*data, expect[v]);
     }
+  }
+}
+
+/// Regression: ResumeMigration used to treat ANY plan-scan failure as "no
+/// plan" — an unreachable shard made the router silently serve single-epoch
+/// against a ring that did not match the physical data layout. A scan
+/// failure must surface; only NotFound means "no plan here".
+TEST(ElasticClusterTest, ResumeMigrationSurfacesPlanScanFailures) {
+  struct GetFailsEngine : ForkBaseEngine {
+    StatusOr<std::string> Get(const std::string& key) override {
+      return Status::Unavailable("injected: shard unreachable");
+    }
+  };
+  std::vector<std::unique_ptr<StorageEngine>> shards;
+  shards.push_back(std::make_unique<GetFailsEngine>());
+  shards.push_back(std::make_unique<ForkBaseEngine>());
+  ShardedStorageEngine cluster(std::move(shards),
+                               ShardedStorageEngine::Options());
+  auto resumed = cluster.ResumeMigration(ShardedStorageEngine::MigrationOptions());
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_TRUE(resumed.IsUnavailable()) << resumed;
+}
+
+/// Regression: finalize used to retire the plan and cursor without leaving
+/// any durable membership record, so a router rebuilt from the ORIGINAL
+/// endpoint list (drained slot included) rebuilt an epoch-0 ring containing
+/// the empty shard and routed a slice of the keyspace to it. Finalize now
+/// persists a __migration__/topology record on every surviving member and
+/// ResumeMigration restores it when no plan is found.
+TEST(ElasticClusterTest, RebuiltRouterHonorsTheDurableTopologyRecord) {
+  std::vector<fs::path> dirs;
+  for (size_t s = 0; s < 3; ++s) {
+    std::string tmpl = "/tmp/mlcask-topo-XXXXXX";
+    char* made = ::mkdtemp(tmpl.data());
+    ASSERT_NE(made, nullptr);
+    dirs.emplace_back(made);
+  }
+  auto open_cluster = [&] {
+    std::vector<std::unique_ptr<StorageEngine>> shards;
+    for (const fs::path& dir : dirs) {
+      auto backend = DurableForkBaseEngine::Open(dir.string());
+      MLCASK_CHECK_OK(backend.status());
+      shards.push_back(MakeLoopbackShard(*std::move(backend)));
+    }
+    return std::make_unique<ShardedStorageEngine>(
+        std::move(shards), ShardedStorageEngine::Options());
+  };
+
+  std::map<std::string, std::string> expect;
+  {
+    auto cluster = open_cluster();
+    for (const std::string& key : ObjectKeys(30)) {
+      expect[key] = "durable " + key;
+      ASSERT_TRUE(cluster->Put(key, expect[key]).ok()) << key;
+    }
+    ASSERT_TRUE(cluster->Put("pipeline/demo/commits", "commit-json").ok());
+    expect["pipeline/demo/commits"] = "commit-json";
+    auto removed = cluster->RemoveShard(0);
+    ASSERT_TRUE(removed.ok()) << removed;
+    ASSERT_EQ(cluster->ring_epoch(), 1u);
+  }  // the router dies; slot 0's store is drained on disk
+
+  // A fresh router dialing the STALE full endpoint list starts at epoch 0
+  // with the drained slot back in the ring...
+  auto cluster = open_cluster();
+  ASSERT_EQ(cluster->ring_epoch(), 0u);
+  // ...until the resume scan finds the durable topology record and
+  // reinstalls the post-migration membership.
+  auto resumed = cluster->ResumeMigration(ShardedStorageEngine::MigrationOptions());
+  ASSERT_TRUE(resumed.ok()) << resumed;
+  EXPECT_EQ(cluster->ring_epoch(), 1u);
+  EXPECT_EQ(cluster->coordinator_shard(), 1u);
+  EXPECT_EQ(cluster->live_members(), (std::vector<size_t>{1, 2}));
+  for (const auto& [key, value] : expect) {
+    auto got = cluster->Get(key);
+    ASSERT_TRUE(got.ok()) << key << ": " << got.status();
+    EXPECT_EQ(*got, value) << key;
+  }
+  for (const fs::path& dir : dirs) fs::remove_all(dir);
+}
+
+/// The byte budget bounds how long one batch holds the transaction lock: a
+/// batch of large artifacts ships a truncated prefix and goes around again
+/// instead of stalling the control plane for the whole payload.
+TEST(ElasticClusterTest, BatchByteBudgetBoundsEachBatchPayload) {
+  auto cluster = MakeCluster(2);
+  std::map<std::string, std::string> expect;
+  for (const std::string& key : ObjectKeys(24)) {
+    expect[key] = key + std::string(64 * 1024, 'x');
+    ASSERT_TRUE(cluster->Put(key, expect[key]).ok());
+  }
+  ShardedStorageEngine::MigrationOptions opts;
+  opts.batch_keys = 32;           // nominally "everything in one batch"...
+  opts.batch_bytes = 64 * 1024;   // ...but the budget caps each at ~1 key
+  auto added = cluster->AddShard(
+      MakeLoopbackShard(std::make_unique<ForkBaseEngine>()), opts);
+  ASSERT_TRUE(added.ok()) << added;
+  auto stats = cluster->migration_stats();
+  ASSERT_GT(stats.keys_migrated, 1u);
+  // Every 64 KiB payload blows the budget on its own, so no batch can have
+  // carried more than one key: at least one batch per migrated key.
+  EXPECT_GE(stats.batches, stats.keys_migrated);
+  for (const auto& [key, value] : expect) {
+    auto got = cluster->Get(key);
+    ASSERT_TRUE(got.ok()) << key;
+    EXPECT_EQ(*got, value) << key;
   }
 }
 
