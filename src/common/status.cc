@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "unavailable";
     case StatusCode::kDeadlineExceeded:
       return "deadline_exceeded";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
   }
   return "unknown";
 }

@@ -24,6 +24,7 @@ enum class StatusCode : uint8_t {
   kInternal,
   kUnavailable,       ///< Transport-level failure: peer gone, connect refused.
   kDeadlineExceeded,  ///< A round trip outlived its deadline.
+  kResourceExhausted,  ///< Load shed: admission queue full, retry budget spent.
 };
 
 /// Returns the canonical lower-case name of a status code ("ok", "not_found"...).
@@ -75,6 +76,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -88,6 +92,9 @@ class Status {
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsDeadlineExceeded() const {
     return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
   }
 
   /// "ok" or "<code>: <message>".

@@ -1,0 +1,165 @@
+#include "sim/adversarial.h"
+
+#include <atomic>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace mlcask::sim {
+
+namespace {
+
+constexpr char kDeepKey[] = "adv/deep/chain";
+
+std::string TenantKey(size_t tenant, size_t object) {
+  return "adv/tenant" + std::to_string(tenant) + "/artifact/obj" +
+         std::to_string(object);
+}
+
+/// Deterministic payload: compressible enough to be cheap to generate,
+/// unique per (key, version) so a replayed or cross-wired response would be
+/// caught by content, not just by status.
+std::string MakePayload(const std::string& key, size_t version, size_t bytes) {
+  std::string payload = key + "#v" + std::to_string(version) + "|";
+  payload.reserve(bytes);
+  size_t fill = 0;
+  while (payload.size() < bytes) {
+    payload += static_cast<char>('a' + (fill++ % 26));
+  }
+  payload.resize(bytes);
+  return payload;
+}
+
+}  // namespace
+
+AdversarialSeedReport SeedAdversarialState(storage::StorageEngine* engine,
+                                           const AdversarialOptions& options) {
+  AdversarialSeedReport report;
+  auto put = [&](const std::string& key, const std::string& payload) {
+    if (engine->Put(key, payload).ok()) {
+      ++report.acked_writes;
+    } else {
+      ++report.typed_failures;
+    }
+  };
+  // Deep: one key, ~1000 versions. Consistent hashing pins the whole chain
+  // to one shard, so every scan of it lands on the same victim.
+  for (size_t v = 0; v < options.deep_chain_versions; ++v) {
+    put(kDeepKey, MakePayload(kDeepKey, v, 64));
+  }
+  // Wide: tenants × artifacts, all sized to matter to the shared cache.
+  for (size_t t = 0; t < options.tenants; ++t) {
+    for (size_t k = 0; k < options.keys_per_tenant; ++k) {
+      const std::string key = TenantKey(t, k);
+      put(key, MakePayload(key, 0, options.payload_bytes));
+    }
+  }
+  return report;
+}
+
+std::vector<AdversarialRequest> MakeAdversarialStream(
+    const AdversarialOptions& options, size_t length) {
+  std::vector<AdversarialRequest> stream;
+  stream.reserve(length);
+  Pcg32 rng(options.seed);
+  size_t next_version = options.deep_chain_versions;
+  for (size_t i = 0; i < length; ++i) {
+    AdversarialRequest request;
+    const uint32_t draw = rng.Below(100);
+    const size_t tenant = rng.Below(static_cast<uint32_t>(
+        options.tenants > 0 ? options.tenants : 1));
+    const size_t object = rng.Below(static_cast<uint32_t>(
+        options.keys_per_tenant > 0 ? options.keys_per_tenant : 1));
+    if (draw < 60) {
+      // Cache contention: every tenant rereads the shared artifact pool.
+      request.kind = AdversarialRequest::Kind::kGet;
+      request.key = TenantKey(tenant, object);
+    } else if (draw < 75) {
+      // Deep-graph pressure: full chain scan of the ~1000-version key.
+      request.kind = AdversarialRequest::Kind::kVersions;
+      request.key = kDeepKey;
+    } else if (draw < 95) {
+      // Version churn on the wide keyspace (and the occasional extra link
+      // on the deep chain, keeping it growing under load).
+      request.kind = AdversarialRequest::Kind::kPut;
+      request.key = rng.Below(8) == 0 ? kDeepKey : TenantKey(tenant, object);
+      request.payload =
+          MakePayload(request.key, next_version++, options.payload_bytes);
+    } else {
+      // Replicated metadata commit: rides the 2PC broadcast path, so the
+      // stream keeps multi-shard transactions in flight alongside the
+      // single-shard traffic.
+      request.kind = AdversarialRequest::Kind::kPut;
+      request.key = "pipeline/adv/commits/c" + std::to_string(i);
+      request.payload = MakePayload(request.key, 0, 128);
+    }
+    stream.push_back(std::move(request));
+  }
+  return stream;
+}
+
+Status ApplyAdversarialRequest(storage::StorageEngine* engine,
+                               const AdversarialRequest& request) {
+  switch (request.kind) {
+    case AdversarialRequest::Kind::kPut:
+      return engine->Put(request.key, request.payload).status();
+    case AdversarialRequest::Kind::kGet:
+      return engine->Get(request.key).status();
+    case AdversarialRequest::Kind::kVersions:
+      // Versions() has no error channel; an empty answer for the deep key
+      // is a shard that could not serve, which the caller scores through
+      // the surrounding typed requests.
+      engine->Versions(request.key);
+      return Status::Ok();
+  }
+  return Status::InvalidArgument("unknown adversarial request kind");
+}
+
+RaceReport RunRacingCommits(storage::StorageEngine* engine, size_t racers,
+                            size_t commits_per_racer,
+                            const std::function<Status()>& contended) {
+  RaceReport report;
+  std::atomic<uint64_t> acked{0};
+  std::atomic<uint64_t> typed{0};
+  std::vector<std::vector<std::string>> acked_keys(racers);
+  std::vector<std::thread> threads;
+  threads.reserve(racers);
+  for (size_t r = 0; r < racers; ++r) {
+    threads.emplace_back([&, r] {
+      for (size_t c = 0; c < commits_per_racer; ++c) {
+        // `pipeline/` prefix → replicated metadata → every commit is a
+        // full two-phase transaction racing the contended operation.
+        const std::string key = "pipeline/adv/race/r" + std::to_string(r) +
+                                "/c" + std::to_string(c);
+        if (engine->Put(key, "race " + key).ok()) {
+          acked.fetch_add(1);
+          acked_keys[r].push_back(key);
+        } else {
+          typed.fetch_add(1);
+        }
+      }
+    });
+  }
+  Status verdict = contended();
+  for (std::thread& t : threads) t.join();
+  report.contended_ok = verdict.ok();
+  report.contended_status = verdict.ToString();
+  report.racer_acked = acked.load();
+  report.racer_typed_failures = typed.load();
+  // The invariant: acknowledged means durable, merge or no merge. Retry a
+  // few times — under live fault injection a read can be dropped on the
+  // wire; a key NO retry can see is loss.
+  for (const std::vector<std::string>& keys : acked_keys) {
+    for (const std::string& key : keys) {
+      bool seen = false;
+      for (int attempt = 0; attempt < 5 && !seen; ++attempt) {
+        auto got = engine->Get(key);
+        seen = got.ok() && *got == "race " + key;
+      }
+      if (!seen) ++report.racer_lost;
+    }
+  }
+  return report;
+}
+
+}  // namespace mlcask::sim

@@ -1,0 +1,100 @@
+#ifndef MLCASK_SIM_ADVERSARIAL_H_
+#define MLCASK_SIM_ADVERSARIAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/storage_engine.h"
+
+namespace mlcask::sim {
+
+/// The adversarial scenario suite: deterministic workload shapes chosen to
+/// hurt — each one concentrates load on a resource the happy-path benches
+/// spread out. They are the generators behind the overload saturation bench
+/// (bench/overload_suite.cc) and are deliberately engine-level: the same
+/// streams drive a local engine, a loopback cluster, or a real socket
+/// deployment under fault injection.
+///
+/// Three shapes (paper-adjacent, ROADMAP "adversarial scenario suite"):
+///   deep   — one key with ~1000 versions: every Versions() scan walks the
+///            whole chain, and the chain lives on ONE shard, so routing
+///            cannot dilute it.
+///   wide   — many tenants × many artifacts: a wide multi-tenant keyspace
+///            whose reads all contend for the same server-side cache.
+///   racing — replicated `pipeline/` metadata commits racing a concurrent
+///            merge's own two-phase commits (see RunRacingCommits).
+struct AdversarialOptions {
+  size_t deep_chain_versions = 1000;  ///< Versions piled onto the deep key.
+  size_t tenants = 8;                 ///< Multi-tenant width.
+  size_t keys_per_tenant = 16;        ///< Artifacts per tenant.
+  size_t payload_bytes = 1024;        ///< Artifact payload size.
+  uint64_t seed = 1;                  ///< Stream determinism.
+};
+
+/// One pre-generated storage request for the open-loop driver. The stream
+/// is generated up front so the OFFERED load is a property of the plan, not
+/// of how fast the cluster answers — the definition of open loop.
+struct AdversarialRequest {
+  enum class Kind {
+    kPut,       ///< New version of an existing key (payload attached).
+    kGet,       ///< Latest-version read (cache contention).
+    kVersions,  ///< Full version-chain scan (deep-graph pressure).
+  };
+  Kind kind = Kind::kGet;
+  std::string key;
+  std::string payload;  ///< kPut only.
+};
+
+/// What seeding actually achieved. Seeding runs against possibly-faulty
+/// clusters, so typed failures are tolerated and counted instead of
+/// aborting — the suite's contract is about typed outcomes, not fault-free
+/// setup.
+struct AdversarialSeedReport {
+  uint64_t acked_writes = 0;
+  uint64_t typed_failures = 0;
+};
+
+/// Builds the deep chain and the wide tenant keyspace on `engine`.
+/// Deterministic for a given options struct.
+AdversarialSeedReport SeedAdversarialState(storage::StorageEngine* engine,
+                                           const AdversarialOptions& options);
+
+/// A deterministic mixed request stream of `length` requests over the
+/// seeded keyspace: mostly cache-contending tenant reads, a steady trickle
+/// of deep-chain scans and version-appending writes, plus occasional
+/// replicated `pipeline/` metadata commits that ride the 2PC path.
+std::vector<AdversarialRequest> MakeAdversarialStream(
+    const AdversarialOptions& options, size_t length);
+
+/// Executes one request against `engine`, returning its typed outcome.
+Status ApplyAdversarialRequest(storage::StorageEngine* engine,
+                               const AdversarialRequest& request);
+
+/// Outcome of RunRacingCommits: the contended operation's verdict plus the
+/// racers' ledger. `racer_lost` is the invariant that must stay zero — an
+/// acknowledged racing commit that cannot be read back afterwards.
+struct RaceReport {
+  bool contended_ok = false;
+  std::string contended_status;  ///< ToString() of the contended op.
+  uint64_t racer_acked = 0;
+  uint64_t racer_typed_failures = 0;
+  uint64_t racer_lost = 0;
+};
+
+/// The merges-racing-concurrent-commits scenario: runs `contended` (a merge,
+/// a migration — any long multi-shard operation) on the calling thread while
+/// `racers` background threads each land `commits_per_racer` replicated
+/// `pipeline/` metadata writes through the SAME engine, so every racer
+/// commit is a 2PC transaction racing the contended operation's own
+/// transactions. After both sides finish, every acknowledged racer write is
+/// read back; misses are counted in `racer_lost`.
+RaceReport RunRacingCommits(storage::StorageEngine* engine, size_t racers,
+                            size_t commits_per_racer,
+                            const std::function<Status()>& contended);
+
+}  // namespace mlcask::sim
+
+#endif  // MLCASK_SIM_ADVERSARIAL_H_

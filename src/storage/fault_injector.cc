@@ -159,6 +159,7 @@ bool FaultInjector::OnEngineWrite() {
 
 Status FaultyEngine::Gate(bool mutation) {
   if (unavailable_.load()) return Status::Unavailable("shard down");
+  if (shed_.load()) return Status::ResourceExhausted("shard shedding");
   if (mutation && injector_ && injector_->OnEngineWrite()) {
     return Status::Unavailable("disk full (injected)");
   }

@@ -112,6 +112,13 @@ class FaultyEngine : public StorageEngine {
   /// When set, every call (reads included) fails Unavailable("shard down").
   void set_unavailable(bool down) { unavailable_.store(down); }
 
+  /// When set, every call fails with a typed ResourceExhausted ("shard
+  /// shedding") — the overload twin of set_unavailable. Distinct on
+  /// purpose: shedding must NOT trip the router's health tracker (the
+  /// shard is alive, just saturated) and must RELEASE any replay-ledger
+  /// claim instead of recording the shed answer.
+  void set_shed(bool shedding) { shed_.store(shedding); }
+
   StatusOr<PutResult> Put(const std::string& key,
                           std::string_view data) override;
   StatusOr<std::vector<PutResult>> PutMany(
@@ -143,6 +150,7 @@ class FaultyEngine : public StorageEngine {
   std::unique_ptr<StorageEngine> inner_;
   std::shared_ptr<FaultInjector> injector_;
   std::atomic<bool> unavailable_{false};
+  std::atomic<bool> shed_{false};
 };
 
 }  // namespace mlcask::storage

@@ -3,8 +3,11 @@
 #include <random>
 #include <utility>
 
+#include <optional>
+
 #include "common/json.h"
 #include "common/strings.h"
+#include "storage/deadline.h"
 #include "storage/frame.h"
 #include "storage/wire_codec.h"
 
@@ -256,8 +259,10 @@ bool StorageEngineService::LookupReplayOrClaim(const std::string& token,
     // The original execution is still in flight on another worker (the
     // client redialed fast enough to race its own request). Wait for the
     // recorded response instead of racing a second execution into the
-    // engine. Handle() always records after dispatch, so every claim
-    // resolves.
+    // engine. Handle() always resolves every claim after dispatch — by
+    // recording the response, or by RELEASING the claim when the request
+    // was load-shed (ResourceExhausted) — so this wait always wakes; after
+    // a release the find() misses and this caller re-claims.
     ledger_cv_.wait(lock);
   }
 }
@@ -282,6 +287,17 @@ void StorageEngineService::RecordReplay(const std::string& token,
   ledger_cv_.notify_all();
 }
 
+void StorageEngineService::ReleaseClaim(const std::string& token) {
+  {
+    std::lock_guard<std::mutex> lock(ledger_mu_);
+    auto it = ledger_.find(token);
+    // Only an UNRESOLVED claim is released; a recorded entry stays — it is
+    // a real answer replays may legitimately need.
+    if (it != ledger_.end() && !it->second.ready) ledger_.erase(it);
+  }
+  ledger_cv_.notify_all();
+}
+
 std::string StorageEngineService::Handle(std::string_view request) {
   // One-byte codec sniff: the binary magic is never '{', so a service can
   // serve new-codec and JSON-era callers on the same endpoint — no frames
@@ -292,8 +308,35 @@ std::string StorageEngineService::Handle(std::string_view request) {
     if (!token.empty() && LookupReplayOrClaim(token, &replayed)) {
       return replayed;
     }
-    std::string response = wire::DispatchBinary(engine_, request);
-    if (!token.empty()) RecordReplay(token, response);
+    std::string response;
+    {
+      // Re-anchor the caller's stamped remaining budget as this side's
+      // ambient deadline: any fan-out the engine performs while serving
+      // this request (a sharded router behind the service) stamps ITS
+      // downstream calls from what is left — end-to-end propagation.
+      const uint64_t deadline_ms = wire::ExtractDeadline(request);
+      std::optional<DeadlineBudget> budget;
+      std::optional<DeadlineScope> scope;
+      if (deadline_ms > 0) {
+        budget.emplace(deadline_ms);
+        scope.emplace(&*budget);
+      }
+      response = wire::DispatchBinary(engine_, request);
+    }
+    if (!token.empty()) {
+      // A load-shed answer must not occupy the token's slot: release the
+      // claim so the client's retry re-executes (and any duplicate blocked
+      // on the claim re-claims) instead of replaying "overloaded" forever.
+      const bool shed =
+          response.size() >= 2 &&
+          static_cast<uint8_t>(response[1]) ==
+              static_cast<uint8_t>(StatusCode::kResourceExhausted);
+      if (shed) {
+        ReleaseClaim(token);
+      } else {
+        RecordReplay(token, response);
+      }
+    }
     return response;
   }
   auto parsed = Json::Parse(request);
@@ -306,8 +349,31 @@ std::string StorageEngineService::Handle(std::string_view request) {
   const std::string token = parsed->GetString("replay_token");
   std::string replayed;
   if (!token.empty() && LookupReplayOrClaim(token, &replayed)) return replayed;
-  std::string response = Dispatch(engine_, *parsed).Dump();
-  if (!token.empty()) RecordReplay(token, response);
+  Json response_json = Json::Object();
+  {
+    const int64_t stamped = parsed->GetInt("deadline_ms");
+    const uint64_t deadline_ms =
+        stamped > 0 ? static_cast<uint64_t>(stamped) : 0;
+    std::optional<DeadlineBudget> budget;
+    std::optional<DeadlineScope> scope;
+    if (deadline_ms > 0) {
+      budget.emplace(deadline_ms);
+      scope.emplace(&*budget);
+    }
+    response_json = Dispatch(engine_, *parsed);
+  }
+  std::string response = response_json.Dump();
+  if (!token.empty()) {
+    const bool shed =
+        !response_json.GetBool("ok") &&
+        static_cast<StatusCode>(response_json.GetInt("code")) ==
+            StatusCode::kResourceExhausted;
+    if (shed) {
+      ReleaseClaim(token);
+    } else {
+      RecordReplay(token, response);
+    }
+  }
   return response;
 }
 
@@ -435,6 +501,16 @@ StatusOr<uint64_t> DecodeFreedResponse(StatusOr<std::string> raw) {
   return static_cast<uint64_t>(response.GetInt("freed_bytes"));
 }
 
+/// JSON-codec twin of the binary encoders' ambient stamp: the caller's
+/// remaining budget rides as "deadline_ms". Old servers ignore the unknown
+/// member, same compatibility story as the skipped binary tag.
+void StampJsonDeadline(Json* request) {
+  const uint64_t remaining = DeadlineScope::CurrentRemainingMs();
+  if (remaining > 0) {
+    request->Set("deadline_ms", Json::Int(static_cast<int64_t>(remaining)));
+  }
+}
+
 Json PutRequestJson(const std::string& key, std::string_view data,
                     const std::string& replay_token = std::string()) {
   Json request = Json::Object();
@@ -444,6 +520,7 @@ Json PutRequestJson(const std::string& key, std::string_view data,
   if (!replay_token.empty()) {
     request.Set("replay_token", Json::Str(replay_token));
   }
+  StampJsonDeadline(&request);
   return request;
 }
 
@@ -462,6 +539,7 @@ Json PutManyRequestJson(const std::vector<PutRequest>& batch,
   if (!replay_token.empty()) {
     request.Set("replay_token", Json::Str(replay_token));
   }
+  StampJsonDeadline(&request);
   return request;
 }
 
@@ -473,6 +551,7 @@ Json IdRequestJson(const char* method, const Hash256& id,
   if (!replay_token.empty()) {
     request.Set("replay_token", Json::Str(replay_token));
   }
+  StampJsonDeadline(&request);
   return request;
 }
 
@@ -575,6 +654,7 @@ StatusOr<std::string> RemoteStorageEngine::Get(const std::string& key) {
   Json request = Json::Object();
   request.Set("method", Json::Str("get"));
   request.Set("key", Json::Str(key));
+  StampJsonDeadline(&request);
   return DecodeDataResponse(transport_->Call(request.Dump()));
 }
 
@@ -636,6 +716,7 @@ std::vector<Hash256> RemoteStorageEngine::Versions(
   Json request = Json::Object();
   request.Set("method", Json::Str("versions"));
   request.Set("key", Json::Str(key));
+  StampJsonDeadline(&request);
   auto response = CallMethod(transport_.get(), std::move(request));
   if (!response.ok()) return ids;
   const Json* encoded = response->Get("ids");

@@ -75,6 +75,13 @@ class StorageEngineService {
   /// usually-once.
   bool LookupReplayOrClaim(const std::string& token, std::string* response);
   void RecordReplay(const std::string& token, const std::string& response);
+  /// Releases an unresolved claim WITHOUT recording a response: the shed
+  /// path. A load-shed answer (ResourceExhausted) must not occupy the
+  /// token's ledger slot — the client's retry re-executes instead of being
+  /// answered with "overloaded" forever, and any duplicate blocked on the
+  /// claim wakes to re-claim rather than waiting on a condvar for a
+  /// recording that will never happen.
+  void ReleaseClaim(const std::string& token);
 
   std::unique_ptr<StorageEngine> owned_;
   StorageEngine* engine_;

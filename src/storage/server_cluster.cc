@@ -136,6 +136,14 @@ Status LocalServerCluster::SpawnShard(size_t s) {
     args.push_back("--data-dir");
     args.push_back(DataDir(s));
   }
+  if (options_.max_queued_jobs > 0) {
+    args.push_back("--max-queued-jobs=" +
+                   std::to_string(options_.max_queued_jobs));
+  }
+  if (options_.max_queued_bytes > 0) {
+    args.push_back("--max-queued-bytes=" +
+                   std::to_string(options_.max_queued_bytes));
+  }
 
   pid_t pid = ::fork();
   if (pid < 0) {

@@ -50,6 +50,12 @@ class LocalServerCluster {
     /// acknowledged writes survive KillShard + RestartShard. Requires the
     /// forkbase backend. The chaos recovery drills run on this.
     bool durable = false;
+    /// Admission-control caps forwarded to every server as
+    /// --max-queued-jobs / --max-queued-bytes. 0 = keep the server's
+    /// defaults. The overload saturation bench shrinks these so load
+    /// shedding triggers at test-sized request volumes.
+    size_t max_queued_jobs = 0;
+    size_t max_queued_bytes = 0;
   };
 
   LocalServerCluster() = default;

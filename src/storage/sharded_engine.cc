@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/sha256.h"
 #include "common/strings.h"
+#include "storage/deadline.h"
 #include "storage/remote_engine.h"
 #include "storage/transport.h"
 
@@ -559,6 +560,15 @@ Status ShardedStorageEngine::RunTransactionLocked(
     by_shard[writes[i].shard].push_back(i);
   }
 
+  // Deadline fail-fast: a transaction whose caller budget is already spent
+  // aborts before staging a single byte — under overload, dead requests
+  // must shed work, not generate three more fan-out phases of it.
+  if (Status budget = DeadlineScope::CheckCurrent("2pc transaction");
+      !budget.ok()) {
+    resolve(/*committed=*/false);
+    return budget;
+  }
+
   // Health pre-check: a participant the router already knows is down makes
   // the outcome a foregone conclusion — abort with a typed status BEFORE
   // staging anything, instead of burning a per-shard timeout to rediscover
@@ -631,6 +641,11 @@ Status ShardedStorageEngine::RunTransactionLocked(
       prepare_failed_shard = shard;
     }
   }
+  // One completed fan-out round consumed at least one accounting unit of
+  // the caller's budget: the decision-phase stamps must be STRICTLY below
+  // the prepare-phase stamps (the deadline-shrink proof-by-accounting),
+  // even when the whole phase ran faster than the wall clock ticks.
+  DeadlineScope::ChargeCurrent(1);
   if (!prepare_failure.ok()) {
     cleanup_staged();
     resolve(/*committed=*/false);
@@ -638,6 +653,15 @@ Status ShardedStorageEngine::RunTransactionLocked(
                   "2pc prepare failed on shard " +
                       std::to_string(prepare_failed_shard) + ": " +
                       prepare_failure.message());
+  }
+  // Last safe bail-out: past the decision write the transaction MUST roll
+  // forward (the durable decision makes recovery re-apply it), so a spent
+  // budget aborts here — staged intents cleaned, nothing real applied.
+  if (Status budget = DeadlineScope::CheckCurrent("2pc decision phase");
+      !budget.ok()) {
+    cleanup_staged();
+    resolve(/*committed=*/false);
+    return budget;
   }
 
   // Decision point: persist the commit decision durably on the coordinator
@@ -653,6 +677,7 @@ Status ShardedStorageEngine::RunTransactionLocked(
     ledger.decision_round_trips += 1;
     auto decided = shards_[coord]->Put(decision_key, decision);
     ledger.Collect();
+    DeadlineScope::ChargeCurrent(1);  // decision round collected
     NoteShardResult(coord, decided.ok() ? Status::Ok() : decided.status());
     if (!decided.ok()) {
       cleanup_staged();
@@ -687,6 +712,7 @@ Status ShardedStorageEngine::RunTransactionLocked(
                                          ? Status::Ok()
                                          : applied_results.back().status());
   }
+  DeadlineScope::ChargeCurrent(1);  // apply round collected
   for (size_t i = 0; i < writes.size(); ++i) {
     if (applied_results[i].ok()) continue;
     // Prepare voted yes everywhere, so an apply failure is a broken
@@ -869,6 +895,10 @@ StatusOr<std::string> ShardedStorageEngine::GetVersion(const Hash256& id) {
     meter.Issue();
   }
   RecordBroadcast(meter.peak, probed);
+  // One broadcast round = one accounting charge against the caller's
+  // deadline budget, win or lose (early returns included): downstream
+  // stamps after this probe must be strictly smaller.
+  DeadlineScope::ChargeCurrent(1);
   for (auto& [s, probe] : probes) {
     auto data = probe.Get();
     meter.Collect();
@@ -917,6 +947,7 @@ bool ShardedStorageEngine::HasVersion(const Hash256& id) const {
     meter.Issue();
   }
   RecordBroadcast(meter.peak, probed);
+  DeadlineScope::ChargeCurrent(1);  // broadcast round issued+collected below
   bool found = false;
   for (auto& [s, probe] : probes) {
     auto has = probe.Get();
@@ -1736,6 +1767,9 @@ StatusOr<size_t> ShardedStorageEngine::MigrateOneBatch(
     applied += result->applied_versions;
     skipped += result->skipped_versions;
   }
+  // One shipped migration round consumed one accounting unit of any caller
+  // deadline budget — later hops (cursor persist, next batch) stamp less.
+  DeadlineScope::ChargeCurrent(1);
   if (!ship_failure.ok()) {
     unblock();
     return Status(ship_failure.code(),

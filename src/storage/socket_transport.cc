@@ -165,7 +165,10 @@ SocketTransport::SocketTransport(int fd, Endpoint endpoint, Options options)
     : endpoint_(std::move(endpoint)),
       options_(std::move(options)),
       fd_(fd),
-      wire_version_(options_.wire_version) {
+      wire_version_(options_.wire_version),
+      jitter_rng_(options_.redial_jitter_seed != 0
+                      ? options_.redial_jitter_seed
+                      : std::random_device{}()) {
   reader_ = std::thread([this] { ReaderLoop(); });
 }
 
@@ -221,6 +224,14 @@ TransportFuture SocketTransport::AsyncCallWithId(std::string_view request,
     // Retained so a redial can replay the call on the fresh connection.
     pending.request.assign(request.data(), request.size());
     pending_.emplace(id, std::move(pending));
+  }
+  const uint64_t deadline_ms = PeekRequestDeadlineMs(request);
+  if (deadline_ms > 0) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.deadline_stamped_calls += 1;
+    if (stats_.hop_budgets_ms.size() < TransportStats::kMaxHopBudgetSamples) {
+      stats_.hop_budgets_ms.push_back(deadline_ms);
+    }
   }
   SendFault fault;
   if (options_.injector != nullptr) fault = options_.injector->OnClientSend();
@@ -339,11 +350,20 @@ Status SocketTransport::SendChunked(uint64_t id, uint8_t version,
 }
 
 StatusOr<std::string> SocketTransport::Call(std::string_view request) {
+  // A request stamped with a remaining deadline budget must not be waited
+  // on longer than that budget: the blocking wait honors the TIGHTER of the
+  // session timeout and the caller's end-to-end deadline.
+  uint64_t timeout_ms = options_.call_timeout_ms;
+  const uint64_t stamped_ms = PeekRequestDeadlineMs(request);
+  if (stamped_ms > 0) {
+    timeout_ms = timeout_ms == 0 ? stamped_ms
+                                 : std::min(timeout_ms, stamped_ms);
+  }
   uint64_t id = 0;
   TransportFuture future = AsyncCallWithId(request, &id);
   const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(options_.call_timeout_ms);
-  return CollectWithDeadline(&future, id, deadline);
+                        std::chrono::milliseconds(timeout_ms);
+  return CollectWithDeadline(&future, id, deadline, timeout_ms);
 }
 
 std::vector<StatusOr<std::string>> SocketTransport::CallMany(
@@ -362,15 +382,16 @@ std::vector<StatusOr<std::string>> SocketTransport::CallMany(
   std::vector<StatusOr<std::string>> responses;
   responses.reserve(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
-    responses.push_back(CollectWithDeadline(&futures[i], ids[i], deadline));
+    responses.push_back(CollectWithDeadline(&futures[i], ids[i], deadline,
+                                            options_.call_timeout_ms));
   }
   return responses;
 }
 
 StatusOr<std::string> SocketTransport::CollectWithDeadline(
     TransportFuture* future, uint64_t id,
-    std::chrono::steady_clock::time_point deadline) {
-  if (options_.call_timeout_ms == 0 ||
+    std::chrono::steady_clock::time_point deadline, uint64_t timeout_ms) {
+  if (timeout_ms == 0 ||
       future->wait_until(deadline) == std::future_status::ready) {
     return future->get();
   }
@@ -389,7 +410,7 @@ StatusOr<std::string> SocketTransport::CollectWithDeadline(
   }
   return Status::DeadlineExceeded(
       "call to " + endpoint_.ToString() + " exceeded " +
-      std::to_string(options_.call_timeout_ms) + "ms");
+      std::to_string(timeout_ms) + "ms");
 }
 
 void SocketTransport::FailAllPending(const Status& status) {
@@ -581,7 +602,12 @@ Status SocketTransport::Redial() {
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::milliseconds(options_.redial_budget_ms);
-  uint64_t backoff = std::max<uint64_t>(1, options_.redial_initial_backoff_ms);
+  // FULL-JITTER exponential backoff: the sleep before each attempt is drawn
+  // uniformly from [0, cap], cap doubling per attempt up to 500ms. Pure
+  // doubling would march every client orphaned by one server restart back in
+  // lockstep — a synchronized retry wave that re-creates the overload.
+  uint64_t backoff_cap =
+      std::max<uint64_t>(1, options_.redial_initial_backoff_ms);
   Status last = Status::Unavailable("redial never attempted");
   int new_fd = -1;
   for (;;) {
@@ -594,6 +620,8 @@ Status SocketTransport::Redial() {
       break;
     }
     last = opened.status();
+    const uint64_t backoff =
+        std::uniform_int_distribution<uint64_t>(0, backoff_cap)(jitter_rng_);
     if (std::chrono::steady_clock::now() +
             std::chrono::milliseconds(backoff) >=
         deadline) {
@@ -608,19 +636,41 @@ Status SocketTransport::Redial() {
         return stopping_.load(std::memory_order_acquire);
       });
     }
-    backoff = std::min<uint64_t>(backoff * 2, 500);
+    backoff_cap = std::min<uint64_t>(backoff_cap * 2, 500);
   }
   // Snapshot the calls to replay BEFORE going connected: anything arriving
   // after the swap sends itself; anything in this snapshot is sent below.
   // Correlation-id order preserves the per-connection ordering the 2PC
   // apply phase relies on.
   std::vector<std::pair<uint64_t, std::string>> replay;
+  // Calls whose per-call retry budget is spent fail HERE with a typed
+  // ResourceExhausted instead of riding yet another connection: under
+  // sustained overload, retry amplification must converge, not compound.
+  std::vector<std::promise<StatusOr<std::string>>> over_budget;
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
     replay.reserve(pending_.size());
-    for (const auto& [id, pending] : pending_) {
-      replay.emplace_back(id, pending.request);
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (options_.max_call_replays > 0 &&
+          it->second.replays >= options_.max_call_replays) {
+        over_budget.push_back(std::move(it->second.promise));
+        it = pending_.erase(it);
+        continue;
+      }
+      it->second.replays += 1;
+      replay.emplace_back(it->first, it->second.request);
+      ++it;
     }
+  }
+  if (!over_budget.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.transport_errors += over_budget.size();
+    }
+    const Status spent = Status::ResourceExhausted(
+        "retry budget (" + std::to_string(options_.max_call_replays) +
+        " replays) spent redialing " + endpoint_.ToString());
+    for (auto& waiter : over_budget) waiter.set_value(spent);
   }
   std::sort(replay.begin(), replay.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -656,6 +706,19 @@ TransportStats SocketTransport::stats() const {
 std::string SocketTransport::Name() const {
   return "socket(" + endpoint_.ToString() + ")";
 }
+
+namespace {
+
+/// Lock-free high-water-mark update for the admission peak counters.
+void StoreMax(std::atomic<uint64_t>* peak, uint64_t value) {
+  uint64_t current = peak->load(std::memory_order_relaxed);
+  while (value > current &&
+         !peak->compare_exchange_weak(current, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
 
 // --------------------------------------------------------------- server ---
 
@@ -873,6 +936,47 @@ void SocketTransportServer::ReadReady(
       }
       if (!*next) break;  // need more bytes
       if (frame.type == FrameType::kError) continue;  // clients never send
+      const size_t payload_bytes = frame.payload.size();
+      if (frame.type == FrameType::kData) {
+        // Admission control: a DATA frame past any queue cap is shed HERE —
+        // answered immediately with a typed ResourceExhausted ERROR frame,
+        // never queued, handler never run — so queue depth and memory stay
+        // bounded no matter how far offered load exceeds capacity. Chunk
+        // frames are exempt (dropping one mid-stream would corrupt
+        // reassembly); their memory is bounded by the assembler's limits.
+        bool shed =
+            (options_.max_queued_jobs > 0 &&
+             queued_jobs_.load(std::memory_order_relaxed) >=
+                 options_.max_queued_jobs) ||
+            (options_.max_queued_bytes > 0 &&
+             queued_bytes_.load(std::memory_order_relaxed) + payload_bytes >
+                 options_.max_queued_bytes);
+        if (!shed) {
+          std::lock_guard<std::mutex> lock(connection->mu);
+          shed = (options_.max_conn_queued_jobs > 0 &&
+                  connection->jobs.size() >= options_.max_conn_queued_jobs) ||
+                 (options_.max_conn_queued_bytes > 0 &&
+                  connection->queued_bytes + payload_bytes >
+                      options_.max_conn_queued_bytes);
+        }
+        if (shed) {
+          shed_jobs_.fetch_add(1, std::memory_order_relaxed);
+          OutPart part;
+          AppendFrame(&part.header, FrameType::kError, frame.id,
+                      EncodeErrorPayload(Status::ResourceExhausted(
+                          "server admission queue full")),
+                      frame.version);
+          {
+            std::lock_guard<std::mutex> lock(connection->mu);
+            connection->outbox.push_back(std::move(part));
+          }
+          if (!FlushConnection(connection)) {
+            CloseConnection(connection);
+            return;
+          }
+          continue;
+        }
+      }
       bool schedule = false;
       {
         std::lock_guard<std::mutex> lock(connection->mu);
@@ -881,7 +985,9 @@ void SocketTransportServer::ReadReady(
         job.id = frame.id;
         job.version = frame.version;
         job.payload = std::move(frame.payload);
+        job.enqueued = std::chrono::steady_clock::now();
         connection->jobs.push_back(std::move(job));
+        connection->queued_bytes += payload_bytes;
         if (!connection->job_active) {
           // Claim the strand: exactly one worker drains this connection's
           // jobs at a time, so requests are handled in arrival order.
@@ -889,6 +995,13 @@ void SocketTransportServer::ReadReady(
           schedule = true;
         }
       }
+      const uint64_t jobs_now =
+          queued_jobs_.fetch_add(1, std::memory_order_relaxed) + 1;
+      const uint64_t bytes_now =
+          queued_bytes_.fetch_add(payload_bytes, std::memory_order_relaxed) +
+          payload_bytes;
+      StoreMax(&peak_queued_jobs_, jobs_now);
+      StoreMax(&peak_queued_bytes_, bytes_now);
       if (schedule) {
         std::lock_guard<std::mutex> lock(work_mu_);
         work_queue_.push_back(connection);
@@ -1024,7 +1137,10 @@ void SocketTransportServer::WorkerThread() {
         // discarded (EnqueueResponse is a no-op once closed).
         job = std::move(connection->jobs.front());
         connection->jobs.pop_front();
+        connection->queued_bytes -= job.payload.size();
       }
+      queued_jobs_.fetch_sub(1, std::memory_order_relaxed);
+      queued_bytes_.fetch_sub(job.payload.size(), std::memory_order_relaxed);
       ProcessJob(connection, std::move(job));
     }
   }
@@ -1046,6 +1162,26 @@ void SocketTransportServer::ProcessJob(
       return;
     }
     job.payload = *std::move(assembled);
+  }
+  // Deadline check at dequeue: a request whose remaining budget was spent
+  // while it sat in the queue is dropped UNEXECUTED with a typed
+  // DeadlineExceeded — running it would burn a worker on an answer the
+  // caller has already abandoned, and (for mutations) would claim a replay
+  // ledger slot for a response nobody collects. The caller's own deadline
+  // already fired client-side; this keeps the server's goodput honest.
+  const uint64_t deadline_ms = PeekRequestDeadlineMs(job.payload);
+  if (deadline_ms > 0) {
+    const auto waited_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - job.enqueued)
+            .count();
+    if (waited_ms >= 0 && static_cast<uint64_t>(waited_ms) >= deadline_ms) {
+      expired_jobs_.fetch_add(1, std::memory_order_relaxed);
+      EnqueueError(connection, job.id, job.version,
+                   Status::DeadlineExceeded(
+                       "request deadline expired in the admission queue"));
+      return;
+    }
   }
   if (options_.injector != nullptr) {
     JobFault fault = options_.injector->OnServerJob(job.payload.size());
@@ -1116,6 +1252,20 @@ void SocketTransportServer::EnqueueResponse(
     for (OutPart& part : parts) {
       connection->outbox.push_back(std::move(part));
     }
+  }
+  NotifyWritable(connection);
+}
+
+void SocketTransportServer::EnqueueError(
+    const std::shared_ptr<Connection>& connection, uint64_t id,
+    uint8_t version, const Status& status) {
+  OutPart part;
+  AppendFrame(&part.header, FrameType::kError, id, EncodeErrorPayload(status),
+              version);
+  {
+    std::lock_guard<std::mutex> lock(connection->mu);
+    if (connection->closed) return;
+    connection->outbox.push_back(std::move(part));
   }
   NotifyWritable(connection);
 }

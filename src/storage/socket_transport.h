@@ -8,6 +8,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <random>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -101,8 +102,20 @@ class SocketTransport : public Transport {
     /// restores the old fail-fast behavior: first connection loss fails
     /// every pending call.
     uint64_t redial_budget_ms = 2000;
-    /// First redial backoff; doubles per attempt, capped at 500ms.
+    /// First redial backoff. The sleep before attempt N is drawn uniformly
+    /// from [0, min(500ms, initial << N)] — FULL JITTER, so a fleet of
+    /// clients orphaned by one server restart does not redial in lockstep
+    /// and re-create the overload that killed the connection.
     uint64_t redial_initial_backoff_ms = 10;
+    /// Seed for the jitter PRNG. 0 draws a random seed; tests pin it for
+    /// reproducible backoff schedules.
+    uint64_t redial_jitter_seed = 0;
+    /// Per-call retry budget: how many times one pending call may be
+    /// replayed across redials before it fails with a typed
+    /// ResourceExhausted instead of riding yet another fresh connection.
+    /// Bounds retry amplification under overload (a shedding server must
+    /// not be hammered forever by the calls it shed). 0 = unbounded.
+    uint32_t max_call_replays = 8;
     /// Optional deterministic fault policy applied to outgoing requests
     /// (drop / drop-after-send / garble / delay). Chaos harness only.
     std::shared_ptr<FaultInjector> injector;
@@ -159,13 +172,13 @@ class SocketTransport : public Transport {
   /// AsyncCall plus the assigned correlation id, so deadline-bound callers
   /// can deregister the pending entry on timeout.
   TransportFuture AsyncCallWithId(std::string_view request, uint64_t* id_out);
-  /// Waits for `future` until `deadline` (forever when call_timeout_ms is
-  /// 0). On timeout the pending entry for `id` is removed, so the one call
-  /// is accounted exactly once: as a transport error, never ALSO as a
+  /// Waits for `future` until `deadline` (forever when `timeout_ms` is 0).
+  /// On timeout the pending entry for `id` is removed, so the one call is
+  /// accounted exactly once: as a transport error, never ALSO as a
   /// completed round trip when its response straggles in later.
   StatusOr<std::string> CollectWithDeadline(
       TransportFuture* future, uint64_t id,
-      std::chrono::steady_clock::time_point deadline);
+      std::chrono::steady_clock::time_point deadline, uint64_t timeout_ms);
 
   /// Sends one already-registered request (monolithic or chunk-streamed),
   /// applying `fault` on the way out. A degraded connection silently skips
@@ -193,6 +206,7 @@ class SocketTransport : public Transport {
   struct Pending {
     std::promise<StatusOr<std::string>> promise;
     std::string request;  ///< Full request bytes, retained for replay.
+    uint32_t replays = 0;  ///< Redial replays consumed (retry budget).
   };
 
   const Endpoint endpoint_;
@@ -216,6 +230,7 @@ class SocketTransport : public Transport {
 
   std::mutex redial_mu_;
   std::condition_variable redial_cv_;  ///< Wakes backoff sleeps on destroy.
+  std::mt19937_64 jitter_rng_;  ///< Reader thread only (Redial backoff).
 
   std::thread reader_;
 };
@@ -274,6 +289,19 @@ class SocketTransportServer : public TransportServer {
     /// Optional deterministic fault policy applied to inbound jobs (delay,
     /// slow-drip, kill -9 on the Nth request). Chaos harness only.
     std::shared_ptr<FaultInjector> injector;
+
+    /// Admission control: hard caps on the queued-but-unserved work the
+    /// server will hold. A DATA frame arriving past any cap is SHED — it is
+    /// answered immediately with a typed ResourceExhausted ERROR frame and
+    /// never enters the worker queue, so queue depth and RSS stay bounded no
+    /// matter how far offered load exceeds capacity. Chunk-stream frames are
+    /// never shed mid-stream (dropping one would corrupt reassembly); their
+    /// cost is bounded by max_frame_payload + chunk_cache_bytes. 0 = that
+    /// cap unbounded.
+    size_t max_queued_jobs = 4096;          ///< Server-wide job count cap.
+    size_t max_queued_bytes = 256u << 20;   ///< Server-wide job bytes cap.
+    size_t max_conn_queued_jobs = 1024;     ///< Per-connection job count cap.
+    size_t max_conn_queued_bytes = 64u << 20;  ///< Per-connection bytes cap.
   };
 
   /// Binds and listens. unix: paths are unlinked first (stale socket files
@@ -308,6 +336,25 @@ class SocketTransportServer : public TransportServer {
   /// Receive-side chunk dedup accounting (telemetry/tests/bench).
   ChunkStoreStats wire_chunk_stats() const { return chunk_cache_.stats(); }
 
+  /// Admission/overload accounting (telemetry/tests/bench).
+  uint64_t shed_jobs() const {
+    return shed_jobs_.load(std::memory_order_relaxed);
+  }
+  /// Jobs whose deadline was already spent when a worker dequeued them:
+  /// dropped with a typed DeadlineExceeded, handler never invoked.
+  uint64_t expired_jobs() const {
+    return expired_jobs_.load(std::memory_order_relaxed);
+  }
+  uint64_t queued_jobs() const {
+    return queued_jobs_.load(std::memory_order_relaxed);
+  }
+  uint64_t peak_queued_jobs() const {
+    return peak_queued_jobs_.load(std::memory_order_relaxed);
+  }
+  uint64_t peak_queued_bytes() const {
+    return peak_queued_bytes_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// One queued piece of outgoing data: a frame header plus an optional
   /// slice of a shared payload. The payload body is shared_ptr-owned so N
@@ -326,6 +373,9 @@ class SocketTransportServer : public TransportServer {
     uint64_t id = 0;
     uint8_t version = kWireVersion;
     std::string payload;
+    /// When the loop queued the job — workers check the request's deadline
+    /// stamp against time-in-queue and drop expired jobs unexecuted.
+    std::chrono::steady_clock::time_point enqueued;
   };
 
   /// Per-connection state. The event loop owns fd/decoder/outbox flushing;
@@ -339,6 +389,7 @@ class SocketTransportServer : public TransportServer {
     FrameDecoder decoder;
     wire::StreamAssembler assembler;
     std::deque<Job> jobs;
+    size_t queued_bytes = 0;  ///< Payload bytes across `jobs` (admission).
     bool job_active = false;  ///< A worker currently owns the strand.
     std::deque<OutPart> outbox;
 
@@ -367,6 +418,10 @@ class SocketTransportServer : public TransportServer {
   void ProcessJob(const std::shared_ptr<Connection>& connection, Job job);
   void EnqueueResponse(const std::shared_ptr<Connection>& connection,
                        uint64_t id, uint8_t version, std::string response);
+  /// Worker side: enqueues a correlated ERROR frame (typed status payload)
+  /// and pokes the loop — the shed/expired answer path, handler never run.
+  void EnqueueError(const std::shared_ptr<Connection>& connection, uint64_t id,
+                    uint8_t version, const Status& status);
   /// Thread safe: queues `connection` for a loop-thread flush and wakes it.
   void NotifyWritable(std::shared_ptr<Connection> connection);
   /// Thread safe: half-closes the socket so the loop retires it (workers
@@ -384,6 +439,16 @@ class SocketTransportServer : public TransportServer {
   std::atomic<ServerState> state_{ServerState::kInitial};
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> connections_accepted_{0};
+
+  // Admission accounting. queued_jobs_/queued_bytes_ track work accepted but
+  // not yet handed to the handler; peaks are high-water marks over the
+  // server's lifetime (the bounded-queue acceptance criterion reads them).
+  std::atomic<uint64_t> queued_jobs_{0};
+  std::atomic<uint64_t> queued_bytes_{0};
+  std::atomic<uint64_t> shed_jobs_{0};
+  std::atomic<uint64_t> expired_jobs_{0};
+  std::atomic<uint64_t> peak_queued_jobs_{0};
+  std::atomic<uint64_t> peak_queued_bytes_{0};
 
   /// Loop-thread-only registry keeping connections alive while registered.
   std::unordered_map<int, std::shared_ptr<Connection>> connections_;

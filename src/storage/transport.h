@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/deadline.h"
 #include "storage/deferred.h"
 
 namespace mlcask::storage {
@@ -26,6 +27,16 @@ struct TransportStats {
   /// stays O(chunk size) even for multi-MiB values — the acceptance bound
   /// the transport tests assert. 0 for transports without a wire.
   uint64_t peak_decoder_buffer_bytes = 0;
+  /// Requests that carried a deadline stamp (remaining-budget ms).
+  uint64_t deadline_stamped_calls = 0;
+  /// The stamps themselves, in issue order (bounded log — first
+  /// kMaxHopBudgetSamples calls). This is the accounting ledger the
+  /// deadline-shrink tests read: a coordinator fanning three sequential 2PC
+  /// phases through one transport must leave a strictly decreasing sequence
+  /// here regardless of how fast the wall clock ran.
+  std::vector<uint64_t> hop_budgets_ms;
+
+  static constexpr size_t kMaxHopBudgetSamples = 256;
 };
 
 // TransportFuture (the completion handle AsyncCall returns) lives in
@@ -157,12 +168,20 @@ class LoopbackTransport : public Transport {
     }
     // The handler runs outside the stats lock: counting must not serialize
     // the engine work behind concurrent calls.
+    const uint64_t deadline_ms = PeekRequestDeadlineMs(request);
     std::string response = handler_(request);
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       stats_.calls += 1;
       stats_.request_bytes += request.size();
       stats_.response_bytes += response.size();
+      if (deadline_ms > 0) {
+        stats_.deadline_stamped_calls += 1;
+        if (stats_.hop_budgets_ms.size() <
+            TransportStats::kMaxHopBudgetSamples) {
+          stats_.hop_budgets_ms.push_back(deadline_ms);
+        }
+      }
     }
     return response;
   }

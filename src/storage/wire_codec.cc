@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "storage/chunk.h"
+#include "storage/deadline.h"
 
 namespace mlcask::storage::wire {
 
@@ -141,6 +142,7 @@ constexpr uint32_t kTagId = 2;         // request: content id (hash)
 constexpr uint32_t kTagBytesArg = 3;   // request: read_cost operand (varint)
 constexpr uint32_t kTagCount = 4;      // put_many batch size (varint)
 constexpr uint32_t kTagReplayToken = 5;  // request: idempotency token (bytes)
+constexpr uint32_t kTagDeadline = 6;     // request: remaining budget ms (varint)
 
 constexpr uint32_t kTagErrMessage = 1;   // error response message (bytes)
 constexpr uint32_t kTagResultId = 1;     // PutResult.id (hash)
@@ -224,6 +226,15 @@ StatusOr<PutResult> DecodePutResultMeta(std::string_view meta) {
   return result;
 }
 
+/// Stamps the caller's remaining deadline budget (ambient DeadlineScope) into
+/// a request meta section. No ambient budget (or a spent one) writes nothing,
+/// so such requests stay bit-identical to the pre-deadline wire revision and
+/// old peers skip the tag when it is present.
+void StampAmbientDeadline(std::string* meta) {
+  const uint64_t remaining = DeadlineScope::CurrentRemainingMs();
+  if (remaining > 0) PutFieldVarint(meta, kTagDeadline, remaining);
+}
+
 void AppendPutResultMeta(std::string* meta, const PutResult& result) {
   PutFieldHash(meta, kTagResultId, result.id);
   PutFieldVarint(meta, kTagLogical, result.logical_bytes);
@@ -243,6 +254,7 @@ std::string EncodePutRequest(std::string_view key, std::string_view data,
   if (!replay_token.empty()) {
     PutFieldBytes(&meta, kTagReplayToken, replay_token);
   }
+  StampAmbientDeadline(&meta);
   return EncodeRequestMessage(Method::kPut, meta, data);
 }
 
@@ -253,6 +265,7 @@ std::string EncodePutManyRequest(const std::vector<PutRequest>& batch,
   if (!replay_token.empty()) {
     PutFieldBytes(&meta, kTagReplayToken, replay_token);
   }
+  StampAmbientDeadline(&meta);
   std::string body;
   size_t total = 0;
   for (const PutRequest& put : batch) {
@@ -271,6 +284,7 @@ std::string EncodePutManyRequest(const std::vector<PutRequest>& batch,
 std::string EncodeKeyRequest(Method method, std::string_view key) {
   std::string meta;
   PutFieldBytes(&meta, kTagKey, key);
+  StampAmbientDeadline(&meta);
   return EncodeRequestMessage(method, meta, {});
 }
 
@@ -281,6 +295,7 @@ std::string EncodeIdRequest(Method method, const Hash256& id,
   if (!replay_token.empty()) {
     PutFieldBytes(&meta, kTagReplayToken, replay_token);
   }
+  StampAmbientDeadline(&meta);
   return EncodeRequestMessage(method, meta, {});
 }
 
@@ -291,6 +306,7 @@ std::string EncodePlainRequest(Method method) {
 std::string EncodeReadCostRequest(uint64_t bytes) {
   std::string meta;
   PutFieldVarint(&meta, kTagBytesArg, bytes);
+  StampAmbientDeadline(&meta);
   return EncodeRequestMessage(Method::kReadCost, meta, {});
 }
 
@@ -302,6 +318,7 @@ std::string EncodeMigrateBatchRequest(
   if (!replay_token.empty()) {
     PutFieldBytes(&meta, kTagReplayToken, replay_token);
   }
+  StampAmbientDeadline(&meta);
   std::string body;
   size_t total = 0;
   for (const MigrateKeyVersions& entry : batch) {
@@ -355,6 +372,9 @@ StatusOr<Request> DecodeRequest(std::string_view message) {
         break;
       case kTagReplayToken:
         request.replay_token = reader.bytes();
+        break;
+      case kTagDeadline:
+        request.deadline_ms = reader.varint();
         break;
       default:
         break;
@@ -449,6 +469,18 @@ std::string_view ExtractReplayToken(std::string_view message) {
     if (reader.tag() == kTagReplayToken) return reader.bytes();
   }
   return {};
+}
+
+uint64_t ExtractDeadline(std::string_view message) {
+  uint8_t opcode = 0;
+  std::string_view meta;
+  std::string_view body;
+  if (!Disassemble(message, &opcode, &meta, &body).ok()) return 0;
+  FieldReader reader(meta);
+  while (reader.Next()) {
+    if (reader.tag() == kTagDeadline) return reader.varint();
+  }
+  return 0;
 }
 
 // --- responses --------------------------------------------------------------

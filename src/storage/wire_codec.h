@@ -109,6 +109,7 @@ struct Request {
   uint64_t bytes = 0;         ///< kReadCost operand.
   std::string_view body;      ///< kPut: artifact bytes, verbatim.
   std::string_view replay_token;  ///< Empty unless idempotently replayable.
+  uint64_t deadline_ms = 0;   ///< Remaining budget stamped by the caller; 0 = none.
   std::vector<std::pair<std::string_view, std::string_view>> batch;
   /// kMigrateBatch: decoded entries; payload views point into the message.
   struct MigrateEntry {
@@ -123,6 +124,12 @@ StatusOr<Request> DecodeRequest(std::string_view message);
 /// absent or the message is not a well-formed binary request. The service's
 /// dedup ledger consults this before the full dispatch.
 std::string_view ExtractReplayToken(std::string_view message);
+
+/// Cheap meta-only scan for the deadline stamp of a binary request: the
+/// caller's remaining budget in ms, 0 when absent. Request encoders stamp it
+/// from the ambient DeadlineScope; old peers skip the unknown tag, so a call
+/// with no ambient budget encodes bit-identically to the previous wire rev.
+uint64_t ExtractDeadline(std::string_view message);
 
 // --- response encoding (server side) ---------------------------------------
 

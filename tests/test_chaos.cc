@@ -35,6 +35,7 @@
 #include "storage/server_cluster.h"
 #include "storage/sharded_engine.h"
 #include "storage/socket_transport.h"
+#include "storage/wire_codec.h"
 
 #ifndef MLCASK_SERVER_BIN
 #define MLCASK_SERVER_BIN ""
@@ -463,6 +464,60 @@ TEST(ChaosTest, ReplayLedgerAnswersDuplicateTokensWithoutReExecuting) {
       "{\"method\":\"put\",\"key\":\"artifact/ledger\","
       "\"data\":\"7061796c6f6164\",\"replay_token\":\"sess.2\"}");
   EXPECT_EQ(backend.stats().puts, 2u);
+  EXPECT_EQ(service.replay_hits(), 1u);
+}
+
+TEST(ChaosTest, ShedRequestReleasesReplayLedgerClaim) {
+  // Overload regression: a replayable request whose token was CLAIMED by
+  // the ledger and which is then shed with kResourceExhausted must release
+  // the claim. If the shed answer were recorded, every retry of the token
+  // would be answered "overloaded" forever; if the claim were merely
+  // abandoned, the client's retransmit would wedge behind the ledger
+  // condvar waiting for a response that will never be recorded.
+  auto inner = std::make_unique<ForkBaseEngine>();
+  ForkBaseEngine* backend = inner.get();
+  auto faulty = std::make_unique<FaultyEngine>(std::move(inner), nullptr);
+  FaultyEngine* engine = faulty.get();
+  StorageEngineService service(std::move(faulty));
+
+  const std::string request =
+      wire::EncodePutRequest("artifact/shed", "payload", "sess.shed");
+
+  engine->set_shed(true);
+  const std::string shed_response = service.Handle(request);
+  std::string_view rest;
+  const Status shed_status = wire::DecodeResponseStatus(shed_response, &rest);
+  ASSERT_FALSE(shed_status.ok());
+  EXPECT_TRUE(shed_status.IsResourceExhausted()) << shed_status;
+  EXPECT_EQ(backend->stats().puts, 0u);
+
+  // The retry (bit-identical retransmit, same token) must re-execute and
+  // succeed promptly — not block, not replay the shed answer.
+  engine->set_shed(false);
+  const std::string retry_response = service.Handle(request);
+  EXPECT_TRUE(wire::DecodeResponseStatus(retry_response, &rest).ok());
+  EXPECT_EQ(backend->stats().puts, 1u);
+  EXPECT_EQ(backend->Versions("artifact/shed").size(), 1u);
+  EXPECT_EQ(service.replay_hits(), 0u);  // the shed answer was never recorded
+
+  // And the token behaves as a NORMAL replay token from here on.
+  const std::string duplicate = service.Handle(request);
+  EXPECT_EQ(duplicate, retry_response);
+  EXPECT_EQ(backend->stats().puts, 1u);
+  EXPECT_EQ(service.replay_hits(), 1u);
+
+  // The JSON fallback path sheds and releases identically.
+  engine->set_shed(true);
+  const std::string json_request =
+      "{\"method\":\"put\",\"key\":\"artifact/shed-json\","
+      "\"data\":\"7061796c6f6164\",\"replay_token\":\"sess.shed2\"}";
+  const std::string json_shed = service.Handle(json_request);
+  EXPECT_NE(json_shed.find("\"ok\":false"), std::string::npos) << json_shed;
+  EXPECT_NE(json_shed.find("\"code\":12"), std::string::npos) << json_shed;
+  engine->set_shed(false);
+  const std::string json_retry = service.Handle(json_request);
+  EXPECT_NE(json_retry.find("\"ok\":true"), std::string::npos) << json_retry;
+  EXPECT_EQ(backend->stats().puts, 2u);
   EXPECT_EQ(service.replay_hits(), 1u);
 }
 

@@ -66,10 +66,13 @@ HIGHER_IS_BETTER = ("speedup", "keys_per_s")
 #   * bench_micro_rebalance counters, deterministic under a fixed key set
 #     and ring (migrated_keys must never drop: fewer keys moved for the
 #     same topology change means the planner stopped seeing keys it owns;
-#     lost_keys / leaver_residue must stay zero).
+#     lost_keys / leaver_residue must stay zero);
+#   * bench_overload_suite counters (deadline_overruns: a request that
+#     resolved — even typed — after deadline+epsilon is a propagation bug,
+#     never noise).
 EXACT_LOWER_IS_BETTER = (
     "typed_failures", "hangs", "wrong_winners", "staged_residue",
-    "lost_keys", "leaver_residue",
+    "lost_keys", "leaver_residue", "deadline_overruns",
 )
 EXACT_HIGHER_IS_BETTER = (
     "recovered_merges", "recovered_transactions", "migrated_keys",

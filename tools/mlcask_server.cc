@@ -48,6 +48,7 @@ int Usage(const char* argv0) {
                "usage: %s --endpoint <unix:/path | tcp:host:port> "
                "[--backend forkbase|localdir] [--workers N] "
                "[--chunk-threshold BYTES] [--chunk-cache BYTES] "
+               "[--max-queued-jobs N] [--max-queued-bytes BYTES] "
                "[--fault-spec SPEC] [--data-dir DIR]\n",
                argv0);
   return 2;
@@ -97,6 +98,18 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(arg, "--chunk-cache=", 14) == 0) {
       server_options.chunk_cache_bytes =
           static_cast<size_t>(std::strtoull(arg + 14, nullptr, 10));
+    } else if (std::strcmp(arg, "--max-queued-jobs") == 0) {
+      server_options.max_queued_jobs = static_cast<size_t>(
+          std::strtoull(value("--max-queued-jobs"), nullptr, 10));
+    } else if (std::strncmp(arg, "--max-queued-jobs=", 18) == 0) {
+      server_options.max_queued_jobs =
+          static_cast<size_t>(std::strtoull(arg + 18, nullptr, 10));
+    } else if (std::strcmp(arg, "--max-queued-bytes") == 0) {
+      server_options.max_queued_bytes = static_cast<size_t>(
+          std::strtoull(value("--max-queued-bytes"), nullptr, 10));
+    } else if (std::strncmp(arg, "--max-queued-bytes=", 19) == 0) {
+      server_options.max_queued_bytes =
+          static_cast<size_t>(std::strtoull(arg + 19, nullptr, 10));
     } else if (std::strcmp(arg, "--fault-spec") == 0) {
       fault_spec = value("--fault-spec");
     } else if (std::strncmp(arg, "--fault-spec=", 13) == 0) {
@@ -182,5 +195,20 @@ int main(int argc, char** argv) {
     ::usleep(50 * 1000);
   }
   (*server)->Shutdown();
+  // Final stats line, SIGINT and SIGTERM alike: one parseable record of the
+  // shard's whole life for launchers, CI logs, and operators tailing the
+  // output — connection totals plus the overload ledger (what was shed at
+  // admission, what expired in queue, how deep the queue ever got).
+  std::printf(
+      "STOPPED %s connections=%llu shed_jobs=%llu expired_jobs=%llu "
+      "peak_queued_jobs=%llu peak_queued_bytes=%llu replay_hits=%llu\n",
+      (*server)->endpoint().c_str(),
+      static_cast<unsigned long long>((*server)->connections_accepted()),
+      static_cast<unsigned long long>((*server)->shed_jobs()),
+      static_cast<unsigned long long>((*server)->expired_jobs()),
+      static_cast<unsigned long long>((*server)->peak_queued_jobs()),
+      static_cast<unsigned long long>((*server)->peak_queued_bytes()),
+      static_cast<unsigned long long>(service.replay_hits()));
+  std::fflush(stdout);
   return 0;
 }
