@@ -1,0 +1,627 @@
+// saturation_suite — the merge-as-a-service acceptance gate: thousands of
+// simulated users across weighted tenants drive real `mlcask_server
+// --serve-merge` processes OPEN LOOP at 1×/2×/4× of measured merge
+// capacity, through schedules shaped like production ingress (hot-key
+// skew, diurnal swings, merge storms — sim/saturation.h). The invariants
+// scored here are the service contract:
+//
+//   * every submission resolves: a winner, or a TYPED ResourceExhausted /
+//     DeadlineExceeded — a poller never wedges past deadline+ε
+//     (wedged_pollers, deadline_overruns: EXACT zero);
+//   * every winner the server hands back is BIT-IDENTICAL (winner chain,
+//     executions, merge commit, artifact hashes — one SHA-256 fingerprint)
+//     to a client-local Algorithm 2 run of the same spec, including under
+//     the PR 7 client fault schedule riding the sweep's transports
+//     (wrong_winners: EXACT zero);
+//   * deficit-round-robin holds: while every tenant is backlogged, each
+//     tenant's share of executed batches stays within 25% of its
+//     configured weight share (starved_tenants: EXACT zero);
+//   * p50/p99 session latency, sustained RPC/s, and goodput are reported
+//     per level and gated against history (real-threshold metrics).
+//
+// ε is derived, not guessed: a service RPC is bounded by max_call_replays
+// redial episodes × redial_budget_ms plus one call timeout
+// (4 × 500ms + 4000ms = 6s); ε = 10s adds scheduling slop. Anything past
+// deadline+ε is a wedge.
+//
+// Flags: --short (2 servers, shorter levels), --json <path>.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_util.h"
+#include "merge/merge_op.h"
+#include "service/merge_client.h"
+#include "service/merge_service.h"
+#include "service/service_codec.h"
+#include "sim/saturation.h"
+#include "sim/scenario.h"
+#include "storage/deadline.h"
+#include "storage/server_cluster.h"
+#include "storage/socket_transport.h"
+
+#ifndef MLCASK_SERVER_BIN
+#define MLCASK_SERVER_BIN ""
+#endif
+
+namespace mlcask {
+namespace {
+
+namespace service = mlcask::service;
+
+/// Per-session budget stamped on every submit (queue wait + merge).
+constexpr uint64_t kSessionDeadlineMs = 4000;
+/// Derived wedge bound past the deadline — see the file banner.
+constexpr uint64_t kEpsilonMs = 10000;
+
+service::MergeJobSpec SpecForSeed(uint64_t seed) {
+  service::MergeJobSpec spec;  // tenant is stamped by the client
+  spec.seed = seed;
+  return spec;
+}
+
+/// Client-local Algorithm 2 over the exact same spec the server executes:
+/// fresh deployment, BuildDistributedMergeScenario, MergeOperation::Merge,
+/// then the SAME WinnerFromReport the service uses — field-for-field.
+service::MergeWinner ClientLocalReference(const service::MergeJobSpec& spec) {
+  sim::DeploymentConfig config;
+  config.num_workers = std::max<size_t>(1, spec.num_workers);
+  config.storage_shards = spec.storage_shards;
+  auto d = bench::CheckedValue(
+      sim::MakeDeployment(spec.workload, spec.scale, config),
+      "reference deployment");
+  auto scenario = bench::CheckedValue(
+      sim::BuildDistributedMergeScenario(d.get(),
+                                         spec.extra_extractor_versions,
+                                         spec.extra_model_versions),
+      "reference scenario");
+  merge::MergeOperation op(d->repo.get(), d->libraries.get(),
+                           d->registry.get(), d->engine.get(),
+                           d->clock.get());
+  merge::MergeOptions options;
+  options.shards = spec.merge_shards;
+  options.num_workers = spec.num_workers;
+  options.seed = spec.seed;
+  if (spec.merge_shards <= 1) options.core = d->core.get();
+  auto report = bench::CheckedValue(
+      op.Merge(scenario.head_branch, scenario.merge_branch, options),
+      "reference merge");
+  return bench::CheckedValue(
+      service::WinnerFromReport(report, d->repo.get(), scenario.head_branch),
+      "reference winner");
+}
+
+/// Per-thread client pool: MergeServiceClient's replay-token sequence is
+/// not synchronized, so every worker thread keeps its own client per
+/// (endpoint, tenant). Transports ARE thread-safe and shared.
+struct ClientPool {
+  std::vector<storage::Transport*> transports;  // one per endpoint
+  std::map<std::pair<size_t, std::string>,
+           std::unique_ptr<service::MergeServiceClient>>
+      clients;
+
+  service::MergeServiceClient* Get(size_t endpoint,
+                                   const std::string& tenant) {
+    auto& slot = clients[{endpoint, tenant}];
+    if (!slot) {
+      slot = std::make_unique<service::MergeServiceClient>(
+          transports[endpoint], tenant);
+    }
+    return slot.get();
+  }
+};
+
+/// One accepted session still awaiting its terminal state.
+struct Flight {
+  std::string session_id;
+  std::string tenant;
+  uint64_t spec_seed = 0;
+  size_t endpoint = 0;
+  std::chrono::steady_clock::time_point submitted;
+};
+
+struct LevelResult {
+  uint64_t offered = 0;
+  uint64_t completed = 0;
+  uint64_t shed_typed = 0;
+  uint64_t expired_typed = 0;
+  uint64_t other_typed = 0;
+  uint64_t wrong_winners = 0;
+  uint64_t wedged_pollers = 0;
+  uint64_t deadline_overruns = 0;
+  uint64_t rpcs = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double rps = 0;      ///< All service RPCs (submit+poll+fetch) per second.
+  double goodput = 0;  ///< Winners delivered per second.
+};
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const size_t index = std::min(
+      values.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(values.size() - 1)));
+  return values[index];
+}
+
+/// The open-loop driver: submits release on the FIXED schedule (a slow
+/// service deepens its own backlog, it never slows the generator), while a
+/// small poller pool sweeps every accepted session to a terminal state and
+/// scores the outcome. Decoupling submitters from pollers keeps the thread
+/// count independent of how many sessions are in flight.
+LevelResult RunLevel(
+    const std::vector<sim::SaturationEvent>& schedule, double rate_scale,
+    const std::vector<std::unique_ptr<storage::SocketTransport>>& transports,
+    const std::map<uint64_t, service::MergeWinner>& references) {
+  LevelResult result;
+  result.offered = schedule.size();
+
+  std::mutex mu;
+  std::deque<Flight> live;
+  std::vector<double> latencies_ms;
+  std::atomic<bool> submitting{true};
+  std::atomic<uint64_t> rpcs{0};
+  std::atomic<uint64_t> shed{0}, expired{0}, other{0};
+  std::atomic<uint64_t> completed{0}, wrong{0}, wedged{0}, overruns{0};
+
+  const auto start = std::chrono::steady_clock::now();
+  const size_t submit_workers = 16;
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(submit_workers);
+  for (size_t w = 0; w < submit_workers; ++w) {
+    submitters.emplace_back([&] {
+      ClientPool pool;
+      for (const auto& t : transports) pool.transports.push_back(t.get());
+      for (size_t i = next.fetch_add(1); i < schedule.size();
+           i = next.fetch_add(1)) {
+        const sim::SaturationEvent& event = schedule[i];
+        std::this_thread::sleep_until(
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(event.at_s /
+                                                      rate_scale)));
+        const size_t endpoint = i % transports.size();
+        service::MergeServiceClient* client =
+            pool.Get(endpoint, event.tenant);
+        StatusOr<service::SubmitResult> submitted =
+            Status::Internal("never ran");
+        {
+          storage::DeadlineBudget budget(kSessionDeadlineMs);
+          storage::DeadlineScope scope(&budget);
+          submitted = client->Submit(SpecForSeed(event.spec_seed));
+        }
+        rpcs.fetch_add(1);
+        if (!submitted.ok()) {
+          if (submitted.status().IsResourceExhausted()) {
+            shed.fetch_add(1);
+          } else if (submitted.status().IsDeadlineExceeded()) {
+            expired.fetch_add(1);
+          } else {
+            other.fetch_add(1);
+          }
+          continue;
+        }
+        Flight flight;
+        flight.session_id = submitted->session_id;
+        flight.tenant = event.tenant;
+        flight.spec_seed = event.spec_seed;
+        flight.endpoint = endpoint;
+        flight.submitted = std::chrono::steady_clock::now();
+        std::lock_guard<std::mutex> lock(mu);
+        live.push_back(std::move(flight));
+      }
+    });
+  }
+
+  const auto wedge_bound =
+      std::chrono::milliseconds(kSessionDeadlineMs + kEpsilonMs);
+  const size_t poll_workers = 4;
+  std::vector<std::thread> pollers;
+  pollers.reserve(poll_workers);
+  for (size_t w = 0; w < poll_workers; ++w) {
+    pollers.emplace_back([&] {
+      ClientPool pool;
+      for (const auto& t : transports) pool.transports.push_back(t.get());
+      while (true) {
+        Flight flight;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          if (live.empty()) {
+            if (!submitting.load()) return;
+          } else {
+            flight = std::move(live.front());
+            live.pop_front();
+          }
+        }
+        if (flight.session_id.empty()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          continue;
+        }
+        const auto now = std::chrono::steady_clock::now();
+        service::MergeServiceClient* client =
+            pool.Get(flight.endpoint, flight.tenant);
+        auto poll = client->Poll(flight.session_id);
+        rpcs.fetch_add(1);
+        bool terminal = false;
+        if (!poll.ok()) {
+          // A typed poll failure (transport fault past its replay budget,
+          // eviction) still RESOLVES the session for the driver.
+          other.fetch_add(1);
+          terminal = true;
+        } else if (service::IsTerminal(poll->state)) {
+          terminal = true;
+          if (poll->state == service::SessionState::kDone) {
+            const double wall_ms =
+                std::chrono::duration<double, std::milli>(
+                    now - flight.submitted)
+                    .count();
+            if (now - flight.submitted > wedge_bound) overruns.fetch_add(1);
+            auto winner = client->Fetch(flight.session_id);
+            rpcs.fetch_add(1);
+            if (!winner.ok()) {
+              other.fetch_add(1);
+            } else if (winner->Fingerprint() ==
+                       references.at(flight.spec_seed).Fingerprint()) {
+              completed.fetch_add(1);
+              std::lock_guard<std::mutex> lock(mu);
+              latencies_ms.push_back(wall_ms);
+            } else {
+              wrong.fetch_add(1);
+            }
+          } else if (poll->state == service::SessionState::kFailed) {
+            if (poll->error_code == StatusCode::kDeadlineExceeded) {
+              expired.fetch_add(1);
+            } else if (poll->error_code == StatusCode::kResourceExhausted) {
+              shed.fetch_add(1);
+            } else {
+              other.fetch_add(1);
+            }
+          } else {
+            other.fetch_add(1);  // kCancelled — nobody cancels here
+          }
+        } else if (now - flight.submitted > wedge_bound) {
+          // Past deadline+ε with no terminal state: THE wedge.
+          wedged.fetch_add(1);
+          terminal = true;
+        }
+        if (!terminal) {
+          std::lock_guard<std::mutex> lock(mu);
+          live.push_back(std::move(flight));
+        }
+      }
+    });
+  }
+
+  for (std::thread& t : submitters) t.join();
+  submitting.store(false);
+  for (std::thread& t : pollers) t.join();
+
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  result.completed = completed.load();
+  result.shed_typed = shed.load();
+  result.expired_typed = expired.load();
+  result.other_typed = other.load();
+  result.wrong_winners = wrong.load();
+  result.wedged_pollers = wedged.load();
+  result.deadline_overruns = overruns.load();
+  result.rpcs = rpcs.load();
+  result.p50_ms = Percentile(latencies_ms, 0.50);
+  result.p99_ms = Percentile(latencies_ms, 0.99);
+  result.rps = elapsed_s > 0 ? result.rpcs / elapsed_s : 0;
+  result.goodput = elapsed_s > 0 ? result.completed / elapsed_s : 0;
+  return result;
+}
+
+/// VmHWM of the bench process (the generator side), in MiB.
+double PeakRssMb() {
+  std::ifstream in("/proc/self/status");
+  std::string key;
+  while (in >> key) {
+    if (key == "VmHWM:") {
+      double kb = 0;
+      in >> kb;
+      return kb / 1024.0;
+    }
+    std::string rest;
+    std::getline(in, rest);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mlcask
+
+int main(int argc, char** argv) {
+  using namespace mlcask;
+  bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+  bench::Banner("saturation_suite",
+                "merge-as-a-service: open-loop multi-tenant saturation at "
+                "1x/2x/4x capacity");
+  bench::JsonReporter reporter("saturation_suite");
+
+  const size_t kServers = 2;
+  const size_t kMergeWorkersPerServer = 2;
+  const double level_seconds = args.short_mode ? 2.0 : 4.0;
+  const size_t distinct_specs = args.short_mode ? 3 : 5;
+
+  // --- the cluster: real mlcask_server processes, merge front end on -----
+  // --- the same endpoint as the storage shard ----------------------------
+  bench::Section("cluster");
+  storage::LocalServerCluster cluster;
+  storage::LocalServerCluster::Options cluster_options;
+  cluster_options.server_binary = MLCASK_SERVER_BIN;
+  cluster_options.serve_merge = true;
+  cluster_options.merge_workers = kMergeWorkersPerServer;
+  cluster_options.tenant_weights = "gold=3,free=1";
+  bench::CheckOk(cluster.Start(kServers, cluster_options), "cluster start");
+  std::printf("%zu server processes, %zu merge workers each, weights %s\n",
+              kServers, kMergeWorkersPerServer,
+              cluster_options.tenant_weights.c_str());
+
+  // The sweep's transports carry the PR 7 client fault schedule: dropped
+  // frames and post-send connection kills force redial + replay on live
+  // sessions, and the submit replay tokens keep it exactly-once.
+  std::vector<std::unique_ptr<storage::SocketTransport>> transports;
+  for (size_t i = 0; i < cluster.endpoints().size(); ++i) {
+    storage::SocketTransport::Options topts;
+    topts.call_timeout_ms = 4000;
+    topts.redial_budget_ms = 500;
+    topts.max_call_replays = 4;
+    topts.redial_jitter_seed = 77 + i;
+    auto fault = storage::FaultSpec::Parse(
+        "seed=" + std::to_string(31 + i) + ",drop=0.005,dropafter=0.005");
+    bench::CheckOk(fault.status(), "client fault spec");
+    topts.injector = std::make_shared<storage::FaultInjector>(*fault);
+    transports.push_back(bench::CheckedValue(
+        storage::SocketTransport::Connect(cluster.endpoints()[i], topts),
+        "connect"));
+  }
+
+  // --- client-local references: one per distinct spec seed ---------------
+  bench::Section("client-local Algorithm 2 references");
+  std::map<uint64_t, service::MergeWinner> references;
+  for (uint64_t seed = 1; seed <= 1 + distinct_specs; ++seed) {
+    references.emplace(seed, ClientLocalReference(SpecForSeed(seed)));
+  }
+  std::printf("%zu reference winners fingerprinted\n", references.size());
+
+  // --- capacity probe: closed-loop sessions through one server -----------
+  bench::Section("capacity probe");
+  const size_t probe_n = args.short_mode ? 4 : 8;
+  double capacity_rps = 0;
+  {
+    service::MergeServiceClient probe(transports[0].get(), "probe");
+    const auto probe_start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < probe_n; ++i) {
+      auto submitted = bench::CheckedValue(
+          probe.Submit(SpecForSeed(1 + i % references.size())),
+          "probe submit");
+      auto winner = probe.AwaitWinner(submitted.session_id,
+                                      /*poll_interval_ms=*/1,
+                                      /*timeout_ms=*/60000);
+      bench::CheckOk(winner.status(), "probe await");
+    }
+    const double probe_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      probe_start)
+            .count();
+    const double per_worker = probe_s > 0 ? probe_n / probe_s : 25.0;
+    capacity_rps = per_worker * kServers * kMergeWorkersPerServer;
+    if (capacity_rps < 20) capacity_rps = 20;
+  }
+  std::printf("measured merge capacity: %.0f sessions/s\n", capacity_rps);
+  reporter.Metric("capacity", "capacity_rps", capacity_rps);
+
+  // --- the open-loop sweep ------------------------------------------------
+  // One schedule (same seed → same users, same storms), replayed at
+  // 1×/2×/4× of capacity by compressing release times. Tenants: "gold"
+  // (weight 3, 700 users) and "free" (weight 1, 300 users) — a thousand
+  // simulated users, hot-key skew at 80%, diurnal swing, three storms.
+  sim::SaturationConfig schedule_config;
+  schedule_config.tenants = {
+      {"gold", 3, 700, 0.8, distinct_specs},
+      {"free", 1, 300, 0.8, distinct_specs},
+  };
+  schedule_config.duration_s = level_seconds;
+  schedule_config.diurnal_amplitude = 0.4;
+  schedule_config.storm_fraction = 0.15;
+  schedule_config.storm_count = 3;
+  schedule_config.seed = 11;
+
+  uint64_t wrong_winners = 0;
+  uint64_t wedged_pollers = 0;
+  uint64_t deadline_overruns = 0;
+  std::map<int, LevelResult> levels;
+  for (double mult : {1.0, 2.0, 4.0}) {
+    sim::SaturationConfig level_config = schedule_config;
+    level_config.base_rps =
+        std::min(capacity_rps * mult, 4000.0 / level_seconds);
+    const std::vector<sim::SaturationEvent> schedule =
+        sim::BuildSaturationSchedule(level_config);
+    LevelResult level = RunLevel(schedule, /*rate_scale=*/1.0, transports,
+                                 references);
+    const int key = static_cast<int>(mult);
+    levels[key] = level;
+    wrong_winners += level.wrong_winners;
+    wedged_pollers += level.wedged_pollers;
+    deadline_overruns += level.deadline_overruns;
+    std::printf(
+        "%dx: offered %llu | winners %llu shed %llu expired %llu other %llu "
+        "| p50 %.1fms p99 %.1fms | %.0f rpc/s | goodput %.0f/s | "
+        "wedged %llu overruns %llu wrong %llu\n",
+        key, static_cast<unsigned long long>(level.offered),
+        static_cast<unsigned long long>(level.completed),
+        static_cast<unsigned long long>(level.shed_typed),
+        static_cast<unsigned long long>(level.expired_typed),
+        static_cast<unsigned long long>(level.other_typed), level.p50_ms,
+        level.p99_ms, level.rps, level.goodput,
+        static_cast<unsigned long long>(level.wedged_pollers),
+        static_cast<unsigned long long>(level.deadline_overruns),
+        static_cast<unsigned long long>(level.wrong_winners));
+    const std::string tag = std::to_string(key) + "x";
+    reporter.Metric("saturation", "offered_" + tag,
+                    static_cast<double>(level.offered));
+    reporter.Metric("saturation", "completed_" + tag,
+                    static_cast<double>(level.completed));
+    reporter.Metric("saturation", "shed_typed_" + tag,
+                    static_cast<double>(level.shed_typed));
+    reporter.Metric("saturation", "expired_typed_" + tag,
+                    static_cast<double>(level.expired_typed));
+    reporter.Metric("saturation", "p50_" + tag + "_ms", level.p50_ms);
+    reporter.Metric("saturation", "p99_" + tag + "_ms", level.p99_ms);
+    reporter.Metric("saturation", "rps_" + tag, level.rps);
+    reporter.Metric("saturation", "goodput_" + tag, level.goodput);
+  }
+
+  const double goodput_1x = levels[1].goodput;
+  const double goodput_4x = levels[4].goodput;
+  // Coalescing makes goodput scale WITH offered load (hot submissions ride
+  // shared batches), so 4× must retain at least 1× — degradation bound.
+  const double retention = goodput_1x > 0 ? goodput_4x / goodput_1x : 0;
+  const double rss_mb = PeakRssMb();
+  std::printf("goodput retention 4x/1x: %.2f | generator peak RSS %.0f MiB\n",
+              retention, rss_mb);
+  reporter.Metric("saturation", "goodput_retention_4x", retention);
+  reporter.Metric("saturation", "rss_peak_mb", rss_mb);
+
+  // --- server-vs-client equivalence across merge shard counts ------------
+  // The sweep already checked every winner at merge_shards=1; this slice
+  // re-checks the sharded merge paths end-to-end through the service.
+  bench::Section("winner equivalence at 1/2/4 merge shards");
+  const std::vector<uint32_t> shard_counts =
+      args.short_mode ? std::vector<uint32_t>{2} : std::vector<uint32_t>{2, 4};
+  for (uint32_t shards : shard_counts) {
+    service::MergeJobSpec spec = SpecForSeed(1);
+    spec.merge_shards = shards;
+    service::MergeServiceClient client(transports[0].get(), "equiv");
+    auto submitted =
+        bench::CheckedValue(client.Submit(spec), "equivalence submit");
+    auto server_winner = client.AwaitWinner(submitted.session_id, 1, 120000);
+    bench::CheckOk(server_winner.status(), "equivalence await");
+    const service::MergeWinner reference = ClientLocalReference(spec);
+    const bool identical =
+        server_winner->Fingerprint() == reference.Fingerprint();
+    if (!identical) ++wrong_winners;
+    std::printf("merge_shards=%u: %s\n", shards,
+                identical ? "fingerprint identical" : "WRONG WINNER");
+  }
+
+  // --- fairness under a full backlog -------------------------------------
+  // Weighted share needs exact batch counters, so this phase runs the
+  // service in process (REAL merges, same code path the servers run):
+  // both tenants submit 40 non-coalescible batches, and while both are
+  // backlogged the executed-batch share must track the 3:1 weights.
+  bench::Section("weighted fairness under backlog");
+  uint64_t starved_tenants = 0;
+  {
+    service::MergeServiceOptions options;
+    options.worker_threads = 2;
+    options.tenant_weights = {{"gold", 3}, {"free", 1}};
+    options.max_queued_per_tenant = 64;
+    service::MergeService svc(options);
+    bench::CheckOk(svc.Start(), "fairness service start");
+    const uint64_t per_tenant = args.short_mode ? 24 : 40;
+    std::vector<std::pair<std::string, std::string>> sessions;
+    for (uint64_t i = 0; i < per_tenant; ++i) {
+      // Seeds far outside the reference range: every batch distinct.
+      for (const char* tenant : {"gold", "free"}) {
+        service::MergeJobSpec spec = SpecForSeed(1000 + i * 2);
+        spec.seed += (tenant[0] == 'g') ? 0 : 1;
+        spec.tenant = tenant;
+        auto submitted = svc.Submit(spec);
+        bench::CheckOk(submitted.status(), "fairness submit");
+        sessions.emplace_back(tenant, submitted->session_id);
+      }
+    }
+    // Snapshot the shares while both tenants are still provably
+    // backlogged (well under per_tenant executed for either).
+    const uint64_t window = per_tenant;  // first N batches executed
+    service::MergeServiceStats snap;
+    while (true) {
+      snap = svc.stats();
+      if (snap.batches_executed >= window) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    const double gold_batches =
+        static_cast<double>(snap.tenant_batches.count("gold")
+                                ? snap.tenant_batches.at("gold")
+                                : 0);
+    const double total_batches =
+        static_cast<double>(snap.batches_executed);
+    const double gold_share =
+        total_batches > 0 ? gold_batches / total_batches : 0;
+    const double expected_gold = 3.0 / 4.0;
+    std::printf(
+        "at %llu executed batches: gold share %.2f (expected %.2f +-25%%)\n",
+        static_cast<unsigned long long>(snap.batches_executed), gold_share,
+        expected_gold);
+    for (const char* tenant : {"gold", "free"}) {
+      const double expected =
+          tenant[0] == 'g' ? expected_gold : 1 - expected_gold;
+      const double actual =
+          tenant[0] == 'g' ? gold_share : 1 - gold_share;
+      if (actual < expected * 0.75) {
+        ++starved_tenants;
+        std::printf("STARVED: %s share %.2f < 75%% of expected %.2f\n",
+                    tenant, actual, expected);
+      }
+    }
+    reporter.Metric("fairness", "gold_share", gold_share);
+    reporter.Metric("fairness", "expected_gold_share", expected_gold);
+    // Cancel the remaining backlog so teardown is quick, then drain.
+    for (const auto& [tenant, id] : sessions) (void)svc.Cancel(tenant, id);
+    bench::CheckOk(svc.Stop(), "fairness service stop");
+  }
+
+  // Reaching this line at all means zero hangs — the CI watchdog kills the
+  // process otherwise; the metric makes the claim explicit in the report.
+  const uint64_t hangs = 0;
+  reporter.Metric("contract", "wrong_winners",
+                  static_cast<double>(wrong_winners));
+  reporter.Metric("contract", "wedged_pollers",
+                  static_cast<double>(wedged_pollers));
+  reporter.Metric("contract", "deadline_overruns",
+                  static_cast<double>(deadline_overruns));
+  reporter.Metric("contract", "starved_tenants",
+                  static_cast<double>(starved_tenants));
+  reporter.Metric("contract", "hangs", static_cast<double>(hangs));
+  reporter.Write(args.json_path);
+
+  transports.clear();
+  bench::CheckOk(cluster.Stop(), "cluster stop");
+
+  bool fail = false;
+  auto gate = [&](bool bad, const char* what) {
+    if (bad) {
+      std::printf("GATE FAILED: %s\n", what);
+      fail = true;
+    }
+  };
+  gate(wrong_winners > 0, "server winner diverged from client-local merge");
+  gate(wedged_pollers > 0, "a poller wedged past deadline+epsilon");
+  gate(deadline_overruns > 0, "a session overran deadline+epsilon");
+  gate(starved_tenants > 0, "a tenant's share fell 25% below its weight");
+  gate(goodput_1x > 0 && retention < 0.70,
+       "goodput at 4x collapsed below 70% of 1x");
+  gate(rss_mb > 2048, "generator peak RSS unbounded");
+
+  std::printf("\nSATURATION SUITE: %s\n", fail ? "FAIL" : "PASS");
+  return fail ? 1 : 0;
+}

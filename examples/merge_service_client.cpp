@@ -1,0 +1,125 @@
+// Merge as a service, end to end: start a MergeService + MergeFrontend on a
+// real Unix-domain socket (the exact combined endpoint `mlcask_server
+// --serve-merge` exposes), then walk the full session protocol as a client —
+// submit Algorithm 2 to the SERVER, watch it through the queue, fetch the
+// fingerprint-verified winner, and see tenant isolation and idempotent
+// replay in action.
+//
+// Run: ./build/example_merge_service_client
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "service/merge_client.h"
+#include "service/merge_frontend.h"
+#include "service/merge_service.h"
+#include "storage/socket_transport.h"
+
+using namespace mlcask;
+
+namespace {
+
+void Check(const Status& s, const char* what) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Merge as a service: server-side sessions over one socket\n");
+  std::printf("========================================================\n\n");
+
+  // --- server side: exactly what `mlcask_server --serve-merge` wires ------
+  // A MergeService (worker pool + DRR scheduler + session table) behind a
+  // stateless MergeFrontend, sharing one socket endpoint. Requests with
+  // opcode >= 32 are merge-service RPCs; anything else would fall through
+  // to the storage service on a combined endpoint.
+  service::MergeServiceOptions options;
+  options.worker_threads = 2;
+  options.tenant_weights = {{"alice", 3}, {"bob", 1}};
+  service::MergeService merge_service(options);
+  Check(merge_service.Start(), "MergeService::Start");
+  service::MergeFrontend frontend(&merge_service);
+
+  const std::string path =
+      "/tmp/mlcask-example-merge-" + std::to_string(::getpid()) + ".sock";
+  auto server = storage::SocketTransportServer::Bind("unix:" + path);
+  Check(server.status(), "Bind");
+  Check((*server)->Serve([&frontend](std::string_view request) {
+    return frontend.Handle(request);
+  }),
+        "Serve");
+  std::printf("serving merge sessions on %s\n\n", (*server)->endpoint().c_str());
+
+  // --- client side ---------------------------------------------------------
+  auto transport = storage::SocketTransport::Connect((*server)->endpoint());
+  Check(transport.status(), "Connect");
+  service::MergeServiceClient alice(transport->get(), "alice");
+
+  // Submit: the server builds the deployment, runs the metric-driven merge
+  // (Algorithm 2), and parks the result in a session. The spec is small —
+  // workload, scale, version fan-out, shard count — not the data itself.
+  service::MergeJobSpec spec;
+  spec.workload = "readmission";
+  spec.scale = 0.06;
+  spec.merge_shards = 1;
+  auto submitted = alice.Submit(spec);
+  Check(submitted.status(), "Submit");
+  std::printf("alice submitted: session %s\n", submitted->session_id.c_str());
+
+  // Poll: QUEUED -> RUNNING -> DONE, never a wedge — a session that missed
+  // its deadline or was shed resolves with a typed error instead.
+  auto poll = alice.Poll(submitted->session_id);
+  Check(poll.status(), "Poll");
+  std::printf("state now: %s (queued ahead: %llu)\n",
+              service::SessionStateName(poll->state),
+              static_cast<unsigned long long>(poll->queued_ahead));
+
+  // AwaitWinner = poll until terminal + fetch. The winner crosses the wire
+  // with a SHA-256 fingerprint over every field (chain, executions, commit,
+  // artifact hashes); the client re-computes and verifies it on decode.
+  auto winner = alice.AwaitWinner(submitted->session_id,
+                                  /*poll_interval_ms=*/5,
+                                  /*timeout_ms=*/120000);
+  Check(winner.status(), "AwaitWinner");
+  std::printf("\nwinner delivered and fingerprint-verified:\n");
+  std::printf("  chain       :");
+  for (const std::string& key : winner->winner_chain) {
+    std::printf(" %s", key.c_str());
+  }
+  std::printf("\n  executions  : %llu (of %llu candidates)\n",
+              static_cast<unsigned long long>(winner->component_executions),
+              static_cast<unsigned long long>(winner->candidates_considered));
+  std::printf("  best score  : %.4f\n", winner->best_score);
+  std::printf("  artifacts   : %zu content hashes\n",
+              winner->artifact_hashes.size());
+
+  // Idempotent replay: resubmitting the same spec while its batch is gone
+  // simply starts a new session, but a coalescible submit (same tenant,
+  // same spec, batch still queued) or a transport-level redial replay joins
+  // the EXISTING session instead of running the merge twice.
+  auto again = alice.Submit(spec);
+  Check(again.status(), "resubmit");
+  std::printf("\nresubmitted: session %s (coalesced=%s)\n",
+              again->session_id.c_str(), again->coalesced ? "yes" : "no");
+
+  // Tenant isolation: bob holding alice's session id learns NOTHING — the
+  // server answers NotFound exactly as if the session never existed.
+  service::MergeServiceClient bob(transport->get(), "bob");
+  auto stolen = bob.Poll(submitted->session_id);
+  std::printf("bob polling alice's session: %s\n",
+              stolen.status().ToString().c_str());
+
+  // Shutdown drains: every accepted session reaches a terminal state
+  // before Stop() returns; submits during the drain are rejected typed.
+  (*server)->Shutdown();
+  Check(merge_service.Stop(), "MergeService::Stop");
+  ::unlink(path.c_str());
+  std::printf("\nservice drained and stopped cleanly\n");
+  return 0;
+}

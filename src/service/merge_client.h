@@ -1,0 +1,54 @@
+#ifndef MLCASK_SERVICE_MERGE_CLIENT_H_
+#define MLCASK_SERVICE_MERGE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "service/service_codec.h"
+#include "storage/transport.h"
+
+namespace mlcask::service {
+
+/// Client stub for the merge service: encodes requests, rides any Transport
+/// (socket or loopback), decodes typed results. One client speaks for ONE
+/// tenant — the tenant id stamps every request, and the service answers
+/// NotFound for sessions other tenants own.
+///
+/// Submits carry a client-unique replay token, so a transport-level redial
+/// replay (lost response, killed connection) lands on the session the first
+/// delivery created instead of minting a duplicate.
+class MergeServiceClient {
+ public:
+  /// `transport` is non-owning and must outlive the client.
+  MergeServiceClient(storage::Transport* transport, std::string tenant);
+
+  const std::string& tenant() const { return tenant_; }
+
+  /// Submits `spec` under this client's tenant (spec.tenant is overridden).
+  StatusOr<SubmitResult> Submit(MergeJobSpec spec);
+
+  StatusOr<PollResult> Poll(const std::string& session_id);
+  StatusOr<MergeWinner> Fetch(const std::string& session_id);
+  StatusOr<SessionState> Cancel(const std::string& session_id);
+
+  /// Polls until the session is terminal, then fetches. kDone returns the
+  /// winner; kFailed returns the session's typed terminal status;
+  /// kCancelled returns kFailedPrecondition. `timeout_ms` bounds the wait
+  /// (0 = forever); expiry returns kDeadlineExceeded without wedging.
+  StatusOr<MergeWinner> AwaitWinner(const std::string& session_id,
+                                    uint64_t poll_interval_ms = 2,
+                                    uint64_t timeout_ms = 0);
+
+ private:
+  std::string NextReplayToken();
+
+  storage::Transport* transport_;
+  std::string tenant_;
+  std::string token_prefix_;
+  uint64_t token_seq_ = 0;
+};
+
+}  // namespace mlcask::service
+
+#endif  // MLCASK_SERVICE_MERGE_CLIENT_H_

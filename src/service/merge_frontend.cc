@@ -1,0 +1,47 @@
+#include "service/merge_frontend.h"
+
+#include "storage/wire_codec.h"
+
+namespace mlcask::service {
+
+namespace wire = mlcask::storage::wire;
+
+std::string MergeFrontend::Handle(std::string_view request) {
+  auto op = PeekServiceOp(request);
+  if (!op.ok()) return wire::EncodeErrorResponse(op.status());
+  switch (*op) {
+    case ServiceOp::kSubmitMerge: {
+      auto decoded = DecodeSubmitRequest(request);
+      if (!decoded.ok()) return wire::EncodeErrorResponse(decoded.status());
+      auto result = service_->Submit(decoded->spec, decoded->replay_token,
+                                     decoded->deadline_ms);
+      if (!result.ok()) return wire::EncodeErrorResponse(result.status());
+      return EncodeSubmitResponse(result->session_id, result->coalesced);
+    }
+    case ServiceOp::kPollMerge: {
+      auto decoded = DecodeSessionRequest(request);
+      if (!decoded.ok()) return wire::EncodeErrorResponse(decoded.status());
+      auto result = service_->Poll(decoded->tenant, decoded->session_id);
+      if (!result.ok()) return wire::EncodeErrorResponse(result.status());
+      return EncodePollResponse(*result);
+    }
+    case ServiceOp::kFetchWinner: {
+      auto decoded = DecodeSessionRequest(request);
+      if (!decoded.ok()) return wire::EncodeErrorResponse(decoded.status());
+      auto result = service_->Fetch(decoded->tenant, decoded->session_id);
+      if (!result.ok()) return wire::EncodeErrorResponse(result.status());
+      return EncodeWinnerResponse(*result);
+    }
+    case ServiceOp::kCancelMerge: {
+      auto decoded = DecodeSessionRequest(request);
+      if (!decoded.ok()) return wire::EncodeErrorResponse(decoded.status());
+      auto result = service_->Cancel(decoded->tenant, decoded->session_id);
+      if (!result.ok()) return wire::EncodeErrorResponse(result.status());
+      return EncodeCancelResponse(*result);
+    }
+  }
+  return wire::EncodeErrorResponse(
+      Status::Unimplemented("unhandled merge-service opcode"));
+}
+
+}  // namespace mlcask::service

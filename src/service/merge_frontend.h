@@ -1,0 +1,46 @@
+#ifndef MLCASK_SERVICE_MERGE_FRONTEND_H_
+#define MLCASK_SERVICE_MERGE_FRONTEND_H_
+
+#include <string>
+#include <string_view>
+
+#include "service/merge_service.h"
+#include "service/service_codec.h"
+
+namespace mlcask::service {
+
+/// Wire adapter between a transport endpoint and a MergeService: decodes
+/// service requests (opcodes >= storage::wire::kServiceOpcodeBase), calls
+/// the service, encodes the typed result. Stateless and thread-safe — the
+/// epoll server's workers call Handle concurrently; all session state lives
+/// in the MergeService.
+///
+/// A combined endpoint routes with Handles() first and falls through to the
+/// storage dispatch otherwise, so one connection multiplexes storage RPCs
+/// and merge sessions:
+///
+///   server.Serve([&](std::string_view request) {
+///     if (MergeFrontend::Handles(request)) return frontend.Handle(request);
+///     return storage_service.Handle(request);
+///   });
+class MergeFrontend {
+ public:
+  /// `service` is non-owning and must outlive the frontend.
+  explicit MergeFrontend(MergeService* service) : service_(service) {}
+
+  /// True when `request` is a binary merge-service request.
+  static bool Handles(std::string_view request) {
+    return IsServiceRequest(request);
+  }
+
+  /// Serves one request; errors come back as the storage codec's typed
+  /// error envelope (never throws, never hangs).
+  std::string Handle(std::string_view request);
+
+ private:
+  MergeService* service_;
+};
+
+}  // namespace mlcask::service
+
+#endif  // MLCASK_SERVICE_MERGE_FRONTEND_H_

@@ -1,0 +1,261 @@
+#ifndef MLCASK_SERVICE_MERGE_SERVICE_H_
+#define MLCASK_SERVICE_MERGE_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "merge/merge_op.h"
+#include "service/service_codec.h"
+#include "version/pipeline_repo.h"
+
+namespace mlcask::service {
+
+// ---------------------------------------------------------------------------
+// MergeService: Algorithm 2 as a server-side resource.
+//
+// Submissions become SESSIONS in a bounded, TTL'd table; compatible
+// submissions (same tenant, same MergeJobSpec::CacheKey) coalesce into one
+// BATCH, and a MergeScheduler drains batches through a fixed worker pool
+// under deficit-round-robin fairness across tenants. The service owns an
+// explicit lifecycle in the bscheduler pipeline_base shape —
+// initial → starting → started → stopping → stopped — where `stopping`
+// drains every accepted session to a terminal state and rejects new submits
+// typed. Deadline stamps from the wire (PR 9) ride into the session: a
+// session that cannot meet its budget resolves typed kDeadlineExceeded at
+// poll or dispatch time, so a poller can never wedge on a shed request.
+// ---------------------------------------------------------------------------
+
+/// Service lifecycle states. One-way: a stopped service never restarts.
+enum class ServiceState : uint8_t {
+  kInitial = 0,
+  kStarting = 1,
+  kStarted = 2,
+  kStopping = 3,
+  kStopped = 4,
+};
+
+const char* ServiceStateName(ServiceState state);
+
+/// One unit of scheduler work: a spec plus every session coalesced onto it.
+/// Owned by the scheduler while queued, by the executing worker while
+/// running.
+struct MergeBatch {
+  MergeJobSpec spec;
+  std::vector<std::string> session_ids;
+  bool running = false;
+};
+
+/// Per-tenant deficit-round-robin over batch queues. NOT thread-safe: the
+/// owning MergeService serializes access under its mutex. Weighted fairness
+/// holds at batch granularity — a batch is the unit of ExecutionCore work,
+/// however many coalesced sessions ride on it.
+class MergeScheduler {
+ public:
+  MergeScheduler(uint64_t default_weight,
+                 std::map<std::string, uint64_t> tenant_weights);
+
+  /// Appends a batch to its tenant's queue (creating the queue row on first
+  /// use).
+  void Enqueue(std::unique_ptr<MergeBatch> batch);
+
+  /// Pops the next batch by deficit round robin: scan tenants in ring
+  /// order, serve a tenant whose deficit covers one batch, replenish every
+  /// backlogged tenant's deficit by its weight when a full scan finds no
+  /// spender. Returns nullptr when every queue is empty.
+  std::unique_ptr<MergeBatch> PickNext();
+
+  /// The still-queued batch this spec may coalesce into, or nullptr.
+  /// Looks up by (tenant, spec.CacheKey()): never matches across tenants.
+  MergeBatch* FindCoalescible(const MergeJobSpec& spec) const;
+
+  /// How many batches sit ahead of `batch` in its tenant's queue.
+  uint64_t QueuedAhead(const MergeBatch* batch) const;
+
+  size_t queued_batches() const { return queued_batches_; }
+  size_t queued_for(const std::string& tenant) const;
+
+ private:
+  struct TenantRow {
+    std::deque<std::unique_ptr<MergeBatch>> queue;
+    uint64_t weight = 1;
+    uint64_t deficit = 0;
+  };
+
+  uint64_t WeightOf(const std::string& tenant) const;
+
+  uint64_t default_weight_;
+  std::map<std::string, uint64_t> tenant_weights_;
+  std::map<std::string, TenantRow> tenants_;
+  std::vector<std::string> ring_;  ///< Tenant visit order, first-seen.
+  size_t cursor_ = 0;
+  size_t queued_batches_ = 0;
+};
+
+struct MergeServiceOptions {
+  /// Worker threads draining batches (each runs one merge at a time).
+  size_t worker_threads = 2;
+  /// Session-table cap. When full and nothing terminal is evictable, new
+  /// submits shed typed kResourceExhausted.
+  size_t max_sessions = 4096;
+  /// Admission cap on queued batches across all tenants (PR 9 shape:
+  /// bounded queue, typed shedding — never unbounded growth under storms).
+  size_t max_queued_batches = 256;
+  /// Per-tenant queued-batch cap, so one tenant's storm cannot consume the
+  /// whole admission budget.
+  size_t max_queued_per_tenant = 64;
+  /// How long a terminal session's result stays fetchable.
+  uint64_t session_ttl_ms = 60'000;
+  /// DRR weight for tenants absent from `tenant_weights`.
+  uint64_t default_weight = 1;
+  std::map<std::string, uint64_t> tenant_weights;
+  /// Submit replay-ledger capacity (tenant-scoped idempotency tokens).
+  size_t replay_ledger_cap = 4096;
+  /// Test hook: replaces the real deployment+merge execution. The real
+  /// path builds a deployment for the spec and runs MergeOperation::Merge.
+  std::function<StatusOr<MergeWinner>(const MergeJobSpec&)> execute_override;
+};
+
+/// Monotonic service counters plus per-tenant service shares (the fairness
+/// observables the saturation bench gates).
+struct MergeServiceStats {
+  uint64_t submitted = 0;       ///< Sessions accepted (incl. coalesced).
+  uint64_t coalesced = 0;       ///< Accepted by joining a queued batch.
+  uint64_t replay_hits = 0;     ///< Submits answered from the ledger.
+  uint64_t completed = 0;       ///< Sessions resolved kDone.
+  uint64_t failed = 0;          ///< Sessions resolved kFailed (any cause).
+  uint64_t cancelled = 0;
+  uint64_t shed = 0;            ///< Submits rejected kResourceExhausted.
+  uint64_t expired = 0;         ///< Sessions resolved kDeadlineExceeded.
+  uint64_t batches_executed = 0;
+  size_t sessions_open = 0;     ///< Non-terminal sessions right now.
+  size_t sessions_tracked = 0;  ///< Table size right now.
+  size_t queued_batches = 0;
+  /// Batches executed per tenant — the DRR service share.
+  std::map<std::string, uint64_t> tenant_batches;
+  /// Sessions resolved kDone per tenant.
+  std::map<std::string, uint64_t> tenant_completed;
+};
+
+class MergeService {
+ public:
+  explicit MergeService(MergeServiceOptions options = {});
+  ~MergeService();  ///< Stops (draining) if still running.
+
+  MergeService(const MergeService&) = delete;
+  MergeService& operator=(const MergeService&) = delete;
+
+  /// kInitial → kStarting → kStarted: spawns the worker pool. Any other
+  /// starting state answers kFailedPrecondition (double-start included).
+  Status Start();
+
+  /// kStarted → kStopping → kStopped: rejects new submits typed, drains
+  /// every queued batch (accepted sessions all reach a terminal state),
+  /// joins the workers. Idempotent: Stop on kStopped/kInitial returns Ok;
+  /// a concurrent Stop blocks until the peer's drain finishes.
+  Status Stop();
+
+  ServiceState state() const;
+
+  /// Creates (or replays, per tenant-scoped token) a session. The returned
+  /// SubmitResult::coalesced marks a join onto an already-queued compatible
+  /// batch. `deadline_ms` is the caller's remaining budget (0 = none).
+  StatusOr<SubmitResult> Submit(const MergeJobSpec& spec,
+                                std::string_view replay_token = {},
+                                uint64_t deadline_ms = 0);
+
+  /// Session state + progress. `tenant` is the caller's identity: a live
+  /// session owned by another tenant answers kNotFound, exactly like a
+  /// session that never existed.
+  StatusOr<PollResult> Poll(std::string_view tenant,
+                            std::string_view session_id);
+
+  /// The winner of a kDone session; a kFailed session returns its terminal
+  /// status, non-terminal answers kFailedPrecondition.
+  StatusOr<MergeWinner> Fetch(std::string_view tenant,
+                              std::string_view session_id);
+
+  /// Queued → kCancelled (resolved immediately); running → cancel is
+  /// recorded and applied when the batch finishes (returns kRunning);
+  /// terminal → idempotent (returns the terminal state).
+  StatusOr<SessionState> Cancel(std::string_view tenant,
+                                std::string_view session_id);
+
+  MergeServiceStats stats() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Session {
+    std::string id;
+    std::string tenant;
+    SessionState state = SessionState::kQueued;
+    MergeBatch* batch = nullptr;  ///< Null once the session leaves a batch.
+    Clock::time_point deadline{};  ///< epoch() = no deadline.
+    bool cancel_requested = false;
+    Status error = Status::Ok();  ///< kFailed terminal status.
+    std::shared_ptr<const MergeWinner> winner;  ///< kDone result.
+    Clock::time_point terminal_at{};
+  };
+
+  void WorkerLoop();
+  StatusOr<MergeWinner> Execute(const MergeJobSpec& spec);
+
+  /// Resolves one session terminally and detaches it from its batch.
+  void ResolveLocked(Session* session, SessionState state, Status error,
+                     std::shared_ptr<const MergeWinner> winner);
+  /// Typed-expires queued batch members whose budget ran out; called at
+  /// dispatch and at poll, so expiry is observed without any timer thread.
+  void ExpireIfPastDeadlineLocked(Session* session);
+  /// TTL + capacity eviction of terminal sessions (amortized, no timers).
+  void EvictLocked();
+  Session* FindOwnedLocked(std::string_view tenant,
+                           std::string_view session_id);
+  std::string NextSessionIdLocked();
+
+  const MergeServiceOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;     ///< Workers: batch ready / stopping.
+  std::condition_variable stopped_cv_;  ///< Stop() racers await kStopped.
+  ServiceState state_ = ServiceState::kInitial;
+  MergeScheduler scheduler_;
+  std::unordered_map<std::string, std::unique_ptr<Session>> sessions_;
+  /// Insertion-ordered session ids, for TTL/capacity eviction scans.
+  std::deque<std::string> session_order_;
+  /// Tenant-scoped submit idempotency: key = tenant + '\0' + token.
+  std::unordered_map<std::string, std::string> replay_ledger_;
+  std::deque<std::string> replay_order_;
+  std::vector<std::thread> workers_;
+  size_t running_batches_ = 0;
+  uint64_t session_seq_ = 0;
+  uint64_t id_salt_ = 0;
+  /// EWMA of batch execution wall ms — the dispatch-time budget check:
+  /// members whose remaining budget is under the estimate expire typed
+  /// instead of starting a merge that would overrun their deadline.
+  double exec_ewma_ms_ = 0;
+  MergeServiceStats stats_;
+};
+
+/// Builds the service-result surface from a finished merge report: winner
+/// chain keys from the best outcome, artifact hashes from the merged head
+/// commit. The bench's client-local reference goes through this exact
+/// function, so server-vs-client comparison is field-for-field.
+StatusOr<MergeWinner> WinnerFromReport(const merge::MergeReport& report,
+                                       version::PipelineRepo* repo,
+                                       const std::string& head_branch);
+
+}  // namespace mlcask::service
+
+#endif  // MLCASK_SERVICE_MERGE_SERVICE_H_

@@ -1,0 +1,117 @@
+#include "sim/saturation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace mlcask::sim {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Normalized cumulative arrival mass of the diurnal rate profile on
+/// [0, duration]: integral of (1 + a sin(2 pi t / D)) dt, scaled so
+/// Cdf(D) == 1. Strictly increasing for a < 1.
+double DiurnalCdf(double t, double duration, double amplitude) {
+  const double omega = 2 * kPi / duration;
+  const double mass = t + amplitude / omega * (1 - std::cos(omega * t));
+  return mass / duration;
+}
+
+/// Inverts the diurnal CDF by bisection (monotone, so 40 halvings pin the
+/// release time far below a microsecond).
+double DiurnalTime(double u, double duration, double amplitude) {
+  double lo = 0;
+  double hi = duration;
+  for (int i = 0; i < 40; ++i) {
+    const double mid = (lo + hi) / 2;
+    if (DiurnalCdf(mid, duration, amplitude) < u) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return (lo + hi) / 2;
+}
+
+}  // namespace
+
+std::vector<SaturationEvent> BuildSaturationSchedule(
+    const SaturationConfig& config) {
+  std::vector<SaturationEvent> events;
+  if (config.tenants.empty() || config.duration_s <= 0 ||
+      config.base_rps <= 0) {
+    return events;
+  }
+  const double amplitude =
+      std::clamp(config.diurnal_amplitude, 0.0, 0.95);
+  const double storm_fraction = std::clamp(config.storm_fraction, 0.0, 0.9);
+  size_t total_users = 0;
+  for (const SaturationTenant& tenant : config.tenants) {
+    total_users += std::max<size_t>(1, tenant.users);
+  }
+  const double total_events = config.base_rps * config.duration_s;
+  events.reserve(static_cast<size_t>(total_events) + config.tenants.size());
+
+  std::mt19937_64 rng(config.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  for (const SaturationTenant& tenant : config.tenants) {
+    const size_t users = std::max<size_t>(1, tenant.users);
+    // Offered load splits by population: big tenants submit more, exactly
+    // the shape that makes weighted fairness worth measuring.
+    const size_t tenant_events = std::max<size_t>(
+        1, static_cast<size_t>(total_events * users / total_users));
+    const size_t storm_events = static_cast<size_t>(
+        static_cast<double>(tenant_events) * storm_fraction);
+    const size_t smooth_events = tenant_events - storm_events;
+    const double hot_fraction = std::clamp(tenant.hot_fraction, 0.0, 1.0);
+    const size_t distinct = std::max<size_t>(1, tenant.distinct_specs);
+
+    auto emit = [&](double at_s) {
+      SaturationEvent event;
+      event.at_s = std::clamp(at_s, 0.0, config.duration_s);
+      event.tenant = tenant.name;
+      event.user = static_cast<size_t>(rng() % users);
+      event.hot = unit(rng) < hot_fraction;
+      // Hot events all share seed 1 (the tenant's hot spec — coalescible);
+      // cold events spread across the distinct variants from seed 2 up.
+      event.spec_seed = event.hot ? 1 : 2 + rng() % distinct;
+      events.push_back(std::move(event));
+    };
+
+    // Smooth diurnal arrivals: stratified inverse-CDF sampling keeps the
+    // realized rate tracking the profile even for small event counts.
+    for (size_t i = 0; i < smooth_events; ++i) {
+      const double u =
+          (static_cast<double>(i) + unit(rng)) / smooth_events;
+      emit(DiurnalTime(u, config.duration_s, amplitude));
+    }
+    // Storms: bursts at random offsets, each packing its share into a
+    // storm_width_s window (the post-release-cut merge stampede).
+    if (storm_events > 0 && config.storm_count > 0) {
+      const size_t per_storm =
+          std::max<size_t>(1, storm_events / config.storm_count);
+      size_t emitted = 0;
+      for (size_t storm = 0;
+           storm < config.storm_count && emitted < storm_events; ++storm) {
+        const double start = unit(rng) * config.duration_s;
+        const size_t count =
+            std::min(per_storm, storm_events - emitted);
+        for (size_t i = 0; i < count; ++i) {
+          emit(start + unit(rng) * config.storm_width_s);
+        }
+        emitted += count;
+      }
+    }
+  }
+
+  std::sort(events.begin(), events.end(),
+            [](const SaturationEvent& a, const SaturationEvent& b) {
+              return a.at_s < b.at_s;
+            });
+  return events;
+}
+
+}  // namespace mlcask::sim

@@ -1,0 +1,74 @@
+#ifndef MLCASK_SIM_SATURATION_H_
+#define MLCASK_SIM_SATURATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mlcask::sim {
+
+// ---------------------------------------------------------------------------
+// Saturation workload generator: a deterministic open-loop submit schedule
+// for the merge service, shaped like real multi-tenant traffic —
+//
+//   * thousands of simulated users spread across tenants of different
+//     weights and sizes;
+//   * hot-key skew: most of a tenant's submissions land on one hot merge
+//     spec (coalescible into shared batches), a tail on distinct specs;
+//   * diurnal bursts: the offered rate swings sinusoidally over the run;
+//   * merge storms: a fraction of the traffic clusters into short bursts
+//     (everyone merging at once after a release cut).
+//
+// The schedule is OPEN-LOOP: release times are fixed up front and never
+// adjust to service latency, so an overloaded server faces ever-deeper
+// backlog exactly like production ingress — the coordinated-omission-free
+// way to measure saturation. Same config + seed = byte-identical schedule.
+// ---------------------------------------------------------------------------
+
+struct SaturationTenant {
+  std::string name;
+  uint64_t weight = 1;     ///< Fairness weight (mirrors the service config).
+  size_t users = 100;      ///< Simulated user population.
+  /// Fraction of this tenant's submissions on its single hot spec — those
+  /// coalesce into shared batches under a merge storm.
+  double hot_fraction = 0.8;
+  /// Distinct cold spec variants (seed-varied) for the non-hot tail.
+  size_t distinct_specs = 4;
+};
+
+struct SaturationConfig {
+  std::vector<SaturationTenant> tenants;
+  double duration_s = 10;   ///< Schedule length.
+  double base_rps = 50;     ///< Aggregate offered submit rate (all tenants).
+  /// Sinusoidal rate modulation: instantaneous rate swings between
+  /// (1 - amplitude) and (1 + amplitude) times the base over one period =
+  /// the whole duration (a day compressed into the run).
+  double diurnal_amplitude = 0.4;
+  /// Fraction of each tenant's events pulled out of the smooth schedule and
+  /// packed into storms.
+  double storm_fraction = 0.15;
+  size_t storm_count = 3;   ///< Storms per tenant across the run.
+  double storm_width_s = 0.2;  ///< How tight each storm packs.
+  uint64_t seed = 1;
+};
+
+/// One scheduled submission.
+struct SaturationEvent {
+  double at_s = 0;       ///< Release offset from schedule start.
+  std::string tenant;
+  size_t user = 0;       ///< Submitting simulated user (tenant-relative).
+  /// MergeJobSpec::seed for this submission: hot events share their
+  /// tenant's hot seed, cold events spread over distinct_specs variants.
+  uint64_t spec_seed = 1;
+  bool hot = false;
+};
+
+/// Builds the full schedule, sorted by release time. Offered load scales
+/// linearly with `config.base_rps`, so a capacity-multiple run is the same
+/// schedule with a scaled rate.
+std::vector<SaturationEvent> BuildSaturationSchedule(
+    const SaturationConfig& config);
+
+}  // namespace mlcask::sim
+
+#endif  // MLCASK_SIM_SATURATION_H_

@@ -144,6 +144,20 @@ Status LocalServerCluster::SpawnShard(size_t s) {
     args.push_back("--max-queued-bytes=" +
                    std::to_string(options_.max_queued_bytes));
   }
+  if (options_.serve_merge) {
+    args.push_back("--serve-merge");
+    if (options_.merge_workers > 0) {
+      args.push_back("--merge-workers=" +
+                     std::to_string(options_.merge_workers));
+    }
+    if (!options_.tenant_weights.empty()) {
+      args.push_back("--tenant-weights=" + options_.tenant_weights);
+    }
+  }
+  if (options_.stats_interval_s > 0) {
+    args.push_back("--stats-interval=" +
+                   std::to_string(options_.stats_interval_s));
+  }
 
   pid_t pid = ::fork();
   if (pid < 0) {

@@ -56,6 +56,18 @@ class LocalServerCluster {
     /// shedding triggers at test-sized request volumes.
     size_t max_queued_jobs = 0;
     size_t max_queued_bytes = 0;
+    /// Launch every server with --serve-merge: the process hosts the merge
+    /// service front end (submit/poll/fetch/cancel sessions) alongside its
+    /// storage shard, on the same endpoint. The saturation bench drives a
+    /// cluster of these.
+    bool serve_merge = false;
+    /// With serve_merge: --merge-workers per server (0 = server default).
+    size_t merge_workers = 0;
+    /// With serve_merge: --tenant-weights spec, e.g. "gold=3,free=1"
+    /// (empty = every tenant at the default weight).
+    std::string tenant_weights;
+    /// --stats-interval seconds for live STATS lines (0 = off).
+    unsigned stats_interval_s = 0;
   };
 
   LocalServerCluster() = default;

@@ -31,35 +31,29 @@ bool GetVarint(std::string_view* in, uint64_t* v) {
   return false;  // more than 10 continuation bytes: malformed
 }
 
-namespace {
-
-/// Field kinds inside a meta section; the low 2 bits of each field key.
-enum Kind : uint8_t {
-  kKindVarint = 0,
-  kKindBytes = 1,
-  kKindHash = 2,
-  kKindF64 = 3,
-};
-
-void PutFieldVarint(std::string* meta, uint32_t tag, uint64_t v) {
-  PutVarint(meta, (static_cast<uint64_t>(tag) << 2) | kKindVarint);
+void PutMetaVarint(std::string* meta, uint32_t tag, uint64_t v) {
+  PutVarint(meta, (static_cast<uint64_t>(tag) << 2) |
+                      static_cast<uint64_t>(MetaKind::kVarint));
   PutVarint(meta, v);
 }
 
-void PutFieldBytes(std::string* meta, uint32_t tag, std::string_view bytes) {
-  PutVarint(meta, (static_cast<uint64_t>(tag) << 2) | kKindBytes);
+void PutMetaBytes(std::string* meta, uint32_t tag, std::string_view bytes) {
+  PutVarint(meta, (static_cast<uint64_t>(tag) << 2) |
+                      static_cast<uint64_t>(MetaKind::kBytes));
   PutVarint(meta, bytes.size());
   meta->append(bytes);
 }
 
-void PutFieldHash(std::string* meta, uint32_t tag, const Hash256& hash) {
-  PutVarint(meta, (static_cast<uint64_t>(tag) << 2) | kKindHash);
+void PutMetaHash(std::string* meta, uint32_t tag, const Hash256& hash) {
+  PutVarint(meta, (static_cast<uint64_t>(tag) << 2) |
+                      static_cast<uint64_t>(MetaKind::kHash));
   meta->append(reinterpret_cast<const char*>(hash.bytes.data()),
                hash.bytes.size());
 }
 
-void PutFieldF64(std::string* meta, uint32_t tag, double v) {
-  PutVarint(meta, (static_cast<uint64_t>(tag) << 2) | kKindF64);
+void PutMetaF64(std::string* meta, uint32_t tag, double v) {
+  PutVarint(meta, (static_cast<uint64_t>(tag) << 2) |
+                      static_cast<uint64_t>(MetaKind::kF64));
   uint64_t bits = 0;
   std::memcpy(&bits, &v, sizeof(bits));
   for (int i = 0; i < 8; ++i) {
@@ -67,73 +61,91 @@ void PutFieldF64(std::string* meta, uint32_t tag, double v) {
   }
 }
 
-/// Pull-parser over one meta section. Unknown tags are skipped, so old
-/// decoders tolerate fields a newer encoder added.
-class FieldReader {
- public:
-  explicit FieldReader(std::string_view meta) : rest_(meta) {}
-
-  /// Advances to the next field. False at clean end; malformed() afterwards
-  /// distinguishes truncation from exhaustion.
-  bool Next() {
-    if (rest_.empty() || malformed_) return false;
-    uint64_t key = 0;
-    if (!GetVarint(&rest_, &key)) return Malformed();
-    tag_ = static_cast<uint32_t>(key >> 2);
-    kind_ = static_cast<Kind>(key & 0x3);
-    switch (kind_) {
-      case kKindVarint:
-        return GetVarint(&rest_, &varint_) || Malformed();
-      case kKindBytes: {
-        uint64_t len = 0;
-        if (!GetVarint(&rest_, &len) || rest_.size() < len) {
-          return Malformed();
-        }
-        bytes_ = rest_.substr(0, len);
-        rest_.remove_prefix(len);
-        return true;
+bool MetaReader::Next() {
+  if (rest_.empty() || malformed_) return false;
+  uint64_t key = 0;
+  if (!GetVarint(&rest_, &key)) return Malformed();
+  tag_ = static_cast<uint32_t>(key >> 2);
+  kind_ = static_cast<MetaKind>(key & 0x3);
+  switch (kind_) {
+    case MetaKind::kVarint:
+      return GetVarint(&rest_, &varint_) || Malformed();
+    case MetaKind::kBytes: {
+      uint64_t len = 0;
+      if (!GetVarint(&rest_, &len) || rest_.size() < len) {
+        return Malformed();
       }
-      case kKindHash:
-        if (rest_.size() < hash_.bytes.size()) return Malformed();
-        std::memcpy(hash_.bytes.data(), rest_.data(), hash_.bytes.size());
-        rest_.remove_prefix(hash_.bytes.size());
-        return true;
-      case kKindF64: {
-        if (rest_.size() < 8) return Malformed();
-        uint64_t bits = 0;
-        for (int i = 7; i >= 0; --i) {
-          bits = (bits << 8) | static_cast<uint8_t>(rest_[i]);
-        }
-        std::memcpy(&f64_, &bits, sizeof(f64_));
-        rest_.remove_prefix(8);
-        return true;
-      }
+      bytes_ = rest_.substr(0, len);
+      rest_.remove_prefix(len);
+      return true;
     }
-    return Malformed();
+    case MetaKind::kHash:
+      if (rest_.size() < hash_.bytes.size()) return Malformed();
+      std::memcpy(hash_.bytes.data(), rest_.data(), hash_.bytes.size());
+      rest_.remove_prefix(hash_.bytes.size());
+      return true;
+    case MetaKind::kF64: {
+      if (rest_.size() < 8) return Malformed();
+      uint64_t bits = 0;
+      for (int i = 7; i >= 0; --i) {
+        bits = (bits << 8) | static_cast<uint8_t>(rest_[i]);
+      }
+      std::memcpy(&f64_, &bits, sizeof(f64_));
+      rest_.remove_prefix(8);
+      return true;
+    }
   }
+  return Malformed();
+}
 
-  bool malformed() const { return malformed_; }
-  uint32_t tag() const { return tag_; }
-  uint64_t varint() const { return varint_; }
-  std::string_view bytes() const { return bytes_; }
-  const Hash256& hash() const { return hash_; }
-  double f64() const { return f64_; }
+std::string AssembleMessage(uint8_t second, std::string_view meta,
+                            std::string_view body) {
+  std::string out;
+  out.reserve(2 + 10 + meta.size() + body.size());
+  out.push_back(static_cast<char>(kBinaryMagic));
+  out.push_back(static_cast<char>(second));
+  PutVarint(&out, meta.size());
+  out.append(meta);
+  out.append(body);  // the single memcpy that moves artifact bytes
+  return out;
+}
 
- private:
-  bool Malformed() {
-    malformed_ = true;
-    return false;
+Status DisassembleMessage(std::string_view message, uint8_t* second,
+                          std::string_view* meta, std::string_view* body) {
+  if (message.size() < 2 ||
+      static_cast<uint8_t>(message[0]) != kBinaryMagic) {
+    return Status::Corruption("not a binary wire message");
   }
+  *second = static_cast<uint8_t>(message[1]);
+  std::string_view rest = message.substr(2);
+  uint64_t meta_len = 0;
+  if (!GetVarint(&rest, &meta_len) || rest.size() < meta_len) {
+    return Status::Corruption("binary message meta section truncated");
+  }
+  *meta = rest.substr(0, meta_len);
+  *body = rest.substr(meta_len);
+  return Status::Ok();
+}
 
-  std::string_view rest_;
-  bool malformed_ = false;
-  uint32_t tag_ = 0;
-  Kind kind_ = kKindVarint;
-  uint64_t varint_ = 0;
-  std::string_view bytes_;
-  Hash256 hash_;
-  double f64_ = 0;
-};
+namespace {
+
+// The storage codec's historical names for the shared primitives above.
+using FieldReader = MetaReader;
+
+inline void PutFieldVarint(std::string* meta, uint32_t tag, uint64_t v) {
+  PutMetaVarint(meta, tag, v);
+}
+inline void PutFieldBytes(std::string* meta, uint32_t tag,
+                          std::string_view bytes) {
+  PutMetaBytes(meta, tag, bytes);
+}
+inline void PutFieldHash(std::string* meta, uint32_t tag,
+                         const Hash256& hash) {
+  PutMetaHash(meta, tag, hash);
+}
+inline void PutFieldF64(std::string* meta, uint32_t tag, double v) {
+  PutMetaF64(meta, tag, v);
+}
 
 // Frozen field tags. Requests and responses use disjoint-purpose tag spaces
 // per message type, so tags only need to be stable within one message kind.
@@ -158,35 +170,15 @@ constexpr uint32_t kTagGets = 6;         // stats.gets (varint)
 constexpr uint32_t kTagApplied = 1;      // migrate applied_versions (varint)
 constexpr uint32_t kTagSkipped = 2;      // migrate skipped_versions (varint)
 
-/// Assembles [magic, second byte, varint meta_len, meta, body].
-std::string Assemble(uint8_t second, std::string_view meta,
-                     std::string_view body) {
-  std::string out;
-  out.reserve(2 + 10 + meta.size() + body.size());
-  out.push_back(static_cast<char>(kBinaryMagic));
-  out.push_back(static_cast<char>(second));
-  PutVarint(&out, meta.size());
-  out.append(meta);
-  out.append(body);  // the single memcpy that moves artifact bytes
-  return out;
+/// The storage codec's historical names for the exported assembly helpers.
+inline std::string Assemble(uint8_t second, std::string_view meta,
+                            std::string_view body) {
+  return AssembleMessage(second, meta, body);
 }
 
-/// Splits a message after the magic + second byte into meta and body views.
-Status Disassemble(std::string_view message, uint8_t* second,
-                   std::string_view* meta, std::string_view* body) {
-  if (message.size() < 2 ||
-      static_cast<uint8_t>(message[0]) != kBinaryMagic) {
-    return Status::Corruption("not a binary wire message");
-  }
-  *second = static_cast<uint8_t>(message[1]);
-  std::string_view rest = message.substr(2);
-  uint64_t meta_len = 0;
-  if (!GetVarint(&rest, &meta_len) || rest.size() < meta_len) {
-    return Status::Corruption("binary message meta section truncated");
-  }
-  *meta = rest.substr(0, meta_len);
-  *body = rest.substr(meta_len);
-  return Status::Ok();
+inline Status Disassemble(std::string_view message, uint8_t* second,
+                          std::string_view* meta, std::string_view* body) {
+  return DisassembleMessage(message, second, meta, body);
 }
 
 std::string EncodeRequestMessage(Method method, std::string_view meta,

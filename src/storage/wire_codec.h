@@ -68,6 +68,84 @@ enum class Method : uint8_t {
 void PutVarint(std::string* out, uint64_t v);
 bool GetVarint(std::string_view* in, uint64_t* v);
 
+// --- meta-section primitives (shared with the service layer) ---------------
+//
+// Exported so higher-layer codecs (the merge service in src/service/) speak
+// the exact same tagged-field format as the storage codec: same message
+// shape, same field kinds, same skip-unknown-tags forward compatibility.
+
+/// Field kinds inside a meta section; the low 2 bits of each field key.
+enum class MetaKind : uint8_t {
+  kVarint = 0,
+  kBytes = 1,
+  kHash = 2,
+  kF64 = 3,
+};
+
+void PutMetaVarint(std::string* meta, uint32_t tag, uint64_t v);
+void PutMetaBytes(std::string* meta, uint32_t tag, std::string_view bytes);
+void PutMetaHash(std::string* meta, uint32_t tag, const Hash256& hash);
+void PutMetaF64(std::string* meta, uint32_t tag, double v);
+
+/// Assembles [magic, second byte, varint meta_len, meta, body]. The second
+/// byte is the opcode on requests and the status code on responses.
+std::string AssembleMessage(uint8_t second, std::string_view meta,
+                            std::string_view body);
+
+/// Splits a binary message after magic + second byte into meta and body
+/// views. Views point INTO `message`.
+Status DisassembleMessage(std::string_view message, uint8_t* second,
+                          std::string_view* meta, std::string_view* body);
+
+/// Pull-parser over one meta section. Unknown tags are skipped, so old
+/// decoders tolerate fields a newer encoder added.
+class MetaReader {
+ public:
+  explicit MetaReader(std::string_view meta) : rest_(meta) {}
+
+  /// Advances to the next field. False at clean end; malformed() afterwards
+  /// distinguishes truncation from exhaustion.
+  bool Next();
+
+  bool malformed() const { return malformed_; }
+  uint32_t tag() const { return tag_; }
+  MetaKind kind() const { return kind_; }
+  uint64_t varint() const { return varint_; }
+  std::string_view bytes() const { return bytes_; }
+  const Hash256& hash() const { return hash_; }
+  double f64() const { return f64_; }
+
+ private:
+  bool Malformed() {
+    malformed_ = true;
+    return false;
+  }
+
+  std::string_view rest_;
+  bool malformed_ = false;
+  uint32_t tag_ = 0;
+  MetaKind kind_ = MetaKind::kVarint;
+  uint64_t varint_ = 0;
+  std::string_view bytes_;
+  Hash256 hash_;
+  double f64_ = 0;
+};
+
+/// Binary opcode space reserved for the service layer (src/service/):
+/// requests whose second byte is >= kServiceOpcodeBase are NOT storage RPCs.
+/// A combined endpoint routes them to the merge front end before
+/// DispatchBinary ever sees them; DecodeRequest rejects them typed. Storage
+/// Method values stay frozen at 1..12 below this line.
+inline constexpr uint8_t kServiceOpcodeBase = 32;
+
+/// Generic request meta tags honored across ALL binary request opcodes,
+/// storage and service alike: ExtractReplayToken / ExtractDeadline scan any
+/// binary request's meta for these, so every request codec must reserve
+/// tag 5 for the idempotency token and tag 6 for the remaining deadline
+/// budget (ms) — and use them for nothing else.
+inline constexpr uint32_t kTagRequestReplayToken = 5;
+inline constexpr uint32_t kTagRequestDeadline = 6;
+
 // --- request encoding (client side) ---------------------------------------
 
 /// Put: meta {key[, replay_token]}, body = artifact bytes verbatim (single

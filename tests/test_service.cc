@@ -1,0 +1,976 @@
+// The merge-service front end: codec round trips, the
+// initial→starting→started→stopping→stopped lifecycle state machine,
+// deficit-round-robin fairness across tenants, tenant isolation (sessions
+// AND the submit replay ledger), deadline/shedding typed resolution, and
+// end-to-end sessions over a real socket — including redial replay under
+// injected faults and server-side winners bit-identical to client-local
+// Algorithm 2.
+
+#include "service/merge_service.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "merge/merge_op.h"
+#include "service/merge_client.h"
+#include "service/merge_frontend.h"
+#include "service/service_codec.h"
+#include "sim/saturation.h"
+#include "sim/scenario.h"
+#include "storage/fault_injector.h"
+#include "storage/socket_transport.h"
+#include "storage/wire_codec.h"
+
+namespace mlcask::service {
+namespace {
+
+namespace wire = mlcask::storage::wire;
+
+std::string TempSocketPath(const char* tag) {
+  return "/tmp/mlcask-svc-" + std::string(tag) + "-" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+MergeJobSpec SpecFor(const std::string& tenant, uint64_t seed = 1) {
+  MergeJobSpec spec;
+  spec.tenant = tenant;
+  spec.seed = seed;
+  return spec;
+}
+
+/// Deterministic stand-in for a merge execution, derived from the spec so
+/// coalesced sessions provably share one result.
+MergeWinner StubWinner(const MergeJobSpec& spec) {
+  MergeWinner winner;
+  winner.component_executions = 7 + spec.seed;
+  winner.best_index = 2;
+  winner.best_score = 0.875;
+  winner.candidates_considered = 5;
+  winner.makespan_s = 1.5;
+  winner.merge_commit = Sha256::Digest("commit:" + spec.CacheKey());
+  winner.winner_chain = {"prep==1.0", "model==0.3"};
+  winner.artifact_hashes = {Sha256::Digest("a:" + spec.tenant),
+                            Sha256::Digest("b:" + spec.CacheKey())};
+  return winner;
+}
+
+MergeServiceOptions StubOptions() {
+  MergeServiceOptions options;
+  options.worker_threads = 2;
+  options.execute_override = [](const MergeJobSpec& spec) {
+    return StatusOr<MergeWinner>(StubWinner(spec));
+  };
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Codec round trips
+// ---------------------------------------------------------------------------
+
+TEST(ServiceCodecTest, SubmitRequestRoundTrips) {
+  MergeJobSpec spec;
+  spec.tenant = "acme";
+  spec.workload = "dpm";
+  spec.scale = 0.125;
+  spec.extra_extractor_versions = 2;
+  spec.extra_model_versions = 3;
+  spec.storage_shards = 4;
+  spec.merge_shards = 2;
+  spec.num_workers = 8;
+  spec.optimize_metric = "auc";
+  spec.seed = 42;
+
+  const std::string message = EncodeSubmitRequest(spec, "token-9");
+  EXPECT_TRUE(IsServiceRequest(message));
+  EXPECT_TRUE(wire::IsBinaryMessage(message));
+
+  auto decoded = DecodeSubmitRequest(message);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->spec.tenant, "acme");
+  EXPECT_EQ(decoded->spec.workload, "dpm");
+  EXPECT_DOUBLE_EQ(decoded->spec.scale, 0.125);
+  EXPECT_EQ(decoded->spec.extra_extractor_versions, 2);
+  EXPECT_EQ(decoded->spec.extra_model_versions, 3);
+  EXPECT_EQ(decoded->spec.storage_shards, 4u);
+  EXPECT_EQ(decoded->spec.merge_shards, 2u);
+  EXPECT_EQ(decoded->spec.num_workers, 8u);
+  EXPECT_EQ(decoded->spec.optimize_metric, "auc");
+  EXPECT_EQ(decoded->spec.seed, 42u);
+  EXPECT_EQ(decoded->replay_token, "token-9");
+  EXPECT_EQ(decoded->spec.CacheKey(), spec.CacheKey());
+
+  // The generic scanners see the service request's tags 5/6 exactly like a
+  // storage request's — the cross-layer contract the tag layout preserves.
+  EXPECT_EQ(wire::ExtractReplayToken(message), "token-9");
+}
+
+TEST(ServiceCodecTest, SessionRequestsCarryTenantAndOpcode) {
+  for (ServiceOp op : {ServiceOp::kPollMerge, ServiceOp::kFetchWinner,
+                       ServiceOp::kCancelMerge}) {
+    const std::string message = EncodeSessionRequest(op, "acme", "s-1");
+    EXPECT_TRUE(IsServiceRequest(message));
+    auto decoded = DecodeSessionRequest(message);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(decoded->op, op);
+    EXPECT_EQ(decoded->tenant, "acme");
+    EXPECT_EQ(decoded->session_id, "s-1");
+  }
+}
+
+TEST(ServiceCodecTest, StorageRequestsAreNotServiceRequests) {
+  const std::string put = wire::EncodePutRequest("k", "data");
+  EXPECT_FALSE(IsServiceRequest(put));
+  EXPECT_TRUE(PeekServiceOp(put).status().IsInvalidArgument());
+  EXPECT_FALSE(IsServiceRequest("{\"method\":\"put\"}"));
+  // And storage's own decoder rejects service opcodes typed, never aliasing
+  // them onto a storage method.
+  const std::string submit = EncodeSubmitRequest(SpecFor("t"), {});
+  EXPECT_TRUE(wire::DecodeRequest(submit).status().code() == StatusCode::kUnimplemented);
+}
+
+TEST(ServiceCodecTest, ResponsesRoundTripIncludingErrors) {
+  auto submit = DecodeSubmitResponse(EncodeSubmitResponse("s-7", true));
+  ASSERT_TRUE(submit.ok());
+  EXPECT_EQ(submit->session_id, "s-7");
+  EXPECT_TRUE(submit->coalesced);
+
+  PollResult poll;
+  poll.state = SessionState::kFailed;
+  poll.queued_ahead = 3;
+  poll.error_code = StatusCode::kDeadlineExceeded;
+  poll.error_message = "expired in queue";
+  auto poll_rt = DecodePollResponse(EncodePollResponse(poll));
+  ASSERT_TRUE(poll_rt.ok());
+  EXPECT_EQ(poll_rt->state, SessionState::kFailed);
+  EXPECT_EQ(poll_rt->queued_ahead, 3u);
+  EXPECT_EQ(poll_rt->error_code, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(poll_rt->error_message, "expired in queue");
+
+  auto cancel = DecodeCancelResponse(EncodeCancelResponse(
+      SessionState::kCancelled));
+  ASSERT_TRUE(cancel.ok());
+  EXPECT_EQ(*cancel, SessionState::kCancelled);
+
+  // A typed error envelope decodes back into the remote status for every
+  // response decoder.
+  const std::string error =
+      wire::EncodeErrorResponse(Status::NotFound("unknown merge session"));
+  EXPECT_TRUE(DecodeSubmitResponse(error).status().IsNotFound());
+  EXPECT_TRUE(DecodePollResponse(error).status().IsNotFound());
+  EXPECT_TRUE(DecodeWinnerResponse(error).status().IsNotFound());
+  EXPECT_TRUE(DecodeCancelResponse(error).status().IsNotFound());
+}
+
+TEST(ServiceCodecTest, WinnerRoundTripsAndFingerprintGuardsIntegrity) {
+  const MergeWinner winner = StubWinner(SpecFor("acme", 3));
+  const std::string message = EncodeWinnerResponse(winner);
+  auto decoded = DecodeWinnerResponse(message);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->component_executions, winner.component_executions);
+  EXPECT_EQ(decoded->best_index, winner.best_index);
+  EXPECT_DOUBLE_EQ(decoded->best_score, winner.best_score);
+  EXPECT_EQ(decoded->candidates_considered, winner.candidates_considered);
+  EXPECT_TRUE(decoded->merge_commit == winner.merge_commit);
+  EXPECT_EQ(decoded->winner_chain, winner.winner_chain);
+  ASSERT_EQ(decoded->artifact_hashes.size(), winner.artifact_hashes.size());
+  for (size_t i = 0; i < winner.artifact_hashes.size(); ++i) {
+    EXPECT_TRUE(decoded->artifact_hashes[i] == winner.artifact_hashes[i]);
+  }
+  EXPECT_TRUE(decoded->Fingerprint() == winner.Fingerprint());
+
+  // Flip one artifact byte in the body: decode must refuse — the
+  // fingerprint doubles as an end-to-end integrity check.
+  std::string garbled = message;
+  garbled[garbled.size() - 1] ^= 0x01;
+  EXPECT_TRUE(DecodeWinnerResponse(garbled).status().code() == StatusCode::kCorruption);
+}
+
+TEST(ServiceCodecTest, FingerprintDistinguishesEveryField) {
+  const MergeWinner base = StubWinner(SpecFor("acme"));
+  MergeWinner changed = base;
+  changed.component_executions += 1;
+  EXPECT_FALSE(changed.Fingerprint() == base.Fingerprint());
+  changed = base;
+  changed.winner_chain[0] = "prep==0.0";
+  EXPECT_FALSE(changed.Fingerprint() == base.Fingerprint());
+  changed = base;
+  changed.artifact_hashes[1] = Sha256::Digest("tampered");
+  EXPECT_FALSE(changed.Fingerprint() == base.Fingerprint());
+  changed = base;
+  changed.merge_commit = Sha256::Digest("other-commit");
+  EXPECT_FALSE(changed.Fingerprint() == base.Fingerprint());
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle state machine
+// ---------------------------------------------------------------------------
+
+TEST(MergeServiceLifecycleTest, StatesProgressOneWay) {
+  MergeService service(StubOptions());
+  EXPECT_EQ(service.state(), ServiceState::kInitial);
+  EXPECT_TRUE(service.Submit(SpecFor("t")).status().code() == StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(service.Start().ok());
+  EXPECT_EQ(service.state(), ServiceState::kStarted);
+  ASSERT_TRUE(service.Stop().ok());
+  EXPECT_EQ(service.state(), ServiceState::kStopped);
+  // One-way: a stopped service never restarts.
+  EXPECT_TRUE(service.Start().code() == StatusCode::kFailedPrecondition);
+}
+
+TEST(MergeServiceLifecycleTest, DoubleStartIsFailedPrecondition) {
+  MergeService service(StubOptions());
+  ASSERT_TRUE(service.Start().ok());
+  EXPECT_TRUE(service.Start().code() == StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(service.Stop().ok());
+}
+
+TEST(MergeServiceLifecycleTest, StopIsIdempotentFromEveryState) {
+  {
+    MergeService never_started(StubOptions());
+    EXPECT_TRUE(never_started.Stop().ok());
+    EXPECT_EQ(never_started.state(), ServiceState::kStopped);
+  }
+  MergeService service(StubOptions());
+  ASSERT_TRUE(service.Start().ok());
+  EXPECT_TRUE(service.Stop().ok());
+  EXPECT_TRUE(service.Stop().ok());
+}
+
+TEST(MergeServiceLifecycleTest, StoppingDrainsEveryAcceptedSession) {
+  MergeServiceOptions options;
+  options.worker_threads = 2;
+  options.execute_override = [](const MergeJobSpec& spec) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    return StatusOr<MergeWinner>(StubWinner(spec));
+  };
+  MergeService service(options);
+  ASSERT_TRUE(service.Start().ok());
+  std::vector<std::string> ids;
+  for (uint64_t i = 0; i < 16; ++i) {
+    auto submitted = service.Submit(SpecFor("acme", /*seed=*/i + 1));
+    ASSERT_TRUE(submitted.ok()) << submitted.status();
+    ids.push_back(submitted->session_id);
+  }
+  ASSERT_TRUE(service.Stop().ok());
+  // Drain completed every accepted session — none stuck queued/running.
+  for (const std::string& id : ids) {
+    auto poll = service.Poll("acme", id);
+    ASSERT_TRUE(poll.ok()) << poll.status();
+    EXPECT_EQ(poll->state, SessionState::kDone);
+    auto winner = service.Fetch("acme", id);
+    ASSERT_TRUE(winner.ok()) << winner.status();
+  }
+  EXPECT_EQ(service.stats().completed, 16u);
+}
+
+TEST(MergeServiceLifecycleTest, SubmitDuringStoppingRejectsTyped) {
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool release = false;
+  std::atomic<bool> executing{false};
+  MergeServiceOptions options;
+  options.worker_threads = 1;
+  options.execute_override = [&](const MergeJobSpec& spec) {
+    executing = true;
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return release; });
+    return StatusOr<MergeWinner>(StubWinner(spec));
+  };
+  MergeService service(options);
+  ASSERT_TRUE(service.Start().ok());
+  auto live = service.Submit(SpecFor("acme"));
+  ASSERT_TRUE(live.ok());
+  while (!executing) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  // Stop in the background: the worker is pinned inside the live batch, so
+  // the service sits in kStopping until the gate opens.
+  std::thread stopper([&service] { ASSERT_TRUE(service.Stop().ok()); });
+  while (service.state() != ServiceState::kStopping) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto rejected = service.Submit(SpecFor("acme", 2));
+  EXPECT_TRUE(rejected.status().IsUnavailable()) << rejected.status();
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    release = true;
+  }
+  gate_cv.notify_all();
+  stopper.join();
+  EXPECT_EQ(service.state(), ServiceState::kStopped);
+  // The pinned session still drained to done.
+  auto poll = service.Poll("acme", live->session_id);
+  ASSERT_TRUE(poll.ok());
+  EXPECT_EQ(poll->state, SessionState::kDone);
+}
+
+TEST(MergeServiceLifecycleTest, ConcurrentStopsWithLiveSessionsConverge) {
+  MergeServiceOptions options;
+  options.worker_threads = 2;
+  options.execute_override = [](const MergeJobSpec& spec) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    return StatusOr<MergeWinner>(StubWinner(spec));
+  };
+  MergeService service(options);
+  ASSERT_TRUE(service.Start().ok());
+
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> rejected_typed{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 3; ++t) {
+    submitters.emplace_back([&service, &accepted, &rejected_typed, t] {
+      for (uint64_t i = 0; i < 20; ++i) {
+        auto result = service.Submit(
+            SpecFor("tenant" + std::to_string(t), i + 1));
+        if (result.ok()) {
+          accepted.fetch_add(1);
+        } else {
+          // During/after stopping the ONLY acceptable answer is typed.
+          ASSERT_TRUE(result.status().IsUnavailable() ||
+                      result.status().IsResourceExhausted() ||
+                      result.status().code() == StatusCode::kFailedPrecondition)
+              << result.status();
+          rejected_typed.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> stoppers;
+  for (int t = 0; t < 3; ++t) {
+    stoppers.emplace_back([&service] { ASSERT_TRUE(service.Stop().ok()); });
+  }
+  for (std::thread& thread : submitters) thread.join();
+  for (std::thread& thread : stoppers) thread.join();
+  EXPECT_EQ(service.state(), ServiceState::kStopped);
+
+  // Every accepted session drained to a terminal state: completed sessions
+  // account for all acceptances (nothing wedged, nothing lost).
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.completed + stats.failed + stats.cancelled + stats.expired,
+            accepted.load());
+  EXPECT_EQ(stats.sessions_open, 0u);
+  EXPECT_EQ(stats.submitted, accepted.load());
+}
+
+// ---------------------------------------------------------------------------
+// Sessions: results, coalescing, cancellation, deadlines, shedding
+// ---------------------------------------------------------------------------
+
+TEST(MergeServiceTest, SubmitPollFetchDeliversTheWinner) {
+  MergeService service(StubOptions());
+  ASSERT_TRUE(service.Start().ok());
+  auto submitted = service.Submit(SpecFor("acme", 5));
+  ASSERT_TRUE(submitted.ok());
+  EXPECT_FALSE(submitted->coalesced);
+
+  // Poll until terminal; a poller can never wedge.
+  SessionState state = SessionState::kQueued;
+  for (int i = 0; i < 2000 && !IsTerminal(state); ++i) {
+    auto poll = service.Poll("acme", submitted->session_id);
+    ASSERT_TRUE(poll.ok()) << poll.status();
+    state = poll->state;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(state, SessionState::kDone);
+  auto winner = service.Fetch("acme", submitted->session_id);
+  ASSERT_TRUE(winner.ok()) << winner.status();
+  EXPECT_TRUE(winner->Fingerprint() ==
+              StubWinner(SpecFor("acme", 5)).Fingerprint());
+  ASSERT_TRUE(service.Stop().ok());
+}
+
+TEST(MergeServiceTest, CompatibleSubmissionsCoalesceIntoOneExecution) {
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool release = false;
+  std::atomic<uint64_t> executions{0};
+  MergeServiceOptions options;
+  options.worker_threads = 1;
+  options.execute_override = [&](const MergeJobSpec& spec) {
+    {
+      std::unique_lock<std::mutex> lock(gate_mu);
+      gate_cv.wait(lock, [&] { return release; });
+    }
+    executions.fetch_add(1);
+    return StatusOr<MergeWinner>(StubWinner(spec));
+  };
+  MergeService service(options);
+  ASSERT_TRUE(service.Start().ok());
+
+  // First submission occupies the single worker (a decoy batch), so the
+  // next three stay QUEUED and coalesce; a fourth with a different seed
+  // must not join them.
+  auto decoy = service.Submit(SpecFor("acme", 99));
+  ASSERT_TRUE(decoy.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  auto first = service.Submit(SpecFor("acme", 1));
+  auto second = service.Submit(SpecFor("acme", 1));
+  auto third = service.Submit(SpecFor("acme", 1));
+  auto other = service.Submit(SpecFor("acme", 2));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(third.ok());
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(first->coalesced);
+  EXPECT_TRUE(second->coalesced);
+  EXPECT_TRUE(third->coalesced);
+  EXPECT_FALSE(other->coalesced);
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    release = true;
+  }
+  gate_cv.notify_all();
+  ASSERT_TRUE(service.Stop().ok());
+
+  // 3 executions total (decoy + coalesced batch + other), not 5.
+  EXPECT_EQ(executions.load(), 3u);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, 5u);
+  EXPECT_EQ(stats.coalesced, 2u);
+  EXPECT_EQ(stats.completed, 5u);
+
+  // All three coalesced sessions share one bit-identical winner.
+  auto w1 = service.Fetch("acme", first->session_id);
+  auto w2 = service.Fetch("acme", second->session_id);
+  auto w3 = service.Fetch("acme", third->session_id);
+  ASSERT_TRUE(w1.ok());
+  ASSERT_TRUE(w2.ok());
+  ASSERT_TRUE(w3.ok());
+  EXPECT_TRUE(w1->Fingerprint() == w2->Fingerprint());
+  EXPECT_TRUE(w2->Fingerprint() == w3->Fingerprint());
+}
+
+TEST(MergeServiceTest, CancelQueuedResolvesRunningDefersTerminalIdempotent) {
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool release = false;
+  std::atomic<bool> executing{false};
+  MergeServiceOptions options;
+  options.worker_threads = 1;
+  options.execute_override = [&](const MergeJobSpec& spec) {
+    executing = true;
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return release; });
+    return StatusOr<MergeWinner>(StubWinner(spec));
+  };
+  MergeService service(options);
+  ASSERT_TRUE(service.Start().ok());
+
+  auto running = service.Submit(SpecFor("acme", 1));
+  ASSERT_TRUE(running.ok());
+  while (!executing) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  auto queued = service.Submit(SpecFor("acme", 2));
+  ASSERT_TRUE(queued.ok());
+
+  // Queued: cancelled immediately.
+  auto cancel_queued = service.Cancel("acme", queued->session_id);
+  ASSERT_TRUE(cancel_queued.ok());
+  EXPECT_EQ(*cancel_queued, SessionState::kCancelled);
+  // Terminal: idempotent.
+  auto cancel_again = service.Cancel("acme", queued->session_id);
+  ASSERT_TRUE(cancel_again.ok());
+  EXPECT_EQ(*cancel_again, SessionState::kCancelled);
+  // Running: recorded, applied when the batch lands.
+  auto cancel_running = service.Cancel("acme", running->session_id);
+  ASSERT_TRUE(cancel_running.ok());
+  EXPECT_EQ(*cancel_running, SessionState::kRunning);
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    release = true;
+  }
+  gate_cv.notify_all();
+  ASSERT_TRUE(service.Stop().ok());
+  auto poll = service.Poll("acme", running->session_id);
+  ASSERT_TRUE(poll.ok());
+  EXPECT_EQ(poll->state, SessionState::kCancelled);
+  EXPECT_TRUE(
+      service.Fetch("acme", running->session_id).status()
+          .code() == StatusCode::kFailedPrecondition);
+  EXPECT_EQ(service.stats().cancelled, 2u);
+}
+
+TEST(MergeServiceTest, AdmissionCapsShedTypedAndCountThem) {
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool release = false;
+  MergeServiceOptions options;
+  options.worker_threads = 1;
+  options.max_queued_batches = 2;
+  options.execute_override = [&](const MergeJobSpec& spec) {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return release; });
+    return StatusOr<MergeWinner>(StubWinner(spec));
+  };
+  MergeService service(options);
+  ASSERT_TRUE(service.Start().ok());
+  // One batch runs (popped off the queue), two queue, the next sheds.
+  ASSERT_TRUE(service.Submit(SpecFor("acme", 1)).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(service.Submit(SpecFor("acme", 2)).ok());
+  ASSERT_TRUE(service.Submit(SpecFor("acme", 3)).ok());
+  auto shed = service.Submit(SpecFor("acme", 4));
+  EXPECT_TRUE(shed.status().IsResourceExhausted()) << shed.status();
+  // A coalescible submit rides an EXISTING batch: admitted despite the cap.
+  auto coalesced = service.Submit(SpecFor("acme", 2));
+  ASSERT_TRUE(coalesced.ok());
+  EXPECT_TRUE(coalesced->coalesced);
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    release = true;
+  }
+  gate_cv.notify_all();
+  ASSERT_TRUE(service.Stop().ok());
+  EXPECT_EQ(service.stats().shed, 1u);
+}
+
+TEST(MergeServiceTest, ExpiredQueuedSessionResolvesTypedAtPoll) {
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool release = false;
+  MergeServiceOptions options;
+  options.worker_threads = 1;
+  options.execute_override = [&](const MergeJobSpec& spec) {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return release; });
+    return StatusOr<MergeWinner>(StubWinner(spec));
+  };
+  MergeService service(options);
+  ASSERT_TRUE(service.Start().ok());
+  ASSERT_TRUE(service.Submit(SpecFor("acme", 1)).ok());  // pins the worker
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  auto doomed = service.Submit(SpecFor("acme", 2), {}, /*deadline_ms=*/10);
+  ASSERT_TRUE(doomed.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // The deadline passed while queued: the next poll resolves it typed —
+  // the "a shed or expired session never wedges a poller" contract.
+  auto poll = service.Poll("acme", doomed->session_id);
+  ASSERT_TRUE(poll.ok());
+  EXPECT_EQ(poll->state, SessionState::kFailed);
+  EXPECT_EQ(poll->error_code, StatusCode::kDeadlineExceeded);
+  auto fetch = service.Fetch("acme", doomed->session_id);
+  EXPECT_TRUE(fetch.status().IsDeadlineExceeded()) << fetch.status();
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    release = true;
+  }
+  gate_cv.notify_all();
+  ASSERT_TRUE(service.Stop().ok());
+  EXPECT_EQ(service.stats().expired, 1u);
+}
+
+TEST(MergeServiceTest, TerminalSessionsExpireFromTheTableAfterTtl) {
+  MergeServiceOptions options = StubOptions();
+  options.session_ttl_ms = 40;
+  MergeService service(options);
+  ASSERT_TRUE(service.Start().ok());
+  auto submitted = service.Submit(SpecFor("acme"));
+  ASSERT_TRUE(submitted.ok());
+  for (int i = 0; i < 2000; ++i) {
+    auto poll = service.Poll("acme", submitted->session_id);
+    ASSERT_TRUE(poll.ok());
+    if (IsTerminal(poll->state)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  // TTL passed: the table forgot the session.
+  EXPECT_TRUE(
+      service.Poll("acme", submitted->session_id).status().IsNotFound());
+  ASSERT_TRUE(service.Stop().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Tenant isolation
+// ---------------------------------------------------------------------------
+
+TEST(MergeServiceTest, ForeignSessionsAnswerNotFound) {
+  MergeService service(StubOptions());
+  ASSERT_TRUE(service.Start().ok());
+  auto submitted = service.Submit(SpecFor("acme"));
+  ASSERT_TRUE(submitted.ok());
+  // Another tenant holding the exact session id sees NOTHING — poll,
+  // fetch, and cancel all answer as if the session never existed.
+  EXPECT_TRUE(
+      service.Poll("rival", submitted->session_id).status().IsNotFound());
+  EXPECT_TRUE(
+      service.Fetch("rival", submitted->session_id).status().IsNotFound());
+  EXPECT_TRUE(
+      service.Cancel("rival", submitted->session_id).status().IsNotFound());
+  // The owner still sees it.
+  EXPECT_TRUE(service.Poll("acme", submitted->session_id).ok());
+  ASSERT_TRUE(service.Stop().ok());
+}
+
+TEST(MergeServiceTest, ReplayLedgerIsKeyedByTenant) {
+  MergeService service(StubOptions());
+  ASSERT_TRUE(service.Start().ok());
+  // Byte-identical token AND spec (apart from tenant): two tenants must
+  // get two DIFFERENT sessions — the ledger never cross-dedupes.
+  auto acme = service.Submit(SpecFor("acme"), "token-1");
+  auto rival = service.Submit(SpecFor("rival"), "token-1");
+  ASSERT_TRUE(acme.ok());
+  ASSERT_TRUE(rival.ok());
+  EXPECT_NE(acme->session_id, rival->session_id);
+
+  // Same tenant, same token: the SAME session comes back (idempotent
+  // submit), not a duplicate.
+  auto replay = service.Submit(SpecFor("acme"), "token-1");
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->session_id, acme->session_id);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.replay_hits, 1u);
+  EXPECT_EQ(stats.submitted, 2u);
+  ASSERT_TRUE(service.Stop().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Deficit-round-robin fairness
+// ---------------------------------------------------------------------------
+
+TEST(MergeSchedulerTest, ServesBackloggedTenantsByWeight) {
+  MergeScheduler scheduler(/*default_weight=*/1,
+                           {{"gold", 3}, {"free", 1}});
+  auto enqueue = [&scheduler](const std::string& tenant, uint64_t seed) {
+    auto batch = std::make_unique<MergeBatch>();
+    batch->spec = SpecFor(tenant, seed);
+    batch->session_ids.push_back(tenant + std::to_string(seed));
+    scheduler.Enqueue(std::move(batch));
+  };
+  for (uint64_t i = 0; i < 24; ++i) enqueue("gold", i + 1);
+  for (uint64_t i = 0; i < 24; ++i) enqueue("free", i + 1);
+
+  // While both stay backlogged, each replenish cycle serves gold 3 times
+  // for every free batch — exactly weight-proportional.
+  uint64_t gold_served = 0;
+  uint64_t free_served = 0;
+  for (int i = 0; i < 24; ++i) {
+    auto batch = scheduler.PickNext();
+    ASSERT_NE(batch, nullptr);
+    (batch->spec.tenant == "gold" ? gold_served : free_served) += 1;
+  }
+  EXPECT_EQ(gold_served, 18u);
+  EXPECT_EQ(free_served, 6u);
+
+  // Once gold drains, free gets full service — work conservation.
+  while (scheduler.queued_for("gold") > 0) scheduler.PickNext();
+  auto batch = scheduler.PickNext();
+  ASSERT_NE(batch, nullptr);
+  EXPECT_EQ(batch->spec.tenant, "free");
+}
+
+TEST(MergeSchedulerTest, IdleTenantsDoNotHoardCredit) {
+  MergeScheduler scheduler(/*default_weight=*/1, {{"gold", 4}});
+  auto enqueue = [&scheduler](const std::string& tenant, uint64_t seed) {
+    auto batch = std::make_unique<MergeBatch>();
+    batch->spec = SpecFor(tenant, seed);
+    scheduler.Enqueue(std::move(batch));
+  };
+  // gold drains fully: its deficit resets instead of banking 3 credits.
+  enqueue("gold", 1);
+  ASSERT_NE(scheduler.PickNext(), nullptr);
+  for (uint64_t i = 0; i < 8; ++i) enqueue("free", i + 1);
+  enqueue("gold", 2);
+  // gold's share of the next cycle is its weight, not weight + banked.
+  uint64_t gold_in_first_cycle = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto batch = scheduler.PickNext();
+    ASSERT_NE(batch, nullptr);
+    if (batch->spec.tenant == "gold") ++gold_in_first_cycle;
+  }
+  EXPECT_LE(gold_in_first_cycle, 1u);
+}
+
+TEST(MergeServiceTest, FairnessHoldsEndToEndUnderBacklog) {
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool release = false;
+  std::mutex order_mu;
+  std::vector<std::string> served_order;
+  MergeServiceOptions options;
+  options.worker_threads = 1;
+  options.tenant_weights = {{"gold", 3}, {"free", 1}};
+  options.max_queued_per_tenant = 64;
+  options.execute_override = [&](const MergeJobSpec& spec) {
+    {
+      std::unique_lock<std::mutex> lock(gate_mu);
+      gate_cv.wait(lock, [&] { return release; });
+    }
+    {
+      std::lock_guard<std::mutex> lock(order_mu);
+      served_order.push_back(spec.tenant);
+    }
+    return StatusOr<MergeWinner>(StubWinner(spec));
+  };
+  MergeService service(options);
+  ASSERT_TRUE(service.Start().ok());
+  // Distinct seeds: no coalescing, 32 batches per tenant, all queued while
+  // the gate pins the worker on the first pick.
+  for (uint64_t i = 0; i < 32; ++i) {
+    ASSERT_TRUE(service.Submit(SpecFor("gold", i + 1)).ok());
+    ASSERT_TRUE(service.Submit(SpecFor("free", i + 1)).ok());
+  }
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    release = true;
+  }
+  gate_cv.notify_all();
+  ASSERT_TRUE(service.Stop().ok());
+
+  // In the window where both tenants were backlogged (the first 32 served
+  // batches), gold's share must track its 3x weight. The first pick raced
+  // the backlog build-up, so skip it.
+  uint64_t gold_served = 0;
+  uint64_t window = 0;
+  for (size_t i = 1; i < served_order.size() && window < 32; ++i, ++window) {
+    if (served_order[i] == "gold") ++gold_served;
+  }
+  ASSERT_EQ(window, 32u);
+  // Exact DRR would serve 24 of 32; allow +-4 for the racy first cycle.
+  EXPECT_GE(gold_served, 20u);
+  EXPECT_LE(gold_served, 28u);
+  // And per-tenant service counters surfaced the same story.
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.tenant_batches.at("gold"), 32u);
+  EXPECT_EQ(stats.tenant_batches.at("free"), 32u);
+}
+
+// ---------------------------------------------------------------------------
+// Saturation schedule generator
+// ---------------------------------------------------------------------------
+
+TEST(SaturationScheduleTest, DeterministicShapedAndSorted) {
+  sim::SaturationConfig config;
+  config.tenants = {{"gold", 3, 300, 0.8, 4}, {"free", 1, 100, 0.5, 3}};
+  config.duration_s = 4;
+  config.base_rps = 100;
+  config.seed = 7;
+  const auto a = sim::BuildSaturationSchedule(config);
+  const auto b = sim::BuildSaturationSchedule(config);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at_s, b[i].at_s);
+    EXPECT_EQ(a[i].tenant, b[i].tenant);
+    EXPECT_EQ(a[i].spec_seed, b[i].spec_seed);
+  }
+  size_t gold = 0;
+  size_t hot = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(a[i].at_s, a[i - 1].at_s);
+    }
+    EXPECT_GE(a[i].at_s, 0.0);
+    EXPECT_LE(a[i].at_s, config.duration_s);
+    if (a[i].tenant == "gold") ++gold;
+    if (a[i].hot) {
+      ++hot;
+      EXPECT_EQ(a[i].spec_seed, 1u);
+    } else {
+      EXPECT_GE(a[i].spec_seed, 2u);
+    }
+  }
+  // Population split: gold has 3x the users, so ~3/4 of the events.
+  EXPECT_GT(gold, a.size() / 2);
+  EXPECT_LT(gold, a.size() * 9 / 10);
+  // Hot-key skew materialized.
+  EXPECT_GT(hot, a.size() / 2);
+  // A different seed moves the schedule.
+  config.seed = 8;
+  const auto c = sim::BuildSaturationSchedule(config);
+  bool any_differs = c.size() != a.size();
+  for (size_t i = 0; !any_differs && i < a.size(); ++i) {
+    any_differs = a[i].at_s != c[i].at_s || a[i].tenant != c[i].tenant;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end over a real socket (frontend + client), including faults
+// ---------------------------------------------------------------------------
+
+TEST(MergeFrontendSocketTest, SessionsWorkOverARealSocket) {
+  MergeService service(StubOptions());
+  ASSERT_TRUE(service.Start().ok());
+  MergeFrontend frontend(&service);
+
+  const std::string path = TempSocketPath("e2e");
+  auto server = storage::SocketTransportServer::Bind("unix:" + path);
+  ASSERT_TRUE(server.ok()) << server.status();
+  ASSERT_TRUE((*server)
+                  ->Serve([&frontend](std::string_view request) {
+                    return frontend.Handle(request);
+                  })
+                  .ok());
+  auto transport = storage::SocketTransport::Connect((*server)->endpoint());
+  ASSERT_TRUE(transport.ok()) << transport.status();
+
+  MergeServiceClient client(transport->get(), "acme");
+  auto submitted = client.Submit(SpecFor("ignored", 5));
+  ASSERT_TRUE(submitted.ok()) << submitted.status();
+  auto winner = client.AwaitWinner(submitted->session_id,
+                                   /*poll_interval_ms=*/1,
+                                   /*timeout_ms=*/10000);
+  ASSERT_TRUE(winner.ok()) << winner.status();
+  EXPECT_TRUE(winner->Fingerprint() ==
+              StubWinner(SpecFor("acme", 5)).Fingerprint());
+
+  // Tenant isolation holds across the wire: a rival client with the stolen
+  // session id gets typed NotFound.
+  MergeServiceClient rival(transport->get(), "rival");
+  EXPECT_TRUE(rival.Poll(submitted->session_id).status().IsNotFound());
+  EXPECT_TRUE(rival.Fetch(submitted->session_id).status().IsNotFound());
+
+  (*server)->Shutdown();
+  ASSERT_TRUE(service.Stop().ok());
+  ::unlink(path.c_str());
+}
+
+TEST(MergeFrontendSocketTest, RedialReplayUnderFaultsStaysExactlyOnce) {
+  std::atomic<uint64_t> executions{0};
+  MergeServiceOptions options;
+  options.worker_threads = 2;
+  options.execute_override = [&executions](const MergeJobSpec& spec) {
+    executions.fetch_add(1);
+    return StatusOr<MergeWinner>(StubWinner(spec));
+  };
+  MergeService service(options);
+  ASSERT_TRUE(service.Start().ok());
+  MergeFrontend frontend(&service);
+
+  const std::string path = TempSocketPath("faults");
+  auto server = storage::SocketTransportServer::Bind("unix:" + path);
+  ASSERT_TRUE(server.ok()) << server.status();
+  ASSERT_TRUE((*server)
+                  ->Serve([&frontend](std::string_view request) {
+                    return frontend.Handle(request);
+                  })
+                  .ok());
+
+  // Client-side injected frame drops + drop-after-send: every RPC may need
+  // redial and replay. PR 7 contract carried to the service layer: typed
+  // status or the SAME session — never a duplicate, never a hang.
+  auto fault_spec = storage::FaultSpec::Parse("seed=11,drop=0.15,dropafter=0.1");
+  ASSERT_TRUE(fault_spec.ok());
+  storage::SocketTransport::Options copts;
+  copts.injector = std::make_shared<storage::FaultInjector>(*fault_spec);
+  copts.redial_budget_ms = 5000;
+  auto transport =
+      storage::SocketTransport::Connect((*server)->endpoint(), copts);
+  ASSERT_TRUE(transport.ok()) << transport.status();
+
+  MergeServiceClient client(transport->get(), "acme");
+  std::vector<std::string> sessions;
+  for (uint64_t i = 0; i < 8; ++i) {
+    auto submitted = client.Submit(SpecFor("ignored", i + 1));
+    ASSERT_TRUE(submitted.ok()) << submitted.status();
+    sessions.push_back(submitted->session_id);
+  }
+  for (uint64_t i = 0; i < sessions.size(); ++i) {
+    auto winner = client.AwaitWinner(sessions[i], 1, 15000);
+    ASSERT_TRUE(winner.ok()) << winner.status();
+    EXPECT_TRUE(winner->Fingerprint() ==
+                StubWinner(SpecFor("acme", i + 1)).Fingerprint());
+  }
+  // Exactly-once: 8 distinct submissions, 8 sessions, 8 executions — any
+  // transport-level replay landed on the ledger, not on a new session.
+  EXPECT_EQ(service.stats().submitted, 8u);
+  EXPECT_EQ(executions.load(), 8u);
+
+  (*server)->Shutdown();
+  ASSERT_TRUE(service.Stop().ok());
+  ::unlink(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Server-side merge == client-local Algorithm 2 (the real path)
+// ---------------------------------------------------------------------------
+
+#define CHECK_OK_OR_DIE(expr)                                        \
+  do {                                                               \
+    const Status _st = (expr);                                       \
+    if (!_st.ok()) {                                                 \
+      ADD_FAILURE() << #expr << ": " << _st;                         \
+      std::abort();                                                  \
+    }                                                                \
+  } while (0)
+
+MergeWinner ClientLocalReference(const MergeJobSpec& spec) {
+  sim::DeploymentConfig config;
+  config.num_workers = spec.num_workers;
+  config.storage_shards = spec.storage_shards;
+  auto deployment = sim::MakeDeployment(spec.workload, spec.scale, config);
+  CHECK_OK_OR_DIE(deployment.status());
+  auto d = *std::move(deployment);
+  auto scenario = sim::BuildDistributedMergeScenario(
+      d.get(), spec.extra_extractor_versions, spec.extra_model_versions);
+  CHECK_OK_OR_DIE(scenario.status());
+  merge::MergeOperation op(d->repo.get(), d->libraries.get(),
+                           d->registry.get(), d->engine.get(),
+                           d->clock.get());
+  merge::MergeOptions options;
+  options.shards = spec.merge_shards;
+  options.num_workers = spec.num_workers;
+  options.seed = spec.seed;
+  if (spec.merge_shards <= 1) options.core = d->core.get();
+  auto report = op.Merge(scenario->head_branch, scenario->merge_branch,
+                         options);
+  CHECK_OK_OR_DIE(report.status());
+  auto winner = WinnerFromReport(*report, d->repo.get(),
+                                 scenario->head_branch);
+  CHECK_OK_OR_DIE(winner.status());
+  return *winner;
+}
+
+TEST(MergeServiceRealPathTest, ServerWinnerMatchesClientLocalMerge) {
+  MergeServiceOptions options;
+  options.worker_threads = 1;  // no execute_override: the real path
+  MergeService service(options);
+  ASSERT_TRUE(service.Start().ok());
+  for (uint32_t merge_shards : {1u, 2u}) {
+    SCOPED_TRACE("merge_shards=" + std::to_string(merge_shards));
+    MergeJobSpec spec = SpecFor("acme");
+    spec.merge_shards = merge_shards;
+    auto submitted = service.Submit(spec);
+    ASSERT_TRUE(submitted.ok()) << submitted.status();
+    SessionState state = SessionState::kQueued;
+    for (int i = 0; i < 60000 && !IsTerminal(state); ++i) {
+      auto poll = service.Poll("acme", submitted->session_id);
+      ASSERT_TRUE(poll.ok()) << poll.status();
+      state = poll->state;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_EQ(state, SessionState::kDone);
+    auto server_winner = service.Fetch("acme", submitted->session_id);
+    ASSERT_TRUE(server_winner.ok()) << server_winner.status();
+
+    const MergeWinner reference = ClientLocalReference(spec);
+    // Bit-identical: winner chain, executions, commit, artifact hashes.
+    EXPECT_EQ(server_winner->winner_chain, reference.winner_chain);
+    EXPECT_EQ(server_winner->component_executions,
+              reference.component_executions);
+    EXPECT_EQ(server_winner->best_index, reference.best_index);
+    EXPECT_EQ(server_winner->best_score, reference.best_score);
+    EXPECT_TRUE(server_winner->merge_commit == reference.merge_commit);
+    ASSERT_EQ(server_winner->artifact_hashes.size(),
+              reference.artifact_hashes.size());
+    for (size_t i = 0; i < reference.artifact_hashes.size(); ++i) {
+      EXPECT_TRUE(server_winner->artifact_hashes[i] ==
+                  reference.artifact_hashes[i]);
+    }
+    EXPECT_TRUE(server_winner->Fingerprint() == reference.Fingerprint());
+  }
+  ASSERT_TRUE(service.Stop().ok());
+}
+
+}  // namespace
+}  // namespace mlcask::service

@@ -52,11 +52,14 @@ import shutil
 import statistics
 import sys
 
-LOWER_IS_BETTER = ("makespan",)
+LOWER_IS_BETTER = ("makespan", "p50_", "p99_")
 # "keys_per_s" covers the migration throughput metrics from
 # bench_micro_rebalance (real_migrate_keys_per_s) — throughput, so higher
 # is better; the "real" in the name routes them to --real-threshold.
-HIGHER_IS_BETTER = ("speedup", "keys_per_s")
+# "rps" / "goodput" are the saturation suites' request-rate and
+# winners-delivered rates; "p50_" / "p99_" their latency percentiles. All
+# four are wall-clock observables, routed to --real-threshold below.
+HIGHER_IS_BETTER = ("speedup", "keys_per_s", "rps", "goodput")
 
 # Deterministic invariant counters, gated with ZERO tolerance — the noise
 # thresholds that make sense for timing metrics would let a robustness
@@ -69,10 +72,15 @@ HIGHER_IS_BETTER = ("speedup", "keys_per_s")
 #     lost_keys / leaver_residue must stay zero);
 #   * bench_overload_suite counters (deadline_overruns: a request that
 #     resolved — even typed — after deadline+epsilon is a propagation bug,
-#     never noise).
+#     never noise);
+#   * bench_saturation_suite counters (starved_tenants: a tenant whose
+#     batch share fell 25% below its DRR weight; wedged_pollers: a merge
+#     session with no terminal state by deadline+epsilon — both are
+#     scheduler/lifecycle bugs, never noise).
 EXACT_LOWER_IS_BETTER = (
     "typed_failures", "hangs", "wrong_winners", "staged_residue",
     "lost_keys", "leaver_residue", "deadline_overruns",
+    "starved_tenants", "wedged_pollers",
 )
 EXACT_HIGHER_IS_BETTER = (
     "recovered_merges", "recovered_transactions", "migrated_keys",
@@ -127,7 +135,10 @@ def history_files(history_dir, bench_name):
 
 def is_real_time_metric(name):
     """Real steady-clock metrics get the looser noise threshold."""
-    return "real" in name.lower()
+    lowered = name.lower()
+    if any(tag in lowered for tag in ("p50_", "p99_", "rps", "goodput")):
+        return True
+    return "real" in lowered
 
 
 def compare(current_path, history_dir, last, threshold, min_history,

@@ -30,6 +30,8 @@
 
 #include <unistd.h>
 
+#include "service/merge_frontend.h"
+#include "service/merge_service.h"
 #include "storage/fault_injector.h"
 #include "storage/forkbase_engine.h"
 #include "storage/local_dir_engine.h"
@@ -49,9 +51,72 @@ int Usage(const char* argv0) {
                "[--backend forkbase|localdir] [--workers N] "
                "[--chunk-threshold BYTES] [--chunk-cache BYTES] "
                "[--max-queued-jobs N] [--max-queued-bytes BYTES] "
-               "[--fault-spec SPEC] [--data-dir DIR]\n",
+               "[--fault-spec SPEC] [--data-dir DIR] "
+               "[--serve-merge] [--merge-workers N] "
+               "[--tenant-weights a=2,b=1] [--stats-interval SECONDS]\n",
                argv0);
   return 2;
+}
+
+/// Parses "tenant=weight,tenant=weight" into MergeServiceOptions weights.
+bool ParseTenantWeights(const char* spec,
+                        std::map<std::string, uint64_t>* weights) {
+  std::string entry;
+  for (const char* p = spec;; ++p) {
+    if (*p != ',' && *p != '\0') {
+      entry.push_back(*p);
+      continue;
+    }
+    if (!entry.empty()) {
+      const size_t eq = entry.find('=');
+      if (eq == std::string::npos || eq == 0) return false;
+      (*weights)[entry.substr(0, eq)] =
+          std::strtoull(entry.c_str() + eq + 1, nullptr, 10);
+      entry.clear();
+    }
+    if (*p == '\0') break;
+  }
+  return true;
+}
+
+/// One parseable live-stats record: the observability line saturation runs
+/// tail while the bench is still driving load.
+void PrintStatsLine(const std::string& endpoint,
+                    const mlcask::storage::SocketTransportServer& server,
+                    const mlcask::service::MergeService* merge) {
+  std::string line = "STATS " + endpoint;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                " connections=%llu shed_jobs=%llu expired_jobs=%llu",
+                static_cast<unsigned long long>(server.connections_accepted()),
+                static_cast<unsigned long long>(server.shed_jobs()),
+                static_cast<unsigned long long>(server.expired_jobs()));
+  line += buf;
+  if (merge != nullptr) {
+    const auto stats = merge->stats();
+    std::snprintf(
+        buf, sizeof(buf),
+        " sessions_open=%zu queued_batches=%zu completed=%llu failed=%llu "
+        "shed=%llu expired=%llu coalesced=%llu",
+        stats.sessions_open, stats.queued_batches,
+        static_cast<unsigned long long>(stats.completed),
+        static_cast<unsigned long long>(stats.failed),
+        static_cast<unsigned long long>(stats.shed),
+        static_cast<unsigned long long>(stats.expired),
+        static_cast<unsigned long long>(stats.coalesced));
+    line += buf;
+    if (!stats.tenant_batches.empty()) {
+      line += " tenants=";
+      bool first = true;
+      for (const auto& [tenant, batches] : stats.tenant_batches) {
+        if (!first) line += ",";
+        first = false;
+        line += tenant + ":" + std::to_string(batches);
+      }
+    }
+  }
+  std::printf("%s\n", line.c_str());
+  std::fflush(stdout);
 }
 
 }  // namespace
@@ -62,7 +127,10 @@ int main(int argc, char** argv) {
   std::string backend = "forkbase";
   std::string fault_spec;
   std::string data_dir;
+  bool serve_merge = false;
+  unsigned stats_interval_s = 0;
   storage::SocketTransportServer::Options server_options;
+  service::MergeServiceOptions merge_options;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     auto value = [&](const char* flag) -> const char* {
@@ -118,6 +186,31 @@ int main(int argc, char** argv) {
       data_dir = value("--data-dir");
     } else if (std::strncmp(arg, "--data-dir=", 11) == 0) {
       data_dir = arg + 11;
+    } else if (std::strcmp(arg, "--serve-merge") == 0) {
+      serve_merge = true;
+    } else if (std::strcmp(arg, "--merge-workers") == 0) {
+      merge_options.worker_threads = static_cast<size_t>(
+          std::strtoull(value("--merge-workers"), nullptr, 10));
+    } else if (std::strncmp(arg, "--merge-workers=", 16) == 0) {
+      merge_options.worker_threads =
+          static_cast<size_t>(std::strtoull(arg + 16, nullptr, 10));
+    } else if (std::strcmp(arg, "--tenant-weights") == 0) {
+      if (!ParseTenantWeights(value("--tenant-weights"),
+                              &merge_options.tenant_weights)) {
+        std::fprintf(stderr, "bad --tenant-weights (want a=2,b=1)\n");
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--tenant-weights=", 17) == 0) {
+      if (!ParseTenantWeights(arg + 17, &merge_options.tenant_weights)) {
+        std::fprintf(stderr, "bad --tenant-weights (want a=2,b=1)\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--stats-interval") == 0) {
+      stats_interval_s = static_cast<unsigned>(
+          std::strtoul(value("--stats-interval"), nullptr, 10));
+    } else if (std::strncmp(arg, "--stats-interval=", 17) == 0) {
+      stats_interval_s =
+          static_cast<unsigned>(std::strtoul(arg + 17, nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg);
       return Usage(argv[0]);
@@ -165,6 +258,24 @@ int main(int argc, char** argv) {
   }
   storage::StorageEngineService service(std::move(engine));
 
+  // --serve-merge promotes this process from a storage shard to a full
+  // merge endpoint: service opcodes peel off to the merge front end, all
+  // other traffic (storage RPCs, JSON) flows to the storage service on the
+  // same connection.
+  std::unique_ptr<service::MergeService> merge_service;
+  std::unique_ptr<service::MergeFrontend> merge_frontend;
+  if (serve_merge) {
+    merge_service = std::make_unique<service::MergeService>(merge_options);
+    merge_frontend =
+        std::make_unique<service::MergeFrontend>(merge_service.get());
+    Status started = merge_service->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "merge service start failed: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+  }
+
   auto server =
       storage::SocketTransportServer::Bind(endpoint_spec, server_options);
   if (!server.ok()) {
@@ -173,7 +284,13 @@ int main(int argc, char** argv) {
     return 1;
   }
   Status serving = (*server)->Serve(
-      [&service](std::string_view request) { return service.Handle(request); });
+      [&service, &merge_frontend](std::string_view request) {
+        if (merge_frontend != nullptr &&
+            service::MergeFrontend::Handles(request)) {
+          return merge_frontend->Handle(request);
+        }
+        return service.Handle(request);
+      });
   if (!serving.ok()) {
     std::fprintf(stderr, "serve failed: %s\n", serving.ToString().c_str());
     return 1;
@@ -191,9 +308,21 @@ int main(int argc, char** argv) {
   }
   std::fflush(stdout);
 
+  // --stats-interval N prints a STATS line every N seconds while serving,
+  // so saturation runs are observable live rather than only at STOPPED.
+  unsigned ticks_since_stats = 0;
+  const unsigned ticks_per_stats = stats_interval_s * 20;  // 50 ms ticks
   while (!g_stop) {
     ::usleep(50 * 1000);
+    if (ticks_per_stats > 0 && ++ticks_since_stats >= ticks_per_stats) {
+      ticks_since_stats = 0;
+      PrintStatsLine((*server)->endpoint(), **server, merge_service.get());
+    }
   }
+  // Drain order: stop the merge service first (queued sessions resolve,
+  // submits reject typed) while the socket server still answers polls, then
+  // take the transport down.
+  if (merge_service != nullptr) (void)merge_service->Stop();
   (*server)->Shutdown();
   // Final stats line, SIGINT and SIGTERM alike: one parseable record of the
   // shard's whole life for launchers, CI logs, and operators tailing the
@@ -201,7 +330,7 @@ int main(int argc, char** argv) {
   // admission, what expired in queue, how deep the queue ever got).
   std::printf(
       "STOPPED %s connections=%llu shed_jobs=%llu expired_jobs=%llu "
-      "peak_queued_jobs=%llu peak_queued_bytes=%llu replay_hits=%llu\n",
+      "peak_queued_jobs=%llu peak_queued_bytes=%llu replay_hits=%llu",
       (*server)->endpoint().c_str(),
       static_cast<unsigned long long>((*server)->connections_accepted()),
       static_cast<unsigned long long>((*server)->shed_jobs()),
@@ -209,6 +338,22 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>((*server)->peak_queued_jobs()),
       static_cast<unsigned long long>((*server)->peak_queued_bytes()),
       static_cast<unsigned long long>(service.replay_hits()));
+  if (merge_service != nullptr) {
+    const auto stats = merge_service->stats();
+    std::printf(
+        " merge_submitted=%llu merge_completed=%llu merge_failed=%llu "
+        "merge_cancelled=%llu merge_shed=%llu merge_expired=%llu "
+        "merge_coalesced=%llu merge_replay_hits=%llu",
+        static_cast<unsigned long long>(stats.submitted),
+        static_cast<unsigned long long>(stats.completed),
+        static_cast<unsigned long long>(stats.failed),
+        static_cast<unsigned long long>(stats.cancelled),
+        static_cast<unsigned long long>(stats.shed),
+        static_cast<unsigned long long>(stats.expired),
+        static_cast<unsigned long long>(stats.coalesced),
+        static_cast<unsigned long long>(stats.replay_hits));
+  }
+  std::printf("\n");
   std::fflush(stdout);
   return 0;
 }
